@@ -1,0 +1,321 @@
+//! The Aho–Corasick automaton \[AC75\], built from scratch.
+//!
+//! This is the sequential algorithm the paper's work bounds are compared
+//! against (`O(n + M)` for an alphabet polynomial in `n` and `M`, plus
+//! output size). The paper notes the approach "seems inherently sequential":
+//! the failure-function scan carries a state through the whole text —
+//! exactly what shrink-and-spawn avoids.
+//!
+//! Representation: trie with per-node sorted child arrays (binary search on
+//! `u32` symbols — the alphabet is too large for dense rows), failure links,
+//! and pattern-suffix links (`dict_link`) for output enumeration.
+
+use crate::Occurrence;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Sorted `(symbol, child)` pairs.
+    children: Vec<(u32, u32)>,
+    fail: u32,
+    /// Pattern ending exactly at this node, if any.
+    pattern: Option<u32>,
+    /// Nearest ancestor-via-fail that is a pattern end (output link).
+    dict_link: u32,
+    depth: u32,
+}
+
+const NIL: u32 = u32::MAX;
+
+/// An Aho–Corasick dictionary automaton over `u32` symbols.
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    nodes: Vec<Node>,
+    pattern_lens: Vec<u32>,
+}
+
+impl AhoCorasick {
+    /// Build the automaton. Duplicate patterns keep the first index.
+    pub fn new(patterns: &[Vec<u32>]) -> Self {
+        let mut nodes = vec![Node {
+            children: Vec::new(),
+            fail: 0,
+            pattern: None,
+            dict_link: NIL,
+            depth: 0,
+        }];
+        let mut pattern_lens = Vec::with_capacity(patterns.len());
+
+        // Phase 1: trie (the paper's "goto function").
+        for (pid, p) in patterns.iter().enumerate() {
+            pattern_lens.push(p.len() as u32);
+            let mut v = 0u32;
+            for &c in p {
+                v = match Self::child_of(&nodes, v, c) {
+                    Some(u) => u,
+                    None => {
+                        let u = nodes.len() as u32;
+                        let depth = nodes[v as usize].depth + 1;
+                        nodes.push(Node {
+                            children: Vec::new(),
+                            fail: 0,
+                            pattern: None,
+                            dict_link: NIL,
+                            depth,
+                        });
+                        let pos = nodes[v as usize]
+                            .children
+                            .binary_search_by_key(&c, |e| e.0)
+                            .unwrap_err();
+                        nodes[v as usize].children.insert(pos, (c, u));
+                        u
+                    }
+                };
+            }
+            if nodes[v as usize].pattern.is_none() {
+                nodes[v as usize].pattern = Some(pid as u32);
+            }
+        }
+
+        // Phase 2: failure links by BFS (the paper's "failure function").
+        let mut queue = std::collections::VecDeque::new();
+        for &(_, u) in &nodes[0].children {
+            queue.push_back(u);
+        }
+        while let Some(v) = queue.pop_front() {
+            let vfail = nodes[v as usize].fail;
+            let vpat = nodes[v as usize].pattern;
+            nodes[v as usize].dict_link = if nodes[vfail as usize].pattern.is_some() {
+                vfail
+            } else {
+                nodes[vfail as usize].dict_link
+            };
+            // Borrow juggling: clone the child list (small) to iterate.
+            let children = nodes[v as usize].children.clone();
+            for (c, u) in children {
+                // fail(u) = deepest proper suffix of path(u) in the trie.
+                let mut f = vfail;
+                let fu = loop {
+                    if let Some(w) = Self::child_of(&nodes, f, c) {
+                        break w;
+                    }
+                    if f == 0 {
+                        break 0;
+                    }
+                    f = nodes[f as usize].fail;
+                };
+                nodes[u as usize].fail = fu;
+                queue.push_back(u);
+            }
+            let _ = vpat;
+        }
+        Self {
+            nodes,
+            pattern_lens,
+        }
+    }
+
+    #[inline]
+    fn child_of(nodes: &[Node], v: u32, c: u32) -> Option<u32> {
+        let ch = &nodes[v as usize].children;
+        ch.binary_search_by_key(&c, |e| e.0).ok().map(|i| ch[i].1)
+    }
+
+    #[inline]
+    fn step(&self, mut state: u32, c: u32) -> u32 {
+        loop {
+            if let Some(u) = Self::child_of(&self.nodes, state, c) {
+                return u;
+            }
+            if state == 0 {
+                return 0;
+            }
+            state = self.nodes[state as usize].fail;
+        }
+    }
+
+    /// Number of automaton states (diagnostics).
+    pub fn states(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All occurrences `(start, pattern)`, in scan order.
+    pub fn find_all(&self, text: &[u32]) -> Vec<Occurrence> {
+        let mut out = Vec::new();
+        let mut state = 0u32;
+        for (i, &c) in text.iter().enumerate() {
+            state = self.step(state, c);
+            let mut v = if self.nodes[state as usize].pattern.is_some() {
+                state
+            } else {
+                self.nodes[state as usize].dict_link
+            };
+            while v != NIL {
+                let node = &self.nodes[v as usize];
+                let pid = node.pattern.expect("dict chain hits pattern nodes") as usize;
+                out.push(Occurrence {
+                    start: i + 1 - node.depth as usize,
+                    pat: pid,
+                });
+                v = node.dict_link;
+            }
+        }
+        out
+    }
+
+    /// For each text position, the index of the longest pattern that matches
+    /// starting there (`None` if no pattern matches). This is the paper's
+    /// output format for dictionary matching.
+    pub fn longest_match_per_position(&self, text: &[u32]) -> Vec<Option<usize>> {
+        let mut best_len = vec![0u32; text.len()];
+        let mut best_pat = vec![None; text.len()];
+        let mut state = 0u32;
+        for (i, &c) in text.iter().enumerate() {
+            state = self.step(state, c);
+            let mut v = if self.nodes[state as usize].pattern.is_some() {
+                state
+            } else {
+                self.nodes[state as usize].dict_link
+            };
+            while v != NIL {
+                let node = &self.nodes[v as usize];
+                let len = node.depth;
+                let start = i + 1 - len as usize;
+                if len > best_len[start] {
+                    best_len[start] = len;
+                    best_pat[start] = node.pattern.map(|p| p as usize);
+                }
+                v = node.dict_link;
+            }
+        }
+        best_pat
+    }
+
+    /// For each text position, the length of the longest *dictionary prefix*
+    /// (prefix of any pattern) matching there. The test oracle for the
+    /// paper's prefix-matching problem (§4, Phase 1). `O(n · m)` — oracle
+    /// use only.
+    pub fn longest_prefix_per_position(&self, text: &[u32]) -> Vec<usize> {
+        (0..text.len())
+            .map(|i| {
+                let mut v = 0u32;
+                let mut depth = 0usize;
+                for &c in &text[i..] {
+                    match Self::child_of(&self.nodes, v, c) {
+                        Some(u) => {
+                            v = u;
+                            depth += 1;
+                        }
+                        None => break,
+                    }
+                }
+                depth
+            })
+            .collect()
+    }
+
+    /// Length of pattern `pid`.
+    pub fn pattern_len(&self, pid: usize) -> usize {
+        self.pattern_lens[pid] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pats(ps: &[&str]) -> Vec<Vec<u32>> {
+        ps.iter().map(|s| s.bytes().map(u32::from).collect()).collect()
+    }
+
+    fn text(s: &str) -> Vec<u32> {
+        s.bytes().map(u32::from).collect()
+    }
+
+    #[test]
+    fn classic_ushers() {
+        let ac = AhoCorasick::new(&pats(&["he", "she", "his", "hers"]));
+        let mut occ = ac.find_all(&text("ushers"));
+        occ.sort();
+        assert_eq!(
+            occ,
+            vec![
+                Occurrence { start: 1, pat: 1 }, // she
+                Occurrence { start: 2, pat: 0 }, // he
+                Occurrence { start: 2, pat: 3 }, // hers
+            ]
+        );
+    }
+
+    #[test]
+    fn longest_match_per_position() {
+        let ac = AhoCorasick::new(&pats(&["he", "she", "his", "hers"]));
+        let got = ac.longest_match_per_position(&text("ushers"));
+        assert_eq!(got, vec![None, Some(1), Some(3), None, None, None]);
+    }
+
+    #[test]
+    fn longest_prefix_oracle() {
+        let ac = AhoCorasick::new(&pats(&["abc", "abd", "b"]));
+        let got = ac.longest_prefix_per_position(&text("abdxb"));
+        // pos0: "abd" len 3; pos1: "b" len 1; pos2: no (d not a start)... d
+        // is not a prefix of any pattern → 0; pos3: x → 0; pos4: "b" → 1.
+        assert_eq!(got, vec![3, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn overlapping_and_nested_patterns() {
+        let ac = AhoCorasick::new(&pats(&["a", "aa", "aaa"]));
+        let mut occ = ac.find_all(&text("aaaa"));
+        occ.sort();
+        assert_eq!(occ.len(), 4 + 3 + 2);
+        let lm = ac.longest_match_per_position(&text("aaaa"));
+        assert_eq!(lm, vec![Some(2), Some(2), Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn empty_text_and_no_match() {
+        let ac = AhoCorasick::new(&pats(&["xyz"]));
+        assert!(ac.find_all(&[]).is_empty());
+        assert!(ac.find_all(&text("abcabc")).is_empty());
+    }
+
+    #[test]
+    fn single_symbol_patterns() {
+        let ac = AhoCorasick::new(&pats(&["a", "b"]));
+        let occ = ac.find_all(&text("ab"));
+        assert_eq!(occ.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_pattern_reports_first_index() {
+        let ac = AhoCorasick::new(&pats(&["ab", "ab"]));
+        let occ = ac.find_all(&text("ab"));
+        assert_eq!(occ, vec![Occurrence { start: 0, pat: 0 }]);
+    }
+
+    #[test]
+    fn wide_alphabet_symbols() {
+        let p: Vec<Vec<u32>> = vec![vec![1_000_000, 2_000_000]];
+        let ac = AhoCorasick::new(&p);
+        let t: Vec<u32> = vec![5, 1_000_000, 2_000_000, 1_000_000];
+        assert_eq!(ac.find_all(&t), vec![Occurrence { start: 1, pat: 0 }]);
+    }
+
+    #[test]
+    fn fail_links_cross_patterns() {
+        // "abab": after reading "aba" + "b", fail chain must find "bab"? No:
+        // patterns "abab" and "bab" overlap; check both are reported.
+        let ac = AhoCorasick::new(&pats(&["abab", "bab"]));
+        let mut occ = ac.find_all(&text("ababab"));
+        occ.sort();
+        assert_eq!(
+            occ,
+            vec![
+                Occurrence { start: 0, pat: 0 },
+                Occurrence { start: 1, pat: 1 },
+                Occurrence { start: 2, pat: 0 },
+                Occurrence { start: 3, pat: 1 },
+            ]
+        );
+    }
+}

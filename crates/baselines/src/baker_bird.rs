@@ -1,0 +1,141 @@
+//! Baker–Bird 2-D matching: the classical sequential baseline for the
+//! paper's §5 experiments.
+//!
+//! For one `m×m` pattern: run Aho–Corasick over the pattern's rows along
+//! every text row, producing for each cell the id of the pattern row that
+//! *ends* there; then run KMP down each column of row-ids against the
+//! pattern's row-id column. `O(n + m²)` per pattern.
+//!
+//! For a multi-size dictionary of square patterns the construction is run
+//! per size group (this is exactly why the paper's single-pass 2-D
+//! dictionary matcher is interesting — the baseline pays per distinct size).
+
+use crate::aho_corasick::AhoCorasick;
+use crate::kmp::Kmp;
+use crate::naive::Grid;
+
+/// Start cells `(r, c)` of all occurrences of square `pat` in `text`.
+pub fn find_pattern_2d(text: &Grid, pat: &Grid) -> Vec<(usize, usize)> {
+    assert_eq!(pat.rows, pat.cols, "square patterns only");
+    let m = pat.rows;
+    if m == 0 || m > text.rows || m > text.cols {
+        return Vec::new();
+    }
+    // Deduplicate pattern rows; row id = index of first equal row.
+    let rows: Vec<Vec<u32>> = (0..m)
+        .map(|r| (0..m).map(|c| pat.at(r, c)).collect())
+        .collect();
+    let mut uniq: Vec<Vec<u32>> = Vec::new();
+    let mut row_id = Vec::with_capacity(m);
+    for r in &rows {
+        match uniq.iter().position(|u| u == r) {
+            Some(i) => row_id.push(i as u32),
+            None => {
+                uniq.push(r.clone());
+                row_id.push((uniq.len() - 1) as u32);
+            }
+        }
+    }
+    let ac = AhoCorasick::new(&uniq);
+
+    // ids[r][c] = id of the unique pattern row matching text row r starting
+    // at column c (pattern rows have equal length, so at most one matches).
+    const NONE: u32 = u32::MAX;
+    let mut ids = vec![NONE; text.rows * text.cols];
+    for r in 0..text.rows {
+        let row: Vec<u32> = (0..text.cols).map(|c| text.at(r, c)).collect();
+        for occ in ac.find_all(&row) {
+            ids[r * text.cols + occ.start] = occ.pat as u32;
+        }
+    }
+
+    // Column pass: match the pattern's row-id sequence down each column.
+    let kmp = Kmp::new(&row_id);
+    let mut out = Vec::new();
+    for c in 0..=text.cols.saturating_sub(m) {
+        let col: Vec<u32> = (0..text.rows).map(|r| ids[r * text.cols + c]).collect();
+        // NONE cells can never equal a row id (< m), so they break matches.
+        for r in kmp.find_all(&col) {
+            out.push((r, c));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// For each text cell, the index of the largest square pattern whose
+/// top-left corner matches there. Runs Baker–Bird once per pattern.
+pub fn largest_square_pattern_per_cell(patterns: &[Grid], text: &Grid) -> Vec<Option<usize>> {
+    let mut best_side = vec![0usize; text.rows * text.cols];
+    let mut best_pat: Vec<Option<usize>> = vec![None; text.rows * text.cols];
+    for (pid, p) in patterns.iter().enumerate() {
+        for (r, c) in find_pattern_2d(text, p) {
+            let k = r * text.cols + c;
+            if p.rows > best_side[k] {
+                best_side[k] = p.rows;
+                best_pat[k] = Some(pid);
+            }
+        }
+    }
+    best_pat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    #[test]
+    fn finds_planted_occurrence() {
+        let mut data = vec![0u32; 25];
+        // Plant a 2x2 block of ones at (1,2).
+        for (r, c) in [(1, 2), (1, 3), (2, 2), (2, 3)] {
+            data[r * 5 + c] = 1;
+        }
+        let t = Grid::new(5, 5, data);
+        let p = Grid::new(2, 2, vec![1, 1, 1, 1]);
+        assert_eq!(find_pattern_2d(&t, &p), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn overlapping_occurrences() {
+        let t = Grid::from_fn(4, 4, |_, _| 7);
+        let p = Grid::from_fn(2, 2, |_, _| 7);
+        let occ = find_pattern_2d(&t, &p);
+        assert_eq!(occ.len(), 9);
+    }
+
+    #[test]
+    fn repeated_rows_in_pattern() {
+        // Pattern with duplicate rows exercises row deduplication.
+        let p = Grid::new(3, 3, vec![1, 2, 3, 1, 2, 3, 9, 9, 9]);
+        let mut data = vec![0u32; 36];
+        for i in 0..3 {
+            for j in 0..3 {
+                data[(2 + i) * 6 + (1 + j)] = p.at(i, j);
+            }
+        }
+        let t = Grid::new(6, 6, data);
+        assert_eq!(find_pattern_2d(&t, &p), vec![(2, 1)]);
+    }
+
+    #[test]
+    fn pattern_larger_than_text() {
+        let t = Grid::from_fn(2, 2, |_, _| 1);
+        let p = Grid::from_fn(3, 3, |_, _| 1);
+        assert!(find_pattern_2d(&t, &p).is_empty());
+    }
+
+    #[test]
+    fn multi_pattern_agrees_with_naive() {
+        let t = Grid::from_fn(8, 8, |r, c| ((r * 31 + c * 17) % 3) as u32);
+        let pats: Vec<Grid> = vec![
+            Grid::from_fn(1, 1, |_, _| 0),
+            Grid::from_fn(2, 2, |r, c| t.at(3 + r, 4 + c)),
+            Grid::from_fn(3, 3, |r, c| t.at(2 + r, 2 + c)),
+        ];
+        let got = largest_square_pattern_per_cell(&pats, &t);
+        let want = naive::largest_square_pattern_per_cell(&pats, &t);
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,125 @@
+//! Chunked-parallel Aho–Corasick: the *practical* parallel baseline.
+//!
+//! Split the text into chunks, extend each chunk by `m − 1` overlap symbols,
+//! scan chunks independently on a thread pool, and keep occurrences whose
+//! start lies in the chunk proper. This is what a practitioner deploys
+//! today; the wall-clock experiments (E3) report it as the bar the
+//! shrink-and-spawn matcher has to be judged against, honestly.
+//!
+//! Note what this baseline *cannot* do, which the PRAM algorithms can: its
+//! critical path is `Θ(n / p + m)` with a sequential automaton per chunk —
+//! the `O(log m)`-time guarantee of the paper has no analogue here.
+
+use crate::aho_corasick::AhoCorasick;
+use crate::Occurrence;
+use rayon::prelude::*;
+
+/// All `(start, pattern)` occurrences, computed in parallel chunks.
+/// `max_pattern_len` must be ≥ the longest pattern in the automaton.
+pub fn find_all_chunked(
+    ac: &AhoCorasick,
+    text: &[u32],
+    max_pattern_len: usize,
+    chunk_size: usize,
+) -> Vec<Occurrence> {
+    assert!(chunk_size > 0);
+    let n = text.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let overlap = max_pattern_len.saturating_sub(1);
+    let nchunks = n.div_ceil(chunk_size);
+    let mut per_chunk: Vec<Vec<Occurrence>> = (0..nchunks)
+        .into_par_iter()
+        .map(|ci| {
+            let lo = ci * chunk_size;
+            let hi = (lo + chunk_size + overlap).min(n);
+            let end_proper = (lo + chunk_size).min(n);
+            ac.find_all(&text[lo..hi])
+                .into_iter()
+                .filter(|o| lo + o.start < end_proper)
+                .map(|o| Occurrence {
+                    start: lo + o.start,
+                    pat: o.pat,
+                })
+                .collect()
+        })
+        .collect();
+    let mut out = Vec::with_capacity(per_chunk.iter().map(Vec::len).sum());
+    for v in per_chunk.iter_mut() {
+        out.append(v);
+    }
+    out
+}
+
+/// Longest pattern per start position, computed in parallel chunks.
+pub fn longest_match_per_position_chunked(
+    ac: &AhoCorasick,
+    text: &[u32],
+    max_pattern_len: usize,
+    chunk_size: usize,
+) -> Vec<Option<usize>> {
+    let mut out = vec![None; text.len()];
+    let mut lens = vec![0u32; text.len()];
+    for occ in find_all_chunked(ac, text, max_pattern_len, chunk_size) {
+        let l = ac.pattern_len(occ.pat) as u32;
+        if l > lens[occ.start] {
+            lens[occ.start] = l;
+            out[occ.start] = Some(occ.pat);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    fn sym(s: &str) -> Vec<u32> {
+        s.bytes().map(u32::from).collect()
+    }
+
+    #[test]
+    fn agrees_with_sequential_ac_across_chunk_boundaries() {
+        let pats = vec![sym("abcab"), sym("cab"), sym("b")];
+        let ac = AhoCorasick::new(&pats);
+        let text: Vec<u32> = sym(&"abcab".repeat(50));
+        let want = {
+            let mut v = ac.find_all(&text);
+            v.sort();
+            v
+        };
+        for chunk in [1, 3, 7, 64, 1000] {
+            let mut got = find_all_chunked(&ac, &text, 5, chunk);
+            got.sort();
+            assert_eq!(got, want, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn longest_match_agrees_with_naive() {
+        let pats = vec![sym("aa"), sym("aaa"), sym("ab")];
+        let ac = AhoCorasick::new(&pats);
+        let text = sym("aaabaaab");
+        let got = longest_match_per_position_chunked(&ac, &text, 3, 3);
+        let want = naive::longest_pattern_per_position(&pats, &text);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_text() {
+        let ac = AhoCorasick::new(&[sym("x")]);
+        assert!(find_all_chunked(&ac, &[], 1, 16).is_empty());
+    }
+
+    #[test]
+    fn occurrence_straddling_boundary_counted_once() {
+        let pats = vec![sym("abcd")];
+        let ac = AhoCorasick::new(&pats);
+        let text = sym("xxabcdxx");
+        // chunk=4 puts the occurrence start (2) in chunk 0 with overlap 3.
+        let got = find_all_chunked(&ac, &text, 4, 4);
+        assert_eq!(got, vec![Occurrence { start: 2, pat: 0 }]);
+    }
+}

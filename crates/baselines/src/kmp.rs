@@ -1,0 +1,120 @@
+//! Knuth–Morris–Pratt single-pattern matching \[KMP77\].
+//!
+//! The single-pattern ancestor of Aho–Corasick; used standalone and as the
+//! column-matching stage of Baker–Bird.
+
+/// A preprocessed KMP pattern over `u32` symbols.
+#[derive(Debug, Clone)]
+pub struct Kmp {
+    pattern: Vec<u32>,
+    /// `fail[i]` = length of the longest proper border of `pattern[..=i]`.
+    fail: Vec<u32>,
+}
+
+impl Kmp {
+    pub fn new(pattern: &[u32]) -> Self {
+        assert!(!pattern.is_empty(), "KMP needs a non-empty pattern");
+        let mut fail = vec![0u32; pattern.len()];
+        let mut k = 0usize;
+        for i in 1..pattern.len() {
+            while k > 0 && pattern[k] != pattern[i] {
+                k = fail[k - 1] as usize;
+            }
+            if pattern[k] == pattern[i] {
+                k += 1;
+            }
+            fail[i] = k as u32;
+        }
+        Self {
+            pattern: pattern.to_vec(),
+            fail,
+        }
+    }
+
+    pub fn pattern(&self) -> &[u32] {
+        &self.pattern
+    }
+
+    /// Start positions of all (possibly overlapping) occurrences.
+    pub fn find_all(&self, text: &[u32]) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut k = 0usize;
+        for (i, &c) in text.iter().enumerate() {
+            while k > 0 && self.pattern[k] != c {
+                k = self.fail[k - 1] as usize;
+            }
+            if self.pattern[k] == c {
+                k += 1;
+            }
+            if k == self.pattern.len() {
+                out.push(i + 1 - k);
+                k = self.fail[k - 1] as usize;
+            }
+        }
+        out
+    }
+
+    /// Occurrence bitmap: `out[i]` iff the pattern matches starting at `i`.
+    pub fn match_positions(&self, text: &[u32]) -> Vec<bool> {
+        let mut out = vec![false; text.len()];
+        for s in self.find_all(text) {
+            out[s] = true;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Vec<u32> {
+        s.bytes().map(u32::from).collect()
+    }
+
+    #[test]
+    fn finds_overlapping_occurrences() {
+        let k = Kmp::new(&sym("aba"));
+        assert_eq!(k.find_all(&sym("ababababa")), vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn failure_function_of_periodic_pattern() {
+        let k = Kmp::new(&sym("aabaab"));
+        assert_eq!(k.fail, vec![0, 1, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn no_occurrences() {
+        let k = Kmp::new(&sym("xyz"));
+        assert!(k.find_all(&sym("aaaa")).is_empty());
+        assert!(k.find_all(&[]).is_empty());
+    }
+
+    #[test]
+    fn pattern_equals_text() {
+        let k = Kmp::new(&sym("hello"));
+        assert_eq!(k.find_all(&sym("hello")), vec![0]);
+    }
+
+    #[test]
+    fn pattern_longer_than_text() {
+        let k = Kmp::new(&sym("abcdef"));
+        assert!(k.find_all(&sym("abc")).is_empty());
+    }
+
+    #[test]
+    fn match_positions_bitmap() {
+        let k = Kmp::new(&sym("aa"));
+        assert_eq!(
+            k.match_positions(&sym("aaa")),
+            vec![true, true, false]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_pattern_panics() {
+        Kmp::new(&[]);
+    }
+}

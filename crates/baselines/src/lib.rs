@@ -1,0 +1,37 @@
+//! # pdm-baselines — from-scratch comparators and test oracles
+//!
+//! The paper's reference points, implemented from scratch so every
+//! experiment and differential test in the workspace is self-contained:
+//!
+//! * [`aho_corasick`] — the Aho–Corasick automaton \[AC75\], the classical
+//!   `O(n + M + occ)` sequential dictionary matcher the paper measures its
+//!   work bounds against;
+//! * [`kmp`] — Knuth–Morris–Pratt \[KMP77\] single-pattern matching (the
+//!   failure-function ancestor of AC, used by Baker–Bird);
+//! * [`naive`] — brute-force 1-D and 2-D matchers: slow, obviously correct
+//!   oracles for differential tests;
+//! * [`baker_bird`] — the Baker–Bird 2-D matching algorithm (AC over rows,
+//!   then column matching over row names), the sequential baseline for the
+//!   2-D experiments;
+//! * [`chunked_ac`] — the practical parallel baseline: AC over overlapping
+//!   text chunks on a thread pool. This is what an engineer would deploy
+//!   today, so wall-clock experiments report it as the bar to clear.
+//!
+//! All matchers operate on `&[u32]` symbols to match the paper's
+//! "alphabet polynomial in `n` and `M`".
+
+pub mod aho_corasick;
+pub mod baker_bird;
+pub mod chunked_ac;
+pub mod kmp;
+pub mod naive;
+
+pub use aho_corasick::AhoCorasick;
+pub use kmp::Kmp;
+
+/// Occurrence of pattern `pat` starting at text position `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Occurrence {
+    pub start: usize,
+    pub pat: usize,
+}

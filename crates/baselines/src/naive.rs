@@ -1,0 +1,181 @@
+//! Brute-force matchers: slow, obviously correct test oracles.
+//!
+//! Differential tests across the workspace compare every real matcher
+//! against these on small inputs. Nothing here is optimized on purpose —
+//! their value is that their correctness is checkable by eye.
+
+/// For each text position, the index of the longest pattern matching there
+/// (ties impossible: distinct patterns of equal length cannot both match at
+/// one position).
+pub fn longest_pattern_per_position(patterns: &[Vec<u32>], text: &[u32]) -> Vec<Option<usize>> {
+    (0..text.len())
+        .map(|i| {
+            let mut best: Option<(usize, usize)> = None; // (len, pat)
+            for (pid, p) in patterns.iter().enumerate() {
+                if !p.is_empty() && i + p.len() <= text.len() && &text[i..i + p.len()] == p.as_slice()
+                {
+                    let cand = (p.len(), pid);
+                    if best.is_none_or(|b| cand.0 > b.0) {
+                        best = Some(cand);
+                    }
+                }
+            }
+            best.map(|(_, pid)| pid)
+        })
+        .collect()
+}
+
+/// For each text position, the length of the longest prefix of any pattern
+/// matching there (the §4 prefix-matching problem).
+pub fn longest_prefix_per_position(patterns: &[Vec<u32>], text: &[u32]) -> Vec<usize> {
+    (0..text.len())
+        .map(|i| {
+            patterns
+                .iter()
+                .map(|p| {
+                    let mut l = 0;
+                    while l < p.len() && i + l < text.len() && text[i + l] == p[l] {
+                        l += 1;
+                    }
+                    l
+                })
+                .max()
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// All `(start, pattern)` occurrences, sorted.
+pub fn find_all(patterns: &[Vec<u32>], text: &[u32]) -> Vec<crate::Occurrence> {
+    let mut out = Vec::new();
+    for (pid, p) in patterns.iter().enumerate() {
+        if p.is_empty() {
+            continue;
+        }
+        for i in 0..text.len().saturating_sub(p.len() - 1) {
+            if &text[i..i + p.len()] == p.as_slice() {
+                out.push(crate::Occurrence {
+                    start: i,
+                    pat: pid,
+                });
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// A 2-D array stored row-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grid {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<u32>,
+}
+
+impl Grid {
+    pub fn new(rows: usize, cols: usize, data: Vec<u32>) -> Self {
+        assert_eq!(rows * cols, data.len());
+        Self { rows, cols, data }
+    }
+
+    pub fn from_fn(rows: usize, cols: usize, f: impl Fn(usize, usize) -> u32) -> Self {
+        let data = (0..rows * cols).map(|k| f(k / cols, k % cols)).collect();
+        Self { rows, cols, data }
+    }
+
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> u32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Does `pat` (treated as a subarray) occur with its top-left corner at
+    /// `(r, c)`?
+    pub fn matches_at(&self, pat: &Grid, r: usize, c: usize) -> bool {
+        if r + pat.rows > self.rows || c + pat.cols > self.cols {
+            return false;
+        }
+        for i in 0..pat.rows {
+            for j in 0..pat.cols {
+                if self.at(r + i, c + j) != pat.at(i, j) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// For each text cell, the index of the pattern with the largest side
+/// matching with its top-left corner there (square patterns).
+pub fn largest_square_pattern_per_cell(patterns: &[Grid], text: &Grid) -> Vec<Option<usize>> {
+    let mut out = vec![None; text.rows * text.cols];
+    for r in 0..text.rows {
+        for c in 0..text.cols {
+            let mut best: Option<(usize, usize)> = None;
+            for (pid, p) in patterns.iter().enumerate() {
+                debug_assert_eq!(p.rows, p.cols, "square patterns only");
+                if text.matches_at(p, r, c) {
+                    let cand = (p.rows, pid);
+                    if best.is_none_or(|b| cand.0 > b.0) {
+                        best = Some(cand);
+                    }
+                }
+            }
+            out[r * text.cols + c] = best.map(|(_, pid)| pid);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Vec<u32> {
+        s.bytes().map(u32::from).collect()
+    }
+
+    #[test]
+    fn longest_pattern_basic() {
+        let pats = vec![sym("he"), sym("she"), sym("hers")];
+        let got = longest_pattern_per_position(&pats, &sym("ushers"));
+        assert_eq!(got, vec![None, Some(1), Some(2), None, None, None]);
+    }
+
+    #[test]
+    fn longest_prefix_basic() {
+        let pats = vec![sym("abc"), sym("b")];
+        assert_eq!(longest_prefix_per_position(&pats, &sym("abx")), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn find_all_sorted() {
+        let pats = vec![sym("a"), sym("aa")];
+        let occ = find_all(&pats, &sym("aaa"));
+        assert_eq!(occ.len(), 3 + 2);
+        assert!(occ.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn grid_match() {
+        let t = Grid::from_fn(4, 4, |r, c| ((r + c) % 2) as u32);
+        let p = Grid::from_fn(2, 2, |r, c| ((r + c) % 2) as u32);
+        assert!(t.matches_at(&p, 0, 0));
+        assert!(!t.matches_at(&p, 0, 1)); // checkerboard inverted
+        assert!(t.matches_at(&p, 1, 1));
+        assert!(!t.matches_at(&p, 3, 3)); // out of range
+    }
+
+    #[test]
+    fn largest_square_per_cell() {
+        let t = Grid::new(3, 3, vec![1, 1, 0, 1, 1, 0, 0, 0, 0]);
+        let p1 = Grid::new(1, 1, vec![1]);
+        let p2 = Grid::new(2, 2, vec![1, 1, 1, 1]);
+        let got = largest_square_pattern_per_cell(&[p1, p2], &t);
+        assert_eq!(got[0], Some(1)); // 2x2 of ones at (0,0)
+        assert_eq!(got[1], Some(0)); // only 1x1 at (0,1)
+        assert_eq!(got[2], None);
+        assert_eq!(got[4], Some(0)); // (1,1): 1x1 only (2x2 would need ones)
+    }
+}

@@ -1,0 +1,35 @@
+//! Criterion bench for the baselines themselves: AC construction and scan,
+//! KMP — so the comparator numbers in other benches have context.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pdm_baselines::{AhoCorasick, Kmp};
+use pdm_textgen::{strings, Alphabet};
+
+fn bench(c: &mut Criterion) {
+    let mut r = strings::rng(1);
+    let mut text = strings::random_text(&mut r, Alphabet::Bytes, 1 << 18);
+    let pats = strings::excerpt_dictionary(&mut r, &text, 128, 4, 64);
+    strings::plant_occurrences(&mut r, &mut text, &pats, 128);
+
+    let mut g = c.benchmark_group("aho_corasick");
+    g.sample_size(10);
+    g.bench_function("build_128_patterns", |b| b.iter(|| AhoCorasick::new(&pats)));
+    let ac = AhoCorasick::new(&pats);
+    g.throughput(Throughput::Elements(text.len() as u64));
+    g.bench_function("find_all_256k", |b| b.iter(|| ac.find_all(&text)));
+    g.bench_function("longest_per_position_256k", |b| {
+        b.iter(|| ac.longest_match_per_position(&text))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("kmp");
+    g.sample_size(10);
+    let pat = &pats[0];
+    let kmp = Kmp::new(pat);
+    g.throughput(Throughput::Elements(text.len() as u64));
+    g.bench_function("find_all_256k", |b| b.iter(|| kmp.find_all(&text)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for E6: 2-D dictionary matching versus Baker–Bird.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdm_baselines::{baker_bird, naive};
+use pdm_core::dict2d::{Dict2DMatcher, Grid2};
+use pdm_pram::Ctx;
+use pdm_textgen::{grid, strings, Alphabet};
+
+fn bench(c: &mut Criterion) {
+    let side = 256usize;
+    let mut g = c.benchmark_group("dict2d_match");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((side * side) as u64));
+    for &m in &[8usize, 32] {
+        let mut r = strings::rng(m as u64);
+        let mut tg = grid::random_grid(&mut r, Alphabet::Letters, side, side);
+        let pats = grid::excerpt_square_dictionary(&mut r, &tg, 8, m / 2, m);
+        grid::plant_squares(&mut r, &mut tg, &pats, 16);
+        let g_pats: Vec<Grid2> = pats
+            .iter()
+            .map(|p| Grid2::new(p.rows, p.cols, p.data.clone()))
+            .collect();
+        let text = Grid2::new(tg.rows, tg.cols, tg.data.clone());
+        let bctx = Ctx::seq();
+        let matcher = Dict2DMatcher::build(&bctx, &g_pats).unwrap();
+        let ctx = Ctx::par();
+        g.bench_with_input(BenchmarkId::new("dyadic/m", m), &m, |b, _| {
+            b.iter(|| matcher.match_grid(&ctx, &text))
+        });
+        let n_pats: Vec<naive::Grid> = pats
+            .iter()
+            .map(|p| naive::Grid::new(p.rows, p.cols, p.data.clone()))
+            .collect();
+        let n_text = naive::Grid::new(tg.rows, tg.cols, tg.data.clone());
+        g.bench_with_input(BenchmarkId::new("baker_bird/m", m), &m, |b, _| {
+            b.iter(|| baker_bird::largest_square_pattern_per_cell(&n_pats, &n_text))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion bench for E7/E8: dynamic dictionary operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdm_core::dynamic::DynamicMatcher;
+use pdm_pram::Ctx;
+use pdm_textgen::{strings, Alphabet};
+
+fn bench(c: &mut Criterion) {
+    let ctx = Ctx::seq();
+
+    // Insert cost across pattern lengths (fresh pattern per iteration by
+    // cycling through disjoint symbol ranges).
+    let mut g = c.benchmark_group("dynamic_insert");
+    g.sample_size(10);
+    for &lam in &[64usize, 1024] {
+        g.bench_with_input(BenchmarkId::new("lambda", lam), &lam, |b, _| {
+            let mut d = DynamicMatcher::new();
+            let mut tick = 0u32;
+            b.iter(|| {
+                tick += 1;
+                let p: Vec<u32> = (0..lam as u32).map(|i| i * 7 + tick * 100_000).collect();
+                d.insert(&ctx, &p).unwrap()
+            });
+        });
+    }
+    g.finish();
+
+    // Insert+delete round trips (stamp-counting churn).
+    let mut g = c.benchmark_group("dynamic_insert_delete");
+    g.sample_size(10);
+    g.bench_function("roundtrip_256", |b| {
+        let mut d = DynamicMatcher::new();
+        let mut r = strings::rng(1);
+        // Persistent background dictionary so tables are non-trivial.
+        for p in strings::random_dictionary(&mut r, Alphabet::Bytes, 128, 8, 32) {
+            d.insert(&ctx, &p).unwrap();
+        }
+        let mut tick = 0u32;
+        b.iter(|| {
+            tick += 1;
+            let p: Vec<u32> = (0..256u32).map(|i| i * 3 + tick * 1_000_000).collect();
+            d.insert(&ctx, &p).unwrap();
+            d.delete(&ctx, &p).unwrap()
+        });
+    });
+    g.finish();
+
+    // Match against a live dynamic dictionary.
+    let mut g = c.benchmark_group("dynamic_match");
+    g.sample_size(10);
+    let mut r = strings::rng(2);
+    let mut text = strings::random_text(&mut r, Alphabet::Bytes, 1 << 16);
+    let pats = strings::excerpt_dictionary(&mut r, &text, 64, 8, 64);
+    strings::plant_occurrences(&mut r, &mut text, &pats, 64);
+    let mut d = DynamicMatcher::new();
+    for p in &pats {
+        d.insert(&ctx, p).unwrap();
+    }
+    let mctx = Ctx::par();
+    g.bench_function("match_64k", |b| b.iter(|| d.match_text(&mctx, &text)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for E5: Theorem 11 equal-length matching across pattern
+//! lengths — wall-clock must stay near-flat in `m` (the optimality story).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdm_baselines::AhoCorasick;
+use pdm_core::equal_len::EqualLenMatcher;
+use pdm_pram::Ctx;
+use pdm_textgen::{strings, Alphabet};
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 17;
+    let mut g = c.benchmark_group("equal_len_match");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n as u64));
+    for &m in &[16usize, 128, 1024] {
+        let mut r = strings::rng(m as u64);
+        let mut text = strings::random_text(&mut r, Alphabet::Bytes, n);
+        let pats = strings::excerpt_dictionary(&mut r, &text, 8, m, m);
+        strings::plant_occurrences(&mut r, &mut text, &pats, 64);
+        let matcher = EqualLenMatcher::new(&pats).unwrap();
+        let ctx = Ctx::par();
+        g.bench_with_input(BenchmarkId::new("thm11/m", m), &m, |b, _| {
+            b.iter(|| matcher.match_text(&ctx, &text))
+        });
+        let ac = AhoCorasick::new(&pats);
+        g.bench_with_input(BenchmarkId::new("ac/m", m), &m, |b, _| {
+            b.iter(|| ac.longest_match_per_position(&text))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

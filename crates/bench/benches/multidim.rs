@@ -1,0 +1,58 @@
+//! Criterion bench for E9: 2-D/3-D single-pattern matching via §7 dimension
+//! reduction, versus Baker–Bird.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdm_baselines::{baker_bird, naive};
+use pdm_core::multidim::{match_tensor, Tensor};
+use pdm_pram::Ctx;
+use pdm_textgen::{grid, strings, Alphabet};
+
+fn bench(c: &mut Criterion) {
+    let side = 192usize;
+    let mut g = c.benchmark_group("multidim_2d");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((side * side) as u64));
+    for &m in &[16usize, 64] {
+        let mut r = strings::rng(m as u64);
+        let tg = grid::random_grid(&mut r, Alphabet::Dna, side, side);
+        let pg = grid::excerpt_square_dictionary(&mut r, &tg, 1, m, m).pop().unwrap();
+        let text = Tensor::new(vec![side, side], tg.data.clone());
+        let pat = Tensor::new(vec![m, m], pg.data.clone());
+        let ctx = Ctx::par();
+        g.bench_with_input(BenchmarkId::new("reduction/m", m), &m, |b, _| {
+            b.iter(|| match_tensor(&ctx, &text, &pat))
+        });
+        let ntext = naive::Grid::new(side, side, tg.data.clone());
+        let npat = naive::Grid::new(m, m, pg.data.clone());
+        g.bench_with_input(BenchmarkId::new("baker_bird/m", m), &m, |b, _| {
+            b.iter(|| baker_bird::find_pattern_2d(&ntext, &npat))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("multidim_3d");
+    g.sample_size(10);
+    let dim = 32usize;
+    let mut r = strings::rng(3);
+    let text = Tensor::from_fn(vec![dim, dim, dim], |_| {
+        use rand::Rng;
+        r.gen_range(0..4u32)
+    });
+    let mut pdata = Vec::new();
+    for i in 0..6 {
+        for j in 0..6 {
+            for k in 0..6 {
+                pdata.push(text.data[text.offset(&[4 + i, 5 + j, 6 + k])]);
+            }
+        }
+    }
+    let pat = Tensor::new(vec![6, 6, 6], pdata);
+    let ctx = Ctx::par();
+    g.bench_function("cube_32_pattern_6", |b| {
+        b.iter(|| match_tensor(&ctx, &text, &pat))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for E4: the §4.4 small-alphabet matcher across collapse
+//! parameters `L`, against the base §4 matcher on the same workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdm_core::smallalpha::SmallAlphaMatcher;
+use pdm_core::static1d::StaticMatcher;
+use pdm_pram::Ctx;
+use pdm_textgen::{strings, Alphabet};
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 16;
+    let m = 512usize;
+    let mut r = strings::rng(9);
+    let text = strings::random_text(&mut r, Alphabet::Binary, n);
+    let pats = strings::random_dictionary(&mut r, Alphabet::Binary, 8, m / 2, m);
+
+    let mut g = c.benchmark_group("small_alpha_match");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n as u64));
+    for l in [1usize, 2, 4] {
+        let bctx = Ctx::seq();
+        let sm = SmallAlphaMatcher::build_with_l(&bctx, &pats, 2, l).unwrap();
+        let ctx = Ctx::par();
+        g.bench_with_input(BenchmarkId::new("L", l), &l, |b, _| {
+            b.iter(|| sm.match_text(&ctx, &text))
+        });
+    }
+    {
+        let bctx = Ctx::seq();
+        let base = StaticMatcher::build(&bctx, &pats).unwrap();
+        let ctx = Ctx::par();
+        g.bench_function("base_section4", |b| b.iter(|| base.match_text(&ctx, &text)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for E3: full static dictionary matching versus the
+//! sequential and chunked-parallel Aho–Corasick baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pdm_baselines::{chunked_ac, AhoCorasick};
+use pdm_core::static1d::StaticMatcher;
+use pdm_pram::Ctx;
+use pdm_textgen::{strings, Alphabet};
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 18;
+    let m = 64usize;
+    let mut r = strings::rng(42);
+    let mut text = strings::random_text(&mut r, Alphabet::Bytes, n);
+    let pats = strings::excerpt_dictionary(&mut r, &text, 64, m / 2, m);
+    strings::plant_occurrences(&mut r, &mut text, &pats, 256);
+
+    let bctx = Ctx::seq();
+    let matcher = StaticMatcher::build(&bctx, &pats).unwrap();
+    let ac = AhoCorasick::new(&pats);
+
+    let mut g = c.benchmark_group("static_match");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n as u64));
+    let ctx = Ctx::par();
+    g.bench_function("shrink_and_spawn", |b| {
+        b.iter(|| matcher.match_text(&ctx, &text))
+    });
+    g.bench_function("aho_corasick", |b| {
+        b.iter(|| ac.longest_match_per_position(&text))
+    });
+    g.bench_function("chunked_ac", |b| {
+        b.iter(|| chunked_ac::longest_match_per_position_chunked(&ac, &text, m, 1 << 15))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

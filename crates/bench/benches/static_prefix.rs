@@ -1,0 +1,43 @@
+//! Criterion bench for E1: static prefix-matching (§4.1, Theorem 1) over a
+//! sweep of longest-pattern lengths `m`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdm_core::static1d::StaticMatcher;
+use pdm_pram::Ctx;
+use pdm_textgen::{strings, Alphabet};
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 16;
+    let mut g = c.benchmark_group("static_prefix_match");
+    g.sample_size(10);
+    for &m in &[16usize, 256, 4096] {
+        let mut r = strings::rng(m as u64);
+        let mut text = strings::random_text(&mut r, Alphabet::Bytes, n);
+        let pats = strings::excerpt_dictionary(&mut r, &text, 16, m / 2, m);
+        strings::plant_occurrences(&mut r, &mut text, &pats, 64);
+        let bctx = Ctx::seq();
+        let matcher = StaticMatcher::build(&bctx, &pats).unwrap();
+        let ctx = Ctx::par();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("m", m), &m, |b, _| {
+            b.iter(|| matcher.prefix_match(&ctx, &text));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("static_dict_build");
+    g.sample_size(10);
+    for &m in &[64usize, 1024] {
+        let mut r = strings::rng(m as u64);
+        let pats = strings::random_dictionary(&mut r, Alphabet::Bytes, 64, m / 2, m);
+        let m_total: usize = pats.iter().map(Vec::len).sum();
+        g.throughput(Throughput::Elements(m_total as u64));
+        g.bench_with_input(BenchmarkId::new("m", m), &m, |b, _| {
+            b.iter(|| StaticMatcher::build(&Ctx::seq(), &pats).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Least-squares fits for the shape checks.
+//!
+//! Each experiment asserts a *shape*, e.g. "text work per symbol is linear
+//! in `log₂ m`". We fit `y = a + b·x` and report the coefficient of
+//! determination so EXPERIMENTS.md can state how well the exponent holds.
+
+/// Result of a simple linear regression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fit {
+    pub intercept: f64,
+    pub slope: f64,
+    /// Coefficient of determination (1.0 = perfect line).
+    pub r2: f64,
+}
+
+/// Ordinary least squares for `y = a + b·x`. Panics on fewer than 2 points.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Fit {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+    let intercept = my - slope * mx;
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (intercept + slope * x);
+            e * e
+        })
+        .sum();
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Fit {
+        intercept,
+        slope,
+        r2,
+    }
+}
+
+/// Max/min ratio of a series — the "is it flat?" check for optimal-work
+/// claims (E5/E9).
+pub fn flatness(ys: &[f64]) -> f64 {
+    let mx = ys.iter().cloned().fold(f64::MIN, f64::max);
+    let mn = ys.iter().cloned().fold(f64::MAX, f64::min);
+    if mn <= 0.0 {
+        f64::INFINITY
+    } else {
+        mx / mn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0];
+        let f = linear_fit(&xs, &ys);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_high_r2() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 + 3.0 * x + (x * 7.0).sin() * 0.1).collect();
+        let f = linear_fit(&xs, &ys);
+        assert!((f.slope - 3.0).abs() < 0.05);
+        assert!(f.r2 > 0.999);
+    }
+
+    #[test]
+    fn constant_series() {
+        let f = linear_fit(&[1.0, 2.0, 3.0], &[4.0, 4.0, 4.0]);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r2, 1.0);
+        assert_eq!(flatness(&[4.0, 4.0]), 1.0);
+    }
+
+    #[test]
+    fn flatness_ratio() {
+        assert!((flatness(&[2.0, 3.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+}

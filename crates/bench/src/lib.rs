@@ -1,0 +1,19 @@
+//! # pdm-bench — experiment harness
+//!
+//! Shared machinery for the `experiments` binary (which regenerates the
+//! EXPERIMENTS.md tables, one per claimed bound of the paper) and the
+//! criterion micro-benchmarks.
+//!
+//! The paper itself reports no measurements, so the "tables" reproduced
+//! here are its *claims*: for each theorem, the harness measures PRAM
+//! rounds and work on the instrumented substrate, fits the predicted shape
+//! (e.g. `work/n ∝ log₂ m`), and reports wall-clock against the baselines
+//! where a practitioner would care.
+
+pub mod fit;
+pub mod table;
+pub mod timing;
+
+pub use fit::{linear_fit, Fit};
+pub use table::Table;
+pub use timing::time_median;

@@ -1,0 +1,111 @@
+//! Minimal aligned-table printer (markdown-compatible output).
+
+/// A column-aligned table accumulated row by row.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render as a markdown table with aligned pipes.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                let pad = width[i] - c.chars().count();
+                s.push(' ');
+                s.push_str(c);
+                s.push_str(&" ".repeat(pad));
+                s.push_str(" |");
+            }
+            s
+        };
+        let mut out = line(&self.headers);
+        out.push('\n');
+        out.push('|');
+        for w in &width {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('|');
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&line(r));
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format helpers for table cells.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+pub fn int(x: u64) -> String {
+    x.to_string()
+}
+
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(&["m", "work"]);
+        t.row(&["8".into(), "123".into()]);
+        t.row(&["4096".into(), "7".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("| m "));
+        assert!(lines[1].starts_with("|---"));
+        // All rows have the same width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_arity_panics() {
+        Table::new(&["a", "b"]).row(&["x".into()]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Wall-clock measurement: median of repeated runs.
+
+use std::time::{Duration, Instant};
+
+/// Median wall time of `runs` executions of `f` (after one warmup).
+pub fn time_median<R>(runs: usize, mut f: impl FnMut() -> R) -> Duration {
+    assert!(runs >= 1);
+    let _warm = f();
+    let mut samples: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            let r = f();
+            let d = t0.elapsed();
+            std::hint::black_box(r);
+            d
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let d = time_median(3, || {
+            let mut s = 0u64;
+            for i in 0..10_000u64 {
+                s = s.wrapping_add(i * i);
+            }
+            s
+        });
+        assert!(d > Duration::ZERO);
+    }
+
+    #[test]
+    fn median_of_single_run() {
+        let d = time_median(1, || 42);
+        assert!(d < Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,222 @@
+//! All-patterns-per-position output (paper §2 remark).
+//!
+//! The parallel matchers report the *longest* pattern per position; the
+//! sequential tradition reports *all* of them, which is output-bound. The
+//! paper notes that given the longest-match output, Hagerup's interval
+//! allocation \[H93\] expands it to the full list in `O(log log³ n)` time
+//! and linear work. We realize the same plan with the primitives at hand:
+//!
+//! * every pattern `p` knows the longest pattern that is a *proper* prefix
+//!   of it (`chain[p]`, straight from the Theorem 2 tables), so the set of
+//!   patterns matching at a position is exactly the chain from the longest
+//!   match downward;
+//! * chain lengths give per-position output counts; a prefix-sum allocates
+//!   the output; a final round fills each position's slice independently.
+//!
+//! Work is `O(n + output size)`; the prefix-sum contributes the usual
+//! `O(log n)` rounds (our stand-in for the interval-allocation step).
+//!
+//! ```
+//! use pdm_core::allmatches::match_all;
+//! use pdm_core::static1d::StaticMatcher;
+//! use pdm_core::dict::{symbolize, to_symbols};
+//! use pdm_pram::Ctx;
+//!
+//! let ctx = Ctx::seq();
+//! let m = StaticMatcher::build(&ctx, &symbolize(&["a", "ab", "abc"])).unwrap();
+//! let all = match_all(&ctx, &m, &to_symbols("abx"));
+//! // All three nested patterns... "a" and "ab" match at 0, longest first.
+//! assert_eq!(all.at(0), &[1, 0]);
+//! assert!(all.at(2).is_empty());
+//! ```
+
+use crate::dict::{PatId, Sym};
+use crate::static1d::namemap::unpack2;
+use crate::static1d::{MatchOutput, StaticMatcher};
+use pdm_primitives::scan::prefix_sums;
+use pdm_pram::Ctx;
+
+/// CSR-style per-position pattern lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllMatches {
+    /// `offsets[i]..offsets[i+1]` indexes `entries` for position `i`.
+    pub offsets: Vec<u64>,
+    /// Pattern ids, longest first within each position.
+    pub entries: Vec<PatId>,
+}
+
+impl AllMatches {
+    /// Patterns matching at position `i`, longest first.
+    pub fn at(&self, i: usize) -> &[PatId] {
+        &self.entries[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Total number of occurrences.
+    pub fn total(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Per-pattern chains: `chain[p]` = longest pattern that is a proper prefix
+/// of `p`; `depth[p]` = chain length including `p` itself.
+#[derive(Debug, Clone)]
+pub struct PatternChains {
+    pub chain: Vec<Option<PatId>>,
+    pub depth: Vec<u32>,
+}
+
+/// Build the chains from the static tables (one Theorem-2 lookup per
+/// pattern plus a pointer-jumping-style resolution, `O(κ)` work).
+pub fn pattern_chains(matcher: &StaticMatcher) -> PatternChains {
+    let t = matcher.tables();
+    let k = t.n_patterns;
+    let mut chain: Vec<Option<PatId>> = vec![None; k];
+    for (p, prefs) in t.pattern_prefs.iter().enumerate() {
+        if prefs.len() >= 2 {
+            // Longest pattern prefixing P_p[0..len−1] (proper prefix).
+            if let Some(v) = t.longest.get(prefs[prefs.len() - 2]) {
+                let (_, pid) = unpack2(v);
+                chain[p] = Some(pid);
+            }
+        }
+    }
+    // Depths along the chain. Chains follow strictly decreasing length, so
+    // resolving in increasing pattern-length order terminates in one pass.
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by_key(|&p| t.pattern_prefs[p].len());
+    let mut depth = vec![0u32; k];
+    for p in order {
+        depth[p] = 1 + chain[p].map_or(0, |q| depth[q as usize]);
+    }
+    PatternChains { chain, depth }
+}
+
+/// Expand a longest-match output into all matches per position.
+pub fn enumerate_all(
+    ctx: &Ctx,
+    matcher: &StaticMatcher,
+    out: &MatchOutput,
+) -> AllMatches {
+    let chains = pattern_chains(matcher);
+    let n = out.longest_pattern.len();
+    let counts: Vec<u64> = ctx.map(n, |i| {
+        out.longest_pattern[i].map_or(0, |p| chains.depth[p as usize] as u64)
+    });
+    let (offsets_v, total) = prefix_sums(ctx, &counts);
+    let mut offsets = offsets_v;
+    offsets.push(total);
+    let entries: Vec<PatId> = {
+        let cells: Vec<std::sync::atomic::AtomicU32> = (0..total as usize)
+            .map(|_| std::sync::atomic::AtomicU32::new(0))
+            .collect();
+        ctx.for_each(n, |i| {
+            let mut cur = out.longest_pattern[i];
+            let mut off = offsets[i] as usize;
+            while let Some(p) = cur {
+                cells[off].store(p, std::sync::atomic::Ordering::Relaxed);
+                off += 1;
+                cur = chains.chain[p as usize];
+            }
+        });
+        ctx.cost.work(total);
+        cells.into_iter().map(|c| c.into_inner()).collect()
+    };
+    AllMatches { offsets, entries }
+}
+
+/// Convenience: match and expand in one call.
+pub fn match_all(ctx: &Ctx, matcher: &StaticMatcher, text: &[Sym]) -> AllMatches {
+    let out = matcher.match_text(ctx, text);
+    enumerate_all(ctx, matcher, &out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dict::{symbolize, to_symbols};
+    use pdm_baselines::naive;
+
+    fn check_all(patterns: &[Vec<u32>], text: &[u32], tag: &str) {
+        let ctx = Ctx::seq();
+        let m = StaticMatcher::build(&ctx, patterns).unwrap();
+        let got = match_all(&ctx, &m, text);
+        let occ = naive::find_all(patterns, text);
+        // Group the oracle by start position.
+        let mut want: Vec<Vec<usize>> = vec![Vec::new(); text.len()];
+        for o in occ {
+            want[o.start].push(o.pat);
+        }
+        for w in want.iter_mut() {
+            // Longest first (equal lengths impossible among matches here).
+            w.sort_by_key(|&p| std::cmp::Reverse(patterns[p].len()));
+        }
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..text.len() {
+            let g: Vec<usize> = got.at(i).iter().map(|&p| p as usize).collect();
+            assert_eq!(g, want[i], "{tag}: position {i}");
+        }
+        assert_eq!(
+            got.total(),
+            want.iter().map(Vec::len).sum::<usize>(),
+            "{tag}: totals"
+        );
+    }
+
+    #[test]
+    fn nested_patterns_enumerate_fully() {
+        let pats = symbolize(&["a", "ab", "abc", "abcd"]);
+        check_all(&pats, &to_symbols("abcdab"), "nested");
+    }
+
+    #[test]
+    fn cross_pattern_prefix_chains() {
+        // "she" has proper-prefix patterns via a *different* pattern "sh".
+        let pats = symbolize(&["sh", "she", "s", "he"]);
+        check_all(&pats, &to_symbols("sheshhe"), "cross");
+    }
+
+    #[test]
+    fn no_matches_no_output() {
+        let pats = symbolize(&["xyz"]);
+        let ctx = Ctx::seq();
+        let m = StaticMatcher::build(&ctx, &pats).unwrap();
+        let got = match_all(&ctx, &m, &to_symbols("aaaa"));
+        assert_eq!(got.total(), 0);
+        assert!(got.at(2).is_empty());
+    }
+
+    #[test]
+    fn chains_and_depths() {
+        let ctx = Ctx::seq();
+        let pats = symbolize(&["a", "ab", "abc", "x"]);
+        let m = StaticMatcher::build(&ctx, &pats).unwrap();
+        let ch = pattern_chains(&m);
+        assert_eq!(ch.chain, vec![None, Some(0), Some(1), None]);
+        assert_eq!(ch.depth, vec![1, 2, 3, 1]);
+    }
+
+    #[test]
+    fn randomized_heavy_overlap() {
+        use pdm_textgen::{strings, Alphabet};
+        for seed in 0..8 {
+            let mut r = strings::rng(seed);
+            let pats = strings::nested_dictionary(&mut r, Alphabet::Binary, 6);
+            let mut text = strings::random_text(&mut r, Alphabet::Binary, 150);
+            strings::plant_occurrences(&mut r, &mut text, &pats, 8);
+            check_all(&pats, &text, &format!("rand-{seed}"));
+        }
+    }
+
+    #[test]
+    fn output_is_linear_in_occurrences() {
+        let ctx = Ctx::seq();
+        let pats = symbolize(&["a", "aa", "aaa", "aaaa"]);
+        let m = StaticMatcher::build(&ctx, &pats).unwrap();
+        let text = vec![u32::from(b'a'); 100];
+        let got = match_all(&ctx, &m, &text);
+        // Position i has min(4, 100−i) matches.
+        assert_eq!(got.total(), 4 * 97 + 3 + 2 + 1);
+        assert_eq!(got.at(0).len(), 4);
+        assert_eq!(got.at(99).len(), 1);
+    }
+}

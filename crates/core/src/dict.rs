@@ -1,0 +1,114 @@
+//! Dictionary and text types shared by all matchers.
+//!
+//! Symbols are `u32` — the paper assumes an alphabet polynomial in `n` and
+//! `M`, which a machine word covers. Patterns are plain symbol vectors; the
+//! dictionary invariants (non-empty, distinct) are checked at build time by
+//! each matcher via [`validate_dictionary`].
+
+/// A text/pattern symbol. The value `u32::MAX` is reserved.
+pub type Sym = u32;
+
+/// Index of a pattern in the dictionary (its position in the build slice).
+pub type PatId = u32;
+
+/// Why a dictionary was rejected at build time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// Pattern at this index is empty.
+    EmptyPattern(usize),
+    /// Patterns at these two indices are identical (the paper requires a set
+    /// of *distinct* pattern strings).
+    DuplicatePattern(usize, usize),
+    /// The dictionary itself is empty.
+    EmptyDictionary,
+    /// A constraint specific to one matcher (e.g. equal lengths for §7).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::EmptyPattern(i) => write!(f, "pattern {i} is empty"),
+            BuildError::DuplicatePattern(i, j) => {
+                write!(f, "patterns {i} and {j} are identical")
+            }
+            BuildError::EmptyDictionary => write!(f, "dictionary has no patterns"),
+            BuildError::Unsupported(s) => write!(f, "unsupported dictionary: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Check the paper's dictionary invariants: non-empty set of non-empty,
+/// pairwise-distinct patterns. Returns `(M, m)` — total and maximum length.
+pub fn validate_dictionary(patterns: &[Vec<Sym>]) -> Result<(usize, usize), BuildError> {
+    if patterns.is_empty() {
+        return Err(BuildError::EmptyDictionary);
+    }
+    let mut total = 0usize;
+    let mut maxlen = 0usize;
+    let mut seen: pdm_primitives::FxHashMap<&[Sym], usize> = Default::default();
+    for (i, p) in patterns.iter().enumerate() {
+        if p.is_empty() {
+            return Err(BuildError::EmptyPattern(i));
+        }
+        if let Some(&j) = seen.get(p.as_slice()) {
+            return Err(BuildError::DuplicatePattern(j, i));
+        }
+        seen.insert(p.as_slice(), i);
+        total += p.len();
+        maxlen = maxlen.max(p.len());
+    }
+    Ok((total, maxlen))
+}
+
+/// Convert a `&str` to symbols (one per byte). Convenience for examples and
+/// tests; real workloads come from `pdm-textgen`.
+pub fn to_symbols(s: &str) -> Vec<Sym> {
+    s.bytes().map(Sym::from).collect()
+}
+
+/// Convert several `&str`s to a dictionary.
+pub fn symbolize(strs: &[&str]) -> Vec<Vec<Sym>> {
+    strs.iter().map(|s| to_symbols(s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_good_dictionary() {
+        let d = symbolize(&["ab", "abc", "b"]);
+        assert_eq!(validate_dictionary(&d), Ok((6, 3)));
+    }
+
+    #[test]
+    fn rejects_empty_dictionary() {
+        assert_eq!(validate_dictionary(&[]), Err(BuildError::EmptyDictionary));
+    }
+
+    #[test]
+    fn rejects_empty_pattern() {
+        let d = vec![to_symbols("a"), vec![]];
+        assert_eq!(validate_dictionary(&d), Err(BuildError::EmptyPattern(1)));
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let d = symbolize(&["xy", "z", "xy"]);
+        assert_eq!(
+            validate_dictionary(&d),
+            Err(BuildError::DuplicatePattern(0, 2))
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            BuildError::DuplicatePattern(0, 2).to_string(),
+            "patterns 0 and 2 are identical"
+        );
+    }
+}

@@ -1,0 +1,738 @@
+//! Two-dimensional dictionary matching (paper §5, Theorem 6).
+//!
+//! The dictionary is a set of square patterns; the output, for each text
+//! cell, is the pattern of largest side whose square matches with its
+//! top-left corner there.
+//!
+//! Two pieces, both from the paper's toolbox:
+//!
+//! * [`prefix_names_2d`] — **Lemma 1**: 2-D prefix naming by row
+//!   prefix-naming followed by column prefix-naming of the row-name arrays.
+//!   Names agree iff rectangle prefixes agree.
+//! * [`Dict2DMatcher`] — the matcher. Where the paper recurses with 2×2
+//!   shrinks, `P ∪ P^r ∪ P^c` strips and odd/even unwinding, we use the
+//!   equivalent **dyadic square certificate** form of the same primitive
+//!   (KMR names + namestamped extension checks; DESIGN.md §4.4): an `s×s`
+//!   square is identified by the names of its four overlapping
+//!   `2^⌊log₂ s⌋` corner subsquares; "some `s×s` square-prefix of a
+//!   dictionary pattern matches at `(i,j)`" is monotone decreasing in `s`
+//!   (the `(s−1)`-square-prefix of the same pattern also matches), so each
+//!   text cell binary-searches its largest `s` with `O(1)` namestamp checks
+//!   per probe.
+//!
+//! Text bounds match the paper (`O(log m)` time, `O(n log m)` work);
+//! dictionary preprocessing is `O(M log m)` here versus the paper's `O(M)`
+//! — the one asymptotic deviation in this reproduction, measured and
+//! reported in EXPERIMENTS.md (E6).
+//!
+//! ```
+//! use pdm_core::dict2d::{Dict2DMatcher, Grid2};
+//! use pdm_pram::Ctx;
+//!
+//! let ctx = Ctx::seq();
+//! let pattern = Grid2::new(2, 2, vec![1, 2, 3, 4]);
+//! let m = Dict2DMatcher::build(&ctx, &[pattern]).unwrap();
+//! let text = Grid2::new(3, 3, vec![0, 0, 0, 0, 1, 2, 0, 3, 4]);
+//! let out = m.match_grid(&ctx, &text);
+//! assert_eq!(out.at(1, 1), Some(0)); // the 2×2 pattern sits at (1,1)
+//! assert_eq!(out.at(0, 0), None);
+//! ```
+
+use crate::dict::{BuildError, PatId, Sym};
+use pdm_naming::{NamePool, NameTable, IDENTITY};
+use pdm_primitives::FxHashMap;
+use pdm_pram::{floor_log2, Ctx};
+use std::sync::Arc;
+
+/// Row-major 2-D array of symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grid2 {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<Sym>,
+}
+
+impl Grid2 {
+    pub fn new(rows: usize, cols: usize, data: Vec<Sym>) -> Self {
+        assert_eq!(rows * cols, data.len());
+        Grid2 { rows, cols, data }
+    }
+
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Sym) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for k in 0..rows * cols {
+            data.push(f(k / cols, k % cols));
+        }
+        Grid2 { rows, cols, data }
+    }
+
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> Sym {
+        self.data[r * self.cols + c]
+    }
+
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+}
+
+/// Lemma 1: prefix names for every rectangle prefix `g[0..i+1, 0..j+1]`.
+///
+/// Step one prefix-names each row (left-chain shape — fixed per column
+/// index, so names are comparable across grids sharing the tables); step
+/// two prefix-names each *column of row names*. The returned `names[i][j]`
+/// identifies the rectangle prefix: equal across grids iff the rectangle
+/// contents are equal (Lemma 1's proof verbatim).
+#[allow(clippy::needless_range_loop)] // parallel-array indexing is the clearer shape here
+pub fn prefix_names_2d(g: &Grid2, row_chain: &NameTable, col_chain: &NameTable) -> Vec<Vec<u32>> {
+    let mut row_names = vec![vec![IDENTITY; g.cols]; g.rows];
+    for i in 0..g.rows {
+        let mut cur = IDENTITY;
+        for j in 0..g.cols {
+            cur = row_chain.name(cur, g.at(i, j));
+            row_names[i][j] = cur;
+        }
+    }
+    let mut out = vec![vec![IDENTITY; g.cols]; g.rows];
+    for j in 0..g.cols {
+        let mut cur = IDENTITY;
+        for (i, row) in row_names.iter().enumerate() {
+            cur = col_chain.name(cur, row[j]);
+            out[i][j] = cur;
+        }
+    }
+    out
+}
+
+/// Sentinel for text blocks unseen in the dictionary.
+const UNKNOWN: u32 = u32::MAX - 1;
+
+/// 2-D square-dictionary matcher (Theorem 6).
+#[derive(Debug)]
+pub struct Dict2DMatcher {
+    /// `⌊log₂ max-side⌋`.
+    levels: usize,
+    max_side: usize,
+    n_patterns: usize,
+    total_cells: usize,
+    sym: NameTable,
+    /// `quad[k-1]`: level-`k` block names from four level-`k−1` quadrant
+    /// names (chained 4-tuple namestamp).
+    quad: Vec<NameTable>,
+    /// Certificate table: `(n00, n01, n10, n11, s)` chained → cert name.
+    cert: NameTable,
+    /// cert name → best full pattern `(id, side)` with side ≤ s whose square
+    /// prefixes agree (the 2-D analogue of Theorem 2's table).
+    best: FxHashMap<u32, (PatId, u32)>,
+    #[allow(dead_code)]
+    pool: Arc<NamePool>,
+}
+
+/// Output: per text cell, the largest-side pattern matching there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Match2DOutput {
+    pub rows: usize,
+    pub cols: usize,
+    /// Largest matching square-prefix side per cell (0 = none).
+    pub prefix_side: Vec<u32>,
+    pub largest_pattern: Vec<Option<PatId>>,
+    pub largest_pattern_side: Vec<u32>,
+}
+
+impl Match2DOutput {
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> Option<PatId> {
+        self.largest_pattern[r * self.cols + c]
+    }
+}
+
+impl Dict2DMatcher {
+    /// Preprocess a dictionary of distinct square patterns.
+    pub fn build(ctx: &Ctx, patterns: &[Grid2]) -> Result<Self, BuildError> {
+        if patterns.is_empty() {
+            return Err(BuildError::EmptyDictionary);
+        }
+        let mut seen: FxHashMap<&[Sym], usize> = FxHashMap::default();
+        for (i, p) in patterns.iter().enumerate() {
+            if !p.is_square() {
+                return Err(BuildError::Unsupported(format!("pattern {i} is not square")));
+            }
+            if p.rows == 0 {
+                return Err(BuildError::EmptyPattern(i));
+            }
+            if let Some(&j) = seen.get(p.data.as_slice()) {
+                return Err(BuildError::DuplicatePattern(j, i));
+            }
+            seen.insert(&p.data, i);
+        }
+        let max_side = patterns.iter().map(|p| p.rows).max().unwrap();
+        let levels = floor_log2(max_side) as usize;
+        let total_cells: usize = patterns.iter().map(|p| p.data.len()).sum();
+        let pool = NamePool::dictionary();
+        let sym = NameTable::with_capacity(total_cells, pool.clone());
+        let quad: Vec<NameTable> = (0..levels)
+            .map(|_| NameTable::with_capacity(3 * total_cells.max(1), pool.clone()))
+            .collect();
+        let cert = NameTable::with_capacity(
+            8 * patterns.iter().map(|p| p.rows).sum::<usize>().max(1),
+            pool.clone(),
+        );
+
+        // Level names at every pattern cell where the block fits.
+        // lvls[p][k] is a (side−2^k+1)² row-major array.
+        let lvls: Vec<Vec<Vec<u32>>> = ctx.map(patterns.len(), |pi| {
+            let p = &patterns[pi];
+            let side = p.rows;
+            let mut per: Vec<Vec<u32>> = Vec::with_capacity(levels + 1);
+            per.push(p.data.iter().map(|&c| sym.name(c, 0)).collect());
+            for k in 1..=levels {
+                let h = 1usize << (k - 1);
+                let dim_prev = side + 1 - h;
+                let dim = side.saturating_sub((1 << k) - 1);
+                let prev = &per[k - 1];
+                let mut cur = Vec::with_capacity(dim * dim);
+                for i in 0..dim {
+                    for j in 0..dim {
+                        cur.push(quad[k - 1].name_tuple(&[
+                            prev[i * dim_prev + j],
+                            prev[i * dim_prev + j + h],
+                            prev[(i + h) * dim_prev + j],
+                            prev[(i + h) * dim_prev + j + h],
+                        ]));
+                    }
+                }
+                per.push(cur);
+            }
+            per
+        });
+        ctx.cost.work((total_cells * (levels + 1)) as u64);
+
+        // Certificates per (pattern, s); full-pattern marks; best ≤ s scan.
+        let cert_of = |pi: usize, s: usize| -> u32 {
+            let p = &patterns[pi];
+            let k = floor_log2(s) as usize;
+            let h = s - (1 << k);
+            let dim = p.rows + 1 - (1 << k);
+            let lv = &lvls[pi][k];
+            cert.name_tuple(&[
+                lv[0],
+                lv[h],
+                lv[h * dim],
+                lv[h * dim + h],
+                s as u32,
+            ])
+        };
+        let mut full: FxHashMap<u32, PatId> = FxHashMap::default();
+        for (pi, p) in patterns.iter().enumerate() {
+            let c = cert_of(pi, p.rows);
+            full.entry(c).or_insert(pi as PatId);
+        }
+        let mut best: FxHashMap<u32, (PatId, u32)> = FxHashMap::default();
+        for (pi, p) in patterns.iter().enumerate() {
+            let mut last: Option<(PatId, u32)> = None;
+            for s in 1..=p.rows {
+                let c = cert_of(pi, s);
+                if let Some(&pid) = full.get(&c) {
+                    last = Some((pid, s as u32));
+                }
+                if let Some(v) = last {
+                    best.insert(c, v);
+                }
+            }
+        }
+        ctx.cost.rounds(
+            (floor_log2(max_side) + 1) as u64,
+            patterns.iter().map(|p| p.rows).sum::<usize>() as u64,
+        );
+
+        Ok(Dict2DMatcher {
+            levels,
+            max_side,
+            n_patterns: patterns.len(),
+            total_cells,
+            sym,
+            quad,
+            cert,
+            best,
+            pool,
+        })
+    }
+
+    pub fn max_side(&self) -> usize {
+        self.max_side
+    }
+
+    pub fn n_patterns(&self) -> usize {
+        self.n_patterns
+    }
+
+    pub fn dictionary_cells(&self) -> usize {
+        self.total_cells
+    }
+
+    /// Match a text grid: `O(log m)` time, `O(n log m)` work.
+    pub fn match_grid(&self, ctx: &Ctx, text: &Grid2) -> Match2DOutput {
+        let (rows, cols) = (text.rows, text.cols);
+        let n = rows * cols;
+        let mut out = Match2DOutput {
+            rows,
+            cols,
+            prefix_side: vec![0; n],
+            largest_pattern: vec![None; n],
+            largest_pattern_side: vec![0; n],
+        };
+        if n == 0 {
+            return out;
+        }
+        let tl = TextLevels::build(ctx, self, text);
+        let results: Vec<(u32, Option<(PatId, u32)>)> = ctx.map(n, |idx| {
+            let (i, j) = (idx / cols, idx % cols);
+            let (side, cert) = tl.largest_prefix(i, j);
+            (side, cert.and_then(|c| self.best.get(&c).copied()))
+        });
+        for (idx, (side, bp)) in results.into_iter().enumerate() {
+            out.prefix_side[idx] = side;
+            if let Some((pid, ps)) = bp {
+                out.largest_pattern[idx] = Some(pid);
+                out.largest_pattern_side[idx] = ps;
+            }
+        }
+        out
+    }
+
+    /// All patterns matching at every cell, largest side first (the 2-D
+    /// analogue of the §2 all-matches remark). Output-linear beyond the
+    /// per-cell binary search: each further pattern costs one certificate
+    /// lookup via the best-≤-s chain.
+    pub fn match_grid_all(&self, ctx: &Ctx, text: &Grid2) -> AllMatches2D {
+        let (rows, cols) = (text.rows, text.cols);
+        let n = rows * cols;
+        if n == 0 {
+            return AllMatches2D {
+                rows,
+                cols,
+                offsets: vec![0],
+                entries: Vec::new(),
+            };
+        }
+        let tl = TextLevels::build(ctx, self, text);
+        let per_cell: Vec<Vec<(PatId, u32)>> = ctx.map(n, |idx| {
+            let (i, j) = (idx / cols, idx % cols);
+            let (side, _) = tl.largest_prefix(i, j);
+            let mut s = side as usize;
+            let mut v = Vec::new();
+            // Chain downward: best(cert(s)) is the largest pattern ≤ s;
+            // every matching pattern appears once, in decreasing side.
+            while s >= 1 {
+                let c = tl.check(i, j, s).expect("monotone: s ≤ largest prefix");
+                match self.best.get(&c) {
+                    Some(&(pid, ps)) => {
+                        v.push((pid, ps));
+                        s = ps as usize - 1;
+                    }
+                    None => break,
+                }
+            }
+            v
+        });
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut entries = Vec::new();
+        offsets.push(0u64);
+        for v in per_cell {
+            entries.extend(v);
+            offsets.push(entries.len() as u64);
+        }
+        ctx.cost.round(entries.len() as u64);
+        AllMatches2D {
+            rows,
+            cols,
+            offsets,
+            entries,
+        }
+    }
+}
+
+/// CSR-style all-matches output for grids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllMatches2D {
+    pub rows: usize,
+    pub cols: usize,
+    pub offsets: Vec<u64>,
+    /// `(pattern, side)` pairs, largest side first within each cell.
+    pub entries: Vec<(PatId, u32)>,
+}
+
+impl AllMatches2D {
+    /// Patterns matching with their top-left corner at `(r, c)`.
+    pub fn at(&self, r: usize, c: usize) -> &[(PatId, u32)] {
+        let i = r * self.cols + c;
+        &self.entries[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    pub fn total(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Per-text level names + certificate checks, shared by the match entry
+/// points. Text blocks unseen in the dictionary collapse to `UNKNOWN`.
+struct TextLevels<'a> {
+    matcher: &'a Dict2DMatcher,
+    rows: usize,
+    cols: usize,
+    kt: usize,
+    lvls: Vec<Vec<u32>>,
+}
+
+impl<'a> TextLevels<'a> {
+    fn build(ctx: &Ctx, matcher: &'a Dict2DMatcher, text: &Grid2) -> Self {
+        let (rows, cols) = (text.rows, text.cols);
+        let n = rows * cols;
+        let kt = matcher
+            .levels
+            .min(floor_log2(rows.min(cols).max(1)) as usize);
+        let mut lvls: Vec<Vec<u32>> = Vec::with_capacity(kt + 1);
+        lvls.push(ctx.map(n, |idx| {
+            matcher.sym.lookup(text.data[idx], 0).unwrap_or(UNKNOWN)
+        }));
+        for k in 1..=kt {
+            let h = 1usize << (k - 1);
+            let span = 1usize << k;
+            let dim_r = rows + 1 - span;
+            let dim_c = cols + 1 - span;
+            let prev_c = cols + 1 - h;
+            let prev = &lvls[k - 1];
+            let q = &matcher.quad[k - 1];
+            let cur = ctx.map(dim_r * dim_c, |idx| {
+                let (i, j) = (idx / dim_c, idx % dim_c);
+                let a = prev[i * prev_c + j];
+                let b = prev[i * prev_c + j + h];
+                let c = prev[(i + h) * prev_c + j];
+                let d = prev[(i + h) * prev_c + j + h];
+                if a == UNKNOWN || b == UNKNOWN || c == UNKNOWN || d == UNKNOWN {
+                    return UNKNOWN;
+                }
+                q.lookup_tuple(&[a, b, c, d]).unwrap_or(UNKNOWN)
+            });
+            lvls.push(cur);
+        }
+        TextLevels {
+            matcher,
+            rows,
+            cols,
+            kt,
+            lvls,
+        }
+    }
+
+    /// Certificate of the `s×s` square at `(i, j)` if some pattern's
+    /// square-prefix matches there.
+    fn check(&self, i: usize, j: usize, s: usize) -> Option<u32> {
+        let k = floor_log2(s) as usize;
+        if k > self.kt {
+            return None;
+        }
+        let h = s - (1 << k);
+        let span = 1usize << k;
+        let dim_c = self.cols + 1 - span;
+        let lv = &self.lvls[k];
+        let g = |r: usize, c: usize| lv[r * dim_c + c];
+        let (a, b, c_, d) = (g(i, j), g(i, j + h), g(i + h, j), g(i + h, j + h));
+        if a == UNKNOWN || b == UNKNOWN || c_ == UNKNOWN || d == UNKNOWN {
+            return None;
+        }
+        self.matcher.cert.lookup_tuple(&[a, b, c_, d, s as u32])
+    }
+
+    /// Binary search the largest matching square-prefix side at `(i, j)`.
+    fn largest_prefix(&self, i: usize, j: usize) -> (u32, Option<u32>) {
+        let cap = self
+            .matcher
+            .max_side
+            .min(self.rows - i)
+            .min(self.cols - j);
+        let (mut lo, mut hi) = (0usize, cap);
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if self.check(i, j, mid).is_some() {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        if lo == 0 {
+            (0, None)
+        } else {
+            (lo as u32, self.check(i, j, lo))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_baselines::naive;
+
+    fn to_naive(g: &Grid2) -> naive::Grid {
+        naive::Grid::new(g.rows, g.cols, g.data.clone())
+    }
+
+    fn check(patterns: &[Grid2], text: &Grid2, tag: &str) {
+        let ctx = Ctx::seq();
+        let m = Dict2DMatcher::build(&ctx, patterns).expect("build");
+        let got: Vec<Option<usize>> = m
+            .match_grid(&ctx, text)
+            .largest_pattern
+            .into_iter()
+            .map(|o| o.map(|p| p as usize))
+            .collect();
+        let np: Vec<naive::Grid> = patterns.iter().map(to_naive).collect();
+        let want = naive::largest_square_pattern_per_cell(&np, &to_naive(text));
+        assert_eq!(got, want, "{tag}");
+    }
+
+    #[test]
+    fn lemma1_prefix_names_2d() {
+        let pool = NamePool::dictionary();
+        let rc = NameTable::with_capacity(4096, pool.clone());
+        let cc = NameTable::with_capacity(4096, pool.clone());
+        let a = Grid2::from_fn(4, 4, |i, j| ((i * 5 + j) % 3) as u32);
+        let b = Grid2::from_fn(3, 5, |i, j| {
+            if i < 3 && j < 3 {
+                ((i * 5 + j) % 3) as u32 // shares a's 3x3 top-left corner
+            } else {
+                9
+            }
+        });
+        let na = prefix_names_2d(&a, &rc, &cc);
+        let nb = prefix_names_2d(&b, &rc, &cc);
+        // Equal rectangle prefixes get equal names...
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(na[i][j], nb[i][j], "({i},{j})");
+            }
+        }
+        // ...and differing ones differ.
+        assert_ne!(na[2][3], nb[2][3]);
+        // Injectivity across all rectangles of both grids.
+        let mut seen: FxHashMap<u32, (usize, usize, usize, Vec<u32>)> = FxHashMap::default();
+        for (gi, (g, names)) in [(&a, &na), (&b, &nb)].iter().enumerate() {
+            for i in 0..g.rows {
+                for j in 0..g.cols {
+                    let mut content = Vec::new();
+                    for r in 0..=i {
+                        for c in 0..=j {
+                            content.push(g.at(r, c));
+                        }
+                    }
+                    if let Some(prev) = seen.get(&names[i][j]) {
+                        assert_eq!((prev.1, prev.2), (i, j), "dims must agree");
+                        assert_eq!(prev.3, content, "name collision g{gi}");
+                    } else {
+                        seen.insert(names[i][j], (gi, i, j, content));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_cell_patterns() {
+        let pats = vec![
+            Grid2::new(1, 1, vec![5]),
+            Grid2::new(1, 1, vec![7]),
+        ];
+        let text = Grid2::new(2, 3, vec![5, 7, 5, 0, 7, 7]);
+        check(&pats, &text, "1x1");
+    }
+
+    #[test]
+    fn planted_multi_size() {
+        let p1 = Grid2::from_fn(2, 2, |i, j| (i * 2 + j) as u32 + 1);
+        let p3 = Grid2::from_fn(3, 3, |i, j| {
+            if i < 2 && j < 2 {
+                (i * 2 + j) as u32 + 1 // p1 is p3's square prefix!
+            } else {
+                (10 + i + j) as u32
+            }
+        });
+        let mut text = Grid2::from_fn(8, 8, |_, _| 0);
+        for i in 0..3 {
+            for j in 0..3 {
+                text.data[(2 + i) * 8 + (4 + j)] = p3.at(i, j);
+            }
+        }
+        check(&[p1, p3], &text, "nested-sizes");
+    }
+
+    #[test]
+    fn uniform_grid_overlaps() {
+        let pats = vec![
+            Grid2::from_fn(1, 1, |_, _| 3),
+            Grid2::from_fn(2, 2, |_, _| 3),
+            Grid2::from_fn(4, 4, |_, _| 3),
+        ];
+        let text = Grid2::from_fn(6, 6, |_, _| 3);
+        check(&pats, &text, "uniform");
+    }
+
+    #[test]
+    fn randomized_against_naive() {
+        use pdm_textgen::{grid, strings, Alphabet};
+        for seed in 0..8 {
+            let mut r = strings::rng(seed);
+            let mut t = grid::random_grid(&mut r, Alphabet::Dna, 24, 24);
+            let pats = grid::excerpt_square_dictionary(&mut r, &t, 6, 1, 7);
+            grid::plant_squares(&mut r, &mut t, &pats, 5);
+            let g_pats: Vec<Grid2> = pats
+                .iter()
+                .map(|g| Grid2::new(g.rows, g.cols, g.data.clone()))
+                .collect();
+            let g_text = Grid2::new(t.rows, t.cols, t.data.clone());
+            check(&g_pats, &g_text, &format!("rand-{seed}"));
+        }
+    }
+
+    #[test]
+    fn text_smaller_than_patterns() {
+        let p = Grid2::from_fn(4, 4, |_, _| 1);
+        let text = Grid2::from_fn(2, 2, |_, _| 1);
+        check(&[p], &text, "small-text");
+    }
+
+    #[test]
+    fn non_square_pattern_rejected() {
+        let ctx = Ctx::seq();
+        let p = Grid2::new(1, 2, vec![1, 2]);
+        assert!(Dict2DMatcher::build(&ctx, &[p]).is_err());
+    }
+
+    #[test]
+    fn duplicate_pattern_rejected() {
+        let ctx = Ctx::seq();
+        let p = Grid2::new(1, 1, vec![1]);
+        assert!(Dict2DMatcher::build(&ctx, &[p.clone(), p]).is_err());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        use pdm_textgen::{grid, strings, Alphabet};
+        let mut r = strings::rng(42);
+        let mut t = grid::random_grid(&mut r, Alphabet::Letters, 48, 48);
+        let pats = grid::excerpt_square_dictionary(&mut r, &t, 8, 2, 9);
+        grid::plant_squares(&mut r, &mut t, &pats, 10);
+        let g_pats: Vec<Grid2> = pats
+            .iter()
+            .map(|g| Grid2::new(g.rows, g.cols, g.data.clone()))
+            .collect();
+        let g_text = Grid2::new(t.rows, t.cols, t.data.clone());
+        let ctx = Ctx::seq();
+        let m = Dict2DMatcher::build(&ctx, &g_pats).unwrap();
+        let a = m.match_grid(&Ctx::seq(), &g_text);
+        let b = m.match_grid(&Ctx::par(), &g_text);
+        assert_eq!(a, b);
+    }
+
+    /// Oracle: every pattern matching at every cell.
+    fn naive_all(patterns: &[Grid2], text: &Grid2) -> Vec<Vec<(usize, u32)>> {
+        let mut out = vec![Vec::new(); text.rows * text.cols];
+        for r in 0..text.rows {
+            for c in 0..text.cols {
+                let mut v: Vec<(usize, u32)> = patterns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| {
+                        r + p.rows <= text.rows
+                            && c + p.cols <= text.cols
+                            && (0..p.rows).all(|i| {
+                                (0..p.cols).all(|j| text.at(r + i, c + j) == p.at(i, j))
+                            })
+                    })
+                    .map(|(pi, p)| (pi, p.rows as u32))
+                    .collect();
+                v.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
+                out[r * text.cols + c] = v;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn all_matches_2d_nested_sizes() {
+        // Patterns where smaller ones are square-prefixes of bigger ones.
+        let p1 = Grid2::new(1, 1, vec![1]);
+        let p2 = Grid2::new(2, 2, vec![1, 2, 3, 4]);
+        let p3 = Grid2::from_fn(3, 3, |i, j| if i < 2 && j < 2 { p2_at(i, j) } else { 9 });
+        fn p2_at(i: usize, j: usize) -> u32 {
+            [[1, 2], [3, 4]][i][j]
+        }
+        let mut text = Grid2::from_fn(6, 6, |_, _| 0);
+        for i in 0..3 {
+            for j in 0..3 {
+                text.data[(1 + i) * 6 + (2 + j)] = p3.at(i, j);
+            }
+        }
+        let pats = vec![p1, p2, p3];
+        let ctx = Ctx::seq();
+        let m = Dict2DMatcher::build(&ctx, &pats).unwrap();
+        let all = m.match_grid_all(&ctx, &text);
+        let want = naive_all(&pats, &text);
+        for r in 0..6 {
+            for c in 0..6 {
+                let got: Vec<(usize, u32)> = all
+                    .at(r, c)
+                    .iter()
+                    .map(|&(p, s)| (p as usize, s))
+                    .collect();
+                assert_eq!(got, want[r * 6 + c], "cell ({r},{c})");
+            }
+        }
+        // At the plant site all three nest.
+        assert_eq!(all.at(1, 2).len(), 3);
+        assert_eq!(all.total(), want.iter().map(Vec::len).sum::<usize>());
+    }
+
+    #[test]
+    fn all_matches_2d_randomized() {
+        use pdm_textgen::{grid, strings, Alphabet};
+        for seed in 0..5 {
+            let mut r = strings::rng(seed);
+            let mut t = grid::random_grid(&mut r, Alphabet::Binary, 14, 14);
+            let pats = grid::excerpt_square_dictionary(&mut r, &t, 5, 1, 4);
+            grid::plant_squares(&mut r, &mut t, &pats, 4);
+            let g_pats: Vec<Grid2> = pats
+                .iter()
+                .map(|g| Grid2::new(g.rows, g.cols, g.data.clone()))
+                .collect();
+            let text = Grid2::new(t.rows, t.cols, t.data.clone());
+            let ctx = Ctx::seq();
+            let m = Dict2DMatcher::build(&ctx, &g_pats).unwrap();
+            let all = m.match_grid_all(&ctx, &text);
+            let want = naive_all(&g_pats, &text);
+            for rr in 0..text.rows {
+                for cc in 0..text.cols {
+                    let got: Vec<(usize, u32)> = all
+                        .at(rr, cc)
+                        .iter()
+                        .map(|&(p, s)| (p as usize, s))
+                        .collect();
+                    assert_eq!(got, want[rr * text.cols + cc], "seed {seed} ({rr},{cc})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_side_is_largest_matching_square_prefix() {
+        let p = Grid2::new(2, 2, vec![1, 2, 3, 4]);
+        let mut text = Grid2::from_fn(4, 4, |_, _| 0);
+        // Plant only the top row of p at (0,0): 1x1 prefix matches, 2x2 not.
+        text.data[0] = 1;
+        text.data[1] = 2;
+        let ctx = Ctx::seq();
+        let m = Dict2DMatcher::build(&ctx, &[p]).unwrap();
+        let out = m.match_grid(&ctx, &text);
+        assert_eq!(out.prefix_side[0], 1);
+        assert_eq!(out.largest_pattern[0], None); // 1x1 prefix isn't a pattern
+    }
+}

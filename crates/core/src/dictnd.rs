@@ -1,0 +1,575 @@
+//! d-dimensional dictionary matching (paper §5: "Extensions to
+//! d-dimensional dictionary matching for a fixed d are straightforward").
+//!
+//! Generalizes the 2-D matcher ([`crate::dict2d`]) to hypercube patterns in
+//! any fixed dimension `d`: a `s^d` cube is identified by the names of its
+//! `2^d` overlapping `2^⌊log₂ s⌋` corner subcubes; "some `s`-cube-prefix of
+//! a dictionary pattern matches at `x`" is monotone decreasing in `s`, so
+//! each text position binary-searches its largest `s` with one
+//! `2^d`-way namestamp per probe. For fixed `d` the constants are `O(2^d)`:
+//! text `O(log m)` time, `O(n·2^d·log m)` work.
+//!
+//! ```
+//! use pdm_core::dictnd::DictNdMatcher;
+//! use pdm_core::multidim::Tensor;
+//! use pdm_pram::Ctx;
+//!
+//! let ctx = Ctx::seq();
+//! let cube = Tensor::from_fn(vec![2, 2, 2], |_| 7);
+//! let m = DictNdMatcher::build(&ctx, &[cube]).unwrap();
+//! let text = Tensor::from_fn(vec![3, 3, 3], |_| 7);
+//! let out = m.match_tensor(&ctx, &text);
+//! assert_eq!(out.largest_pattern[0], Some(0)); // fits at the origin
+//! ```
+
+#![allow(clippy::needless_range_loop)] // corner masks index parallel buffers
+
+use crate::dict::{BuildError, PatId, Sym};
+use crate::multidim::Tensor;
+use pdm_naming::{NamePool, NameTable};
+use pdm_primitives::FxHashMap;
+use pdm_pram::{floor_log2, Ctx};
+
+/// Sentinel for text blocks unseen in the dictionary.
+const UNKNOWN: u32 = u32::MAX - 1;
+
+/// d-dimensional cube-dictionary matcher.
+#[derive(Debug)]
+pub struct DictNdMatcher {
+    ndim: usize,
+    levels: usize,
+    max_side: usize,
+    n_patterns: usize,
+    total_cells: usize,
+    sym: NameTable,
+    /// `corner[k-1]`: level-`k` names from `2^d` level-`k−1` corner names.
+    corner: Vec<NameTable>,
+    /// `(2^d corner names …, s)` chained → certificate name.
+    cert: NameTable,
+    /// certificate → best full pattern `(id, side)` with side ≤ s.
+    best: FxHashMap<u32, (PatId, u32)>,
+}
+
+/// Output: flattened per text position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchNdOutput {
+    pub dims: Vec<usize>,
+    /// Largest matching cube-prefix side per position (0 = none).
+    pub prefix_side: Vec<u32>,
+    pub largest_pattern: Vec<Option<PatId>>,
+    pub largest_pattern_side: Vec<u32>,
+}
+
+/// Per-level geometry of a tensor: the region where a `2^k` cube fits.
+struct LevelGeom {
+    dims: Vec<usize>,
+    strides: Vec<usize>,
+}
+
+impl LevelGeom {
+    fn new(base: &[usize], span: usize) -> Option<Self> {
+        let mut dims = Vec::with_capacity(base.len());
+        for &d in base {
+            if d < span {
+                return None;
+            }
+            dims.push(d + 1 - span);
+        }
+        let mut strides = vec![1usize; dims.len()];
+        for ax in (0..dims.len().saturating_sub(1)).rev() {
+            strides[ax] = strides[ax + 1] * dims[ax + 1];
+        }
+        Some(LevelGeom { dims, strides })
+    }
+
+    fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+}
+
+impl DictNdMatcher {
+    /// Preprocess a dictionary of distinct `d`-dimensional hypercubes.
+    pub fn build(ctx: &Ctx, patterns: &[Tensor]) -> Result<Self, BuildError> {
+        if patterns.is_empty() {
+            return Err(BuildError::EmptyDictionary);
+        }
+        let ndim = patterns[0].ndim();
+        if ndim > 4 {
+            // Fixed small d, as in the paper; the corner tuples use
+            // stack-allocated 2^d buffers.
+            return Err(BuildError::Unsupported(format!(
+                "dimension {ndim} > 4 not supported"
+            )));
+        }
+        let mut seen: FxHashMap<&[Sym], usize> = FxHashMap::default();
+        for (i, p) in patterns.iter().enumerate() {
+            if p.ndim() != ndim {
+                return Err(BuildError::Unsupported(format!(
+                    "pattern {i} has {} dims, expected {ndim}",
+                    p.ndim()
+                )));
+            }
+            let side = p.dims[0];
+            if p.dims.iter().any(|&d| d != side) {
+                return Err(BuildError::Unsupported(format!("pattern {i} is not a cube")));
+            }
+            if side == 0 {
+                return Err(BuildError::EmptyPattern(i));
+            }
+            if let Some(&j) = seen.get(p.data.as_slice()) {
+                return Err(BuildError::DuplicatePattern(j, i));
+            }
+            seen.insert(&p.data, i);
+        }
+        let max_side = patterns.iter().map(|p| p.dims[0]).max().unwrap();
+        let levels = floor_log2(max_side) as usize;
+        let total_cells: usize = patterns.iter().map(Tensor::len).sum();
+        let pool = NamePool::dictionary();
+        let sym = NameTable::with_capacity(total_cells, pool.clone());
+        let corners = 1usize << ndim;
+        let corner: Vec<NameTable> = (0..levels)
+            .map(|_| NameTable::with_capacity((corners * total_cells).max(1), pool.clone()))
+            .collect();
+        let cert = NameTable::with_capacity(
+            (2 * corners * patterns.iter().map(|p| p.dims[0]).sum::<usize>()).max(1),
+            pool.clone(),
+        );
+
+        // Level names at every pattern position where the block fits.
+        let lvls: Vec<Vec<Vec<u32>>> = ctx.map(patterns.len(), |pi| {
+            let p = &patterns[pi];
+            let mut per: Vec<Vec<u32>> = Vec::with_capacity(levels + 1);
+            per.push(p.data.iter().map(|&c| sym.name(c, 0)).collect());
+            for k in 1..=levels {
+                let h = 1usize << (k - 1);
+                let Some(geom) = LevelGeom::new(&p.dims, 1 << k) else {
+                    per.push(Vec::new());
+                    continue;
+                };
+                let prev_geom = LevelGeom::new(&p.dims, h).expect("smaller span fits");
+                let prev = &per[k - 1];
+                let cur = cube_names(&geom, &prev_geom, prev, h, ndim, |t| {
+                    corner[k - 1].name_tuple(t)
+                });
+                per.push(cur);
+            }
+            per
+        });
+        ctx.cost.work((total_cells * (levels + 1)) as u64);
+
+        // Certificates per (pattern, s) and best-pattern attribution.
+        let cert_of = |pi: usize, s: usize| -> u32 {
+            let p = &patterns[pi];
+            let k = floor_log2(s) as usize;
+            let h = s - (1 << k);
+            let geom = LevelGeom::new(&p.dims, 1 << k).expect("fits");
+            let lv = &lvls[pi][k];
+            let mut tup = Vec::with_capacity((1 << ndim) + 1);
+            for mask in 0..1usize << ndim {
+                let mut off = 0usize;
+                for ax in 0..ndim {
+                    if mask & (1 << ax) != 0 {
+                        off += h * geom.strides[ax];
+                    }
+                }
+                tup.push(lv[off]);
+            }
+            tup.push(s as u32);
+            cert.name_tuple(&tup)
+        };
+        let mut full: FxHashMap<u32, PatId> = FxHashMap::default();
+        for (pi, p) in patterns.iter().enumerate() {
+            full.entry(cert_of(pi, p.dims[0])).or_insert(pi as PatId);
+        }
+        let mut best: FxHashMap<u32, (PatId, u32)> = FxHashMap::default();
+        for (pi, p) in patterns.iter().enumerate() {
+            let mut last: Option<(PatId, u32)> = None;
+            for s in 1..=p.dims[0] {
+                let c = cert_of(pi, s);
+                if let Some(&pid) = full.get(&c) {
+                    last = Some((pid, s as u32));
+                }
+                if let Some(v) = last {
+                    best.insert(c, v);
+                }
+            }
+        }
+        ctx.cost.rounds(
+            (floor_log2(max_side) + 1) as u64,
+            patterns.iter().map(|p| p.dims[0]).sum::<usize>() as u64,
+        );
+
+        Ok(Self {
+            ndim,
+            levels,
+            max_side,
+            n_patterns: patterns.len(),
+            total_cells,
+            sym,
+            corner,
+            cert,
+            best,
+        })
+    }
+
+    pub fn ndim(&self) -> usize {
+        self.ndim
+    }
+
+    pub fn max_side(&self) -> usize {
+        self.max_side
+    }
+
+    pub fn n_patterns(&self) -> usize {
+        self.n_patterns
+    }
+
+    pub fn dictionary_cells(&self) -> usize {
+        self.total_cells
+    }
+
+    /// Match a text tensor: largest cube pattern at every position.
+    pub fn match_tensor(&self, ctx: &Ctx, text: &Tensor) -> MatchNdOutput {
+        assert_eq!(text.ndim(), self.ndim, "dimensionality mismatch");
+        let n = text.len();
+        let mut out = MatchNdOutput {
+            dims: text.dims.clone(),
+            prefix_side: vec![0; n],
+            largest_pattern: vec![None; n],
+            largest_pattern_side: vec![0; n],
+        };
+        if n == 0 {
+            return out;
+        }
+        let min_dim = *text.dims.iter().min().unwrap();
+        let kt = self.levels.min(floor_log2(min_dim.max(1)) as usize);
+        let ndim = self.ndim;
+
+        // Text level names (lookup-only; UNKNOWN collapse).
+        let mut lvls: Vec<Vec<u32>> = Vec::with_capacity(kt + 1);
+        lvls.push(ctx.map(n, |i| self.sym.lookup(text.data[i], 0).unwrap_or(UNKNOWN)));
+        let mut geoms: Vec<LevelGeom> = vec![LevelGeom::new(&text.dims, 1).expect("unit fits")];
+        for k in 1..=kt {
+            let h = 1usize << (k - 1);
+            let geom = LevelGeom::new(&text.dims, 1 << k).expect("kt bounds");
+            let prev = &lvls[k - 1];
+            let prev_geom = &geoms[k - 1];
+            let cur = {
+                let q = &self.corner[k - 1];
+                // Parallel over output positions.
+                let strides = geom.strides.clone();
+                let dims = geom.dims.clone();
+                let pstr = prev_geom.strides.clone();
+                ctx.map(geom.len(), |idx| {
+                    // Decode idx into coordinates, compute prev base offset.
+                    let mut rem = idx;
+                    let mut base = 0usize;
+                    for ax in 0..ndim {
+                        let c = rem / strides[ax];
+                        rem %= strides[ax];
+                        base += c * pstr[ax];
+                    }
+                    let _ = &dims;
+                    let mut tup = [0u32; 16];
+                    let corners = 1usize << ndim;
+                    for mask in 0..corners {
+                        let mut off = base;
+                        for ax in 0..ndim {
+                            if mask & (1 << ax) != 0 {
+                                off += h * pstr[ax];
+                            }
+                        }
+                        let v = prev[off];
+                        if v == UNKNOWN {
+                            return UNKNOWN;
+                        }
+                        tup[mask] = v;
+                    }
+                    q.lookup_tuple(&tup[..corners]).unwrap_or(UNKNOWN)
+                })
+            };
+            lvls.push(cur);
+            geoms.push(geom);
+        }
+
+        // Per-position binary search over s.
+        let results: Vec<(u32, Option<(PatId, u32)>)> = {
+            let text_dims = text.dims.clone();
+            let mut tstrides = vec![1usize; ndim];
+            for ax in (0..ndim.saturating_sub(1)).rev() {
+                tstrides[ax] = tstrides[ax + 1] * text_dims[ax + 1];
+            }
+            let check = |coord: &[usize], s: usize| -> Option<u32> {
+                let k = floor_log2(s) as usize;
+                if k > kt {
+                    return None;
+                }
+                let h = s - (1 << k);
+                let geom = &geoms[k];
+                let lv = &lvls[k];
+                let mut base = 0usize;
+                for ax in 0..ndim {
+                    base += coord[ax] * geom.strides[ax];
+                }
+                let corners = 1usize << ndim;
+                let mut tup = [0u32; 17];
+                for mask in 0..corners {
+                    let mut off = base;
+                    for ax in 0..ndim {
+                        if mask & (1 << ax) != 0 {
+                            off += h * geom.strides[ax];
+                        }
+                    }
+                    let v = lv[off];
+                    if v == UNKNOWN {
+                        return None;
+                    }
+                    tup[mask] = v;
+                }
+                tup[corners] = s as u32;
+                self.cert.lookup_tuple(&tup[..corners + 1])
+            };
+            ctx.map(n, |idx| {
+                let mut coord = vec![0usize; ndim];
+                let mut rem = idx;
+                for ax in 0..ndim {
+                    coord[ax] = rem / tstrides[ax];
+                    rem %= tstrides[ax];
+                }
+                let cap = (0..ndim)
+                    .map(|ax| text_dims[ax] - coord[ax])
+                    .min()
+                    .unwrap()
+                    .min(self.max_side);
+                let (mut lo, mut hi) = (0usize, cap);
+                while lo < hi {
+                    let mid = (lo + hi).div_ceil(2);
+                    if check(&coord, mid).is_some() {
+                        lo = mid;
+                    } else {
+                        hi = mid - 1;
+                    }
+                }
+                if lo == 0 {
+                    (0, None)
+                } else {
+                    let c = check(&coord, lo).expect("verified");
+                    (lo as u32, self.best.get(&c).copied())
+                }
+            })
+        };
+        for (idx, (side, bp)) in results.into_iter().enumerate() {
+            out.prefix_side[idx] = side;
+            if let Some((pid, ps)) = bp {
+                out.largest_pattern[idx] = Some(pid);
+                out.largest_pattern_side[idx] = ps;
+            }
+        }
+        out
+    }
+}
+
+/// Level-`k` names over a geometry from level-`k−1` names (dictionary side,
+/// sequential per pattern — patterns parallelize across each other).
+fn cube_names(
+    geom: &LevelGeom,
+    prev_geom: &LevelGeom,
+    prev: &[u32],
+    h: usize,
+    ndim: usize,
+    mut name: impl FnMut(&[u32]) -> u32,
+) -> Vec<u32> {
+    let corners = 1usize << ndim;
+    let total = geom.len();
+    let mut out = Vec::with_capacity(total);
+    let mut tup = vec![0u32; corners];
+    for idx in 0..total {
+        let mut rem = idx;
+        let mut base = 0usize;
+        for ax in 0..ndim {
+            let c = rem / geom.strides[ax];
+            rem %= geom.strides[ax];
+            base += c * prev_geom.strides[ax];
+        }
+        for (mask, t) in tup.iter_mut().enumerate() {
+            let mut off = base;
+            for ax in 0..ndim {
+                if mask & (1 << ax) != 0 {
+                    off += h * prev_geom.strides[ax];
+                }
+            }
+            *t = prev[off];
+        }
+        out.push(name(&tup));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_textgen::{grid, strings, Alphabet};
+
+    /// Naive oracle: largest cube pattern per position.
+    fn naive_nd(patterns: &[Tensor], text: &Tensor) -> Vec<Option<usize>> {
+        let d = text.ndim();
+        (0..text.len())
+            .map(|idx| {
+                let mut coord = vec![0usize; d];
+                let mut rem = idx;
+                for ax in (0..d).rev() {
+                    coord[ax] = rem % text.dims[ax];
+                    rem /= text.dims[ax];
+                }
+                let mut best: Option<(usize, usize)> = None;
+                'pat: for (pi, p) in patterns.iter().enumerate() {
+                    let s = p.dims[0];
+                    if (0..d).any(|ax| coord[ax] + s > text.dims[ax]) {
+                        continue;
+                    }
+                    // Compare the whole cube.
+                    let mut pc = vec![0usize; d];
+                    loop {
+                        let tc: Vec<usize> = (0..d).map(|ax| coord[ax] + pc[ax]).collect();
+                        if text.data[text.offset(&tc)] != p.data[p.offset(&pc)] {
+                            continue 'pat;
+                        }
+                        let mut ax = d;
+                        loop {
+                            if ax == 0 {
+                                if best.is_none_or(|b| s > b.0) {
+                                    best = Some((s, pi));
+                                }
+                                continue 'pat;
+                            }
+                            ax -= 1;
+                            pc[ax] += 1;
+                            if pc[ax] < s {
+                                break;
+                            }
+                            pc[ax] = 0;
+                        }
+                    }
+                }
+                best.map(|(_, pi)| pi)
+            })
+            .collect()
+    }
+
+    fn check(patterns: &[Tensor], text: &Tensor, tag: &str) {
+        let ctx = Ctx::seq();
+        let m = DictNdMatcher::build(&ctx, patterns).expect("build");
+        let got: Vec<Option<usize>> = m
+            .match_tensor(&ctx, text)
+            .largest_pattern
+            .into_iter()
+            .map(|o| o.map(|p| p as usize))
+            .collect();
+        let want = naive_nd(patterns, text);
+        assert_eq!(got, want, "{tag}");
+    }
+
+    #[test]
+    fn agrees_with_dict2d_semantics() {
+        let mut r = strings::rng(1);
+        let tg = grid::random_grid(&mut r, Alphabet::Dna, 20, 20);
+        let pats2 = grid::excerpt_square_dictionary(&mut r, &tg, 5, 1, 6);
+        let tensors: Vec<Tensor> = pats2
+            .iter()
+            .map(|g| Tensor::new(vec![g.rows, g.cols], g.data.clone()))
+            .collect();
+        let text = Tensor::new(vec![20, 20], tg.data.clone());
+        check(&tensors, &text, "2d");
+        // Also compare against the dedicated 2-D matcher directly.
+        let ctx = Ctx::seq();
+        let nd = DictNdMatcher::build(&ctx, &tensors).unwrap();
+        let g_pats: Vec<crate::dict2d::Grid2> = pats2
+            .iter()
+            .map(|g| crate::dict2d::Grid2::new(g.rows, g.cols, g.data.clone()))
+            .collect();
+        let d2 = crate::dict2d::Dict2DMatcher::build(&ctx, &g_pats).unwrap();
+        let a = nd.match_tensor(&ctx, &text);
+        let b = d2.match_grid(&ctx, &crate::dict2d::Grid2::new(20, 20, tg.data.clone()));
+        assert_eq!(a.largest_pattern, b.largest_pattern);
+        assert_eq!(a.prefix_side, b.prefix_side);
+    }
+
+    #[test]
+    fn three_d_cube_dictionary() {
+        use rand::Rng;
+        let mut r = strings::rng(3);
+        let text = Tensor::from_fn(vec![12, 12, 12], |_| r.gen_range(0..3u32));
+        // Excerpt cubes of sides 2 and 3 from the text.
+        let mut pats = Vec::new();
+        for (o, s) in [([1usize, 2, 3], 2usize), ([5, 0, 7], 3), ([9, 9, 0], 2)] {
+            let mut data = Vec::new();
+            for i in 0..s {
+                for j in 0..s {
+                    for k in 0..s {
+                        data.push(text.data[text.offset(&[o[0] + i, o[1] + j, o[2] + k])]);
+                    }
+                }
+            }
+            let t = Tensor::new(vec![s, s, s], data);
+            if !pats.contains(&t) {
+                pats.push(t);
+            }
+        }
+        check(&pats, &text, "3d");
+    }
+
+    #[test]
+    fn one_d_degenerate() {
+        // d = 1 degenerates to 1-D dictionary matching (equal semantics).
+        let pats = vec![
+            Tensor::new(vec![2], vec![1, 2]),
+            Tensor::new(vec![3], vec![1, 2, 3]),
+        ];
+        let text = Tensor::new(vec![8], vec![0, 1, 2, 3, 1, 2, 0, 1]);
+        check(&pats, &text, "1d");
+    }
+
+    #[test]
+    fn rejects_bad_dictionaries() {
+        let ctx = Ctx::seq();
+        assert!(DictNdMatcher::build(&ctx, &[]).is_err());
+        let cube = Tensor::new(vec![2, 2], vec![1, 2, 3, 4]);
+        let rect = Tensor::new(vec![1, 2], vec![1, 2]);
+        assert!(DictNdMatcher::build(&ctx, &[rect]).is_err());
+        let other_dim = Tensor::new(vec![2], vec![1, 2]);
+        assert!(DictNdMatcher::build(&ctx, &[cube.clone(), other_dim]).is_err());
+        assert!(DictNdMatcher::build(&ctx, &[cube.clone(), cube]).is_err());
+    }
+
+    #[test]
+    fn uniform_3d_overlaps() {
+        let pats = vec![
+            Tensor::from_fn(vec![1, 1, 1], |_| 7),
+            Tensor::from_fn(vec![2, 2, 2], |_| 7),
+            Tensor::from_fn(vec![4, 4, 4], |_| 7),
+        ];
+        let text = Tensor::from_fn(vec![6, 6, 6], |_| 7);
+        check(&pats, &text, "uniform3d");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        use rand::Rng;
+        let mut r = strings::rng(8);
+        let text = Tensor::from_fn(vec![16, 16, 16], |_| r.gen_range(0..4u32));
+        let mut data = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    data.push(text.data[text.offset(&[3 + i, 2 + j, 1 + k])]);
+                }
+            }
+        }
+        let pats = vec![Tensor::new(vec![4, 4, 4], data)];
+        let ctx = Ctx::seq();
+        let m = DictNdMatcher::build(&ctx, &pats).unwrap();
+        let a = m.match_tensor(&Ctx::seq(), &text);
+        let b = m.match_tensor(&Ctx::par(), &text);
+        assert_eq!(a, b);
+    }
+}

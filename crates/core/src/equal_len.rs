@@ -1,0 +1,514 @@
+//! Optimal multi-pattern matching for equal-length patterns (paper §7,
+//! Theorem 11): `O(log m)` time and `O(n + M)` work — *optimal speedup*
+//! relative to Aho–Corasick.
+//!
+//! This is the paper's showpiece application of shrink-and-spawn with an
+//! asymmetric ratio: each level shrinks the dictionary by **4** but spawns
+//! (and keeps) only **2** text copies, so both text and dictionary halve per
+//! level and the geometric series gives linear total work.
+//!
+//! Per level, on patterns of length `m` (all equal, distinct):
+//!
+//! 1. `𝒫 = {P^s, P^p}` — each pattern contributes its drop-first suffix and
+//!    drop-last prefix, all of length `m−1`; shrink by 4 into `q = ⌊(m−1)/4⌋`
+//!    block names, residue length `R = (m−1) mod 4`;
+//! 2. spawn the four offset copies of each text and **delete alternates**,
+//!    keeping offsets 0 and 2 — together they cover the even positions;
+//! 3. recurse on the shrunk dictionary and kept copies (which also returns
+//!    the *names* of the shrunk strings — the "stronger recursive invariant"
+//!    the paper maintains so naming needn't restart per level);
+//! 4. **Step 3a**: name each pattern by the tuple
+//!    `⟨δ(shrunk P^p), δ′(residue), last symbol⟩`;
+//!    **Step 3b**: even positions — the recursion's match at `i` plus
+//!    residue + last-symbol lookups complete a full-pattern match;
+//!    **Step 3c**: odd positions — extend the even neighbour's match left by
+//!    one symbol via `⟨first symbol, δ(shrunk P^s), δ′(residue)⟩` lookups.
+//!
+//! Equal-length *distinct* patterns mean at most one pattern matches at any
+//! position, which is what lets a single name per position carry the whole
+//! answer.
+//!
+//! Text blocks the dictionary never produced are collapsed to a single
+//! [`UNKNOWN`] sentinel (the paper's "special symbols"): matching never
+//! compares text against text, so distinctness among unknown blocks is
+//! irrelevant, and `UNKNOWN` can never equal a dictionary name.
+//!
+//! ```
+//! use pdm_core::equal_len::EqualLenMatcher;
+//! use pdm_core::dict::{symbolize, to_symbols};
+//! use pdm_pram::Ctx;
+//!
+//! let ctx = Ctx::seq();
+//! let m = EqualLenMatcher::new(&symbolize(&["abc", "bca", "cab"])).unwrap();
+//! let hits = m.match_text(&ctx, &to_symbols("abcab"));
+//! assert_eq!(hits[0], Some(0)); // "abc"
+//! assert_eq!(hits[1], Some(1)); // "bca"
+//! assert_eq!(hits[2], Some(2)); // "cab"
+//! assert_eq!(hits[3], None);    // "ab" is too short
+//! ```
+
+use crate::dict::{validate_dictionary, BuildError, PatId, Sym};
+use pdm_naming::{NamePool, NameTable, IDENTITY};
+use pdm_primitives::FxHashMap;
+use pdm_pram::Ctx;
+use std::sync::Arc;
+
+/// Sentinel for text blocks with no dictionary name.
+pub const UNKNOWN: u32 = u32::MAX - 1;
+
+/// Equal-length multi-pattern matcher (Theorem 11).
+#[derive(Debug)]
+pub struct EqualLenMatcher {
+    patterns: Vec<Vec<Sym>>,
+    m: usize,
+}
+
+impl EqualLenMatcher {
+    /// All patterns must be distinct, non-empty and of equal length.
+    pub fn new(patterns: &[Vec<Sym>]) -> Result<Self, BuildError> {
+        let (_, m) = validate_dictionary(patterns)?;
+        if patterns.iter().any(|p| p.len() != m) {
+            return Err(BuildError::Unsupported(
+                "equal-length matcher requires patterns of one length".into(),
+            ));
+        }
+        Ok(Self {
+            patterns: patterns.to_vec(),
+            m,
+        })
+    }
+
+    pub fn pattern_len(&self) -> usize {
+        self.m
+    }
+
+    pub fn n_patterns(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// For each text position, the pattern matching there (at most one).
+    ///
+    /// One call runs the full recursion: `O(log m)` rounds, `O(n + M)` work
+    /// (the paper's Theorem 11 has no preprocess/match split).
+    pub fn match_text(&self, ctx: &Ctx, text: &[Sym]) -> Vec<Option<PatId>> {
+        self.match_texts(ctx, &[text.to_vec()]).swap_remove(0)
+    }
+
+    /// Batch form: match many texts in one recursion, sharing the `O(M)`
+    /// dictionary naming across all of them — this is what keeps the
+    /// multi-dimensional reduction (§7, `pdm_core::multidim`) at `O(n + M)`
+    /// total work when `n` is split over thousands of rows/columns.
+    pub fn match_texts(&self, ctx: &Ctx, texts: &[Vec<Sym>]) -> Vec<Vec<Option<PatId>>> {
+        if texts.iter().all(|t| t.is_empty()) {
+            return texts.iter().map(|_| Vec::new()).collect();
+        }
+        let pool = NamePool::dictionary();
+        let (beta, matches) = solve(ctx, texts.to_vec(), self.patterns.clone(), &pool);
+        let by_name: FxHashMap<u32, PatId> = beta
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (b, i as PatId))
+            .collect();
+        ctx.cost
+            .round(texts.iter().map(|t| t.len() as u64).sum());
+        matches
+            .into_iter()
+            .map(|mt| {
+                mt.into_iter()
+                    .map(|o| o.and_then(|nm| by_name.get(&nm).copied()))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Per-level naming tables. Fresh per recursion level: symbols of different
+/// levels live in different value spaces (raw symbols at the top, names
+/// below), so tables must not be shared across levels.
+struct LevelTables {
+    /// Pairs of level symbols → names (length-2 blocks).
+    pair1: NameTable,
+    /// Pairs of length-2 names → length-4 block names (δ′ of the paper).
+    pair2: NameTable,
+    /// Residue naming (lengths 1–3, chained).
+    res_a: NameTable,
+    res_b: NameTable,
+    /// Step 3a tuples: the pattern names β.
+    t3a: NameTable,
+    /// Step 3c key tuples.
+    t3c_key: NameTable,
+    /// Step 3c key → β.
+    t3c_val: NameTable,
+}
+
+impl LevelTables {
+    fn new(cap: usize, pool: &Arc<NamePool>) -> Self {
+        let t = |c: usize| NameTable::with_capacity(c.max(1), pool.clone());
+        LevelTables {
+            pair1: t(cap),
+            pair2: t(cap),
+            res_a: t(cap),
+            res_b: t(cap),
+            t3a: t(cap),
+            t3c_key: t(cap),
+            t3c_val: t(cap),
+        }
+    }
+}
+
+#[inline]
+fn name2(t: &NameTable, a: u32, b: u32) -> u32 {
+    debug_assert!(a != UNKNOWN && b != UNKNOWN);
+    t.name(a, b)
+}
+
+#[inline]
+fn lookup2(t: &NameTable, a: u32, b: u32) -> u32 {
+    if a == UNKNOWN || b == UNKNOWN {
+        return UNKNOWN;
+    }
+    t.lookup(a, b).unwrap_or(UNKNOWN)
+}
+
+/// Name the length-`r` run `s[i..i+r]` (pattern side: allocates).
+fn name_run(t: &LevelTables, s: &[u32], i: usize, r: usize) -> u32 {
+    match r {
+        0 => IDENTITY,
+        1 => name2(&t.res_a, s[i], IDENTITY),
+        2 => name2(&t.res_a, s[i], s[i + 1]),
+        3 => name2(&t.res_b, name2(&t.res_a, s[i], s[i + 1]), s[i + 2]),
+        _ => unreachable!("residues are < 4"),
+    }
+}
+
+/// Look up the length-`r` run name (text side: never allocates).
+fn lookup_run(t: &LevelTables, s: &[u32], i: usize, r: usize) -> u32 {
+    match r {
+        0 => IDENTITY,
+        1 => lookup2(&t.res_a, s[i], IDENTITY),
+        2 => lookup2(&t.res_a, s[i], s[i + 1]),
+        3 => lookup2(&t.res_b, lookup2(&t.res_a, s[i], s[i + 1]), s[i + 2]),
+        _ => unreachable!("residues are < 4"),
+    }
+}
+
+/// One recursion level of Theorem 11.
+///
+/// Inputs: texts (the kept spawned copies of the level above) and patterns
+/// (all the same length, duplicates allowed — they are deduplicated here).
+/// Returns the name of each input pattern and, per text, per position, the
+/// name of the pattern matching there.
+fn solve(
+    ctx: &Ctx,
+    texts: Vec<Vec<u32>>,
+    patterns: Vec<Vec<u32>>,
+    pool: &Arc<NamePool>,
+) -> (Vec<u32>, Vec<Vec<Option<u32>>>) {
+    let m = patterns[0].len();
+    debug_assert!(patterns.iter().all(|p| p.len() == m) && m >= 1);
+
+    // Deduplicate (spawned 𝒫 sets collide; names are content-based anyway).
+    let mut uniq: Vec<Vec<u32>> = Vec::with_capacity(patterns.len());
+    let mut back: Vec<usize> = Vec::with_capacity(patterns.len());
+    {
+        let mut seen: FxHashMap<Vec<u32>, usize> = Default::default();
+        for p in patterns {
+            let next = uniq.len();
+            match seen.entry(p) {
+                std::collections::hash_map::Entry::Occupied(e) => back.push(*e.get()),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    uniq.push(e.key().clone());
+                    e.insert(next);
+                    back.push(next);
+                }
+            }
+        }
+    }
+
+    let text_sz: usize = texts.iter().map(Vec::len).sum();
+    let pat_sz: usize = uniq.len() * m;
+    let tables = LevelTables::new(2 * (text_sz + 2 * pat_sz) + 64, pool);
+
+    // Base case: name whole patterns directly, scan each window by lookup.
+    if m <= 4 {
+        let beta_uniq: Vec<u32> = ctx.map(uniq.len(), |u| {
+            let p = &uniq[u];
+            match m {
+                1 => name2(&tables.pair1, p[0], IDENTITY),
+                2 => name2(&tables.pair1, p[0], p[1]),
+                3 => name2(&tables.pair2, name2(&tables.pair1, p[0], p[1]), p[2]),
+                _ => name2(
+                    &tables.pair2,
+                    name2(&tables.pair1, p[0], p[1]),
+                    name2(&tables.pair1, p[2], p[3]),
+                ),
+            }
+        });
+        let matches: Vec<Vec<Option<u32>>> = texts
+            .iter()
+            .map(|t| {
+                ctx.map(t.len(), |i| {
+                    if i + m > t.len() {
+                        return None;
+                    }
+                    let nm = match m {
+                        1 => lookup2(&tables.pair1, t[i], IDENTITY),
+                        2 => lookup2(&tables.pair1, t[i], t[i + 1]),
+                        3 => lookup2(
+                            &tables.pair2,
+                            lookup2(&tables.pair1, t[i], t[i + 1]),
+                            t[i + 2],
+                        ),
+                        _ => lookup2(
+                            &tables.pair2,
+                            lookup2(&tables.pair1, t[i], t[i + 1]),
+                            lookup2(&tables.pair1, t[i + 2], t[i + 3]),
+                        ),
+                    };
+                    // The tuple tables only ever name whole patterns, so a
+                    // successful lookup IS a pattern match.
+                    (nm != UNKNOWN).then_some(nm)
+                })
+            })
+            .collect();
+        let beta = back.iter().map(|&u| beta_uniq[u]).collect();
+        return (beta, matches);
+    }
+
+    // ---- Step 1: shrink by 4 / spawn 2 -----------------------------------
+    let lm1 = m - 1; // |P^s| = |P^p| = m − 1
+    let q = lm1 / 4; // shrunk length in blocks
+    let r = lm1 % 4; // residue length (equal for every pattern)
+
+    // Pattern-side block names at every position (covers both P^s and P^p
+    // alignments); l4[i] names p[i..i+4].
+    let pat_l4: Vec<Vec<u32>> = ctx.map(uniq.len(), |u| {
+        let p = &uniq[u];
+        let l1: Vec<u32> = (0..p.len() - 1)
+            .map(|i| name2(&tables.pair1, p[i], p[i + 1]))
+            .collect();
+        (0..p.len() - 3)
+            .map(|i| name2(&tables.pair2, l1[i], l1[i + 2]))
+            .collect()
+    });
+    ctx.cost.work(pat_sz as u64);
+
+    // Text-side block names at every position, lookup-only.
+    let text_l4: Vec<Vec<u32>> = texts
+        .iter()
+        .map(|t| {
+            if t.len() < 4 {
+                return Vec::new();
+            }
+            let l1: Vec<u32> = ctx.map(t.len() - 1, |i| lookup2(&tables.pair1, t[i], t[i + 1]));
+            ctx.map(t.len() - 3, |i| lookup2(&tables.pair2, l1[i], l1[i + 2]))
+        })
+        .collect();
+
+    // Shrunk dictionary 𝒫′: for each unique pattern, shrunk P^p (offset 0)
+    // and shrunk P^s (offset 1).
+    let mut sub_patterns: Vec<Vec<u32>> = Vec::with_capacity(2 * uniq.len());
+    for l4 in &pat_l4 {
+        sub_patterns.push((0..q).map(|b| l4[4 * b]).collect()); // shrunk P^p
+        sub_patterns.push((0..q).map(|b| l4[1 + 4 * b]).collect()); // shrunk P^s
+    }
+    ctx.cost.round(pat_sz as u64 / 2);
+
+    // Spawned copies: offsets 0 and 2, stride 4 (alternates deleted).
+    let mut sub_texts: Vec<Vec<u32>> = Vec::with_capacity(2 * texts.len());
+    for l4 in &text_l4 {
+        sub_texts.push(l4.iter().copied().step_by(4).collect()); // offset 0
+        sub_texts.push(l4.iter().skip(2).copied().step_by(4).collect()); // offset 2
+    }
+    ctx.cost.round(text_sz as u64 / 2);
+
+    // ---- Step 2: recurse ---------------------------------------------------
+    let (sub_beta, sub_matches) = solve(ctx, sub_texts, sub_patterns, pool);
+    let delta_pp = |u: usize| sub_beta[2 * u];
+    let delta_sp = |u: usize| sub_beta[2 * u + 1];
+
+    // ---- Step 3a: β names for this level's dictionary ---------------------
+    let beta_uniq: Vec<u32> = ctx.map(uniq.len(), |u| {
+        let p = &uniq[u];
+        let res = name_run(&tables, p, 4 * q, r); // residue of P^p
+        tables.t3a.name_tuple(&[delta_pp(u), res, p[m - 1]])
+    });
+
+    // Step 3c pattern tuples: ⟨P(1), δ(shrunk P^s), δ′(res(P^s))⟩ → β.
+    ctx.for_each(uniq.len(), |u| {
+        let p = &uniq[u];
+        let res = name_run(&tables, p, 1 + 4 * q, r); // residue of P^s
+        let key = tables.t3c_key.name_tuple(&[p[0], delta_sp(u), res]);
+        tables.t3c_val.insert_assoc(key, 0, beta_uniq[u]);
+    });
+
+    // ---- Steps 3b & 3c: complete matches at every position ----------------
+    let matches: Vec<Vec<Option<u32>>> = texts
+        .iter()
+        .enumerate()
+        .map(|(ti, t)| {
+            let even = &sub_matches[2 * ti]; // offset-0 copy
+            let odd_src = &sub_matches[2 * ti + 1]; // offset-2 copy
+            // α(i) for even i: the recursion's match at text position i.
+            let alpha = |i: usize| -> Option<u32> {
+                debug_assert!(i.is_multiple_of(2));
+                if i.is_multiple_of(4) {
+                    even.get(i / 4).copied().flatten()
+                } else {
+                    odd_src.get((i - 2) / 4).copied().flatten()
+                }
+            };
+            ctx.map(t.len(), |i| {
+                if i + m > t.len() {
+                    return None;
+                }
+                if i % 2 == 0 {
+                    // Step 3b: α(i) is the shrunk P^p of the candidate.
+                    let a = alpha(i)?;
+                    let res = lookup_run(&tables, t, i + 4 * q, r);
+                    if res == UNKNOWN {
+                        return None;
+                    }
+                    tables.t3a.lookup_tuple(&[a, res, t[i + m - 1]])
+                } else {
+                    // Step 3c: extend the right neighbour's shrunk P^s left.
+                    let a = alpha(i + 1)?;
+                    let res = lookup_run(&tables, t, i + 1 + 4 * q, r);
+                    if res == UNKNOWN {
+                        return None;
+                    }
+                    let key = tables.t3c_key.lookup_tuple(&[t[i], a, res])?;
+                    tables.t3c_val.lookup(key, 0)
+                }
+            })
+        })
+        .collect();
+
+    let beta = back.iter().map(|&u| beta_uniq[u]).collect();
+    (beta, matches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dict::{symbolize, to_symbols};
+    use pdm_baselines::naive;
+
+    fn check(patterns: &[Vec<u32>], text: &[u32], tag: &str) {
+        let ctx = Ctx::seq();
+        let m = EqualLenMatcher::new(patterns).expect("build");
+        let got: Vec<Option<usize>> = m
+            .match_text(&ctx, text)
+            .into_iter()
+            .map(|o| o.map(|p| p as usize))
+            .collect();
+        let want = naive::longest_pattern_per_position(patterns, text);
+        assert_eq!(got, want, "{tag}");
+    }
+
+    #[test]
+    fn rejects_unequal_lengths() {
+        assert!(EqualLenMatcher::new(&symbolize(&["ab", "abc"])).is_err());
+        assert!(EqualLenMatcher::new(&[]).is_err());
+    }
+
+    #[test]
+    fn base_case_lengths() {
+        for len in 1..=4usize {
+            let pats: Vec<Vec<u32>> = vec![(0..len as u32).collect(), (1..=len as u32).collect()];
+            let text: Vec<u32> = (0..20).map(|i| i % 5).collect();
+            check(&pats, &text, &format!("base-{len}"));
+        }
+    }
+
+    #[test]
+    fn length_five_first_recursive_step() {
+        let pats = symbolize(&["abcab", "bcabc", "aaaaa"]);
+        let text = to_symbols("abcabcabcabaaaaab");
+        check(&pats, &text, "m5");
+    }
+
+    #[test]
+    fn residue_lengths_all_covered() {
+        // (m−1) mod 4 = 0,1,2,3 for m = 5,6,7,8.
+        for m in 5..=8usize {
+            let pats: Vec<Vec<u32>> = (0..3u32)
+                .map(|s| (0..m as u32).map(|i| (i * 7 + s) % 3).collect())
+                .collect();
+            let mut text: Vec<u32> = (0..60).map(|i| (i * 5) % 3).collect();
+            for (k, p) in pats.iter().enumerate() {
+                let pos = 5 + k * 15;
+                text[pos..pos + m].copy_from_slice(p);
+            }
+            check(&pats, &text, &format!("res-{m}"));
+        }
+    }
+
+    #[test]
+    fn deep_recursion_long_patterns() {
+        use pdm_textgen::{strings, Alphabet};
+        for &m in &[16usize, 33, 64, 100, 257] {
+            let mut r = strings::rng(m as u64);
+            let mut text = strings::random_text(&mut r, Alphabet::Dna, 2000);
+            let pats = strings::excerpt_dictionary(&mut r, &text, 6, m, m);
+            strings::plant_occurrences(&mut r, &mut text, &pats, 12);
+            check(&pats, &text, &format!("deep-{m}"));
+        }
+    }
+
+    #[test]
+    fn periodic_text_overlapping_matches() {
+        let pats = symbolize(&["ababa", "babab"]);
+        let text = to_symbols(&"ab".repeat(30));
+        check(&pats, &text, "periodic");
+    }
+
+    #[test]
+    fn text_shorter_than_patterns() {
+        let pats = symbolize(&["abcdefgh"]);
+        check(&pats, &to_symbols("abc"), "short");
+    }
+
+    #[test]
+    fn single_pattern_whole_text() {
+        let pats = symbolize(&["hello"]);
+        check(&pats, &to_symbols("hello"), "exact");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        use pdm_textgen::{strings, Alphabet};
+        let mut r = strings::rng(9);
+        let mut text = strings::random_text(&mut r, Alphabet::Letters, 5000);
+        let pats = strings::excerpt_dictionary(&mut r, &text, 10, 48, 48);
+        strings::plant_occurrences(&mut r, &mut text, &pats, 25);
+        let m = EqualLenMatcher::new(&pats).unwrap();
+        let seq = m.match_text(&Ctx::seq(), &text);
+        let par = m.match_text(&Ctx::par(), &text);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn work_is_linear_in_n_plus_m() {
+        use pdm_textgen::{strings, Alphabet};
+        // Work per (n+M) must not grow with m (Theorem 11's optimality).
+        let mut per_unit = Vec::new();
+        for &m in &[16usize, 256] {
+            let ctx = Ctx::seq();
+            let mut r = strings::rng(3);
+            let text = strings::random_text(&mut r, Alphabet::Bytes, 40_000);
+            let pats = strings::equal_len_dictionary(&mut r, Alphabet::Bytes, 4, m);
+            let matcher = EqualLenMatcher::new(&pats).unwrap();
+            let before = ctx.cost.snapshot();
+            let _ = matcher.match_text(&ctx, &text);
+            let d = ctx.cost.snapshot().since(before);
+            let units = (text.len() + 4 * m) as f64;
+            per_unit.push(d.work as f64 / units);
+        }
+        let ratio = per_unit[1] / per_unit[0];
+        assert!(
+            ratio < 1.5,
+            "work/(n+M) grew with m: {per_unit:?} (ratio {ratio})"
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! # pdm-core — shrink-and-spawn parallel dictionary matching
+//!
+//! The algorithms of *Highly Efficient Dictionary Matching in Parallel*
+//! (Muthukrishnan & Palem, SPAA 1993), built on the `pdm-pram`,
+//! `pdm-primitives` and `pdm-naming` substrates:
+//!
+//! | module | paper | result |
+//! |--------|-------|--------|
+//! | [`static1d`] | §4, Thms 1–3 | static dictionary matching: dict `O(M)` work, text `O(log m)` time / `O(n log m)` work |
+//! | [`smallalpha`] | §4.4, Thms 4–5 | small-alphabet refinement: text `O(n log m / L)` work |
+//! | [`dict2d`] | §5, Thm 6 | 2-D square-dictionary matching |
+//! | [`dynamic`] | §6, Thms 7–10 | insert / delete / match on a changing dictionary |
+//! | [`equal_len`] | §7, Thm 11 | equal-length multi-pattern matching with **optimal** `O(n + M)` work |
+//! | [`multidim`] | §7 | d-dimensional single-pattern matching via dimension reduction |
+//! | [`allmatches`] | §2 remark | all-patterns-per-position output in output-linear work |
+//!
+//! The **shrink-and-spawn** idea (paper §3.1): to find occurrences of `V` in
+//! `U`, name all length-`l` blocks (Karp–Miller–Rosenberg), *shrink* `V` by
+//! composing the names of its `l`-aligned blocks, and *spawn* `l` views of
+//! `U` (one per offset class mod `l`). Matches of `V` in `U` correspond
+//! exactly to matches of the shrunk `V` in the spawned views, so the problem
+//! recurses at `1/l` the pattern size; unwinding extends each partial match
+//! by `< l` blocks with constant-time namestamp lookups.
+//!
+//! Every matcher here validates against the `pdm-baselines` oracles in this
+//! crate's test suite, and charges the PRAM cost model so the experiment
+//! harness can verify the paper's time/work exponents.
+
+pub mod allmatches;
+pub mod dict;
+pub mod dict2d;
+pub mod dictnd;
+pub mod dynamic;
+pub mod equal_len;
+pub mod multidim;
+pub mod smallalpha;
+pub mod static1d;
+
+pub use dict::{BuildError, PatId, Sym};
+pub use static1d::{MatchOutput, StaticMatcher};

@@ -1,0 +1,507 @@
+//! Multi-dimensional pattern matching with optimal work (paper §7,
+//! closing application; the problem family of \[KLP89\]/\[Rab93\]).
+//!
+//! A `d`-dimensional pattern is matched by **dimension reduction**: slice
+//! pattern and text along the first axis; the (equal-shaped, deduplicated)
+//! pattern slices form a `(d−1)`-dimensional dictionary, matched recursively
+//! at every text-slice position; each pattern then becomes its 1-D *slice-id
+//! signature*, and every "column" of the text (fixed lower-dimensional
+//! position, varying first coordinate) becomes a 1-D text over slice ids.
+//! The base case — and every signature round — is the Theorem 11
+//! equal-length matcher, so each of the `d` rounds costs `O(n + M)` work and
+//! `O(log m)` time, preserving optimal speedup for any fixed `d`.
+//!
+//! (The classical 2-D specialization of this reduction is Baker–Bird with
+//! the AC/KMP stages replaced by the parallel Theorem 11 matcher; see
+//! `pdm_baselines::baker_bird` for the sequential original.)
+//!
+//! ```
+//! use pdm_core::multidim::{match_tensor, Tensor};
+//! use pdm_pram::Ctx;
+//!
+//! let ctx = Ctx::seq();
+//! let text = Tensor::from_fn(vec![4, 4], |c| ((c[0] + c[1]) % 2) as u32);
+//! let pat = Tensor::from_fn(vec![2, 2], |c| ((c[0] + c[1]) % 2) as u32);
+//! let hits = match_tensor(&ctx, &text, &pat);
+//! // The checkerboard 2×2 block recurs at every cell with matching parity.
+//! assert!(hits[0]);
+//! assert!(!hits[1]);
+//! ```
+
+#![allow(clippy::needless_range_loop)] // axis loops index parallel coordinate/stride arrays
+
+use crate::dict::{PatId, Sym};
+use crate::equal_len::EqualLenMatcher;
+use pdm_primitives::FxHashMap;
+use pdm_pram::Ctx;
+
+/// Sentinel symbol for "no slice matches here" in signature texts. Matches
+/// the `UNKNOWN` convention of `equal_len` (never equal to anything the
+/// dictionary names).
+const NO_SLICE: u32 = u32::MAX - 1;
+
+/// A dense row-major tensor (last axis contiguous).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tensor {
+    pub dims: Vec<usize>,
+    pub data: Vec<Sym>,
+}
+
+impl Tensor {
+    pub fn new(dims: Vec<usize>, data: Vec<Sym>) -> Self {
+        assert_eq!(dims.iter().product::<usize>(), data.len());
+        assert!(!dims.is_empty());
+        Tensor { dims, data }
+    }
+
+    pub fn from_fn(dims: Vec<usize>, mut f: impl FnMut(&[usize]) -> Sym) -> Self {
+        let total: usize = dims.iter().product();
+        let mut idx = vec![0usize; dims.len()];
+        let mut data = Vec::with_capacity(total);
+        for _ in 0..total {
+            data.push(f(&idx));
+            // Odometer increment.
+            for ax in (0..dims.len()).rev() {
+                idx[ax] += 1;
+                if idx[ax] < dims[ax] {
+                    break;
+                }
+                idx[ax] = 0;
+            }
+        }
+        Tensor { dims, data }
+    }
+
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flattened index of a coordinate.
+    pub fn offset(&self, coord: &[usize]) -> usize {
+        assert_eq!(coord.len(), self.dims.len());
+        let mut off = 0;
+        for (ax, &c) in coord.iter().enumerate() {
+            debug_assert!(c < self.dims[ax]);
+            off = off * self.dims[ax] + c;
+        }
+        off
+    }
+}
+
+/// Occurrences of `pattern` in `text`: a flattened boolean per text
+/// position, `true` where the whole pattern block matches with its minimal
+/// corner there.
+pub fn match_tensor(ctx: &Ctx, text: &Tensor, pattern: &Tensor) -> Vec<bool> {
+    assert_eq!(
+        text.ndim(),
+        pattern.ndim(),
+        "text and pattern dimensionality must agree"
+    );
+    assert!(!pattern.is_empty(), "empty pattern");
+    let res = multi_match(
+        ctx,
+        &[(text.data.as_slice(), text.dims.as_slice())],
+        &[(pattern.data.as_slice(), pattern.dims.as_slice())],
+    );
+    res.into_iter()
+        .next()
+        .unwrap()
+        .into_iter()
+        .map(|o| o.is_some())
+        .collect()
+}
+
+/// Multi-pattern form: all patterns share one shape; per text position, the
+/// index of the (unique) pattern matching there.
+pub fn match_tensor_multi(
+    ctx: &Ctx,
+    text: &Tensor,
+    patterns: &[Tensor],
+) -> Vec<Option<PatId>> {
+    assert!(!patterns.is_empty());
+    let dims = &patterns[0].dims;
+    assert!(
+        patterns.iter().all(|p| &p.dims == dims),
+        "patterns must share one shape"
+    );
+    let pats: Vec<(&[Sym], &[usize])> = patterns
+        .iter()
+        .map(|p| (p.data.as_slice(), p.dims.as_slice()))
+        .collect();
+    multi_match(
+        ctx,
+        &[(text.data.as_slice(), text.dims.as_slice())],
+        &pats,
+    )
+    .into_iter()
+    .next()
+    .unwrap()
+}
+
+/// Recursive multi-text multi-pattern matcher over flattened tensors.
+/// `patterns` all share `pdims`; duplicates allowed (deduplicated here).
+/// Returns, per text, per flattened position, the matching pattern index.
+fn multi_match(
+    ctx: &Ctx,
+    texts: &[(&[Sym], &[usize])],
+    patterns: &[(&[Sym], &[usize])],
+) -> Vec<Vec<Option<PatId>>> {
+    let pdims = patterns[0].1;
+    debug_assert!(patterns.iter().all(|p| p.1 == pdims));
+
+    // Deduplicate patterns by content; recurse on unique ones.
+    let mut uniq: Vec<&[Sym]> = Vec::new();
+    let mut back: Vec<PatId> = Vec::with_capacity(patterns.len());
+    {
+        let mut seen: FxHashMap<&[Sym], PatId> = FxHashMap::default();
+        for (pd, _) in patterns {
+            match seen.get(pd) {
+                Some(&u) => back.push(u),
+                None => {
+                    let u = uniq.len() as PatId;
+                    seen.insert(pd, u);
+                    uniq.push(pd);
+                    back.push(u);
+                }
+            }
+        }
+    }
+    // Map unique-id results back to the FIRST input index carrying them.
+    let mut first_input: Vec<PatId> = vec![PatId::MAX; uniq.len()];
+    for (inp, &u) in back.iter().enumerate() {
+        if first_input[u as usize] == PatId::MAX {
+            first_input[u as usize] = inp as PatId;
+        }
+    }
+
+    if pdims.len() == 1 {
+        // Base: Theorem 11 over all texts at once.
+        let pats: Vec<Vec<Sym>> = uniq.iter().map(|p| p.to_vec()).collect();
+        let m = EqualLenMatcher::new(&pats).expect("deduped, equal length");
+        let tvecs: Vec<Vec<Sym>> = texts.iter().map(|(t, _)| t.to_vec()).collect();
+        return m
+            .match_texts(ctx, &tvecs)
+            .into_iter()
+            .map(|v| {
+                v.into_iter()
+                    .map(|o| o.map(|u| first_input[u as usize]))
+                    .collect()
+            })
+            .collect();
+    }
+
+    // Slice along axis 0: pattern slices form a (d−1)-dim dictionary.
+    let s0 = pdims[0];
+    let srest = &pdims[1..];
+    let slice_len: usize = srest.iter().product();
+    let mut slice_pats: Vec<(&[Sym], &[usize])> = Vec::with_capacity(uniq.len() * s0);
+    for p in &uniq {
+        for i in 0..s0 {
+            slice_pats.push((&p[i * slice_len..(i + 1) * slice_len], srest));
+        }
+    }
+    // Text slices along axis 0.
+    let mut slice_texts: Vec<(&[Sym], &[usize])> = Vec::new();
+    let mut text_slice_base: Vec<usize> = Vec::with_capacity(texts.len());
+    for (td, tdims) in texts {
+        text_slice_base.push(slice_texts.len());
+        let t0 = tdims[0];
+        let trest = &tdims[1..];
+        let tslice: usize = trest.iter().product();
+        for i in 0..t0 {
+            slice_texts.push((&td[i * tslice..(i + 1) * tslice], trest));
+        }
+    }
+
+    let slice_res = multi_match(ctx, &slice_texts, &slice_pats);
+
+    // Canonical slice ids: first input index with equal content. The
+    // recursion reports matches with exactly this convention (its
+    // `first_input` mapping), so pattern signatures and text slice ids live
+    // in one symbol space.
+    let slice_canon: Vec<u32> = {
+        let mut content: FxHashMap<&[Sym], u32> = FxHashMap::default();
+        slice_pats
+            .iter()
+            .enumerate()
+            .map(|(i, (pd, _))| *content.entry(pd).or_insert(i as u32))
+            .collect()
+    };
+    let sigs: Vec<Vec<Sym>> = (0..uniq.len())
+        .map(|u| (0..s0).map(|i| slice_canon[u * s0 + i]).collect())
+        .collect();
+
+    // Columns: for each text, each lower-dim position p, the string over
+    // axis-0 of slice-match ids.
+    let mut columns: Vec<Vec<Sym>> = Vec::new();
+    let mut col_meta: Vec<(usize, usize)> = Vec::new(); // (text index, rest position)
+    for (ti, (_, tdims)) in texts.iter().enumerate() {
+        let t0 = tdims[0];
+        let tslice: usize = tdims[1..].iter().product();
+        let base = text_slice_base[ti];
+        for p in 0..tslice {
+            let col: Vec<Sym> = (0..t0)
+                .map(|i| slice_res[base + i][p].unwrap_or(NO_SLICE))
+                .collect();
+            columns.push(col);
+            col_meta.push((ti, p));
+        }
+    }
+    ctx.cost
+        .round(columns.iter().map(|c| c.len() as u64).sum());
+
+    // Dedup signatures and match them down the columns (1-D equal length).
+    let sig_dims = [s0];
+    let sig_pats: Vec<(&[Sym], &[usize])> =
+        sigs.iter().map(|s| (s.as_slice(), &sig_dims[..])).collect();
+    let col_dims: Vec<[usize; 1]> = columns.iter().map(|c| [c.len()]).collect();
+    let col_texts: Vec<(&[Sym], &[usize])> = columns
+        .iter()
+        .zip(col_dims.iter())
+        .map(|(c, d)| (c.as_slice(), &d[..]))
+        .collect();
+    // Columns can have differing lengths only if texts differ in dims[0];
+    // group by length to satisfy the 1-D matcher (one call per length).
+    let mut by_len: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+    for (ci, c) in columns.iter().enumerate() {
+        by_len.entry(c.len()).or_default().push(ci);
+    }
+    let mut col_match: Vec<Vec<Option<PatId>>> = vec![Vec::new(); columns.len()];
+    for (_, cols) in by_len {
+        let group: Vec<(&[Sym], &[usize])> = cols.iter().map(|&ci| col_texts[ci]).collect();
+        let res = multi_match(ctx, &group, &sig_pats);
+        for (gi, ci) in cols.into_iter().enumerate() {
+            col_match[ci] = res[gi].clone();
+        }
+    }
+
+    // Assemble: match at column (ti, p) position i ⇒ tensor position
+    // i*tslice + p of text ti.
+    let mut out: Vec<Vec<Option<PatId>>> = texts
+        .iter()
+        .map(|(td, _)| vec![None; td.len()])
+        .collect();
+    for (ci, (ti, p)) in col_meta.iter().enumerate() {
+        let tslice: usize = texts[*ti].1[1..].iter().product();
+        for (i, &m) in col_match[ci].iter().enumerate() {
+            if let Some(u) = m {
+                out[*ti][i * tslice + p] = Some(first_input[u as usize]);
+            }
+        }
+    }
+    ctx.cost
+        .round(texts.iter().map(|(t, _)| t.len() as u64).sum());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_textgen::{grid, strings, Alphabet};
+
+    /// Naive d-dim oracle.
+    fn naive_match(text: &Tensor, pattern: &Tensor) -> Vec<bool> {
+        let d = text.ndim();
+        let total = text.len();
+        let mut out = vec![false; total];
+        let mut coord = vec![0usize; d];
+        'outer: for idx in 0..total {
+            // Decode idx into coord.
+            let mut rem = idx;
+            for ax in (0..d).rev() {
+                coord[ax] = rem % text.dims[ax];
+                rem /= text.dims[ax];
+            }
+            for ax in 0..d {
+                if coord[ax] + pattern.dims[ax] > text.dims[ax] {
+                    continue 'outer;
+                }
+            }
+            // Compare the block.
+            let mut pc = vec![0usize; d];
+            let mut ok = true;
+            'block: loop {
+                let tc: Vec<usize> = (0..d).map(|ax| coord[ax] + pc[ax]).collect();
+                if text.data[text.offset(&tc)] != pattern.data[pattern.offset(&pc)] {
+                    ok = false;
+                    break 'block;
+                }
+                let mut ax = d;
+                loop {
+                    if ax == 0 {
+                        break 'block;
+                    }
+                    ax -= 1;
+                    pc[ax] += 1;
+                    if pc[ax] < pattern.dims[ax] {
+                        break;
+                    }
+                    pc[ax] = 0;
+                }
+            }
+            out[idx] = ok;
+        }
+        out
+    }
+
+    fn check(text: &Tensor, pattern: &Tensor, tag: &str) {
+        let ctx = Ctx::seq();
+        let got = match_tensor(&ctx, text, pattern);
+        let want = naive_match(text, pattern);
+        assert_eq!(got, want, "{tag}");
+    }
+
+    #[test]
+    fn two_d_planted() {
+        let mut r = strings::rng(1);
+        let mut t = grid::random_grid(&mut r, Alphabet::Dna, 20, 20);
+        let pats = grid::excerpt_square_dictionary(&mut r, &t, 1, 5, 5);
+        grid::plant_squares(&mut r, &mut t, &pats, 3);
+        let text = Tensor::new(vec![20, 20], t.data.clone());
+        let pat = Tensor::new(vec![5, 5], pats[0].data.clone());
+        check(&text, &pat, "2d-planted");
+    }
+
+    #[test]
+    fn two_d_uniform_overlapping() {
+        let text = Tensor::from_fn(vec![9, 9], |_| 3);
+        let pat = Tensor::from_fn(vec![4, 4], |_| 3);
+        check(&text, &pat, "2d-uniform");
+    }
+
+    #[test]
+    fn two_d_no_match() {
+        let text = Tensor::from_fn(vec![8, 8], |c| (c[0] + c[1]) as u32 % 2);
+        let pat = Tensor::from_fn(vec![3, 3], |_| 7);
+        let ctx = Ctx::seq();
+        assert!(match_tensor(&ctx, &text, &pat).iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn two_d_rectangular_pattern() {
+        // Non-square patterns are fine: only shapes must agree per axis.
+        let text = Tensor::from_fn(vec![10, 6], |c| ((c[0] * 7 + c[1] * 3) % 4) as u32);
+        let pat = Tensor::new(
+            vec![2, 3],
+            (0..6)
+                .map(|k| text.data[3 * 6 + 2 + (k / 3) * 6 + (k % 3)])
+                .collect(),
+        );
+        check(&text, &pat, "2d-rect");
+    }
+
+    #[test]
+    fn three_d_planted() {
+        let mut r = strings::rng(7);
+        let text = Tensor::from_fn(vec![8, 8, 8], |_| {
+            use rand::Rng;
+            r.gen_range(0..3u32)
+        });
+        // Excerpt a 3x3x3 block at (2,3,1).
+        let mut pdata = Vec::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                for k in 0..3 {
+                    pdata.push(text.data[text.offset(&[2 + i, 3 + j, 1 + k])]);
+                }
+            }
+        }
+        let pat = Tensor::new(vec![3, 3, 3], pdata);
+        check(&text, &pat, "3d-excerpt");
+    }
+
+    #[test]
+    fn three_d_uniform() {
+        let text = Tensor::from_fn(vec![5, 5, 5], |_| 1);
+        let pat = Tensor::from_fn(vec![2, 2, 2], |_| 1);
+        check(&text, &pat, "3d-uniform");
+    }
+
+    #[test]
+    fn four_d_smoke() {
+        let text = Tensor::from_fn(vec![4, 4, 4, 4], |c| ((c[0] + c[1] + c[2] + c[3]) % 2) as u32);
+        let pat = Tensor::from_fn(vec![2, 2, 2, 2], |c| ((c[0] + c[1] + c[2] + c[3]) % 2) as u32);
+        check(&text, &pat, "4d");
+    }
+
+    #[test]
+    fn one_d_reduces_to_equal_len() {
+        let text = Tensor::new(vec![12], vec![1, 2, 3, 1, 2, 3, 1, 2, 3, 9, 9, 9]);
+        let pat = Tensor::new(vec![3], vec![1, 2, 3]);
+        check(&text, &pat, "1d");
+    }
+
+    #[test]
+    fn multi_pattern_two_d() {
+        let ctx = Ctx::seq();
+        let text = Tensor::from_fn(vec![10, 10], |c| ((c[0] * 3 + c[1]) % 5) as u32);
+        // Two distinct 2x2 patterns excerpted from the text.
+        let p_at = |r: usize, c: usize| {
+            Tensor::new(
+                vec![2, 2],
+                vec![
+                    text.data[text.offset(&[r, c])],
+                    text.data[text.offset(&[r, c + 1])],
+                    text.data[text.offset(&[r + 1, c])],
+                    text.data[text.offset(&[r + 1, c + 1])],
+                ],
+            )
+        };
+        let pats = vec![p_at(0, 0), p_at(0, 1)];
+        if pats[0] == pats[1] {
+            return; // degenerate under this arithmetic text — skip
+        }
+        let got = match_tensor_multi(&ctx, &text, &pats);
+        for (idx, m) in got.iter().enumerate() {
+            let (i, j) = (idx / 10, idx % 10);
+            let want = (0..2).find(|&pi| {
+                i + 2 <= 10
+                    && j + 2 <= 10
+                    && (0..2).all(|a| {
+                        (0..2).all(|b| {
+                            text.data[text.offset(&[i + a, j + b])]
+                                == pats[pi].data[pats[pi].offset(&[a, b])]
+                        })
+                    })
+            });
+            assert_eq!(m.map(|x| x as usize), want, "({i},{j})");
+        }
+    }
+
+    #[test]
+    fn pattern_larger_than_text_axis() {
+        let text = Tensor::from_fn(vec![3, 8], |_| 1);
+        let pat = Tensor::from_fn(vec![5, 2], |_| 1);
+        let ctx = Ctx::seq();
+        assert!(match_tensor(&ctx, &text, &pat).iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn work_linear_in_input_2d() {
+        // Work/(n+M) should stay bounded as the pattern grows.
+        let mut per_unit = Vec::new();
+        for &m in &[8usize, 32] {
+            let ctx = Ctx::seq();
+            let mut r = strings::rng(4);
+            let t = grid::random_grid(&mut r, Alphabet::Dna, 96, 96);
+            let text = Tensor::new(vec![96, 96], t.data);
+            let pat = Tensor::from_fn(vec![m, m], |c| ((c[0] * 5 + c[1]) % 4) as u32);
+            let before = ctx.cost.snapshot();
+            let _ = match_tensor(&ctx, &text, &pat);
+            let d = ctx.cost.snapshot().since(before);
+            per_unit.push(d.work as f64 / (text.len() + pat.len()) as f64);
+        }
+        assert!(
+            per_unit[1] / per_unit[0] < 1.6,
+            "2-D work not linear: {per_unit:?}"
+        );
+    }
+}

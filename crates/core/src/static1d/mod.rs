@@ -1,0 +1,175 @@
+//! Static dictionary matching with strings (paper §4, Theorems 1–3).
+//!
+//! ```
+//! use pdm_core::static1d::StaticMatcher;
+//! use pdm_core::dict::{symbolize, to_symbols};
+//! use pdm_pram::Ctx;
+//!
+//! let ctx = Ctx::seq();
+//! let matcher = StaticMatcher::build(&ctx, &symbolize(&["he", "she", "hers"])).unwrap();
+//! let out = matcher.match_text(&ctx, &to_symbols("ushers"));
+//! assert_eq!(out.longest_pattern[1], Some(1)); // "she" at position 1
+//! assert_eq!(out.longest_pattern[2], Some(2)); // "hers" at position 2
+//! assert_eq!(out.prefix_len[3], 0);            // nothing starts with 'r'
+//! ```
+
+pub mod namemap;
+pub mod prefix_match;
+pub mod serial;
+pub mod tables;
+
+pub use prefix_match::{match_text, prefix_match, MatchOutput, MatchTables, PrefixMatch};
+pub use tables::StaticTables;
+
+use crate::dict::{BuildError, PatId, Sym};
+use pdm_pram::Ctx;
+
+/// The static dictionary matcher: preprocess once (`O(log m)` time, `O(M)`
+/// work), match any number of texts (`O(log m)` time, `O(n log m)` work
+/// each) — Theorem 3.
+#[derive(Debug)]
+pub struct StaticMatcher {
+    tables: StaticTables,
+}
+
+/// Size diagnostics for a built dictionary (see [`StaticMatcher::stats`]).
+/// Total table entries are `O(M)` — the paper's dictionary-side space after
+/// the hash-table substitution (DESIGN.md §2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DictStats {
+    pub levels: usize,
+    pub n_patterns: usize,
+    pub dictionary_size: usize,
+    pub max_pattern_len: usize,
+    pub names_allocated: usize,
+    pub sym_entries: usize,
+    pub pair_entries: usize,
+    pub fold_entries: usize,
+    pub ext_entries: usize,
+}
+
+impl DictStats {
+    /// All table entries combined.
+    pub fn total_entries(&self) -> usize {
+        self.sym_entries + self.pair_entries + self.fold_entries + self.ext_entries
+    }
+}
+
+impl StaticMatcher {
+    /// Preprocess a dictionary of distinct, non-empty patterns.
+    pub fn build(ctx: &Ctx, patterns: &[Vec<Sym>]) -> Result<Self, BuildError> {
+        Ok(Self {
+            tables: StaticTables::build(ctx, patterns)?,
+        })
+    }
+
+    /// Longest pattern (and prefix) starting at every text position.
+    pub fn match_text(&self, ctx: &Ctx, text: &[Sym]) -> MatchOutput {
+        match_text(ctx, &self.tables, text)
+    }
+
+    /// Match a *set* of texts (the paper's problem statement takes
+    /// `T = {T₁, …}`); tables are shared, so total work is
+    /// `O(Σ nᵢ · log m)` with no per-text dictionary cost.
+    pub fn match_texts(&self, ctx: &Ctx, texts: &[Vec<Sym>]) -> Vec<MatchOutput> {
+        texts.iter().map(|t| self.match_text(ctx, t)).collect()
+    }
+
+    /// Phase 1 only: longest dictionary *prefix* per position (Theorem 1).
+    pub fn prefix_match(&self, ctx: &Ctx, text: &[Sym]) -> PrefixMatch {
+        prefix_match(ctx, &self.tables, text)
+    }
+
+    /// Memory-lean variant of [`Self::match_text`] for long texts: process
+    /// the text in chunks of `chunk` symbols, each extended by `m − 1`
+    /// overlap symbols, so peak memory is `O(chunk · log m)` instead of
+    /// `O(n · log m)`. A match starting inside a chunk lies entirely within
+    /// the extended window (prefixes are ≤ `m` long), so outputs are
+    /// identical to the whole-text call.
+    pub fn match_text_chunked(&self, ctx: &Ctx, text: &[Sym], chunk: usize) -> MatchOutput {
+        assert!(chunk > 0, "chunk size must be positive");
+        let n = text.len();
+        let overlap = self.tables.max_len.saturating_sub(1);
+        let mut out = MatchOutput::empty();
+        let mut at = 0usize;
+        while at < n {
+            let end_proper = (at + chunk).min(n);
+            let end = (end_proper + overlap).min(n);
+            let part = self.match_text(ctx, &text[at..end]);
+            let take = end_proper - at;
+            out.prefix_len.extend_from_slice(&part.prefix_len[..take]);
+            out.prefix_name.extend_from_slice(&part.prefix_name[..take]);
+            out.longest_pattern
+                .extend_from_slice(&part.longest_pattern[..take]);
+            out.longest_pattern_len
+                .extend_from_slice(&part.longest_pattern_len[..take]);
+            out.prefix_owner
+                .extend_from_slice(&part.prefix_owner[..take]);
+            at = end_proper;
+        }
+        out
+    }
+
+    /// All `(start, pattern)` occurrences, sorted by start then pattern —
+    /// the classical sequential output format, produced from the
+    /// longest-match output plus the §2 all-matches expansion.
+    pub fn find_all(&self, ctx: &Ctx, text: &[Sym]) -> Vec<(usize, PatId)> {
+        let out = self.match_text(ctx, text);
+        let all = crate::allmatches::enumerate_all(ctx, self, &out);
+        let mut v = Vec::with_capacity(all.total());
+        for i in 0..text.len() {
+            let mut here: Vec<PatId> = all.at(i).to_vec();
+            here.sort_unstable();
+            v.extend(here.into_iter().map(|p| (i, p)));
+        }
+        v
+    }
+
+    /// Access the underlying tables (consumed by §4.4 and the experiments).
+    pub fn tables(&self) -> &StaticTables {
+        &self.tables
+    }
+
+    /// Size diagnostics: names allocated and per-table entry counts.
+    pub fn stats(&self) -> DictStats {
+        let t = &self.tables;
+        DictStats {
+            levels: t.levels,
+            n_patterns: t.n_patterns,
+            dictionary_size: t.total_len,
+            max_pattern_len: t.max_len,
+            names_allocated: t.pool.allocated() as usize,
+            sym_entries: t.sym.len(),
+            pair_entries: t.pair.iter().map(|x| x.len()).sum(),
+            fold_entries: t.fold.len(),
+            ext_entries: t.ext.iter().map(|x| x.len()).sum(),
+        }
+    }
+
+    /// Serialize the frozen index (see [`serial`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.tables.to_bytes()
+    }
+
+    /// Load a matcher from a serialized index.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, serial::LoadError> {
+        Ok(Self {
+            tables: StaticTables::from_bytes(data)?,
+        })
+    }
+
+    /// Longest pattern length in the dictionary (`m`).
+    pub fn max_pattern_len(&self) -> usize {
+        self.tables.max_len
+    }
+
+    /// Total dictionary size (`M`).
+    pub fn dictionary_size(&self) -> usize {
+        self.tables.total_len
+    }
+
+    /// Number of patterns (`κ`).
+    pub fn n_patterns(&self) -> usize {
+        self.tables.n_patterns
+    }
+}

@@ -1,0 +1,276 @@
+//! Text processing: static prefix-matching (§4.1, Theorem 1) and the final
+//! longest-pattern lookup (§4.2), in `O(log m)` time and `O(n log m)` work.
+//!
+//! The paper's recursion, unrolled:
+//!
+//! * **Ascent (= the spawn side of shrink-and-spawn):** compute level-`k`
+//!   block names at *every* text position by doubling, resolving pairs
+//!   through the dictionary tables first and a text-local overlay for
+//!   blocks the dictionary never saw (§3.1's "special symbols"). Reading the
+//!   level-`k` array at stride `2^k` from offset `i` is exactly the paper's
+//!   `i`-th spawned copy; storing all offsets in one flat array realizes all
+//!   `2^k` copies in `O(n)` space per level.
+//! * **Descent (= the unwinding with Extend-Right):** starting from the
+//!   deepest level (where at most one block fits), maintain per position the
+//!   longest matching shrunk-dictionary prefix as `(block count, prefix
+//!   name)`. Arriving at level `k`, the count doubles (same characters, half
+//!   the block size), and the paper's argument bounds the extension by
+//!   `L − 1 = 1` block: if two more level-`k` blocks matched, one more
+//!   level-`k+1` block would have matched. So each level does **one**
+//!   namestamp lookup per position — `O(1)` work, `O(n)` per level,
+//!   `O(n log m)` overall.
+//!
+//! The descent starts at `min(K, ⌊log₂ n⌋)`: at that level at most one block
+//! fits in the text, so the base case ("shrunk patterns have ≤ 1 block") is
+//! satisfied even when the text is shorter than the longest pattern.
+
+use crate::dict::{PatId, Sym};
+use crate::static1d::namemap::unpack2;
+use pdm_naming::{NamePool, NameTable, IDENTITY};
+use pdm_pram::{floor_log2, Ctx};
+
+/// Lookup interface shared by the static tables and the dynamic dictionary
+/// (§6 reuses this text side verbatim against growable tables).
+pub trait MatchTables: Sync {
+    /// `K = ⌈log₂ m⌉` of the (current) dictionary.
+    fn levels(&self) -> usize;
+    /// Level-0 name of a symbol, if the dictionary contains it.
+    fn sym_lookup(&self, c: Sym) -> Option<u32>;
+    /// Level-`k` block name for a pair of level-`k−1` names (`1 ≤ k`).
+    fn pair_lookup(&self, k: usize, a: u32, b: u32) -> Option<u32>;
+    /// Extension: prefix-name extended by one level-`k` block.
+    fn ext_lookup(&self, k: usize, pref: u32, block: u32) -> Option<u32>;
+    /// `(pattern, length)` of the longest pattern that is a prefix of the
+    /// named prefix (Theorem 2's table).
+    fn longest_pattern(&self, pref: u32) -> Option<(PatId, u32)>;
+    /// Some pattern having the named prefix (retrieve-index, `I_p`).
+    fn owner(&self, pref: u32) -> Option<PatId>;
+}
+
+/// Per-position output of dictionary matching (the paper's output format:
+/// for each location, the longest pattern that matches there; plus the
+/// §4.1 prefix-matching artifacts, which the dynamic and small-alphabet
+/// layers consume).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchOutput {
+    /// `δ_t(τ)` length: longest dictionary prefix matching at each position.
+    pub prefix_len: Vec<u32>,
+    /// `δ_t(τ)`: its prefix name (`IDENTITY` when no symbol matches).
+    pub prefix_name: Vec<u32>,
+    /// Longest full pattern matching at each position.
+    pub longest_pattern: Vec<Option<PatId>>,
+    /// Its length (0 when none).
+    pub longest_pattern_len: Vec<u32>,
+    /// `I_p(τ)`: some pattern having the matched prefix.
+    pub prefix_owner: Vec<Option<PatId>>,
+}
+
+impl MatchOutput {
+    pub fn empty() -> Self {
+        MatchOutput {
+            prefix_len: Vec::new(),
+            prefix_name: Vec::new(),
+            longest_pattern: Vec::new(),
+            longest_pattern_len: Vec::new(),
+            prefix_owner: Vec::new(),
+        }
+    }
+
+    /// All `(position, pattern)` pairs with a longest-pattern match.
+    pub fn occurrences(&self) -> Vec<(usize, PatId)> {
+        self.longest_pattern
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|p| (i, p)))
+            .collect()
+    }
+}
+
+/// Phase-1 result, exposed separately for layers that only need prefixes.
+#[derive(Debug, Clone)]
+pub struct PrefixMatch {
+    pub len: Vec<u32>,
+    pub name: Vec<u32>,
+}
+
+/// Static prefix-matching (§4.1): longest dictionary prefix per position.
+pub fn prefix_match<T: MatchTables>(ctx: &Ctx, tables: &T, text: &[Sym]) -> PrefixMatch {
+    let n = text.len();
+    if n == 0 {
+        return PrefixMatch {
+            len: Vec::new(),
+            name: Vec::new(),
+        };
+    }
+    let kt = tables.levels().min(floor_log2(n) as usize);
+    let text_pool = NamePool::text_local();
+
+    // Ascent: block names at every position, per level.
+    let mut names: Vec<Vec<u32>> = Vec::with_capacity(kt + 1);
+    ctx.cost.phase("text/ascent", || {
+        let local0 = NameTable::with_capacity(n, text_pool.clone());
+        names.push(ctx.map(n, |i| {
+            tables
+                .sym_lookup(text[i])
+                .unwrap_or_else(|| local0.name(text[i], 0))
+        }));
+        for k in 1..=kt {
+            let half = 1usize << (k - 1);
+            let cnt = n + 1 - (1usize << k);
+            let prev = &names[k - 1];
+            let local = NameTable::with_capacity(cnt, text_pool.clone());
+            let lvl = ctx.map(cnt, |i| {
+                let (a, b) = (prev[i], prev[i + half]);
+                let dict = if NamePool::is_text_local(a) || NamePool::is_text_local(b) {
+                    None
+                } else {
+                    tables.pair_lookup(k, a, b)
+                };
+                dict.unwrap_or_else(|| local.name(a, b))
+            });
+            names.push(lvl);
+        }
+    });
+
+    // Descent: (blocks, prefix-name) per position; one extension per level.
+    let mut state: Vec<(u32, u32)> = vec![(0, IDENTITY); n];
+    ctx.cost.phase("text/descent", || {
+        for k in (0..=kt).rev() {
+            let lvl = &names[k];
+            let span = 1usize << k;
+            ctx.for_each_mut(&mut state, |i, st| {
+                let mut b = if k == kt { 0 } else { st.0 << 1 };
+                let mut pref = st.1;
+                let clen = (b as usize) << k;
+                if i + clen + span <= n {
+                    let block = lvl[i + clen];
+                    if !NamePool::is_text_local(block) {
+                        if let Some(np) = tables.ext_lookup(k, pref, block) {
+                            pref = np;
+                            b += 1;
+                        }
+                    }
+                }
+                *st = (b, pref);
+            });
+        }
+    });
+
+    PrefixMatch {
+        len: state.iter().map(|s| s.0).collect(),
+        name: state.iter().map(|s| s.1).collect(),
+    }
+}
+
+/// Full dictionary matching: phase 1 + the longest-pattern lookup.
+pub fn match_text<T: MatchTables>(ctx: &Ctx, tables: &T, text: &[Sym]) -> MatchOutput {
+    let n = text.len();
+    if n == 0 {
+        return MatchOutput::empty();
+    }
+    let pm = prefix_match(ctx, tables, text);
+    let mut out = MatchOutput {
+        prefix_len: pm.len,
+        prefix_name: pm.name,
+        longest_pattern: vec![None; n],
+        longest_pattern_len: vec![0; n],
+        prefix_owner: vec![None; n],
+    };
+    ctx.cost.phase("text/longest-lookup", || {
+        let names = &out.prefix_name;
+        let lens = &out.prefix_len;
+        let pats: Vec<(Option<PatId>, u32, Option<PatId>)> = ctx.map(n, |i| {
+            if lens[i] == 0 {
+                return (None, 0, None);
+            }
+            let owner = tables.owner(names[i]);
+            match tables.longest_pattern(names[i]) {
+                Some((pid, plen)) => (Some(pid), plen, owner),
+                None => (None, 0, owner),
+            }
+        });
+        for (i, (p, l, o)) in pats.into_iter().enumerate() {
+            out.longest_pattern[i] = p;
+            out.longest_pattern_len[i] = l;
+            out.prefix_owner[i] = o;
+        }
+    });
+    out
+}
+
+/// Glue for `MatchTables` implementors backed by [`super::tables::StaticTables`].
+impl MatchTables for super::tables::StaticTables {
+    fn levels(&self) -> usize {
+        self.levels
+    }
+
+    fn sym_lookup(&self, c: Sym) -> Option<u32> {
+        self.sym.lookup(c, 0)
+    }
+
+    fn pair_lookup(&self, k: usize, a: u32, b: u32) -> Option<u32> {
+        self.pair[k - 1].lookup(a, b)
+    }
+
+    fn ext_lookup(&self, k: usize, pref: u32, block: u32) -> Option<u32> {
+        self.ext[k].lookup(pref, block)
+    }
+
+    fn longest_pattern(&self, pref: u32) -> Option<(PatId, u32)> {
+        self.longest.get(pref).map(|v| {
+            let (len, pid) = unpack2(v);
+            (pid, len)
+        })
+    }
+
+    fn owner(&self, pref: u32) -> Option<PatId> {
+        self.owner.get(pref).map(|v| unpack2(v).1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dict::{symbolize, to_symbols};
+    use crate::static1d::StaticMatcher;
+
+    #[test]
+    fn match_output_empty_shape() {
+        let e = MatchOutput::empty();
+        assert!(e.prefix_len.is_empty());
+        assert!(e.occurrences().is_empty());
+    }
+
+    #[test]
+    fn occurrences_lists_longest_matches_only() {
+        let ctx = Ctx::seq();
+        let m = StaticMatcher::build(&ctx, &symbolize(&["ab", "abc"])).unwrap();
+        let out = m.match_text(&ctx, &to_symbols("xabcab"));
+        assert_eq!(out.occurrences(), vec![(1, 1), (4, 0)]);
+    }
+
+    #[test]
+    fn prefix_match_standalone_agrees_with_full_match() {
+        let ctx = Ctx::seq();
+        let pats = symbolize(&["he", "hers"]);
+        let m = StaticMatcher::build(&ctx, &pats).unwrap();
+        let text = to_symbols("hershey");
+        let pm = m.prefix_match(&ctx, &text);
+        let full = m.match_text(&ctx, &text);
+        assert_eq!(pm.len, full.prefix_len);
+        assert_eq!(pm.name, full.prefix_name);
+    }
+
+    #[test]
+    fn descent_starts_below_dictionary_levels_for_short_texts() {
+        // m = 16 (K = 4) but the text has 3 symbols: the descent must clamp
+        // to ⌊log₂ 3⌋ = 1 and still be correct.
+        let ctx = Ctx::seq();
+        let pats = symbolize(&["abcdefghijklmnop", "ab", "b"]);
+        let m = StaticMatcher::build(&ctx, &pats).unwrap();
+        let out = m.match_text(&ctx, &to_symbols("abz"));
+        assert_eq!(out.longest_pattern[0], Some(1));
+        assert_eq!(out.longest_pattern[1], Some(2));
+        assert_eq!(out.prefix_len[2], 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Index persistence: serialize a built [`StaticTables`] to a compact
+//! little-endian binary format and load it back.
+//!
+//! This is the "preprocess once, match forever" deployment story of
+//! Theorem 3: the dictionary side runs offline, the frozen tables ship to
+//! matchers. Name *values* are preserved verbatim (they are arbitrary ids;
+//! only their equalities matter), so a loaded index behaves identically to
+//! the one that was saved.
+//!
+//! Format (`PDM1`):
+//!
+//! ```text
+//! magic "PDM1" | u32 version | u32 levels | u32 max_len | u32 total_len
+//! u32 n_patterns | u32 names_allocated
+//! table sym | tables pair[levels] | table fold | tables ext[levels+1]
+//! namemap longest | namemap owner
+//! vec<u32> pattern_names | n_patterns × vec<u32> pattern_prefs
+//! ```
+//!
+//! where `table` = `u32 count | count × (u32 a, u32 b, u32 v)` and
+//! `namemap` = `u32 count | count × u64`.
+
+use crate::static1d::namemap::NameMap;
+use crate::static1d::tables::StaticTables;
+use pdm_naming::{NamePool, NameTable};
+
+const MAGIC: &[u8; 4] = b"PDM1";
+const VERSION: u32 = 1;
+
+/// Errors from loading a serialized index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadError(pub String);
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid pdm index: {}", self.0)
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn table(&mut self, t: &NameTable) {
+        let mut e = t.entries();
+        e.sort_unstable(); // deterministic output
+        self.u32(e.len() as u32);
+        for (a, b, v) in e {
+            self.u32(a);
+            self.u32(b);
+            self.u32(v);
+        }
+    }
+
+    fn namemap(&mut self, m: &NameMap) {
+        self.u32(m.slots().len() as u32);
+        for &s in m.slots() {
+            self.u64(s);
+        }
+    }
+
+    fn vec_u32(&mut self, v: &[u32]) {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.u32(x);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], LoadError> {
+        if self.at + n > self.buf.len() {
+            return Err(LoadError("truncated".into()));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, LoadError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, LoadError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn table(&mut self, pool: &std::sync::Arc<NamePool>) -> Result<NameTable, LoadError> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() / 12 + 1 {
+            return Err(LoadError("table count exceeds payload".into()));
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push((self.u32()?, self.u32()?, self.u32()?));
+        }
+        Ok(NameTable::from_entries(&entries, pool.clone()))
+    }
+
+    fn namemap(&mut self) -> Result<NameMap, LoadError> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() / 8 + 1 {
+            return Err(LoadError("namemap count exceeds payload".into()));
+        }
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            slots.push(self.u64()?);
+        }
+        Ok(NameMap::from_slots(slots))
+    }
+
+    fn vec_u32(&mut self) -> Result<Vec<u32>, LoadError> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() / 4 + 1 {
+            return Err(LoadError("vec count exceeds payload".into()));
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.u32()?);
+        }
+        Ok(v)
+    }
+}
+
+impl StaticTables {
+    /// Serialize to the `PDM1` binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer { buf: Vec::new() };
+        w.buf.extend_from_slice(MAGIC);
+        w.u32(VERSION);
+        w.u32(self.levels as u32);
+        w.u32(self.max_len as u32);
+        w.u32(self.total_len as u32);
+        w.u32(self.n_patterns as u32);
+        w.u32(self.pool.allocated());
+        w.table(&self.sym);
+        for p in &self.pair {
+            w.table(p);
+        }
+        w.table(&self.fold);
+        for e in &self.ext {
+            w.table(e);
+        }
+        w.namemap(&self.longest);
+        w.namemap(&self.owner);
+        w.vec_u32(&self.pattern_names);
+        for p in &self.pattern_prefs {
+            w.vec_u32(p);
+        }
+        w.buf
+    }
+
+    /// Load from the `PDM1` binary format.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, LoadError> {
+        let mut r = Reader { buf: data, at: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(LoadError("bad magic".into()));
+        }
+        if r.u32()? != VERSION {
+            return Err(LoadError("unsupported version".into()));
+        }
+        let levels = r.u32()? as usize;
+        let max_len = r.u32()? as usize;
+        let total_len = r.u32()? as usize;
+        let n_patterns = r.u32()? as usize;
+        let allocated = r.u32()?;
+        if levels > 32 || n_patterns == 0 || max_len == 0 {
+            return Err(LoadError("implausible header".into()));
+        }
+        let pool = NamePool::dictionary_resumed(allocated);
+        let sym = r.table(&pool)?;
+        let mut pair = Vec::with_capacity(levels);
+        for _ in 0..levels {
+            pair.push(r.table(&pool)?);
+        }
+        let fold = r.table(&pool)?;
+        let mut ext = Vec::with_capacity(levels + 1);
+        for _ in 0..=levels {
+            ext.push(r.table(&pool)?);
+        }
+        let longest = r.namemap()?;
+        let owner = r.namemap()?;
+        let pattern_names = r.vec_u32()?;
+        if pattern_names.len() != n_patterns {
+            return Err(LoadError("pattern_names length mismatch".into()));
+        }
+        let mut pattern_prefs = Vec::with_capacity(n_patterns);
+        for _ in 0..n_patterns {
+            pattern_prefs.push(r.vec_u32()?);
+        }
+        if r.at != data.len() {
+            return Err(LoadError("trailing bytes".into()));
+        }
+        Ok(StaticTables {
+            levels,
+            max_len,
+            total_len,
+            n_patterns,
+            sym,
+            pair,
+            fold,
+            ext,
+            longest,
+            owner,
+            pattern_names,
+            pattern_prefs,
+            pool,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::dict::{symbolize, to_symbols};
+    use crate::static1d::{StaticMatcher, StaticTables};
+    use pdm_pram::Ctx;
+
+    #[test]
+    fn roundtrip_preserves_matching() {
+        let ctx = Ctx::seq();
+        let pats = symbolize(&["he", "she", "his", "hers", "xyzzy"]);
+        let m = StaticMatcher::build(&ctx, &pats).unwrap();
+        let bytes = m.tables().to_bytes();
+        let loaded = StaticTables::from_bytes(&bytes).expect("load");
+        let text = to_symbols("ushers and xyzzyish");
+        let a = m.match_text(&ctx, &text);
+        let b = crate::static1d::match_text(&ctx, &loaded, &text);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roundtrip_randomized() {
+        use pdm_textgen::{strings, Alphabet};
+        let ctx = Ctx::seq();
+        for seed in 0..5 {
+            let mut r = strings::rng(seed);
+            let mut text = strings::random_text(&mut r, Alphabet::Letters, 400);
+            let pats = strings::excerpt_dictionary(&mut r, &text, 15, 2, 40);
+            strings::plant_occurrences(&mut r, &mut text, &pats, 10);
+            let m = StaticMatcher::build(&ctx, &pats).unwrap();
+            let loaded = StaticTables::from_bytes(&m.tables().to_bytes()).unwrap();
+            let a = m.match_text(&ctx, &text);
+            let b = crate::static1d::match_text(&ctx, &loaded, &text);
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn serialized_form_is_deterministic() {
+        let ctx = Ctx::seq();
+        let pats = symbolize(&["aa", "ab", "ba"]);
+        let m = StaticMatcher::build(&ctx, &pats).unwrap();
+        assert_eq!(m.tables().to_bytes(), m.tables().to_bytes());
+    }
+
+    #[test]
+    fn rejects_corrupt_input() {
+        assert!(StaticTables::from_bytes(b"").is_err());
+        assert!(StaticTables::from_bytes(b"NOPE").is_err());
+        assert!(StaticTables::from_bytes(b"PDM1\x02\x00\x00\x00").is_err());
+        let ctx = Ctx::seq();
+        let m = StaticMatcher::build(&ctx, &symbolize(&["ab"])).unwrap();
+        let mut bytes = m.tables().to_bytes();
+        bytes.truncate(bytes.len() - 3);
+        assert!(StaticTables::from_bytes(&bytes).is_err(), "truncation");
+        let mut bytes = m.tables().to_bytes();
+        bytes.push(0);
+        assert!(StaticTables::from_bytes(&bytes).is_err(), "trailing bytes");
+    }
+}

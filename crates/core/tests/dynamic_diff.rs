@@ -1,0 +1,160 @@
+//! Differential tests for the dynamic dictionary (§6): random traces of
+//! insert/delete/match checked against an oracle rebuilt from scratch at
+//! every match.
+
+use pdm_core::dict::PatId;
+use pdm_core::dynamic::DynamicMatcher;
+use pdm_pram::Ctx;
+use pdm_textgen::strings;
+use pdm_textgen::Alphabet;
+use rand::Rng;
+
+/// Oracle: brute-force longest pattern per position over the live set,
+/// where ties are impossible (distinct patterns). Returns the *dynamic ids*.
+fn oracle(live: &[(PatId, Vec<u32>)], text: &[u32]) -> Vec<Option<PatId>> {
+    (0..text.len())
+        .map(|i| {
+            live.iter()
+                .filter(|(_, p)| i + p.len() <= text.len() && text[i..i + p.len()] == p[..])
+                .max_by_key(|(_, p)| p.len())
+                .map(|(id, _)| *id)
+        })
+        .collect()
+}
+
+fn run_trace(seed: u64, alpha: Alphabet, ops: usize, text_len: usize, max_len: usize) {
+    let ctx = Ctx::seq();
+    let mut r = strings::rng(seed);
+    let mut d = DynamicMatcher::new();
+    let mut live: Vec<(PatId, Vec<u32>)> = Vec::new();
+    let base_text = strings::random_text(&mut r, alpha, text_len);
+
+    for step in 0..ops {
+        match r.gen_range(0..10) {
+            // Insert (weighted up so the dictionary grows).
+            0..=4 => {
+                let len = r.gen_range(1..=max_len);
+                let start = r.gen_range(0..=base_text.len() - len);
+                let p = base_text[start..start + len].to_vec();
+                match d.insert(&ctx, &p) {
+                    Ok(id) => live.push((id, p)),
+                    Err(pdm_core::dynamic::DynError::AlreadyPresent(id)) => {
+                        assert!(
+                            live.iter().any(|(l, q)| *l == id && *q == p),
+                            "seed {seed} step {step}: AlreadyPresent(id={id}) disagrees"
+                        );
+                    }
+                    Err(e) => panic!("seed {seed} step {step}: {e}"),
+                }
+            }
+            // Delete a random live pattern.
+            5..=6 => {
+                if live.is_empty() {
+                    continue;
+                }
+                let k = r.gen_range(0..live.len());
+                let (id, p) = live.swap_remove(k);
+                assert_eq!(d.delete(&ctx, &p), Ok(id), "seed {seed} step {step}");
+            }
+            // Match.
+            _ => {
+                let mlen = r.gen_range(1..=text_len.min(120));
+                let start = r.gen_range(0..=base_text.len() - mlen);
+                let mut t = base_text[start..start + mlen].to_vec();
+                // Sometimes plant a live pattern to guarantee hits.
+                if !live.is_empty() && r.gen_bool(0.7) {
+                    let (_, p) = &live[r.gen_range(0..live.len())];
+                    if p.len() <= t.len() {
+                        let pos = r.gen_range(0..=t.len() - p.len());
+                        t[pos..pos + p.len()].copy_from_slice(p);
+                    }
+                }
+                let got = d.match_text(&ctx, &t);
+                let want = oracle(&live, &t);
+                assert_eq!(
+                    got.longest_pattern, want,
+                    "seed {seed} step {step}: match mismatch (live={})",
+                    live.len()
+                );
+            }
+        }
+    }
+    // Drain everything; tables must empty out.
+    for (id, p) in std::mem::take(&mut live) {
+        assert_eq!(d.delete(&ctx, &p), Ok(id));
+    }
+    assert_eq!(d.live_size(), 0);
+    assert_eq!(d.table_entries(), 0);
+}
+
+#[test]
+fn traces_binary_alphabet() {
+    for seed in 0..6 {
+        run_trace(seed, Alphabet::Binary, 120, 300, 12);
+    }
+}
+
+#[test]
+fn traces_dna_alphabet() {
+    for seed in 10..16 {
+        run_trace(seed, Alphabet::Dna, 120, 400, 24);
+    }
+}
+
+#[test]
+fn traces_byte_alphabet_long_patterns() {
+    for seed in 20..24 {
+        run_trace(seed, Alphabet::Bytes, 80, 600, 70);
+    }
+}
+
+#[test]
+fn heavy_delete_churn_triggers_rebuilds() {
+    let ctx = Ctx::seq();
+    let mut r = strings::rng(99);
+    let mut d = DynamicMatcher::new();
+    let text = strings::random_text(&mut r, Alphabet::Letters, 2000);
+    let pats = strings::excerpt_dictionary(&mut r, &text, 60, 4, 20);
+    let mut ids = Vec::new();
+    for p in &pats {
+        ids.push(d.insert(&ctx, p).unwrap());
+    }
+    // Delete two thirds; matches must stay correct throughout.
+    for (k, p) in pats.iter().enumerate().take(40) {
+        d.delete(&ctx, p).unwrap();
+        let _ = k;
+        let live: Vec<(PatId, Vec<u32>)> = pats
+            .iter()
+            .enumerate()
+            .skip(k + 1)
+            .take(60)
+            .map(|(i, q)| (ids[i], q.clone()))
+            .filter(|(_, q)| pats.iter().take(k + 1).all(|dead| dead != q))
+            .collect();
+        if k % 10 == 0 {
+            let got = d.match_text(&ctx, &text[..400]);
+            let want = oracle(&live, &text[..400]);
+            assert_eq!(got.longest_pattern, want, "after {} deletes", k + 1);
+        }
+    }
+    assert!(d.rebuilds() >= 1);
+}
+
+#[test]
+fn partly_dynamic_insert_only_grows_consistently() {
+    // The Theorem 7/8 regime: inserts and matches only.
+    let ctx = Ctx::seq();
+    let mut r = strings::rng(7);
+    let text = strings::random_text(&mut r, Alphabet::Dna, 800);
+    let pats = strings::excerpt_dictionary(&mut r, &text, 30, 2, 40);
+    let mut d = DynamicMatcher::new();
+    let mut live = Vec::new();
+    for p in &pats {
+        let id = d.insert(&ctx, p).unwrap();
+        live.push((id, p.clone()));
+        let got = d.match_text(&ctx, &text);
+        let want = oracle(&live, &text);
+        assert_eq!(got.longest_pattern, want, "after inserting {} patterns", live.len());
+    }
+    assert_eq!(d.rebuilds(), 0, "insert-only must never rebuild");
+}

@@ -1,0 +1,294 @@
+//! Name pools and namestamping tables.
+//!
+//! A *name* is a `u32` identifying string content. All dictionary-side
+//! tables of one matcher share one [`NamePool`], so every allocated name is
+//! globally unique across tables: if a name appears anywhere, it denotes
+//! exactly one string. Text processing allocates from a second pool based at
+//! [`TEXT_NAME_BASE`], realizing the paper's requirement that substrings
+//! appearing only in the text get "special symbols" distinct from
+//! dictionary names (§3.1) — a text-local name can never be mistaken for a
+//! dictionary name.
+
+use pdm_primitives::ConcPairTable;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Name of the empty string (the fold identity of prefix-naming).
+pub const IDENTITY: u32 = 0;
+
+/// First name of the text-local name space.
+pub const TEXT_NAME_BASE: u32 = 0x8000_0000;
+
+/// Monotone allocator of fresh names.
+#[derive(Debug)]
+pub struct NamePool {
+    next: AtomicU32,
+    base: u32,
+    limit: u32,
+}
+
+impl NamePool {
+    /// Dictionary-side pool: names `1 .. TEXT_NAME_BASE`.
+    pub fn dictionary() -> Arc<Self> {
+        Arc::new(Self {
+            next: AtomicU32::new(1),
+            base: 1,
+            limit: TEXT_NAME_BASE,
+        })
+    }
+
+    /// Dictionary-side pool resumed past already-allocated names (for
+    /// deserialized tables, where the names come from the serialized form).
+    pub fn dictionary_resumed(allocated: u32) -> Arc<Self> {
+        Arc::new(Self {
+            next: AtomicU32::new(1 + allocated),
+            base: 1,
+            limit: TEXT_NAME_BASE,
+        })
+    }
+
+    /// Text-local pool: names `TEXT_NAME_BASE .. u32::MAX`.
+    pub fn text_local() -> Arc<Self> {
+        Arc::new(Self {
+            next: AtomicU32::new(TEXT_NAME_BASE),
+            base: TEXT_NAME_BASE,
+            limit: u32::MAX,
+        })
+    }
+
+    /// Allocate a fresh name.
+    #[inline]
+    pub fn fresh(&self) -> u32 {
+        let n = self.next.fetch_add(1, Ordering::Relaxed);
+        assert!(n < self.limit, "name pool exhausted");
+        n
+    }
+
+    /// Number of names allocated so far.
+    pub fn allocated(&self) -> u32 {
+        self.next.load(Ordering::Relaxed) - self.base
+    }
+
+    /// Whether `name` belongs to the text-local space.
+    #[inline]
+    pub fn is_text_local(name: u32) -> bool {
+        name >= TEXT_NAME_BASE && name != u32::MAX
+    }
+}
+
+/// A namestamping table: injective `(u32, u32) → name` with names drawn from
+/// a shared pool. This is the paper's Fact 1 object — constant-time
+/// concurrent stamping with an arbitrary winner allocating the stamp.
+#[derive(Debug)]
+pub struct NameTable {
+    table: ConcPairTable,
+    pool: Arc<NamePool>,
+}
+
+impl NameTable {
+    pub fn with_capacity(cap: usize, pool: Arc<NamePool>) -> Self {
+        Self {
+            table: ConcPairTable::with_capacity(cap),
+            pool,
+        }
+    }
+
+    /// Name of `(a, b)`, allocated on first sight. Thread-safe.
+    #[inline]
+    pub fn name(&self, a: u32, b: u32) -> u32 {
+        self.table.get_or_insert(a, b, || self.pool.fresh())
+    }
+
+    /// Read-only lookup.
+    #[inline]
+    pub fn lookup(&self, a: u32, b: u32) -> Option<u32> {
+        self.table.get(a, b)
+    }
+
+    /// Associate `(a, b)` with a caller-provided value instead of a fresh
+    /// name — for tables whose values are *existing* names, e.g. the
+    /// extension tables of §4.1 mapping `(prefix-name, block-name)` to the
+    /// longer prefix's name. Concurrent writers of the same key must carry
+    /// equal values (they do: the value is a function of the key's content);
+    /// the first writer wins and the winner's value is returned.
+    #[inline]
+    pub fn insert_assoc(&self, a: u32, b: u32, v: u32) -> u32 {
+        let got = self.table.get_or_insert(a, b, || v);
+        debug_assert_eq!(got, v, "insert_assoc callers must agree on the value");
+        got
+    }
+
+    /// Name of a short tuple, by chaining pairs left to right:
+    /// `δ(((t₀,t₁),t₂),…)`. Every arity uses this same fixed shape, so equal
+    /// tuples get equal names. Single-element tuples name `(t₀, IDENTITY)`
+    /// to stay injective against pair names.
+    pub fn name_tuple(&self, t: &[u32]) -> u32 {
+        match t.len() {
+            0 => IDENTITY,
+            1 => self.name(t[0], IDENTITY),
+            _ => {
+                let mut acc = self.name(t[0], t[1]);
+                for &x in &t[2..] {
+                    acc = self.name(acc, x);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Read-only tuple lookup with the same shape as [`Self::name_tuple`].
+    pub fn lookup_tuple(&self, t: &[u32]) -> Option<u32> {
+        match t.len() {
+            0 => Some(IDENTITY),
+            1 => self.lookup(t[0], IDENTITY),
+            _ => {
+                let mut acc = self.lookup(t[0], t[1])?;
+                for &x in &t[2..] {
+                    acc = self.lookup(acc, x)?;
+                }
+                Some(acc)
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// All `(a, b, name)` entries, unordered (serialization support).
+    pub fn entries(&self) -> Vec<(u32, u32, u32)> {
+        self.table.entries()
+    }
+
+    /// Rebuild a table from serialized entries, preserving name values.
+    pub fn from_entries(entries: &[(u32, u32, u32)], pool: Arc<NamePool>) -> Self {
+        let t = Self::with_capacity(entries.len(), pool);
+        for &(a, b, v) in entries {
+            t.insert_assoc(a, b, v);
+        }
+        t
+    }
+}
+
+/// Read-through pair of tables for text processing: dictionary layer first,
+/// then a text-local layer that allocates from the text pool.
+///
+/// Guarantees: keys already named by the dictionary resolve to dictionary
+/// names; keys the dictionary never saw resolve to consistent text-local
+/// names (`≥ TEXT_NAME_BASE`), so two equal text substrings still compare
+/// equal — required for the spawned text copies to match each other's
+/// structure — while never colliding with any dictionary name.
+#[derive(Debug)]
+pub struct Overlay<'a> {
+    dict: &'a NameTable,
+    local: NameTable,
+}
+
+impl<'a> Overlay<'a> {
+    pub fn new(dict: &'a NameTable, local_cap: usize, text_pool: Arc<NamePool>) -> Self {
+        Self {
+            dict,
+            local: NameTable::with_capacity(local_cap, text_pool),
+        }
+    }
+
+    /// Resolve `(a, b)`: dictionary name if known, else text-local name.
+    #[inline]
+    pub fn name(&self, a: u32, b: u32) -> u32 {
+        match self.dict.lookup(a, b) {
+            Some(n) => n,
+            None => self.local.name(a, b),
+        }
+    }
+
+    /// Entries allocated in the local layer (diagnostics/experiments).
+    pub fn local_len(&self) -> usize {
+        self.local.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_disjoint() {
+        let d = NamePool::dictionary();
+        let t = NamePool::text_local();
+        let dn = d.fresh();
+        let tn = t.fresh();
+        assert!(dn < TEXT_NAME_BASE);
+        assert!(NamePool::is_text_local(tn));
+        assert!(!NamePool::is_text_local(dn));
+        assert_eq!(d.allocated(), 1);
+        assert_eq!(t.allocated(), 1);
+    }
+
+    #[test]
+    fn identity_is_not_allocatable() {
+        let d = NamePool::dictionary();
+        assert_ne!(d.fresh(), IDENTITY);
+    }
+
+    #[test]
+    fn table_names_consistent() {
+        let pool = NamePool::dictionary();
+        let t = NameTable::with_capacity(100, pool);
+        let a = t.name(3, 4);
+        assert_eq!(t.name(3, 4), a);
+        assert_eq!(t.lookup(3, 4), Some(a));
+        assert_eq!(t.lookup(4, 3), None);
+        assert_ne!(t.name(4, 3), a);
+    }
+
+    #[test]
+    fn tuple_naming_shapes() {
+        let pool = NamePool::dictionary();
+        let t = NameTable::with_capacity(100, pool);
+        assert_eq!(t.name_tuple(&[]), IDENTITY);
+        let one = t.name_tuple(&[7]);
+        let pair = t.name_tuple(&[7, 0]);
+        // (7) names (7, IDENTITY) == (7, 0) — identical content by design:
+        // IDENTITY is the empty string, so (7)++"" == (7, "").
+        assert_eq!(one, pair);
+        let triple = t.name_tuple(&[1, 2, 3]);
+        assert_eq!(t.name_tuple(&[1, 2, 3]), triple);
+        assert_ne!(t.name_tuple(&[1, 3, 2]), triple);
+        assert_eq!(t.lookup_tuple(&[1, 2, 3]), Some(triple));
+        assert_eq!(t.lookup_tuple(&[9, 9, 9]), None);
+    }
+
+    #[test]
+    fn overlay_prefers_dictionary() {
+        let dpool = NamePool::dictionary();
+        let dict = NameTable::with_capacity(10, dpool);
+        let known = dict.name(1, 2);
+        let ov = Overlay::new(&dict, 10, NamePool::text_local());
+        assert_eq!(ov.name(1, 2), known);
+        let local = ov.name(5, 6);
+        assert!(NamePool::is_text_local(local));
+        assert_eq!(ov.name(5, 6), local);
+        assert_eq!(ov.local_len(), 1);
+        // The overlay never writes into the dictionary layer.
+        assert_eq!(dict.lookup(5, 6), None);
+    }
+
+    #[test]
+    fn shared_pool_names_globally_unique() {
+        let pool = NamePool::dictionary();
+        let t1 = NameTable::with_capacity(100, pool.clone());
+        let t2 = NameTable::with_capacity(100, pool.clone());
+        let mut all = Vec::new();
+        for i in 0..50 {
+            all.push(t1.name(i, 0));
+            all.push(t2.name(i, 0));
+        }
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 100, "same key in different tables ⇒ different names");
+    }
+}

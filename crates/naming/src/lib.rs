@@ -1,0 +1,44 @@
+//! # pdm-naming — Karp–Miller–Rosenberg naming machinery
+//!
+//! Section 3 of the SPAA'93 paper builds everything on three primitives:
+//!
+//! * **Naming** — assign each length-`l` string in a set a short name such
+//!   that names are equal iff the strings are equal;
+//! * **Namestamping** (Fact 1) — constant-time table lookup that propagates
+//!   stamps from a stamped set to a query set;
+//! * **Prefix-naming** (Fact 2) — a name for *every prefix* of every string,
+//!   computed as "a standard prefix-sum computation using the namestamping
+//!   operation in place of arithmetic addition" in `O(log m)` time and
+//!   `O(M)` work.
+//!
+//! This crate implements them:
+//!
+//! * [`arena`] — name pools (dictionary-side and text-local name spaces) and
+//!   [`arena::NameTable`], the namestamping table (a thin policy layer over
+//!   `pdm_primitives::ConcPairTable`); [`arena::Overlay`] gives text
+//!   processing a read-through view of the dictionary tables with a local
+//!   layer for substrings the dictionary never saw (the paper's "special
+//!   symbols distinct from the set used to name the substrings in `V`");
+//! * [`kmr`] — names of power-of-two blocks, by doubling:
+//!   `name_k(i) = δ(name_{k−1}(i), name_{k−1}(i+2^{k−1}))`. Block-aligned
+//!   positions only for dictionary strings (that *is* the shrink of
+//!   shrink-and-spawn), every position for texts (that *is* the spawn);
+//! * [`prefix`] — prefix-naming with a **fixed dyadic left-fold shape** per
+//!   length, so equal prefixes of different patterns receive equal names
+//!   even though the naming operator is not associative;
+//! * [`dynamic`] — the §6 variants: partly-dynamic namestamping (insert
+//!   only), dynamic stamp-counting (reference counts) and dynamic
+//!   stamp-listing (per-stamp lists), driving insert/delete in the dynamic
+//!   dictionary.
+//!
+//! Names are `u32`s drawn from a shared [`arena::NamePool`], so a name value
+//! is globally unique across all tables of a matcher: a name alone
+//! identifies string content (and therefore length). `0` is reserved as the
+//! name of the empty string and `u32::MAX` as invalid.
+
+pub mod arena;
+pub mod dynamic;
+pub mod kmr;
+pub mod prefix;
+
+pub use arena::{NamePool, NameTable, Overlay, IDENTITY, TEXT_NAME_BASE};

@@ -1,0 +1,222 @@
+//! Concurrent-write combinators for the arbitrary-CRCW model.
+//!
+//! The paper's algorithms resolve write conflicts three ways, all of which
+//! the arbitrary-CRCW PRAM permits:
+//!
+//! * **arbitrary** — any single writer wins (used by namestamping: "the
+//!   namestamp is the stamp of *one of* the tuples");
+//! * **priority / min / max** — the extremal value wins (used when a unique
+//!   representative is wanted deterministically);
+//! * **claim** — exactly one writer succeeds and learns it did (used to
+//!   allocate a fresh name for a key).
+//!
+//! On hardware these map to relaxed stores, `fetch_min`/`fetch_max`, and
+//! compare-and-swap respectively. All operations use relaxed ordering: the
+//! algorithms synchronize at round boundaries (the fork/join of each
+//! [`crate::exec::Ctx`] round), never through these cells.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Sentinel for an empty `u64` CRCW cell.
+pub const EMPTY64: u64 = u64::MAX;
+/// Sentinel for an empty `u32` CRCW cell.
+pub const EMPTY32: u32 = u32::MAX;
+
+/// Arbitrary-winner write: any one of the concurrent values survives.
+#[inline]
+pub fn write_arbitrary_u64(cell: &AtomicU64, v: u64) {
+    cell.store(v, Ordering::Relaxed);
+}
+
+/// Arbitrary-winner write (u32).
+#[inline]
+pub fn write_arbitrary_u32(cell: &AtomicU32, v: u32) {
+    cell.store(v, Ordering::Relaxed);
+}
+
+/// Min-priority write: the smallest concurrently written value wins.
+#[inline]
+pub fn write_min_u64(cell: &AtomicU64, v: u64) {
+    cell.fetch_min(v, Ordering::Relaxed);
+}
+
+/// Max-priority write: the largest concurrently written value wins.
+#[inline]
+pub fn write_max_u64(cell: &AtomicU64, v: u64) {
+    cell.fetch_max(v, Ordering::Relaxed);
+}
+
+/// Min-priority write (u32).
+#[inline]
+pub fn write_min_u32(cell: &AtomicU32, v: u32) {
+    cell.fetch_min(v, Ordering::Relaxed);
+}
+
+/// Max-priority write (u32).
+#[inline]
+pub fn write_max_u32(cell: &AtomicU32, v: u32) {
+    cell.fetch_max(v, Ordering::Relaxed);
+}
+
+/// First-writer claim on an empty (`EMPTY64`) cell.
+///
+/// Returns `Ok(())` if this call installed `v`, `Err(current)` with the
+/// already-installed value otherwise. Exactly one concurrent claimer of the
+/// same cell succeeds.
+#[inline]
+pub fn claim_u64(cell: &AtomicU64, v: u64) -> Result<(), u64> {
+    debug_assert_ne!(v, EMPTY64, "EMPTY64 is reserved");
+    match cell.compare_exchange(EMPTY64, v, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => Ok(()),
+        Err(cur) => Err(cur),
+    }
+}
+
+/// First-writer claim (u32); see [`claim_u64`].
+#[inline]
+pub fn claim_u32(cell: &AtomicU32, v: u32) -> Result<(), u32> {
+    debug_assert_ne!(v, EMPTY32, "EMPTY32 is reserved");
+    match cell.compare_exchange(EMPTY32, v, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => Ok(()),
+        Err(cur) => Err(cur),
+    }
+}
+
+/// A fixed-size array of CRCW `u32` cells, initialised to `EMPTY32`.
+///
+/// This is the "auxiliary array `A` of size `M`" pattern from the paper's
+/// §4.2: many processors mark cells in one round, a later round reads them.
+#[derive(Debug)]
+pub struct CrcwArray32 {
+    cells: Box<[AtomicU32]>,
+}
+
+impl CrcwArray32 {
+    pub fn new(n: usize) -> Self {
+        let cells = (0..n).map(|_| AtomicU32::new(EMPTY32)).collect();
+        Self { cells }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<u32> {
+        let v = self.cells[i].load(Ordering::Relaxed);
+        (v != EMPTY32).then_some(v)
+    }
+
+    #[inline]
+    pub fn write_arbitrary(&self, i: usize, v: u32) {
+        write_arbitrary_u32(&self.cells[i], v);
+    }
+
+    #[inline]
+    pub fn write_min(&self, i: usize, v: u32) {
+        // EMPTY32 == u32::MAX, so min-writes into an empty cell behave as
+        // plain writes.
+        write_min_u32(&self.cells[i], v);
+    }
+
+    #[inline]
+    pub fn claim(&self, i: usize, v: u32) -> Result<(), u32> {
+        claim_u32(&self.cells[i], v)
+    }
+
+    /// Extract the contents as `Option<u32>` per cell.
+    pub fn to_vec(&self) -> Vec<Option<u32>> {
+        self.cells
+            .iter()
+            .map(|c| {
+                let v = c.load(Ordering::Relaxed);
+                (v != EMPTY32).then_some(v)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn claim_exactly_one_winner() {
+        let cell = AtomicU64::new(EMPTY64);
+        let wins = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..16u64 {
+                let cell = &cell;
+                let wins = &wins;
+                s.spawn(move || {
+                    if claim_u64(cell, t + 1).is_ok() {
+                        wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), 1);
+        let v = cell.load(Ordering::Relaxed);
+        assert!((1..=16).contains(&v));
+    }
+
+    #[test]
+    fn min_write_keeps_minimum() {
+        let cell = AtomicU64::new(EMPTY64);
+        std::thread::scope(|s| {
+            for t in 0..32u64 {
+                let cell = &cell;
+                s.spawn(move || write_min_u64(cell, 100 - t));
+            }
+        });
+        assert_eq!(cell.load(Ordering::Relaxed), 69);
+    }
+
+    #[test]
+    fn max_write_keeps_maximum() {
+        let cell = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..32u64 {
+                let cell = &cell;
+                s.spawn(move || write_max_u64(cell, t));
+            }
+        });
+        assert_eq!(cell.load(Ordering::Relaxed), 31);
+    }
+
+    #[test]
+    fn crcw_array_marking() {
+        let a = CrcwArray32::new(10);
+        assert_eq!(a.len(), 10);
+        assert!(a.get(3).is_none());
+        a.write_arbitrary(3, 7);
+        assert_eq!(a.get(3), Some(7));
+        a.write_min(3, 5);
+        assert_eq!(a.get(3), Some(5));
+        a.write_min(3, 9);
+        assert_eq!(a.get(3), Some(5));
+        assert!(a.claim(4, 1).is_ok());
+        assert_eq!(a.claim(4, 2), Err(1));
+        let v = a.to_vec();
+        assert_eq!(v[3], Some(5));
+        assert_eq!(v[4], Some(1));
+        assert_eq!(v[0], None);
+    }
+
+    #[test]
+    fn arbitrary_write_is_one_of_written() {
+        let cell = AtomicU32::new(EMPTY32);
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let cell = &cell;
+                s.spawn(move || write_arbitrary_u32(cell, t));
+            }
+        });
+        assert!(cell.load(Ordering::Relaxed) < 8);
+    }
+}

@@ -1,0 +1,67 @@
+//! Stream compaction: keep the flagged elements, preserving order.
+//!
+//! This is the "squeeze out the marked patterns using a fast prefix-sum
+//! computation" step of the paper's fully-dynamic rebuild (§6.2), and the
+//! output-placement step of all-matches enumeration. `O(log n)` rounds,
+//! `O(n)` work via [`crate::scan::prefix_sums`].
+
+use crate::scan::prefix_sums;
+use pdm_pram::Ctx;
+
+/// Elements of `items` whose flag is set, in order.
+pub fn compact<T: Clone + Send + Sync>(ctx: &Ctx, items: &[T], keep: &[bool]) -> Vec<T> {
+    assert_eq!(items.len(), keep.len());
+    let idx = compact_indices(ctx, keep);
+    // Gather round: output slot j reads its unique source index.
+    ctx.map(idx.len(), |j| items[idx[j] as usize].clone())
+}
+
+/// Indices `i` with `keep[i]`, in order. Avoids cloning payloads.
+pub fn compact_indices(ctx: &Ctx, keep: &[bool]) -> Vec<u32> {
+    let counts: Vec<u64> = ctx.map(keep.len(), |i| keep[i] as u64);
+    let (offsets, total) = prefix_sums(ctx, &counts);
+    let out: Vec<std::sync::atomic::AtomicU32> = (0..total as usize)
+        .map(|_| std::sync::atomic::AtomicU32::new(0))
+        .collect();
+    ctx.for_each(keep.len(), |i| {
+        if keep[i] {
+            out[offsets[i] as usize].store(i as u32, std::sync::atomic::Ordering::Relaxed);
+        }
+    });
+    out.into_iter()
+        .map(|a| a.into_inner())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_flagged_in_order() {
+        for ctx in [Ctx::seq(), Ctx::par()] {
+            let items: Vec<u32> = (0..10_000).collect();
+            let keep: Vec<bool> = items.iter().map(|&x| x % 3 == 0).collect();
+            let got = compact(&ctx, &items, &keep);
+            let want: Vec<u32> = items.iter().copied().filter(|&x| x % 3 == 0).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn indices_variant_agrees() {
+        let ctx = Ctx::par();
+        let keep: Vec<bool> = (0..5000).map(|i| (i * 31) % 5 == 0).collect();
+        let got = compact_indices(&ctx, &keep);
+        let want: Vec<u32> = (0..5000u32).filter(|&i| (i * 31) % 5 == 0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_and_none_kept() {
+        let ctx = Ctx::seq();
+        assert!(compact::<u8>(&ctx, &[], &[]).is_empty());
+        assert!(compact(&ctx, &[1, 2, 3], &[false, false, false]).is_empty());
+        assert_eq!(compact(&ctx, &[1, 2, 3], &[true, true, true]), vec![1, 2, 3]);
+    }
+}

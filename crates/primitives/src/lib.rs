@@ -1,0 +1,32 @@
+//! # pdm-primitives — classic PRAM building blocks
+//!
+//! The SPAA'93 dictionary-matching algorithms are assembled from a small set
+//! of standard PRAM primitives, all implemented here from scratch:
+//!
+//! * [`scan`] — generic inclusive/exclusive prefix scans (`O(log n)` rounds,
+//!   `O(n)` work), the engine behind prefix-naming (paper Fact 2);
+//! * [`nearest`] — nearest-one-to-the-left / prefix maxima (paper §4.2
+//!   step 2: "for each position in `A`, the nearest 1 to its left");
+//! * [`compact`] — stream compaction (squeeze-out during dictionary
+//!   rebuilds, §6.2);
+//! * [`radix`] — parallel LSD radix sort (the integer-sorting substrate the
+//!   paper relates dynamic stamp-counting to, §6.2.1);
+//! * [`table`] / [`conc_table`] — the "tables" of the paper's namestamping
+//!   operation (§3.2): injective key→name maps. The paper direct-addresses
+//!   `M²`-sized tables; we substitute open-addressing hash tables
+//!   (sequential and CAS-based concurrent) with identical semantics — see
+//!   DESIGN.md §2;
+//! * [`hash`] — the multiply-xor hasher used by those tables (our own
+//!   implementation, no external hashing crates).
+
+pub mod compact;
+pub mod conc_table;
+pub mod hash;
+pub mod nearest;
+pub mod radix;
+pub mod scan;
+pub mod table;
+
+pub use conc_table::ConcPairTable;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use table::PairMap;

@@ -1,0 +1,107 @@
+//! Nearest-one-to-the-left (paper §4.2, step 2).
+//!
+//! Given a boolean array `A`, find for each position the nearest set position
+//! at or to its left. The paper uses this to turn "which prefixes are full
+//! patterns" into "longest pattern that is a prefix of each prefix": mark a
+//! position when `P_i(1..j)` is a pattern, then every position `j` looks left
+//! for the nearest mark.
+//!
+//! Implemented as a max-scan of `i·[A[i]]`, so it inherits the scan's
+//! `O(log n)` rounds / `O(n)` work.
+
+use crate::scan::scan_inclusive;
+use pdm_pram::Ctx;
+
+/// For each `i`, the largest `j ≤ i` with `marked[j]`, or `None`.
+pub fn nearest_one_left(ctx: &Ctx, marked: &[bool]) -> Vec<Option<usize>> {
+    // Encode position i as i+1 so 0 can be the identity ("no mark yet").
+    let enc: Vec<u64> = ctx.map(marked.len(), |i| if marked[i] { i as u64 + 1 } else { 0 });
+    let maxed = scan_inclusive(ctx, &enc, 0u64, |a, b| *a.max(b));
+    ctx.map(marked.len(), |i| {
+        let v = maxed[i];
+        (v > 0).then(|| (v - 1) as usize)
+    })
+}
+
+/// For each `i`, the smallest `j ≥ i` with `marked[j]`, or `None`.
+pub fn nearest_one_right(ctx: &Ctx, marked: &[bool]) -> Vec<Option<usize>> {
+    let n = marked.len();
+    let rev: Vec<bool> = ctx.map(n, |i| marked[n - 1 - i]);
+    let left = nearest_one_left(ctx, &rev);
+    ctx.map(n, |i| left[n - 1 - i].map(|j| n - 1 - j))
+}
+
+/// Per-value variant: for each `i`, the value at the nearest marked position
+/// `j ≤ i` (`values[j]` where `marked[j]`), or `None`.
+pub fn carry_left<T: Copy + Send + Sync>(
+    ctx: &Ctx,
+    marked: &[bool],
+    values: &[T],
+) -> Vec<Option<T>> {
+    assert_eq!(marked.len(), values.len());
+    let idx = nearest_one_left(ctx, marked);
+    ctx.map(marked.len(), |i| idx[i].map(|j| values[j]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_left(marked: &[bool]) -> Vec<Option<usize>> {
+        let mut out = Vec::with_capacity(marked.len());
+        let mut last = None;
+        for (i, &m) in marked.iter().enumerate() {
+            if m {
+                last = Some(i);
+            }
+            out.push(last);
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive() {
+        for ctx in [Ctx::seq(), Ctx::par()] {
+            for n in [0usize, 1, 7, 100, 10_000] {
+                let marked: Vec<bool> = (0..n).map(|i| (i * 2654435761) % 7 == 0).collect();
+                assert_eq!(nearest_one_left(&ctx, &marked), naive_left(&marked));
+            }
+        }
+    }
+
+    #[test]
+    fn right_is_mirror() {
+        let ctx = Ctx::seq();
+        let marked = vec![false, true, false, false, true, false];
+        assert_eq!(
+            nearest_one_right(&ctx, &marked),
+            vec![Some(1), Some(1), Some(4), Some(4), Some(4), None]
+        );
+    }
+
+    #[test]
+    fn all_unmarked_gives_none() {
+        let ctx = Ctx::seq();
+        let marked = vec![false; 50];
+        assert!(nearest_one_left(&ctx, &marked).iter().all(|x| x.is_none()));
+        assert!(nearest_one_right(&ctx, &marked).iter().all(|x| x.is_none()));
+    }
+
+    #[test]
+    fn carry_left_carries_values() {
+        let ctx = Ctx::seq();
+        let marked = vec![true, false, true, false, false];
+        let values = vec![10u32, 0, 30, 0, 0];
+        assert_eq!(
+            carry_left(&ctx, &marked, &values),
+            vec![Some(10), Some(10), Some(30), Some(30), Some(30)]
+        );
+    }
+
+    #[test]
+    fn position_zero_marked() {
+        let ctx = Ctx::seq();
+        let marked = vec![true, false];
+        assert_eq!(nearest_one_left(&ctx, &marked), vec![Some(0), Some(0)]);
+    }
+}

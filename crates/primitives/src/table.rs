@@ -1,0 +1,169 @@
+//! Sequential name table: injective `(u32, u32) → u32` map.
+//!
+//! This is the sequential realization of the paper's namestamping table
+//! (§3.2): tuples are reduced to pairs (wider tuples chain pairs, see
+//! `pdm-naming`), each pair packs into a `u64` key, and the table assigns or
+//! returns the key's name. Used by the dynamic-dictionary path (§6), where
+//! updates arrive pattern-at-a-time and growth/refcounting matter more than
+//! intra-round parallelism.
+
+use crate::hash::FxHashMap;
+
+/// Pack a `(u32, u32)` pair into the `u64` table key.
+#[inline]
+pub fn pack(a: u32, b: u32) -> u64 {
+    ((a as u64) << 32) | b as u64
+}
+
+/// Unpack a `u64` table key.
+#[inline]
+pub fn unpack(k: u64) -> (u32, u32) {
+    ((k >> 32) as u32, k as u32)
+}
+
+/// Growable sequential pair→name map with per-entry reference counts.
+///
+/// Reference counts implement the paper's *dynamic stamp-counting* (§6.2.1):
+/// deleting a pattern decrements the count of every table entry it
+/// contributed; an entry disappears only when its count reaches zero.
+#[derive(Debug, Default, Clone)]
+pub struct PairMap {
+    map: FxHashMap<u64, Entry>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    name: u32,
+    refs: u32,
+}
+
+impl PairMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            map: FxHashMap::with_capacity_and_hasher(n, Default::default()),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up the name of `(a, b)`.
+    #[inline]
+    pub fn get(&self, a: u32, b: u32) -> Option<u32> {
+        self.map.get(&pack(a, b)).map(|e| e.name)
+    }
+
+    /// Return the name of `(a, b)`, allocating via `alloc` if absent, and
+    /// increment the entry's reference count.
+    #[inline]
+    pub fn get_or_insert_ref(&mut self, a: u32, b: u32, alloc: impl FnOnce() -> u32) -> u32 {
+        let e = self
+            .map
+            .entry(pack(a, b))
+            .and_modify(|e| e.refs += 1)
+            .or_insert_with(|| Entry {
+                name: alloc(),
+                refs: 1,
+            });
+        e.name
+    }
+
+    /// Like [`Self::get_or_insert_ref`] but without touching the refcount
+    /// when the entry already exists (for lookups that must not pin entries).
+    #[inline]
+    pub fn get_or_insert(&mut self, a: u32, b: u32, alloc: impl FnOnce() -> u32) -> u32 {
+        self.map
+            .entry(pack(a, b))
+            .or_insert_with(|| Entry {
+                name: alloc(),
+                refs: 1,
+            })
+            .name
+    }
+
+    /// Decrement the reference count of `(a, b)`; removes the entry at zero.
+    /// Returns `true` if the entry was removed. Panics if absent.
+    pub fn release(&mut self, a: u32, b: u32) -> bool {
+        let k = pack(a, b);
+        let e = self.map.get_mut(&k).expect("release of absent table entry");
+        e.refs -= 1;
+        if e.refs == 0 {
+            self.map.remove(&k);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current reference count (0 if absent).
+    pub fn refs(&self, a: u32, b: u32) -> u32 {
+        self.map.get(&pack(a, b)).map_or(0, |e| e.refs)
+    }
+
+    /// Iterate `(packed key, name)` pairs (migration/serialization support).
+    pub fn iter_entries(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.map.iter().map(|(&k, e)| (k, e.name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for (a, b) in [(0, 0), (1, 2), (u32::MAX - 1, 7), (123456, u32::MAX - 1)] {
+            assert_eq!(unpack(pack(a, b)), (a, b));
+        }
+        assert_ne!(pack(1, 2), pack(2, 1));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let mut t = PairMap::new();
+        let mut next = 0u32;
+        let mut alloc = || {
+            next += 1;
+            next - 1
+        };
+        let n1 = t.get_or_insert(5, 6, &mut alloc);
+        let n2 = t.get_or_insert(5, 6, &mut alloc);
+        let n3 = t.get_or_insert(6, 5, &mut alloc);
+        assert_eq!(n1, n2);
+        assert_ne!(n1, n3);
+        assert_eq!(t.get(5, 6), Some(n1));
+        assert_eq!(t.get(9, 9), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn refcounting_lifecycle() {
+        let mut t = PairMap::new();
+        let mut next = 0u32;
+        t.get_or_insert_ref(1, 1, || {
+            next += 1;
+            next
+        });
+        t.get_or_insert_ref(1, 1, || unreachable!());
+        assert_eq!(t.refs(1, 1), 2);
+        assert!(!t.release(1, 1));
+        assert!(t.release(1, 1));
+        assert_eq!(t.refs(1, 1), 0);
+        assert!(t.get(1, 1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "absent")]
+    fn release_absent_panics() {
+        PairMap::new().release(1, 2);
+    }
+}

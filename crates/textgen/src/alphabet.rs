@@ -1,0 +1,57 @@
+//! Alphabets. The paper's core bounds hold for any alphabet polynomial in
+//! `n` and `M`; the §4.4 refinement's work depends on `|Σ|`, so experiments
+//! sweep these.
+
+use serde::{Deserialize, Serialize};
+
+/// Symbol alphabet with `size` distinct symbols `0 .. size`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Alphabet {
+    /// `{0, 1}` — the extreme case for §4.4.
+    Binary,
+    /// `{0..4}` — DNA-like.
+    Dna,
+    /// `{0..26}` — lowercase-letters-like.
+    Letters,
+    /// `{0..256}` — byte strings.
+    Bytes,
+    /// Arbitrary size (the "polynomial alphabet" regime).
+    Wide(u32),
+}
+
+impl Alphabet {
+    pub fn size(&self) -> u32 {
+        match self {
+            Alphabet::Binary => 2,
+            Alphabet::Dna => 4,
+            Alphabet::Letters => 26,
+            Alphabet::Bytes => 256,
+            Alphabet::Wide(s) => *s,
+        }
+    }
+}
+
+impl std::fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "|Σ|={}", self.size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Alphabet::Binary.size(), 2);
+        assert_eq!(Alphabet::Dna.size(), 4);
+        assert_eq!(Alphabet::Letters.size(), 26);
+        assert_eq!(Alphabet::Bytes.size(), 256);
+        assert_eq!(Alphabet::Wide(1000).size(), 1000);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Alphabet::Dna.to_string(), "|Σ|=4");
+    }
+}

@@ -1,0 +1,176 @@
+//! 2-D workloads for §5: square texts and square pattern dictionaries.
+//!
+//! Grids are row-major `Vec<u32>` with explicit dimensions, structurally
+//! identical to `pdm_baselines::naive::Grid` (kept dependency-free here;
+//! conversion is a one-liner at the call site).
+
+use crate::alphabet::Alphabet;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Row-major 2-D array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridData {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<u32>,
+}
+
+impl GridData {
+    pub fn at(&self, r: usize, c: usize) -> u32 {
+        self.data[r * self.cols + c]
+    }
+
+    pub fn set(&mut self, r: usize, c: usize, v: u32) {
+        self.data[r * self.cols + c] = v;
+    }
+}
+
+/// Uniform random grid.
+pub fn random_grid(r: &mut StdRng, alpha: Alphabet, rows: usize, cols: usize) -> GridData {
+    GridData {
+        rows,
+        cols,
+        data: (0..rows * cols).map(|_| r.gen_range(0..alpha.size())).collect(),
+    }
+}
+
+/// `count` distinct square patterns with sides in `min_side ..= max_side`.
+pub fn random_square_dictionary(
+    r: &mut StdRng,
+    alpha: Alphabet,
+    count: usize,
+    min_side: usize,
+    max_side: usize,
+) -> Vec<GridData> {
+    assert!(min_side >= 1 && min_side <= max_side);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while out.len() < count {
+        attempts += 1;
+        assert!(attempts < count * 100 + 1000, "cannot draw distinct squares");
+        let s = r.gen_range(min_side..=max_side);
+        let g = random_grid(r, alpha, s, s);
+        if seen.insert(g.data.clone()) {
+            out.push(g);
+        }
+    }
+    out
+}
+
+/// Square excerpts of `text` (every pattern occurs at least once).
+pub fn excerpt_square_dictionary(
+    r: &mut StdRng,
+    text: &GridData,
+    count: usize,
+    min_side: usize,
+    max_side: usize,
+) -> Vec<GridData> {
+    assert!(max_side <= text.rows.min(text.cols));
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while out.len() < count {
+        attempts += 1;
+        assert!(attempts < count * 200 + 2000, "text too repetitive");
+        let s = r.gen_range(min_side..=max_side);
+        let r0 = r.gen_range(0..=text.rows - s);
+        let c0 = r.gen_range(0..=text.cols - s);
+        let mut data = Vec::with_capacity(s * s);
+        for i in 0..s {
+            for j in 0..s {
+                data.push(text.at(r0 + i, c0 + j));
+            }
+        }
+        if seen.insert(data.clone()) {
+            out.push(GridData {
+                rows: s,
+                cols: s,
+                data,
+            });
+        }
+    }
+    out
+}
+
+/// Stamp pattern copies into the text grid; returns plant sites.
+pub fn plant_squares(
+    r: &mut StdRng,
+    text: &mut GridData,
+    patterns: &[GridData],
+    count: usize,
+) -> Vec<(usize, usize, usize)> {
+    let mut sites = Vec::new();
+    for _ in 0..count {
+        let pid = r.gen_range(0..patterns.len());
+        let p = &patterns[pid];
+        if p.rows > text.rows || p.cols > text.cols {
+            continue;
+        }
+        let r0 = r.gen_range(0..=text.rows - p.rows);
+        let c0 = r.gen_range(0..=text.cols - p.cols);
+        for i in 0..p.rows {
+            for j in 0..p.cols {
+                text.set(r0 + i, c0 + j, p.at(i, j));
+            }
+        }
+        sites.push((r0, c0, pid));
+    }
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strings::rng;
+
+    #[test]
+    fn random_grid_shape() {
+        let g = random_grid(&mut rng(1), Alphabet::Dna, 5, 7);
+        assert_eq!(g.data.len(), 35);
+        assert!(g.data.iter().all(|&c| c < 4));
+        assert_eq!(g.at(4, 6), g.data[34]);
+    }
+
+    #[test]
+    fn square_dictionary_distinct() {
+        let d = random_square_dictionary(&mut rng(2), Alphabet::Bytes, 10, 2, 5);
+        assert_eq!(d.len(), 10);
+        assert!(d.iter().all(|g| g.rows == g.cols && (2..=5).contains(&g.rows)));
+    }
+
+    #[test]
+    fn excerpts_occur() {
+        let mut r = rng(3);
+        let t = random_grid(&mut r, Alphabet::Bytes, 20, 20);
+        let d = excerpt_square_dictionary(&mut r, &t, 5, 2, 4);
+        for p in &d {
+            let mut found = false;
+            'outer: for r0 in 0..=t.rows - p.rows {
+                for c0 in 0..=t.cols - p.cols {
+                    if (0..p.rows).all(|i| (0..p.cols).all(|j| t.at(r0 + i, c0 + j) == p.at(i, j)))
+                    {
+                        found = true;
+                        break 'outer;
+                    }
+                }
+            }
+            assert!(found);
+        }
+    }
+
+    #[test]
+    fn planted_squares_match() {
+        let mut r = rng(4);
+        let d = random_square_dictionary(&mut r, Alphabet::Bytes, 3, 2, 3);
+        let mut t = random_grid(&mut r, Alphabet::Bytes, 16, 16);
+        let sites = plant_squares(&mut r, &mut t, &d, 4);
+        // The last planted site is guaranteed intact.
+        if let Some(&(r0, c0, pid)) = sites.last() {
+            let p = &d[pid];
+            assert!((0..p.rows)
+                .all(|i| (0..p.cols).all(|j| t.at(r0 + i, c0 + j) == p.at(i, j))));
+        }
+    }
+}

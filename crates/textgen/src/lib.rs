@@ -1,0 +1,20 @@
+//! # pdm-textgen — workload generation
+//!
+//! Deterministic (seeded) generators for the texts, dictionaries and grids
+//! used by the test suites and the experiment harness:
+//!
+//! * [`alphabet`] — the alphabets the paper's bounds are parameterized by
+//!   (`|Σ|` matters for §4.4);
+//! * [`strings`] — random/periodic texts, dictionaries with controlled
+//!   shape (equal lengths, shared prefixes, nested patterns), and planted
+//!   occurrences so matches actually happen;
+//! * [`grid`] — 2-D texts and square patterns for §5;
+//! * [`workload`] — serde-serializable experiment configurations.
+
+pub mod alphabet;
+pub mod grid;
+pub mod markov;
+pub mod strings;
+pub mod workload;
+
+pub use alphabet::Alphabet;

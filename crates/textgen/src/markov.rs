@@ -1,0 +1,137 @@
+//! Markov-chain text generation: English-like symbol streams.
+//!
+//! Uniform random text is the *easiest* case for dictionary matching (long
+//! prefixes almost never match). Realistic text has skewed symbol
+//! frequencies and strong local correlations, producing much deeper prefix
+//! matches and denser trie sharing. This module generates order-1 Markov
+//! streams with Zipf-like stationary behaviour, so benches and examples can
+//! report on workloads shaped like logs, prose or protocol traffic.
+
+use crate::alphabet::Alphabet;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// An order-1 Markov source over `Alphabet` symbols.
+#[derive(Debug, Clone)]
+pub struct MarkovSource {
+    sigma: usize,
+    /// Cumulative transition rows: `cum[s][k]` = P(next ≤ k | cur = s).
+    cum: Vec<Vec<f64>>,
+}
+
+impl MarkovSource {
+    /// Build a random but *skewed* chain: each row's probabilities follow a
+    /// Zipf-ish profile over a row-specific symbol ordering, giving both
+    /// frequency skew and local correlation. `concentration > 0`; larger
+    /// values mean more deterministic transitions (deeper repeated
+    /// substrings).
+    pub fn random(r: &mut StdRng, alpha: Alphabet, concentration: f64) -> Self {
+        assert!(concentration > 0.0);
+        let sigma = alpha.size() as usize;
+        let mut cum = Vec::with_capacity(sigma);
+        for _ in 0..sigma {
+            // Zipf weights over a random permutation of symbols.
+            let mut perm: Vec<usize> = (0..sigma).collect();
+            for i in (1..sigma).rev() {
+                perm.swap(i, r.gen_range(0..=i));
+            }
+            let mut w = vec![0.0f64; sigma];
+            for (rank, &s) in perm.iter().enumerate() {
+                w[s] = 1.0 / ((rank + 1) as f64).powf(concentration);
+            }
+            let total: f64 = w.iter().sum();
+            let mut acc = 0.0;
+            let row: Vec<f64> = w
+                .iter()
+                .map(|x| {
+                    acc += x / total;
+                    acc
+                })
+                .collect();
+            cum.push(row);
+        }
+        MarkovSource { sigma, cum }
+    }
+
+    /// Generate `n` symbols.
+    pub fn generate(&self, r: &mut StdRng, n: usize) -> Vec<u32> {
+        let mut out = Vec::with_capacity(n);
+        let mut cur = r.gen_range(0..self.sigma);
+        for _ in 0..n {
+            out.push(cur as u32);
+            let u: f64 = r.gen();
+            let row = &self.cum[cur];
+            cur = row.partition_point(|&c| c < u).min(self.sigma - 1);
+        }
+        out
+    }
+
+    pub fn alphabet_size(&self) -> usize {
+        self.sigma
+    }
+}
+
+/// Convenience: an English-like byte stream (26 letters, concentration 1.2).
+pub fn english_like(r: &mut StdRng, n: usize) -> Vec<u32> {
+    let src = MarkovSource::random(r, Alphabet::Letters, 1.2);
+    src.generate(r, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strings::rng;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut r1 = rng(5);
+        let a = english_like(&mut r1, 500);
+        let mut r2 = rng(5);
+        let b = english_like(&mut r2, 500);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&c| c < 26));
+    }
+
+    #[test]
+    fn skew_produces_repeated_substrings() {
+        // Markov text must repeat short substrings far more than uniform
+        // text over the same alphabet.
+        let count_repeats = |t: &[u32]| {
+            let mut seen = std::collections::HashSet::new();
+            let mut repeats = 0;
+            for w in t.windows(4) {
+                if !seen.insert(w.to_vec()) {
+                    repeats += 1;
+                }
+            }
+            repeats
+        };
+        let mut r = rng(1);
+        let src = MarkovSource::random(&mut r, Alphabet::Letters, 2.0);
+        let markov = src.generate(&mut r, 4000);
+        let uniform = crate::strings::random_text(&mut r, Alphabet::Letters, 4000);
+        assert!(
+            count_repeats(&markov) > 2 * count_repeats(&uniform),
+            "markov {} vs uniform {}",
+            count_repeats(&markov),
+            count_repeats(&uniform)
+        );
+    }
+
+    #[test]
+    fn transition_rows_are_distributions() {
+        let mut r = rng(2);
+        let src = MarkovSource::random(&mut r, Alphabet::Dna, 1.0);
+        for row in &src.cum {
+            assert!((row.last().unwrap() - 1.0).abs() < 1e-9);
+            assert!(row.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_concentration_rejected() {
+        let mut r = rng(3);
+        MarkovSource::random(&mut r, Alphabet::Binary, 0.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Texts and dictionaries with controlled shape.
+//!
+//! Everything is seeded and deterministic, so experiments and failing tests
+//! reproduce exactly.
+
+use crate::alphabet::Alphabet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded RNG used across the workspace.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Uniform random text of length `n`.
+pub fn random_text(r: &mut StdRng, alpha: Alphabet, n: usize) -> Vec<u32> {
+    (0..n).map(|_| r.gen_range(0..alpha.size())).collect()
+}
+
+/// Periodic text: the adversarial case for failure-function matchers.
+pub fn periodic_text(r: &mut StdRng, alpha: Alphabet, period: usize, n: usize) -> Vec<u32> {
+    assert!(period > 0);
+    let cell: Vec<u32> = (0..period).map(|_| r.gen_range(0..alpha.size())).collect();
+    (0..n).map(|i| cell[i % period]).collect()
+}
+
+/// `count` distinct random patterns with lengths in `min_len ..= max_len`.
+pub fn random_dictionary(
+    r: &mut StdRng,
+    alpha: Alphabet,
+    count: usize,
+    min_len: usize,
+    max_len: usize,
+) -> Vec<Vec<u32>> {
+    assert!(min_len >= 1 && min_len <= max_len);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while out.len() < count {
+        attempts += 1;
+        assert!(
+            attempts < count * 100 + 1000,
+            "alphabet too small to draw {count} distinct patterns"
+        );
+        let len = r.gen_range(min_len..=max_len);
+        let p = random_text(r, alpha, len);
+        if seen.insert(p.clone()) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// `count` distinct random patterns, all of length `len` (for §7).
+pub fn equal_len_dictionary(
+    r: &mut StdRng,
+    alpha: Alphabet,
+    count: usize,
+    len: usize,
+) -> Vec<Vec<u32>> {
+    random_dictionary(r, alpha, count, len, len)
+}
+
+/// Dictionary whose patterns share long common prefixes (trie-heavy shape:
+/// stresses prefix-naming and the longest-pattern attribution).
+pub fn shared_prefix_dictionary(
+    r: &mut StdRng,
+    alpha: Alphabet,
+    count: usize,
+    stem_len: usize,
+    tail_len: usize,
+) -> Vec<Vec<u32>> {
+    let stem = random_text(r, alpha, stem_len);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while out.len() < count {
+        attempts += 1;
+        assert!(attempts < count * 100 + 1000, "cannot diversify tails");
+        let mut p = stem.clone();
+        let tl = r.gen_range(1..=tail_len.max(1));
+        p.extend(random_text(r, alpha, tl));
+        if seen.insert(p.clone()) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Nested dictionary: every pattern is a prefix of the next
+/// (`p[..1], p[..2], …`) — the worst case for all-matches output size.
+pub fn nested_dictionary(r: &mut StdRng, alpha: Alphabet, depth: usize) -> Vec<Vec<u32>> {
+    assert!(depth >= 1);
+    let full = random_text(r, alpha, depth);
+    (1..=depth).map(|l| full[..l].to_vec()).collect()
+}
+
+/// Patterns sampled as excerpts of `text` (every pattern occurs at least
+/// once). Distinct; panics if the text lacks diversity.
+pub fn excerpt_dictionary(
+    r: &mut StdRng,
+    text: &[u32],
+    count: usize,
+    min_len: usize,
+    max_len: usize,
+) -> Vec<Vec<u32>> {
+    assert!(min_len >= 1 && min_len <= max_len && max_len <= text.len());
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while out.len() < count {
+        attempts += 1;
+        assert!(attempts < count * 200 + 2000, "text too repetitive for {count} excerpts");
+        let len = r.gen_range(min_len..=max_len);
+        let start = r.gen_range(0..=text.len() - len);
+        let p = text[start..start + len].to_vec();
+        if seen.insert(p.clone()) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Overwrite `count` random positions of `text` with copies of random
+/// dictionary patterns, guaranteeing occurrences. Returns the plant sites
+/// `(position, pattern)`.
+pub fn plant_occurrences(
+    r: &mut StdRng,
+    text: &mut [u32],
+    patterns: &[Vec<u32>],
+    count: usize,
+) -> Vec<(usize, usize)> {
+    let mut sites = Vec::with_capacity(count);
+    for _ in 0..count {
+        let pid = r.gen_range(0..patterns.len());
+        let p = &patterns[pid];
+        if p.len() > text.len() {
+            continue;
+        }
+        let pos = r.gen_range(0..=text.len() - p.len());
+        text[pos..pos + p.len()].copy_from_slice(p);
+        sites.push((pos, pid));
+    }
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = random_text(&mut rng(7), Alphabet::Bytes, 100);
+        let b = random_text(&mut rng(7), Alphabet::Bytes, 100);
+        let c = random_text(&mut rng(8), Alphabet::Bytes, 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn symbols_within_alphabet() {
+        let t = random_text(&mut rng(1), Alphabet::Dna, 1000);
+        assert!(t.iter().all(|&c| c < 4));
+    }
+
+    #[test]
+    fn periodic_repeats() {
+        let t = periodic_text(&mut rng(2), Alphabet::Binary, 3, 10);
+        for i in 3..10 {
+            assert_eq!(t[i], t[i - 3]);
+        }
+    }
+
+    #[test]
+    fn dictionary_is_distinct_and_sized() {
+        let d = random_dictionary(&mut rng(3), Alphabet::Letters, 50, 2, 8);
+        assert_eq!(d.len(), 50);
+        let set: std::collections::HashSet<_> = d.iter().collect();
+        assert_eq!(set.len(), 50);
+        assert!(d.iter().all(|p| (2..=8).contains(&p.len())));
+    }
+
+    #[test]
+    fn equal_len_dictionary_uniform() {
+        let d = equal_len_dictionary(&mut rng(4), Alphabet::Bytes, 20, 6);
+        assert!(d.iter().all(|p| p.len() == 6));
+    }
+
+    #[test]
+    fn shared_prefix_shape() {
+        let d = shared_prefix_dictionary(&mut rng(5), Alphabet::Bytes, 10, 16, 4);
+        for p in &d {
+            assert_eq!(&p[..16], &d[0][..16]);
+            assert!(p.len() > 16);
+        }
+    }
+
+    #[test]
+    fn nested_shape() {
+        let d = nested_dictionary(&mut rng(6), Alphabet::Bytes, 5);
+        assert_eq!(d.len(), 5);
+        for i in 1..5 {
+            assert_eq!(&d[i][..i], d[i - 1].as_slice());
+        }
+    }
+
+    #[test]
+    fn excerpts_occur_in_text() {
+        let mut r = rng(9);
+        let t = random_text(&mut r, Alphabet::Bytes, 500);
+        let d = excerpt_dictionary(&mut r, &t, 20, 3, 10);
+        for p in &d {
+            assert!(t.windows(p.len()).any(|w| w == p.as_slice()));
+        }
+    }
+
+    #[test]
+    fn planted_occurrences_present() {
+        let mut r = rng(10);
+        let d = random_dictionary(&mut r, Alphabet::Bytes, 5, 3, 6);
+        let mut t = random_text(&mut r, Alphabet::Bytes, 200);
+        let sites = plant_occurrences(&mut r, &mut t, &d, 10);
+        assert!(!sites.is_empty());
+        for (pos, pid) in sites {
+            // A later plant may overwrite an earlier one, so only check the
+            // last plant of each region strictly; weak check: slice length.
+            assert!(pos + d[pid].len() <= t.len());
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Serde-serializable experiment configurations, so every number in
+//! EXPERIMENTS.md traces back to a reproducible spec.
+
+use crate::alphabet::Alphabet;
+use crate::strings;
+use serde::{Deserialize, Serialize};
+
+/// Shape of the generated dictionary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DictShape {
+    /// Independent random patterns with lengths in `[min_len, max_len]`.
+    Random,
+    /// All patterns the same length (`max_len`).
+    EqualLen,
+    /// Long shared stem + short random tails.
+    SharedPrefix,
+    /// Patterns sampled from the text (guaranteed occurrences).
+    Excerpt,
+}
+
+/// A 1-D dictionary-matching workload specification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    pub seed: u64,
+    pub alphabet: Alphabet,
+    pub text_len: usize,
+    pub n_patterns: usize,
+    pub min_len: usize,
+    pub max_len: usize,
+    pub shape: DictShape,
+    /// How many pattern copies to plant into the text.
+    pub plants: usize,
+}
+
+impl WorkloadSpec {
+    /// A sensible default the experiments specialize.
+    pub fn new(seed: u64, text_len: usize, n_patterns: usize, max_len: usize) -> Self {
+        WorkloadSpec {
+            seed,
+            alphabet: Alphabet::Bytes,
+            text_len,
+            n_patterns,
+            min_len: (max_len / 2).max(1),
+            max_len,
+            shape: DictShape::Random,
+            plants: n_patterns.min(text_len / max_len.max(1)),
+        }
+    }
+
+    /// Generate `(text, patterns)`.
+    pub fn generate(&self) -> (Vec<u32>, Vec<Vec<u32>>) {
+        let mut r = strings::rng(self.seed);
+        let mut text = strings::random_text(&mut r, self.alphabet, self.text_len);
+        let patterns = match self.shape {
+            DictShape::Random => strings::random_dictionary(
+                &mut r,
+                self.alphabet,
+                self.n_patterns,
+                self.min_len,
+                self.max_len,
+            ),
+            DictShape::EqualLen => strings::equal_len_dictionary(
+                &mut r,
+                self.alphabet,
+                self.n_patterns,
+                self.max_len,
+            ),
+            DictShape::SharedPrefix => strings::shared_prefix_dictionary(
+                &mut r,
+                self.alphabet,
+                self.n_patterns,
+                self.max_len - (self.max_len / 4).max(1),
+                (self.max_len / 4).max(1),
+            ),
+            DictShape::Excerpt => strings::excerpt_dictionary(
+                &mut r,
+                &text,
+                self.n_patterns,
+                self.min_len,
+                self.max_len,
+            ),
+        };
+        if self.plants > 0 {
+            strings::plant_occurrences(&mut r, &mut text, &patterns, self.plants);
+        }
+        (text, patterns)
+    }
+
+    /// Total dictionary size `M` of a generated instance.
+    pub fn dictionary_size(patterns: &[Vec<u32>]) -> usize {
+        patterns.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_reproducibly() {
+        let spec = WorkloadSpec::new(11, 1000, 10, 8);
+        let (t1, p1) = spec.generate();
+        let (t2, p2) = spec.generate();
+        assert_eq!(t1, t2);
+        assert_eq!(p1, p2);
+        assert_eq!(t1.len(), 1000);
+        assert_eq!(p1.len(), 10);
+    }
+
+    #[test]
+    fn equal_len_shape() {
+        let mut spec = WorkloadSpec::new(1, 500, 8, 6);
+        spec.shape = DictShape::EqualLen;
+        let (_, p) = spec.generate();
+        assert!(p.iter().all(|x| x.len() == 6));
+    }
+
+    #[test]
+    fn excerpt_patterns_occur_when_unplanted() {
+        let mut spec = WorkloadSpec::new(2, 400, 6, 5);
+        spec.shape = DictShape::Excerpt;
+        spec.plants = 0;
+        let (t, p) = spec.generate();
+        for pat in &p {
+            assert!(t.windows(pat.len()).any(|w| w == pat.as_slice()));
+        }
+    }
+
+    #[test]
+    fn shared_prefix_shape_generates() {
+        let mut spec = WorkloadSpec::new(4, 300, 5, 8);
+        spec.shape = DictShape::SharedPrefix;
+        let (_, p) = spec.generate();
+        assert_eq!(p.len(), 5);
+        let stem = spec.max_len - (spec.max_len / 4).max(1);
+        for pat in &p[1..] {
+            assert_eq!(&pat[..stem], &p[0][..stem]);
+        }
+    }
+}

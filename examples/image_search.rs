@@ -1,0 +1,93 @@
+//! 2-D template dictionary over a synthetic "image": find, at every pixel,
+//! the largest template whose square matches there (§5), and locate one
+//! specific template with the optimal-work §7 tensor matcher.
+//!
+//! ```text
+//! cargo run --release --example image_search
+//! ```
+
+use pdm::core::dict2d::{Dict2DMatcher, Grid2};
+use pdm::core::multidim::{match_tensor, Tensor};
+use pdm::pram::Ctx;
+use pdm::textgen::{grid, strings, Alphabet};
+
+fn main() {
+    let ctx = Ctx::par();
+    let mut r = strings::rng(99);
+
+    // A 512×512 "image" with 16 grey levels.
+    let mut image = grid::random_grid(&mut r, Alphabet::Wide(16), 512, 512);
+
+    // Template dictionary: 12 square crops (4..24 px), re-stamped around the
+    // image so every template occurs somewhere.
+    let crops = grid::excerpt_square_dictionary(&mut r, &image, 12, 4, 24);
+    let sites = grid::plant_squares(&mut r, &mut image, &crops, 30);
+    println!(
+        "image 512×512, {} templates (sides {:?}), {} stamped sites",
+        crops.len(),
+        crops.iter().map(|c| c.rows).collect::<Vec<_>>(),
+        sites.len()
+    );
+
+    let templates: Vec<Grid2> = crops
+        .iter()
+        .map(|c| Grid2::new(c.rows, c.cols, c.data.clone()))
+        .collect();
+    let text = Grid2::new(image.rows, image.cols, image.data.clone());
+
+    let matcher = Dict2DMatcher::build(&ctx, &templates).expect("distinct templates");
+    let out = matcher.match_grid(&ctx, &text);
+
+    let mut per = vec![0usize; templates.len()];
+    for p in out.largest_pattern.iter().flatten() {
+        per[*p as usize] += 1;
+    }
+    println!("\nlargest-template hits per template:");
+    for (i, c) in per.iter().enumerate() {
+        println!("  template {i:>2} ({:>2}×{:<2}): {c} pixels", templates[i].rows, templates[i].cols);
+    }
+    let covered = out.largest_pattern.iter().flatten().count();
+    println!("pixels with some template match: {covered}");
+
+    // Verify every stamped site still intact is found.
+    let mut verified = 0;
+    for &(r0, c0, pid) in &sites {
+        let t = &templates[pid];
+        let intact = (0..t.rows)
+            .all(|i| (0..t.cols).all(|j| text.at(r0 + i, c0 + j) == t.at(i, j)));
+        if intact {
+            let got = out.at(r0, c0).expect("stamped site must match");
+            // A larger template may win; the reported side can only be ≥.
+            assert!(
+                out.largest_pattern_side[r0 * text.cols + c0] as usize >= t.rows,
+                "site ({r0},{c0})"
+            );
+            let _ = got;
+            verified += 1;
+        }
+    }
+    println!("✓ verified {verified} intact stamped sites are reported");
+
+    // Single-template search with the §7 optimal-work tensor matcher.
+    let needle = &templates[0];
+    let hits = match_tensor(
+        &ctx,
+        &Tensor::new(vec![text.rows, text.cols], text.data.clone()),
+        &Tensor::new(vec![needle.rows, needle.cols], needle.data.clone()),
+    );
+    let found: Vec<usize> = hits
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b)
+        .map(|(i, _)| i)
+        .collect();
+    println!(
+        "\n§7 tensor search for template 0 ({}×{}): {} occurrence(s), first at {:?}",
+        needle.rows,
+        needle.cols,
+        found.len(),
+        found.first().map(|&i| (i / text.cols, i % text.cols))
+    );
+    let s = ctx.cost.snapshot();
+    println!("\nPRAM cost of this session: {} rounds, {} ops", s.rounds, s.work);
+}

@@ -1,0 +1,62 @@
+//! Intrusion-detection-style signature scanning: a dictionary of byte
+//! signatures matched against a synthetic traffic stream, with the static
+//! shrink-and-spawn matcher checked against (and timed next to) a
+//! from-scratch Aho–Corasick.
+//!
+//! ```text
+//! cargo run --release --example network_ids
+//! ```
+
+use pdm::baselines::AhoCorasick;
+use pdm::prelude::*;
+use pdm::textgen::{strings, Alphabet};
+use std::time::Instant;
+
+fn main() {
+    let mut r = strings::rng(2024);
+
+    // "Signatures": 256 byte patterns of 4..48 bytes, some nested/overlapping.
+    let mut signatures = strings::random_dictionary(&mut r, Alphabet::Bytes, 240, 4, 48);
+    signatures.extend(strings::nested_dictionary(&mut r, Alphabet::Bytes, 16));
+    let m_total: usize = signatures.iter().map(Vec::len).sum();
+
+    // "Traffic": 4 MiB of noise with 2000 planted signature hits.
+    let n = 4 << 20;
+    let mut traffic = strings::random_text(&mut r, Alphabet::Bytes, n);
+    let planted = strings::plant_occurrences(&mut r, &mut traffic, &signatures, 2000);
+
+    println!("signatures: {} (M = {m_total} bytes)", signatures.len());
+    println!("traffic:    {n} bytes, {} planted hits", planted.len());
+
+    let ctx = Ctx::par();
+    let t0 = Instant::now();
+    let matcher = StaticMatcher::build(&ctx, &signatures).expect("distinct signatures");
+    println!("\npreprocess (shrink-and-spawn): {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+
+    let t0 = Instant::now();
+    let out = matcher.match_text(&ctx, &traffic);
+    let ours_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let hits = out.occurrences();
+    println!("scan: {:.1} ms — {} positions with a signature hit", ours_ms, hits.len());
+
+    // Cross-check against Aho–Corasick.
+    let t0 = Instant::now();
+    let ac = AhoCorasick::new(&signatures);
+    let ac_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let ac_out = ac.longest_match_per_position(&traffic);
+    let ac_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let ac_hits = ac_out.iter().filter(|p| p.is_some()).count();
+    println!("aho-corasick: build {ac_build_ms:.1} ms, scan {ac_ms:.1} ms — {ac_hits} hits");
+
+    assert_eq!(hits.len(), ac_hits, "matchers must agree");
+    for (i, p) in hits.iter().take(hits.len()) {
+        assert_eq!(ac_out[*i], Some(*p as usize), "disagreement at {i}");
+    }
+    println!("\n✓ outputs identical; longest hit per position:");
+    for (i, p) in hits.iter().take(5) {
+        println!("  offset {:>8}: signature #{p} ({} bytes)", i, signatures[*p as usize].len());
+    }
+    let s = ctx.cost.snapshot();
+    println!("\nPRAM cost of this session: {} rounds, {} ops", s.rounds, s.work);
+}

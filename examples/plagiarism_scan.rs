@@ -1,0 +1,91 @@
+//! Plagiarism-style overlap detection: index n-gram shingles of a source
+//! corpus as a dictionary, then scan a suspect document for copied spans —
+//! using the *all-matches* output (§2 remark) so overlapping shingles chain
+//! into contiguous regions. Runs on Markov ("English-like") text where long
+//! accidental overlaps actually occur, unlike uniform noise.
+//!
+//! ```text
+//! cargo run --release --example plagiarism_scan
+//! ```
+
+use pdm::core::allmatches;
+use pdm::prelude::*;
+use pdm::textgen::{markov, strings};
+
+const SHINGLE: usize = 12;
+
+fn main() {
+    let mut r = strings::rng(4242);
+
+    // "Source corpus": 64 KiB of English-like symbols.
+    let corpus = markov::english_like(&mut r, 64 << 10);
+
+    // "Suspect document": fresh text with three spans lifted verbatim.
+    let mut doc = markov::english_like(&mut r, 8 << 10);
+    let lifts = [(500usize, 300usize), (3000, 150), (6000, 700)];
+    for &(at, len) in &lifts {
+        doc[at..at + len].copy_from_slice(&corpus[10_000 + at..10_000 + at + len]);
+    }
+
+    // Dictionary: every distinct SHINGLE-gram of the corpus.
+    let mut seen = std::collections::HashSet::new();
+    let mut shingles: Vec<Vec<u32>> = Vec::new();
+    for w in corpus.windows(SHINGLE) {
+        if seen.insert(w) {
+            shingles.push(w.to_vec());
+        }
+    }
+    println!(
+        "corpus {} symbols → {} distinct {SHINGLE}-gram shingles",
+        corpus.len(),
+        shingles.len()
+    );
+
+    let ctx = Ctx::par();
+    let t0 = std::time::Instant::now();
+    let matcher = StaticMatcher::build(&ctx, &shingles).expect("distinct shingles");
+    println!("index build: {:.0} ms", t0.elapsed().as_secs_f64() * 1e3);
+
+    let t0 = std::time::Instant::now();
+    let out = matcher.match_text(&ctx, &doc);
+    let all = allmatches::enumerate_all(&ctx, &matcher, &out);
+    println!(
+        "scan {} symbols: {:.0} ms, {} shingle occurrences",
+        doc.len(),
+        t0.elapsed().as_secs_f64() * 1e3,
+        all.total()
+    );
+
+    // Chain hit positions into maximal copied regions.
+    let hit: Vec<bool> = (0..doc.len()).map(|i| !all.at(i).is_empty()).collect();
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < doc.len() {
+        if hit[i] {
+            let start = i;
+            while i < doc.len() && hit[i] {
+                i += 1;
+            }
+            let span = i - start + SHINGLE - 1;
+            if span >= 2 * SHINGLE {
+                regions.push((start, span));
+            }
+        } else {
+            i += 1;
+        }
+    }
+    println!("\ncopied regions (≥ {} symbols):", 2 * SHINGLE);
+    for (start, span) in &regions {
+        println!("  doc[{start}..{}] — {span} symbols", start + span);
+    }
+    // Every planted lift must be covered by some detected region.
+    for &(at, len) in &lifts {
+        assert!(
+            regions
+                .iter()
+                .any(|&(s, sp)| s <= at && at + len <= s + sp + SHINGLE),
+            "lift at {at} (len {len}) not detected"
+        );
+    }
+    println!("\n✓ all {} planted lifts detected", lifts.len());
+}

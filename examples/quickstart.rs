@@ -1,0 +1,38 @@
+//! Quickstart: build a dictionary, match a text, read the output.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use pdm::prelude::*;
+
+fn main() {
+    // A dictionary is a set of distinct, non-empty patterns over u32
+    // symbols; `symbolize` converts byte strings.
+    let patterns = symbolize(&["he", "she", "his", "hers"]);
+
+    // Any Ctx works; `par` uses the global rayon pool and also counts PRAM
+    // rounds/work in ctx.cost.
+    let ctx = Ctx::par();
+    let matcher = StaticMatcher::build(&ctx, &patterns).expect("valid dictionary");
+
+    let text = to_symbols("ushers and sheriffs share his shares");
+    let out = matcher.match_text(&ctx, &text);
+
+    println!("text: ushers and sheriffs share his shares");
+    println!("{:>4}  {:<10} prefix-len", "pos", "longest");
+    for (i, pat) in out.longest_pattern.iter().enumerate() {
+        if let Some(p) = pat {
+            println!(
+                "{i:>4}  {:<10} {}",
+                String::from_utf8_lossy(
+                    &patterns[*p as usize].iter().map(|&c| c as u8).collect::<Vec<_>>()
+                ),
+                out.prefix_len[i]
+            );
+        }
+    }
+
+    let s = ctx.cost.snapshot();
+    println!("\nPRAM cost: {} rounds, {} operations", s.rounds, s.work);
+}

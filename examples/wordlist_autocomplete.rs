@@ -1,0 +1,50 @@
+//! Longest-prefix lookup against a wordlist — the Phase-1 (§4.1)
+//! prefix-matching output used directly: at every position of a typed
+//! buffer, how far does some dictionary word agree, and which word is it
+//! (the retrieve-index `I_p` output)? Plus all-matches expansion (§2
+//! remark) at one position.
+//!
+//! ```text
+//! cargo run --example wordlist_autocomplete
+//! ```
+
+use pdm::core::allmatches;
+use pdm::prelude::*;
+
+fn word(s: &str) -> Vec<u32> {
+    to_symbols(s)
+}
+
+fn main() {
+    let words = [
+        "par", "parallel", "parallelism", "parse", "parser", "part", "particle",
+        "match", "matcher", "matching", "dict", "dictionary", "pattern",
+    ];
+    let dict: Vec<Vec<u32>> = words.iter().map(|w| word(w)).collect();
+
+    let ctx = Ctx::seq();
+    let matcher = StaticMatcher::build(&ctx, &dict).expect("distinct words");
+
+    let buffer = "parallelmatchingdictx";
+    let text = word(buffer);
+    let out = matcher.match_text(&ctx, &text);
+
+    println!("buffer: {buffer}\n");
+    println!("{:>3}  {:>10} {:<14} {:<14}", "pos", "prefix-len", "a word with it", "longest word");
+    for i in 0..text.len() {
+        if out.prefix_len[i] == 0 {
+            continue;
+        }
+        let owner = out.prefix_owner[i].map(|p| words[p as usize]).unwrap_or("-");
+        let longest = out.longest_pattern[i]
+            .map(|p| words[p as usize])
+            .unwrap_or("-");
+        println!("{i:>3}  {:>10} {owner:<14} {longest:<14}", out.prefix_len[i]);
+    }
+
+    // All complete words starting at position 0, longest first.
+    let all = allmatches::enumerate_all(&ctx, &matcher, &out);
+    let at0: Vec<&str> = all.at(0).iter().map(|&p| words[p as usize]).collect();
+    println!("\nall dictionary words at position 0 (longest first): {at0:?}");
+    assert_eq!(at0, ["parallel", "par"]);
+}

@@ -1,0 +1,21 @@
+//! The `pdm` command-line tool. All logic lives in [`pdm::cli`] so it is
+//! unit-testable; this is the thin binary wrapper.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match pdm::cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", pdm::cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    match pdm::cli::run(cmd, &mut stdout) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("io error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,623 @@
+//! Command-line interface logic (the `pdm` binary is a thin wrapper).
+//!
+//! ```text
+//! pdm build  --dict words.txt --out index.pdm
+//! pdm match  --dict words.txt --text corpus.bin [--threads N] [--all]
+//! pdm match  --index index.pdm --text corpus.bin
+//! pdm prefix --dict words.txt --text corpus.bin
+//! pdm stats  --dict words.txt
+//! pdm gen    --out corpus.bin --bytes 1048576 [--seed 7] [--markov]
+//! ```
+//!
+//! Dictionary files hold one pattern per line (UTF-8 lines, matched as raw
+//! bytes); text files are matched as raw bytes. Everything here is plain
+//! `std` — no CLI dependencies.
+
+use crate::prelude::*;
+use std::io::Write;
+
+/// Where the dictionary comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DictSource {
+    Patterns(String),
+    Index(String),
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    Match {
+        /// A dictionary file (`--dict`) or a prebuilt index (`--index`).
+        dict: DictSource,
+        text: String,
+        threads: Option<usize>,
+        all: bool,
+    },
+    Build {
+        dict: String,
+        out: String,
+    },
+    Prefix {
+        dict: String,
+        text: String,
+        threads: Option<usize>,
+    },
+    Stats {
+        dict: String,
+    },
+    Gen {
+        out: String,
+        bytes: usize,
+        seed: u64,
+        markov: bool,
+    },
+    Help,
+}
+
+/// Errors surfaced to the user with exit code 2.
+#[derive(Debug, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+pub const USAGE: &str = "\
+pdm — parallel dictionary matching (Muthukrishnan & Palem, SPAA'93)
+
+USAGE:
+  pdm build  --dict <file> --out <index>
+  pdm match  --dict <file> --text <file> [--threads N] [--all]
+  pdm match  --index <file> --text <file> [--threads N] [--all]
+  pdm prefix --dict <file> --text <file> [--threads N]
+  pdm stats  --dict <file>
+  pdm gen    --out <file> --bytes <n> [--seed S] [--markov]
+  pdm help
+
+Dictionary files: one pattern per line. Texts are matched byte-wise.
+`match` prints one line per occurrence: <offset>\\t<pattern-index>\\t<pattern>.
+`--all` lists every pattern per position, not just the longest.
+`build` serializes the preprocessed index for repeated `match --index` runs.
+";
+
+/// Parse argv (excluding the program name).
+pub fn parse(args: &[String]) -> Result<Command, UsageError> {
+    let mut it = args.iter();
+    let sub = it.next().map(String::as_str).unwrap_or("help");
+    let mut dict = None;
+    let mut index = None;
+    let mut text = None;
+    let mut out = None;
+    let mut bytes = None;
+    let mut seed = 0u64;
+    let mut threads = None;
+    let mut all = false;
+    let mut markov = false;
+    while let Some(a) = it.next() {
+        let mut need = |name: &str| -> Result<String, UsageError> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| UsageError(format!("{name} requires a value")))
+        };
+        match a.as_str() {
+            "--dict" => dict = Some(need("--dict")?),
+            "--index" => index = Some(need("--index")?),
+            "--text" => text = Some(need("--text")?),
+            "--out" => out = Some(need("--out")?),
+            "--bytes" => {
+                bytes = Some(
+                    need("--bytes")?
+                        .parse()
+                        .map_err(|_| UsageError("--bytes wants an integer".into()))?,
+                )
+            }
+            "--seed" => {
+                seed = need("--seed")?
+                    .parse()
+                    .map_err(|_| UsageError("--seed wants an integer".into()))?
+            }
+            "--threads" => {
+                threads = Some(
+                    need("--threads")?
+                        .parse()
+                        .map_err(|_| UsageError("--threads wants an integer".into()))?,
+                )
+            }
+            "--all" => all = true,
+            "--markov" => markov = true,
+            other => return Err(UsageError(format!("unknown flag: {other}"))),
+        }
+    }
+    let want = |o: Option<String>, name: &str| -> Result<String, UsageError> {
+        o.ok_or_else(|| UsageError(format!("{sub} requires {name}")))
+    };
+    match sub {
+        "match" => {
+            let src = match (dict, index) {
+                (Some(d), None) => DictSource::Patterns(d),
+                (None, Some(i)) => DictSource::Index(i),
+                (Some(_), Some(_)) => {
+                    return Err(UsageError("--dict and --index are exclusive".into()))
+                }
+                (None, None) => return Err(UsageError("match requires --dict or --index".into())),
+            };
+            Ok(Command::Match {
+                dict: src,
+                text: want(text, "--text")?,
+                threads,
+                all,
+            })
+        }
+        "build" => Ok(Command::Build {
+            dict: want(dict, "--dict")?,
+            out: want(out, "--out")?,
+        }),
+        "prefix" => Ok(Command::Prefix {
+            dict: want(dict, "--dict")?,
+            text: want(text, "--text")?,
+            threads,
+        }),
+        "stats" => Ok(Command::Stats {
+            dict: want(dict, "--dict")?,
+        }),
+        "gen" => Ok(Command::Gen {
+            out: want(out, "--out")?,
+            bytes: bytes.ok_or_else(|| UsageError("gen requires --bytes".into()))?,
+            seed,
+            markov,
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(UsageError(format!("unknown command: {other}"))),
+    }
+}
+
+fn ctx_for(threads: Option<usize>) -> Ctx {
+    match threads {
+        Some(t) => Ctx::with_threads(t),
+        None => Ctx::par(),
+    }
+}
+
+/// Load a dictionary file: one pattern per line, empty lines skipped,
+/// duplicates rejected with a clear message.
+pub fn load_dictionary(path: &str) -> Result<Vec<Vec<Sym>>, String> {
+    let data = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let pats: Vec<Vec<Sym>> = data
+        .lines()
+        .filter(|l| !l.is_empty())
+        .map(to_symbols)
+        .collect();
+    if pats.is_empty() {
+        return Err(format!("{path}: no patterns"));
+    }
+    Ok(pats)
+}
+
+/// Load a text file as raw bytes.
+pub fn load_text(path: &str) -> Result<Vec<Sym>, String> {
+    let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    Ok(data.into_iter().map(Sym::from).collect())
+}
+
+/// Execute a command, writing human output to `w`. Returns the exit code.
+pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
+    match cmd {
+        Command::Help => {
+            write!(w, "{USAGE}")?;
+            Ok(0)
+        }
+        Command::Stats { dict } => {
+            let pats = match load_dictionary(&dict) {
+                Ok(p) => p,
+                Err(e) => {
+                    writeln!(w, "error: {e}")?;
+                    return Ok(2);
+                }
+            };
+            let ctx = Ctx::par();
+            let t0 = std::time::Instant::now();
+            let m = match StaticMatcher::build(&ctx, &pats) {
+                Ok(m) => m,
+                Err(e) => {
+                    writeln!(w, "error: {e}")?;
+                    return Ok(2);
+                }
+            };
+            let s = m.stats();
+            writeln!(w, "patterns:        {}", s.n_patterns)?;
+            writeln!(w, "dictionary size: {} symbols (M)", s.dictionary_size)?;
+            writeln!(w, "longest pattern: {} (m)", s.max_pattern_len)?;
+            writeln!(w, "levels:          {} (⌈log₂ m⌉)", s.levels)?;
+            writeln!(w, "names allocated: {}", s.names_allocated)?;
+            writeln!(
+                w,
+                "table entries:   {} (sym {}, pair {}, fold {}, ext {})",
+                s.total_entries(),
+                s.sym_entries,
+                s.pair_entries,
+                s.fold_entries,
+                s.ext_entries
+            )?;
+            let c = ctx.cost.snapshot();
+            writeln!(
+                w,
+                "build: {:.1} ms wall, {} PRAM rounds, {} ops",
+                t0.elapsed().as_secs_f64() * 1e3,
+                c.rounds,
+                c.work
+            )?;
+            Ok(0)
+        }
+        Command::Build { dict, out } => {
+            let pats = match load_dictionary(&dict) {
+                Ok(p) => p,
+                Err(e) => {
+                    writeln!(w, "error: {e}")?;
+                    return Ok(2);
+                }
+            };
+            let ctx = Ctx::par();
+            let m = match StaticMatcher::build(&ctx, &pats) {
+                Ok(m) => m,
+                Err(e) => {
+                    writeln!(w, "error: {e}")?;
+                    return Ok(2);
+                }
+            };
+            let bytes = m.to_bytes();
+            match std::fs::write(&out, &bytes) {
+                Ok(()) => {
+                    writeln!(
+                        w,
+                        "indexed {} patterns ({} symbols) into {out}: {} bytes",
+                        m.n_patterns(),
+                        m.dictionary_size(),
+                        bytes.len()
+                    )?;
+                    Ok(0)
+                }
+                Err(e) => {
+                    writeln!(w, "error: {out}: {e}")?;
+                    Ok(2)
+                }
+            }
+        }
+        Command::Match {
+            dict,
+            text,
+            threads,
+            all,
+        } => {
+            let txt = match load_text(&text) {
+                Ok(t) => t,
+                Err(e) => {
+                    writeln!(w, "error: {e}")?;
+                    return Ok(2);
+                }
+            };
+            let ctx = ctx_for(threads);
+            // Resolve the matcher and (when available) pattern texts.
+            let (m, pats): (StaticMatcher, Option<Vec<Vec<Sym>>>) = match dict {
+                DictSource::Patterns(path) => {
+                    let pats = match load_dictionary(&path) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            writeln!(w, "error: {e}")?;
+                            return Ok(2);
+                        }
+                    };
+                    match StaticMatcher::build(&ctx, &pats) {
+                        Ok(m) => (m, Some(pats)),
+                        Err(e) => {
+                            writeln!(w, "error: {e}")?;
+                            return Ok(2);
+                        }
+                    }
+                }
+                DictSource::Index(path) => {
+                    let data = match std::fs::read(&path) {
+                        Ok(d) => d,
+                        Err(e) => {
+                            writeln!(w, "error: {path}: {e}")?;
+                            return Ok(2);
+                        }
+                    };
+                    match StaticMatcher::from_bytes(&data) {
+                        Ok(m) => (m, None),
+                        Err(e) => {
+                            writeln!(w, "error: {e}")?;
+                            return Ok(2);
+                        }
+                    }
+                }
+            };
+            let show = |w: &mut dyn Write, i: usize, p: PatId| -> std::io::Result<()> {
+                match &pats {
+                    Some(pats) => {
+                        let pat = &pats[p as usize];
+                        let txt: String = pat
+                            .iter()
+                            .map(|&c| char::from(c as u8))
+                            .map(|c| if c.is_ascii_graphic() || c == ' ' { c } else { '.' })
+                            .collect();
+                        writeln!(w, "{i}\t{p}\t{txt}")
+                    }
+                    None => writeln!(w, "{i}\t{p}"),
+                }
+            };
+            let mut count = 0usize;
+            if all {
+                for (i, p) in m.find_all(&ctx, &txt) {
+                    show(w, i, p)?;
+                    count += 1;
+                }
+            } else {
+                let out = m.match_text(&ctx, &txt);
+                for (i, p) in out.occurrences() {
+                    show(w, i, p)?;
+                    count += 1;
+                }
+            }
+            writeln!(w, "# {count} occurrences in {} bytes", txt.len())?;
+            Ok(0)
+        }
+        Command::Prefix {
+            dict,
+            text,
+            threads,
+        } => {
+            let (pats, txt) = match (load_dictionary(&dict), load_text(&text)) {
+                (Ok(p), Ok(t)) => (p, t),
+                (Err(e), _) | (_, Err(e)) => {
+                    writeln!(w, "error: {e}")?;
+                    return Ok(2);
+                }
+            };
+            let ctx = ctx_for(threads);
+            let m = match StaticMatcher::build(&ctx, &pats) {
+                Ok(m) => m,
+                Err(e) => {
+                    writeln!(w, "error: {e}")?;
+                    return Ok(2);
+                }
+            };
+            let pm = m.prefix_match(&ctx, &txt);
+            // Histogram of longest-prefix lengths: the useful summary.
+            let maxl = pm.len.iter().copied().max().unwrap_or(0) as usize;
+            let mut hist = vec![0usize; maxl + 1];
+            for &l in &pm.len {
+                hist[l as usize] += 1;
+            }
+            writeln!(w, "longest-prefix-length histogram ({} positions):", txt.len())?;
+            for (l, &c) in hist.iter().enumerate() {
+                if c > 0 {
+                    writeln!(w, "{l}\t{c}")?;
+                }
+            }
+            Ok(0)
+        }
+        Command::Gen {
+            out,
+            bytes,
+            seed,
+            markov,
+        } => {
+            use pdm_textgen::{markov as mk, strings, Alphabet};
+            let mut r = strings::rng(seed);
+            let syms = if markov {
+                mk::english_like(&mut r, bytes)
+                    .into_iter()
+                    .map(|c| c as u8 + b'a')
+                    .collect::<Vec<u8>>()
+            } else {
+                strings::random_text(&mut r, Alphabet::Bytes, bytes)
+                    .into_iter()
+                    .map(|c| c as u8)
+                    .collect()
+            };
+            match std::fs::write(&out, &syms) {
+                Ok(()) => {
+                    writeln!(w, "wrote {} bytes to {out}", syms.len())?;
+                    Ok(0)
+                }
+                Err(e) => {
+                    writeln!(w, "error: {out}: {e}")?;
+                    Ok(2)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_match() {
+        let c = parse(&args(&["match", "--dict", "d", "--text", "t", "--all"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Match {
+                dict: DictSource::Patterns("d".into()),
+                text: "t".into(),
+                threads: None,
+                all: true
+            }
+        );
+    }
+
+    #[test]
+    fn parses_gen_with_defaults() {
+        let c = parse(&args(&["gen", "--out", "f", "--bytes", "100"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Gen {
+                out: "f".into(),
+                bytes: 100,
+                seed: 0,
+                markov: false
+            }
+        );
+    }
+
+    #[test]
+    fn missing_required_flag_errors() {
+        assert!(parse(&args(&["match", "--dict", "d"])).is_err());
+        assert!(parse(&args(&["gen", "--out", "f"])).is_err());
+        assert!(parse(&args(&["bogus"])).is_err());
+        assert!(parse(&args(&["match", "--nope"])).is_err());
+    }
+
+    #[test]
+    fn empty_args_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&args(&["help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn end_to_end_match_through_tempfiles() {
+        let dir = std::env::temp_dir().join(format!("pdm-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dpath = dir.join("dict.txt");
+        let tpath = dir.join("text.bin");
+        std::fs::write(&dpath, "he\nshe\nhers\n").unwrap();
+        std::fs::write(&tpath, "ushers").unwrap();
+        let mut out = Vec::new();
+        let code = run(
+            Command::Match {
+                dict: DictSource::Patterns(dpath.to_string_lossy().into()),
+                text: tpath.to_string_lossy().into(),
+                threads: Some(1),
+                all: true,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("1\t1\tshe"), "{s}");
+        assert!(s.contains("2\t0\the"), "{s}");
+        assert!(s.contains("2\t2\thers"), "{s}");
+        assert!(s.contains("# 3 occurrences"), "{s}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn end_to_end_gen_and_stats() {
+        let dir = std::env::temp_dir().join(format!("pdm-cli-gen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let gpath = dir.join("gen.bin");
+        let mut out = Vec::new();
+        let code = run(
+            Command::Gen {
+                out: gpath.to_string_lossy().into(),
+                bytes: 1000,
+                seed: 3,
+                markov: true,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        assert_eq!(std::fs::metadata(&gpath).unwrap().len(), 1000);
+
+        let dpath = dir.join("dict.txt");
+        std::fs::write(&dpath, "abc\nde\n").unwrap();
+        let mut out = Vec::new();
+        let code = run(
+            Command::Stats {
+                dict: dpath.to_string_lossy().into(),
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("patterns:        2"), "{s}");
+        assert!(s.contains("dictionary size: 5"), "{s}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn build_then_match_from_index() {
+        let dir = std::env::temp_dir().join(format!("pdm-cli-idx-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dpath = dir.join("dict.txt");
+        let tpath = dir.join("text.bin");
+        let ipath = dir.join("index.pdm");
+        std::fs::write(&dpath, "he\nshe\nhers\n").unwrap();
+        std::fs::write(&tpath, "ushers").unwrap();
+        let mut out = Vec::new();
+        assert_eq!(
+            run(
+                Command::Build {
+                    dict: dpath.to_string_lossy().into(),
+                    out: ipath.to_string_lossy().into(),
+                },
+                &mut out,
+            )
+            .unwrap(),
+            0
+        );
+        let mut out = Vec::new();
+        let code = run(
+            Command::Match {
+                dict: DictSource::Index(ipath.to_string_lossy().into()),
+                text: tpath.to_string_lossy().into(),
+                threads: Some(1),
+                all: true,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("# 3 occurrences"), "{s}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_index_and_dict_exclusive() {
+        assert!(parse(&args(&[
+            "match", "--dict", "d", "--index", "i", "--text", "t"
+        ]))
+        .is_err());
+        assert!(parse(&args(&["match", "--text", "t"])).is_err());
+        let c = parse(&args(&["match", "--index", "i", "--text", "t"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Match {
+                dict: DictSource::Index(_),
+                ..
+            }
+        ));
+        let b = parse(&args(&["build", "--dict", "d", "--out", "o"])).unwrap();
+        assert_eq!(
+            b,
+            Command::Build {
+                dict: "d".into(),
+                out: "o".into()
+            }
+        );
+    }
+
+    #[test]
+    fn bad_paths_exit_2() {
+        let mut out = Vec::new();
+        let code = run(
+            Command::Stats {
+                dict: "/nonexistent/x".into(),
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(code, 2);
+    }
+}

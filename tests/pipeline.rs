@@ -1,0 +1,133 @@
+//! End-to-end pipeline tests: textgen workloads through matchers through
+//! output expansion, plus the 2-D pipeline — the paths a downstream user
+//! would actually run.
+
+use pdm::baselines::naive;
+use pdm::core::allmatches;
+use pdm::core::dict2d::{Dict2DMatcher, Grid2};
+use pdm::core::multidim::{match_tensor_multi, Tensor};
+use pdm::prelude::*;
+use pdm::textgen::workload::{DictShape, WorkloadSpec};
+use pdm::textgen::{grid, strings, Alphabet};
+
+#[test]
+fn workload_spec_to_match_to_allmatches() {
+    for shape in [DictShape::Random, DictShape::Excerpt, DictShape::SharedPrefix] {
+        let mut spec = WorkloadSpec::new(1, 2000, 12, 16);
+        spec.shape = shape;
+        let (text, pats) = spec.generate();
+        let ctx = Ctx::par();
+        let m = StaticMatcher::build(&ctx, &pats).unwrap();
+        let out = m.match_text(&ctx, &text);
+        let all = allmatches::enumerate_all(&ctx, &m, &out);
+        // Expansion must contain exactly the naive occurrence multiset.
+        let occ = naive::find_all(&pats, &text);
+        assert_eq!(all.total(), occ.len(), "{shape:?}");
+        for i in 0..text.len() {
+            let got: Vec<usize> = all.at(i).iter().map(|&p| p as usize).collect();
+            let mut want: Vec<usize> = occ
+                .iter()
+                .filter(|o| o.start == i)
+                .map(|o| o.pat)
+                .collect();
+            want.sort_by_key(|&p| std::cmp::Reverse(pats[p].len()));
+            assert_eq!(got, want, "{shape:?} at {i}");
+        }
+    }
+}
+
+#[test]
+fn excerpt_workloads_always_have_hits() {
+    let mut spec = WorkloadSpec::new(9, 5000, 20, 24);
+    spec.shape = DictShape::Excerpt;
+    let (text, pats) = spec.generate();
+    let ctx = Ctx::seq();
+    let m = StaticMatcher::build(&ctx, &pats).unwrap();
+    let out = m.match_text(&ctx, &text);
+    assert!(
+        out.longest_pattern.iter().flatten().count() >= pats.len(),
+        "every excerpt pattern occurs at least once"
+    );
+}
+
+#[test]
+fn two_d_pipeline_matches_naive() {
+    let mut r = strings::rng(3);
+    let mut tg = grid::random_grid(&mut r, Alphabet::Letters, 40, 40);
+    let pats = grid::excerpt_square_dictionary(&mut r, &tg, 6, 2, 9);
+    grid::plant_squares(&mut r, &mut tg, &pats, 8);
+    let g_pats: Vec<Grid2> = pats
+        .iter()
+        .map(|g| Grid2::new(g.rows, g.cols, g.data.clone()))
+        .collect();
+    let text = Grid2::new(tg.rows, tg.cols, tg.data.clone());
+    let ctx = Ctx::par();
+    let m = Dict2DMatcher::build(&ctx, &g_pats).unwrap();
+    let out = m.match_grid(&ctx, &text);
+    let n_pats: Vec<naive::Grid> = pats
+        .iter()
+        .map(|g| naive::Grid::new(g.rows, g.cols, g.data.clone()))
+        .collect();
+    let n_text = naive::Grid::new(tg.rows, tg.cols, tg.data.clone());
+    let want = naive::largest_square_pattern_per_cell(&n_pats, &n_text);
+    let got: Vec<Option<usize>> = out
+        .largest_pattern
+        .iter()
+        .map(|o| o.map(|p| p as usize))
+        .collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn tensor_multi_pattern_equal_shapes() {
+    // 2-D multi-pattern via §7 reduction agrees with the naive oracle.
+    let mut r = strings::rng(11);
+    let tg = grid::random_grid(&mut r, Alphabet::Dna, 30, 30);
+    let text = Tensor::new(vec![30, 30], tg.data.clone());
+    // Three 3x3 excerpts (deduplicated).
+    let mut pats: Vec<Tensor> = Vec::new();
+    for (r0, c0) in [(0usize, 0usize), (5, 7), (20, 11)] {
+        let mut data = Vec::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                data.push(tg.at(r0 + i, c0 + j));
+            }
+        }
+        let t = Tensor::new(vec![3, 3], data);
+        if !pats.contains(&t) {
+            pats.push(t);
+        }
+    }
+    let ctx = Ctx::seq();
+    let got = match_tensor_multi(&ctx, &text, &pats);
+    #[allow(clippy::needless_range_loop)]
+    for idx in 0..text.len() {
+        let (i, j) = (idx / 30, idx % 30);
+        let want = pats.iter().position(|p| {
+            i + 3 <= 30
+                && j + 3 <= 30
+                && (0..3).all(|a| (0..3).all(|b| tg.at(i + a, j + b) == p.data[a * 3 + b]))
+        });
+        assert_eq!(got[idx].map(|x| x as usize), want, "({i},{j})");
+    }
+}
+
+#[test]
+fn cost_model_accumulates_across_pipeline() {
+    let ctx = Ctx::seq();
+    let (text, pats) = WorkloadSpec::new(2, 1000, 8, 8).generate();
+    let before = ctx.cost.snapshot();
+    let m = StaticMatcher::build(&ctx, &pats).unwrap();
+    let mid = ctx.cost.snapshot();
+    assert!(mid.work > before.work, "build charges work");
+    let _ = m.match_text(&ctx, &text);
+    let end = ctx.cost.snapshot();
+    assert!(end.work > mid.work, "match charges work");
+    let phases = ctx.cost.phases();
+    for name in ["dict/blocks", "dict/prefix-naming", "text/ascent", "text/descent"] {
+        assert!(
+            phases.iter().any(|p| p.name == name),
+            "phase {name} recorded"
+        );
+    }
+}

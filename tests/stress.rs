@@ -1,0 +1,134 @@
+//! Stress and scale tests. The medium ones run in the default suite; the
+//! heavyweight ones are `#[ignore]`d and run with `cargo test -- --ignored`
+//! (used before releases and for memory regressions).
+
+use pdm::baselines::AhoCorasick;
+use pdm::prelude::*;
+use pdm::textgen::{markov, strings, Alphabet};
+
+#[test]
+fn medium_scale_static_matches_ac() {
+    let mut r = strings::rng(77);
+    let mut text = strings::random_text(&mut r, Alphabet::Bytes, 200_000);
+    let pats = strings::excerpt_dictionary(&mut r, &text, 200, 2, 300);
+    strings::plant_occurrences(&mut r, &mut text, &pats, 500);
+    let ctx = Ctx::par();
+    let m = StaticMatcher::build(&ctx, &pats).unwrap();
+    let out = m.match_text(&ctx, &text);
+    let ac = AhoCorasick::new(&pats);
+    let want = ac.longest_match_per_position(&text);
+    let got: Vec<Option<usize>> = out
+        .longest_pattern
+        .iter()
+        .map(|o| o.map(|p| p as usize))
+        .collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn markov_text_deep_prefix_matches() {
+    // Markov text creates much longer accidental prefix matches than
+    // uniform text; the matcher must stay correct under that stress.
+    let mut r = strings::rng(5);
+    let text = markov::english_like(&mut r, 50_000);
+    let pats = strings::excerpt_dictionary(&mut r, &text, 100, 4, 200);
+    let ctx = Ctx::par();
+    let m = StaticMatcher::build(&ctx, &pats).unwrap();
+    let out = m.match_text(&ctx, &text);
+    let ac = AhoCorasick::new(&pats);
+    let want_prefix = ac.longest_prefix_per_position(&text);
+    let got_prefix: Vec<usize> = out.prefix_len.iter().map(|&l| l as usize).collect();
+    assert_eq!(got_prefix, want_prefix);
+    // Sanity: the workload really is "deep" — some long prefix matches.
+    assert!(
+        out.prefix_len.iter().any(|&l| l >= 50),
+        "expected deep matches on Markov text (max {})",
+        out.prefix_len.iter().max().unwrap()
+    );
+}
+
+#[test]
+fn dynamic_thousand_op_trace() {
+    use rand::Rng;
+    let ctx = Ctx::seq();
+    let mut r = strings::rng(11);
+    let base = strings::random_text(&mut r, Alphabet::Dna, 5000);
+    let mut d = DynamicMatcher::new();
+    let mut live: Vec<Vec<u32>> = Vec::new();
+    for _ in 0..1000 {
+        match r.gen_range(0..3) {
+            0 | 1 => {
+                let len = r.gen_range(1..=40);
+                let at = r.gen_range(0..=base.len() - len);
+                let p = base[at..at + len].to_vec();
+                if d.insert(&ctx, &p).is_ok() {
+                    live.push(p);
+                }
+            }
+            _ => {
+                if !live.is_empty() {
+                    let k = r.gen_range(0..live.len());
+                    let p = live.swap_remove(k);
+                    d.delete(&ctx, &p).unwrap();
+                }
+            }
+        }
+    }
+    // Final state must equal a fresh static matcher over the live set.
+    if !live.is_empty() {
+        let st = StaticMatcher::build(&ctx, &live).unwrap();
+        let probe = &base[..2000];
+        let a = d.match_text(&ctx, probe);
+        let b = st.match_text(&ctx, probe);
+        assert_eq!(a.prefix_len, b.prefix_len);
+        // Compare by content (ids differ across the two matchers).
+        for i in 0..probe.len() {
+            let da = a.longest_pattern[i].map(|_p| {
+                let l = a.longest_pattern_len[i] as usize;
+                probe[i..i + l].to_vec()
+            });
+            let db = b.longest_pattern[i].map(|p| live[p as usize].clone());
+            assert_eq!(da, db, "position {i}");
+        }
+    }
+}
+
+#[test]
+#[ignore = "heavy: ~1 GiB-scale text; run with --ignored"]
+fn huge_text_static_match() {
+    let mut r = strings::rng(1);
+    let mut text = strings::random_text(&mut r, Alphabet::Bytes, 16 << 20);
+    let pats = strings::excerpt_dictionary(&mut r, &text, 1000, 8, 1024);
+    strings::plant_occurrences(&mut r, &mut text, &pats, 5000);
+    let ctx = Ctx::par();
+    let m = StaticMatcher::build(&ctx, &pats).unwrap();
+    let out = m.match_text(&ctx, &text);
+    let ac = AhoCorasick::new(&pats);
+    let want = ac.longest_match_per_position(&text);
+    let got: Vec<Option<usize>> = out
+        .longest_pattern
+        .iter()
+        .map(|o| o.map(|p| p as usize))
+        .collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+#[ignore = "heavy: long equal-length recursion at m = 65536"]
+fn very_long_equal_length_patterns() {
+    let mut r = strings::rng(2);
+    let m = 1 << 16;
+    let mut text = strings::random_text(&mut r, Alphabet::Dna, 1 << 20);
+    let pats = strings::excerpt_dictionary(&mut r, &text, 4, m, m);
+    strings::plant_occurrences(&mut r, &mut text, &pats, 8);
+    let matcher = EqualLenMatcher::new(&pats).unwrap();
+    let ctx = Ctx::par();
+    let got = matcher.match_text(&ctx, &text);
+    // Verify against direct comparison at the hit positions only.
+    for (i, hit) in got.iter().enumerate() {
+        if let Some(p) = hit {
+            assert_eq!(&text[i..i + m], pats[*p as usize].as_slice());
+        }
+    }
+    assert!(got.iter().flatten().count() >= 4, "plants must be found");
+}
