@@ -224,7 +224,9 @@ mod tests {
     use super::*;
 
     fn pats(ps: &[&str]) -> Vec<Vec<u32>> {
-        ps.iter().map(|s| s.bytes().map(u32::from).collect()).collect()
+        ps.iter()
+            .map(|s| s.bytes().map(u32::from).collect())
+            .collect()
     }
 
     fn text(s: &str) -> Vec<u32> {

@@ -106,10 +106,7 @@ mod tests {
     #[test]
     fn match_positions_bitmap() {
         let k = Kmp::new(&sym("aa"));
-        assert_eq!(
-            k.match_positions(&sym("aaa")),
-            vec![true, true, false]
-        );
+        assert_eq!(k.match_positions(&sym("aaa")), vec![true, true, false]);
     }
 
     #[test]

@@ -12,7 +12,9 @@ pub fn longest_pattern_per_position(patterns: &[Vec<u32>], text: &[u32]) -> Vec<
         .map(|i| {
             let mut best: Option<(usize, usize)> = None; // (len, pat)
             for (pid, p) in patterns.iter().enumerate() {
-                if !p.is_empty() && i + p.len() <= text.len() && &text[i..i + p.len()] == p.as_slice()
+                if !p.is_empty()
+                    && i + p.len() <= text.len()
+                    && &text[i..i + p.len()] == p.as_slice()
                 {
                     let cand = (p.len(), pid);
                     if best.is_none_or(|b| cand.0 > b.0) {
@@ -54,10 +56,7 @@ pub fn find_all(patterns: &[Vec<u32>], text: &[u32]) -> Vec<crate::Occurrence> {
         }
         for i in 0..text.len().saturating_sub(p.len() - 1) {
             if &text[i..i + p.len()] == p.as_slice() {
-                out.push(crate::Occurrence {
-                    start: i,
-                    pat: pid,
-                });
+                out.push(crate::Occurrence { start: i, pat: pid });
             }
         }
     }
@@ -146,7 +145,10 @@ mod tests {
     #[test]
     fn longest_prefix_basic() {
         let pats = vec![sym("abc"), sym("b")];
-        assert_eq!(longest_prefix_per_position(&pats, &sym("abx")), vec![2, 1, 0]);
+        assert_eq!(
+            longest_prefix_per_position(&pats, &sym("abx")),
+            vec![2, 1, 0]
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@ fn bench(c: &mut Criterion) {
     for &m in &[16usize, 64] {
         let mut r = strings::rng(m as u64);
         let tg = grid::random_grid(&mut r, Alphabet::Dna, side, side);
-        let pg = grid::excerpt_square_dictionary(&mut r, &tg, 1, m, m).pop().unwrap();
+        let pg = grid::excerpt_square_dictionary(&mut r, &tg, 1, m, m)
+            .pop()
+            .unwrap();
         let text = Tensor::new(vec![side, side], tg.data.clone());
         let pat = Tensor::new(vec![m, m], pg.data.clone());
         let ctx = Ctx::par();

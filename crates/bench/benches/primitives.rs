@@ -3,9 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pdm_naming::{NamePool, NameTable};
+use pdm_pram::Ctx;
 use pdm_primitives::radix::radix_sort_by_key;
 use pdm_primitives::scan::{prefix_sums, scan_inclusive};
-use pdm_pram::Ctx;
 
 fn bench(c: &mut Criterion) {
     let n = 1 << 20;
@@ -25,7 +25,11 @@ fn bench(c: &mut Criterion) {
     g.bench_function("prefix_sums_par", |b| b.iter(|| prefix_sums(&par, &data)));
     g.finish();
 
-    let recs: Vec<(u64, u32)> = data.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+    let recs: Vec<(u64, u32)> = data
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u32))
+        .collect();
     let mut g = c.benchmark_group("radix_sort");
     g.sample_size(10);
     g.throughput(Throughput::Elements(n as u64));

@@ -1,0 +1,110 @@
+//! Streaming vs batch throughput (MB/s) at 1, 2 and max threads.
+//!
+//! Three shapes over the same text and dictionary:
+//!
+//! * `batch/<t>` — one whole-text `StaticMatcher::find_all` call;
+//! * `stream/<t>` — a single [`pdm_stream::StreamMatcher`] fed 64 KiB
+//!   chunks (the `pdm match --stream` path), same thread count inside
+//!   each chunk's match call;
+//! * `service/<t>` — a [`pdm_stream::ShardedService`] with `t` worker
+//!   shards, `t` concurrent sessions each streaming the text with
+//!   sequential per-chunk matching (parallelism *across* sessions —
+//!   throughput is counted over all sessions' bytes).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdm_core::static1d::StaticMatcher;
+use pdm_pram::Ctx;
+use pdm_stream::{ServiceConfig, ShardedService, StreamMatcher};
+use pdm_textgen::{strings, Alphabet};
+
+const CHUNK: usize = 64 << 10;
+
+fn thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut v = vec![1];
+    if max >= 2 {
+        v.push(2);
+    }
+    if max > 2 {
+        v.push(max);
+    }
+    v
+}
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 20;
+    let m = 64usize;
+    let mut r = strings::rng(42);
+    let mut text = strings::random_text(&mut r, Alphabet::Bytes, n);
+    let pats = strings::excerpt_dictionary(&mut r, &text, 64, m / 2, m);
+    strings::plant_occurrences(&mut r, &mut text, &pats, 512);
+
+    let bctx = Ctx::seq();
+    let dict = Arc::new(StaticMatcher::build(&bctx, &pats).unwrap());
+
+    let mut g = c.benchmark_group("streaming");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(n as u64));
+
+    for t in thread_counts() {
+        let ctx = Ctx::with_threads(t);
+        g.bench_with_input(BenchmarkId::new("batch", t), &t, |b, _| {
+            b.iter(|| dict.find_all(&ctx, &text))
+        });
+        g.bench_with_input(BenchmarkId::new("stream", t), &t, |b, _| {
+            b.iter(|| {
+                let mut sm = StreamMatcher::new(Arc::clone(&dict));
+                let mut out = Vec::new();
+                for chunk in text.chunks(CHUNK) {
+                    sm.push_into(&ctx, chunk, &mut out);
+                }
+                out
+            })
+        });
+    }
+    g.finish();
+
+    // Service throughput: t sessions on t shards, each streaming the full
+    // text — total bytes = t * n.
+    let mut g = c.benchmark_group("streaming_service");
+    g.sample_size(10);
+    for t in thread_counts() {
+        g.throughput(Throughput::Bytes((t * n) as u64));
+        g.bench_with_input(BenchmarkId::new("sessions", t), &t, |b, &t| {
+            b.iter(|| {
+                let svc = ShardedService::start(
+                    Arc::clone(&dict),
+                    ServiceConfig {
+                        workers: t,
+                        queue_cap: 16,
+                        ..Default::default()
+                    },
+                );
+                let total: u64 = std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..t)
+                        .map(|_| {
+                            let session = svc.open();
+                            let text = &text;
+                            s.spawn(move || {
+                                for chunk in text.chunks(CHUNK) {
+                                    session.push(chunk.to_vec()).unwrap();
+                                }
+                                let (_matches, summary) = session.close();
+                                summary.expect("summary").consumed
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).sum()
+                });
+                assert_eq!(total, (t * n) as u64);
+                svc.shutdown();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -87,7 +87,13 @@ fn e1() {
     println!("claim: text side O(log m) rounds, O(n log m) work; dict side O(M) work\n");
     let n = 1 << 17;
     let mut t = Table::new(&[
-        "m", "log2 m", "M", "dict work/M", "match rounds", "match work", "work/n",
+        "m",
+        "log2 m",
+        "M",
+        "dict work/M",
+        "match rounds",
+        "match work",
+        "work/n",
     ]);
     let mut xs = Vec::new();
     let mut ys = Vec::new();
@@ -145,7 +151,9 @@ fn e2() {
     ] {
         let mut r = strings::rng(7);
         let pats = match shape {
-            "shared-prefix" => strings::shared_prefix_dictionary(&mut r, Alphabet::Bytes, n_pat, 48, 16),
+            "shared-prefix" => {
+                strings::shared_prefix_dictionary(&mut r, Alphabet::Bytes, n_pat, 48, 16)
+            }
             "nested" => strings::nested_dictionary(&mut r, Alphabet::Bytes, n_pat),
             _ => strings::random_dictionary(&mut r, Alphabet::Bytes, n_pat, len / 2, len),
         };
@@ -216,12 +224,7 @@ fn e3() {
     let ac = AhoCorasick::new(&pats);
     let ac_t = time_median(3, || ac.longest_match_per_position(&text));
     let mut t = Table::new(&["matcher", "threads", "time ms", "speedup vs AC-1t"]);
-    t.row(&[
-        "aho-corasick".into(),
-        "1".into(),
-        ms(ac_t),
-        f2(1.0),
-    ]);
+    t.row(&["aho-corasick".into(), "1".into(), ms(ac_t), f2(1.0)]);
     let max_threads = std::thread::available_parallelism().map_or(8, |x| x.get());
     for &th in &[1usize, 2, 4, 8] {
         if th > max_threads {
@@ -236,7 +239,10 @@ fn e3() {
             f2(ac_t.as_secs_f64() / d.as_secs_f64()),
         ]);
         let pool = std::sync::Arc::new(
-            rayon::ThreadPoolBuilder::new().num_threads(th).build().unwrap(),
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(th)
+                .build()
+                .unwrap(),
         );
         let dchunk = time_median(3, || {
             pool.install(|| chunked_ac::longest_match_per_position_chunked(&ac, &text, 64, 1 << 16))
@@ -259,9 +265,7 @@ fn e4() {
     println!("claim: text work O(n·log m/L + n); dict work O(M·L·|Σ|);");
     println!("optimum near L* = √(log m/|Σ|)\n");
     let n = 1 << 16;
-    let mut t = Table::new(&[
-        "|Σ|", "m", "L", "text work/n", "dict work", "L* (Cor 1)",
-    ]);
+    let mut t = Table::new(&["|Σ|", "m", "L", "text work/n", "dict work", "L* (Cor 1)"]);
     for &(sigma, alpha) in &[(2u32, Alphabet::Binary), (4, Alphabet::Dna)] {
         for &m in &[256usize, 4096] {
             let mut r = strings::rng(11);
@@ -300,7 +304,12 @@ fn e5() {
     let n = 1 << 17;
     let kappa = 8;
     let mut t = Table::new(&[
-        "m", "work/(n+M) [Thm11]", "rounds", "work/n [§4 matcher]", "AC time ms", "Thm11 time ms (par)",
+        "m",
+        "work/(n+M) [Thm11]",
+        "rounds",
+        "work/n [§4 matcher]",
+        "AC time ms",
+        "Thm11 time ms (par)",
     ]);
     let mut flat = Vec::new();
     for &m in &[8usize, 32, 128, 512, 2048] {
@@ -352,7 +361,12 @@ fn e6() {
     let side = 256usize;
     let n = side * side;
     let mut t = Table::new(&[
-        "m", "text rounds", "text work/n", "dict work/M", "2D time ms", "Baker-Bird ms",
+        "m",
+        "text rounds",
+        "text work/n",
+        "dict work/M",
+        "2D time ms",
+        "Baker-Bird ms",
     ]);
     let mut xs = Vec::new();
     let mut ys = Vec::new();
@@ -472,7 +486,11 @@ fn e8() {
     }
     let after_inserts = ctx.cost.snapshot();
     let mut t = Table::new(&[
-        "deletes", "cum work", "work/symbols-touched", "rebuilds", "live table entries",
+        "deletes",
+        "cum work",
+        "work/symbols-touched",
+        "rebuilds",
+        "live table entries",
     ]);
     let mut touched = inserted_syms;
     for (k, p) in pats.iter().enumerate().take(360) {
@@ -495,7 +513,10 @@ fn e8() {
         "\ninsert phase work {}, full trace work {} over {} symbols touched — amortized O(λ) ✓",
         after_inserts.work, total.work, touched
     );
-    println!("rebuilds fired: {} (squeeze-out amortization observable)", d.rebuilds());
+    println!(
+        "rebuilds fired: {} (squeeze-out amortization observable)",
+        d.rebuilds()
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -584,9 +605,18 @@ fn e11() {
     println!("dictionary factor at 2 while text work pays an extra log Σ of steps\n");
     let n = 1 << 15;
     let mut t = Table::new(&[
-        "|Σ|", "bits", "L (bit units)", "text work/n", "vs base work/n", "agree",
+        "|Σ|",
+        "bits",
+        "L (bit units)",
+        "text work/n",
+        "vs base work/n",
+        "agree",
     ]);
-    for &(sigma, alpha) in &[(16u32, Alphabet::Wide(16)), (64, Alphabet::Wide(64)), (256, Alphabet::Bytes)] {
+    for &(sigma, alpha) in &[
+        (16u32, Alphabet::Wide(16)),
+        (64, Alphabet::Wide(64)),
+        (256, Alphabet::Bytes),
+    ] {
         let mut r = strings::rng(sigma as u64);
         let mut text = strings::random_text(&mut r, alpha, n);
         let pats = strings::excerpt_dictionary(&mut r, &text, 8, 8, 64);
@@ -631,7 +661,13 @@ fn a1() {
     use pdm_core::dynamic::ancestor::MarkedAncestorTree;
     println!("## A1 — ablation: nearest-marked-ancestor structure");
     println!("heavy paths + ordered mark sets (ours) vs naive parent walking\n");
-    let mut t = Table::new(&["depth", "marks", "heavy-path ms", "naive walk ms", "speedup"]);
+    let mut t = Table::new(&[
+        "depth",
+        "marks",
+        "heavy-path ms",
+        "naive walk ms",
+        "speedup",
+    ]);
     for &depth in &[1_000usize, 10_000, 100_000] {
         // One long chain (the trie shape of one long pattern) with sparse marks.
         let mut tree = MarkedAncestorTree::new();
@@ -715,8 +751,7 @@ fn a2() {
                     }
                 });
             } else {
-                let table: Mutex<FxHashMap<(u32, u32), u32>> =
-                    Mutex::new(FxHashMap::default());
+                let table: Mutex<FxHashMap<(u32, u32), u32>> = Mutex::new(FxHashMap::default());
                 let next = std::sync::atomic::AtomicU32::new(1);
                 std::thread::scope(|s| {
                     for th in 0..threads {

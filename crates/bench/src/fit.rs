@@ -33,7 +33,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Fit {
         })
         .sum();
     let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     Fit {
         intercept,
         slope,
@@ -70,7 +74,10 @@ mod tests {
     #[test]
     fn noisy_line_high_r2() {
         let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| 5.0 + 3.0 * x + (x * 7.0).sin() * 0.1).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 5.0 + 3.0 * x + (x * 7.0).sin() * 0.1)
+            .collect();
         let f = linear_fit(&xs, &ys);
         assert!((f.slope - 3.0).abs() < 0.05);
         assert!(f.r2 > 0.999);

@@ -33,8 +33,8 @@
 use crate::dict::{PatId, Sym};
 use crate::static1d::namemap::unpack2;
 use crate::static1d::{MatchOutput, StaticMatcher};
-use pdm_primitives::scan::prefix_sums;
 use pdm_pram::Ctx;
+use pdm_primitives::scan::prefix_sums;
 
 /// CSR-style per-position pattern lists.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,11 +92,7 @@ pub fn pattern_chains(matcher: &StaticMatcher) -> PatternChains {
 }
 
 /// Expand a longest-match output into all matches per position.
-pub fn enumerate_all(
-    ctx: &Ctx,
-    matcher: &StaticMatcher,
-    out: &MatchOutput,
-) -> AllMatches {
+pub fn enumerate_all(ctx: &Ctx, matcher: &StaticMatcher, out: &MatchOutput) -> AllMatches {
     let chains = pattern_chains(matcher);
     let n = out.longest_pattern.len();
     let counts: Vec<u64> = ctx.map(n, |i| {

@@ -40,8 +40,8 @@
 
 use crate::dict::{BuildError, PatId, Sym};
 use pdm_naming::{NamePool, NameTable, IDENTITY};
-use pdm_primitives::FxHashMap;
 use pdm_pram::{floor_log2, Ctx};
+use pdm_primitives::FxHashMap;
 use std::sync::Arc;
 
 /// Row-major 2-D array of symbols.
@@ -155,7 +155,9 @@ impl Dict2DMatcher {
         let mut seen: FxHashMap<&[Sym], usize> = FxHashMap::default();
         for (i, p) in patterns.iter().enumerate() {
             if !p.is_square() {
-                return Err(BuildError::Unsupported(format!("pattern {i} is not square")));
+                return Err(BuildError::Unsupported(format!(
+                    "pattern {i} is not square"
+                )));
             }
             if p.rows == 0 {
                 return Err(BuildError::EmptyPattern(i));
@@ -187,8 +189,15 @@ impl Dict2DMatcher {
             per.push(p.data.iter().map(|&c| sym.name(c, 0)).collect());
             for k in 1..=levels {
                 let h = 1usize << (k - 1);
-                let dim_prev = side + 1 - h;
                 let dim = side.saturating_sub((1 << k) - 1);
+                if dim == 0 {
+                    // `levels` is set by the largest pattern; 2^k blocks no
+                    // longer fit in this (smaller) one, so its level is
+                    // empty — and `side + 1 - h` below would underflow.
+                    per.push(Vec::new());
+                    continue;
+                }
+                let dim_prev = side + 1 - h;
                 let prev = &per[k - 1];
                 let mut cur = Vec::with_capacity(dim * dim);
                 for i in 0..dim {
@@ -214,13 +223,7 @@ impl Dict2DMatcher {
             let h = s - (1 << k);
             let dim = p.rows + 1 - (1 << k);
             let lv = &lvls[pi][k];
-            cert.name_tuple(&[
-                lv[0],
-                lv[h],
-                lv[h * dim],
-                lv[h * dim + h],
-                s as u32,
-            ])
+            cert.name_tuple(&[lv[0], lv[h], lv[h * dim], lv[h * dim + h], s as u32])
         };
         let mut full: FxHashMap<u32, PatId> = FxHashMap::default();
         for (pi, p) in patterns.iter().enumerate() {
@@ -446,11 +449,7 @@ impl<'a> TextLevels<'a> {
 
     /// Binary search the largest matching square-prefix side at `(i, j)`.
     fn largest_prefix(&self, i: usize, j: usize) -> (u32, Option<u32>) {
-        let cap = self
-            .matcher
-            .max_side
-            .min(self.rows - i)
-            .min(self.cols - j);
+        let cap = self.matcher.max_side.min(self.rows - i).min(self.cols - j);
         let (mut lo, mut hi) = (0usize, cap);
         while lo < hi {
             let mid = (lo + hi).div_ceil(2);
@@ -538,10 +537,7 @@ mod tests {
 
     #[test]
     fn single_cell_patterns() {
-        let pats = vec![
-            Grid2::new(1, 1, vec![5]),
-            Grid2::new(1, 1, vec![7]),
-        ];
+        let pats = vec![Grid2::new(1, 1, vec![5]), Grid2::new(1, 1, vec![7])];
         let text = Grid2::new(2, 3, vec![5, 7, 5, 0, 7, 7]);
         check(&pats, &text, "1x1");
     }
@@ -644,9 +640,8 @@ mod tests {
                     .filter(|(_, p)| {
                         r + p.rows <= text.rows
                             && c + p.cols <= text.cols
-                            && (0..p.rows).all(|i| {
-                                (0..p.cols).all(|j| text.at(r + i, c + j) == p.at(i, j))
-                            })
+                            && (0..p.rows)
+                                .all(|i| (0..p.cols).all(|j| text.at(r + i, c + j) == p.at(i, j)))
                     })
                     .map(|(pi, p)| (pi, p.rows as u32))
                     .collect();
@@ -679,11 +674,8 @@ mod tests {
         let want = naive_all(&pats, &text);
         for r in 0..6 {
             for c in 0..6 {
-                let got: Vec<(usize, u32)> = all
-                    .at(r, c)
-                    .iter()
-                    .map(|&(p, s)| (p as usize, s))
-                    .collect();
+                let got: Vec<(usize, u32)> =
+                    all.at(r, c).iter().map(|&(p, s)| (p as usize, s)).collect();
                 assert_eq!(got, want[r * 6 + c], "cell ({r},{c})");
             }
         }

@@ -27,8 +27,8 @@
 use crate::dict::{BuildError, PatId, Sym};
 use crate::multidim::Tensor;
 use pdm_naming::{NamePool, NameTable};
-use pdm_primitives::FxHashMap;
 use pdm_pram::{floor_log2, Ctx};
+use pdm_primitives::FxHashMap;
 
 /// Sentinel for text blocks unseen in the dictionary.
 const UNKNOWN: u32 = u32::MAX - 1;
@@ -111,7 +111,9 @@ impl DictNdMatcher {
             }
             let side = p.dims[0];
             if p.dims.iter().any(|&d| d != side) {
-                return Err(BuildError::Unsupported(format!("pattern {i} is not a cube")));
+                return Err(BuildError::Unsupported(format!(
+                    "pattern {i} is not a cube"
+                )));
             }
             if side == 0 {
                 return Err(BuildError::EmptyPattern(i));

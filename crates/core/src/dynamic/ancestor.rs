@@ -107,9 +107,7 @@ impl MarkedAncestorTree {
         // Extend the parent's path when p is its tail and this is p's first
         // child — keeps freshly inserted pattern chains on one path.
         let pp = self.path_id[p as usize] as usize;
-        if self.children[p as usize] == 1
-            && *self.paths[pp].nodes.last().unwrap() == p
-        {
+        if self.children[p as usize] == 1 && *self.paths[pp].nodes.last().unwrap() == p {
             self.path_id.push(pp as u32);
             self.path_pos.push(self.paths[pp].nodes.len() as u32);
             self.paths[pp].nodes.push(v);
@@ -201,10 +199,7 @@ impl MarkedAncestorTree {
                 if kids.is_empty() {
                     break;
                 }
-                let heavy = *kids
-                    .iter()
-                    .max_by_key(|&&c| size[c as usize])
-                    .unwrap();
+                let heavy = *kids.iter().max_by_key(|&&c| size[c as usize]).unwrap();
                 for &c in kids {
                     if c != heavy {
                         stack.push(c);

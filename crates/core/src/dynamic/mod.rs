@@ -38,8 +38,8 @@ use crate::dict::{PatId, Sym};
 use crate::static1d::{self, MatchOutput, MatchTables, PrefixMatch};
 use pdm_naming::dynamic::{DynTable, StampList};
 use pdm_naming::{NamePool, IDENTITY};
-use pdm_primitives::FxHashMap;
 use pdm_pram::{ceil_log2, Ctx};
+use pdm_primitives::FxHashMap;
 use std::sync::Arc;
 use trie::PatternTrie;
 
@@ -232,11 +232,7 @@ impl DynamicMatcher {
 
     /// Aligned block names and prefix names of one pattern, via `name`:
     /// either allocating+refcounting (insert) or pure lookups (delete).
-    fn names_of(
-        &mut self,
-        pattern: &[Sym],
-        alloc: bool,
-    ) -> (Vec<Vec<u32>>, Vec<u32>) {
+    fn names_of(&mut self, pattern: &[Sym], alloc: bool) -> (Vec<Vec<u32>>, Vec<u32>) {
         let lam = pattern.len();
         let k_max = pdm_pram::floor_log2(lam) as usize;
         let mut blocks: Vec<Vec<u32>> = Vec::with_capacity(k_max + 1);
@@ -304,7 +300,11 @@ impl DynamicMatcher {
         // Extension entries per level.
         for (k, lvl) in blocks.iter().enumerate() {
             for (b, &block) in lvl.iter().enumerate() {
-                let key = if b == 0 { IDENTITY } else { prefs[(b << k) - 1] };
+                let key = if b == 0 {
+                    IDENTITY
+                } else {
+                    prefs[(b << k) - 1]
+                };
                 let val = prefs[((b + 1) << k) - 1];
                 self.ext[k].assoc_ref(key, block, val);
             }
@@ -332,7 +332,11 @@ impl DynamicMatcher {
         // but symmetric order keeps the refcount audit trivial).
         for (k, lvl) in blocks.iter().enumerate() {
             for (b, &block) in lvl.iter().enumerate() {
-                let key = if b == 0 { IDENTITY } else { prefs[(b << k) - 1] };
+                let key = if b == 0 {
+                    IDENTITY
+                } else {
+                    prefs[(b << k) - 1]
+                };
                 self.ext[k].release(key, block);
             }
         }
@@ -539,7 +543,10 @@ mod tests {
         ];
         let res = d.insert_batch(&ctx, &batch);
         assert!(res[0].is_ok() && res[1].is_ok() && res[3].is_ok());
-        assert_eq!(res[2], Err(DynError::AlreadyPresent(*res[0].as_ref().unwrap())));
+        assert_eq!(
+            res[2],
+            Err(DynError::AlreadyPresent(*res[0].as_ref().unwrap()))
+        );
         assert_eq!(d.live_patterns(), 3);
 
         let res = d.delete_batch(&ctx, &[to_symbols("beta"), to_symbols("nope")]);

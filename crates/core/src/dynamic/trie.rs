@@ -121,7 +121,7 @@ mod tests {
         let abcd = t.insert_path(&to_symbols("abcd"));
         t.mark(ab[1], 0); // "ab" is pattern 0
         t.mark(abcd[3], 1); // "abcd" is pattern 1
-        // At "abc": longest marked prefix is "ab".
+                            // At "abc": longest marked prefix is "ab".
         assert_eq!(t.longest_pattern_prefix(abcd[2]), Some((0, 2)));
         // At "abcd": itself.
         assert_eq!(t.longest_pattern_prefix(abcd[3]), Some((1, 4)));

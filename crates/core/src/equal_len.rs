@@ -49,8 +49,8 @@
 
 use crate::dict::{validate_dictionary, BuildError, PatId, Sym};
 use pdm_naming::{NamePool, NameTable, IDENTITY};
-use pdm_primitives::FxHashMap;
 use pdm_pram::Ctx;
+use pdm_primitives::FxHashMap;
 use std::sync::Arc;
 
 /// Sentinel for text blocks with no dictionary name.
@@ -109,8 +109,7 @@ impl EqualLenMatcher {
             .enumerate()
             .map(|(i, &b)| (b, i as PatId))
             .collect();
-        ctx.cost
-            .round(texts.iter().map(|t| t.len() as u64).sum());
+        ctx.cost.round(texts.iter().map(|t| t.len() as u64).sum());
         matches
             .into_iter()
             .map(|mt| {
@@ -349,7 +348,7 @@ fn solve(
         .map(|(ti, t)| {
             let even = &sub_matches[2 * ti]; // offset-0 copy
             let odd_src = &sub_matches[2 * ti + 1]; // offset-2 copy
-            // α(i) for even i: the recursion's match at text position i.
+                                                    // α(i) for even i: the recursion's match at text position i.
             let alpha = |i: usize| -> Option<u32> {
                 debug_assert!(i.is_multiple_of(2));
                 if i.is_multiple_of(4) {

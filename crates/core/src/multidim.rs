@@ -32,8 +32,8 @@
 
 use crate::dict::{PatId, Sym};
 use crate::equal_len::EqualLenMatcher;
-use pdm_primitives::FxHashMap;
 use pdm_pram::Ctx;
+use pdm_primitives::FxHashMap;
 
 /// Sentinel symbol for "no slice matches here" in signature texts. Matches
 /// the `UNKNOWN` convention of `equal_len` (never equal to anything the
@@ -121,11 +121,7 @@ pub fn match_tensor(ctx: &Ctx, text: &Tensor, pattern: &Tensor) -> Vec<bool> {
 
 /// Multi-pattern form: all patterns share one shape; per text position, the
 /// index of the (unique) pattern matching there.
-pub fn match_tensor_multi(
-    ctx: &Ctx,
-    text: &Tensor,
-    patterns: &[Tensor],
-) -> Vec<Option<PatId>> {
+pub fn match_tensor_multi(ctx: &Ctx, text: &Tensor, patterns: &[Tensor]) -> Vec<Option<PatId>> {
     assert!(!patterns.is_empty());
     let dims = &patterns[0].dims;
     assert!(
@@ -136,14 +132,10 @@ pub fn match_tensor_multi(
         .iter()
         .map(|p| (p.data.as_slice(), p.dims.as_slice()))
         .collect();
-    multi_match(
-        ctx,
-        &[(text.data.as_slice(), text.dims.as_slice())],
-        &pats,
-    )
-    .into_iter()
-    .next()
-    .unwrap()
+    multi_match(ctx, &[(text.data.as_slice(), text.dims.as_slice())], &pats)
+        .into_iter()
+        .next()
+        .unwrap()
 }
 
 /// Recursive multi-text multi-pattern matcher over flattened tensors.
@@ -255,8 +247,7 @@ fn multi_match(
             col_meta.push((ti, p));
         }
     }
-    ctx.cost
-        .round(columns.iter().map(|c| c.len() as u64).sum());
+    ctx.cost.round(columns.iter().map(|c| c.len() as u64).sum());
 
     // Dedup signatures and match them down the columns (1-D equal length).
     let sig_dims = [s0];
@@ -285,10 +276,8 @@ fn multi_match(
 
     // Assemble: match at column (ti, p) position i ⇒ tensor position
     // i*tslice + p of text ti.
-    let mut out: Vec<Vec<Option<PatId>>> = texts
-        .iter()
-        .map(|(td, _)| vec![None; td.len()])
-        .collect();
+    let mut out: Vec<Vec<Option<PatId>>> =
+        texts.iter().map(|(td, _)| vec![None; td.len()]).collect();
     for (ci, (ti, p)) in col_meta.iter().enumerate() {
         let tslice: usize = texts[*ti].1[1..].iter().product();
         for (i, &m) in col_match[ci].iter().enumerate() {
@@ -427,8 +416,12 @@ mod tests {
 
     #[test]
     fn four_d_smoke() {
-        let text = Tensor::from_fn(vec![4, 4, 4, 4], |c| ((c[0] + c[1] + c[2] + c[3]) % 2) as u32);
-        let pat = Tensor::from_fn(vec![2, 2, 2, 2], |c| ((c[0] + c[1] + c[2] + c[3]) % 2) as u32);
+        let text = Tensor::from_fn(vec![4, 4, 4, 4], |c| {
+            ((c[0] + c[1] + c[2] + c[3]) % 2) as u32
+        });
+        let pat = Tensor::from_fn(vec![2, 2, 2, 2], |c| {
+            ((c[0] + c[1] + c[2] + c[3]) % 2) as u32
+        });
         check(&text, &pat, "4d");
     }
 

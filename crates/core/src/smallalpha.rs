@@ -51,9 +51,9 @@
 use crate::dict::{validate_dictionary, BuildError, PatId, Sym};
 use crate::static1d::StaticMatcher;
 use pdm_naming::{NamePool, NameTable, IDENTITY};
+use pdm_pram::{ceil_log2, Ctx};
 use pdm_primitives::table::pack;
 use pdm_primitives::FxHashMap;
-use pdm_pram::{ceil_log2, Ctx};
 
 /// Sentinel symbol for text blocks absent from the shrunk dictionary.
 const UNKNOWN_SYM: u32 = u32::MAX - 1;
@@ -199,9 +199,7 @@ impl SmallAlphaMatcher {
                 continue;
             }
             let st = str_of(s);
-            let nxt = suf_idx
-                .get(&(s.pat, s.depth + 1))
-                .copied();
+            let nxt = suf_idx.get(&(s.pat, s.depth + 1)).copied();
             for t in 0..st.len() {
                 // D = st[..t+1]; D[1..] has length t.
                 let tail_name = if t == 0 {
@@ -373,9 +371,8 @@ impl SmallAlphaMatcher {
                     }
                 }
                 alpha = (name, clen);
-                if let Some(&(pid, plen)) = (clen > 0)
-                    .then(|| self.longest_pat.get(&name))
-                    .flatten()
+                if let Some(&(pid, plen)) =
+                    (clen > 0).then(|| self.longest_pat.get(&name)).flatten()
                 {
                     res.push((i, pid, plen));
                 }
@@ -464,8 +461,7 @@ impl BinaryEncodedMatcher {
             )));
         }
         let bits = 32 - (sigma.max(2) - 1).leading_zeros();
-        let bit_patterns: Vec<Vec<Sym>> =
-            patterns.iter().map(|p| Self::encode(p, bits)).collect();
+        let bit_patterns: Vec<Vec<Sym>> = patterns.iter().map(|p| Self::encode(p, bits)).collect();
         // Distinct symbol patterns stay distinct under fixed-width encoding.
         let inner = SmallAlphaMatcher::build_with_l(ctx, &bit_patterns, 2, l_bits)?;
         Ok(Self { inner, bits })
@@ -528,12 +524,7 @@ mod tests {
 
     #[test]
     fn binary_handcrafted() {
-        let pats: Vec<Vec<u32>> = vec![
-            vec![0, 1],
-            vec![0, 1, 1, 0],
-            vec![1, 1],
-            vec![0],
-        ];
+        let pats: Vec<Vec<u32>> = vec![vec![0, 1], vec![0, 1, 1, 0], vec![1, 1], vec![0]];
         let text: Vec<u32> = vec![0, 1, 1, 0, 0, 1, 1, 1, 0, 1, 0, 0, 1, 1, 0];
         check_all_l(&pats, &text, 2, "binary");
     }

@@ -163,6 +163,13 @@ impl StaticMatcher {
         self.tables.max_len
     }
 
+    /// Length of pattern `p` in symbols (available even on a matcher
+    /// loaded via [`Self::from_bytes`] — the streaming layer needs it to
+    /// decide which window a match's *end* falls in).
+    pub fn pattern_len(&self, p: PatId) -> u32 {
+        self.tables.pattern_prefs[p as usize].len() as u32
+    }
+
     /// Total dictionary size (`M`).
     pub fn dictionary_size(&self) -> usize {
         self.tables.total_len

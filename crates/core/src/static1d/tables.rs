@@ -188,8 +188,7 @@ impl StaticTables {
                     }
                 }
             });
-            ctx.cost
-                .rounds(ceil_log2(max_len) as u64, total as u64);
+            ctx.cost.rounds(ceil_log2(max_len) as u64, total as u64);
             (longest.freeze(), owner.freeze())
         });
 
@@ -307,7 +306,11 @@ mod tests {
         // constant of total size, independent of n.
         let ctx = Ctx::seq();
         let pats: Vec<Vec<u32>> = (0..64)
-            .map(|i| (0..128).map(|j| ((i * 131 + j * 17) % 256) as u32).collect())
+            .map(|i| {
+                (0..128)
+                    .map(|j| ((i * 131 + j * 17) % 256) as u32)
+                    .collect()
+            })
             .collect();
         let m_total: usize = pats.iter().map(Vec::len).sum();
         let before = ctx.cost.snapshot();

@@ -72,7 +72,8 @@ fn run_trace(seed: u64, alpha: Alphabet, ops: usize, text_len: usize, max_len: u
                 let got = d.match_text(&ctx, &t);
                 let want = oracle(&live, &t);
                 assert_eq!(
-                    got.longest_pattern, want,
+                    got.longest_pattern,
+                    want,
                     "seed {seed} step {step}: match mismatch (live={})",
                     live.len()
                 );
@@ -154,7 +155,12 @@ fn partly_dynamic_insert_only_grows_consistently() {
         live.push((id, p.clone()));
         let got = d.match_text(&ctx, &text);
         let want = oracle(&live, &text);
-        assert_eq!(got.longest_pattern, want, "after inserting {} patterns", live.len());
+        assert_eq!(
+            got.longest_pattern,
+            want,
+            "after inserting {} patterns",
+            live.len()
+        );
     }
     assert_eq!(d.rebuilds(), 0, "insert-only must never rebuild");
 }

@@ -11,7 +11,11 @@ use pdm_textgen::Alphabet;
 fn check_instance(ctx: &Ctx, patterns: &[Vec<u32>], text: &[u32], tag: &str) {
     let matcher = StaticMatcher::build(ctx, patterns).expect("build");
     let out = matcher.match_text(ctx, text);
-    assert_eq!(out.longest_pattern.len(), text.len(), "{tag}: output length");
+    assert_eq!(
+        out.longest_pattern.len(),
+        text.len(),
+        "{tag}: output length"
+    );
 
     // Oracle 1: longest prefix per position (phase 1 / Theorem 1).
     let ac = AhoCorasick::new(patterns);
@@ -46,8 +50,7 @@ fn check_instance(ctx: &Ctx, patterns: &[Vec<u32>], text: &[u32], tag: &str) {
             let owner = out.prefix_owner[i].expect("matched prefixes have owners") as usize;
             let plen = out.prefix_len[i] as usize;
             assert!(
-                patterns[owner].len() >= plen
-                    && patterns[owner][..plen] == text[i..i + plen],
+                patterns[owner].len() >= plen && patterns[owner][..plen] == text[i..i + plen],
                 "{tag}: owner pattern carries the prefix"
             );
         }
@@ -79,7 +82,12 @@ fn pattern_equals_text() {
 fn text_shorter_than_patterns() {
     let ctx = Ctx::seq();
     let pats = symbolize(&["abcdefgh", "abcd"]);
-    check_instance(&ctx, &pats, &pdm_core::dict::to_symbols("abc"), "short-text");
+    check_instance(
+        &ctx,
+        &pats,
+        &pdm_core::dict::to_symbols("abc"),
+        "short-text",
+    );
 }
 
 #[test]

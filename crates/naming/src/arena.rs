@@ -289,6 +289,10 @@ mod tests {
         }
         all.sort_unstable();
         all.dedup();
-        assert_eq!(all.len(), 100, "same key in different tables ⇒ different names");
+        assert_eq!(
+            all.len(),
+            100,
+            "same key in different tables ⇒ different names"
+        );
     }
 }

@@ -205,10 +205,7 @@ impl DeamortizedTable {
     /// Name of `(a, b)`, allocating if absent — `O(1)` worst case.
     pub fn name(&mut self, a: u32, b: u32) -> u32 {
         // Read through to the old table during migration.
-        let from_old = self
-            .old
-            .as_ref()
-            .and_then(|(t, _, _)| t.get(a, b));
+        let from_old = self.old.as_ref().and_then(|(t, _, _)| t.get(a, b));
         let v = match from_old {
             Some(v) => self.new.get_or_insert(a, b, || v),
             None => {
@@ -220,10 +217,8 @@ impl DeamortizedTable {
         if self.new.len() >= self.threshold && self.old.is_none() {
             // Procure the next table: snapshot current entries and start
             // draining them incrementally.
-            let drained = std::mem::replace(
-                &mut self.new,
-                PairMap::with_capacity(4 * self.threshold),
-            );
+            let drained =
+                std::mem::replace(&mut self.new, PairMap::with_capacity(4 * self.threshold));
             let pending: Vec<(u64, u32)> = drained.iter_entries().collect();
             self.old = Some((drained, pending, 0));
             self.threshold *= 2;

@@ -35,7 +35,9 @@ pub fn aligned_block_names(
         let prev = &blocks[k - 1];
         let cnt = prev.len() / 2;
         let t = &pair[k - 1];
-        let cur: Vec<u32> = (0..cnt).map(|b| t.name(prev[2 * b], prev[2 * b + 1])).collect();
+        let cur: Vec<u32> = (0..cnt)
+            .map(|b| t.name(prev[2 * b], prev[2 * b + 1]))
+            .collect();
         blocks.push(cur);
     }
     blocks
@@ -54,7 +56,9 @@ pub fn text_double_step(prev: &[u32], half: usize, table: &Overlay) -> Vec<u32> 
         return Vec::new();
     }
     let cnt = prev.len() - half; // positions i with i + 2·half ≤ t.len()
-    (0..cnt).map(|i| table.name(prev[i], prev[i + half])).collect()
+    (0..cnt)
+        .map(|i| table.name(prev[i], prev[i + half]))
+        .collect()
 }
 
 #[cfg(test)]

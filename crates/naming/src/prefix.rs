@@ -147,7 +147,13 @@ mod tests {
         (sym, pair, fold)
     }
 
-    fn prefs_of(s: &[u32], levels: usize, sym: &NameTable, pair: &[NameTable], fold: &NameTable) -> Vec<u32> {
+    fn prefs_of(
+        s: &[u32],
+        levels: usize,
+        sym: &NameTable,
+        pair: &[NameTable],
+        fold: &NameTable,
+    ) -> Vec<u32> {
         let blocks = aligned_block_names(s, levels, sym, pair);
         prefix_names(&blocks, s.len(), fold)
     }

@@ -121,10 +121,7 @@ impl Ctx {
             }
             _ => self.exec.install(|| {
                 use rayon::prelude::*;
-                (0..n)
-                    .into_par_iter()
-                    .with_min_len(MIN_CHUNK)
-                    .for_each(f);
+                (0..n).into_par_iter().with_min_len(MIN_CHUNK).for_each(f);
             }),
         }
     }

@@ -28,9 +28,7 @@ pub fn compact_indices(ctx: &Ctx, keep: &[bool]) -> Vec<u32> {
             out[offsets[i] as usize].store(i as u32, std::sync::atomic::Ordering::Relaxed);
         }
     });
-    out.into_iter()
-        .map(|a| a.into_inner())
-        .collect()
+    out.into_iter().map(|a| a.into_inner()).collect()
 }
 
 #[cfg(test)]
@@ -62,6 +60,9 @@ mod tests {
         let ctx = Ctx::seq();
         assert!(compact::<u8>(&ctx, &[], &[]).is_empty());
         assert!(compact(&ctx, &[1, 2, 3], &[false, false, false]).is_empty());
-        assert_eq!(compact(&ctx, &[1, 2, 3], &[true, true, true]), vec![1, 2, 3]);
+        assert_eq!(
+            compact(&ctx, &[1, 2, 3], &[true, true, true]),
+            vec![1, 2, 3]
+        );
     }
 }

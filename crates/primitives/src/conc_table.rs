@@ -211,9 +211,8 @@ mod tests {
                 s.spawn(|| {
                     for i in 0..1024u32 {
                         let key = i % 512;
-                        let n = t.get_or_insert(key, key + 1, || {
-                            ctr.fetch_add(1, Ordering::Relaxed)
-                        });
+                        let n =
+                            t.get_or_insert(key, key + 1, || ctr.fetch_add(1, Ordering::Relaxed));
                         assert_eq!(t.get(key, key + 1), Some(n));
                     }
                 });

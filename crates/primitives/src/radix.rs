@@ -52,8 +52,10 @@ pub fn radix_sort_by_key(ctx: &Ctx, records: &[(u64, u32)]) -> Vec<(u64, u32)> {
         });
         // Global exclusive offsets per (bucket, block): column-major scan.
         // Small (BUCKETS × nblocks), done sequentially; charged log rounds.
-        ctx.cost
-            .rounds(pdm_pram::ceil_log2(BUCKETS * nblocks) as u64, (BUCKETS * nblocks) as u64);
+        ctx.cost.rounds(
+            pdm_pram::ceil_log2(BUCKETS * nblocks) as u64,
+            (BUCKETS * nblocks) as u64,
+        );
         let mut offsets = vec![[0u32; BUCKETS]; nblocks];
         let mut running = 0u32;
         for b in 0..BUCKETS {
@@ -94,7 +96,10 @@ pub fn radix_sort_by_key(ctx: &Ctx, records: &[(u64, u32)]) -> Vec<(u64, u32)> {
 /// Sort plain `u64` keys ascending.
 pub fn radix_sort_u64(ctx: &Ctx, keys: &[u64]) -> Vec<u64> {
     let recs: Vec<(u64, u32)> = keys.iter().map(|&k| (k, 0)).collect();
-    radix_sort_by_key(ctx, &recs).into_iter().map(|(k, _)| k).collect()
+    radix_sort_by_key(ctx, &recs)
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect()
 }
 
 #[derive(Clone, Copy)]

@@ -21,7 +21,11 @@ use pdm_pram::{ceil_log2, Ctx};
 
 /// Sequential inclusive scan with a left-fold shape:
 /// `out[i] = f(f(...f(init, a[0]), ...), a[i])`.
-pub fn scan_inclusive_seq<T: Clone, A>(init: T, items: &[A], mut f: impl FnMut(&T, &A) -> T) -> Vec<T> {
+pub fn scan_inclusive_seq<T: Clone, A>(
+    init: T,
+    items: &[A],
+    mut f: impl FnMut(&T, &A) -> T,
+) -> Vec<T> {
     let mut out = Vec::with_capacity(items.len());
     let mut acc = init;
     for a in items {

@@ -1,0 +1,36 @@
+//! # pdm-stream — streaming ingest + sharded matching service
+//!
+//! The paper's matcher ([`pdm_core::static1d::StaticMatcher`]) is an
+//! *offline* algorithm: it takes the whole text at once. This crate layers
+//! an *online* engine on top of the same frozen tables:
+//!
+//! * [`StreamMatcher`] — a per-stream cursor that consumes the text in
+//!   arbitrary-size chunks and reports every occurrence **exactly once**,
+//!   with absolute stream offsets, including occurrences that span chunk
+//!   boundaries. It carries the last `m − 1` symbols (for `m` the longest
+//!   pattern) across calls; see [`stream`] for the exactly-once argument.
+//! * [`ShardedService`] — many concurrent sessions over one shared,
+//!   immutable dictionary (`Arc<StaticMatcher>`). Chunks are scheduled onto
+//!   worker shards through *bounded* channels, so a slow consumer exerts
+//!   backpressure (callers block, or get `WouldBlock` via
+//!   [`Session::try_push`]) instead of growing unbounded queues.
+//! * [`server`] — a minimal length-prefixed TCP byte protocol
+//!   (std-only) exposing the service: `pdm serve --dict words.txt --port N`.
+//! * [`metrics`] — per-session and global counters (chunks, bytes,
+//!   matches, queue depth, stalls).
+//!
+//! The dictionary side stays exactly the paper's machinery; this crate
+//! never inspects the tables beyond the public `StaticMatcher` API.
+
+pub mod metrics;
+pub mod proto;
+pub mod server;
+pub mod service;
+pub mod stream;
+
+pub use metrics::{GlobalMetrics, GlobalSnapshot, SessionCounters, SessionSnapshot};
+pub use server::{Server, ServerConfig};
+pub use service::{
+    Event, PushError, ServiceConfig, Session, SessionSummary, ShardedService, TryPushError,
+};
+pub use stream::{StreamMatch, StreamMatcher};

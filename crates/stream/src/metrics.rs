@@ -1,0 +1,143 @@
+//! Lock-free counters for the service layer.
+//!
+//! Two levels: [`SessionCounters`] (one per session, shared between the
+//! worker that owns the session and the client handle) and
+//! [`GlobalMetrics`] (one per service — aggregates plus a queue-depth
+//! gauge with a high-water mark, and a stall counter for backpressure
+//! events).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-session counters (relaxed atomics; read via [`Self::snapshot`]).
+#[derive(Debug, Default)]
+pub struct SessionCounters {
+    chunks: AtomicU64,
+    bytes: AtomicU64,
+    matches: AtomicU64,
+}
+
+/// A point-in-time copy of [`SessionCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionSnapshot {
+    pub chunks: u64,
+    pub bytes: u64,
+    pub matches: u64,
+}
+
+impl SessionCounters {
+    pub fn record_chunk(&self, bytes: u64, matches: u64) {
+        self.chunks.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.matches.fetch_add(matches, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            chunks: self.chunks.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            matches: self.matches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Service-wide counters plus the in-flight chunk gauge.
+///
+/// `queue_depth` counts chunks accepted into a shard queue but not yet
+/// fully processed; it is bounded by `queue_cap + workers` by construction
+/// (each worker holds at most one dequeued chunk while its queue holds at
+/// most `queue_cap`). `stalls` counts backpressure events: blocking pushes
+/// that had to wait, plus `try_push` calls rejected with `WouldBlock`.
+#[derive(Debug, Default)]
+pub struct GlobalMetrics {
+    chunks: AtomicU64,
+    bytes: AtomicU64,
+    matches: AtomicU64,
+    sessions_opened: AtomicU64,
+    sessions_closed: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_depth_max: AtomicU64,
+    stalls: AtomicU64,
+}
+
+/// A point-in-time copy of [`GlobalMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GlobalSnapshot {
+    pub chunks: u64,
+    pub bytes: u64,
+    pub matches: u64,
+    pub sessions_opened: u64,
+    pub sessions_closed: u64,
+    pub queue_depth: u64,
+    pub queue_depth_max: u64,
+    pub stalls: u64,
+}
+
+impl GlobalMetrics {
+    pub fn record_chunk_done(&self, bytes: u64, matches: u64) {
+        self.chunks.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.matches.fetch_add(matches, Ordering::Relaxed);
+    }
+
+    pub fn session_opened(&self) {
+        self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn session_closed(&self) {
+        self.sessions_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_stall(&self) {
+        self.stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A chunk entered a shard queue.
+    pub fn enqueued(&self) {
+        let d = self.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+        self.queue_depth_max.fetch_max(d, Ordering::SeqCst);
+    }
+
+    /// A chunk finished processing (left the queue *and* its worker).
+    pub fn dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    pub fn snapshot(&self) -> GlobalSnapshot {
+        GlobalSnapshot {
+            chunks: self.chunks.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            matches: self.matches.load(Ordering::Relaxed),
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::SeqCst),
+            queue_depth_max: self.queue_depth_max.load(Ordering::SeqCst),
+            stalls: self.stalls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauge_tracks_high_water() {
+        let g = GlobalMetrics::default();
+        g.enqueued();
+        g.enqueued();
+        g.dequeued();
+        g.enqueued();
+        let s = g.snapshot();
+        assert_eq!(s.queue_depth, 2);
+        assert_eq!(s.queue_depth_max, 2);
+    }
+
+    #[test]
+    fn session_counters_accumulate() {
+        let c = SessionCounters::default();
+        c.record_chunk(10, 2);
+        c.record_chunk(5, 0);
+        let s = c.snapshot();
+        assert_eq!((s.chunks, s.bytes, s.matches), (2, 15, 2));
+    }
+}

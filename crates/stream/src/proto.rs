@@ -1,0 +1,143 @@
+//! Minimal length-prefixed byte protocol for `pdm serve` (std-only).
+//!
+//! Every frame is `[tag: u8][len: u32 LE][payload: len bytes]`.
+//!
+//! Client → server:
+//! * [`TAG_CHUNK`] — payload is raw text bytes (one symbol per byte).
+//! * [`TAG_CLOSE`] — empty payload; end of stream.
+//!
+//! Server → client:
+//! * [`TAG_MATCH`] — payload `[start: u64 LE][pat: u32 LE][len: u32 LE]`;
+//!   `start` is the absolute stream offset of the occurrence.
+//! * [`TAG_SUMMARY`] — payload `[bytes: u64][chunks: u64][matches: u64]`
+//!   (all LE); the final frame of a session.
+//! * [`TAG_ERROR`] — payload is a UTF-8 message; the server closes after.
+//!
+//! One TCP connection = one session. Matches stream back while the client
+//! is still sending, so the client must read concurrently (or rely on OS
+//! socket buffers) — the server's per-session queues are bounded and will
+//! otherwise push back through TCP.
+
+use std::io::{self, Read, Write};
+
+use crate::service::SessionSummary;
+use crate::stream::StreamMatch;
+
+pub const TAG_CHUNK: u8 = 0x01;
+pub const TAG_CLOSE: u8 = 0x02;
+pub const TAG_MATCH: u8 = 0x81;
+pub const TAG_SUMMARY: u8 = 0x82;
+pub const TAG_ERROR: u8 = 0x83;
+
+/// Reject frames larger than this (64 MiB) — a corrupt length prefix must
+/// not trigger a giant allocation.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Write one frame.
+pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() as u64 <= MAX_FRAME as u64);
+    w.write_all(&[tag])?;
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Read one frame; `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
+    let mut tag = [0u8; 1];
+    if r.read(&mut tag)? == 0 {
+        return Ok(None);
+    }
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some((tag[0], payload)))
+}
+
+pub fn encode_match(m: &StreamMatch) -> [u8; 16] {
+    let mut b = [0u8; 16];
+    b[..8].copy_from_slice(&m.start.to_le_bytes());
+    b[8..12].copy_from_slice(&m.pat.to_le_bytes());
+    b[12..].copy_from_slice(&m.len.to_le_bytes());
+    b
+}
+
+pub fn decode_match(p: &[u8]) -> Option<StreamMatch> {
+    if p.len() != 16 {
+        return None;
+    }
+    Some(StreamMatch {
+        start: u64::from_le_bytes(p[..8].try_into().ok()?),
+        pat: u32::from_le_bytes(p[8..12].try_into().ok()?),
+        len: u32::from_le_bytes(p[12..].try_into().ok()?),
+    })
+}
+
+pub fn encode_summary(s: &SessionSummary) -> [u8; 24] {
+    let mut b = [0u8; 24];
+    b[..8].copy_from_slice(&s.consumed.to_le_bytes());
+    b[8..16].copy_from_slice(&s.chunks.to_le_bytes());
+    b[16..].copy_from_slice(&s.matches.to_le_bytes());
+    b
+}
+
+pub fn decode_summary(p: &[u8]) -> Option<SessionSummary> {
+    if p.len() != 24 {
+        return None;
+    }
+    Some(SessionSummary {
+        consumed: u64::from_le_bytes(p[..8].try_into().ok()?),
+        chunks: u64::from_le_bytes(p[8..16].try_into().ok()?),
+        matches: u64::from_le_bytes(p[16..].try_into().ok()?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, TAG_CHUNK, b"hello").unwrap();
+        write_frame(&mut buf, TAG_CLOSE, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Some((TAG_CHUNK, b"hello".to_vec()))
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), Some((TAG_CLOSE, Vec::new())));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn match_and_summary_roundtrip() {
+        let m = StreamMatch {
+            start: 1 << 40,
+            pat: 7,
+            len: 3,
+        };
+        assert_eq!(decode_match(&encode_match(&m)), Some(m));
+        let s = SessionSummary {
+            consumed: 123,
+            chunks: 4,
+            matches: 9,
+        };
+        assert_eq!(decode_summary(&encode_summary(&s)), Some(s));
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.push(TAG_CHUNK);
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_frame(&mut &buf[..]).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! TCP front-end: one connection = one [`Session`](crate::Session).
+//!
+//! The accept loop and per-connection reader/writer threads use only
+//! `std::net`. Frames are defined in [`crate::proto`]. Backpressure
+//! composes end to end: a full shard queue blocks the connection's reader
+//! thread, which stops reading the socket, which fills the kernel buffer,
+//! which eventually blocks the remote sender.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pdm_core::static1d::StaticMatcher;
+
+use crate::proto::{
+    encode_match, encode_summary, write_frame, TAG_CHUNK, TAG_CLOSE, TAG_ERROR, TAG_MATCH,
+    TAG_SUMMARY,
+};
+use crate::service::{Event, ServiceConfig, ShardedService};
+
+/// Server knobs: service tuning plus socket behaviour.
+#[derive(Clone, Debug, Default)]
+pub struct ServerConfig {
+    pub service: ServiceConfig,
+}
+
+/// A running `pdm serve` instance. Bind with [`Server::bind`]; stop with
+/// [`Server::shutdown`].
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    service: Arc<ShardedService>,
+}
+
+impl Server {
+    /// Bind a listener (use port 0 for an ephemeral port) and start
+    /// accepting connections on a background thread.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        dict: Arc<StaticMatcher>,
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        // Non-blocking accept so the loop can observe the stop flag.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let service = Arc::new(ShardedService::start(dict, cfg.service));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let service = Arc::clone(&service);
+            std::thread::Builder::new()
+                .name("pdm-accept".into())
+                .spawn(move || accept_loop(listener, stop, service))
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            local_addr,
+            stop,
+            accept: Some(accept),
+            service,
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Service-wide metrics (chunks, bytes, matches, queue depth, stalls).
+    pub fn metrics(&self) -> crate::metrics::GlobalSnapshot {
+        self.service.metrics()
+    }
+
+    /// Stop accepting and join the accept thread. Connections already in
+    /// flight run to completion on their own threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Block on the accept thread (used by `pdm serve`, which runs until
+    /// killed).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, stop: Arc<AtomicBool>, service: Arc<ShardedService>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((sock, _peer)) => {
+                let service = Arc::clone(&service);
+                let _ = std::thread::Builder::new()
+                    .name("pdm-conn".into())
+                    .spawn(move || {
+                        let _ = handle_conn(sock, &service);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_conn(sock: TcpStream, service: &ShardedService) -> io::Result<()> {
+    sock.set_nodelay(true).ok();
+    let mut session = service.open();
+    let events = session.events_handle();
+
+    // Writer half: forward match/summary events to the socket as they
+    // arrive, concurrently with the reader half below.
+    let writer_sock = sock.try_clone()?;
+    let writer = std::thread::Builder::new()
+        .name("pdm-conn-writer".into())
+        .spawn(move || -> io::Result<()> {
+            let mut w = BufWriter::new(writer_sock);
+            while let Ok(ev) = events.recv() {
+                match ev {
+                    Event::Matches(batch) => {
+                        for m in &batch {
+                            write_frame(&mut w, TAG_MATCH, &encode_match(m))?;
+                        }
+                        w.flush()?;
+                    }
+                    Event::Closed(summary) => {
+                        write_frame(&mut w, TAG_SUMMARY, &encode_summary(&summary))?;
+                        w.flush()?;
+                        break;
+                    }
+                }
+            }
+            Ok(())
+        })
+        .expect("spawn connection writer");
+
+    // Reader half: frames in, chunks to the service. Session::push blocks
+    // on a full shard queue — backpressure reaches the socket naturally.
+    let mut r = BufReader::new(sock.try_clone()?);
+    let result: io::Result<()> = (|| {
+        loop {
+            match crate::proto::read_frame(&mut r)? {
+                Some((TAG_CHUNK, payload)) => {
+                    let syms: Vec<u32> = payload.iter().map(|&b| b as u32).collect();
+                    if session.push(syms).is_err() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::BrokenPipe,
+                            "service shut down",
+                        ));
+                    }
+                }
+                Some((TAG_CLOSE, _)) | None => {
+                    // Clean close (or EOF treated as close): the writer
+                    // exits once it forwards the summary.
+                    session.finish();
+                    return Ok(());
+                }
+                Some((tag, _)) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected client frame tag {tag:#x}"),
+                    ));
+                }
+            }
+        }
+    })();
+
+    if let Err(ref e) = result {
+        // Best-effort error frame, then drop the connection.
+        let mut w = sock.try_clone()?;
+        let _ = write_frame(&mut w, TAG_ERROR, e.to_string().as_bytes());
+        session.finish();
+    }
+    let _ = writer.join();
+    result
+}

@@ -1,0 +1,497 @@
+//! Many concurrent streams over one shared dictionary.
+//!
+//! A [`ShardedService`] owns `workers` shard threads, each with a
+//! **bounded** job queue. A [`Session`] (one per stream) is pinned to the
+//! shard `id % workers`, so its chunks are processed in order by a single
+//! worker that holds the session's [`StreamMatcher`] carry state. The
+//! dictionary itself is one immutable [`StaticMatcher`] behind an `Arc` —
+//! workers share tables, never copy them (the paper's "preprocess once,
+//! match many texts" economics, made concurrent).
+//!
+//! ## Backpressure
+//!
+//! Every queue is bounded. When a shard queue is full, [`Session::push`]
+//! blocks (recording a stall) and [`Session::try_push`] returns
+//! [`TryPushError::WouldBlock`]; when a session's event queue is full, the
+//! worker blocks before accepting more work from that shard. Nothing in
+//! the service grows without bound: at most `queue_cap` chunks wait per
+//! shard plus one in flight per worker, and at most `events_cap` result
+//! batches wait per session.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use pdm_core::dict::Sym;
+use pdm_core::static1d::StaticMatcher;
+use pdm_pram::{CostModel, Ctx, ExecPolicy};
+
+use crate::metrics::{GlobalMetrics, GlobalSnapshot, SessionCounters, SessionSnapshot};
+use crate::stream::{StreamMatch, StreamMatcher};
+
+/// Tuning knobs for [`ShardedService::start`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Shard threads. Each owns the sessions pinned to it. Default: number
+    /// of available CPUs.
+    pub workers: usize,
+    /// Bounded per-shard job-queue capacity (chunks waiting per shard).
+    pub queue_cap: usize,
+    /// Bounded per-session event-queue capacity (match batches waiting for
+    /// the client to drain).
+    pub events_cap: usize,
+    /// Execution policy *inside* one chunk's match call. Default `Seq`:
+    /// with many sessions, parallelism across shards beats parallelism
+    /// within a chunk.
+    pub exec: ExecPolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            queue_cap: 16,
+            events_cap: 1024,
+            exec: ExecPolicy::Seq,
+        }
+    }
+}
+
+/// What a session's worker sends back to its client handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// Occurrences ending in one pushed chunk (non-empty; chunks with no
+    /// matches produce no event).
+    Matches(Vec<StreamMatch>),
+    /// The session finished; no further events follow.
+    Closed(SessionSummary),
+}
+
+/// Final accounting for a closed session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionSummary {
+    pub consumed: u64,
+    pub chunks: u64,
+    pub matches: u64,
+}
+
+/// Error from [`Session::push`]: the service shut down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushError;
+
+/// Error from [`Session::try_push`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPushError {
+    /// The shard queue is full — backpressure. The chunk is handed back.
+    WouldBlock(Vec<Sym>),
+    /// The service shut down. The chunk is handed back.
+    Closed(Vec<Sym>),
+}
+
+enum Job {
+    Open {
+        id: u64,
+        events: Sender<Event>,
+        counters: Arc<SessionCounters>,
+    },
+    Chunk {
+        id: u64,
+        data: Vec<Sym>,
+    },
+    Close {
+        id: u64,
+    },
+}
+
+/// Client handle for one stream. Push chunks; drain [`Event`]s; close for
+/// a [`SessionSummary`]. Dropping without closing sends a best-effort
+/// close.
+pub struct Session {
+    id: u64,
+    jobs: Sender<Job>,
+    events: Receiver<Event>,
+    counters: Arc<SessionCounters>,
+    global: Arc<GlobalMetrics>,
+    finished: bool,
+}
+
+impl Session {
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Submit a chunk, blocking while the shard queue is full.
+    pub fn push(&self, data: Vec<Sym>) -> Result<(), PushError> {
+        assert!(!self.finished, "push after finish/close");
+        self.global.enqueued();
+        if self.jobs.is_full() {
+            self.global.record_stall();
+        }
+        match self.jobs.send(Job::Chunk { id: self.id, data }) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                self.global.dequeued();
+                Err(PushError)
+            }
+        }
+    }
+
+    /// Submit a chunk without blocking; a full shard queue yields
+    /// [`TryPushError::WouldBlock`] with the chunk handed back.
+    pub fn try_push(&self, data: Vec<Sym>) -> Result<(), TryPushError> {
+        assert!(!self.finished, "push after finish/close");
+        self.global.enqueued();
+        match self.jobs.try_send(Job::Chunk { id: self.id, data }) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(Job::Chunk { data, .. })) => {
+                self.global.dequeued();
+                self.global.record_stall();
+                Err(TryPushError::WouldBlock(data))
+            }
+            Err(TrySendError::Disconnected(Job::Chunk { data, .. })) => {
+                self.global.dequeued();
+                Err(TryPushError::Closed(data))
+            }
+            Err(_) => unreachable!("chunk jobs come back as chunk jobs"),
+        }
+    }
+
+    /// Blocking receive of the next event; `None` once the channel is
+    /// closed (after [`Event::Closed`] or service shutdown).
+    pub fn next_event(&self) -> Option<Event> {
+        self.events.recv().ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_next_event(&self) -> Option<Event> {
+        self.events.try_recv().ok()
+    }
+
+    /// A clone of the event receiver, for draining from another thread
+    /// (e.g. a connection's writer half) while this handle keeps pushing.
+    pub fn events_handle(&self) -> Receiver<Event> {
+        self.events.clone()
+    }
+
+    /// Declare end-of-stream. Idempotent; events may still be pending.
+    ///
+    /// Blocks while the shard queue is full — only safe when *another*
+    /// thread drains [`Self::events_handle`] (as the TCP server does);
+    /// single-threaded callers should use [`Self::close`], which drains
+    /// while it waits.
+    pub fn finish(&mut self) {
+        if !self.finished {
+            self.finished = true;
+            let _ = self.jobs.send(Job::Close { id: self.id });
+        }
+    }
+
+    /// Finish and drain: returns all remaining matches plus the summary.
+    /// The summary is `None` only if the service died mid-close.
+    pub fn close(mut self) -> (Vec<StreamMatch>, Option<SessionSummary>) {
+        self.finished = true;
+        let mut matches = Vec::new();
+        // Enqueue the close marker without deadlocking: the shard queue
+        // may be full while its worker is blocked on *our* event queue,
+        // so drain events between send attempts.
+        let mut close_msg = Some(Job::Close { id: self.id });
+        while let Some(msg) = close_msg.take() {
+            match self.jobs.try_send(msg) {
+                Ok(()) => {}
+                Err(TrySendError::Full(msg)) => {
+                    close_msg = Some(msg);
+                    match self
+                        .events
+                        .recv_timeout(std::time::Duration::from_millis(5))
+                    {
+                        Ok(Event::Matches(mut m)) => matches.append(&mut m),
+                        Ok(Event::Closed(s)) => return (matches, Some(s)),
+                        Err(_) => {}
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => return (matches, None),
+            }
+        }
+        let mut summary = None;
+        while let Ok(ev) = self.events.recv() {
+            match ev {
+                Event::Matches(mut m) => matches.append(&mut m),
+                Event::Closed(s) => {
+                    summary = Some(s);
+                    break;
+                }
+            }
+        }
+        (matches, summary)
+    }
+
+    /// This session's counters (updated by its worker).
+    pub fn metrics(&self) -> SessionSnapshot {
+        self.counters.snapshot()
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.finished = true;
+            // Best effort — never block in drop.
+            let _ = self.jobs.try_send(Job::Close { id: self.id });
+        }
+    }
+}
+
+/// The service: shared dictionary + shard workers + bounded queues.
+pub struct ShardedService {
+    dict: Arc<StaticMatcher>,
+    shards: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    global: Arc<GlobalMetrics>,
+    next_id: AtomicU64,
+    events_cap: usize,
+}
+
+impl ShardedService {
+    /// Spawn `cfg.workers` shard threads over a shared dictionary.
+    pub fn start(dict: Arc<StaticMatcher>, cfg: ServiceConfig) -> Self {
+        let workers = cfg.workers.max(1);
+        let global = Arc::new(GlobalMetrics::default());
+        let mut shards = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = bounded::<Job>(cfg.queue_cap.max(1));
+            let dict = Arc::clone(&dict);
+            let global = Arc::clone(&global);
+            let exec = cfg.exec.clone();
+            let h = std::thread::Builder::new()
+                .name(format!("pdm-shard-{w}"))
+                .spawn(move || worker_loop(rx, dict, exec, global))
+                .expect("spawn shard worker");
+            shards.push(tx);
+            handles.push(h);
+        }
+        Self {
+            dict,
+            shards,
+            handles,
+            global,
+            next_id: AtomicU64::new(0),
+            events_cap: cfg.events_cap.max(1),
+        }
+    }
+
+    /// The shared dictionary.
+    pub fn dict(&self) -> &Arc<StaticMatcher> {
+        &self.dict
+    }
+
+    /// Open a new session, pinned to shard `id % workers`.
+    pub fn open(&self) -> Session {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let shard = (id as usize) % self.shards.len();
+        let (ev_tx, ev_rx) = bounded::<Event>(self.events_cap);
+        let counters = Arc::new(SessionCounters::default());
+        let opened = self.shards[shard].send(Job::Open {
+            id,
+            events: ev_tx,
+            counters: Arc::clone(&counters),
+        });
+        assert!(opened.is_ok(), "shard worker alive while service alive");
+        self.global.session_opened();
+        Session {
+            id,
+            jobs: self.shards[shard].clone(),
+            events: ev_rx,
+            counters,
+            global: Arc::clone(&self.global),
+            finished: false,
+        }
+    }
+
+    /// Service-wide counters.
+    pub fn metrics(&self) -> GlobalSnapshot {
+        self.global.snapshot()
+    }
+
+    /// Drop the shard queues and join the workers. All sessions must be
+    /// closed/dropped first (their queue handles keep workers alive).
+    pub fn shutdown(mut self) {
+        self.shards.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ShardedService {
+    fn drop(&mut self) {
+        // Senders drop here; workers exit once every session handle is
+        // gone too. Do not join — a live Session would deadlock us.
+        self.shards.clear();
+    }
+}
+
+struct WorkerSession {
+    m: StreamMatcher,
+    events: Sender<Event>,
+    counters: Arc<SessionCounters>,
+}
+
+fn worker_loop(
+    rx: Receiver<Job>,
+    dict: Arc<StaticMatcher>,
+    exec: ExecPolicy,
+    global: Arc<GlobalMetrics>,
+) {
+    let ctx = Ctx {
+        exec,
+        cost: Arc::new(CostModel::new()),
+    };
+    let mut sessions: HashMap<u64, WorkerSession> = HashMap::new();
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Open {
+                id,
+                events,
+                counters,
+            } => {
+                sessions.insert(
+                    id,
+                    WorkerSession {
+                        m: StreamMatcher::new(Arc::clone(&dict)),
+                        events,
+                        counters,
+                    },
+                );
+            }
+            Job::Chunk { id, data } => {
+                if let Some(s) = sessions.get_mut(&id) {
+                    let found = s.m.push(&ctx, &data);
+                    s.counters
+                        .record_chunk(data.len() as u64, found.len() as u64);
+                    global.record_chunk_done(data.len() as u64, found.len() as u64);
+                    if !found.is_empty() {
+                        // Full event queue = slow client; block (bounded
+                        // memory) and count the stall.
+                        if s.events.is_full() {
+                            global.record_stall();
+                        }
+                        let _ = s.events.send(Event::Matches(found));
+                    }
+                }
+                global.dequeued();
+            }
+            Job::Close { id } => {
+                if let Some(s) = sessions.remove(&id) {
+                    let snap = s.counters.snapshot();
+                    // Count the close *before* emitting the summary event,
+                    // so a client that saw the summary also sees the count.
+                    global.session_closed();
+                    let _ = s.events.send(Event::Closed(SessionSummary {
+                        consumed: s.m.consumed(),
+                        chunks: snap.chunks,
+                        matches: snap.matches,
+                    }));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_core::dict::{symbolize, to_symbols};
+
+    fn service(cfg: ServiceConfig) -> ShardedService {
+        let ctx = Ctx::seq();
+        let dict =
+            Arc::new(StaticMatcher::build(&ctx, &symbolize(&["he", "she", "hers"])).unwrap());
+        ShardedService::start(dict, cfg)
+    }
+
+    #[test]
+    fn single_session_roundtrip() {
+        let svc = service(ServiceConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        let s = svc.open();
+        let t = to_symbols("ushers");
+        s.push(t[..3].to_vec()).unwrap();
+        s.push(t[3..].to_vec()).unwrap();
+        let (matches, summary) = s.close();
+        let starts: Vec<u64> = matches.iter().map(|m| m.start).collect();
+        assert_eq!(starts, vec![1, 2, 2]); // she@1, he@2, hers@2
+        let summary = summary.unwrap();
+        assert_eq!(summary.consumed, 6);
+        assert_eq!(summary.chunks, 2);
+        assert_eq!(summary.matches, 3);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn many_sessions_are_isolated() {
+        let svc = service(ServiceConfig {
+            workers: 3,
+            queue_cap: 4,
+            ..Default::default()
+        });
+        let sessions: Vec<Session> = (0..8).map(|_| svc.open()).collect();
+        for (k, s) in sessions.iter().enumerate() {
+            // Session k streams k+1 copies of "she", one symbol at a time.
+            let text = to_symbols(&"she".repeat(k + 1));
+            for sym in text.chunks(1) {
+                s.push(sym.to_vec()).unwrap();
+            }
+        }
+        for (k, s) in sessions.into_iter().enumerate() {
+            let (matches, summary) = s.close();
+            // Each "she" contributes she + he.
+            assert_eq!(matches.len(), 2 * (k + 1), "session {k}");
+            assert_eq!(summary.unwrap().consumed, 3 * (k + 1) as u64);
+        }
+        let g = svc.metrics();
+        assert_eq!(g.sessions_opened, 8);
+        assert_eq!(g.sessions_closed, 8);
+        assert_eq!(g.queue_depth, 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn try_push_reports_would_block() {
+        // 1 worker, tiny queue, and the worker is jammed: its first
+        // session never drains its single-slot event queue, so a second
+        // matching chunk blocks the worker, letting the job queue fill.
+        let svc = service(ServiceConfig {
+            workers: 1,
+            queue_cap: 1,
+            events_cap: 1,
+            exec: ExecPolicy::Seq,
+        });
+        let s = svc.open();
+        let chunk = to_symbols("she");
+        // Worker stalls once two match batches exist and nobody drains.
+        let mut saw_would_block = false;
+        let mut accepted = 0u64;
+        for _ in 0..64 {
+            match s.try_push(chunk.clone()) {
+                Ok(()) => accepted += 1,
+                Err(TryPushError::WouldBlock(_)) => {
+                    saw_would_block = true;
+                    break;
+                }
+                Err(TryPushError::Closed(_)) => panic!("service died"),
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(saw_would_block, "bounded queue never pushed back");
+        assert!(svc.metrics().stalls > 0);
+        // Drain and finish cleanly.
+        let (matches, _) = s.close();
+        assert!(matches.len() as u64 >= accepted.min(2));
+        svc.shutdown();
+    }
+}

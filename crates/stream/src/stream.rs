@@ -1,0 +1,230 @@
+//! Chunk-at-a-time matching with an `m − 1` overlap carry.
+//!
+//! ## Exactly-once across chunk boundaries
+//!
+//! [`StreamMatcher::push`] matches over the window `carry ++ chunk`, where
+//! `carry` holds the last `min(consumed, m − 1)` symbols of the stream so
+//! far (`m` = longest pattern length). An occurrence is *emitted* iff its
+//! **end** lies inside the new chunk, i.e. `i + len(p) > carry.len()` for a
+//! window-relative start `i`.
+//!
+//! * **Complete**: an occurrence ending in this chunk starts at most
+//!   `m − 1` symbols before the chunk does, so it lies entirely inside the
+//!   window — `find_all` on the window sees it.
+//! * **Exactly once**: an occurrence whose end lies at stream position `e`
+//!   is emitted by the unique `push` whose chunk covers `e`. Occurrences
+//!   contained wholly in the carry ended in previously consumed text and
+//!   were emitted then (induction; the carry starts empty).
+//!
+//! Positions are absolute stream offsets (`u64`), so a matcher can run
+//! over arbitrarily long streams with `O(m + chunk)` memory per push.
+
+use std::sync::Arc;
+
+use pdm_core::dict::{PatId, Sym};
+use pdm_core::static1d::StaticMatcher;
+use pdm_pram::Ctx;
+
+/// One occurrence in the stream: pattern `pat` (of length `len`) begins at
+/// absolute stream offset `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct StreamMatch {
+    pub start: u64,
+    pub pat: PatId,
+    pub len: u32,
+}
+
+/// A per-stream matching cursor over a shared, immutable dictionary.
+///
+/// Feed chunks of any size (including smaller than the longest pattern, or
+/// empty); collect occurrences with absolute offsets. The execution policy
+/// is chosen per call, so one session can match small chunks sequentially
+/// and large ones with `ExecPolicy::Par`.
+#[derive(Debug)]
+pub struct StreamMatcher {
+    dict: Arc<StaticMatcher>,
+    /// Last `min(consumed, m − 1)` symbols already consumed.
+    carry: Vec<Sym>,
+    /// Total symbols consumed so far (absolute offset of the next symbol).
+    consumed: u64,
+}
+
+impl StreamMatcher {
+    pub fn new(dict: Arc<StaticMatcher>) -> Self {
+        Self {
+            dict,
+            carry: Vec::new(),
+            consumed: 0,
+        }
+    }
+
+    /// The shared dictionary this cursor matches against.
+    pub fn dict(&self) -> &Arc<StaticMatcher> {
+        &self.dict
+    }
+
+    /// Total symbols consumed so far (= absolute offset of the next chunk).
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Current carry length (`min(consumed, m − 1)`); exposed for tests.
+    pub fn carry_len(&self) -> usize {
+        self.carry.len()
+    }
+
+    /// Consume `chunk`, returning every occurrence that *ends* inside it,
+    /// sorted by `(start, pat)`.
+    pub fn push(&mut self, ctx: &Ctx, chunk: &[Sym]) -> Vec<StreamMatch> {
+        let mut out = Vec::new();
+        self.push_into(ctx, chunk, &mut out);
+        out
+    }
+
+    /// [`Self::push`] into a caller-provided buffer (appends).
+    pub fn push_into(&mut self, ctx: &Ctx, chunk: &[Sym], out: &mut Vec<StreamMatch>) {
+        if chunk.is_empty() {
+            return;
+        }
+        let carry_len = self.carry.len();
+        let window_start = self.consumed - carry_len as u64;
+
+        // Window = carry ++ chunk. For typical chunk ≫ m this is one copy
+        // of the chunk; reusing the carry buffer keeps it allocation-stable.
+        let mut window = std::mem::take(&mut self.carry);
+        window.extend_from_slice(chunk);
+
+        for (i, p) in self.dict.find_all(ctx, &window) {
+            let len = self.dict.pattern_len(p);
+            if i + len as usize > carry_len {
+                out.push(StreamMatch {
+                    start: window_start + i as u64,
+                    pat: p,
+                    len,
+                });
+            }
+        }
+
+        self.consumed += chunk.len() as u64;
+        let overlap = self.dict.max_pattern_len().saturating_sub(1);
+        let keep = overlap.min(window.len());
+        window.drain(..window.len() - keep);
+        self.carry = window;
+    }
+
+    /// Declare end-of-stream. No symbols remain buffered unmatched (every
+    /// push reports all occurrences ending in it), so this just resets the
+    /// carry; the cursor can be reused for a fresh stream.
+    pub fn finish(&mut self) {
+        self.carry.clear();
+        self.consumed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_core::dict::symbolize;
+    use pdm_core::dict::to_symbols;
+
+    fn dict(pats: &[&str]) -> Arc<StaticMatcher> {
+        let ctx = Ctx::seq();
+        Arc::new(StaticMatcher::build(&ctx, &symbolize(pats)).unwrap())
+    }
+
+    fn stream_all(d: &Arc<StaticMatcher>, text: &[Sym], chunk: usize) -> Vec<StreamMatch> {
+        let ctx = Ctx::seq();
+        let mut m = StreamMatcher::new(Arc::clone(d));
+        let mut out = Vec::new();
+        for c in text.chunks(chunk.max(1)) {
+            m.push_into(&ctx, c, &mut out);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn oracle(d: &Arc<StaticMatcher>, text: &[Sym]) -> Vec<StreamMatch> {
+        let ctx = Ctx::seq();
+        d.find_all(&ctx, text)
+            .into_iter()
+            .map(|(i, p)| StreamMatch {
+                start: i as u64,
+                pat: p,
+                len: d.pattern_len(p),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn boundary_spanning_match_found_once() {
+        let d = dict(&["he", "she", "his", "hers"]);
+        let text = to_symbols("ushers");
+        for chunk in 1..=7 {
+            assert_eq!(
+                stream_all(&d, &text, chunk),
+                oracle(&d, &text),
+                "chunk={chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunks_smaller_than_longest_pattern() {
+        let d = dict(&["abcdefgh", "cde"]);
+        let text = to_symbols("xxabcdefghxxcdexx");
+        for chunk in 1..=4 {
+            assert_eq!(
+                stream_all(&d, &text, chunk),
+                oracle(&d, &text),
+                "chunk={chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn absolute_offsets_survive_many_pushes() {
+        let d = dict(&["ab"]);
+        let ctx = Ctx::seq();
+        let mut m = StreamMatcher::new(Arc::clone(&d));
+        let mut got = Vec::new();
+        // 100 copies of "ab" pushed one symbol at a time.
+        let text = to_symbols(&"ab".repeat(100));
+        for c in text.chunks(1) {
+            m.push_into(&ctx, c, &mut got);
+        }
+        assert_eq!(m.consumed(), 200);
+        let want: Vec<u64> = (0..100).map(|k| 2 * k).collect();
+        assert_eq!(got.iter().map(|o| o.start).collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    fn empty_chunks_are_noops() {
+        let d = dict(&["aa"]);
+        let ctx = Ctx::seq();
+        let mut m = StreamMatcher::new(d);
+        assert!(m.push(&ctx, &[]).is_empty());
+        assert_eq!(m.consumed(), 0);
+        let t = to_symbols("aaa");
+        let mut out = Vec::new();
+        m.push_into(&ctx, &t[..2], &mut out);
+        m.push_into(&ctx, &[], &mut out);
+        m.push_into(&ctx, &t[2..], &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].start, 0);
+        assert_eq!(out[1].start, 1);
+    }
+
+    #[test]
+    fn finish_resets_for_reuse() {
+        let d = dict(&["ab"]);
+        let ctx = Ctx::seq();
+        let mut m = StreamMatcher::new(d);
+        let t = to_symbols("zab");
+        assert_eq!(m.push(&ctx, &t).len(), 1);
+        m.finish();
+        assert_eq!(m.consumed(), 0);
+        let again = m.push(&ctx, &t);
+        assert_eq!(again.len(), 1);
+        assert_eq!(again[0].start, 1);
+    }
+}

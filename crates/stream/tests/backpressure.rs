@@ -1,0 +1,78 @@
+//! Bounded-queue guarantee: with a slow (here: absent) consumer, the
+//! service never holds more than `queue_cap + workers` chunks in flight —
+//! extra producers get `WouldBlock`, not unbounded buffering.
+
+use std::sync::Arc;
+
+use pdm_core::dict::{symbolize, to_symbols};
+use pdm_core::static1d::StaticMatcher;
+use pdm_pram::{Ctx, ExecPolicy};
+use pdm_stream::{ServiceConfig, ShardedService, TryPushError};
+
+#[test]
+fn in_flight_chunks_stay_bounded_under_slow_consumer() {
+    const WORKERS: usize = 1;
+    const QUEUE_CAP: usize = 4;
+
+    let ctx = Ctx::seq();
+    let dict = Arc::new(StaticMatcher::build(&ctx, &symbolize(&["ab"])).unwrap());
+    let svc = ShardedService::start(
+        Arc::clone(&dict),
+        ServiceConfig {
+            workers: WORKERS,
+            queue_cap: QUEUE_CAP,
+            // Every chunk matches, and nobody drains: the worker wedges on
+            // the second match batch, so the job queue must fill and push
+            // back rather than grow.
+            events_cap: 1,
+            exec: ExecPolicy::Seq,
+        },
+    );
+    let session = svc.open();
+    let chunk = to_symbols("abab");
+
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    let mut depth_high_water = 0u64;
+    for _ in 0..200 {
+        match session.try_push(chunk.clone()) {
+            Ok(()) => accepted += 1,
+            Err(TryPushError::WouldBlock(_)) => rejected += 1,
+            Err(TryPushError::Closed(_)) => panic!("service died"),
+        }
+        let g = svc.metrics();
+        depth_high_water = depth_high_water.max(g.queue_depth).max(g.queue_depth_max);
+        assert!(
+            g.queue_depth <= (QUEUE_CAP + WORKERS) as u64,
+            "in-flight chunks {} exceed queue_cap + workers = {}",
+            g.queue_depth,
+            QUEUE_CAP + WORKERS
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    // The producer must have been pushed back, and the bound must have
+    // actually been exercised (queue filled at some point).
+    assert!(rejected > 0, "producer was never told WouldBlock");
+    assert!(
+        accepted <= QUEUE_CAP as u64 + WORKERS as u64 + 2,
+        "service absorbed {accepted} chunks with nobody consuming"
+    );
+    assert!(depth_high_water >= QUEUE_CAP as u64);
+    assert!(svc.metrics().stalls >= rejected);
+
+    // Drain everything; totals must reconcile exactly once the wedge is
+    // released.
+    let (matches, summary) = session.close();
+    let summary = summary.expect("summary after drain");
+    assert_eq!(summary.chunks, accepted);
+    assert_eq!(summary.consumed, accepted * chunk.len() as u64);
+    // "abab" holds 2 occurrences of "ab", and no occurrence spans the
+    // chunk boundary ("b" then "a" is not in the dictionary), so it is
+    // exactly 2 per accepted chunk.
+    assert_eq!(matches.len() as u64, summary.matches);
+    assert_eq!(summary.matches, 2 * accepted);
+    let g = svc.metrics();
+    assert_eq!(g.queue_depth, 0, "all in-flight chunks retired");
+    svc.shutdown();
+}

@@ -1,0 +1,87 @@
+//! Property: streaming over any chunking ≡ whole-text matching.
+//!
+//! For random dictionaries, texts and (uneven, often tiny) chunk splits,
+//! the set of `(start, pattern)` occurrences reported by [`StreamMatcher`]
+//! must equal `StaticMatcher::find_all` on the concatenated text — under
+//! both `ExecPolicy::Seq` and `ExecPolicy::Par`.
+
+use std::sync::Arc;
+
+use pdm_core::dict::Sym;
+use pdm_core::static1d::StaticMatcher;
+use pdm_pram::Ctx;
+use pdm_stream::{StreamMatch, StreamMatcher};
+use proptest::prelude::*;
+
+fn dedup(pats: Vec<Vec<Sym>>) -> Vec<Vec<Sym>> {
+    let mut seen = std::collections::HashSet::new();
+    pats.into_iter()
+        .filter(|p| seen.insert(p.clone()))
+        .collect()
+}
+
+fn oracle(d: &Arc<StaticMatcher>, text: &[Sym]) -> Vec<StreamMatch> {
+    let ctx = Ctx::seq();
+    d.find_all(&ctx, text)
+        .into_iter()
+        .map(|(i, p)| StreamMatch {
+            start: i as u64,
+            pat: p,
+            len: d.pattern_len(p),
+        })
+        .collect()
+}
+
+fn streamed(d: &Arc<StaticMatcher>, ctx: &Ctx, text: &[Sym], sizes: &[usize]) -> Vec<StreamMatch> {
+    let mut m = StreamMatcher::new(Arc::clone(d));
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    let mut k = 0usize;
+    while at < text.len() {
+        let take = sizes[k % sizes.len()].min(text.len() - at);
+        m.push_into(ctx, &text[at..at + take], &mut out);
+        at += take;
+        k += 1;
+    }
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn stream_equals_whole_text(
+        pats in proptest::collection::vec(
+            proptest::collection::vec(0u32..4, 1..12), 1..8),
+        text in proptest::collection::vec(0u32..4, 0..300),
+        // Chunk sizes cycle over this list — frequently smaller than the
+        // longest pattern, so boundary carries are exercised hard.
+        sizes in proptest::collection::vec(1usize..20, 1..12),
+    ) {
+        let pats = dedup(pats);
+        let build_ctx = Ctx::seq();
+        let dict = Arc::new(StaticMatcher::build(&build_ctx, &pats).unwrap());
+        let want = oracle(&dict, &text);
+
+        let got_seq = streamed(&dict, &Ctx::seq(), &text, &sizes);
+        prop_assert_eq!(&got_seq, &want);
+
+        let got_par = streamed(&dict, &Ctx::par(), &text, &sizes);
+        prop_assert_eq!(&got_par, &want);
+    }
+
+    #[test]
+    fn single_symbol_chunks(
+        pats in proptest::collection::vec(
+            proptest::collection::vec(0u32..3, 1..9), 1..6),
+        text in proptest::collection::vec(0u32..3, 0..120),
+    ) {
+        let pats = dedup(pats);
+        let ctx = Ctx::seq();
+        let dict = Arc::new(StaticMatcher::build(&ctx, &pats).unwrap());
+        let want = oracle(&dict, &text);
+        let got = streamed(&dict, &ctx, &text, &[1]);
+        prop_assert_eq!(got, want);
+    }
+}

@@ -2,10 +2,8 @@
 //! `n` and `M`; the §4.4 refinement's work depends on `|Σ|`, so experiments
 //! sweep these.
 
-use serde::{Deserialize, Serialize};
-
 /// Symbol alphabet with `size` distinct symbols `0 .. size`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Alphabet {
     /// `{0, 1}` — the extreme case for §4.4.
     Binary,

@@ -31,7 +31,9 @@ pub fn random_grid(r: &mut StdRng, alpha: Alphabet, rows: usize, cols: usize) ->
     GridData {
         rows,
         cols,
-        data: (0..rows * cols).map(|_| r.gen_range(0..alpha.size())).collect(),
+        data: (0..rows * cols)
+            .map(|_| r.gen_range(0..alpha.size()))
+            .collect(),
     }
 }
 
@@ -49,7 +51,10 @@ pub fn random_square_dictionary(
     let mut attempts = 0usize;
     while out.len() < count {
         attempts += 1;
-        assert!(attempts < count * 100 + 1000, "cannot draw distinct squares");
+        assert!(
+            attempts < count * 100 + 1000,
+            "cannot draw distinct squares"
+        );
         let s = r.gen_range(min_side..=max_side);
         let g = random_grid(r, alpha, s, s);
         if seen.insert(g.data.clone()) {
@@ -137,7 +142,9 @@ mod tests {
     fn square_dictionary_distinct() {
         let d = random_square_dictionary(&mut rng(2), Alphabet::Bytes, 10, 2, 5);
         assert_eq!(d.len(), 10);
-        assert!(d.iter().all(|g| g.rows == g.cols && (2..=5).contains(&g.rows)));
+        assert!(d
+            .iter()
+            .all(|g| g.rows == g.cols && (2..=5).contains(&g.rows)));
     }
 
     #[test]
@@ -169,8 +176,7 @@ mod tests {
         // The last planted site is guaranteed intact.
         if let Some(&(r0, c0, pid)) = sites.last() {
             let p = &d[pid];
-            assert!((0..p.rows)
-                .all(|i| (0..p.cols).all(|j| t.at(r0 + i, c0 + j) == p.at(i, j))));
+            assert!((0..p.rows).all(|i| (0..p.cols).all(|j| t.at(r0 + i, c0 + j) == p.at(i, j))));
         }
     }
 }

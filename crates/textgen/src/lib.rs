@@ -9,7 +9,7 @@
 //!   shape (equal lengths, shared prefixes, nested patterns), and planted
 //!   occurrences so matches actually happen;
 //! * [`grid`] — 2-D texts and square patterns for §5;
-//! * [`workload`] — serde-serializable experiment configurations.
+//! * [`workload`] — plain-data experiment configurations.
 
 pub mod alphabet;
 pub mod grid;

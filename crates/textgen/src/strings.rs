@@ -110,7 +110,10 @@ pub fn excerpt_dictionary(
     let mut attempts = 0usize;
     while out.len() < count {
         attempts += 1;
-        assert!(attempts < count * 200 + 2000, "text too repetitive for {count} excerpts");
+        assert!(
+            attempts < count * 200 + 2000,
+            "text too repetitive for {count} excerpts"
+        );
         let len = r.gen_range(min_len..=max_len);
         let start = r.gen_range(0..=text.len() - len);
         let p = text[start..start + len].to_vec();

@@ -1,12 +1,11 @@
-//! Serde-serializable experiment configurations, so every number in
+//! Plain-data experiment configurations, so every number in
 //! EXPERIMENTS.md traces back to a reproducible spec.
 
 use crate::alphabet::Alphabet;
 use crate::strings;
-use serde::{Deserialize, Serialize};
 
 /// Shape of the generated dictionary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DictShape {
     /// Independent random patterns with lengths in `[min_len, max_len]`.
     Random,
@@ -19,7 +18,7 @@ pub enum DictShape {
 }
 
 /// A 1-D dictionary-matching workload specification.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadSpec {
     pub seed: u64,
     pub alphabet: Alphabet,
@@ -59,12 +58,9 @@ impl WorkloadSpec {
                 self.min_len,
                 self.max_len,
             ),
-            DictShape::EqualLen => strings::equal_len_dictionary(
-                &mut r,
-                self.alphabet,
-                self.n_patterns,
-                self.max_len,
-            ),
+            DictShape::EqualLen => {
+                strings::equal_len_dictionary(&mut r, self.alphabet, self.n_patterns, self.max_len)
+            }
             DictShape::SharedPrefix => strings::shared_prefix_dictionary(
                 &mut r,
                 self.alphabet,

@@ -93,7 +93,10 @@ fn main() {
             .collect::<Vec<_>>()
     );
     println!("✓ agrees with the §4 matcher");
-    for (name, m) in ["TATAAA", "CCAAT", "AAAAAAAA", "GAATTC", "TTAGGG"].iter().zip(&motifs) {
+    for (name, m) in ["TATAAA", "CCAAT", "AAAAAAAA", "GAATTC", "TTAGGG"]
+        .iter()
+        .zip(&motifs)
+    {
         let c = out
             .longest_pattern
             .iter()

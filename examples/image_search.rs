@@ -44,7 +44,10 @@ fn main() {
     }
     println!("\nlargest-template hits per template:");
     for (i, c) in per.iter().enumerate() {
-        println!("  template {i:>2} ({:>2}×{:<2}): {c} pixels", templates[i].rows, templates[i].cols);
+        println!(
+            "  template {i:>2} ({:>2}×{:<2}): {c} pixels",
+            templates[i].rows, templates[i].cols
+        );
     }
     let covered = out.largest_pattern.iter().flatten().count();
     println!("pixels with some template match: {covered}");
@@ -53,8 +56,8 @@ fn main() {
     let mut verified = 0;
     for &(r0, c0, pid) in &sites {
         let t = &templates[pid];
-        let intact = (0..t.rows)
-            .all(|i| (0..t.cols).all(|j| text.at(r0 + i, c0 + j) == t.at(i, j)));
+        let intact =
+            (0..t.rows).all(|i| (0..t.cols).all(|j| text.at(r0 + i, c0 + j) == t.at(i, j)));
         if intact {
             let got = out.at(r0, c0).expect("stamped site must match");
             // A larger template may win; the reported side can only be ≥.
@@ -89,5 +92,8 @@ fn main() {
         found.first().map(|&i| (i / text.cols, i % text.cols))
     );
     let s = ctx.cost.snapshot();
-    println!("\nPRAM cost of this session: {} rounds, {} ops", s.rounds, s.work);
+    println!(
+        "\nPRAM cost of this session: {} rounds, {} ops",
+        s.rounds, s.work
+    );
 }

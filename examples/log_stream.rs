@@ -1,0 +1,106 @@
+//! Tail-style log matching with `StreamMatcher`: follow a growing file,
+//! feed each newly appended slice as a chunk, and report every dictionary
+//! hit with its **absolute byte offset** in the log — including hits that
+//! straddle two reads, which the `m − 1` carry catches exactly once.
+//!
+//! ```text
+//! cargo run --example log_stream                     # self-contained demo
+//! cargo run --example log_stream -- app.log err.txt  # tail a real log
+//! ```
+//!
+//! With no arguments the example writes its own temporary log from a
+//! background thread (deliberately splitting a pattern across two writes)
+//! and tails it for a couple of seconds. With `<log> <dict>` arguments it
+//! tails `<log>` against the patterns in `<dict>` until killed.
+
+use std::io::{Read, Seek, SeekFrom};
+use std::sync::Arc;
+use std::time::Duration;
+
+use pdm::prelude::*;
+
+fn tail(
+    path: &std::path::Path,
+    matcher: Arc<StaticMatcher>,
+    pats: &[Vec<Sym>],
+    rounds: Option<usize>,
+) -> std::io::Result<()> {
+    let ctx = Ctx::seq();
+    let mut sm = StreamMatcher::new(matcher);
+    let mut f = std::fs::File::open(path)?;
+    let mut pos = 0u64;
+    let mut buf = Vec::new();
+    let mut round = 0usize;
+    loop {
+        let len = f.metadata()?.len();
+        if len > pos {
+            f.seek(SeekFrom::Start(pos))?;
+            buf.clear();
+            f.by_ref().take(len - pos).read_to_end(&mut buf)?;
+            pos = len;
+            let syms: Vec<Sym> = buf.iter().map(|&b| b as Sym).collect();
+            for occ in sm.push(&ctx, &syms) {
+                let text: String = pats[occ.pat as usize]
+                    .iter()
+                    .map(|&c| char::from(c as u8))
+                    .collect();
+                println!("offset {:>8}  pattern #{} {:?}", occ.start, occ.pat, text);
+            }
+        }
+        round += 1;
+        if let Some(r) = rounds {
+            if round >= r {
+                return Ok(());
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ctx = Ctx::seq();
+
+    if let [log, dict] = args.as_slice() {
+        let pats = pdm::cli::load_dictionary(dict)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        let matcher = Arc::new(StaticMatcher::build(&ctx, &pats).expect("build dictionary"));
+        println!("tailing {log} for {} patterns (^C to stop)", pats.len());
+        return tail(std::path::Path::new(log), matcher, &pats, None);
+    }
+
+    // Self-contained demo: a writer thread appends log lines, splitting
+    // "timeout" across two writes to show the boundary carry at work.
+    let pats = symbolize(&["ERROR", "timeout", "disk full"]);
+    let matcher = Arc::new(StaticMatcher::build(&ctx, &pats).expect("build dictionary"));
+    let dir = std::env::temp_dir().join(format!("pdm-log-stream-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("demo.log");
+    std::fs::write(&path, b"")?;
+
+    let writer_path = path.clone();
+    let writer = std::thread::spawn(move || {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&writer_path)
+            .unwrap();
+        let half = |f: &mut std::fs::File, s: &str| {
+            f.write_all(s.as_bytes()).unwrap();
+            f.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(120));
+        };
+        half(&mut f, "boot ok\nERROR: request timed out after retry\n");
+        // The next pattern is split mid-write: "time" ... "out".
+        half(&mut f, "worker 3: connect time");
+        half(&mut f, "out on shard 9\n");
+        half(&mut f, "disk fu");
+        half(&mut f, "ll on /var\nshutdown\n");
+    });
+
+    println!("demo log: {}", path.display());
+    tail(&path, matcher, &pats, Some(30))?;
+    writer.join().expect("writer thread");
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

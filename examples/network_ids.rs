@@ -31,13 +31,20 @@ fn main() {
     let ctx = Ctx::par();
     let t0 = Instant::now();
     let matcher = StaticMatcher::build(&ctx, &signatures).expect("distinct signatures");
-    println!("\npreprocess (shrink-and-spawn): {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "\npreprocess (shrink-and-spawn): {:.1} ms",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
 
     let t0 = Instant::now();
     let out = matcher.match_text(&ctx, &traffic);
     let ours_ms = t0.elapsed().as_secs_f64() * 1e3;
     let hits = out.occurrences();
-    println!("scan: {:.1} ms — {} positions with a signature hit", ours_ms, hits.len());
+    println!(
+        "scan: {:.1} ms — {} positions with a signature hit",
+        ours_ms,
+        hits.len()
+    );
 
     // Cross-check against Aho–Corasick.
     let t0 = Instant::now();
@@ -55,8 +62,15 @@ fn main() {
     }
     println!("\n✓ outputs identical; longest hit per position:");
     for (i, p) in hits.iter().take(5) {
-        println!("  offset {:>8}: signature #{p} ({} bytes)", i, signatures[*p as usize].len());
+        println!(
+            "  offset {:>8}: signature #{p} ({} bytes)",
+            i,
+            signatures[*p as usize].len()
+        );
     }
     let s = ctx.cost.snapshot();
-    println!("\nPRAM cost of this session: {} rounds, {} ops", s.rounds, s.work);
+    println!(
+        "\nPRAM cost of this session: {} rounds, {} ops",
+        s.rounds, s.work
+    );
 }

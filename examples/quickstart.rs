@@ -26,7 +26,10 @@ fn main() {
             println!(
                 "{i:>4}  {:<10} {}",
                 String::from_utf8_lossy(
-                    &patterns[*p as usize].iter().map(|&c| c as u8).collect::<Vec<_>>()
+                    &patterns[*p as usize]
+                        .iter()
+                        .map(|&c| c as u8)
+                        .collect::<Vec<_>>()
                 ),
                 out.prefix_len[i]
             );

@@ -17,8 +17,19 @@ fn word(s: &str) -> Vec<u32> {
 
 fn main() {
     let words = [
-        "par", "parallel", "parallelism", "parse", "parser", "part", "particle",
-        "match", "matcher", "matching", "dict", "dictionary", "pattern",
+        "par",
+        "parallel",
+        "parallelism",
+        "parse",
+        "parser",
+        "part",
+        "particle",
+        "match",
+        "matcher",
+        "matching",
+        "dict",
+        "dictionary",
+        "pattern",
     ];
     let dict: Vec<Vec<u32>> = words.iter().map(|w| word(w)).collect();
 
@@ -30,16 +41,24 @@ fn main() {
     let out = matcher.match_text(&ctx, &text);
 
     println!("buffer: {buffer}\n");
-    println!("{:>3}  {:>10} {:<14} {:<14}", "pos", "prefix-len", "a word with it", "longest word");
+    println!(
+        "{:>3}  {:>10} {:<14} {:<14}",
+        "pos", "prefix-len", "a word with it", "longest word"
+    );
     for i in 0..text.len() {
         if out.prefix_len[i] == 0 {
             continue;
         }
-        let owner = out.prefix_owner[i].map(|p| words[p as usize]).unwrap_or("-");
+        let owner = out.prefix_owner[i]
+            .map(|p| words[p as usize])
+            .unwrap_or("-");
         let longest = out.longest_pattern[i]
             .map(|p| words[p as usize])
             .unwrap_or("-");
-        println!("{i:>3}  {:>10} {owner:<14} {longest:<14}", out.prefix_len[i]);
+        println!(
+            "{i:>3}  {:>10} {owner:<14} {longest:<14}",
+            out.prefix_len[i]
+        );
     }
 
     // All complete words starting at position 0, longest first.

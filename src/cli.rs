@@ -7,6 +7,8 @@
 //! pdm prefix --dict words.txt --text corpus.bin
 //! pdm stats  --dict words.txt
 //! pdm gen    --out corpus.bin --bytes 1048576 [--seed 7] [--markov]
+//! pdm serve  --dict words.txt --port 7700 [--workers N] [--queue-cap Q]
+//! pdm match  --dict words.txt --text corpus.bin --stream [--chunk-bytes K]
 //! ```
 //!
 //! Dictionary files hold one pattern per line (UTF-8 lines, matched as raw
@@ -32,6 +34,16 @@ pub enum Command {
         text: String,
         threads: Option<usize>,
         all: bool,
+        /// `--stream`: run through [`pdm_stream::StreamMatcher`] in
+        /// `chunk_bytes`-sized chunks instead of one whole-text call.
+        stream: bool,
+        chunk_bytes: usize,
+    },
+    Serve {
+        dict: DictSource,
+        port: u16,
+        workers: Option<usize>,
+        queue_cap: usize,
     },
     Build {
         dict: String,
@@ -71,7 +83,9 @@ USAGE:
   pdm build  --dict <file> --out <index>
   pdm match  --dict <file> --text <file> [--threads N] [--all]
   pdm match  --index <file> --text <file> [--threads N] [--all]
+  pdm match  --dict <file> --text <file> --stream [--chunk-bytes K]
   pdm prefix --dict <file> --text <file> [--threads N]
+  pdm serve  --dict <file> --port <n> [--workers N] [--queue-cap Q]
   pdm stats  --dict <file>
   pdm gen    --out <file> --bytes <n> [--seed S] [--markov]
   pdm help
@@ -79,7 +93,12 @@ USAGE:
 Dictionary files: one pattern per line. Texts are matched byte-wise.
 `match` prints one line per occurrence: <offset>\\t<pattern-index>\\t<pattern>.
 `--all` lists every pattern per position, not just the longest.
+`--stream` feeds the text chunk-at-a-time through the streaming matcher
+(implies `--all`; default chunk 65536 bytes), matching what `serve` does
+per connection.
 `build` serializes the preprocessed index for repeated `match --index` runs.
+`serve` answers the length-prefixed TCP protocol in pdm_stream::proto;
+one connection = one stream session over a shared dictionary.
 ";
 
 /// Parse argv (excluding the program name).
@@ -95,6 +114,11 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
     let mut threads = None;
     let mut all = false;
     let mut markov = false;
+    let mut stream = false;
+    let mut chunk_bytes = 64 * 1024;
+    let mut port = None;
+    let mut workers = None;
+    let mut queue_cap = 16usize;
     while let Some(a) = it.next() {
         let mut need = |name: &str| -> Result<String, UsageError> {
             it.next()
@@ -127,29 +151,64 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             }
             "--all" => all = true,
             "--markov" => markov = true,
+            "--stream" => stream = true,
+            "--chunk-bytes" => {
+                chunk_bytes = need("--chunk-bytes")?
+                    .parse()
+                    .map_err(|_| UsageError("--chunk-bytes wants an integer".into()))?;
+                if chunk_bytes == 0 {
+                    return Err(UsageError("--chunk-bytes must be positive".into()));
+                }
+            }
+            "--port" => {
+                port = Some(
+                    need("--port")?
+                        .parse()
+                        .map_err(|_| UsageError("--port wants a port number".into()))?,
+                )
+            }
+            "--workers" => {
+                workers = Some(
+                    need("--workers")?
+                        .parse()
+                        .map_err(|_| UsageError("--workers wants an integer".into()))?,
+                )
+            }
+            "--queue-cap" => {
+                queue_cap = need("--queue-cap")?
+                    .parse()
+                    .map_err(|_| UsageError("--queue-cap wants an integer".into()))?;
+                if queue_cap == 0 {
+                    return Err(UsageError("--queue-cap must be positive".into()));
+                }
+            }
             other => return Err(UsageError(format!("unknown flag: {other}"))),
         }
     }
     let want = |o: Option<String>, name: &str| -> Result<String, UsageError> {
         o.ok_or_else(|| UsageError(format!("{sub} requires {name}")))
     };
+    let source = |dict: Option<String>, index: Option<String>| match (dict, index) {
+        (Some(d), None) => Ok(DictSource::Patterns(d)),
+        (None, Some(i)) => Ok(DictSource::Index(i)),
+        (Some(_), Some(_)) => Err(UsageError("--dict and --index are exclusive".into())),
+        (None, None) => Err(UsageError(format!("{sub} requires --dict or --index"))),
+    };
     match sub {
-        "match" => {
-            let src = match (dict, index) {
-                (Some(d), None) => DictSource::Patterns(d),
-                (None, Some(i)) => DictSource::Index(i),
-                (Some(_), Some(_)) => {
-                    return Err(UsageError("--dict and --index are exclusive".into()))
-                }
-                (None, None) => return Err(UsageError("match requires --dict or --index".into())),
-            };
-            Ok(Command::Match {
-                dict: src,
-                text: want(text, "--text")?,
-                threads,
-                all,
-            })
-        }
+        "match" => Ok(Command::Match {
+            dict: source(dict, index)?,
+            text: want(text, "--text")?,
+            threads,
+            all,
+            stream,
+            chunk_bytes,
+        }),
+        "serve" => Ok(Command::Serve {
+            dict: source(dict, index)?,
+            port: port.ok_or_else(|| UsageError("serve requires --port".into()))?,
+            workers,
+            queue_cap,
+        }),
         "build" => Ok(Command::Build {
             dict: want(dict, "--dict")?,
             out: want(out, "--out")?,
@@ -199,6 +258,26 @@ pub fn load_dictionary(path: &str) -> Result<Vec<Vec<Sym>>, String> {
 pub fn load_text(path: &str) -> Result<Vec<Sym>, String> {
     let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
     Ok(data.into_iter().map(Sym::from).collect())
+}
+
+/// Resolve a matcher (and pattern texts, when built from `--dict` rather
+/// than a serialized index).
+/// A matcher plus, when built from `--dict`, the pattern texts for display.
+type ResolvedMatcher = (StaticMatcher, Option<Vec<Vec<Sym>>>);
+
+fn resolve_matcher(dict: &DictSource, ctx: &Ctx) -> Result<ResolvedMatcher, String> {
+    match dict {
+        DictSource::Patterns(path) => {
+            let pats = load_dictionary(path)?;
+            let m = StaticMatcher::build(ctx, &pats).map_err(|e| e.to_string())?;
+            Ok((m, Some(pats)))
+        }
+        DictSource::Index(path) => {
+            let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+            let m = StaticMatcher::from_bytes(&data).map_err(|e| e.to_string())?;
+            Ok((m, None))
+        }
+    }
 }
 
 /// Execute a command, writing human output to `w`. Returns the exit code.
@@ -289,6 +368,8 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
             text,
             threads,
             all,
+            stream,
+            chunk_bytes,
         } => {
             let txt = match load_text(&text) {
                 Ok(t) => t,
@@ -298,39 +379,11 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
                 }
             };
             let ctx = ctx_for(threads);
-            // Resolve the matcher and (when available) pattern texts.
-            let (m, pats): (StaticMatcher, Option<Vec<Vec<Sym>>>) = match dict {
-                DictSource::Patterns(path) => {
-                    let pats = match load_dictionary(&path) {
-                        Ok(p) => p,
-                        Err(e) => {
-                            writeln!(w, "error: {e}")?;
-                            return Ok(2);
-                        }
-                    };
-                    match StaticMatcher::build(&ctx, &pats) {
-                        Ok(m) => (m, Some(pats)),
-                        Err(e) => {
-                            writeln!(w, "error: {e}")?;
-                            return Ok(2);
-                        }
-                    }
-                }
-                DictSource::Index(path) => {
-                    let data = match std::fs::read(&path) {
-                        Ok(d) => d,
-                        Err(e) => {
-                            writeln!(w, "error: {path}: {e}")?;
-                            return Ok(2);
-                        }
-                    };
-                    match StaticMatcher::from_bytes(&data) {
-                        Ok(m) => (m, None),
-                        Err(e) => {
-                            writeln!(w, "error: {e}")?;
-                            return Ok(2);
-                        }
-                    }
+            let (m, pats) = match resolve_matcher(&dict, &ctx) {
+                Ok(mp) => mp,
+                Err(e) => {
+                    writeln!(w, "error: {e}")?;
+                    return Ok(2);
                 }
             };
             let show = |w: &mut dyn Write, i: usize, p: PatId| -> std::io::Result<()> {
@@ -340,7 +393,13 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
                         let txt: String = pat
                             .iter()
                             .map(|&c| char::from(c as u8))
-                            .map(|c| if c.is_ascii_graphic() || c == ' ' { c } else { '.' })
+                            .map(|c| {
+                                if c.is_ascii_graphic() || c == ' ' {
+                                    c
+                                } else {
+                                    '.'
+                                }
+                            })
                             .collect();
                         writeln!(w, "{i}\t{p}\t{txt}")
                     }
@@ -348,6 +407,25 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
                 }
             };
             let mut count = 0usize;
+            if stream {
+                // Same chunk-at-a-time path a `serve` session runs;
+                // reports all occurrences with absolute offsets.
+                let mut sm = pdm_stream::StreamMatcher::new(std::sync::Arc::new(m));
+                for c in txt.chunks(chunk_bytes) {
+                    for occ in sm.push(&ctx, c) {
+                        show(w, occ.start as usize, occ.pat)?;
+                        count += 1;
+                    }
+                }
+                writeln!(
+                    w,
+                    "# {count} occurrences in {} bytes ({} chunks of ≤{} bytes)",
+                    txt.len(),
+                    txt.len().div_ceil(chunk_bytes).max(1),
+                    chunk_bytes
+                )?;
+                return Ok(0);
+            }
             if all {
                 for (i, p) in m.find_all(&ctx, &txt) {
                     show(w, i, p)?;
@@ -390,7 +468,11 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
             for &l in &pm.len {
                 hist[l as usize] += 1;
             }
-            writeln!(w, "longest-prefix-length histogram ({} positions):", txt.len())?;
+            writeln!(
+                w,
+                "longest-prefix-length histogram ({} positions):",
+                txt.len()
+            )?;
             for (l, &c) in hist.iter().enumerate() {
                 if c > 0 {
                     writeln!(w, "{l}\t{c}")?;
@@ -428,6 +510,47 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
                 }
             }
         }
+        Command::Serve {
+            dict,
+            port,
+            workers,
+            queue_cap,
+        } => {
+            let ctx = Ctx::par();
+            let (m, _) = match resolve_matcher(&dict, &ctx) {
+                Ok(mp) => mp,
+                Err(e) => {
+                    writeln!(w, "error: {e}")?;
+                    return Ok(2);
+                }
+            };
+            let mut service = pdm_stream::ServiceConfig::default();
+            if let Some(n) = workers {
+                service.workers = n.max(1);
+            }
+            service.queue_cap = queue_cap;
+            let n_patterns = m.n_patterns();
+            let server = match pdm_stream::Server::bind(
+                ("0.0.0.0", port),
+                std::sync::Arc::new(m),
+                pdm_stream::ServerConfig { service },
+            ) {
+                Ok(s) => s,
+                Err(e) => {
+                    writeln!(w, "error: bind port {port}: {e}")?;
+                    return Ok(2);
+                }
+            };
+            writeln!(
+                w,
+                "serving {} patterns on {} (protocol: pdm_stream::proto; ^C to stop)",
+                n_patterns,
+                server.local_addr()
+            )?;
+            w.flush()?;
+            server.join();
+            Ok(0)
+        }
     }
 }
 
@@ -448,7 +571,9 @@ mod tests {
                 dict: DictSource::Patterns("d".into()),
                 text: "t".into(),
                 threads: None,
-                all: true
+                all: true,
+                stream: false,
+                chunk_bytes: 64 * 1024,
             }
         );
     }
@@ -496,6 +621,8 @@ mod tests {
                 text: tpath.to_string_lossy().into(),
                 threads: Some(1),
                 all: true,
+                stream: false,
+                chunk_bytes: 64 * 1024,
             },
             &mut out,
         )
@@ -573,6 +700,8 @@ mod tests {
                 text: tpath.to_string_lossy().into(),
                 threads: Some(1),
                 all: true,
+                stream: false,
+                chunk_bytes: 64 * 1024,
             },
             &mut out,
         )
@@ -580,6 +709,120 @@ mod tests {
         assert_eq!(code, 0);
         let s = String::from_utf8(out).unwrap();
         assert!(s.contains("# 3 occurrences"), "{s}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parses_serve_and_stream_flags() {
+        let c = parse(&args(&[
+            "serve",
+            "--dict",
+            "d",
+            "--port",
+            "7700",
+            "--workers",
+            "3",
+            "--queue-cap",
+            "8",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                dict: DictSource::Patterns("d".into()),
+                port: 7700,
+                workers: Some(3),
+                queue_cap: 8,
+            }
+        );
+        assert!(parse(&args(&["serve", "--dict", "d"])).is_err());
+        assert!(parse(&args(&["serve", "--port", "1"])).is_err());
+
+        let c = parse(&args(&[
+            "match",
+            "--dict",
+            "d",
+            "--text",
+            "t",
+            "--stream",
+            "--chunk-bytes",
+            "7",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            c,
+            Command::Match {
+                stream: true,
+                chunk_bytes: 7,
+                ..
+            }
+        ));
+        assert!(parse(&args(&[
+            "match",
+            "--dict",
+            "d",
+            "--text",
+            "t",
+            "--stream",
+            "--chunk-bytes",
+            "0"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn end_to_end_stream_match_equals_batch() {
+        let dir = std::env::temp_dir().join(format!("pdm-cli-stream-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dpath = dir.join("dict.txt");
+        let tpath = dir.join("text.bin");
+        std::fs::write(&dpath, "he\nshe\nhers\n").unwrap();
+        std::fs::write(&tpath, "ushers and pushers").unwrap();
+        // Chunk of 4 bytes splits "she" (positions 1..4 and 12..15)
+        // across boundaries; output occurrences must match batch --all.
+        let mut streamed = Vec::new();
+        let code = run(
+            Command::Match {
+                dict: DictSource::Patterns(dpath.to_string_lossy().into()),
+                text: tpath.to_string_lossy().into(),
+                threads: Some(1),
+                all: false,
+                stream: true,
+                chunk_bytes: 4,
+            },
+            &mut streamed,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let mut batch = Vec::new();
+        run(
+            Command::Match {
+                dict: DictSource::Patterns(dpath.to_string_lossy().into()),
+                text: tpath.to_string_lossy().into(),
+                threads: Some(1),
+                all: true,
+                stream: false,
+                chunk_bytes: 64 * 1024,
+            },
+            &mut batch,
+        )
+        .unwrap();
+        let body = |v: &[u8]| -> Vec<String> {
+            String::from_utf8(v.to_vec())
+                .unwrap()
+                .lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(|l| l.to_string())
+                .collect()
+        };
+        let mut s_lines = body(&streamed);
+        let mut b_lines = body(&batch);
+        s_lines.sort();
+        b_lines.sort();
+        assert_eq!(s_lines, b_lines);
+        assert!(String::from_utf8(streamed)
+            .unwrap()
+            .contains("# 6 occurrences"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

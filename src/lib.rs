@@ -16,7 +16,11 @@
 //!   matcher (§7), and multi-dimensional single-pattern matching;
 //! * [`baselines`] — Aho–Corasick, KMP, naive and Baker–Bird comparators
 //!   built from scratch;
-//! * [`textgen`] — workload generation for the experiment suite.
+//! * [`textgen`] — workload generation for the experiment suite;
+//! * [`stream`] — beyond the paper: streaming chunk-at-a-time matching
+//!   ([`stream::StreamMatcher`]), a sharded multi-session service with
+//!   bounded-queue backpressure ([`stream::ShardedService`]), and a
+//!   length-prefixed TCP protocol (`pdm serve`).
 //!
 //! ## Quickstart
 //!
@@ -39,6 +43,7 @@ pub use pdm_core as core;
 pub use pdm_naming as naming;
 pub use pdm_pram as pram;
 pub use pdm_primitives as primitives;
+pub use pdm_stream as stream;
 pub use pdm_textgen as textgen;
 
 pub mod cli;
@@ -54,4 +59,5 @@ pub mod prelude {
     pub use pdm_core::smallalpha::{BinaryEncodedMatcher, SmallAlphaMatcher};
     pub use pdm_core::static1d::{MatchOutput, StaticMatcher};
     pub use pdm_pram::{Ctx, ExecPolicy};
+    pub use pdm_stream::{ServiceConfig, ShardedService, StreamMatch, StreamMatcher};
 }

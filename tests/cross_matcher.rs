@@ -26,16 +26,32 @@ fn all_matchers_agree_on_equal_length_workload() {
         let want = naive::longest_pattern_per_position(&pats, &text);
 
         let st = StaticMatcher::build(&ctx, &pats).unwrap();
-        assert_eq!(as_usize(&st.match_text(&ctx, &text).longest_pattern), want, "static s{seed}");
+        assert_eq!(
+            as_usize(&st.match_text(&ctx, &text).longest_pattern),
+            want,
+            "static s{seed}"
+        );
 
         let eq = EqualLenMatcher::new(&pats).unwrap();
-        assert_eq!(as_usize(&eq.match_text(&ctx, &text)), want, "equal_len s{seed}");
+        assert_eq!(
+            as_usize(&eq.match_text(&ctx, &text)),
+            want,
+            "equal_len s{seed}"
+        );
 
         let sa = SmallAlphaMatcher::build_with_l(&ctx, &pats, 4, 3).unwrap();
-        assert_eq!(as_usize(&sa.match_text(&ctx, &text).longest_pattern), want, "smallalpha s{seed}");
+        assert_eq!(
+            as_usize(&sa.match_text(&ctx, &text).longest_pattern),
+            want,
+            "smallalpha s{seed}"
+        );
 
         let dy = DynamicMatcher::with_dictionary(&ctx, &pats).unwrap();
-        assert_eq!(as_usize(&dy.match_text(&ctx, &text).longest_pattern), want, "dynamic s{seed}");
+        assert_eq!(
+            as_usize(&dy.match_text(&ctx, &text).longest_pattern),
+            want,
+            "dynamic s{seed}"
+        );
 
         let ac = AhoCorasick::new(&pats);
         assert_eq!(ac.longest_match_per_position(&text), want, "ac s{seed}");

@@ -12,7 +12,11 @@ use pdm::textgen::{grid, strings, Alphabet};
 
 #[test]
 fn workload_spec_to_match_to_allmatches() {
-    for shape in [DictShape::Random, DictShape::Excerpt, DictShape::SharedPrefix] {
+    for shape in [
+        DictShape::Random,
+        DictShape::Excerpt,
+        DictShape::SharedPrefix,
+    ] {
         let mut spec = WorkloadSpec::new(1, 2000, 12, 16);
         spec.shape = shape;
         let (text, pats) = spec.generate();
@@ -25,11 +29,7 @@ fn workload_spec_to_match_to_allmatches() {
         assert_eq!(all.total(), occ.len(), "{shape:?}");
         for i in 0..text.len() {
             let got: Vec<usize> = all.at(i).iter().map(|&p| p as usize).collect();
-            let mut want: Vec<usize> = occ
-                .iter()
-                .filter(|o| o.start == i)
-                .map(|o| o.pat)
-                .collect();
+            let mut want: Vec<usize> = occ.iter().filter(|o| o.start == i).map(|o| o.pat).collect();
             want.sort_by_key(|&p| std::cmp::Reverse(pats[p].len()));
             assert_eq!(got, want, "{shape:?} at {i}");
         }
@@ -124,7 +124,12 @@ fn cost_model_accumulates_across_pipeline() {
     let end = ctx.cost.snapshot();
     assert!(end.work > mid.work, "match charges work");
     let phases = ctx.cost.phases();
-    for name in ["dict/blocks", "dict/prefix-naming", "text/ascent", "text/descent"] {
+    for name in [
+        "dict/blocks",
+        "dict/prefix-naming",
+        "text/ascent",
+        "text/descent",
+    ] {
         assert!(
             phases.iter().any(|p| p.name == name),
             "phase {name} recorded"

@@ -1,0 +1,124 @@
+//! End-to-end `pdm serve` protocol test: bind an ephemeral port, speak the
+//! length-prefixed protocol over a real TCP socket, and verify a match
+//! whose occurrence spans a chunk boundary comes back exactly once with
+//! its absolute stream offset.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use pdm::prelude::*;
+use pdm::stream::proto::{
+    decode_match, decode_summary, read_frame, write_frame, TAG_CHUNK, TAG_CLOSE, TAG_MATCH,
+    TAG_SUMMARY,
+};
+use pdm::stream::{Server, ServerConfig, ServiceConfig, StreamMatch};
+
+fn start_server() -> Server {
+    let ctx = Ctx::seq();
+    let dict =
+        Arc::new(StaticMatcher::build(&ctx, &symbolize(&["he", "she", "his", "hers"])).unwrap());
+    Server::bind(
+        ("127.0.0.1", 0),
+        dict,
+        ServerConfig {
+            service: ServiceConfig {
+                workers: 2,
+                queue_cap: 4,
+                ..Default::default()
+            },
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+fn roundtrip(chunks: &[&[u8]]) -> (Vec<StreamMatch>, pdm::stream::SessionSummary) {
+    let server = start_server();
+    let sock = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut w = BufWriter::new(sock.try_clone().unwrap());
+    for c in chunks {
+        write_frame(&mut w, TAG_CHUNK, c).unwrap();
+    }
+    write_frame(&mut w, TAG_CLOSE, b"").unwrap();
+    w.flush().unwrap();
+
+    let mut r = BufReader::new(sock);
+    let mut matches = Vec::new();
+    let summary = loop {
+        match read_frame(&mut r).expect("read frame") {
+            Some((TAG_MATCH, p)) => matches.push(decode_match(&p).expect("match payload")),
+            Some((TAG_SUMMARY, p)) => break decode_summary(&p).expect("summary payload"),
+            Some((tag, p)) => panic!("unexpected frame {tag:#x} ({} bytes)", p.len()),
+            None => panic!("EOF before summary"),
+        }
+    };
+    server.shutdown();
+    (matches, summary)
+}
+
+#[test]
+fn boundary_spanning_match_arrives_once() {
+    // "ush" + "ers": "she" occupies 1..4, "hers" 2..6 — both span the
+    // chunk boundary at offset 3; "he" (2..4) also crosses it.
+    let (mut matches, summary) = roundtrip(&[b"ush", b"ers"]);
+    matches.sort_unstable();
+    let got: Vec<(u64, u32)> = matches.iter().map(|m| (m.start, m.len)).collect();
+    assert_eq!(got, vec![(1, 3), (2, 2), (2, 4)]); // she@1, he@2, hers@2
+    assert_eq!(summary.consumed, 6);
+    assert_eq!(summary.chunks, 2);
+    assert_eq!(summary.matches, 3);
+}
+
+#[test]
+fn single_byte_chunks_and_absolute_offsets() {
+    let text = b"xxushersxx";
+    let chunks: Vec<&[u8]> = text.chunks(1).collect();
+    let (mut matches, summary) = roundtrip(&chunks);
+    matches.sort_unstable();
+    let starts: Vec<u64> = matches.iter().map(|m| m.start).collect();
+    assert_eq!(starts, vec![3, 4, 4]); // she@3, he@4, hers@4
+    assert_eq!(summary.consumed, text.len() as u64);
+    assert_eq!(summary.chunks, text.len() as u64);
+}
+
+#[test]
+fn concurrent_connections_share_one_dictionary() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let handles: Vec<_> = (0..4)
+        .map(|k| {
+            std::thread::spawn(move || {
+                let sock = TcpStream::connect(addr).unwrap();
+                let mut w = BufWriter::new(sock.try_clone().unwrap());
+                // Connection k sends k+1 copies of "ushers", split mid-"she".
+                for _ in 0..=k {
+                    write_frame(&mut w, TAG_CHUNK, b"ush").unwrap();
+                    write_frame(&mut w, TAG_CHUNK, b"ers").unwrap();
+                }
+                write_frame(&mut w, TAG_CLOSE, b"").unwrap();
+                w.flush().unwrap();
+                let mut r = BufReader::new(sock);
+                let mut n_matches = 0u64;
+                loop {
+                    match read_frame(&mut r).unwrap() {
+                        Some((TAG_MATCH, _)) => n_matches += 1,
+                        Some((TAG_SUMMARY, p)) => {
+                            let s = decode_summary(&p).unwrap();
+                            assert_eq!(s.matches, n_matches);
+                            return (k, n_matches);
+                        }
+                        other => panic!("unexpected frame {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        let (k, n) = h.join().unwrap();
+        assert_eq!(n, 3 * (k as u64 + 1), "connection {k}");
+    }
+    let g = server.metrics();
+    assert_eq!(g.sessions_opened, 4);
+    assert_eq!(g.sessions_closed, 4);
+    server.shutdown();
+}

@@ -1,0 +1,154 @@
+//! Deterministic case runner.
+
+/// Per-run configuration (`ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Give up after this many consecutive `prop_assume` rejections.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// Assertion failure — fails the test.
+    Fail(String),
+    /// `prop_assume` rejection — the case is discarded, not failed.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// SplitMix64 — deterministic per (test, case) so failures reproduce.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Drive one test's cases; panics (failing the `#[test]`) on the first
+/// failing case, printing the sampled inputs and the case seed.
+pub fn run_cases<F>(name: &str, config: &Config, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (TestCaseResult, String),
+{
+    let base = fnv1a(name);
+    let mut rejects = 0u32;
+    let mut ran = 0u32;
+    let mut index = 0u64;
+    while ran < config.cases {
+        let seed = base ^ index.wrapping_mul(0xA076_1D64_78BD_642F);
+        let mut rng = TestRng::from_seed(seed);
+        index += 1;
+        match case(&mut rng) {
+            (Ok(()), _) => ran += 1,
+            (Err(TestCaseError::Reject(_)), _) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "proptest '{name}': too many prop_assume rejections \
+                         ({rejects}) — strategy cannot satisfy the assumption"
+                    );
+                }
+            }
+            (Err(TestCaseError::Fail(msg)), inputs) => {
+                panic!(
+                    "proptest '{name}' failed at case {ran} (seed {seed:#x}):\n\
+                     {msg}\nwith inputs:\n{inputs}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in 0usize..=5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 5);
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(v in vec(0u32..4, 1..40)) {
+            prop_assert!(!v.is_empty() && v.len() < 40);
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn tuples_and_assume(pair in (vec(0u32..2, 1..8), any::<bool>()), n in 1usize..20) {
+            prop_assume!(n > 2);
+            let (items, flag) = pair;
+            prop_assert!(n > 2);
+            prop_assert_eq!(flag as u32 & 1, flag as u32);
+            prop_assert_ne!(items.len(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest 'always_fails' failed")]
+    fn failure_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,492 @@
+//! Indexed parallel iterators over scoped threads.
+//!
+//! Everything here is built on one abstraction: an [`IndexedSource`] that
+//! can hand out the item at index `i` to any thread, with the contract that
+//! each index is consumed at most once. Adaptors (`map`, `zip`,
+//! `enumerate`) compose sources; drivers split `0..len` into contiguous
+//! ranges (at least `min_len` items each, at most one per worker) and run
+//! them on `std::thread::scope` workers.
+
+use crate::pool::{current_num_threads, with_width};
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A random-access item producer that parallel drivers consume.
+///
+/// # Safety contract (for implementors and drivers)
+/// Drivers call `get(i)` at most once per index, from one thread at a time
+/// per index, after calling `begin()` exactly once.
+pub trait IndexedSource: Sync {
+    type Item: Send;
+    fn len(&self) -> usize;
+    /// Called once per index; may move the item out of the source.
+    ///
+    /// # Safety
+    /// Caller must uphold the once-per-index contract above.
+    unsafe fn get(&self, i: usize) -> Self::Item;
+    /// Called once before the first `get`.
+    fn begin(&self) {}
+}
+
+/// The parallel iterator: a source plus a minimum split length.
+pub struct ParIter<S: IndexedSource> {
+    src: S,
+    min_len: usize,
+}
+
+/// Conversion into a [`ParIter`] (entry points: ranges, vectors, and the
+/// identity conversion used by `zip`).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Source: IndexedSource<Item = Self::Item>;
+    fn into_par_iter(self) -> ParIter<Self::Source>;
+}
+
+/// Marker re-export so `use rayon::prelude::*` mirrors the real crate; all
+/// combinators are inherent methods on [`ParIter`].
+pub trait ParallelIterator {}
+impl<S: IndexedSource> ParallelIterator for ParIter<S> {}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+/// Split `0..len` into contiguous parts and run `work(lo, hi)` for each,
+/// in parallel; returns per-part results in part order.
+fn drive_ranges<R, W>(len: usize, min_len: usize, work: &W) -> Vec<R>
+where
+    R: Send,
+    W: Fn(usize, usize) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let width = current_num_threads().max(1);
+    let parts = len.div_ceil(min_len.max(1)).min(width).max(1);
+    let chunk = len.div_ceil(parts);
+    if parts == 1 {
+        return vec![work(0, len)];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..parts)
+            .take_while(|p| p * chunk < len)
+            .map(|p| {
+                let lo = p * chunk;
+                let hi = (lo + chunk).min(len);
+                scope.spawn(move || with_width(width, || work(lo, hi)))
+            })
+            .collect();
+        let mut out = Vec::with_capacity(parts);
+        out.push(work(0, chunk.min(len)));
+        for h in handles {
+            out.push(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+        }
+        out
+    })
+}
+
+/// Pointer that may cross thread boundaries (writes are index-disjoint).
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<S: IndexedSource> ParIter<S> {
+    fn new(src: S) -> Self {
+        ParIter { src, min_len: 1 }
+    }
+
+    /// Scheduling hint: never hand a worker fewer than `n` items.
+    pub fn with_min_len(mut self, n: usize) -> Self {
+        self.min_len = n.max(1);
+        self
+    }
+
+    pub fn map<T: Send, F: Fn(S::Item) -> T + Sync>(self, f: F) -> ParIter<Map<S, F>> {
+        ParIter {
+            src: Map { src: self.src, f },
+            min_len: self.min_len,
+        }
+    }
+
+    pub fn zip<O: IntoParallelIterator>(self, other: O) -> ParIter<Zip<S, O::Source>> {
+        let o = other.into_par_iter();
+        ParIter {
+            src: Zip {
+                a: self.src,
+                b: o.src,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    pub fn enumerate(self) -> ParIter<Enumerate<S>> {
+        ParIter {
+            src: Enumerate { src: self.src },
+            min_len: self.min_len,
+        }
+    }
+
+    pub fn for_each<F: Fn(S::Item) + Sync>(self, f: F) {
+        self.src.begin();
+        drive_ranges(self.src.len(), self.min_len, &|lo, hi| {
+            for i in lo..hi {
+                f(unsafe { self.src.get(i) });
+            }
+        });
+    }
+
+    /// Fold with an associative operator; `identity` seeds each part.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> S::Item
+    where
+        ID: Fn() -> S::Item + Sync,
+        OP: Fn(S::Item, S::Item) -> S::Item + Sync,
+    {
+        self.src.begin();
+        let parts = drive_ranges(self.src.len(), self.min_len, &|lo, hi| {
+            let mut acc = identity();
+            for i in lo..hi {
+                acc = op(acc, unsafe { self.src.get(i) });
+            }
+            acc
+        });
+        parts.into_iter().fold(identity(), op)
+    }
+
+    pub fn collect<C: FromParIter<S::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection target for [`ParIter::collect`].
+pub trait FromParIter<T: Send>: Sized {
+    fn from_par_iter<S: IndexedSource<Item = T>>(iter: ParIter<S>) -> Self;
+}
+
+impl<T: Send> FromParIter<T> for Vec<T> {
+    fn from_par_iter<S: IndexedSource<Item = T>>(iter: ParIter<S>) -> Self {
+        let len = iter.src.len();
+        let mut buf: Vec<MaybeUninit<T>> = Vec::with_capacity(len);
+        // SAFETY: every slot is written exactly once below before the
+        // transmute; MaybeUninit needs no initialization.
+        unsafe { buf.set_len(len) };
+        let out = SendPtr(buf.as_mut_ptr());
+        iter.src.begin();
+        drive_ranges(len, iter.min_len, &|lo, hi| {
+            // Bind the whole SendPtr (not just its field) so 2021 disjoint
+            // capture doesn't grab the raw pointer, which is not Sync.
+            let dst = out;
+            for i in lo..hi {
+                // SAFETY: parts are disjoint, each slot written once.
+                unsafe { (dst.0.add(i)).write(MaybeUninit::new(iter.src.get(i))) };
+            }
+        });
+        let ptr = buf.as_mut_ptr() as *mut T;
+        let cap = buf.capacity();
+        std::mem::forget(buf);
+        // SAFETY: all len items are initialized; layout of MaybeUninit<T>
+        // equals T.
+        unsafe { Vec::from_raw_parts(ptr, len, cap) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptor sources
+// ---------------------------------------------------------------------------
+
+pub struct Map<S, F> {
+    src: S,
+    f: F,
+}
+impl<S: IndexedSource, T: Send, F: Fn(S::Item) -> T + Sync> IndexedSource for Map<S, F> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.src.len()
+    }
+    unsafe fn get(&self, i: usize) -> T {
+        (self.f)(self.src.get(i))
+    }
+    fn begin(&self) {
+        self.src.begin();
+    }
+}
+
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+impl<A: IndexedSource, B: IndexedSource> IndexedSource for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    unsafe fn get(&self, i: usize) -> Self::Item {
+        (self.a.get(i), self.b.get(i))
+    }
+    fn begin(&self) {
+        self.a.begin();
+        self.b.begin();
+    }
+}
+
+pub struct Enumerate<S> {
+    src: S,
+}
+impl<S: IndexedSource> IndexedSource for Enumerate<S> {
+    type Item = (usize, S::Item);
+    fn len(&self) -> usize {
+        self.src.len()
+    }
+    unsafe fn get(&self, i: usize) -> Self::Item {
+        (i, self.src.get(i))
+    }
+    fn begin(&self) {
+        self.src.begin();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+pub struct RangeSource {
+    start: usize,
+    len: usize,
+}
+impl IndexedSource for RangeSource {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn get(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Source = RangeSource;
+    fn into_par_iter(self) -> ParIter<RangeSource> {
+        ParIter::new(RangeSource {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        })
+    }
+}
+
+/// Consuming source over a `Vec`: items are moved out by `ptr::read`, and
+/// the drop impl frees either elements + capacity (never driven) or
+/// capacity only (driven — elements were moved to consumers).
+pub struct VecSource<T: Send> {
+    data: ManuallyDrop<Vec<T>>,
+    consumed: AtomicBool,
+}
+unsafe impl<T: Send> Sync for VecSource<T> {}
+impl<T: Send> IndexedSource for VecSource<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+    unsafe fn get(&self, i: usize) -> T {
+        std::ptr::read(self.data.as_ptr().add(i))
+    }
+    fn begin(&self) {
+        self.consumed.store(true, Ordering::Relaxed);
+    }
+}
+impl<T: Send> Drop for VecSource<T> {
+    fn drop(&mut self) {
+        unsafe {
+            if self.consumed.load(Ordering::Relaxed) {
+                let mut v = ManuallyDrop::take(&mut self.data);
+                v.set_len(0); // items already moved out
+            } else {
+                ManuallyDrop::drop(&mut self.data);
+            }
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Source = VecSource<T>;
+    fn into_par_iter(self) -> ParIter<VecSource<T>> {
+        ParIter::new(VecSource {
+            data: ManuallyDrop::new(self),
+            consumed: AtomicBool::new(false),
+        })
+    }
+}
+
+impl<S: IndexedSource> IntoParallelIterator for ParIter<S> {
+    type Item = S::Item;
+    type Source = S;
+    fn into_par_iter(self) -> ParIter<S> {
+        self
+    }
+}
+
+pub struct ChunksSource<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+impl<'a, T: Sync> IndexedSource for ChunksSource<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    unsafe fn get(&self, i: usize) -> &'a [T] {
+        let lo = i * self.size;
+        let hi = (lo + self.size).min(self.slice.len());
+        &self.slice[lo..hi]
+    }
+}
+
+pub struct ChunksMutSource<'a, T> {
+    ptr: SendPtr<T>,
+    len: usize,
+    size: usize,
+    _marker: std::marker::PhantomData<fn() -> &'a mut [T]>,
+}
+impl<'a, T: Send> IndexedSource for ChunksMutSource<'a, T> {
+    type Item = &'a mut [T];
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.size)
+    }
+    unsafe fn get(&self, i: usize) -> &'a mut [T] {
+        let lo = i * self.size;
+        let hi = (lo + self.size).min(self.len);
+        // SAFETY: chunks are disjoint and each index is taken once, so the
+        // &mut aliases nothing.
+        std::slice::from_raw_parts_mut(self.ptr.0.add(lo), hi - lo)
+    }
+}
+
+pub struct IterMutSource<'a, T> {
+    ptr: SendPtr<T>,
+    len: usize,
+    _marker: std::marker::PhantomData<fn() -> &'a mut [T]>,
+}
+impl<'a, T: Send> IndexedSource for IterMutSource<'a, T> {
+    type Item = &'a mut T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn get(&self, i: usize) -> &'a mut T {
+        // SAFETY: one &mut per index; indices disjoint.
+        &mut *self.ptr.0.add(i)
+    }
+}
+
+/// `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksSource<'_, T>>;
+}
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksSource<'_, T>> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter::new(ChunksSource { slice: self, size })
+    }
+}
+
+/// `par_chunks_mut` / `par_iter_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutSource<'_, T>>;
+    fn par_iter_mut(&mut self) -> ParIter<IterMutSource<'_, T>>;
+}
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutSource<'_, T>> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter::new(ChunksMutSource {
+            ptr: SendPtr(self.as_mut_ptr()),
+            len: self.len(),
+            size,
+            _marker: std::marker::PhantomData,
+        })
+    }
+    fn par_iter_mut(&mut self) -> ParIter<IterMutSource<'_, T>> {
+        ParIter::new(IterMutSource {
+            ptr: SendPtr(self.as_mut_ptr()),
+            len: self.len(),
+            _marker: std::marker::PhantomData,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn vec_into_par_iter_moves_items() {
+        let data: Vec<String> = (0..1000).map(|i| i.to_string()).collect();
+        let out: Vec<usize> = data.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn vec_source_drops_cleanly_when_unused() {
+        let data: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let _iter = data.into_par_iter(); // dropped without driving
+    }
+
+    #[test]
+    fn chunks_zip_enumerate_for_each() {
+        let xs: Vec<u32> = (0..10_000).collect();
+        let mut out = vec![0u32; 10_000];
+        let offsets: Vec<u32> = (0..10u32).map(|b| b * 1000).collect();
+        out.par_chunks_mut(1000)
+            .zip(offsets.into_par_iter())
+            .enumerate()
+            .for_each(|(b, (chunk, off))| {
+                assert_eq!(off as usize, b * 1000);
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = xs[b * 1000 + i] + off;
+                }
+            });
+        assert!(out.iter().enumerate().all(|(i, &x)| {
+            let b = (i / 1000) as u32;
+            x == i as u32 + b * 1000
+        }));
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let total = (0..100_000usize)
+            .into_par_iter()
+            .with_min_len(1024)
+            .map(|i| i as u64)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 99_999u64 * 100_000 / 2);
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_slot() {
+        let mut v = vec![0u8; 5000];
+        v.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = (i % 251) as u8);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == (i % 251) as u8));
+    }
+
+    #[test]
+    fn pool_width_is_respected() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        pool.install(|| assert_eq!(crate::current_num_threads(), 3));
+    }
+}

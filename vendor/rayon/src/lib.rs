@@ -1,0 +1,28 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! a small data-parallel engine with rayon's names: indexed parallel
+//! iterators over ranges, vectors and slice chunks, driven by scoped OS
+//! threads. Semantics match rayon for the combinators provided here —
+//! every index is visited exactly once, items are produced in index order
+//! within a split, and `collect`/`map` preserve ordering. Scheduling is
+//! static (contiguous splits, one per worker) rather than work-stealing,
+//! which is the right trade for this workspace's regular, data-parallel
+//! rounds.
+//!
+//! Provided: `ThreadPool`, `ThreadPoolBuilder`, `current_num_threads`, and
+//! in [`prelude`]: `into_par_iter()` on `Range<usize>` and `Vec<T>`,
+//! `par_iter_mut`, `par_chunks`, `par_chunks_mut`, and the adaptors
+//! `map`, `zip`, `enumerate`, `with_min_len`, `for_each`, `reduce`,
+//! `collect`.
+
+mod iter;
+mod pool;
+
+pub use pool::{current_num_threads, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}

@@ -1,0 +1,94 @@
+//! Thread-count bookkeeping. There is no persistent pool: parallel calls
+//! spawn scoped threads per round. A `ThreadPool` is therefore just a
+//! requested width that `install` makes current for the duration of a
+//! closure (and that workers inherit, so nested parallel calls see it).
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Width set by the innermost `ThreadPool::install` (0 = unset).
+    static CURRENT_WIDTH: Cell<usize> = const { Cell::new(0) };
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Number of worker threads parallel iterators will use on this thread.
+pub fn current_num_threads() -> usize {
+    let w = CURRENT_WIDTH.with(Cell::get);
+    if w > 0 {
+        w
+    } else {
+        hardware_threads()
+    }
+}
+
+/// Run `f` with the current width forced to `width` (used by workers to
+/// inherit their parent's pool width for nested calls).
+pub(crate) fn with_width<R>(width: usize, f: impl FnOnce() -> R) -> R {
+    let prev = CURRENT_WIDTH.with(|c| c.replace(width));
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_WIDTH.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// A fixed-width execution scope. `install` runs a closure with parallel
+/// iterators limited to this width.
+#[derive(Debug)]
+pub struct ThreadPool {
+    width: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        with_width(self.width, f)
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; construction cannot
+/// actually fail here, but the signature mirrors rayon's.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = match self.num_threads {
+            Some(0) | None => hardware_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { width })
+    }
+}
