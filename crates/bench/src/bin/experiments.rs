@@ -503,7 +503,7 @@ fn e8() {
                 int(s.work),
                 f2(s.work as f64 / touched as f64),
                 int(d.rebuilds() as u64),
-                int(d.table_entries() as u64),
+                int(d.table_entry_count() as u64),
             ]);
         }
     }

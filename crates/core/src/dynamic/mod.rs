@@ -128,13 +128,24 @@ impl DynamicMatcher {
         Ok(d)
     }
 
-    pub fn live_patterns(&self) -> usize {
+    /// Number of live (inserted, not deleted) patterns.
+    pub fn pattern_count(&self) -> usize {
         self.patterns.iter().filter(|p| p.is_some()).count()
     }
 
     /// Total live symbols (`M` of the current dictionary).
-    pub fn live_size(&self) -> usize {
+    pub fn symbol_count(&self) -> usize {
         self.live_syms
+    }
+
+    /// Longest live pattern length (`m`; 0 when the dictionary is empty).
+    pub fn max_pattern_len(&self) -> usize {
+        self.patterns
+            .iter()
+            .flatten()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Squeeze-out rebuilds performed so far (E8 diagnostics).
@@ -143,11 +154,26 @@ impl DynamicMatcher {
     }
 
     /// Current table entries across all levels (space diagnostics).
-    pub fn table_entries(&self) -> usize {
+    pub fn table_entry_count(&self) -> usize {
         self.sym.len()
             + self.fold.len()
             + self.pair.iter().map(DynTable::len).sum::<usize>()
             + self.ext.iter().map(DynTable::len).sum::<usize>()
+    }
+
+    #[deprecated(since = "0.2.0", note = "renamed to `pattern_count`")]
+    pub fn live_patterns(&self) -> usize {
+        self.pattern_count()
+    }
+
+    #[deprecated(since = "0.2.0", note = "renamed to `symbol_count`")]
+    pub fn live_size(&self) -> usize {
+        self.symbol_count()
+    }
+
+    #[deprecated(since = "0.2.0", note = "renamed to `table_entry_count`")]
+    pub fn table_entries(&self) -> usize {
+        self.table_entry_count()
     }
 
     /// Insert a pattern; returns its id. `O(λ)` table work, `O(log λ)` time
@@ -499,7 +525,7 @@ mod tests {
             d.delete(&ctx, v).unwrap();
         }
         assert!(d.rebuilds() > 0, "squeeze-out must have fired");
-        assert_eq!(d.live_patterns(), 1);
+        assert_eq!(d.pattern_count(), 1);
         let out = d.match_text(&ctx, &to_symbols("xxkeepmex"));
         assert_eq!(out.longest_pattern[2], Some(keep));
     }
@@ -527,8 +553,8 @@ mod tests {
         d.delete(&ctx, &to_symbols("hello")).unwrap();
         d.delete(&ctx, &to_symbols("help")).unwrap();
         // After deleting everything a rebuild leaves no live entries.
-        assert_eq!(d.live_size(), 0);
-        assert_eq!(d.table_entries(), 0);
+        assert_eq!(d.symbol_count(), 0);
+        assert_eq!(d.table_entry_count(), 0);
     }
 
     #[test]
@@ -547,12 +573,12 @@ mod tests {
             res[2],
             Err(DynError::AlreadyPresent(*res[0].as_ref().unwrap()))
         );
-        assert_eq!(d.live_patterns(), 3);
+        assert_eq!(d.pattern_count(), 3);
 
         let res = d.delete_batch(&ctx, &[to_symbols("beta"), to_symbols("nope")]);
         assert!(res[0].is_ok());
         assert_eq!(res[1], Err(DynError::NotFound));
-        assert_eq!(d.live_patterns(), 2);
+        assert_eq!(d.pattern_count(), 2);
         let out = d.match_text(&ctx, &to_symbols("xbetaxalphax"));
         assert_eq!(out.longest_pattern[1], None, "beta deleted");
         assert!(out.longest_pattern[6].is_some(), "alpha still live");
@@ -572,7 +598,7 @@ mod tests {
             .for_each(|r| assert!(r.is_ok()));
         // One rebuild at batch end, not one per threshold crossing.
         assert_eq!(d.rebuilds(), 1);
-        assert_eq!(d.live_patterns(), 5);
+        assert_eq!(d.pattern_count(), 5);
     }
 
     #[test]

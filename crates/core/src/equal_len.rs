@@ -78,12 +78,32 @@ impl EqualLenMatcher {
         })
     }
 
+    /// Number of patterns (`κ`).
+    pub fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Total dictionary size in symbols (`M = κ·m`).
+    pub fn symbol_count(&self) -> usize {
+        self.patterns.len() * self.m
+    }
+
+    /// The shared pattern length (`m`; every pattern has it).
+    pub fn max_pattern_len(&self) -> usize {
+        self.m
+    }
+
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `max_pattern_len` (all patterns share one length)"
+    )]
     pub fn pattern_len(&self) -> usize {
         self.m
     }
 
+    #[deprecated(since = "0.2.0", note = "renamed to `pattern_count`")]
     pub fn n_patterns(&self) -> usize {
-        self.patterns.len()
+        self.pattern_count()
     }
 
     /// For each text position, the pattern matching there (at most one).

@@ -32,9 +32,33 @@ pub mod dict2d;
 pub mod dictnd;
 pub mod dynamic;
 pub mod equal_len;
+pub mod matcher;
 pub mod multidim;
 pub mod smallalpha;
 pub mod static1d;
 
 pub use dict::{BuildError, PatId, Sym};
+pub use matcher::{Matcher, MatcherBuilder, MatcherKind, MatcherStats};
 pub use static1d::{MatchOutput, StaticMatcher};
+
+/// Everything needed to build a matcher and match a text:
+///
+/// ```
+/// use pdm_core::prelude::*;
+///
+/// let ctx = Ctx::seq();
+/// let m = MatcherBuilder::new()
+///     .patterns(symbolize(&["he", "she", "hers"]))
+///     .build(&ctx)
+///     .unwrap();
+/// assert_eq!(m.match_text(&ctx, &to_symbols("ushers")).longest_pattern[2], Some(2));
+/// ```
+pub mod prelude {
+    pub use crate::dict::{symbolize, to_symbols, BuildError, PatId, Sym};
+    pub use crate::dynamic::DynamicMatcher;
+    pub use crate::equal_len::EqualLenMatcher;
+    pub use crate::matcher::{Matcher, MatcherBuilder, MatcherKind, MatcherStats};
+    pub use crate::smallalpha::{BinaryEncodedMatcher, SmallAlphaMatcher};
+    pub use crate::static1d::{MatchOutput, StaticMatcher};
+    pub use pdm_pram::Ctx;
+}

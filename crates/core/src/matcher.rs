@@ -1,0 +1,460 @@
+//! A unified facade over the crate's matchers: the [`Matcher`] trait, the
+//! [`MatcherStats`] size report, and the [`MatcherBuilder`] entry point.
+//!
+//! Each algorithm in this crate earns its keep with a different paper bound
+//! (§4 static, §4.4 small-alphabet, §6 dynamic, §7 equal-length), and their
+//! native APIs reflect that: different constructors, different output
+//! shapes, different size accessors. The facade gives callers that only
+//! need *"longest pattern at each position"* one trait object to hold and
+//! one builder to call, while the native APIs stay available for anything
+//! bound-specific (chunked matching, prefix matching, insert/delete, …).
+//!
+//! ## Output contract
+//!
+//! [`Matcher::match_text`] always fills `longest_pattern` and
+//! `longest_pattern_len` exactly: entry `i` is the longest dictionary
+//! pattern starting at text position `i`, or `None`/`0`. Those two fields
+//! are the portable part of [`MatchOutput`].
+//!
+//! The prefix fields (`prefix_len`, `prefix_name`, `prefix_owner`) are
+//! native only to the §4-family matchers. Implementations without prefix
+//! machinery fill them *degenerately*: `prefix_len` mirrors
+//! `longest_pattern_len`, `prefix_owner` mirrors `longest_pattern`, and
+//! `prefix_name` is [`IDENTITY`] everywhere (name spaces are per-matcher
+//! anyway, so no cross-implementation meaning is lost). Code that needs
+//! real prefix semantics should use [`StaticMatcher`] or
+//! [`DynamicMatcher`] directly.
+//!
+//! ## Example
+//!
+//! ```
+//! use pdm_core::prelude::*;
+//!
+//! let ctx = Ctx::par();
+//! let matcher = MatcherBuilder::new()
+//!     .patterns(symbolize(&["he", "she", "hers"]))
+//!     .build(&ctx)
+//!     .unwrap();
+//! let out = matcher.match_text(&ctx, &to_symbols("ushers"));
+//! assert_eq!(out.longest_pattern[1], Some(1)); // "she" at position 1
+//! assert_eq!(out.longest_pattern[2], Some(2)); // "hers" at position 2
+//! assert_eq!(matcher.stats().pattern_count, 3);
+//! assert_eq!(matcher.max_pattern_len(), 4);
+//! ```
+
+use crate::dict::{validate_dictionary, BuildError, Sym};
+use crate::dynamic::DynamicMatcher;
+use crate::equal_len::EqualLenMatcher;
+use crate::smallalpha::{BinaryEncodedMatcher, SmallAlphaMatcher, SmallAlphaOutput};
+use crate::static1d::{MatchOutput, StaticMatcher};
+use pdm_naming::IDENTITY;
+use pdm_pram::Ctx;
+
+/// Canonical size report shared by every matcher (see the per-matcher
+/// inherent accessors of the same names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatcherStats {
+    /// Number of patterns (`κ`; live patterns for the dynamic matcher).
+    pub pattern_count: usize,
+    /// Total dictionary size in symbols (`M`).
+    pub symbol_count: usize,
+    /// Longest pattern length (`m`).
+    pub max_pattern_len: usize,
+    /// Entries across all namestamp tables (the paper's space bound).
+    pub table_entry_count: usize,
+}
+
+/// Dictionary matching behind one object-safe interface.
+///
+/// `Send + Sync` is a supertrait so a built matcher can be shared across
+/// the worker pool (`Arc<dyn Matcher>`) — every implementation here
+/// matches through `&self`.
+pub trait Matcher: Send + Sync {
+    /// Longest pattern starting at every text position (see the module
+    /// docs for which [`MatchOutput`] fields are portable).
+    fn match_text(&self, ctx: &Ctx, text: &[Sym]) -> MatchOutput;
+
+    /// Canonical size report.
+    fn stats(&self) -> MatcherStats;
+
+    /// Longest pattern length in the dictionary (`m`).
+    fn max_pattern_len(&self) -> usize;
+}
+
+impl Matcher for StaticMatcher {
+    fn match_text(&self, ctx: &Ctx, text: &[Sym]) -> MatchOutput {
+        StaticMatcher::match_text(self, ctx, text)
+    }
+
+    fn stats(&self) -> MatcherStats {
+        MatcherStats {
+            pattern_count: self.pattern_count(),
+            symbol_count: self.symbol_count(),
+            max_pattern_len: StaticMatcher::max_pattern_len(self),
+            table_entry_count: self.table_entry_count(),
+        }
+    }
+
+    fn max_pattern_len(&self) -> usize {
+        StaticMatcher::max_pattern_len(self)
+    }
+}
+
+impl Matcher for DynamicMatcher {
+    fn match_text(&self, ctx: &Ctx, text: &[Sym]) -> MatchOutput {
+        DynamicMatcher::match_text(self, ctx, text)
+    }
+
+    fn stats(&self) -> MatcherStats {
+        MatcherStats {
+            pattern_count: self.pattern_count(),
+            symbol_count: self.symbol_count(),
+            max_pattern_len: DynamicMatcher::max_pattern_len(self),
+            table_entry_count: self.table_entry_count(),
+        }
+    }
+
+    fn max_pattern_len(&self) -> usize {
+        DynamicMatcher::max_pattern_len(self)
+    }
+}
+
+/// Degenerate prefix fields from full-match data (module docs, "Output
+/// contract").
+fn output_from_hits(
+    hits: Vec<Option<crate::dict::PatId>>,
+    len_of: impl Fn(usize) -> u32,
+) -> MatchOutput {
+    let lens: Vec<u32> = hits
+        .iter()
+        .enumerate()
+        .map(|(i, h)| if h.is_some() { len_of(i) } else { 0 })
+        .collect();
+    MatchOutput {
+        prefix_len: lens.clone(),
+        prefix_name: vec![IDENTITY; hits.len()],
+        longest_pattern: hits.clone(),
+        longest_pattern_len: lens,
+        prefix_owner: hits,
+    }
+}
+
+impl Matcher for EqualLenMatcher {
+    fn match_text(&self, ctx: &Ctx, text: &[Sym]) -> MatchOutput {
+        let m = EqualLenMatcher::max_pattern_len(self) as u32;
+        output_from_hits(EqualLenMatcher::match_text(self, ctx, text), |_| m)
+    }
+
+    fn stats(&self) -> MatcherStats {
+        MatcherStats {
+            pattern_count: self.pattern_count(),
+            symbol_count: self.symbol_count(),
+            max_pattern_len: EqualLenMatcher::max_pattern_len(self),
+            table_entry_count: 0, // builds its tables per match_text call
+        }
+    }
+
+    fn max_pattern_len(&self) -> usize {
+        EqualLenMatcher::max_pattern_len(self)
+    }
+}
+
+fn output_from_smallalpha(out: SmallAlphaOutput) -> MatchOutput {
+    let SmallAlphaOutput {
+        longest_pattern,
+        longest_pattern_len,
+    } = out;
+    MatchOutput {
+        prefix_len: longest_pattern_len.clone(),
+        prefix_name: vec![IDENTITY; longest_pattern.len()],
+        longest_pattern: longest_pattern.clone(),
+        longest_pattern_len,
+        prefix_owner: longest_pattern,
+    }
+}
+
+impl Matcher for SmallAlphaMatcher {
+    fn match_text(&self, ctx: &Ctx, text: &[Sym]) -> MatchOutput {
+        output_from_smallalpha(SmallAlphaMatcher::match_text(self, ctx, text))
+    }
+
+    fn stats(&self) -> MatcherStats {
+        MatcherStats {
+            pattern_count: self.pattern_count(),
+            symbol_count: self.symbol_count(),
+            max_pattern_len: SmallAlphaMatcher::max_pattern_len(self),
+            table_entry_count: self.table_entry_count(),
+        }
+    }
+
+    fn max_pattern_len(&self) -> usize {
+        SmallAlphaMatcher::max_pattern_len(self)
+    }
+}
+
+impl Matcher for BinaryEncodedMatcher {
+    fn match_text(&self, ctx: &Ctx, text: &[Sym]) -> MatchOutput {
+        output_from_smallalpha(BinaryEncodedMatcher::match_text(self, ctx, text))
+    }
+
+    fn stats(&self) -> MatcherStats {
+        MatcherStats {
+            pattern_count: self.pattern_count(),
+            symbol_count: self.symbol_count(),
+            max_pattern_len: BinaryEncodedMatcher::max_pattern_len(self),
+            table_entry_count: self.table_entry_count(),
+        }
+    }
+
+    fn max_pattern_len(&self) -> usize {
+        BinaryEncodedMatcher::max_pattern_len(self)
+    }
+}
+
+/// Which algorithm [`MatcherBuilder::build`] instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatcherKind {
+    /// Pick for the dictionary's shape: [`SmallAlpha`](Self::SmallAlpha)
+    /// when an alphabet size was given, else
+    /// [`EqualLen`](Self::EqualLen) when every pattern has one length
+    /// (the optimal-work Theorem 11 bound), else
+    /// [`Static`](Self::Static).
+    #[default]
+    Auto,
+    /// §4 static matcher (Theorems 1–3).
+    Static,
+    /// §7 equal-length matcher (Theorem 11); patterns must share a length.
+    EqualLen,
+    /// §4.4 small-alphabet matcher (Theorem 4); needs an alphabet size.
+    SmallAlpha,
+    /// §4.4 bit-encoded variant (Theorem 5); needs an alphabet size.
+    BinaryEncoded,
+    /// §6 dynamic matcher (Theorems 7–10), seeded with the patterns.
+    Dynamic,
+}
+
+/// One entry point for all matchers.
+///
+/// ```
+/// use pdm_core::prelude::*;
+///
+/// let ctx = Ctx::seq();
+/// // Equal-length patterns with Auto pick the optimal Theorem-11 matcher;
+/// // forcing a kind is one call.
+/// let m = MatcherBuilder::new()
+///     .patterns(symbolize(&["abc", "bca"]))
+///     .kind(MatcherKind::Static)
+///     .build(&ctx)
+///     .unwrap();
+/// assert_eq!(m.stats().symbol_count, 6);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MatcherBuilder {
+    patterns: Vec<Vec<Sym>>,
+    kind: MatcherKind,
+    sigma: Option<u32>,
+}
+
+impl MatcherBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the dictionary (replaces any previously added patterns).
+    pub fn patterns(mut self, patterns: Vec<Vec<Sym>>) -> Self {
+        self.patterns = patterns;
+        self
+    }
+
+    /// Add one pattern.
+    pub fn pattern(mut self, pattern: Vec<Sym>) -> Self {
+        self.patterns.push(pattern);
+        self
+    }
+
+    /// Force a specific algorithm (default: [`MatcherKind::Auto`]).
+    pub fn kind(mut self, kind: MatcherKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Declare the alphabet size `|Σ|`. Under [`MatcherKind::Auto`] this
+    /// selects the small-alphabet matcher; it is required for
+    /// [`MatcherKind::SmallAlpha`] / [`MatcherKind::BinaryEncoded`].
+    pub fn alphabet_size(mut self, sigma: u32) -> Self {
+        self.sigma = Some(sigma);
+        self
+    }
+
+    /// Validate the dictionary and build the selected matcher.
+    pub fn build(self, ctx: &Ctx) -> Result<Box<dyn Matcher>, BuildError> {
+        let (_, m) = validate_dictionary(&self.patterns)?;
+        let kind = match self.kind {
+            MatcherKind::Auto => {
+                if self.sigma.is_some() {
+                    MatcherKind::SmallAlpha
+                } else if self.patterns.iter().all(|p| p.len() == m) {
+                    MatcherKind::EqualLen
+                } else {
+                    MatcherKind::Static
+                }
+            }
+            k => k,
+        };
+        let need_sigma = || {
+            self.sigma.ok_or_else(|| {
+                BuildError::Unsupported("this matcher kind needs `alphabet_size(..)`".into())
+            })
+        };
+        Ok(match kind {
+            MatcherKind::Auto => unreachable!("resolved above"),
+            MatcherKind::Static => Box::new(StaticMatcher::build(ctx, &self.patterns)?),
+            MatcherKind::EqualLen => Box::new(EqualLenMatcher::new(&self.patterns)?),
+            MatcherKind::SmallAlpha => Box::new(SmallAlphaMatcher::build(
+                ctx,
+                &self.patterns,
+                need_sigma()?,
+            )?),
+            MatcherKind::BinaryEncoded => Box::new(BinaryEncodedMatcher::build(
+                ctx,
+                &self.patterns,
+                need_sigma()?,
+            )?),
+            MatcherKind::Dynamic => Box::new(
+                DynamicMatcher::with_dictionary(ctx, &self.patterns).map_err(|e| {
+                    // validate_dictionary precedes, so only duplicates recur.
+                    BuildError::Unsupported(format!("dynamic build: {e}"))
+                })?,
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dict::{symbolize, to_symbols};
+
+    fn hits(out: &MatchOutput) -> Vec<Option<u32>> {
+        out.longest_pattern.clone()
+    }
+
+    /// Every kind agrees with the static matcher on the portable fields.
+    #[test]
+    fn all_kinds_agree_on_longest_pattern_fields() {
+        let ctx = Ctx::seq();
+        let pats = symbolize(&["abc", "bca", "cab"]);
+        let text = to_symbols("abcabcab");
+        let reference = StaticMatcher::build(&ctx, &pats).unwrap();
+        let want = reference.match_text(&ctx, &text);
+        for kind in [
+            MatcherKind::Static,
+            MatcherKind::EqualLen,
+            MatcherKind::SmallAlpha,
+            MatcherKind::BinaryEncoded,
+            MatcherKind::Dynamic,
+        ] {
+            let m = MatcherBuilder::new()
+                .patterns(pats.clone())
+                .kind(kind)
+                .alphabet_size(128) // to_symbols yields byte values
+                .build(&ctx)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            let out = m.match_text(&ctx, &text);
+            assert_eq!(hits(&out), hits(&want), "{kind:?}");
+            assert_eq!(
+                out.longest_pattern_len, want.longest_pattern_len,
+                "{kind:?}"
+            );
+            assert_eq!(m.stats().pattern_count, 3, "{kind:?}");
+            assert_eq!(m.stats().symbol_count, 9, "{kind:?}");
+            assert_eq!(m.max_pattern_len(), 3, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn auto_prefers_equal_len_then_static() {
+        let ctx = Ctx::seq();
+        let equal = MatcherBuilder::new()
+            .patterns(symbolize(&["ab", "cd"]))
+            .build(&ctx)
+            .unwrap();
+        // Theorem 11 builds no persistent tables; §4 always does.
+        assert_eq!(equal.stats().table_entry_count, 0);
+        let mixed = MatcherBuilder::new()
+            .patterns(symbolize(&["ab", "cde"]))
+            .build(&ctx)
+            .unwrap();
+        assert!(mixed.stats().table_entry_count > 0);
+    }
+
+    #[test]
+    fn small_alpha_kinds_require_sigma() {
+        let ctx = Ctx::seq();
+        let err = MatcherBuilder::new()
+            .patterns(symbolize(&["ab"]))
+            .kind(MatcherKind::SmallAlpha)
+            .build(&ctx);
+        assert!(matches!(err, Err(BuildError::Unsupported(_))));
+    }
+
+    #[test]
+    fn builder_rejects_invalid_dictionaries() {
+        let ctx = Ctx::seq();
+        assert!(matches!(
+            MatcherBuilder::new().build(&ctx),
+            Err(BuildError::EmptyDictionary)
+        ));
+        assert!(matches!(
+            MatcherBuilder::new()
+                .pattern(vec![1])
+                .pattern(vec![])
+                .build(&ctx),
+            Err(BuildError::EmptyPattern(1))
+        ));
+    }
+
+    /// The pre-facade accessor names must keep working (deprecated
+    /// delegating wrappers) and agree with the canonical ones.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_accessors_still_delegate() {
+        let ctx = Ctx::seq();
+        let m = StaticMatcher::build(&ctx, &symbolize(&["ab", "abc"])).unwrap();
+        assert_eq!(m.n_patterns(), m.pattern_count());
+        assert_eq!(m.dictionary_size(), m.symbol_count());
+        assert_eq!(m.stats().total_entries(), m.table_entry_count());
+        let e = EqualLenMatcher::new(&symbolize(&["ab", "cd"])).unwrap();
+        assert_eq!(e.n_patterns(), e.pattern_count());
+        assert_eq!(e.pattern_len(), EqualLenMatcher::max_pattern_len(&e));
+        let mut d = DynamicMatcher::new();
+        d.insert(&ctx, &to_symbols("abc")).unwrap();
+        assert_eq!(d.live_patterns(), d.pattern_count());
+        assert_eq!(d.live_size(), d.symbol_count());
+        assert_eq!(d.table_entries(), d.table_entry_count());
+    }
+
+    #[test]
+    fn trait_objects_share_across_threads() {
+        use std::sync::Arc;
+        let ctx = Ctx::seq();
+        let m: Arc<dyn Matcher> = Arc::from(
+            MatcherBuilder::new()
+                .patterns(symbolize(&["he", "she"]))
+                .build(&ctx)
+                .unwrap(),
+        );
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    let ctx = Ctx::seq();
+                    m.match_text(&ctx, &to_symbols("ushers")).longest_pattern
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap()[1], Some(1));
+        }
+    }
+}

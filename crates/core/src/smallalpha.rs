@@ -71,6 +71,8 @@ pub struct SmallAlphaMatcher {
     l_param: usize,
     sigma: u32,
     max_len: usize,
+    n_patterns: usize,
+    total_len: usize,
     /// §4 matcher over the shrunk members (None if every member is < L).
     inner: Option<StaticMatcher>,
     /// `L`-block naming, shared by dictionary and text shrinking.
@@ -296,6 +298,8 @@ impl SmallAlphaMatcher {
             l_param: l,
             sigma,
             max_len,
+            n_patterns: patterns.len(),
+            total_len: total,
             inner,
             block_tuple,
             block_to_char,
@@ -311,6 +315,34 @@ impl SmallAlphaMatcher {
 
     pub fn sigma(&self) -> u32 {
         self.sigma
+    }
+
+    /// Number of patterns (`κ`).
+    pub fn pattern_count(&self) -> usize {
+        self.n_patterns
+    }
+
+    /// Total dictionary size in symbols (`M`).
+    pub fn symbol_count(&self) -> usize {
+        self.total_len
+    }
+
+    /// Longest pattern length in the dictionary (`m`).
+    pub fn max_pattern_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Entries across the collapse tables plus the inner §4 matcher.
+    pub fn table_entry_count(&self) -> usize {
+        self.block_tuple.len()
+            + self.block_to_char.len()
+            + self.rightext.len()
+            + self.g.len()
+            + self.longest_pat.len()
+            + self
+                .inner
+                .as_ref()
+                .map_or(0, StaticMatcher::table_entry_count)
     }
 
     /// Longest pattern per text position.
@@ -475,6 +507,26 @@ impl BinaryEncodedMatcher {
     /// Collapse parameter of the underlying bit-domain matcher.
     pub fn l_param(&self) -> usize {
         self.inner.l_param()
+    }
+
+    /// Number of patterns (`κ`).
+    pub fn pattern_count(&self) -> usize {
+        self.inner.pattern_count()
+    }
+
+    /// Total dictionary size in *symbols* (the bit-domain size divided out).
+    pub fn symbol_count(&self) -> usize {
+        self.inner.symbol_count() / self.bits as usize
+    }
+
+    /// Longest pattern length in *symbols*.
+    pub fn max_pattern_len(&self) -> usize {
+        self.inner.max_pattern_len() / self.bits as usize
+    }
+
+    /// Entries across the bit-domain matcher's tables.
+    pub fn table_entry_count(&self) -> usize {
+        self.inner.table_entry_count()
     }
 
     /// Longest pattern per (symbol) text position.

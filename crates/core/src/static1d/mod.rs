@@ -50,8 +50,13 @@ pub struct DictStats {
 
 impl DictStats {
     /// All table entries combined.
-    pub fn total_entries(&self) -> usize {
+    pub fn table_entry_count(&self) -> usize {
         self.sym_entries + self.pair_entries + self.fold_entries + self.ext_entries
+    }
+
+    #[deprecated(since = "0.2.0", note = "renamed to `table_entry_count`")]
+    pub fn total_entries(&self) -> usize {
+        self.table_entry_count()
     }
 }
 
@@ -170,13 +175,28 @@ impl StaticMatcher {
         self.tables.pattern_prefs[p as usize].len() as u32
     }
 
-    /// Total dictionary size (`M`).
-    pub fn dictionary_size(&self) -> usize {
+    /// Total dictionary size in symbols (`M`).
+    pub fn symbol_count(&self) -> usize {
         self.tables.total_len
     }
 
     /// Number of patterns (`κ`).
-    pub fn n_patterns(&self) -> usize {
+    pub fn pattern_count(&self) -> usize {
         self.tables.n_patterns
+    }
+
+    /// All namestamp-table entries combined (the paper's `O(M)` space).
+    pub fn table_entry_count(&self) -> usize {
+        self.stats().table_entry_count()
+    }
+
+    #[deprecated(since = "0.2.0", note = "renamed to `symbol_count`")]
+    pub fn dictionary_size(&self) -> usize {
+        self.symbol_count()
+    }
+
+    #[deprecated(since = "0.2.0", note = "renamed to `pattern_count`")]
+    pub fn n_patterns(&self) -> usize {
+        self.pattern_count()
     }
 }

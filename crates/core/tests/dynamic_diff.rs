@@ -84,8 +84,8 @@ fn run_trace(seed: u64, alpha: Alphabet, ops: usize, text_len: usize, max_len: u
     for (id, p) in std::mem::take(&mut live) {
         assert_eq!(d.delete(&ctx, &p), Ok(id));
     }
-    assert_eq!(d.live_size(), 0);
-    assert_eq!(d.table_entries(), 0);
+    assert_eq!(d.symbol_count(), 0);
+    assert_eq!(d.table_entry_count(), 0);
 }
 
 #[test]

@@ -240,10 +240,10 @@ fn dict_stats_are_linear_in_m() {
     let s1 = StaticMatcher::build(&ctx, &small).unwrap().stats();
     let s2 = StaticMatcher::build(&ctx, &big).unwrap().stats();
     // ~3M entries (pairs+fold+ext) plus up to |Σ| symbol entries.
-    assert!(s1.total_entries() <= 4 * s1.dictionary_size + 512);
-    assert!(s2.total_entries() <= 4 * s2.dictionary_size + 512);
+    assert!(s1.table_entry_count() <= 4 * s1.dictionary_size + 512);
+    assert!(s2.table_entry_count() <= 4 * s2.dictionary_size + 512);
     // Entries scale ~linearly with M (within 2x of proportional).
-    let ratio = s2.total_entries() as f64 / s1.total_entries() as f64;
+    let ratio = s2.table_entry_count() as f64 / s1.table_entry_count() as f64;
     let m_ratio = s2.dictionary_size as f64 / s1.dictionary_size as f64;
     assert!(
         ratio < 2.0 * m_ratio && m_ratio < 2.0 * ratio,

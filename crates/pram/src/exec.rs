@@ -17,9 +17,11 @@ pub enum ExecPolicy {
     /// Plain sequential loops. Deterministic; useful for tests and as the
     /// 1-processor reference point in speedup experiments.
     Seq,
-    /// Rayon's global thread pool.
+    /// The global persistent worker pool (width from `PDM_THREADS`, then
+    /// `RAYON_NUM_THREADS`, then the hardware parallelism).
     Par,
-    /// A dedicated pool, for thread-count sweeps.
+    /// A dedicated persistent pool, for thread-count sweeps. Workers spawn
+    /// lazily on the first round and park between rounds (DESIGN.md §8).
     Pool(Arc<rayon::ThreadPool>),
 }
 
@@ -78,7 +80,9 @@ impl Default for Ctx {
     }
 }
 
-/// Minimum items per rayon task; below this, splitting overhead dominates.
+/// Minimum items per pool chunk; rounds at or below this run inline on the
+/// caller (the pool's adaptive sequential cutoff), and larger rounds are
+/// dealt in chunks of at least this many items.
 const MIN_CHUNK: usize = 1024;
 
 impl Ctx {

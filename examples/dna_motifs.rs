@@ -60,8 +60,8 @@ fn main() {
     assert!(after.len() >= before.len());
     println!(
         "  dictionary now holds {} motifs across {} live symbols ({} rebuilds so far)",
-        dict.live_patterns(),
-        dict.live_size(),
+        dict.pattern_count(),
+        dict.symbol_count(),
         dict.rebuilds()
     );
 

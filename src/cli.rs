@@ -313,7 +313,7 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
             writeln!(
                 w,
                 "table entries:   {} (sym {}, pair {}, fold {}, ext {})",
-                s.total_entries(),
+                s.table_entry_count(),
                 s.sym_entries,
                 s.pair_entries,
                 s.fold_entries,
@@ -351,8 +351,8 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
                     writeln!(
                         w,
                         "indexed {} patterns ({} symbols) into {out}: {} bytes",
-                        m.n_patterns(),
-                        m.dictionary_size(),
+                        m.pattern_count(),
+                        m.symbol_count(),
                         bytes.len()
                     )?;
                     Ok(0)
@@ -529,7 +529,7 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
                 service.workers = n.max(1);
             }
             service.queue_cap = queue_cap;
-            let n_patterns = m.n_patterns();
+            let n_patterns = m.pattern_count();
             let server = match pdm_stream::Server::bind(
                 ("0.0.0.0", port),
                 std::sync::Arc::new(m),

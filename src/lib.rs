@@ -55,6 +55,7 @@ pub mod prelude {
     pub use pdm_core::dictnd::DictNdMatcher;
     pub use pdm_core::dynamic::DynamicMatcher;
     pub use pdm_core::equal_len::EqualLenMatcher;
+    pub use pdm_core::matcher::{Matcher, MatcherBuilder, MatcherKind, MatcherStats};
     pub use pdm_core::multidim::Tensor;
     pub use pdm_core::smallalpha::{BinaryEncodedMatcher, SmallAlphaMatcher};
     pub use pdm_core::static1d::{MatchOutput, StaticMatcher};

@@ -1,0 +1,88 @@
+//! Width invariance: the same matcher must produce identical output under
+//! sequential execution and under the work-stealing pool at any width.
+//! Stealing makes chunk assignment nondeterministic, so this is exactly
+//! the property that catches a racy round (overlapping claims, part-order
+//! mixups in `reduce`, …) — every PRAM round is independent writes, so the
+//! schedule must never show through.
+
+use pdm::prelude::*;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Widths 1 / 2 / max (plus 4 to exercise stealing even when max is small).
+fn widths() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut w = vec![1, 2, 4];
+    if !w.contains(&max) {
+        w.push(max);
+    }
+    w
+}
+
+/// Drop duplicate patterns (builders require a set; first occurrence wins
+/// so pattern ids agree across every context).
+fn dedup(patterns: Vec<Vec<Sym>>) -> Vec<Vec<Sym>> {
+    let mut seen = std::collections::HashSet::new();
+    patterns
+        .into_iter()
+        .filter(|p| seen.insert(p.clone()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn static_matcher_output_is_width_invariant(
+        pats in vec(vec(0u32..4, 1..24), 1..8),
+        text in vec(0u32..4, 0..4000),
+    ) {
+        let pats = dedup(pats);
+        // One build, shared across widths: isolates the execution
+        // substrate (name *values* may differ between separate builds).
+        let m = StaticMatcher::build(&Ctx::seq(), &pats).unwrap();
+        let want = m.match_text(&Ctx::seq(), &text);
+        for w in widths() {
+            let ctx = Ctx::with_threads(w);
+            let got = m.match_text(&ctx, &text);
+            prop_assert_eq!(&got.longest_pattern, &want.longest_pattern, "width {}", w);
+            prop_assert_eq!(&got.longest_pattern_len, &want.longest_pattern_len, "width {}", w);
+            prop_assert_eq!(&got.prefix_len, &want.prefix_len, "width {}", w);
+            prop_assert_eq!(&got.prefix_owner, &want.prefix_owner, "width {}", w);
+        }
+    }
+
+    #[test]
+    fn equal_len_matcher_output_is_width_invariant(
+        pats in vec(vec(0u32..3, 7..8), 1..6),
+        text in vec(0u32..3, 0..4000),
+    ) {
+        let pats = dedup(pats);
+        let m = EqualLenMatcher::new(&pats).unwrap();
+        let want = m.match_text(&Ctx::seq(), &text);
+        for w in widths() {
+            let got = m.match_text(&Ctx::with_threads(w), &text);
+            prop_assert_eq!(&got, &want, "width {}", w);
+        }
+    }
+
+    #[test]
+    fn facade_matchers_are_width_invariant(
+        pats in vec(vec(0u32..4, 1..16), 1..6),
+        text in vec(0u32..4, 0..2000),
+    ) {
+        let pats = dedup(pats);
+        let m = MatcherBuilder::new()
+            .patterns(pats)
+            .build(&Ctx::seq())
+            .unwrap();
+        let want = m.match_text(&Ctx::seq(), &text);
+        for w in widths() {
+            let got = m.match_text(&Ctx::with_threads(w), &text);
+            prop_assert_eq!(&got.longest_pattern, &want.longest_pattern, "width {}", w);
+            prop_assert_eq!(&got.longest_pattern_len, &want.longest_pattern_len, "width {}", w);
+        }
+    }
+}

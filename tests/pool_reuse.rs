@@ -1,0 +1,82 @@
+//! Regression: parallel matching must reuse the persistent worker pool,
+//! never spawn per-round threads. The seed's executor spawned a fresh
+//! scoped thread set for every `Ctx::for_each`/`map` round, so a single
+//! `match_text` call (dozens of rounds) cost dozens of thread creations;
+//! the registry parks its workers between rounds instead. We prove it by
+//! watching the process's OS-thread set across many matching rounds.
+
+#![cfg(target_os = "linux")]
+
+use pdm::prelude::*;
+use std::collections::BTreeSet;
+
+/// `Threads:` line of /proc/self/status.
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .expect("read /proc/self/status")
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .expect("Threads: line")
+        .trim()
+        .parse()
+        .expect("thread count")
+}
+
+/// The live TID set — catches spawn+exit churn that a stable count hides.
+fn tids() -> BTreeSet<u64> {
+    std::fs::read_dir("/proc/self/task")
+        .expect("read /proc/self/task")
+        .map(|e| {
+            e.expect("task entry")
+                .file_name()
+                .to_string_lossy()
+                .parse()
+                .expect("tid")
+        })
+        .collect()
+}
+
+/// One test (not several) so no sibling test's lazily-spawned pool can
+/// perturb the measured thread set mid-loop.
+#[test]
+fn repeated_matching_rounds_spawn_no_new_threads() {
+    let text: Vec<Sym> = (0..200_000).map(|i| (i % 3) as Sym).collect();
+    let pats = symbolize(&["abab", "baba", "aabb", "bbaa"]);
+    let pats: Vec<Vec<Sym>> = pats
+        .iter()
+        .map(|p| p.iter().map(|&c| c % 3).collect())
+        .collect();
+
+    // Dedicated pool: the first round spawns its workers, after which the
+    // thread set must be frozen.
+    let ctx = Ctx::with_threads(4);
+    let m = StaticMatcher::build(&ctx, &pats).unwrap();
+    let warm = m.match_text(&ctx, &text);
+    let before_count = thread_count();
+    let before_tids = tids();
+    for _ in 0..50 {
+        let out = m.match_text(&ctx, &text);
+        assert_eq!(out.longest_pattern, warm.longest_pattern);
+    }
+    assert_eq!(
+        thread_count(),
+        before_count,
+        "dedicated pool grew across rounds"
+    );
+    assert_eq!(
+        tids(),
+        before_tids,
+        "per-round threads were spawned (TID churn)"
+    );
+
+    // Global pool (Ctx::par): same contract.
+    let gctx = Ctx::par();
+    let _ = m.match_text(&gctx, &text); // spawns the global workers once
+    let before_count = thread_count();
+    let before_tids = tids();
+    for _ in 0..20 {
+        let _ = m.match_text(&gctx, &text);
+    }
+    assert_eq!(thread_count(), before_count, "global pool grew");
+    assert_eq!(tids(), before_tids, "global pool TID churn");
+}

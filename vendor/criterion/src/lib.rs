@@ -143,12 +143,20 @@ impl Bencher {
     }
 }
 
+/// CI smoke mode: `PDM_BENCH_SMOKE=1` clamps every benchmark to a single
+/// sample so `cargo bench` merely proves the harness runs and the
+/// benchmarked code doesn't panic — numbers are meaningless there.
+fn smoke_mode() -> bool {
+    std::env::var_os("PDM_BENCH_SMOKE").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
 fn run_bench(
     label: &str,
     sample_size: usize,
     throughput: Option<Throughput>,
     mut f: impl FnMut(&mut Bencher),
 ) {
+    let sample_size = if smoke_mode() { 1 } else { sample_size };
     // Warm-up: one untimed run.
     let mut warm = Bencher {
         elapsed: Duration::ZERO,

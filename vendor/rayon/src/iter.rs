@@ -1,15 +1,20 @@
-//! Indexed parallel iterators over scoped threads.
+//! Indexed parallel iterators over the persistent worker pool.
 //!
 //! Everything here is built on one abstraction: an [`IndexedSource`] that
 //! can hand out the item at index `i` to any thread, with the contract that
 //! each index is consumed at most once. Adaptors (`map`, `zip`,
-//! `enumerate`) compose sources; drivers split `0..len` into contiguous
-//! ranges (at least `min_len` items each, at most one per worker) and run
-//! them on `std::thread::scope` workers.
+//! `enumerate`) compose sources; drivers hand `0..len` to the current
+//! [`Registry`](crate::registry) — parked persistent workers dealt chunks
+//! from per-worker segments with work stealing — with an adaptive
+//! sequential cutoff: rounds of at most `min_len` items (and all rounds
+//! started from inside a pool worker) run inline on the calling thread,
+//! never crossing a thread boundary.
 
-use crate::pool::{current_num_threads, with_width};
+use crate::pool::current_exec;
+use crate::registry::{on_worker_thread, run_round};
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// A random-access item producer that parallel drivers consume.
 ///
@@ -51,9 +56,35 @@ impl<S: IndexedSource> ParallelIterator for ParIter<S> {}
 // Drivers
 // ---------------------------------------------------------------------------
 
-/// Split `0..len` into contiguous parts and run `work(lo, hi)` for each,
-/// in parallel; returns per-part results in part order.
-fn drive_ranges<R, W>(len: usize, min_len: usize, work: &W) -> Vec<R>
+/// Run `work(lo, hi)` over disjoint ranges covering `0..len` exactly once,
+/// in parallel on the current pool. Inline when the round is too small to
+/// benefit from crossing a thread boundary.
+fn drive<W>(len: usize, min_len: usize, work: &W)
+where
+    W: Fn(usize, usize) + Sync,
+{
+    if len == 0 {
+        return;
+    }
+    let min_len = min_len.max(1);
+    if len <= min_len || on_worker_thread() {
+        return work(0, len);
+    }
+    let (width, registry) = current_exec();
+    if width <= 1 {
+        return work(0, len);
+    }
+    // Adaptive granularity: a few claims per participant amortize the CAS
+    // while leaving enough pieces for stealing to balance.
+    let chunk = (len / (width * 4)).max(min_len);
+    run_round(&registry, len, chunk, work);
+}
+
+/// Like [`drive`], collecting each executed range's result; parts are
+/// returned ordered by range start, so folding them left-to-right is the
+/// same grouping as a sequential left fold over contiguous ranges (no
+/// commutativity required of the combiner).
+fn drive_parts<R, W>(len: usize, min_len: usize, work: &W) -> Vec<R>
 where
     R: Send,
     W: Fn(usize, usize) -> R + Sync,
@@ -61,28 +92,26 @@ where
     if len == 0 {
         return Vec::new();
     }
-    let width = current_num_threads().max(1);
-    let parts = len.div_ceil(min_len.max(1)).min(width).max(1);
-    let chunk = len.div_ceil(parts);
-    if parts == 1 {
+    let min_len = min_len.max(1);
+    if len <= min_len || on_worker_thread() {
         return vec![work(0, len)];
     }
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (1..parts)
-            .take_while(|p| p * chunk < len)
-            .map(|p| {
-                let lo = p * chunk;
-                let hi = (lo + chunk).min(len);
-                scope.spawn(move || with_width(width, || work(lo, hi)))
-            })
-            .collect();
-        let mut out = Vec::with_capacity(parts);
-        out.push(work(0, chunk.min(len)));
-        for h in handles {
-            out.push(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
-        }
-        out
-    })
+    let (width, registry) = current_exec();
+    if width <= 1 {
+        return vec![work(0, len)];
+    }
+    let chunk = (len / (width * 4)).max(min_len);
+    let parts: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
+    run_round(&registry, len, chunk, &|lo, hi| {
+        let r = work(lo, hi);
+        parts
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((lo, r));
+    });
+    let mut v = parts.into_inner().unwrap_or_else(|e| e.into_inner());
+    v.sort_unstable_by_key(|&(lo, _)| lo);
+    v.into_iter().map(|(_, r)| r).collect()
 }
 
 /// Pointer that may cross thread boundaries (writes are index-disjoint).
@@ -134,7 +163,7 @@ impl<S: IndexedSource> ParIter<S> {
 
     pub fn for_each<F: Fn(S::Item) + Sync>(self, f: F) {
         self.src.begin();
-        drive_ranges(self.src.len(), self.min_len, &|lo, hi| {
+        drive(self.src.len(), self.min_len, &|lo, hi| {
             for i in lo..hi {
                 f(unsafe { self.src.get(i) });
             }
@@ -148,7 +177,7 @@ impl<S: IndexedSource> ParIter<S> {
         OP: Fn(S::Item, S::Item) -> S::Item + Sync,
     {
         self.src.begin();
-        let parts = drive_ranges(self.src.len(), self.min_len, &|lo, hi| {
+        let parts = drive_parts(self.src.len(), self.min_len, &|lo, hi| {
             let mut acc = identity();
             for i in lo..hi {
                 acc = op(acc, unsafe { self.src.get(i) });
@@ -177,7 +206,7 @@ impl<T: Send> FromParIter<T> for Vec<T> {
         unsafe { buf.set_len(len) };
         let out = SendPtr(buf.as_mut_ptr());
         iter.src.begin();
-        drive_ranges(len, iter.min_len, &|lo, hi| {
+        drive(len, iter.min_len, &|lo, hi| {
             // Bind the whole SendPtr (not just its field) so 2021 disjoint
             // capture doesn't grab the raw pointer, which is not Sync.
             let dst = out;
@@ -488,5 +517,103 @@ mod tests {
             .build()
             .unwrap();
         pool.install(|| assert_eq!(crate::current_num_threads(), 3));
+    }
+
+    #[test]
+    fn nested_install_sees_innermost_width() {
+        let outer = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let inner = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        outer.install(|| {
+            assert_eq!(crate::current_num_threads(), 4);
+            // Nested install on the *calling* thread.
+            inner.install(|| assert_eq!(crate::current_num_threads(), 2));
+            assert_eq!(crate::current_num_threads(), 4);
+            // Nested install from *inside a worker-executed round*: the
+            // innermost width must win there too.
+            (0..20_000usize)
+                .into_par_iter()
+                .with_min_len(512)
+                .for_each(|_| {
+                    assert_eq!(crate::current_num_threads(), 4);
+                    inner.install(|| assert_eq!(crate::current_num_threads(), 2));
+                    assert_eq!(crate::current_num_threads(), 4);
+                });
+        });
+    }
+
+    #[test]
+    fn rounds_run_on_a_bounded_persistent_thread_set() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        for _ in 0..25 {
+            pool.install(|| {
+                (0..50_000usize)
+                    .into_par_iter()
+                    .with_min_len(256)
+                    .for_each(|_| {
+                        seen.lock().unwrap().insert(std::thread::current().id());
+                    });
+            });
+        }
+        // 3 persistent workers + the caller; per-round spawning would have
+        // produced dozens of distinct thread ids.
+        let ids = seen.lock().unwrap().len();
+        assert!(ids <= 4, "saw {ids} distinct threads across 25 rounds");
+    }
+
+    #[test]
+    fn panic_in_parallel_closure_propagates() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..10_000usize)
+                    .into_par_iter()
+                    .with_min_len(16)
+                    .for_each(|i| {
+                        if i == 4321 {
+                            panic!("round panic");
+                        }
+                    });
+            });
+        }));
+        assert!(result.is_err());
+        // The pool stays usable afterwards.
+        let v: Vec<usize> = pool.install(|| {
+            (0..1000usize)
+                .into_par_iter()
+                .with_min_len(16)
+                .map(|i| i)
+                .collect()
+        });
+        assert_eq!(v.len(), 1000);
+    }
+
+    #[test]
+    fn reduce_preserves_part_order_for_noncommutative_op() {
+        // String concatenation is associative but not commutative: any
+        // misordering of stolen parts would scramble the output.
+        let want: String = (0..3000u32).map(|i| i.to_string()).collect();
+        for _ in 0..5 {
+            let got = (0..3000usize)
+                .into_par_iter()
+                .with_min_len(16)
+                .map(|i| i.to_string())
+                .reduce(String::new, |a, b| a + &b);
+            assert_eq!(got, want);
+        }
     }
 }

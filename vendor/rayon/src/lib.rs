@@ -2,13 +2,20 @@
 //!
 //! The build container has no access to crates.io, so the workspace vendors
 //! a small data-parallel engine with rayon's names: indexed parallel
-//! iterators over ranges, vectors and slice chunks, driven by scoped OS
-//! threads. Semantics match rayon for the combinators provided here —
-//! every index is visited exactly once, items are produced in index order
-//! within a split, and `collect`/`map` preserve ordering. Scheduling is
-//! static (contiguous splits, one per worker) rather than work-stealing,
-//! which is the right trade for this workspace's regular, data-parallel
-//! rounds.
+//! iterators over ranges, vectors and slice chunks, executed on a
+//! **persistent worker pool** ([`registry`]) — workers spawned once
+//! (lazily; a global default pool plus per-[`ThreadPool`] pools), parked
+//! between rounds, dealt chunks from per-worker segments by atomic-index
+//! claims with back-half work stealing. Semantics match rayon for the
+//! combinators provided here — every index is visited exactly once, items
+//! are produced in index order within a split, `collect`/`map` preserve
+//! ordering, and `reduce` combines parts in range order (associativity,
+//! not commutativity, is required). Rounds of at most `min_len` items run
+//! inline on the caller; panics inside parallel closures propagate to the
+//! caller, as in rayon.
+//!
+//! The global pool width honours `PDM_THREADS`, then `RAYON_NUM_THREADS`,
+//! then the hardware parallelism.
 //!
 //! Provided: `ThreadPool`, `ThreadPoolBuilder`, `current_num_threads`, and
 //! in [`prelude`]: `into_par_iter()` on `Range<usize>` and `Vec<T>`,
@@ -18,6 +25,7 @@
 
 mod iter;
 mod pool;
+mod registry;
 
 pub use pool::{current_num_threads, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
 

@@ -1,57 +1,116 @@
-//! Thread-count bookkeeping. There is no persistent pool: parallel calls
-//! spawn scoped threads per round. A `ThreadPool` is therefore just a
-//! requested width that `install` makes current for the duration of a
-//! closure (and that workers inherit, so nested parallel calls see it).
+//! Pool handles and width bookkeeping.
+//!
+//! A [`ThreadPool`] owns a persistent [`Registry`](crate::registry) of
+//! parked workers; the lazily-started global registry backs everything
+//! else. `install` makes a pool current for the duration of a closure:
+//! parallel rounds inside dispatch to that pool's workers and
+//! [`current_num_threads`] reports its width (innermost `install` wins,
+//! including from inside a worker — matching real rayon).
+//!
+//! The global width honours `PDM_THREADS`, then `RAYON_NUM_THREADS`, then
+//! the hardware parallelism.
 
-use std::cell::Cell;
+use crate::registry::{self, Registry};
+use std::cell::RefCell;
+use std::sync::Arc;
 
 thread_local! {
-    /// Width set by the innermost `ThreadPool::install` (0 = unset).
-    static CURRENT_WIDTH: Cell<usize> = const { Cell::new(0) };
+    /// Pool made current by the innermost `ThreadPool::install` (None =
+    /// global), plus its width. Workers set the width on entry so nested
+    /// width queries inherit their pool.
+    static CURRENT: RefCell<Current> = const {
+        RefCell::new(Current {
+            width: 0,
+            registry: None,
+        })
+    };
 }
 
-fn hardware_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+struct Current {
+    /// 0 = unset (fall back to the global width).
+    width: usize,
+    registry: Option<Arc<Registry>>,
 }
 
 /// Number of worker threads parallel iterators will use on this thread.
 pub fn current_num_threads() -> usize {
-    let w = CURRENT_WIDTH.with(Cell::get);
+    let w = CURRENT.with(|c| c.borrow().width);
     if w > 0 {
         w
     } else {
-        hardware_threads()
+        registry::default_width()
     }
 }
 
-/// Run `f` with the current width forced to `width` (used by workers to
-/// inherit their parent's pool width for nested calls).
+/// Run `f` with the current width forced to `width`, leaving the current
+/// registry untouched (workers use this to report their pool's width).
 pub(crate) fn with_width<R>(width: usize, f: impl FnOnce() -> R) -> R {
-    let prev = CURRENT_WIDTH.with(|c| c.replace(width));
-    struct Restore(usize);
+    with_current(width, None, f)
+}
+
+/// (width, registry) the next parallel round on this thread should use.
+pub(crate) fn current_exec() -> (usize, Arc<Registry>) {
+    CURRENT.with(|c| {
+        let cur = c.borrow();
+        match &cur.registry {
+            Some(r) => (r.width(), Arc::clone(r)),
+            None => {
+                let global = registry::global_registry();
+                let w = if cur.width > 0 {
+                    cur.width.min(global.width())
+                } else {
+                    global.width()
+                };
+                (w, Arc::clone(global))
+            }
+        }
+    })
+}
+
+fn with_current<R>(width: usize, registry: Option<Arc<Registry>>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Current);
     impl Drop for Restore {
         fn drop(&mut self) {
-            CURRENT_WIDTH.with(|c| c.set(self.0));
+            CURRENT.with(|c| {
+                let mut cur = c.borrow_mut();
+                cur.width = self.0.width;
+                cur.registry = self.0.registry.take();
+            });
         }
     }
+    let prev = CURRENT.with(|c| {
+        let mut cur = c.borrow_mut();
+        Current {
+            width: std::mem::replace(&mut cur.width, width),
+            registry: std::mem::replace(&mut cur.registry, registry),
+        }
+    });
     let _restore = Restore(prev);
     f()
 }
 
-/// A fixed-width execution scope. `install` runs a closure with parallel
-/// iterators limited to this width.
+/// A dedicated pool of persistent workers. Workers are spawned lazily on
+/// the first parallel round and parked between rounds; dropping the pool
+/// stops and joins them.
 #[derive(Debug)]
 pub struct ThreadPool {
-    width: usize,
+    registry: Arc<Registry>,
 }
 
 impl ThreadPool {
+    /// Run `f` with parallel rounds dispatching to this pool.
     pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
-        with_width(self.width, f)
+        with_current(self.registry.width(), Some(Arc::clone(&self.registry)), f)
     }
 
     pub fn current_num_threads(&self) -> usize {
-        self.width
+        self.registry.width()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.shutdown();
     }
 }
 
@@ -86,9 +145,11 @@ impl ThreadPoolBuilder {
 
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let width = match self.num_threads {
-            Some(0) | None => hardware_threads(),
+            Some(0) | None => registry::default_width(),
             Some(n) => n,
         };
-        Ok(ThreadPool { width })
+        Ok(ThreadPool {
+            registry: Registry::new(width),
+        })
     }
 }

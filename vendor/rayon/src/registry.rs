@@ -1,0 +1,537 @@
+//! The persistent worker pool behind every parallel round.
+//!
+//! Workers are OS threads spawned **once** per [`Registry`] (lazily, on the
+//! first round big enough to parallelize) and parked on a condvar between
+//! rounds, so the steady-state cost of a round is an unpark + a handful of
+//! atomic claims instead of `threads − 1` clone/spawn/join cycles.
+//!
+//! ## Round anatomy
+//!
+//! A round is a caller-provided `work(lo, hi)` closure that must be invoked
+//! over disjoint ranges covering `0..len` exactly once. The range is dealt
+//! out as follows:
+//!
+//! * `0..len` is pre-split into `width` contiguous **segments**, one per
+//!   worker. Each segment's claim state is a single `AtomicU64` packing
+//!   `(next, end)` offsets, so owner claims (advance `next`) and steals
+//!   (retreat `end`) are both one CAS on the same word and can never hand
+//!   out overlapping ranges.
+//! * The segment's owner deals itself chunks of `chunk` items from the
+//!   front (**chunked atomic-index dealing** — the chunk size amortizes the
+//!   CAS, the index keeps the deal dynamic so a slow worker doesn't strand
+//!   its tail).
+//! * A participant whose own segment is empty — including the caller, which
+//!   has no segment and joins purely as a thief — **steals half** of the
+//!   fullest-looking victim's remaining range from the back, largest-first,
+//!   until no segment has claimable work.
+//!
+//! Completion is a count of *processed* (not merely claimed) items: the
+//! participant that retires the last item unparks the caller. The caller
+//! never returns before that, which is what makes it sound for `work` to
+//! borrow the caller's stack. A panic inside `work` cancels the round
+//! (remaining claims are drained without executing), is carried back, and
+//! re-thrown on the calling thread — matching rayon.
+//!
+//! Workers never block a round they cannot help with: a job whose segments
+//! are all claimed is pruned from the queue, and a registry being shut down
+//! ([`ThreadPool`](crate::ThreadPool) drop) lets in-flight callers finish
+//! their own rounds by self-stealing — the caller alone is always enough to
+//! drain a round, so worker death is a performance event, not a correctness
+//! event.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+thread_local! {
+    /// Marks pool worker threads: parallel rounds started *from* a worker run
+    /// inline (no re-entry into the pool), which both bounds recursion and
+    /// makes nested parallelism deadlock-free.
+    static IS_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// True on pool worker threads (nested rounds must run inline there).
+pub(crate) fn on_worker_thread() -> bool {
+    IS_WORKER.with(std::cell::Cell::get)
+}
+
+// ---------------------------------------------------------------------------
+// Segments: packed (next, end) interval claims
+// ---------------------------------------------------------------------------
+
+/// One worker's contiguous share of a round, claimable from both ends.
+/// Offsets are relative to `base` and packed as `next << 32 | end`, both
+/// `u32` — a single CAS word. Segments longer than `u32::MAX` items fall
+/// back to inline execution in [`run_round`] (unreachable for in-memory
+/// texts).
+struct Seg {
+    base: usize,
+    state: AtomicU64,
+}
+
+#[inline]
+fn pack(next: u32, end: u32) -> u64 {
+    (u64::from(next) << 32) | u64::from(end)
+}
+
+#[inline]
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+impl Seg {
+    fn new(base: usize, len: usize) -> Self {
+        Seg {
+            base,
+            state: AtomicU64::new(pack(0, len as u32)),
+        }
+    }
+
+    /// Remaining claimable items (approximate: racy by design).
+    fn remaining(&self) -> usize {
+        let (next, end) = unpack(self.state.load(Ordering::Relaxed));
+        end.saturating_sub(next) as usize
+    }
+
+    /// Owner side: claim up to `chunk` items from the front.
+    fn claim_front(&self, chunk: usize) -> Option<(usize, usize)> {
+        let mut cur = self.state.load(Ordering::Relaxed);
+        loop {
+            let (next, end) = unpack(cur);
+            if next >= end {
+                return None;
+            }
+            let take = chunk.min((end - next) as usize) as u32;
+            match self.state.compare_exchange_weak(
+                cur,
+                pack(next + take, end),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    let lo = self.base + next as usize;
+                    return Some((lo, lo + take as usize));
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Thief side: claim half the remaining range (at least `chunk`, at most
+    /// everything) from the back.
+    fn claim_back_half(&self, chunk: usize) -> Option<(usize, usize)> {
+        let mut cur = self.state.load(Ordering::Relaxed);
+        loop {
+            let (next, end) = unpack(cur);
+            if next >= end {
+                return None;
+            }
+            let avail = (end - next) as usize;
+            let take = avail.div_ceil(2).max(chunk).min(avail) as u32;
+            match self.state.compare_exchange_weak(
+                cur,
+                pack(next, end - take),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    let hi = self.base + end as usize;
+                    return Some((hi - take as usize, hi));
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A round in flight
+// ---------------------------------------------------------------------------
+
+type WorkFn = dyn Fn(usize, usize) + Sync;
+
+/// Shared state of one round. Lives in an `Arc` so a lagging worker that
+/// still holds a reference after the round completes only ever touches this
+/// allocation — never the caller's (possibly unwound) stack. `work` points
+/// into the caller's stack, and is only dereferenced for a claimed range;
+/// once every item is processed no range is claimable, and the caller does
+/// not return (keeping the closure alive) before that.
+struct RoundJob {
+    segs: Box<[Seg]>,
+    chunk: usize,
+    /// Items claimed *and executed*; the participant that takes this to zero
+    /// unparks the caller.
+    unfinished: AtomicUsize,
+    /// Set on panic: remaining ranges are claimed but not executed.
+    cancelled: AtomicBool,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    caller: thread::Thread,
+    work: *const WorkFn,
+}
+
+// SAFETY: `work` crosses threads by design; the protocol above guarantees it
+// is only called while the caller keeps the closure alive, and `&WorkFn` is
+// `Sync` so shared calls are sound. Everything else is atomics and locks.
+unsafe impl Send for RoundJob {}
+unsafe impl Sync for RoundJob {}
+
+impl RoundJob {
+    /// No claimable work left (≠ complete: claims may still be executing).
+    fn exhausted(&self) -> bool {
+        self.segs.iter().all(|s| s.remaining() == 0)
+    }
+
+    /// Execute one claimed range, then retire it.
+    fn execute(&self, lo: usize, hi: usize) {
+        if !self.cancelled.load(Ordering::Relaxed) {
+            // SAFETY: (lo, hi) was claimed exactly once; the caller keeps the
+            // closure alive until `unfinished` reaches zero, which cannot
+            // happen before this range is retired below.
+            let work = unsafe { &*self.work };
+            if let Err(payload) =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(lo, hi)))
+            {
+                self.cancelled.store(true, Ordering::Relaxed);
+                let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+                slot.get_or_insert(payload);
+            }
+        }
+        if self.unfinished.fetch_sub(hi - lo, Ordering::Release) == hi - lo {
+            self.caller.unpark();
+        }
+    }
+
+    /// Work the round as participant `me` (`None` = the caller, who owns no
+    /// segment and only steals). Returns when nothing is claimable.
+    fn participate(&self, me: Option<usize>) {
+        if let Some(w) = me {
+            let seg = &self.segs[w];
+            while let Some((lo, hi)) = seg.claim_front(self.chunk) {
+                self.execute(lo, hi);
+            }
+        }
+        // Steal loop: largest victim first, half of its remainder at a time.
+        loop {
+            let victim = self
+                .segs
+                .iter()
+                .max_by_key(|s| s.remaining())
+                .filter(|s| s.remaining() > 0);
+            let Some(seg) = victim else { return };
+            if let Some((lo, hi)) = seg.claim_back_half(self.chunk) {
+                self.execute(lo, hi);
+            }
+            // A failed claim just means someone beat us to it; re-scan.
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry: the persistent pool
+// ---------------------------------------------------------------------------
+
+struct Queue {
+    jobs: VecDeque<Arc<RoundJob>>,
+    shutdown: bool,
+}
+
+/// A persistent set of parked worker threads plus a round queue.
+pub(crate) struct Registry {
+    width: usize,
+    queue: Mutex<Queue>,
+    available: Condvar,
+    started: std::sync::Once,
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("width", &self.width)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Registry {
+    pub(crate) fn new(width: usize) -> Arc<Registry> {
+        Arc::new(Registry {
+            width: width.max(1),
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            started: std::sync::Once::new(),
+            handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    pub(crate) fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Spawn the workers exactly once (first parallel round).
+    fn ensure_started(self: &Arc<Self>) {
+        self.started.call_once(|| {
+            let mut handles = self.handles.lock().unwrap_or_else(|e| e.into_inner());
+            for id in 0..self.width {
+                let registry = Arc::clone(self);
+                let handle = thread::Builder::new()
+                    .name(format!("pdm-worker-{id}"))
+                    .spawn(move || worker_main(registry, id))
+                    .expect("failed to spawn pool worker");
+                handles.push(handle);
+            }
+        });
+    }
+
+    /// Next job with claimable work, or `None` on shutdown. Blocks parked.
+    fn next_job(&self) -> Option<Arc<RoundJob>> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            while let Some(front) = q.jobs.front() {
+                if front.exhausted() {
+                    q.jobs.pop_front();
+                } else {
+                    return Some(Arc::clone(front));
+                }
+            }
+            if q.shutdown {
+                return None;
+            }
+            q = self.available.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn inject(&self, job: Arc<RoundJob>) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.jobs.push_back(job);
+        drop(q);
+        self.available.notify_all();
+    }
+
+    /// Stop and join the workers. In-flight callers complete their rounds
+    /// themselves (the caller is always a sufficient participant).
+    pub(crate) fn shutdown(&self) {
+        {
+            let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.shutdown = true;
+        }
+        self.available.notify_all();
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_main(registry: Arc<Registry>, id: usize) {
+    IS_WORKER.with(|f| f.set(true));
+    // Rounds running on this worker report the pool's width for nested
+    // `current_num_threads`; a nested `install` overrides it (innermost
+    // width wins, as in real rayon).
+    crate::pool::with_width(registry.width, || {
+        while let Some(job) = registry.next_job() {
+            job.participate(Some(id % job.segs.len()));
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Round entry point
+// ---------------------------------------------------------------------------
+
+/// Run `work` over `0..len` on `registry`'s workers + the calling thread.
+/// `chunk` is the per-claim granularity (≥ 1). Falls back to inline
+/// execution for degenerate shapes (worker thread, width 1, oversized
+/// segments).
+pub(crate) fn run_round<'a>(
+    registry: &Arc<Registry>,
+    len: usize,
+    chunk: usize,
+    work: &'a (dyn Fn(usize, usize) + Sync + 'a),
+) {
+    let width = registry.width;
+    let per_seg = len.div_ceil(width);
+    if width <= 1 || on_worker_thread() || per_seg > u32::MAX as usize {
+        work(0, len);
+        return;
+    }
+    let segs: Vec<Seg> = (0..width)
+        .map(|w| {
+            let base = (w * per_seg).min(len);
+            Seg::new(base, ((w + 1) * per_seg).min(len) - base)
+        })
+        .collect();
+    // SAFETY: the `*const WorkFn` field nominally carries `'static`, but the
+    // closure only lives for this call — sound because it is dereferenced
+    // solely for claimed ranges, all of which retire before this function
+    // returns (see the RoundJob invariant).
+    let work: &'static WorkFn = unsafe {
+        std::mem::transmute::<&'a (dyn Fn(usize, usize) + Sync + 'a), &'static WorkFn>(work)
+    };
+    let job = Arc::new(RoundJob {
+        segs: segs.into_boxed_slice(),
+        chunk: chunk.max(1),
+        unfinished: AtomicUsize::new(len),
+        cancelled: AtomicBool::new(false),
+        panic: Mutex::new(None),
+        caller: thread::current(),
+        work,
+    });
+    registry.ensure_started();
+    registry.inject(Arc::clone(&job));
+    job.participate(None);
+    // Wait for lagging participants to retire their claims. Spin briefly
+    // (the common case: they are already done), then park.
+    let mut spins = 0u32;
+    while job.unfinished.load(Ordering::Acquire) != 0 {
+        spins += 1;
+        if spins < 64 {
+            std::hint::spin_loop();
+        } else {
+            thread::park();
+        }
+    }
+    let payload = job.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+    if let Some(p) = payload {
+        std::panic::resume_unwind(p);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The global registry
+// ---------------------------------------------------------------------------
+
+/// Width of the global pool: `PDM_THREADS`, then `RAYON_NUM_THREADS`, then
+/// the hardware parallelism.
+pub(crate) fn default_width() -> usize {
+    for var in ["PDM_THREADS", "RAYON_NUM_THREADS"] {
+        if let Some(n) = std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// The process-wide default pool (never shut down).
+pub(crate) fn global_registry() -> &'static Arc<Registry> {
+    GLOBAL.get_or_init(|| Registry::new(default_width()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU8;
+
+    fn hit_counts(registry: &Arc<Registry>, len: usize, chunk: usize) -> Vec<u8> {
+        let hits: Vec<AtomicU8> = (0..len).map(|_| AtomicU8::new(0)).collect();
+        run_round(registry, len, chunk, &|lo, hi| {
+            for h in &hits[lo..hi] {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        hits.into_iter().map(|h| h.into_inner()).collect()
+    }
+
+    #[test]
+    fn every_index_exactly_once() {
+        let registry = Registry::new(4);
+        for &(len, chunk) in &[
+            (1usize, 1usize),
+            (7, 2),
+            (1000, 8),
+            (10_000, 64),
+            (4096, 4096),
+        ] {
+            let hits = hit_counts(&registry, len, chunk);
+            assert!(hits.iter().all(|&h| h == 1), "len={len} chunk={chunk}");
+        }
+        registry.shutdown();
+    }
+
+    #[test]
+    fn rounds_reuse_workers() {
+        let registry = Registry::new(3);
+        for _ in 0..50 {
+            let hits = hit_counts(&registry, 500, 16);
+            assert!(hits.iter().all(|&h| h == 1));
+        }
+        assert_eq!(
+            registry.handles.lock().unwrap().len(),
+            3,
+            "workers must be spawned exactly once"
+        );
+        registry.shutdown();
+    }
+
+    #[test]
+    fn concurrent_rounds_from_many_callers() {
+        let registry = Registry::new(2);
+        thread::scope(|s| {
+            for _ in 0..4 {
+                let registry = &registry;
+                s.spawn(move || {
+                    for _ in 0..20 {
+                        let hits = hit_counts(registry, 300, 8);
+                        assert!(hits.iter().all(|&h| h == 1));
+                    }
+                });
+            }
+        });
+        registry.shutdown();
+    }
+
+    #[test]
+    fn panic_propagates_to_caller() {
+        let registry = Registry::new(2);
+        let result = std::panic::catch_unwind(|| {
+            run_round(&registry, 1000, 8, &|lo, _hi| {
+                if lo == 0 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(result.is_err());
+        // The pool survives a panicking round.
+        let hits = hit_counts(&registry, 100, 4);
+        assert!(hits.iter().all(|&h| h == 1));
+        registry.shutdown();
+    }
+
+    #[test]
+    fn caller_alone_drains_a_shut_down_pool() {
+        let registry = Registry::new(2);
+        registry.shutdown();
+        let hits = hit_counts(&registry, 1000, 16);
+        assert!(hits.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn seg_claims_never_overlap() {
+        let seg = Seg::new(10, 100);
+        let mut seen = vec![false; 110];
+        while let Some((lo, hi)) = seg.claim_front(7) {
+            for s in &mut seen[lo..hi] {
+                assert!(!*s);
+                *s = true;
+            }
+            if let Some((lo, hi)) = seg.claim_back_half(7) {
+                for s in &mut seen[lo..hi] {
+                    assert!(!*s);
+                    *s = true;
+                }
+            }
+        }
+        assert!(seen[10..110].iter().all(|&s| s));
+        assert!(!seen[..10].iter().any(|&s| s));
+    }
+}
