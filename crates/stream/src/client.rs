@@ -1,0 +1,510 @@
+//! Reconnecting TCP client with exactly-once match delivery.
+//!
+//! [`RetryingClient`] wraps the `pdm serve` wire protocol with a retry
+//! loop: when the connection drops (server restart, injected reset, worker
+//! crash surfaced as `TAG_ERROR`), it reconnects with jittered exponential
+//! backoff and **resumes** the stream so the caller still observes every
+//! match exactly once, with its original absolute offset.
+//!
+//! ## Exactly-once across reconnects
+//!
+//! The protocol's `TAG_ACK { consumed }` frame guarantees that every match
+//! whose *end* offset is ≤ `consumed` has already been written to the
+//! connection (the worker emits matches before the progress event an ack
+//! is derived from, and the writer preserves event order). The client
+//! tracks the largest acked offset as its `frontier` and keeps a tail
+//! buffer of every byte past `frontier − (m − 1)` (`m` = the dictionary's
+//! longest pattern, learned from `TAG_HELLO_ACK`).
+//!
+//! On reconnect it sends `TAG_HELLO { resume_offset: R }` with
+//! `R = max(tail_start, frontier − (m − 1))` and replays the tail from
+//! `R`. Any match not yet delivered ends after `frontier`, hence starts at
+//! or after `frontier − (m − 1) ≥ R`, hence lies wholly inside the
+//! replayed bytes — the resumed session re-finds it at its original
+//! offset. Matches that *were* delivered but not yet acked may be
+//! re-found too; those are deduplicated against a map of delivered
+//! matches with ends still above the frontier (pruned as acks advance).
+//! So across any number of reconnects: no match lost, none duplicated.
+//!
+//! Matches may arrive out of order across a reconnect boundary; sort by
+//! `(start, pat)` if order matters.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::proto::{
+    decode_ack, decode_hello_ack, decode_match, decode_summary, encode_hello, read_frame,
+    write_frame, Hello, MAX_FRAME, TAG_ACK, TAG_CHUNK, TAG_CLOSE, TAG_ERROR, TAG_HELLO,
+    TAG_HELLO_ACK, TAG_MATCH, TAG_SUMMARY,
+};
+use crate::stream::StreamMatch;
+
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+const SUMMARY_TIMEOUT: Duration = Duration::from_secs(10);
+/// Hard cap on close→error→reconnect cycles in [`RetryingClient::finish`],
+/// so a server that fails every session cannot loop us forever.
+const MAX_CLOSE_CYCLES: u32 = 64;
+
+/// Retry / resume tuning for [`RetryingClient`].
+#[derive(Debug, Clone)]
+pub struct RetryConfig {
+    /// Consecutive failed connection attempts before giving up (per
+    /// reconnect episode, not per session).
+    pub max_reconnects: u32,
+    /// First backoff; doubles per attempt up to [`Self::max_backoff`].
+    pub base_backoff: Duration,
+    pub max_backoff: Duration,
+    /// Seed for backoff jitter (deterministic tests).
+    pub seed: u64,
+    /// Ask the server for a `TAG_ACK` every this many chunks (≥ 1; acks
+    /// are what lets the client prune its replay tail).
+    pub ack_every: u32,
+    /// Replay chunk size when re-sending the tail after a reconnect.
+    pub chunk_bytes: usize,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        Self {
+            max_reconnects: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            seed: 0x5eed,
+            ack_every: 1,
+            chunk_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// Degradation counters for one client (cheap copies).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Successful re-establishments after the initial connect.
+    pub reconnects: u64,
+    /// Bytes replayed through the resume path.
+    pub resent_bytes: u64,
+    /// Re-found matches dropped by exactly-once dedup.
+    pub duplicates_dropped: u64,
+}
+
+/// Final client-side accounting from [`RetryingClient::finish`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientSummary {
+    /// Absolute stream offset consumed by the (last) server session — equal
+    /// to the total bytes sent, independent of how many reconnects happened.
+    pub consumed: u64,
+    /// Chunks the caller pushed (not counting replays).
+    pub chunks: u64,
+    /// Matches delivered to the caller (after dedup).
+    pub matches: u64,
+    pub reconnects: u64,
+}
+
+enum Incoming {
+    Frame(u8, Vec<u8>),
+    Eof,
+    IoErr(io::Error),
+}
+
+/// One live connection: write half + a reader thread feeding a channel
+/// (so [`RetryingClient::send`] can drain matches without blocking and the
+/// bounded server queues can never write-write deadlock us).
+struct Conn {
+    sock: TcpStream,
+    rx: mpsc::Receiver<Incoming>,
+    _reader: JoinHandle<()>,
+}
+
+impl Conn {
+    fn new(sock: TcpStream, read_half: TcpStream) -> Self {
+        let (tx, rx) = mpsc::channel();
+        let reader = std::thread::Builder::new()
+            .name("pdm-client-reader".into())
+            .spawn(move || {
+                let mut r = BufReader::new(read_half);
+                loop {
+                    match read_frame(&mut r) {
+                        Ok(Some((tag, p))) => {
+                            if tx.send(Incoming::Frame(tag, p)).is_err() {
+                                break;
+                            }
+                        }
+                        Ok(None) => {
+                            let _ = tx.send(Incoming::Eof);
+                            break;
+                        }
+                        Err(e) => {
+                            let _ = tx.send(Incoming::IoErr(e));
+                            break;
+                        }
+                    }
+                }
+            })
+            .expect("spawn client reader");
+        Self {
+            sock,
+            rx,
+            _reader: reader,
+        }
+    }
+}
+
+impl Drop for Conn {
+    fn drop(&mut self) {
+        // Unblocks the reader thread's clone of this socket too.
+        let _ = self.sock.shutdown(Shutdown::Both);
+    }
+}
+
+/// A streaming match client that survives connection loss.
+///
+/// ```no_run
+/// use pdm_stream::client::{RetryConfig, RetryingClient};
+///
+/// let mut c = RetryingClient::connect("127.0.0.1:4870", RetryConfig::default())?;
+/// let mut matches = c.send(b"ushers")?;
+/// let (rest, summary) = c.finish()?;
+/// matches.extend(rest);
+/// assert_eq!(summary.consumed, 6);
+/// # std::io::Result::Ok(())
+/// ```
+pub struct RetryingClient {
+    addrs: Vec<SocketAddr>,
+    cfg: RetryConfig,
+    rng: StdRng,
+    conn: Option<Conn>,
+    connected_once: bool,
+    /// Total bytes the caller has sent (absolute stream length so far).
+    sent: u64,
+    /// Largest server-acked offset: every match ending ≤ here is delivered.
+    frontier: u64,
+    /// Dictionary's longest pattern, from the handshake.
+    max_pat: u32,
+    /// Replay buffer: stream bytes `[tail_start, sent)`.
+    tail: Vec<u8>,
+    tail_start: u64,
+    /// Delivered matches whose end is still above the frontier, keyed by
+    /// identity `(start, pat)` — the dedup set for re-found matches.
+    recent: HashMap<(u64, u32), u64>,
+    delivered: u64,
+    chunks: u64,
+    stats: ClientStats,
+}
+
+impl RetryingClient {
+    /// Connect (retrying per `cfg` even on the initial attempt) and
+    /// perform the resume handshake.
+    pub fn connect(addr: impl ToSocketAddrs, cfg: RetryConfig) -> io::Result<Self> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                "no addresses to connect to",
+            ));
+        }
+        let mut c = Self {
+            addrs,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            conn: None,
+            connected_once: false,
+            sent: 0,
+            frontier: 0,
+            max_pat: 0,
+            tail: Vec::new(),
+            tail_start: 0,
+            recent: HashMap::new(),
+            delivered: 0,
+            chunks: 0,
+            stats: ClientStats::default(),
+        };
+        c.reconnect()?;
+        Ok(c)
+    }
+
+    /// Client-side degradation counters so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Send one chunk; returns any matches that have arrived so far
+    /// (possibly from earlier chunks — delivery is pipelined). Transparent
+    /// reconnect + replay on connection loss.
+    pub fn send(&mut self, chunk: &[u8]) -> io::Result<Vec<StreamMatch>> {
+        if chunk.len() as u64 > MAX_FRAME as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "chunk exceeds MAX_FRAME; split it",
+            ));
+        }
+        self.chunks += 1;
+        self.tail.extend_from_slice(chunk);
+        self.sent += chunk.len() as u64;
+        loop {
+            match &self.conn {
+                None => {
+                    // Replays the tail, which includes this chunk.
+                    self.reconnect()?;
+                    break;
+                }
+                Some(conn) => {
+                    if write_frame(&mut &conn.sock, TAG_CHUNK, chunk).is_ok() {
+                        break;
+                    }
+                    self.conn = None;
+                }
+            }
+        }
+        let mut out = Vec::new();
+        self.drain_incoming(&mut out);
+        self.prune();
+        Ok(out)
+    }
+
+    /// Close the stream and collect the remaining matches plus the final
+    /// summary, reconnecting and replaying as needed until a server
+    /// session runs to completion.
+    pub fn finish(mut self) -> io::Result<(Vec<StreamMatch>, ClientSummary)> {
+        let mut out = Vec::new();
+        for _ in 0..MAX_CLOSE_CYCLES {
+            if self.conn.is_none() {
+                self.reconnect()?;
+            }
+            let conn = self.conn.as_ref().expect("just reconnected");
+            if write_frame(&mut &conn.sock, TAG_CLOSE, b"").is_err() {
+                self.conn = None;
+                continue;
+            }
+            // Await the summary, delivering matches as they stream in.
+            let summary = loop {
+                let msg = match &self.conn {
+                    Some(c) => c.rx.recv_timeout(SUMMARY_TIMEOUT),
+                    None => break None,
+                };
+                match msg {
+                    Ok(Incoming::Frame(tag, p)) => match tag {
+                        TAG_MATCH => {
+                            if let Some(m) = decode_match(&p) {
+                                self.deliver(m, &mut out);
+                            }
+                        }
+                        TAG_ACK => {
+                            if let Some(a) = decode_ack(&p) {
+                                self.frontier = self.frontier.max(a);
+                            }
+                        }
+                        TAG_SUMMARY => break decode_summary(&p),
+                        TAG_ERROR => break None,
+                        _ => {}
+                    },
+                    Ok(Incoming::Eof) | Ok(Incoming::IoErr(_)) => break None,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "timed out waiting for session summary",
+                        ));
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break None,
+                }
+            };
+            match summary {
+                Some(s) => {
+                    return Ok((
+                        out,
+                        ClientSummary {
+                            consumed: s.consumed,
+                            chunks: self.chunks,
+                            matches: self.delivered,
+                            reconnects: self.stats.reconnects,
+                        },
+                    ));
+                }
+                None => self.conn = None, // failed session: resume and re-close
+            }
+        }
+        Err(io::Error::other(
+            "giving up: server kept failing the session during close",
+        ))
+    }
+
+    /// `max(tail_start, frontier − (m − 1))`: the earliest offset a
+    /// not-yet-delivered match can start at (see module docs).
+    fn resume_offset(&self) -> u64 {
+        let m1 = u64::from(self.max_pat.saturating_sub(1));
+        self.tail_start.max(self.frontier.saturating_sub(m1))
+    }
+
+    /// Dial + handshake + tail replay; on success returns the live conn.
+    fn establish(&mut self, addr_idx: usize) -> io::Result<Conn> {
+        let addr = self.addrs[addr_idx % self.addrs.len()];
+        let sock = TcpStream::connect(addr)?;
+        sock.set_nodelay(true).ok();
+        let resume = self.resume_offset();
+        write_frame(
+            &mut &sock,
+            TAG_HELLO,
+            &encode_hello(&Hello {
+                resume_offset: resume,
+                ack_every: self.cfg.ack_every.max(1),
+            }),
+        )?;
+        let read_half = sock.try_clone()?;
+        // Conn::drop closes the socket, so every early return below also
+        // reaps the reader thread.
+        let conn = Conn::new(sock, read_half);
+        match conn.rx.recv_timeout(HANDSHAKE_TIMEOUT) {
+            Ok(Incoming::Frame(TAG_HELLO_ACK, p)) => {
+                self.max_pat = decode_hello_ack(&p).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "malformed hello-ack")
+                })?;
+            }
+            Ok(Incoming::Frame(TAG_ERROR, p)) => {
+                // e.g. load-shed at the connection cap: "busy: …".
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    String::from_utf8_lossy(&p).into_owned(),
+                ));
+            }
+            Ok(Incoming::Frame(..)) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "unexpected frame before hello-ack",
+                ));
+            }
+            Ok(Incoming::Eof) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionAborted,
+                    "connection closed during handshake",
+                ));
+            }
+            Ok(Incoming::IoErr(e)) => return Err(e),
+            Err(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "timed out waiting for hello-ack",
+                ));
+            }
+        }
+        // Replay everything from the resume point (includes any bytes the
+        // caller pushed while we were disconnected).
+        let from = (resume - self.tail_start) as usize;
+        for piece in self.tail[from..].chunks(self.cfg.chunk_bytes.max(1)) {
+            write_frame(&mut &conn.sock, TAG_CHUNK, piece)?;
+            self.stats.resent_bytes += piece.len() as u64;
+        }
+        Ok(conn)
+    }
+
+    /// (Re-)establish the connection with exponential backoff + jitter.
+    fn reconnect(&mut self) -> io::Result<()> {
+        self.conn = None;
+        let mut attempt: u32 = 0;
+        loop {
+            match self.establish(attempt as usize) {
+                Ok(conn) => {
+                    if self.connected_once {
+                        self.stats.reconnects += 1;
+                    } else {
+                        self.connected_once = true;
+                    }
+                    self.conn = Some(conn);
+                    return Ok(());
+                }
+                Err(e) => {
+                    attempt += 1;
+                    if attempt > self.cfg.max_reconnects {
+                        return Err(e);
+                    }
+                    let exp = self
+                        .cfg
+                        .base_backoff
+                        .saturating_mul(1u32 << (attempt - 1).min(16));
+                    let capped = exp.min(self.cfg.max_backoff);
+                    let half = (capped.as_millis() as u64 / 2).max(1);
+                    let jitter = self.rng.gen_range(0..=half);
+                    std::thread::sleep(Duration::from_millis(half + jitter));
+                }
+            }
+        }
+    }
+
+    /// Deliver one decoded match unless exactly-once dedup rejects it.
+    fn deliver(&mut self, m: StreamMatch, out: &mut Vec<StreamMatch>) {
+        let end = m.start + u64::from(m.len);
+        if end <= self.frontier {
+            // Acked region: delivered before a reconnect, re-found after.
+            self.stats.duplicates_dropped += 1;
+            return;
+        }
+        if self.recent.insert((m.start, m.pat), end).is_some() {
+            self.stats.duplicates_dropped += 1;
+            return;
+        }
+        self.delivered += 1;
+        out.push(m);
+    }
+
+    /// Pump frames the reader thread has queued, without blocking.
+    fn drain_incoming(&mut self, out: &mut Vec<StreamMatch>) {
+        let mut dead = false;
+        loop {
+            let msg = match &self.conn {
+                Some(c) => c.rx.try_recv(),
+                None => return,
+            };
+            match msg {
+                Ok(Incoming::Frame(tag, p)) => match tag {
+                    TAG_MATCH => {
+                        if let Some(m) = decode_match(&p) {
+                            self.deliver(m, out);
+                        }
+                    }
+                    TAG_ACK => {
+                        if let Some(a) = decode_ack(&p) {
+                            self.frontier = self.frontier.max(a);
+                        }
+                    }
+                    // Server-side session failure (e.g. worker crash): the
+                    // next send/finish reconnects and resumes.
+                    TAG_ERROR => {
+                        dead = true;
+                        break;
+                    }
+                    _ => {}
+                },
+                Ok(Incoming::Eof) | Ok(Incoming::IoErr(_)) => {
+                    dead = true;
+                    break;
+                }
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if dead {
+            self.conn = None;
+        }
+    }
+
+    /// Shrink the replay tail and the dedup map as the frontier advances.
+    fn prune(&mut self) {
+        if self.max_pat > 0 {
+            let low = self.resume_offset();
+            if low > self.tail_start {
+                self.tail.drain(..(low - self.tail_start) as usize);
+                self.tail_start = low;
+            }
+        }
+        let frontier = self.frontier;
+        self.recent.retain(|_, end| *end > frontier);
+    }
+}

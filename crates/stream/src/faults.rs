@@ -1,0 +1,306 @@
+//! Deterministic fault injection for the stream service.
+//!
+//! Compiled to inline no-op stubs unless the `fault-injection` cargo
+//! feature is on, so production builds pay **nothing** — the hooks vanish.
+//! With the feature on but no plan [`install`]ed, every hook is a single
+//! relaxed atomic load.
+//!
+//! Faults are counter-scheduled: `*_every = N` fires the fault on every
+//! Nth time its hook runs (0 disables it), with an optional per-fault
+//! budget `*_max` (0 = unlimited). Stall durations get jitter from a
+//! seeded `StdRng` (the vendored `rand`), so one [`FaultConfig`] yields a
+//! reproducible fault *schedule* per process — thread interleaving still
+//! varies which session absorbs each fault, which is the point: the chaos
+//! suite asserts outcome-equivalence, not a fixed trace.
+//!
+//! Injection points in the service:
+//! * [`hook_worker_chunk`] — inside the per-chunk `catch_unwind`; a panic
+//!   here fails **one** session (`Event::Failed`), the worker survives.
+//! * [`hook_worker_loop`] — outside the per-chunk guard; a panic here
+//!   crashes the whole shard worker, exercising the supervisor's
+//!   respawn-and-fail-in-flight path.
+//! * [`hook_accept`] — synthesizes a transient `accept()` error (the
+//!   EMFILE shape), exercising the accept loop's capped backoff.
+//! * [`hook_conn_frame`] — before each frame read on a connection: can
+//!   stall the read (slow-read injection) or hard-reset the socket.
+
+use std::time::Duration;
+
+/// What to do to a connection before reading its next frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnFault {
+    None,
+    /// Sleep this long before the read (slow-read / stall injection).
+    Stall(Duration),
+    /// Hard-close the socket mid-session (reset injection).
+    Reset,
+}
+
+/// Fault plan: `*_every = 0` disables a fault; `*_max = 0` = unlimited.
+#[derive(Debug, Clone, Default)]
+pub struct FaultConfig {
+    /// Seed for stall-duration jitter.
+    pub seed: u64,
+    /// Panic inside chunk processing every Nth chunk (fails one session).
+    pub worker_panic_every: u64,
+    pub worker_panic_max: u64,
+    /// Panic in the worker loop every Nth chunk job (crashes the worker;
+    /// the supervisor respawns it and fails its in-flight sessions).
+    pub worker_crash_every: u64,
+    pub worker_crash_max: u64,
+    /// Synthesize an `accept()` error every Nth accept-loop pass.
+    pub accept_error_every: u64,
+    pub accept_error_max: u64,
+    /// Reset a connection before its Nth frame read (counted globally).
+    pub conn_reset_every: u64,
+    pub conn_reset_max: u64,
+    /// Stall before every Nth frame read, for `read_stall_ms` (+ jitter).
+    pub read_stall_every: u64,
+    pub read_stall_ms: u64,
+    /// Stall the worker before every Nth chunk, for `queue_stall_ms`
+    /// (+ jitter) — builds real queue backpressure.
+    pub queue_stall_every: u64,
+    pub queue_stall_ms: u64,
+}
+
+/// How many faults of each kind actually fired since [`install`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    pub worker_panics: u64,
+    pub worker_crashes: u64,
+    pub accept_errors: u64,
+    pub conn_resets: u64,
+    pub read_stalls: u64,
+    pub queue_stalls: u64,
+}
+
+#[cfg(feature = "fault-injection")]
+mod imp {
+    use super::{ConnFault, FaultConfig, FaultCounts};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    #[derive(Default)]
+    struct Counter {
+        seen: AtomicU64,
+        fired: AtomicU64,
+    }
+
+    impl Counter {
+        /// Count one hook pass; true iff the fault fires this time.
+        fn fire(&self, every: u64, max: u64) -> bool {
+            if every == 0 {
+                return false;
+            }
+            let n = self.seen.fetch_add(1, Ordering::SeqCst) + 1;
+            if !n.is_multiple_of(every) {
+                return false;
+            }
+            loop {
+                let f = self.fired.load(Ordering::SeqCst);
+                if max > 0 && f >= max {
+                    return false;
+                }
+                if self
+                    .fired
+                    .compare_exchange(f, f + 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    return true;
+                }
+            }
+        }
+    }
+
+    struct Inner {
+        cfg: FaultConfig,
+        rng: Mutex<StdRng>,
+        panic: Counter,
+        crash: Counter,
+        accept: Counter,
+        reset: Counter,
+        read_stall: Counter,
+        queue_stall: Counter,
+    }
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static STATE: Mutex<Option<Arc<Inner>>> = Mutex::new(None);
+
+    fn state() -> Option<Arc<Inner>> {
+        if !ENABLED.load(Ordering::Relaxed) {
+            return None;
+        }
+        STATE.lock().unwrap().clone()
+    }
+
+    /// Install a fault plan (replacing any previous one; counters reset).
+    pub fn install(cfg: FaultConfig) {
+        let inner = Inner {
+            rng: Mutex::new(StdRng::seed_from_u64(cfg.seed)),
+            cfg,
+            panic: Counter::default(),
+            crash: Counter::default(),
+            accept: Counter::default(),
+            reset: Counter::default(),
+            read_stall: Counter::default(),
+            queue_stall: Counter::default(),
+        };
+        *STATE.lock().unwrap() = Some(Arc::new(inner));
+        ENABLED.store(true, Ordering::SeqCst);
+    }
+
+    /// Remove the active fault plan; all hooks become no-ops again.
+    pub fn clear() {
+        ENABLED.store(false, Ordering::SeqCst);
+        *STATE.lock().unwrap() = None;
+    }
+
+    /// Fired-fault counts for the active plan (zero when none installed).
+    pub fn counts() -> FaultCounts {
+        state().map_or(FaultCounts::default(), |s| FaultCounts {
+            worker_panics: s.panic.fired.load(Ordering::SeqCst),
+            worker_crashes: s.crash.fired.load(Ordering::SeqCst),
+            accept_errors: s.accept.fired.load(Ordering::SeqCst),
+            conn_resets: s.reset.fired.load(Ordering::SeqCst),
+            read_stalls: s.read_stall.fired.load(Ordering::SeqCst),
+            queue_stalls: s.queue_stall.fired.load(Ordering::SeqCst),
+        })
+    }
+
+    fn jittered(s: &Inner, ms: u64) -> Duration {
+        let extra = s.rng.lock().unwrap().gen_range(0..=ms / 2 + 1);
+        Duration::from_millis(ms + extra)
+    }
+
+    pub fn hook_worker_chunk() {
+        if let Some(s) = state() {
+            if s.queue_stall.fire(s.cfg.queue_stall_every, 0) {
+                std::thread::sleep(jittered(&s, s.cfg.queue_stall_ms));
+            }
+            if s.panic
+                .fire(s.cfg.worker_panic_every, s.cfg.worker_panic_max)
+            {
+                panic!("injected fault: worker chunk panic");
+            }
+        }
+    }
+
+    pub fn hook_worker_loop() {
+        if let Some(s) = state() {
+            if s.crash
+                .fire(s.cfg.worker_crash_every, s.cfg.worker_crash_max)
+            {
+                panic!("injected fault: worker loop crash");
+            }
+        }
+    }
+
+    pub fn hook_accept() -> Option<std::io::Error> {
+        let s = state()?;
+        s.accept
+            .fire(s.cfg.accept_error_every, s.cfg.accept_error_max)
+            .then(|| std::io::Error::other("injected fault: accept failed (synthetic EMFILE)"))
+    }
+
+    pub fn hook_conn_frame() -> ConnFault {
+        if let Some(s) = state() {
+            if s.reset.fire(s.cfg.conn_reset_every, s.cfg.conn_reset_max) {
+                return ConnFault::Reset;
+            }
+            if s.read_stall.fire(s.cfg.read_stall_every, 0) {
+                return ConnFault::Stall(jittered(&s, s.cfg.read_stall_ms));
+            }
+        }
+        ConnFault::None
+    }
+
+    /// Silence the default panic hook for injected panics (the supervisor
+    /// catches them; the stderr backtraces are pure noise in chaos runs).
+    /// Idempotent; chains to the previous hook for genuine panics.
+    pub fn quiet_injected_panics() {
+        use std::sync::Once;
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .map(|m| m.contains("injected fault"))
+                    .or_else(|| {
+                        info.payload()
+                            .downcast_ref::<String>()
+                            .map(|m| m.contains("injected fault"))
+                    })
+                    .unwrap_or(false);
+                if !injected {
+                    prev(info);
+                }
+            }));
+        });
+    }
+}
+
+#[cfg(not(feature = "fault-injection"))]
+mod imp {
+    use super::{ConnFault, FaultConfig, FaultCounts};
+
+    #[inline(always)]
+    pub fn install(_cfg: FaultConfig) {}
+
+    #[inline(always)]
+    pub fn clear() {}
+
+    #[inline(always)]
+    pub fn counts() -> FaultCounts {
+        FaultCounts::default()
+    }
+
+    #[inline(always)]
+    pub fn hook_worker_chunk() {}
+
+    #[inline(always)]
+    pub fn hook_worker_loop() {}
+
+    #[inline(always)]
+    pub fn hook_accept() -> Option<std::io::Error> {
+        None
+    }
+
+    #[inline(always)]
+    pub fn hook_conn_frame() -> ConnFault {
+        ConnFault::None
+    }
+
+    #[inline(always)]
+    pub fn quiet_injected_panics() {}
+}
+
+pub use imp::*;
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_schedule_and_budget() {
+        install(FaultConfig {
+            conn_reset_every: 3,
+            conn_reset_max: 2,
+            ..Default::default()
+        });
+        let fired: Vec<bool> = (0..12)
+            .map(|_| hook_conn_frame() == ConnFault::Reset)
+            .collect();
+        // Fires on pass 3 and 6, then the budget of 2 is spent.
+        let expect: Vec<bool> = (1..=12).map(|n| n % 3 == 0 && n <= 6).collect();
+        assert_eq!(fired, expect);
+        assert_eq!(counts().conn_resets, 2);
+        clear();
+        assert_eq!(hook_conn_frame(), ConnFault::None);
+        assert_eq!(counts(), FaultCounts::default());
+    }
+}

@@ -16,21 +16,35 @@
 //!   [`Session::try_push`]) instead of growing unbounded queues.
 //! * [`server`] — a minimal length-prefixed TCP byte protocol
 //!   (std-only) exposing the service: `pdm serve --dict words.txt --port N`.
+//!   Fault-tolerant: supervised shard workers, accept-loop backoff,
+//!   connection caps with load shedding, read timeouts, and graceful
+//!   drain on shutdown.
+//! * [`client`] — [`RetryingClient`], a reconnecting client that resumes
+//!   the stream after connection loss and still delivers every match
+//!   exactly once (see its module docs for the argument).
 //! * [`metrics`] — per-session and global counters (chunks, bytes,
-//!   matches, queue depth, stalls).
+//!   matches, queue depth, stalls, and degradation events: shed
+//!   connections, timeouts, worker restarts, failed sessions, …).
+//! * [`faults`] — deterministic fault injection behind the
+//!   `fault-injection` cargo feature (no-op stubs otherwise), driving the
+//!   chaos test suite.
 //!
 //! The dictionary side stays exactly the paper's machinery; this crate
 //! never inspects the tables beyond the public `StaticMatcher` API.
 
+pub mod client;
+pub mod faults;
 pub mod metrics;
 pub mod proto;
 pub mod server;
 pub mod service;
 pub mod stream;
 
+pub use client::{ClientStats, ClientSummary, RetryConfig, RetryingClient};
 pub use metrics::{GlobalMetrics, GlobalSnapshot, SessionCounters, SessionSnapshot};
 pub use server::{Server, ServerConfig};
 pub use service::{
-    Event, PushError, ServiceConfig, Session, SessionSummary, ShardedService, TryPushError,
+    Event, PushError, ServiceConfig, Session, SessionOptions, SessionSummary, ShardedService,
+    TryPushError,
 };
 pub use stream::{StreamMatch, StreamMatcher};

@@ -42,11 +42,21 @@ impl SessionCounters {
 
 /// Service-wide counters plus the in-flight chunk gauge.
 ///
-/// `queue_depth` counts chunks accepted into a shard queue but not yet
-/// fully processed; it is bounded by `queue_cap + workers` by construction
-/// (each worker holds at most one dequeued chunk while its queue holds at
-/// most `queue_cap`). `stalls` counts backpressure events: blocking pushes
-/// that had to wait, plus `try_push` calls rejected with `WouldBlock`.
+/// `queue_depth` counts chunks accepted into a shard queue and not yet
+/// picked up by their worker; it is bounded by `queue_cap + workers` by
+/// construction. `stalls` counts backpressure events: blocking pushes that
+/// had to wait, plus `try_push` calls rejected with `WouldBlock`.
+///
+/// The degradation counters record every fault-tolerance action so an
+/// operator can see *how* the service is degrading under load or faults:
+/// `conns_shed` (accept-time load shedding at the connection cap),
+/// `read_timeouts` (idle connections reaped), `truncated_frames` (peers
+/// that died mid-frame), `accept_retries` (transient `accept()` errors
+/// survived with backoff), `worker_restarts` (shard workers respawned
+/// after a crash), `sessions_failed` (sessions aborted with
+/// `Event::Failed`/`TAG_ERROR` instead of a summary; also counted in
+/// `sessions_closed` so open/close accounting stays consistent), and
+/// `drain_forced` (connections force-closed at the drain deadline).
 #[derive(Debug, Default)]
 pub struct GlobalMetrics {
     chunks: AtomicU64,
@@ -57,6 +67,13 @@ pub struct GlobalMetrics {
     queue_depth: AtomicU64,
     queue_depth_max: AtomicU64,
     stalls: AtomicU64,
+    conns_shed: AtomicU64,
+    read_timeouts: AtomicU64,
+    truncated_frames: AtomicU64,
+    accept_retries: AtomicU64,
+    worker_restarts: AtomicU64,
+    sessions_failed: AtomicU64,
+    drain_forced: AtomicU64,
 }
 
 /// A point-in-time copy of [`GlobalMetrics`].
@@ -70,6 +87,13 @@ pub struct GlobalSnapshot {
     pub queue_depth: u64,
     pub queue_depth_max: u64,
     pub stalls: u64,
+    pub conns_shed: u64,
+    pub read_timeouts: u64,
+    pub truncated_frames: u64,
+    pub accept_retries: u64,
+    pub worker_restarts: u64,
+    pub sessions_failed: u64,
+    pub drain_forced: u64,
 }
 
 impl GlobalMetrics {
@@ -89,6 +113,41 @@ impl GlobalMetrics {
 
     pub fn record_stall(&self) {
         self.stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was refused at accept time (connection cap reached).
+    pub fn conn_shed(&self) {
+        self.conns_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was closed for exceeding its read/idle timeout.
+    pub fn read_timeout(&self) {
+        self.read_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A peer died mid-frame (EOF inside a frame, not at a boundary).
+    pub fn truncated_frame(&self) {
+        self.truncated_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The accept loop survived a transient `accept()` error with backoff.
+    pub fn accept_retry(&self) {
+        self.accept_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A crashed shard worker was respawned by its supervisor.
+    pub fn worker_restarted(&self) {
+        self.worker_restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A session was aborted (`Event::Failed`) instead of closing cleanly.
+    pub fn session_failed(&self) {
+        self.sessions_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was force-closed at the drain deadline.
+    pub fn drain_force_closed(&self) {
+        self.drain_forced.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A chunk entered a shard queue.
@@ -112,6 +171,13 @@ impl GlobalMetrics {
             queue_depth: self.queue_depth.load(Ordering::SeqCst),
             queue_depth_max: self.queue_depth_max.load(Ordering::SeqCst),
             stalls: self.stalls.load(Ordering::Relaxed),
+            conns_shed: self.conns_shed.load(Ordering::Relaxed),
+            read_timeouts: self.read_timeouts.load(Ordering::Relaxed),
+            truncated_frames: self.truncated_frames.load(Ordering::Relaxed),
+            accept_retries: self.accept_retries.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            sessions_failed: self.sessions_failed.load(Ordering::Relaxed),
+            drain_forced: self.drain_forced.load(Ordering::Relaxed),
         }
     }
 }

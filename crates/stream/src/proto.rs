@@ -5,6 +5,12 @@
 //! Client → server:
 //! * [`TAG_CHUNK`] — payload is raw text bytes (one symbol per byte).
 //! * [`TAG_CLOSE`] — empty payload; end of stream.
+//! * [`TAG_HELLO`] — optional, and only valid as the **first** frame:
+//!   `[resume_offset: u64 LE][ack_every: u32 LE]`. Opts the session into
+//!   resume-from-offset (the session's absolute stream offset starts at
+//!   `resume_offset` instead of 0) and progress acks (a [`TAG_ACK`] after
+//!   every `ack_every` chunks; 0 disables acks). Plain clients that skip
+//!   the handshake get the original PR-1 protocol unchanged.
 //!
 //! Server → client:
 //! * [`TAG_MATCH`] — payload `[start: u64 LE][pat: u32 LE][len: u32 LE]`;
@@ -12,6 +18,12 @@
 //! * [`TAG_SUMMARY`] — payload `[bytes: u64][chunks: u64][matches: u64]`
 //!   (all LE); the final frame of a session.
 //! * [`TAG_ERROR`] — payload is a UTF-8 message; the server closes after.
+//! * [`TAG_HELLO_ACK`] — reply to [`TAG_HELLO`], sent before any other
+//!   server frame: `[max_pattern_len: u32 LE]` (the dictionary's `m`, which
+//!   a resuming client needs to pick a safe resume offset).
+//! * [`TAG_ACK`] — `[consumed: u64 LE]`: every match whose end offset is
+//!   ≤ `consumed` has already been written to this connection. The
+//!   reconnecting client's exactly-once resume logic builds on this.
 //!
 //! One TCP connection = one session. Matches stream back while the client
 //! is still sending, so the client must read concurrently (or rely on OS
@@ -25,30 +37,48 @@ use crate::stream::StreamMatch;
 
 pub const TAG_CHUNK: u8 = 0x01;
 pub const TAG_CLOSE: u8 = 0x02;
+pub const TAG_HELLO: u8 = 0x03;
 pub const TAG_MATCH: u8 = 0x81;
 pub const TAG_SUMMARY: u8 = 0x82;
 pub const TAG_ERROR: u8 = 0x83;
+pub const TAG_HELLO_ACK: u8 = 0x84;
+pub const TAG_ACK: u8 = 0x85;
 
 /// Reject frames larger than this (64 MiB) — a corrupt length prefix must
 /// not trigger a giant allocation.
 pub const MAX_FRAME: u32 = 64 << 20;
 
-/// Write one frame.
+/// Write one frame. Payloads over [`MAX_FRAME`] are rejected with
+/// `InvalidData` *before* any bytes hit the wire — truncating the length
+/// prefix silently would desynchronize the stream for good.
 pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<()> {
-    debug_assert!(payload.len() as u64 <= MAX_FRAME as u64);
+    if payload.len() as u64 > MAX_FRAME as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "refusing to write {}-byte frame (MAX_FRAME is {MAX_FRAME})",
+                payload.len()
+            ),
+        ));
+    }
     w.write_all(&[tag])?;
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)
 }
 
 /// Read one frame; `Ok(None)` on clean EOF at a frame boundary.
+///
+/// EOF *inside* a frame (the peer died mid-write) is not a clean close: it
+/// surfaces as an `UnexpectedEof` error tagged "truncated frame", so
+/// callers can count and report it instead of treating it as a normal
+/// end-of-stream.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
     let mut tag = [0u8; 1];
     if r.read(&mut tag)? == 0 {
         return Ok(None);
     }
     let mut len = [0u8; 4];
-    r.read_exact(&mut len)?;
+    read_exact_in_frame(r, &mut len, "length prefix")?;
     let len = u32::from_le_bytes(len);
     if len > MAX_FRAME {
         return Err(io::Error::new(
@@ -57,8 +87,21 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
         ));
     }
     let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+    read_exact_in_frame(r, &mut payload, "payload")?;
     Ok(Some((tag[0], payload)))
+}
+
+fn read_exact_in_frame(r: &mut impl Read, buf: &mut [u8], what: &str) -> io::Result<()> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("truncated frame: EOF in {what}"),
+            )
+        } else {
+            e
+        }
+    })
 }
 
 pub fn encode_match(m: &StreamMatch) -> [u8; 16] {
@@ -97,6 +140,48 @@ pub fn decode_summary(p: &[u8]) -> Option<SessionSummary> {
         chunks: u64::from_le_bytes(p[8..16].try_into().ok()?),
         matches: u64::from_le_bytes(p[16..].try_into().ok()?),
     })
+}
+
+/// Decoded [`TAG_HELLO`] payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Hello {
+    /// Absolute stream offset this session starts at (0 for a fresh stream).
+    pub resume_offset: u64,
+    /// Request a [`TAG_ACK`] after every this many chunks (0 = no acks).
+    pub ack_every: u32,
+}
+
+pub fn encode_hello(h: &Hello) -> [u8; 12] {
+    let mut b = [0u8; 12];
+    b[..8].copy_from_slice(&h.resume_offset.to_le_bytes());
+    b[8..].copy_from_slice(&h.ack_every.to_le_bytes());
+    b
+}
+
+pub fn decode_hello(p: &[u8]) -> Option<Hello> {
+    if p.len() != 12 {
+        return None;
+    }
+    Some(Hello {
+        resume_offset: u64::from_le_bytes(p[..8].try_into().ok()?),
+        ack_every: u32::from_le_bytes(p[8..].try_into().ok()?),
+    })
+}
+
+pub fn encode_hello_ack(max_pattern_len: u32) -> [u8; 4] {
+    max_pattern_len.to_le_bytes()
+}
+
+pub fn decode_hello_ack(p: &[u8]) -> Option<u32> {
+    Some(u32::from_le_bytes(p.try_into().ok()?))
+}
+
+pub fn encode_ack(consumed: u64) -> [u8; 8] {
+    consumed.to_le_bytes()
+}
+
+pub fn decode_ack(p: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(p.try_into().ok()?))
 }
 
 #[cfg(test)]
@@ -139,5 +224,46 @@ mod tests {
         buf.push(TAG_CHUNK);
         buf.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(read_frame(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn oversized_write_rejected_before_any_bytes() {
+        // A payload over MAX_FRAME must be refused with InvalidData and
+        // leave the sink untouched (no corrupt length prefix in release
+        // builds, where the old debug_assert! vanished).
+        let huge = vec![0u8; MAX_FRAME as usize + 1];
+        let mut buf = Vec::new();
+        let err = write_frame(&mut buf, TAG_CHUNK, &huge).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(buf.is_empty(), "no partial frame written");
+    }
+
+    #[test]
+    fn eof_mid_frame_is_truncation_not_clean_close() {
+        // Header promises 10 bytes, stream dies after 3.
+        let mut buf = Vec::new();
+        buf.push(TAG_CHUNK);
+        buf.extend_from_slice(&10u32.to_le_bytes());
+        buf.extend_from_slice(b"abc");
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(err.to_string().contains("truncated frame"), "{err}");
+        // EOF right after the tag byte, before the length prefix.
+        let err = read_frame(&mut &[TAG_CHUNK][..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(err.to_string().contains("truncated frame"), "{err}");
+    }
+
+    #[test]
+    fn hello_and_ack_roundtrip() {
+        let h = Hello {
+            resume_offset: 1 << 33,
+            ack_every: 4,
+        };
+        assert_eq!(decode_hello(&encode_hello(&h)), Some(h));
+        assert_eq!(decode_hello(b"short"), None);
+        assert_eq!(decode_hello_ack(&encode_hello_ack(17)), Some(17));
+        assert_eq!(decode_ack(&encode_ack(99)), Some(99));
+        assert_eq!(decode_ack(b"bad"), None);
     }
 }

@@ -5,27 +5,71 @@
 //! composes end to end: a full shard queue blocks the connection's reader
 //! thread, which stops reading the socket, which fills the kernel buffer,
 //! which eventually blocks the remote sender.
+//!
+//! ## Failure model
+//!
+//! * Transient `accept()` errors (EMFILE, ECONNABORTED, …) are retried
+//!   with capped exponential backoff — only the stop flag ends the loop.
+//! * Above [`ServerConfig::max_conns`] live connections, new arrivals are
+//!   load-shed at accept time: one best-effort `TAG_ERROR "busy"` frame,
+//!   then close. Shed work is counted, never silently dropped.
+//! * [`ServerConfig::read_timeout`] bounds how long a connection may sit
+//!   idle mid-stream; on expiry the session is closed with a `TAG_ERROR`.
+//! * [`Server::shutdown`] drains gracefully: stop accepting, wait up to
+//!   [`ServerConfig::drain_deadline`] for in-flight sessions to reach
+//!   their summaries, then force-close the stragglers.
+//!
+//! All error frames are routed through the connection's writer thread
+//! (via a pending-error slot), so a failure can never interleave bytes
+//! with a concurrently written match frame.
 
+use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pdm_core::static1d::StaticMatcher;
 
+use crate::faults::{self, ConnFault};
 use crate::proto::{
-    encode_match, encode_summary, write_frame, TAG_CHUNK, TAG_CLOSE, TAG_ERROR, TAG_MATCH,
-    TAG_SUMMARY,
+    decode_hello, encode_ack, encode_hello_ack, encode_match, encode_summary, write_frame, TAG_ACK,
+    TAG_CHUNK, TAG_CLOSE, TAG_ERROR, TAG_HELLO, TAG_HELLO_ACK, TAG_MATCH, TAG_SUMMARY,
 };
-use crate::service::{Event, ServiceConfig, ShardedService};
+use crate::service::{Event, ServiceConfig, SessionOptions, ShardedService};
 
-/// Server knobs: service tuning plus socket behaviour.
-#[derive(Clone, Debug, Default)]
+/// Server knobs: service tuning plus socket/lifecycle behaviour.
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     pub service: ServiceConfig,
+    /// Per-connection read timeout: a connection that sends nothing for
+    /// this long mid-stream is closed with a `TAG_ERROR`. `None` = never.
+    pub read_timeout: Option<Duration>,
+    /// Live-connection cap; arrivals beyond it are load-shed at accept
+    /// time with a busy `TAG_ERROR`. 0 = unlimited.
+    pub max_conns: usize,
+    /// How long [`Server::shutdown`] waits for in-flight sessions to reach
+    /// their summaries before force-closing their connections.
+    pub drain_deadline: Duration,
+    /// Cap for the accept loop's exponential error backoff.
+    pub accept_backoff_max: Duration,
 }
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            service: ServiceConfig::default(),
+            read_timeout: None,
+            max_conns: 0,
+            drain_deadline: Duration::from_secs(5),
+            accept_backoff_max: Duration::from_millis(100),
+        }
+    }
+}
+
+type ConnRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
 
 /// A running `pdm serve` instance. Bind with [`Server::bind`]; stop with
 /// [`Server::shutdown`].
@@ -34,6 +78,9 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     service: Arc<ShardedService>,
+    live: Arc<AtomicUsize>,
+    conns: ConnRegistry,
+    drain_deadline: Duration,
 }
 
 impl Server {
@@ -49,13 +96,18 @@ impl Server {
         // Non-blocking accept so the loop can observe the stop flag.
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let service = Arc::new(ShardedService::start(dict, cfg.service));
+        let service = Arc::new(ShardedService::start(dict, cfg.service.clone()));
+        let live = Arc::new(AtomicUsize::new(0));
+        let conns: ConnRegistry = Arc::new(Mutex::new(HashMap::new()));
         let accept = {
             let stop = Arc::clone(&stop);
             let service = Arc::clone(&service);
+            let live = Arc::clone(&live);
+            let conns = Arc::clone(&conns);
+            let cfg = cfg.clone();
             std::thread::Builder::new()
                 .name("pdm-accept".into())
-                .spawn(move || accept_loop(listener, stop, service))
+                .spawn(move || accept_loop(listener, stop, service, cfg, live, conns))
                 .expect("spawn accept thread")
         };
         Ok(Server {
@@ -63,6 +115,9 @@ impl Server {
             stop,
             accept: Some(accept),
             service,
+            live,
+            conns,
+            drain_deadline: cfg.drain_deadline,
         })
     }
 
@@ -70,17 +125,41 @@ impl Server {
         self.local_addr
     }
 
-    /// Service-wide metrics (chunks, bytes, matches, queue depth, stalls).
+    /// Service-wide metrics (chunks, bytes, matches, queue depth, stalls,
+    /// and the degradation counters).
     pub fn metrics(&self) -> crate::metrics::GlobalSnapshot {
         self.service.metrics()
     }
 
-    /// Stop accepting and join the accept thread. Connections already in
-    /// flight run to completion on their own threads.
+    /// Live connection count (gauge).
+    pub fn live_conns(&self) -> usize {
+        self.live.load(Ordering::SeqCst)
+    }
+
+    /// Graceful drain: stop accepting, wait up to the configured
+    /// `drain_deadline` for in-flight connections to finish their sessions
+    /// (a client that already sent `TAG_CLOSE` still receives its
+    /// summary), then force-close any stragglers.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept.take() {
             let _ = h.join();
+        }
+        let deadline = Instant::now() + self.drain_deadline;
+        while self.live.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if self.live.load(Ordering::SeqCst) > 0 {
+            // Deadline expired: force-close what's left. Readers observe
+            // EOF/reset, close their sessions, and exit.
+            for (_, sock) in self.conns.lock().unwrap().iter() {
+                self.service.global_metrics().drain_force_closed();
+                let _ = sock.shutdown(Shutdown::Both);
+            }
+            let grace = Instant::now() + Duration::from_secs(1);
+            while self.live.load(Ordering::SeqCst) > 0 && Instant::now() < grace {
+                std::thread::sleep(Duration::from_millis(2));
+            }
         }
     }
 
@@ -102,37 +181,148 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, stop: Arc<AtomicBool>, service: Arc<ShardedService>) {
+fn accept_loop(
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    service: Arc<ShardedService>,
+    cfg: ServerConfig,
+    live: Arc<AtomicUsize>,
+    conns: ConnRegistry,
+) {
+    let base = Duration::from_millis(1);
+    let mut backoff = base;
+    let mut next_conn_id = 0u64;
     while !stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((sock, _peer)) => {
-                let service = Arc::clone(&service);
-                let _ = std::thread::Builder::new()
-                    .name("pdm-conn".into())
-                    .spawn(move || {
-                        let _ = handle_conn(sock, &service);
-                    });
+        let accepted: io::Result<TcpStream> = match faults::hook_accept() {
+            Some(e) => Err(e),
+            None => listener.accept().map(|(sock, _peer)| sock),
+        };
+        match accepted {
+            Ok(sock) => {
+                backoff = base;
+                if cfg.max_conns > 0 && live.load(Ordering::SeqCst) >= cfg.max_conns {
+                    service.global_metrics().conn_shed();
+                    shed(sock);
+                    continue;
+                }
+                live.fetch_add(1, Ordering::SeqCst);
+                let id = next_conn_id;
+                next_conn_id += 1;
+                if let Ok(clone) = sock.try_clone() {
+                    conns.lock().unwrap().insert(id, clone);
+                }
+                let conn_service = Arc::clone(&service);
+                let conn_live = Arc::clone(&live);
+                let conn_conns = Arc::clone(&conns);
+                let read_timeout = cfg.read_timeout;
+                let spawned =
+                    std::thread::Builder::new()
+                        .name("pdm-conn".into())
+                        .spawn(move || {
+                            let _ = handle_conn(sock, &conn_service, read_timeout);
+                            conn_conns.lock().unwrap().remove(&id);
+                            conn_live.fetch_sub(1, Ordering::SeqCst);
+                        });
+                if spawned.is_err() {
+                    // Could not spawn (resource exhaustion): undo bookkeeping.
+                    conns.lock().unwrap().remove(&id);
+                    live.fetch_sub(1, Ordering::SeqCst);
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                backoff = base;
                 std::thread::sleep(Duration::from_millis(5));
             }
-            Err(_) => break,
+            Err(_) => {
+                // Transient accept failure (EMFILE, ECONNABORTED, …): back
+                // off and retry. Only the stop flag ends this loop — a
+                // burst of errors must never turn into a permanent outage.
+                service.global_metrics().accept_retry();
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(cfg.accept_backoff_max);
+            }
         }
     }
 }
 
-fn handle_conn(sock: TcpStream, service: &ShardedService) -> io::Result<()> {
-    sock.set_nodelay(true).ok();
-    let mut session = service.open();
-    let events = session.events_handle();
+/// Load-shed one connection: tell the client why, then close.
+fn shed(sock: TcpStream) {
+    let mut w = &sock;
+    let _ = write_frame(
+        &mut w,
+        TAG_ERROR,
+        b"busy: connection limit reached, retry later",
+    );
+    let _ = sock.shutdown(Shutdown::Both);
+}
 
-    // Writer half: forward match/summary events to the socket as they
+fn handle_conn(
+    sock: TcpStream,
+    service: &ShardedService,
+    read_timeout: Option<Duration>,
+) -> io::Result<()> {
+    sock.set_nodelay(true).ok();
+    if let Some(d) = read_timeout {
+        sock.set_read_timeout(Some(d)).ok();
+    }
+    let global = Arc::clone(service.global_metrics());
+    let mut r = BufReader::new(sock.try_clone()?);
+
+    // Optional handshake: a TAG_HELLO first frame opts into a resume
+    // offset and periodic acks. Anything else is treated as the first
+    // regular frame of a plain (PR-1 protocol) session.
+    let mut opts = SessionOptions::default();
+    let mut ack_every: u64 = 0;
+    let mut hello = false;
+    let mut first_frame: Option<Option<(u8, Vec<u8>)>> = None;
+    match crate::proto::read_frame(&mut r) {
+        Ok(Some((TAG_HELLO, payload))) => match decode_hello(&payload) {
+            Some(h) => {
+                opts.start_offset = h.resume_offset;
+                opts.progress = h.ack_every > 0;
+                ack_every = h.ack_every as u64;
+                hello = true;
+            }
+            None => {
+                let mut w = sock.try_clone()?;
+                let _ = write_frame(&mut w, TAG_ERROR, b"malformed hello payload");
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "malformed hello payload",
+                ));
+            }
+        },
+        Ok(other) => first_frame = Some(other),
+        Err(e) => {
+            // No session was opened yet; classify, report, drop.
+            record_conn_error(&global, &e);
+            let mut w = sock.try_clone()?;
+            let _ = write_frame(&mut w, TAG_ERROR, conn_error_message(&e).as_bytes());
+            return Err(e);
+        }
+    }
+
+    let mut session = service.open_with(opts);
+    let events = session.events_handle();
+    // A reader-side failure parks its message here; the writer emits it as
+    // the terminal TAG_ERROR frame (instead of a summary), so error frames
+    // never interleave with concurrently written match frames.
+    let pending_err: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+
+    // Writer half: forward match/ack/summary events to the socket as they
     // arrive, concurrently with the reader half below.
     let writer_sock = sock.try_clone()?;
+    let max_pat = service.dict().max_pattern_len() as u32;
+    let writer_pending = Arc::clone(&pending_err);
     let writer = std::thread::Builder::new()
         .name("pdm-conn-writer".into())
         .spawn(move || -> io::Result<()> {
             let mut w = BufWriter::new(writer_sock);
+            if hello {
+                write_frame(&mut w, TAG_HELLO_ACK, &encode_hello_ack(max_pat))?;
+                w.flush()?;
+            }
+            let mut chunks_seen = 0u64;
             while let Ok(ev) = events.recv() {
                 match ev {
                     Event::Matches(batch) => {
@@ -141,8 +331,24 @@ fn handle_conn(sock: TcpStream, service: &ShardedService) -> io::Result<()> {
                         }
                         w.flush()?;
                     }
+                    Event::Progress(consumed) => {
+                        chunks_seen += 1;
+                        if ack_every > 0 && chunks_seen.is_multiple_of(ack_every) {
+                            write_frame(&mut w, TAG_ACK, &encode_ack(consumed))?;
+                            w.flush()?;
+                        }
+                    }
+                    Event::Failed(msg) => {
+                        write_frame(&mut w, TAG_ERROR, msg.as_bytes())?;
+                        w.flush()?;
+                        break;
+                    }
                     Event::Closed(summary) => {
-                        write_frame(&mut w, TAG_SUMMARY, &encode_summary(&summary))?;
+                        if let Some(msg) = writer_pending.lock().unwrap().take() {
+                            write_frame(&mut w, TAG_ERROR, msg.as_bytes())?;
+                        } else {
+                            write_frame(&mut w, TAG_SUMMARY, &encode_summary(&summary))?;
+                        }
                         w.flush()?;
                         break;
                     }
@@ -154,10 +360,28 @@ fn handle_conn(sock: TcpStream, service: &ShardedService) -> io::Result<()> {
 
     // Reader half: frames in, chunks to the service. Session::push blocks
     // on a full shard queue — backpressure reaches the socket naturally.
-    let mut r = BufReader::new(sock.try_clone()?);
     let result: io::Result<()> = (|| {
         loop {
-            match crate::proto::read_frame(&mut r)? {
+            let frame = match first_frame.take() {
+                Some(f) => f,
+                None => {
+                    match faults::hook_conn_frame() {
+                        ConnFault::None => {}
+                        ConnFault::Stall(d) => std::thread::sleep(d),
+                        ConnFault::Reset => {
+                            // Simulate a peer/middlebox reset: kill the
+                            // socket outright, no polite error frame.
+                            let _ = sock.shutdown(Shutdown::Both);
+                            return Err(io::Error::new(
+                                io::ErrorKind::ConnectionReset,
+                                "injected fault: connection reset",
+                            ));
+                        }
+                    }
+                    crate::proto::read_frame(&mut r)?
+                }
+            };
+            match frame {
                 Some((TAG_CHUNK, payload)) => {
                     let syms: Vec<u32> = payload.iter().map(|&b| b as u32).collect();
                     if session.push(syms).is_err() {
@@ -168,10 +392,15 @@ fn handle_conn(sock: TcpStream, service: &ShardedService) -> io::Result<()> {
                     }
                 }
                 Some((TAG_CLOSE, _)) | None => {
-                    // Clean close (or EOF treated as close): the writer
+                    // Clean close (or EOF at a frame boundary): the writer
                     // exits once it forwards the summary.
-                    session.finish();
                     return Ok(());
+                }
+                Some((TAG_HELLO, _)) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "hello is only valid as the first frame",
+                    ));
                 }
                 Some((tag, _)) => {
                     return Err(io::Error::new(
@@ -184,11 +413,33 @@ fn handle_conn(sock: TcpStream, service: &ShardedService) -> io::Result<()> {
     })();
 
     if let Err(ref e) = result {
-        // Best-effort error frame, then drop the connection.
-        let mut w = sock.try_clone()?;
-        let _ = write_frame(&mut w, TAG_ERROR, e.to_string().as_bytes());
-        session.finish();
+        record_conn_error(&global, e);
+        *pending_err.lock().unwrap() = Some(conn_error_message(e));
     }
+    // Close the session on every path; the worker then emits Closed and
+    // the writer terminates the connection with either the summary or the
+    // pending error frame.
+    session.finish();
     let _ = writer.join();
     result
+}
+
+/// Count a connection-level failure in the right degradation bucket.
+fn record_conn_error(global: &crate::metrics::GlobalMetrics, e: &io::Error) {
+    match e.kind() {
+        // set_read_timeout expiry surfaces as WouldBlock (unix) or
+        // TimedOut (windows).
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => global.read_timeout(),
+        io::ErrorKind::UnexpectedEof => global.truncated_frame(),
+        _ => {}
+    }
+}
+
+fn conn_error_message(e: &io::Error) -> String {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+            "read timeout: closing idle connection".to_string()
+        }
+        _ => e.to_string(),
+    }
 }

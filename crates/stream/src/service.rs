@@ -17,8 +17,22 @@
 //! the service grows without bound: at most `queue_cap` chunks wait per
 //! shard plus one in flight per worker, and at most `events_cap` result
 //! batches wait per session.
+//!
+//! ## Supervision
+//!
+//! Shard workers are supervised at two levels. A panic **inside** one
+//! chunk's match call (guarded by `catch_unwind`) aborts only the session
+//! that owned the chunk: it receives a terminal [`Event::Failed`] instead
+//! of silently hanging, and the worker keeps serving its other sessions. A
+//! panic anywhere **else** in the worker loop unwinds to the supervisor,
+//! which fails every in-flight session on that shard with
+//! [`Event::Failed`], counts a `worker_restart`, and re-enters the loop
+//! with fresh state — the shard keeps accepting new sessions. Failed
+//! sessions are also counted as closed, so `sessions_opened ==
+//! sessions_closed` holds on every path.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -65,8 +79,25 @@ pub enum Event {
     /// Occurrences ending in one pushed chunk (non-empty; chunks with no
     /// matches produce no event).
     Matches(Vec<StreamMatch>),
+    /// Absolute stream offset consumed so far, emitted after every chunk —
+    /// only for sessions opened with [`SessionOptions::progress`]. Every
+    /// match ending at or before this offset has already been emitted.
+    Progress(u64),
+    /// The session's worker crashed; the session is dead and no further
+    /// events follow. The payload describes the failure.
+    Failed(String),
     /// The session finished; no further events follow.
     Closed(SessionSummary),
+}
+
+/// Options for [`ShardedService::open_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionOptions {
+    /// Absolute stream offset the session starts at (for resumed streams;
+    /// see [`StreamMatcher::resume_at`]).
+    pub start_offset: u64,
+    /// Emit [`Event::Progress`] after every chunk.
+    pub progress: bool,
 }
 
 /// Final accounting for a closed session.
@@ -95,6 +126,7 @@ enum Job {
         id: u64,
         events: Sender<Event>,
         counters: Arc<SessionCounters>,
+        opts: SessionOptions,
     },
     Chunk {
         id: u64,
@@ -189,7 +221,8 @@ impl Session {
     }
 
     /// Finish and drain: returns all remaining matches plus the summary.
-    /// The summary is `None` only if the service died mid-close.
+    /// The summary is `None` if the service died mid-close or the session
+    /// failed ([`Event::Failed`]).
     pub fn close(mut self) -> (Vec<StreamMatch>, Option<SessionSummary>) {
         self.finished = true;
         let mut matches = Vec::new();
@@ -207,6 +240,8 @@ impl Session {
                         .recv_timeout(std::time::Duration::from_millis(5))
                     {
                         Ok(Event::Matches(mut m)) => matches.append(&mut m),
+                        Ok(Event::Progress(_)) => {}
+                        Ok(Event::Failed(_)) => return (matches, None),
                         Ok(Event::Closed(s)) => return (matches, Some(s)),
                         Err(_) => {}
                     }
@@ -218,6 +253,8 @@ impl Session {
         while let Ok(ev) = self.events.recv() {
             match ev {
                 Event::Matches(mut m) => matches.append(&mut m),
+                Event::Progress(_) => {}
+                Event::Failed(_) => break,
                 Event::Closed(s) => {
                     summary = Some(s);
                     break;
@@ -289,6 +326,12 @@ impl ShardedService {
 
     /// Open a new session, pinned to shard `id % workers`.
     pub fn open(&self) -> Session {
+        self.open_with(SessionOptions::default())
+    }
+
+    /// Open a session with explicit [`SessionOptions`] (resume offset,
+    /// progress events).
+    pub fn open_with(&self, opts: SessionOptions) -> Session {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let shard = (id as usize) % self.shards.len();
         let (ev_tx, ev_rx) = bounded::<Event>(self.events_cap);
@@ -297,6 +340,7 @@ impl ShardedService {
             id,
             events: ev_tx,
             counters: Arc::clone(&counters),
+            opts,
         });
         assert!(opened.is_ok(), "shard worker alive while service alive");
         self.global.session_opened();
@@ -313,6 +357,11 @@ impl ShardedService {
     /// Service-wide counters.
     pub fn metrics(&self) -> GlobalSnapshot {
         self.global.snapshot()
+    }
+
+    /// The live counter registry (for in-crate recording, e.g. the server).
+    pub(crate) fn global_metrics(&self) -> &Arc<GlobalMetrics> {
+        &self.global
     }
 
     /// Drop the shard queues and join the workers. All sessions must be
@@ -337,51 +386,116 @@ struct WorkerSession {
     m: StreamMatcher,
     events: Sender<Event>,
     counters: Arc<SessionCounters>,
+    progress: bool,
 }
 
+/// Abort a session with a terminal [`Event::Failed`], keeping the
+/// opened/closed accounting consistent.
+fn fail_session(global: &GlobalMetrics, s: WorkerSession, why: &str) {
+    global.session_failed();
+    global.session_closed();
+    let _ = s.events.send(Event::Failed(why.to_string()));
+}
+
+/// Supervisor: run the worker; if it panics, fail its in-flight sessions,
+/// count a restart, and re-enter with fresh state. The shard's job queue
+/// survives the crash, so queued and future sessions keep being served.
 fn worker_loop(
     rx: Receiver<Job>,
     dict: Arc<StaticMatcher>,
     exec: ExecPolicy,
     global: Arc<GlobalMetrics>,
 ) {
+    let mut sessions: HashMap<u64, WorkerSession> = HashMap::new();
+    loop {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            run_worker(&rx, &dict, &exec, &global, &mut sessions)
+        }));
+        match run {
+            Ok(()) => break, // all job senders dropped: clean shutdown
+            Err(_) => {
+                global.worker_restarted();
+                for (_, s) in sessions.drain() {
+                    fail_session(&global, s, "shard worker crashed; session aborted");
+                }
+            }
+        }
+    }
+}
+
+fn run_worker(
+    rx: &Receiver<Job>,
+    dict: &Arc<StaticMatcher>,
+    exec: &ExecPolicy,
+    global: &Arc<GlobalMetrics>,
+    sessions: &mut HashMap<u64, WorkerSession>,
+) {
     let ctx = Ctx {
-        exec,
+        exec: exec.clone(),
         cost: Arc::new(CostModel::new()),
     };
-    let mut sessions: HashMap<u64, WorkerSession> = HashMap::new();
     while let Ok(job) = rx.recv() {
         match job {
             Job::Open {
                 id,
                 events,
                 counters,
+                opts,
             } => {
+                let mut m = StreamMatcher::new(Arc::clone(dict));
+                if opts.start_offset > 0 {
+                    m.resume_at(opts.start_offset);
+                }
                 sessions.insert(
                     id,
                     WorkerSession {
-                        m: StreamMatcher::new(Arc::clone(&dict)),
+                        m,
                         events,
                         counters,
+                        progress: opts.progress,
                     },
                 );
             }
             Job::Chunk { id, data } => {
+                // Keep the gauge exact even if this job faults below.
+                global.dequeued();
+                // May panic (fault injection / latent bug): unwinds to the
+                // supervisor, which fails every session on this shard.
+                crate::faults::hook_worker_loop();
                 if let Some(s) = sessions.get_mut(&id) {
-                    let found = s.m.push(&ctx, &data);
-                    s.counters
-                        .record_chunk(data.len() as u64, found.len() as u64);
-                    global.record_chunk_done(data.len() as u64, found.len() as u64);
-                    if !found.is_empty() {
-                        // Full event queue = slow client; block (bounded
-                        // memory) and count the stall.
-                        if s.events.is_full() {
-                            global.record_stall();
+                    // Per-chunk guard: a panic in the match call costs one
+                    // session, not the worker.
+                    let found = catch_unwind(AssertUnwindSafe(|| {
+                        crate::faults::hook_worker_chunk();
+                        s.m.push(&ctx, &data)
+                    }));
+                    match found {
+                        Ok(found) => {
+                            s.counters
+                                .record_chunk(data.len() as u64, found.len() as u64);
+                            global.record_chunk_done(data.len() as u64, found.len() as u64);
+                            if !found.is_empty() {
+                                // Full event queue = slow client; block
+                                // (bounded memory) and count the stall.
+                                if s.events.is_full() {
+                                    global.record_stall();
+                                }
+                                let _ = s.events.send(Event::Matches(found));
+                            }
+                            if s.progress {
+                                let _ = s.events.send(Event::Progress(s.m.consumed()));
+                            }
                         }
-                        let _ = s.events.send(Event::Matches(found));
+                        Err(_) => {
+                            let s = sessions.remove(&id).expect("session was present");
+                            fail_session(
+                                global,
+                                s,
+                                "match worker panicked on a chunk; session aborted",
+                            );
+                        }
                     }
                 }
-                global.dequeued();
             }
             Job::Close { id } => {
                 if let Some(s) = sessions.remove(&id) {
@@ -492,6 +606,33 @@ mod tests {
         // Drain and finish cleanly.
         let (matches, _) = s.close();
         assert!(matches.len() as u64 >= accepted.min(2));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn resumed_session_reports_absolute_offsets() {
+        let svc = service(ServiceConfig::default());
+        let s = svc.open_with(SessionOptions {
+            start_offset: 1000,
+            progress: true,
+        });
+        s.push(to_symbols("ushers")).unwrap();
+        let mut starts = Vec::new();
+        let (matches, summary) = loop {
+            match s.next_event().expect("service alive") {
+                Event::Matches(m) => starts.extend(m.iter().map(|o| o.start)),
+                Event::Progress(consumed) => {
+                    // The progress event arrives after the chunk's matches.
+                    assert_eq!(consumed, 1006);
+                    break s.close();
+                }
+                ev => panic!("unexpected event {ev:?}"),
+            }
+        };
+        assert!(matches.is_empty());
+        starts.sort_unstable();
+        assert_eq!(starts, vec![1001, 1002, 1002]); // she, he, hers
+        assert_eq!(summary.unwrap().consumed, 1006);
         svc.shutdown();
     }
 }

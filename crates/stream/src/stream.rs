@@ -119,6 +119,20 @@ impl StreamMatcher {
         self.carry.clear();
         self.consumed = 0;
     }
+
+    /// Reposition the cursor at absolute stream offset `offset` with an
+    /// empty carry, as if `offset` symbols had already been consumed.
+    ///
+    /// Used by resumed sessions: a reconnecting client re-sends the text
+    /// from `offset` onward and this cursor reports occurrences with their
+    /// original absolute offsets. An occurrence *spanning* `offset` is only
+    /// found if the client re-sends from at least `m − 1` symbols before it
+    /// (the carry starts empty) — which is exactly what
+    /// [`crate::client::RetryingClient`] does.
+    pub fn resume_at(&mut self, offset: u64) {
+        self.carry.clear();
+        self.consumed = offset;
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +226,19 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].start, 0);
         assert_eq!(out[1].start, 1);
+    }
+
+    #[test]
+    fn resume_at_reports_absolute_offsets() {
+        let d = dict(&["he", "she", "hers"]);
+        let ctx = Ctx::seq();
+        let mut m = StreamMatcher::new(d);
+        m.resume_at(100);
+        let t = to_symbols("ushers");
+        let got = m.push(&ctx, &t);
+        let starts: Vec<u64> = got.iter().map(|o| o.start).collect();
+        assert_eq!(starts, vec![101, 102, 102]); // she, he, hers
+        assert_eq!(m.consumed(), 106);
     }
 
     #[test]

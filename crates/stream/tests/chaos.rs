@@ -1,0 +1,293 @@
+//! Chaos suite: deterministic fault injection against the live service and
+//! server (`--features fault-injection`). The invariant under test is
+//! always the same: **whatever faults fire, every session either delivers
+//! the exact fault-free match set (after client retries) or terminates
+//! with an explicit error — never a hang, never a duplicate, never a
+//! silent gap** — and the service keeps serving afterwards.
+//!
+//! The fault plan is process-global, so tests serialize on a mutex and
+//! clear the plan on exit. Injected panics are real panics (exercising the
+//! real `catch_unwind` supervision paths); `quiet_injected_panics`
+//! suppresses only their backtrace spam.
+
+#![cfg(feature = "fault-injection")]
+
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use pdm_core::dict::{symbolize, to_symbols};
+use pdm_core::static1d::StaticMatcher;
+use pdm_pram::Ctx;
+use pdm_stream::faults::{self, FaultConfig};
+use pdm_stream::{
+    RetryConfig, RetryingClient, Server, ServerConfig, ServiceConfig, ShardedService,
+};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The global fault plan means chaos tests must not overlap.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+struct ChaosGuard<'a>(#[allow(dead_code)] std::sync::MutexGuard<'a, ()>);
+
+impl Drop for ChaosGuard<'_> {
+    fn drop(&mut self) {
+        faults::clear();
+    }
+}
+
+fn chaos() -> ChaosGuard<'static> {
+    let g = CHAOS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    faults::clear();
+    faults::quiet_injected_panics();
+    ChaosGuard(g)
+}
+
+fn dict() -> Arc<StaticMatcher> {
+    let ctx = Ctx::seq();
+    Arc::new(StaticMatcher::build(&ctx, &symbolize(&["he", "she", "his", "hers"])).unwrap())
+}
+
+/// Deterministic "ushers"-alphabet text: dense in real matches.
+fn gen_text(seed: u64, n: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    const AB: &[u8] = b"usherx ";
+    (0..n).map(|_| AB[rng.gen_range(0..AB.len())]).collect()
+}
+
+/// Ground truth: one offline pass over the whole text.
+fn oracle(d: &Arc<StaticMatcher>, text: &[u8]) -> Vec<(u64, u32)> {
+    let ctx = Ctx::seq();
+    let syms: Vec<u32> = text.iter().map(|&b| u32::from(b)).collect();
+    let mut out: Vec<(u64, u32)> = d
+        .find_all(&ctx, &syms)
+        .into_iter()
+        .map(|(i, p)| (i as u64, p))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn server(dict: Arc<StaticMatcher>, workers: usize) -> Server {
+    Server::bind(
+        ("127.0.0.1", 0),
+        dict,
+        ServerConfig {
+            service: ServiceConfig {
+                workers,
+                queue_cap: 8,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+/// Stream `text` through a `RetryingClient` in `chunk`-byte chunks and
+/// assert the delivered match set is exactly the fault-free oracle.
+fn assert_exactly_once(server: &Server, d: &Arc<StaticMatcher>, text: &[u8], chunk: usize) -> u64 {
+    let mut client = RetryingClient::connect(
+        server.local_addr(),
+        RetryConfig {
+            base_backoff: Duration::from_millis(2),
+            seed: 7,
+            ..Default::default()
+        },
+    )
+    .expect("initial connect");
+    let mut got = Vec::new();
+    for c in text.chunks(chunk) {
+        got.extend(client.send(c).unwrap());
+    }
+    let (rest, summary) = client.finish().unwrap();
+    got.extend(rest);
+    let mut got: Vec<(u64, u32)> = got.iter().map(|m| (m.start, m.pat)).collect();
+    got.sort_unstable();
+    assert_eq!(got, oracle(d, text), "delivered ≠ fault-free oracle");
+    assert_eq!(summary.consumed, text.len() as u64, "stream fully consumed");
+    assert_eq!(summary.matches, got.len() as u64);
+    summary.reconnects
+}
+
+#[test]
+fn chunk_panic_fails_one_session_not_the_worker() {
+    let _g = chaos();
+    let svc = ShardedService::start(
+        dict(),
+        ServiceConfig {
+            workers: 1,
+            ..Default::default()
+        },
+    );
+    faults::install(FaultConfig {
+        worker_panic_every: 1,
+        worker_panic_max: 1,
+        ..Default::default()
+    });
+    let doomed = svc.open();
+    doomed.push(to_symbols("ushers")).unwrap();
+    let (_, summary) = doomed.close();
+    assert!(
+        summary.is_none(),
+        "failed session must not report a summary"
+    );
+    // Budget spent: the same worker keeps serving other sessions.
+    let healthy = svc.open();
+    healthy.push(to_symbols("ushers")).unwrap();
+    let (matches, summary) = healthy.close();
+    assert_eq!(matches.len(), 3);
+    assert_eq!(summary.unwrap().consumed, 6);
+    let g = svc.metrics();
+    assert_eq!(
+        g.worker_restarts, 0,
+        "chunk panic must not crash the worker"
+    );
+    assert_eq!(g.sessions_failed, 1);
+    assert_eq!(g.sessions_opened, 2);
+    assert_eq!(g.sessions_closed, 2);
+    assert_eq!(faults::counts().worker_panics, 1);
+    svc.shutdown();
+}
+
+#[test]
+fn loop_crash_respawns_worker_and_fails_in_flight() {
+    let _g = chaos();
+    let svc = ShardedService::start(
+        dict(),
+        ServiceConfig {
+            workers: 1,
+            ..Default::default()
+        },
+    );
+    faults::install(FaultConfig {
+        worker_crash_every: 1,
+        worker_crash_max: 1,
+        ..Default::default()
+    });
+    let in_flight = svc.open();
+    in_flight.push(to_symbols("ushers")).unwrap();
+    let (_, summary) = in_flight.close();
+    assert!(summary.is_none(), "in-flight session dies with the worker");
+    // The supervisor respawned the loop in the same thread: new sessions
+    // on this shard work.
+    let fresh = svc.open();
+    fresh.push(to_symbols("ushers")).unwrap();
+    let (matches, summary) = fresh.close();
+    assert_eq!(matches.len(), 3);
+    assert_eq!(summary.unwrap().consumed, 6);
+    let g = svc.metrics();
+    assert_eq!(g.worker_restarts, 1);
+    assert_eq!(g.sessions_failed, 1);
+    assert_eq!(g.sessions_opened, 2);
+    assert_eq!(g.sessions_closed, 2);
+    assert_eq!(faults::counts().worker_crashes, 1);
+    svc.shutdown();
+}
+
+#[test]
+fn exactly_once_under_worker_panics() {
+    let _g = chaos();
+    let d = dict();
+    let srv = server(Arc::clone(&d), 2);
+    let text = gen_text(11, 20_000);
+    faults::install(FaultConfig {
+        seed: 1,
+        worker_panic_every: 40,
+        worker_panic_max: 3,
+        ..Default::default()
+    });
+    let reconnects = assert_exactly_once(&srv, &d, &text, 100);
+    assert!(reconnects >= 1, "panics should have forced a resume");
+    assert!(faults::counts().worker_panics >= 1);
+    faults::clear();
+    // Post-fault: the same server serves a clean session.
+    assert_eq!(assert_exactly_once(&srv, &d, &text, 500), 0);
+    srv.shutdown();
+}
+
+#[test]
+fn exactly_once_under_worker_crashes() {
+    let _g = chaos();
+    let d = dict();
+    let srv = server(Arc::clone(&d), 2);
+    let text = gen_text(13, 20_000);
+    faults::install(FaultConfig {
+        seed: 2,
+        worker_crash_every: 80,
+        worker_crash_max: 2,
+        ..Default::default()
+    });
+    let reconnects = assert_exactly_once(&srv, &d, &text, 100);
+    assert!(reconnects >= 1, "crashes should have forced a resume");
+    assert!(srv.metrics().worker_restarts >= 1);
+    faults::clear();
+    assert_eq!(assert_exactly_once(&srv, &d, &text, 500), 0);
+    srv.shutdown();
+}
+
+#[test]
+fn exactly_once_under_connection_resets() {
+    let _g = chaos();
+    let d = dict();
+    let srv = server(Arc::clone(&d), 2);
+    let text = gen_text(17, 20_000);
+    faults::install(FaultConfig {
+        seed: 3,
+        conn_reset_every: 60,
+        conn_reset_max: 3,
+        ..Default::default()
+    });
+    let reconnects = assert_exactly_once(&srv, &d, &text, 100);
+    assert!(reconnects >= 1, "resets should have forced a reconnect");
+    assert!(faults::counts().conn_resets >= 1);
+    faults::clear();
+    assert_eq!(assert_exactly_once(&srv, &d, &text, 500), 0);
+    srv.shutdown();
+}
+
+#[test]
+fn exactly_once_under_stalls() {
+    let _g = chaos();
+    let d = dict();
+    let srv = server(Arc::clone(&d), 2);
+    let text = gen_text(19, 8_000);
+    faults::install(FaultConfig {
+        seed: 4,
+        read_stall_every: 25,
+        read_stall_ms: 3,
+        queue_stall_every: 25,
+        queue_stall_ms: 3,
+        ..Default::default()
+    });
+    // Stalls slow things down but must not lose, duplicate, or reorder
+    // correctness — and must not deadlock the bounded queues.
+    assert_exactly_once(&srv, &d, &text, 100);
+    let counts = faults::counts();
+    assert!(counts.read_stalls >= 1 && counts.queue_stalls >= 1);
+    srv.shutdown();
+}
+
+#[test]
+fn accept_errors_back_off_and_recover() {
+    let _g = chaos();
+    let d = dict();
+    // Install before bind so the accept loop sees faults from its first
+    // pass (the hook also fires on idle passes; the budget caps it).
+    faults::install(FaultConfig {
+        accept_error_every: 1,
+        accept_error_max: 5,
+        ..Default::default()
+    });
+    let srv = server(Arc::clone(&d), 2);
+    let text = gen_text(23, 4_000);
+    // The client's own retry loop rides out the synthetic accept failures.
+    assert_exactly_once(&srv, &d, &text, 200);
+    assert!(faults::counts().accept_errors >= 1);
+    assert!(
+        srv.metrics().accept_retries >= 1,
+        "accept loop must count survived errors"
+    );
+    srv.shutdown();
+}

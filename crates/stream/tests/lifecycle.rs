@@ -1,0 +1,338 @@
+//! Connection-lifecycle and degradation tests for the TCP server: error
+//! frames for protocol violations, truncation accounting, load shedding,
+//! read timeouts, graceful vs. forced drain, the resume handshake, and the
+//! reconnecting client's happy path. No fault injection needed — these
+//! exercise real sockets misbehaving in real ways.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pdm_core::dict::symbolize;
+use pdm_core::static1d::StaticMatcher;
+use pdm_pram::Ctx;
+use pdm_stream::proto::{
+    decode_ack, decode_hello_ack, decode_match, decode_summary, encode_hello, read_frame,
+    write_frame, Hello, MAX_FRAME, TAG_ACK, TAG_CHUNK, TAG_CLOSE, TAG_ERROR, TAG_HELLO,
+    TAG_HELLO_ACK, TAG_MATCH, TAG_SUMMARY,
+};
+use pdm_stream::{RetryConfig, RetryingClient, Server, ServerConfig, ServiceConfig};
+
+fn start(cfg: ServerConfig) -> Server {
+    let ctx = Ctx::seq();
+    let dict =
+        Arc::new(StaticMatcher::build(&ctx, &symbolize(&["he", "she", "his", "hers"])).unwrap());
+    Server::bind(("127.0.0.1", 0), dict, cfg).expect("bind ephemeral port")
+}
+
+fn small_cfg() -> ServerConfig {
+    ServerConfig {
+        service: ServiceConfig {
+            workers: 2,
+            queue_cap: 4,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn connect(server: &Server) -> TcpStream {
+    let sock = TcpStream::connect(server.local_addr()).expect("connect");
+    // Never let a broken test hang the suite.
+    sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    sock
+}
+
+/// Poll a metrics predicate for up to 2 s (event delivery is async).
+fn wait_for(server: &Server, what: &str, pred: impl Fn(&pdm_stream::GlobalSnapshot) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        let snap = server.metrics();
+        if pred(&snap) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}: {snap:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn unknown_tag_gets_error_frame_and_consistent_accounting() {
+    let server = start(small_cfg());
+    let sock = connect(&server);
+    let mut w = sock.try_clone().unwrap();
+    write_frame(&mut w, TAG_CHUNK, b"ush").unwrap();
+    write_frame(&mut w, 0x7f, b"junk").unwrap();
+    let mut r = BufReader::new(sock);
+    match read_frame(&mut r).unwrap() {
+        Some((TAG_ERROR, p)) => {
+            let msg = String::from_utf8_lossy(&p).into_owned();
+            assert!(msg.contains("0x7f"), "{msg}");
+        }
+        other => panic!("expected TAG_ERROR, got {other:?}"),
+    }
+    // The error frame is terminal: the server closes the connection after
+    // it, and the session still counts as closed.
+    assert_eq!(read_frame(&mut r).unwrap(), None);
+    wait_for(&server, "session accounting", |g| {
+        g.sessions_opened == 1 && g.sessions_closed == 1
+    });
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frame_gets_error_frame() {
+    let server = start(small_cfg());
+    let sock = connect(&server);
+    let mut w = sock.try_clone().unwrap();
+    write_frame(&mut w, TAG_CHUNK, b"ush").unwrap();
+    // A raw header promising more than MAX_FRAME; the payload never needs
+    // to be sent — the server must reject on the length alone.
+    w.write_all(&[TAG_CHUNK]).unwrap();
+    w.write_all(&(MAX_FRAME + 1).to_le_bytes()).unwrap();
+    w.flush().unwrap();
+    let mut r = BufReader::new(sock);
+    match read_frame(&mut r).unwrap() {
+        Some((TAG_ERROR, p)) => {
+            let msg = String::from_utf8_lossy(&p).into_owned();
+            assert!(msg.contains("MAX_FRAME"), "{msg}");
+        }
+        other => panic!("expected TAG_ERROR, got {other:?}"),
+    }
+    wait_for(&server, "session accounting", |g| {
+        g.sessions_opened == 1 && g.sessions_closed == 1
+    });
+    server.shutdown();
+}
+
+#[test]
+fn death_mid_frame_counts_as_truncation() {
+    let server = start(small_cfg());
+    {
+        let sock = connect(&server);
+        let mut w = sock.try_clone().unwrap();
+        // Header promises 10 payload bytes; die after 3.
+        w.write_all(&[TAG_CHUNK]).unwrap();
+        w.write_all(&10u32.to_le_bytes()).unwrap();
+        w.write_all(b"abc").unwrap();
+        w.flush().unwrap();
+        // Drop both halves: the server sees EOF inside the frame.
+    }
+    wait_for(&server, "truncated_frames", |g| g.truncated_frames >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_sheds_with_busy_error() {
+    let server = start(ServerConfig {
+        max_conns: 1,
+        ..small_cfg()
+    });
+    // First connection: complete the handshake so we know it is live.
+    let first = connect(&server);
+    write_frame(
+        &mut first.try_clone().unwrap(),
+        TAG_HELLO,
+        &encode_hello(&Hello::default()),
+    )
+    .unwrap();
+    let mut r1 = BufReader::new(first.try_clone().unwrap());
+    match read_frame(&mut r1).unwrap() {
+        Some((TAG_HELLO_ACK, _)) => {}
+        other => panic!("expected hello-ack, got {other:?}"),
+    }
+    // Second connection: over the cap → busy error, then close.
+    let second = connect(&server);
+    let mut r2 = BufReader::new(second);
+    match read_frame(&mut r2).unwrap() {
+        Some((TAG_ERROR, p)) => {
+            let msg = String::from_utf8_lossy(&p).into_owned();
+            assert!(msg.contains("busy"), "{msg}");
+        }
+        other => panic!("expected busy TAG_ERROR, got {other:?}"),
+    }
+    wait_for(&server, "conns_shed", |g| g.conns_shed >= 1);
+    // The first connection still works end to end.
+    write_frame(&mut first.try_clone().unwrap(), TAG_CHUNK, b"ushers").unwrap();
+    write_frame(&mut first.try_clone().unwrap(), TAG_CLOSE, b"").unwrap();
+    let mut n_matches = 0;
+    loop {
+        match read_frame(&mut r1).unwrap() {
+            Some((TAG_MATCH, _)) => n_matches += 1,
+            Some((TAG_ACK, _)) => {}
+            Some((TAG_SUMMARY, p)) => {
+                assert_eq!(decode_summary(&p).unwrap().matches, 3);
+                break;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert_eq!(n_matches, 3);
+    server.shutdown();
+}
+
+#[test]
+fn idle_connection_is_reaped_by_read_timeout() {
+    let server = start(ServerConfig {
+        read_timeout: Some(Duration::from_millis(100)),
+        ..small_cfg()
+    });
+    let sock = connect(&server);
+    // Send nothing at all; the server must not wait forever.
+    let mut r = BufReader::new(sock);
+    match read_frame(&mut r).unwrap() {
+        Some((TAG_ERROR, p)) => {
+            let msg = String::from_utf8_lossy(&p).into_owned();
+            assert!(msg.contains("timeout"), "{msg}");
+        }
+        other => panic!("expected timeout TAG_ERROR, got {other:?}"),
+    }
+    wait_for(&server, "read_timeouts", |g| g.read_timeouts >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_sessions() {
+    let server = start(ServerConfig {
+        drain_deadline: Duration::from_secs(5),
+        ..small_cfg()
+    });
+    let addr = server.local_addr();
+    let client = std::thread::spawn(move || {
+        let sock = TcpStream::connect(addr).unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut w = BufWriter::new(sock.try_clone().unwrap());
+        write_frame(&mut w, TAG_CHUNK, b"ush").unwrap();
+        w.flush().unwrap();
+        // Stay in flight long enough for shutdown to start draining.
+        std::thread::sleep(Duration::from_millis(300));
+        write_frame(&mut w, TAG_CHUNK, b"ers").unwrap();
+        write_frame(&mut w, TAG_CLOSE, b"").unwrap();
+        w.flush().unwrap();
+        let mut r = BufReader::new(sock);
+        let mut n_matches = 0u64;
+        loop {
+            match read_frame(&mut r).unwrap() {
+                Some((TAG_MATCH, _)) => n_matches += 1,
+                Some((TAG_SUMMARY, p)) => return (n_matches, decode_summary(&p).unwrap()),
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+    });
+    // Wait until the connection is live, then drain.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while server.live_conns() == 0 {
+        assert!(Instant::now() < deadline, "connection never became live");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let t0 = Instant::now();
+    server.shutdown();
+    assert!(
+        t0.elapsed() < Duration::from_secs(4),
+        "drain overran its deadline: {:?}",
+        t0.elapsed()
+    );
+    let (n_matches, summary) = client.join().unwrap();
+    // The in-flight session ran to a clean summary during the drain.
+    assert_eq!(n_matches, 3);
+    assert_eq!(summary.consumed, 6);
+}
+
+#[test]
+fn forced_drain_closes_stragglers_at_the_deadline() {
+    let server = start(ServerConfig {
+        drain_deadline: Duration::from_millis(150),
+        ..small_cfg()
+    });
+    let addr = server.local_addr();
+    // A client that sends one chunk and then never closes. Detached on
+    // purpose: its socket read will fail once the server force-closes.
+    std::thread::spawn(move || {
+        let sock = TcpStream::connect(addr).unwrap();
+        write_frame(&mut sock.try_clone().unwrap(), TAG_CHUNK, b"ush").unwrap();
+        let mut r = BufReader::new(sock);
+        let _ = read_frame(&mut r); // blocks until the force-close
+    });
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while server.live_conns() == 0 {
+        assert!(Instant::now() < deadline, "connection never became live");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let t0 = Instant::now();
+    server.shutdown();
+    // 150 ms deadline + ≤1 s force-close grace, with slack for CI.
+    assert!(
+        t0.elapsed() < Duration::from_secs(3),
+        "forced drain hung: {:?}",
+        t0.elapsed()
+    );
+}
+
+#[test]
+fn hello_resume_offsets_and_acks() {
+    let server = start(small_cfg());
+    let sock = connect(&server);
+    let mut w = sock.try_clone().unwrap();
+    write_frame(
+        &mut w,
+        TAG_HELLO,
+        &encode_hello(&Hello {
+            resume_offset: 100,
+            ack_every: 1,
+        }),
+    )
+    .unwrap();
+    let mut r = BufReader::new(sock);
+    match read_frame(&mut r).unwrap() {
+        Some((TAG_HELLO_ACK, p)) => {
+            // Longest pattern is "hers".
+            assert_eq!(decode_hello_ack(&p), Some(4));
+        }
+        other => panic!("expected hello-ack, got {other:?}"),
+    }
+    write_frame(&mut w, TAG_CHUNK, b"ushers").unwrap();
+    write_frame(&mut w, TAG_CLOSE, b"").unwrap();
+    let mut starts = Vec::new();
+    let mut acked = None;
+    let summary = loop {
+        match read_frame(&mut r).unwrap() {
+            Some((TAG_MATCH, p)) => starts.push(decode_match(&p).unwrap().start),
+            Some((TAG_ACK, p)) => acked = decode_ack(&p),
+            Some((TAG_SUMMARY, p)) => break decode_summary(&p).unwrap(),
+            other => panic!("unexpected frame {other:?}"),
+        }
+    };
+    starts.sort_unstable();
+    // Offsets are absolute from the resumed position.
+    assert_eq!(starts, vec![101, 102, 102]); // she, he, hers
+    assert_eq!(acked, Some(106));
+    assert_eq!(summary.consumed, 106);
+    server.shutdown();
+}
+
+#[test]
+fn retrying_client_happy_path_matches_raw_protocol() {
+    let server = start(small_cfg());
+    let mut client = RetryingClient::connect(server.local_addr(), RetryConfig::default()).unwrap();
+    let mut matches = client.send(b"ush").unwrap();
+    matches.extend(client.send(b"ers").unwrap());
+    let stats = client.stats();
+    let (rest, summary) = client.finish().unwrap();
+    matches.extend(rest);
+    matches.sort_unstable();
+    let got: Vec<(u64, u32)> = matches.iter().map(|m| (m.start, m.len)).collect();
+    assert_eq!(got, vec![(1, 3), (2, 2), (2, 4)]); // she@1, he@2, hers@2
+    assert_eq!(summary.consumed, 6);
+    assert_eq!(summary.chunks, 2);
+    assert_eq!(summary.matches, 3);
+    assert_eq!(summary.reconnects, 0);
+    assert_eq!(stats.duplicates_dropped, 0);
+    wait_for(&server, "session accounting", |g| {
+        g.sessions_opened == 1 && g.sessions_closed == 1
+    });
+    server.shutdown();
+}

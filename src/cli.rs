@@ -44,6 +44,12 @@ pub enum Command {
         port: u16,
         workers: Option<usize>,
         queue_cap: usize,
+        /// Per-connection idle read timeout in ms; 0 disables it.
+        read_timeout_ms: u64,
+        /// Live-connection cap (arrivals beyond it are load-shed); 0 = unlimited.
+        max_conns: usize,
+        /// How long shutdown waits for in-flight sessions before force-closing.
+        drain_deadline_ms: u64,
     },
     Build {
         dict: String,
@@ -86,6 +92,7 @@ USAGE:
   pdm match  --dict <file> --text <file> --stream [--chunk-bytes K]
   pdm prefix --dict <file> --text <file> [--threads N]
   pdm serve  --dict <file> --port <n> [--workers N] [--queue-cap Q]
+             [--read-timeout-ms T] [--max-conns C] [--drain-deadline-ms D]
   pdm stats  --dict <file>
   pdm gen    --out <file> --bytes <n> [--seed S] [--markov]
   pdm help
@@ -99,6 +106,10 @@ per connection.
 `build` serializes the preprocessed index for repeated `match --index` runs.
 `serve` answers the length-prefixed TCP protocol in pdm_stream::proto;
 one connection = one stream session over a shared dictionary.
+`--read-timeout-ms` closes idle connections (0 = never, the default);
+`--max-conns` load-sheds arrivals beyond the cap with a busy error frame
+(0 = unlimited); `--drain-deadline-ms` bounds the graceful drain on
+shutdown (default 5000).
 ";
 
 /// Parse argv (excluding the program name).
@@ -119,6 +130,9 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
     let mut port = None;
     let mut workers = None;
     let mut queue_cap = 16usize;
+    let mut read_timeout_ms = 0u64;
+    let mut max_conns = 0usize;
+    let mut drain_deadline_ms = 5000u64;
     while let Some(a) = it.next() {
         let mut need = |name: &str| -> Result<String, UsageError> {
             it.next()
@@ -182,6 +196,21 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     return Err(UsageError("--queue-cap must be positive".into()));
                 }
             }
+            "--read-timeout-ms" => {
+                read_timeout_ms = need("--read-timeout-ms")?
+                    .parse()
+                    .map_err(|_| UsageError("--read-timeout-ms wants an integer".into()))?
+            }
+            "--max-conns" => {
+                max_conns = need("--max-conns")?
+                    .parse()
+                    .map_err(|_| UsageError("--max-conns wants an integer".into()))?
+            }
+            "--drain-deadline-ms" => {
+                drain_deadline_ms = need("--drain-deadline-ms")?
+                    .parse()
+                    .map_err(|_| UsageError("--drain-deadline-ms wants an integer".into()))?
+            }
             other => return Err(UsageError(format!("unknown flag: {other}"))),
         }
     }
@@ -208,6 +237,9 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             port: port.ok_or_else(|| UsageError("serve requires --port".into()))?,
             workers,
             queue_cap,
+            read_timeout_ms,
+            max_conns,
+            drain_deadline_ms,
         }),
         "build" => Ok(Command::Build {
             dict: want(dict, "--dict")?,
@@ -515,6 +547,9 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
             port,
             workers,
             queue_cap,
+            read_timeout_ms,
+            max_conns,
+            drain_deadline_ms,
         } => {
             let ctx = Ctx::par();
             let (m, _) = match resolve_matcher(&dict, &ctx) {
@@ -533,7 +568,14 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
             let server = match pdm_stream::Server::bind(
                 ("0.0.0.0", port),
                 std::sync::Arc::new(m),
-                pdm_stream::ServerConfig { service },
+                pdm_stream::ServerConfig {
+                    service,
+                    read_timeout: (read_timeout_ms > 0)
+                        .then(|| std::time::Duration::from_millis(read_timeout_ms)),
+                    max_conns,
+                    drain_deadline: std::time::Duration::from_millis(drain_deadline_ms),
+                    ..Default::default()
+                },
             ) {
                 Ok(s) => s,
                 Err(e) => {
@@ -724,6 +766,12 @@ mod tests {
             "3",
             "--queue-cap",
             "8",
+            "--read-timeout-ms",
+            "250",
+            "--max-conns",
+            "32",
+            "--drain-deadline-ms",
+            "1500",
         ]))
         .unwrap();
         assert_eq!(
@@ -733,8 +781,22 @@ mod tests {
                 port: 7700,
                 workers: Some(3),
                 queue_cap: 8,
+                read_timeout_ms: 250,
+                max_conns: 32,
+                drain_deadline_ms: 1500,
             }
         );
+        // Lifecycle flags default off / to 5 s drain.
+        let c = parse(&args(&["serve", "--dict", "d", "--port", "1"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Serve {
+                read_timeout_ms: 0,
+                max_conns: 0,
+                drain_deadline_ms: 5000,
+                ..
+            }
+        ));
         assert!(parse(&args(&["serve", "--dict", "d"])).is_err());
         assert!(parse(&args(&["serve", "--port", "1"])).is_err());
 

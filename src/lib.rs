@@ -19,8 +19,10 @@
 //! * [`textgen`] — workload generation for the experiment suite;
 //! * [`stream`] — beyond the paper: streaming chunk-at-a-time matching
 //!   ([`stream::StreamMatcher`]), a sharded multi-session service with
-//!   bounded-queue backpressure ([`stream::ShardedService`]), and a
-//!   length-prefixed TCP protocol (`pdm serve`).
+//!   bounded-queue backpressure ([`stream::ShardedService`]), a
+//!   fault-tolerant length-prefixed TCP protocol (`pdm serve`: supervised
+//!   workers, load shedding, graceful drain), and a reconnecting
+//!   exactly-once client ([`stream::RetryingClient`]).
 //!
 //! ## Quickstart
 //!
@@ -60,5 +62,7 @@ pub mod prelude {
     pub use pdm_core::smallalpha::{BinaryEncodedMatcher, SmallAlphaMatcher};
     pub use pdm_core::static1d::{MatchOutput, StaticMatcher};
     pub use pdm_pram::{Ctx, ExecPolicy};
-    pub use pdm_stream::{ServiceConfig, ShardedService, StreamMatch, StreamMatcher};
+    pub use pdm_stream::{
+        RetryConfig, RetryingClient, ServiceConfig, ShardedService, StreamMatch, StreamMatcher,
+    };
 }

@@ -27,6 +27,7 @@ fn start_server() -> Server {
                 queue_cap: 4,
                 ..Default::default()
             },
+            ..Default::default()
         },
     )
     .expect("bind ephemeral port")
