@@ -1,0 +1,184 @@
+//! Live dictionary update baseline, written to `BENCH_dict.json`.
+//!
+//! Two questions the epoch-swap design hinges on:
+//!
+//! 1. **Crossover** — per batch size, is it cheaper to apply the staged
+//!    ops through `DynamicMatcher` (§6 incremental path) or to rebuild
+//!    the whole snapshot in parallel (§4)? The store's auto policy picks
+//!    by staged-symbol ratio; this measures both paths forced, so the
+//!    reported crossover validates (or indicts) the default threshold.
+//! 2. **Swap latency under load** — how long does commit+publish take
+//!    while sessions are streaming, and does a swap dent throughput?
+//!    Publishing is a pointer swap, so the committed-to-visible latency
+//!    should track the rebuild cost alone.
+//!
+//! Usage: `dict_swap [out.json]` (default `BENCH_dict.json`).
+//! `PDM_BENCH_SMOKE=1` shrinks sizes and runs for CI smoke coverage.
+
+use pdm_core::dict::{to_symbols, Sym};
+use pdm_dict::{DictStore, SnapshotPath};
+use pdm_pram::Ctx;
+use pdm_stream::{DictAdmin, GlobalMetrics, ServiceConfig, ShardedService};
+use pdm_textgen::{strings, Alphabet};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+fn smoke() -> bool {
+    std::env::var_os("PDM_BENCH_SMOKE").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Deterministic unique patterns: `base000042`-style, so adds never
+/// collide with the seed set or each other.
+fn pat(prefix: &str, i: usize) -> Vec<Sym> {
+    to_symbols(&format!("{prefix}{i:06}"))
+}
+
+/// Fresh store holding `base` committed patterns.
+fn seeded(ctx: &Ctx, base: usize) -> DictStore {
+    let mut store = DictStore::in_memory();
+    for i in 0..base {
+        store.stage_add(&pat("base", i)).unwrap();
+    }
+    store.commit(ctx).unwrap();
+    store
+}
+
+/// Median commit latency for `batch` staged adds on top of `base`
+/// committed patterns, forcing the given rebuild path. The store/stage
+/// setup is rebuilt per run and kept off the clock.
+fn commit_latency(ctx: &Ctx, runs: usize, base: usize, batch: usize, path: SnapshotPath) -> f64 {
+    let mut samples = Vec::with_capacity(runs + 1);
+    for _ in 0..=runs {
+        let mut store = seeded(ctx, base);
+        for j in 0..batch {
+            store.stage_add(&pat("add", j)).unwrap();
+        }
+        let t0 = Instant::now();
+        let out = store.commit_with(ctx, Some(path)).unwrap();
+        samples.push(t0.elapsed());
+        std::hint::black_box(out);
+    }
+    samples.remove(0); // warmup
+    samples.sort_unstable();
+    ms(samples[samples.len() / 2])
+}
+
+fn median_ms(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_dict.json".into());
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let smoke = smoke();
+
+    let (base, batches, runs) = if smoke {
+        (64, vec![1usize, 8, 32], 1)
+    } else {
+        (512, vec![1usize, 4, 16, 64, 256], 5)
+    };
+    let ctx = Ctx::with_threads(host_cpus.min(4));
+
+    // --- 1. incremental apply vs full rebuild crossover -----------------
+    let mut rows = Vec::new();
+    let mut crossover: Option<usize> = None;
+    for &k in &batches {
+        let inc = commit_latency(&ctx, runs, base, k, SnapshotPath::Incremental);
+        let full = commit_latency(&ctx, runs, base, k, SnapshotPath::FullRebuild);
+        if crossover.is_none() && full <= inc {
+            crossover = Some(k);
+        }
+        eprintln!("batch {k:>4}: incremental {inc:.3} ms, full rebuild {full:.3} ms");
+        rows.push(format!(
+            "    {{\"batch\": {k}, \"incremental_ms\": {inc:.3}, \"full_rebuild_ms\": {full:.3}}}"
+        ));
+    }
+
+    // --- 2. swap latency while sessions stream --------------------------
+    let sessions = if smoke { 2 } else { 4 };
+    let text_syms: usize = if smoke { 32 << 10 } else { 512 << 10 };
+    let chunk = if smoke { 4 << 10 } else { 64 << 10 };
+    let commits = if smoke { 2 } else { 8 };
+
+    let metrics = GlobalMetrics::default();
+    // Idle reference: commit+publish with no traffic.
+    let admin = DictAdmin::new(seeded(&ctx, base), ctx.exec.clone()).unwrap();
+    let idle: Vec<f64> = (0..commits)
+        .map(|c| {
+            admin.add(&pat("idle", c)).unwrap();
+            let t0 = Instant::now();
+            admin.commit(&metrics).unwrap();
+            ms(t0.elapsed())
+        })
+        .collect();
+    let idle_ms = median_ms(idle);
+
+    let admin = DictAdmin::new(seeded(&ctx, base), ctx.exec.clone()).unwrap();
+    let svc = ShardedService::start_versioned(
+        admin.handle(),
+        ServiceConfig {
+            workers: 2,
+            queue_cap: 8,
+            ..ServiceConfig::default()
+        },
+    );
+    let mut r = strings::rng(7);
+    let text = strings::random_text(&mut r, Alphabet::Bytes, text_syms);
+
+    let t_load = Instant::now();
+    let loaded: Vec<f64> = std::thread::scope(|s| {
+        for _ in 0..sessions {
+            let sess = svc.open();
+            let text = &text;
+            s.spawn(move || {
+                for c in text.chunks(chunk) {
+                    sess.push(c.to_vec()).unwrap();
+                }
+                std::hint::black_box(sess.close());
+            });
+        }
+        (0..commits)
+            .map(|c| {
+                admin.add(&pat("load", c)).unwrap();
+                let t0 = Instant::now();
+                admin.commit(&metrics).unwrap();
+                let d = ms(t0.elapsed());
+                std::thread::sleep(Duration::from_millis(2));
+                d
+            })
+            .collect()
+    });
+    let wall = t_load.elapsed();
+    let loaded_ms = median_ms(loaded);
+    let mbps = (sessions * text_syms) as f64 / (1 << 20) as f64 / wall.as_secs_f64();
+    let swaps = svc.metrics().epoch_adoptions;
+    svc.shutdown();
+    eprintln!(
+        "swap latency: idle {idle_ms:.3} ms, under load {loaded_ms:.3} ms \
+         ({sessions} sessions, {mbps:.2} MB/s, {swaps} adoptions)"
+    );
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"meta\": {{\"host_cpus\": {host_cpus}, \"smoke\": {smoke}, \
+         \"base_patterns\": {base}, \"runs\": {runs}}},\n  \
+         \"crossover\": {{\"rows\": [\n{}\n  ], \"full_beats_incremental_at_batch\": {}}},\n  \
+         \"swap_under_load\": {{\"sessions\": {sessions}, \"text_syms_per_session\": {text_syms}, \
+         \"commits\": {commits}, \"idle_commit_ms\": {idle_ms:.3}, \
+         \"loaded_commit_ms\": {loaded_ms:.3}, \"stream_mbps\": {mbps:.2}, \
+         \"epoch_adoptions\": {swaps}}}\n}}\n",
+        rows.join(",\n"),
+        crossover.map_or("null".into(), |k| k.to_string()),
+    );
+    std::fs::write(&out_path, &json).expect("write dict json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

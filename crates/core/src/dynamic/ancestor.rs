@@ -28,7 +28,7 @@ struct Path {
 
 /// Growing rooted tree with dynamic marks and nearest-marked-ancestor
 /// queries (ancestor-or-self).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MarkedAncestorTree {
     parent: Vec<u32>,
     depth: Vec<u32>,

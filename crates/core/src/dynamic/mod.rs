@@ -67,7 +67,12 @@ impl std::error::Error for DynError {}
 
 /// Fully dynamic dictionary matcher (insert + delete + match). Using only
 /// `insert`/`match_text` gives the partly dynamic variant of §6.1.
-#[derive(Debug)]
+///
+/// Cloning copies every table but shares the name pool (an atomic
+/// allocator), so a clone may be frozen as an immutable snapshot while the
+/// original keeps taking updates — names allocated after the clone never
+/// collide with names visible in the copy.
+#[derive(Debug, Clone)]
 pub struct DynamicMatcher {
     pool: Arc<NamePool>,
     /// `K`: tables exist for levels `1..=levels` (grows with insertions).

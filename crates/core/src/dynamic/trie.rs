@@ -11,7 +11,7 @@ use crate::dynamic::ancestor::MarkedAncestorTree;
 use pdm_primitives::FxHashMap;
 
 /// Pattern trie with dynamic marks.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct PatternTrie {
     tree: MarkedAncestorTree,
     /// `(node, symbol) → child`.

@@ -1,0 +1,48 @@
+//! `pdm-dict`: the versioned dictionary store behind live updates.
+//!
+//! The paper's §6 (Theorems 7–10) makes the *matcher* dynamic; this crate
+//! makes the *service* dynamic. It layers three pieces between the core
+//! matchers and the streaming server:
+//!
+//! * [`log`] / [`DictStore`] — an append-only, CRC-checked pattern log
+//!   with staged adds/removes, epoch-sealing commits, torn-tail recovery
+//!   and compaction (which also emits a loadable snapshot file);
+//! * [`Snapshot`] — one immutable epoch: canonical pattern ids, a matcher,
+//!   and all-matches expansion chains, identical bytes and identical match
+//!   output whichever rebuild path produced it;
+//! * [`EpochHandle`] — the `Arc`-swap slot readers pin per chunk, so
+//!   in-flight work finishes against its starting epoch while new work
+//!   observes the published one.
+//!
+//! The rebuild policy lives in [`DictStore::commit`]: small batches go
+//! through the core `DynamicMatcher` (the §6 incremental path), large
+//! batches trigger a full parallel `StaticMatcher` rebuild on the pool.
+//!
+//! ```
+//! use pdm_dict::{DictStore, EpochHandle};
+//! use pdm_core::dict::to_symbols;
+//! use pdm_pram::Ctx;
+//!
+//! let ctx = Ctx::seq();
+//! let mut store = DictStore::in_memory();
+//! store.stage_add(&to_symbols("he")).unwrap();
+//! store.stage_add(&to_symbols("she")).unwrap();
+//! let first = store.commit(&ctx).unwrap();
+//! let handle = EpochHandle::new(first.snapshot);
+//!
+//! let pinned = handle.load(); // a chunk pins its epoch…
+//! store.stage_add(&to_symbols("hers")).unwrap();
+//! handle.publish(store.commit(&ctx).unwrap().snapshot); // …while we swap
+//! assert_eq!(pinned.epoch(), 1);
+//! assert_eq!(handle.load().epoch(), 2);
+//! assert_eq!(handle.load().pattern_count(), 3);
+//! ```
+
+pub mod epoch;
+pub mod log;
+pub mod snapshot;
+pub mod store;
+
+pub use epoch::EpochHandle;
+pub use snapshot::{Snapshot, SnapshotPath};
+pub use store::{CommitOutcome, CompactReport, DictStore, StoreError, DEFAULT_REBUILD_THRESHOLD};

@@ -1,0 +1,320 @@
+//! Append-only pattern log: the durable half of the dictionary store.
+//!
+//! The log is a header followed by CRC-checked records. Add/remove records
+//! are appended as updates are *staged*; a commit record seals everything
+//! before it into the named epoch. Replaying a log therefore recovers both
+//! the committed dictionary (ops up to the last commit record) and the
+//! staged-but-uncommitted tail, which is exactly the state a server killed
+//! mid-stage would want back.
+//!
+//! Torn tails are expected (a crash mid-append): replay stops at the first
+//! record that is truncated or fails its CRC, and reopening for append
+//! truncates the file back to the last good byte. Corruption is never
+//! silently skipped — everything after the first bad record is dropped,
+//! and the drop is reported to the caller.
+
+use pdm_core::Sym;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// File magic for the pattern log.
+pub const LOG_MAGIC: [u8; 4] = *b"PDML";
+/// Current log format version.
+pub const LOG_VERSION: u32 = 1;
+
+const KIND_ADD: u8 = 1;
+const KIND_REMOVE: u8 = 2;
+const KIND_COMMIT: u8 = 3;
+
+/// Largest accepted record payload (a pattern of 16M symbols); anything
+/// bigger is treated as corruption rather than an allocation request.
+const MAX_PAYLOAD: u32 = 64 << 20;
+
+/// One replayed log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    Add(Vec<Sym>),
+    Remove(Vec<Sym>),
+    /// Seals all preceding records into this epoch.
+    Commit(u64),
+}
+
+/// Errors opening or replaying a log file.
+#[derive(Debug)]
+pub enum LogError {
+    Io(io::Error),
+    /// Not a pattern log (bad magic) or an unknown version.
+    BadHeader(String),
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::Io(e) => write!(f, "log I/O: {e}"),
+            LogError::BadHeader(m) => write!(f, "bad log header: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+impl From<io::Error> for LogError {
+    fn from(e: io::Error) -> Self {
+        LogError::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected). Bitwise — the log is an admin path, not
+/// a hot one, and this keeps the crate dependency-free.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn pattern_payload(pattern: &[Sym]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(pattern.len() * 4);
+    for &s in pattern {
+        v.extend_from_slice(&s.to_le_bytes());
+    }
+    v
+}
+
+fn payload_pattern(payload: &[u8]) -> Option<Vec<Sym>> {
+    if !payload.len().is_multiple_of(4) {
+        return None;
+    }
+    Some(
+        payload
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect(),
+    )
+}
+
+/// Encode one record: `[kind u8][len u32][crc u32][payload]`, CRC over the
+/// kind byte and the payload.
+pub fn encode_record(rec: &Record) -> Vec<u8> {
+    let (kind, payload) = match rec {
+        Record::Add(p) => (KIND_ADD, pattern_payload(p)),
+        Record::Remove(p) => (KIND_REMOVE, pattern_payload(p)),
+        Record::Commit(e) => (KIND_COMMIT, e.to_le_bytes().to_vec()),
+    };
+    let mut crc_input = Vec::with_capacity(1 + payload.len());
+    crc_input.push(kind);
+    crc_input.extend_from_slice(&payload);
+    let crc = crc32(&crc_input);
+    let mut out = Vec::with_capacity(9 + payload.len());
+    out.push(kind);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Outcome of replaying a log file.
+#[derive(Debug)]
+pub struct Replay {
+    pub records: Vec<Record>,
+    /// Byte offset of the end of the last good record (append position).
+    pub good_len: u64,
+    /// Bytes discarded past `good_len` (torn or corrupt tail), 0 if clean.
+    pub truncated: u64,
+}
+
+/// Replay every good record from `bytes` (header included).
+pub fn replay_bytes(bytes: &[u8]) -> Result<Replay, LogError> {
+    if bytes.len() < 8 {
+        return Err(LogError::BadHeader("file shorter than header".into()));
+    }
+    if bytes[..4] != LOG_MAGIC {
+        return Err(LogError::BadHeader("magic mismatch".into()));
+    }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version != LOG_VERSION {
+        return Err(LogError::BadHeader(format!("unknown version {version}")));
+    }
+    let mut records = Vec::new();
+    let mut at = 8usize;
+    loop {
+        if at + 9 > bytes.len() {
+            break; // torn header (or clean EOF)
+        }
+        let kind = bytes[at];
+        let len = u32::from_le_bytes([bytes[at + 1], bytes[at + 2], bytes[at + 3], bytes[at + 4]]);
+        let crc = u32::from_le_bytes([bytes[at + 5], bytes[at + 6], bytes[at + 7], bytes[at + 8]]);
+        if len > MAX_PAYLOAD {
+            break; // nonsense length: treat as corruption
+        }
+        let (lo, hi) = (at + 9, at + 9 + len as usize);
+        if hi > bytes.len() {
+            break; // torn payload
+        }
+        let payload = &bytes[lo..hi];
+        let mut crc_input = Vec::with_capacity(1 + payload.len());
+        crc_input.push(kind);
+        crc_input.extend_from_slice(payload);
+        if crc32(&crc_input) != crc {
+            break; // corrupt record: stop, drop the rest
+        }
+        let rec = match kind {
+            KIND_ADD => payload_pattern(payload).map(Record::Add),
+            KIND_REMOVE => payload_pattern(payload).map(Record::Remove),
+            KIND_COMMIT if payload.len() == 8 => {
+                let mut e = [0u8; 8];
+                e.copy_from_slice(payload);
+                Some(Record::Commit(u64::from_le_bytes(e)))
+            }
+            _ => None,
+        };
+        match rec {
+            Some(r) => records.push(r),
+            None => break, // unknown kind / malformed payload
+        }
+        at = hi;
+    }
+    Ok(Replay {
+        records,
+        good_len: at as u64,
+        truncated: (bytes.len() - at) as u64,
+    })
+}
+
+/// An open log file positioned for appending.
+#[derive(Debug)]
+pub struct LogFile {
+    file: File,
+}
+
+impl LogFile {
+    /// Create a fresh log (truncating any existing file) with just a header.
+    pub fn create(path: &Path) -> Result<Self, LogError> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .read(true)
+            .open(path)?;
+        file.write_all(&LOG_MAGIC)?;
+        file.write_all(&LOG_VERSION.to_le_bytes())?;
+        file.sync_data()?;
+        Ok(LogFile { file })
+    }
+
+    /// Open an existing log (or create an empty one), replaying its records.
+    /// A torn or corrupt tail is truncated away before appending resumes.
+    pub fn open(path: &Path) -> Result<(Self, Replay), LogError> {
+        if !path.exists() {
+            let log = Self::create(path)?;
+            return Ok((
+                log,
+                Replay {
+                    records: Vec::new(),
+                    good_len: 8,
+                    truncated: 0,
+                },
+            ));
+        }
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let replay = replay_bytes(&bytes)?;
+        if replay.truncated > 0 {
+            file.set_len(replay.good_len)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(replay.good_len))?;
+        Ok((LogFile { file }, replay))
+    }
+
+    /// Append one record (no fsync; call [`LogFile::sync`] to make durable).
+    pub fn append(&mut self, rec: &Record) -> Result<(), LogError> {
+        self.file.write_all(&encode_record(rec))?;
+        Ok(())
+    }
+
+    /// Flush appended records to stable storage.
+    pub fn sync(&mut self) -> Result<(), LogError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(records: &[Record]) -> Replay {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&LOG_MAGIC);
+        bytes.extend_from_slice(&LOG_VERSION.to_le_bytes());
+        for r in records {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        replay_bytes(&bytes).unwrap()
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let recs = vec![
+            Record::Add(vec![1, 2, 3]),
+            Record::Remove(vec![1, 2, 3]),
+            Record::Commit(7),
+        ];
+        let replay = roundtrip(&recs);
+        assert_eq!(replay.records, recs);
+        assert_eq!(replay.truncated, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&LOG_MAGIC);
+        bytes.extend_from_slice(&LOG_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&encode_record(&Record::Add(vec![9, 9])));
+        let good = bytes.len() as u64;
+        let torn = encode_record(&Record::Commit(1));
+        bytes.extend_from_slice(&torn[..torn.len() - 3]);
+        let replay = replay_bytes(&bytes).unwrap();
+        assert_eq!(replay.records, vec![Record::Add(vec![9, 9])]);
+        assert_eq!(replay.good_len, good);
+        assert!(replay.truncated > 0);
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&LOG_MAGIC);
+        bytes.extend_from_slice(&LOG_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&encode_record(&Record::Add(vec![1])));
+        let mut bad = encode_record(&Record::Add(vec![2]));
+        let n = bad.len();
+        bad[n - 1] ^= 0xFF; // flip a payload bit
+        bytes.extend_from_slice(&bad);
+        bytes.extend_from_slice(&encode_record(&Record::Commit(1)));
+        let replay = replay_bytes(&bytes).unwrap();
+        assert_eq!(replay.records, vec![Record::Add(vec![1])]);
+        assert!(replay.truncated > 0, "corrupt record and everything after");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(
+            replay_bytes(b"NOPE\x01\x00\x00\x00"),
+            Err(LogError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

@@ -1,0 +1,383 @@
+//! Immutable matcher snapshots with a canonical identity.
+//!
+//! A [`Snapshot`] is one epoch of the dictionary, frozen: a canonical
+//! pattern list (ids are positions in that list), a matcher over it, and
+//! the longest-proper-prefix chains needed to expand longest-match output
+//! into *all* matches per position. Snapshots are what the serving layer
+//! pins per chunk — they never change after construction, so a session can
+//! finish a chunk against the epoch it started with while the store
+//! publishes a successor.
+//!
+//! The same committed pattern set always yields the same canonical bytes
+//! ([`Snapshot::to_bytes`]) no matter which rebuild path produced the
+//! snapshot: the serialization covers `(epoch, patterns-in-canonical-order)`
+//! and nothing matcher-internal, which is what makes the
+//! incremental-vs-full differential test meaningful (`store.rs`).
+
+use pdm_core::dynamic::DynamicMatcher;
+use pdm_core::{BuildError, Matcher, PatId, StaticMatcher, Sym};
+use pdm_pram::Ctx;
+use pdm_primitives::FxHashMap;
+use std::sync::Arc;
+
+/// File magic for serialized snapshots.
+pub const SNAP_MAGIC: [u8; 4] = *b"PDMS";
+/// Current snapshot format version.
+pub const SNAP_VERSION: u32 = 1;
+
+/// Which rebuild path produced a snapshot (diagnostics; both paths are
+/// behaviorally identical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotPath {
+    /// Batch applied through the §6 `DynamicMatcher` (Theorems 7–10).
+    Incremental,
+    /// Full parallel `StaticMatcher` rebuild on the pool (Theorem 3).
+    FullRebuild,
+}
+
+enum SnapInner {
+    /// Canonical ids equal the build-order ids of the static matcher.
+    Static(Arc<StaticMatcher>),
+    /// A frozen clone of the store's dynamic matcher; `remap` translates
+    /// its native slot ids into canonical ids.
+    Dynamic {
+        m: Box<DynamicMatcher>,
+        remap: FxHashMap<PatId, u32>,
+    },
+}
+
+impl std::fmt::Debug for SnapInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapInner::Static(_) => write!(f, "Static"),
+            SnapInner::Dynamic { .. } => write!(f, "Dynamic"),
+        }
+    }
+}
+
+/// One immutable epoch of the dictionary.
+#[derive(Debug)]
+pub struct Snapshot {
+    epoch: u64,
+    /// Canonical id → pattern length.
+    lens: Vec<u32>,
+    /// Canonical pattern list; `None` when wrapped around a bare index
+    /// (pattern texts unknown — the snapshot still matches, but cannot be
+    /// re-serialized).
+    patterns: Option<Vec<Vec<Sym>>>,
+    /// Canonical id → longest pattern that is a proper prefix of it.
+    chains: Vec<Option<u32>>,
+    max_len: usize,
+    inner: SnapInner,
+    path: SnapshotPath,
+}
+
+/// Longest-proper-prefix chains over a canonical pattern list, computed
+/// from the texts (matcher-agnostic, unlike `pdm_core::allmatches` which
+/// reads the static tables).
+fn chains_of(patterns: &[Vec<Sym>]) -> Vec<Option<u32>> {
+    let mut idx: FxHashMap<&[Sym], u32> = FxHashMap::default();
+    for (i, p) in patterns.iter().enumerate() {
+        idx.insert(p.as_slice(), i as u32);
+    }
+    patterns
+        .iter()
+        .map(|p| (1..p.len()).rev().find_map(|l| idx.get(&p[..l]).copied()))
+        .collect()
+}
+
+impl Snapshot {
+    /// Build the static-path snapshot (full parallel rebuild). Empty
+    /// dictionaries fall back to an empty dynamic matcher — the §4 build
+    /// rejects zero patterns, an empty epoch is still a valid epoch.
+    pub fn build_static(
+        ctx: &Ctx,
+        epoch: u64,
+        patterns: Vec<Vec<Sym>>,
+    ) -> Result<Self, BuildError> {
+        if patterns.is_empty() {
+            let mut s = Self::build_empty(epoch);
+            s.path = SnapshotPath::FullRebuild;
+            return Ok(s);
+        }
+        let m = StaticMatcher::build(ctx, &patterns)?;
+        Ok(Snapshot {
+            epoch,
+            lens: patterns.iter().map(|p| p.len() as u32).collect(),
+            chains: chains_of(&patterns),
+            max_len: patterns.iter().map(Vec::len).max().unwrap_or(0),
+            patterns: Some(patterns),
+            inner: SnapInner::Static(Arc::new(m)),
+            path: SnapshotPath::FullRebuild,
+        })
+    }
+
+    /// Freeze a clone of the store's dynamic matcher as the incremental-path
+    /// snapshot. `native` gives the dynamic matcher's slot id for each
+    /// canonical position.
+    pub fn from_dynamic(
+        epoch: u64,
+        m: DynamicMatcher,
+        patterns: Vec<Vec<Sym>>,
+        native: &[PatId],
+    ) -> Self {
+        debug_assert_eq!(patterns.len(), native.len());
+        let remap: FxHashMap<PatId, u32> = native
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i as u32))
+            .collect();
+        Snapshot {
+            epoch,
+            lens: patterns.iter().map(|p| p.len() as u32).collect(),
+            chains: chains_of(&patterns),
+            max_len: patterns.iter().map(Vec::len).max().unwrap_or(0),
+            patterns: Some(patterns),
+            inner: SnapInner::Dynamic {
+                m: Box::new(m),
+                remap,
+            },
+            path: SnapshotPath::Incremental,
+        }
+    }
+
+    /// An empty epoch (no patterns; matches nothing).
+    pub fn build_empty(epoch: u64) -> Self {
+        Snapshot {
+            epoch,
+            lens: Vec::new(),
+            patterns: Some(Vec::new()),
+            chains: Vec::new(),
+            max_len: 0,
+            inner: SnapInner::Dynamic {
+                m: Box::new(DynamicMatcher::new()),
+                remap: FxHashMap::default(),
+            },
+            path: SnapshotPath::Incremental,
+        }
+    }
+
+    /// Wrap a prebuilt static matcher (e.g. a loaded `PDM1` index) as
+    /// epoch `epoch`. Pattern texts are unknown, so the snapshot cannot be
+    /// serialized, but matching and all-matches expansion work — the
+    /// chains come from the static tables.
+    pub fn from_static(epoch: u64, m: Arc<StaticMatcher>) -> Self {
+        let chains = pdm_core::allmatches::pattern_chains(&m).chain;
+        let k = m.pattern_count();
+        Snapshot {
+            epoch,
+            lens: (0..k as PatId).map(|p| m.pattern_len(p)).collect(),
+            patterns: None,
+            chains,
+            max_len: m.max_pattern_len(),
+            inner: SnapInner::Static(m),
+            path: SnapshotPath::FullRebuild,
+        }
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Which rebuild path produced this snapshot.
+    pub fn path(&self) -> SnapshotPath {
+        self.path
+    }
+
+    pub fn pattern_count(&self) -> usize {
+        self.lens.len()
+    }
+
+    pub fn max_pattern_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Length of canonical pattern `p`.
+    pub fn pattern_len(&self, p: PatId) -> u32 {
+        self.lens[p as usize]
+    }
+
+    /// Canonical pattern list, if known.
+    pub fn patterns(&self) -> Option<&[Vec<Sym>]> {
+        self.patterns.as_deref()
+    }
+
+    /// The matcher backing this epoch.
+    pub fn matcher(&self) -> &dyn Matcher {
+        match &self.inner {
+            SnapInner::Static(m) => m.as_ref(),
+            SnapInner::Dynamic { m, .. } => m.as_ref(),
+        }
+    }
+
+    #[inline]
+    fn to_canon(&self, native: PatId) -> PatId {
+        match &self.inner {
+            SnapInner::Static(_) => native,
+            SnapInner::Dynamic { remap, .. } => remap[&native],
+        }
+    }
+
+    /// Every `(position, canonical pattern)` occurrence in `text`, sorted
+    /// by position then pattern id — the same contract as
+    /// [`StaticMatcher::find_all`], but canonical ids, so results are
+    /// identical whichever rebuild path produced the snapshot.
+    pub fn find_all(&self, ctx: &Ctx, text: &[Sym]) -> Vec<(usize, PatId)> {
+        if self.lens.is_empty() {
+            return Vec::new();
+        }
+        let out = self.matcher().match_text(ctx, text);
+        let mut v = Vec::new();
+        for (i, hit) in out.longest_pattern.iter().enumerate() {
+            let Some(native) = *hit else { continue };
+            let mut here: Vec<PatId> = Vec::new();
+            let mut cur = Some(self.to_canon(native));
+            while let Some(p) = cur {
+                here.push(p);
+                cur = self.chains[p as usize];
+            }
+            here.sort_unstable();
+            v.extend(here.into_iter().map(|p| (i, p)));
+        }
+        v
+    }
+
+    /// Canonical bytes: `(epoch, patterns in canonical order)` and nothing
+    /// matcher-internal. `None` if the pattern texts are unknown
+    /// ([`Snapshot::from_static`]).
+    pub fn to_bytes(&self) -> Option<Vec<u8>> {
+        Some(encode_snapshot(self.epoch, self.patterns.as_ref()?))
+    }
+
+    /// Load a serialized snapshot, rebuilding its matcher on `ctx`.
+    pub fn from_bytes(ctx: &Ctx, bytes: &[u8]) -> Result<Self, String> {
+        let mut at = 0usize;
+        let mut take = |n: usize| -> Result<&[u8], String> {
+            let s = bytes
+                .get(at..at + n)
+                .ok_or_else(|| "snapshot truncated".to_string())?;
+            at += n;
+            Ok(s)
+        };
+        if take(4)? != SNAP_MAGIC {
+            return Err("not a snapshot file (bad magic)".into());
+        }
+        let version = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        if version != SNAP_VERSION {
+            return Err(format!("unknown snapshot version {version}"));
+        }
+        let epoch = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let count = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+        let mut patterns = Vec::with_capacity(count);
+        for _ in 0..count {
+            let len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+            let raw = take(len * 4)?;
+            patterns.push(
+                raw.chunks_exact(4)
+                    .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect::<Vec<Sym>>(),
+            );
+        }
+        if at != bytes.len() {
+            return Err("trailing bytes after snapshot".into());
+        }
+        Self::build_static(ctx, epoch, patterns).map_err(|e| format!("rebuild: {e}"))
+    }
+}
+
+/// Serialize `(epoch, patterns)` in the canonical snapshot format.
+pub fn encode_snapshot(epoch: u64, patterns: &[Vec<Sym>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&SNAP_MAGIC);
+    out.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&(patterns.len() as u32).to_le_bytes());
+    for p in patterns {
+        out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        for &s in p {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_core::dict::{symbolize, to_symbols};
+
+    fn pats() -> Vec<Vec<Sym>> {
+        symbolize(&["he", "she", "his", "hers"])
+    }
+
+    #[test]
+    fn static_and_dynamic_paths_agree() {
+        let ctx = Ctx::seq();
+        let patterns = pats();
+        let s = Snapshot::build_static(&ctx, 1, patterns.clone()).unwrap();
+        let mut d = DynamicMatcher::new();
+        let native: Vec<PatId> = patterns
+            .iter()
+            .map(|p| d.insert(&ctx, p).unwrap())
+            .collect();
+        let dsnap = Snapshot::from_dynamic(1, d, patterns, &native);
+        let text = to_symbols("ushershishe");
+        assert_eq!(s.find_all(&ctx, &text), dsnap.find_all(&ctx, &text));
+        assert_eq!(s.to_bytes().unwrap(), dsnap.to_bytes().unwrap());
+    }
+
+    #[test]
+    fn find_all_matches_static_matcher() {
+        let ctx = Ctx::seq();
+        let patterns = pats();
+        let m = StaticMatcher::build(&ctx, &patterns).unwrap();
+        let snap = Snapshot::build_static(&ctx, 0, patterns).unwrap();
+        let text = to_symbols("ushers she his");
+        assert_eq!(snap.find_all(&ctx, &text), m.find_all(&ctx, &text));
+    }
+
+    #[test]
+    fn wrapped_index_matches_without_texts() {
+        let ctx = Ctx::seq();
+        let patterns = pats();
+        let m = Arc::new(StaticMatcher::build(&ctx, &patterns).unwrap());
+        let snap = Snapshot::from_static(0, m.clone());
+        let text = to_symbols("usherss");
+        assert_eq!(snap.find_all(&ctx, &text), m.find_all(&ctx, &text));
+        assert!(snap.to_bytes().is_none(), "texts unknown");
+        assert_eq!(snap.max_pattern_len(), 4);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let ctx = Ctx::seq();
+        let snap = Snapshot::build_static(&ctx, 42, pats()).unwrap();
+        let bytes = snap.to_bytes().unwrap();
+        let back = Snapshot::from_bytes(&ctx, &bytes).unwrap();
+        assert_eq!(back.epoch(), 42);
+        assert_eq!(back.to_bytes().unwrap(), bytes);
+        let text = to_symbols("ushers");
+        assert_eq!(back.find_all(&ctx, &text), snap.find_all(&ctx, &text));
+    }
+
+    #[test]
+    fn empty_epoch_matches_nothing() {
+        let ctx = Ctx::seq();
+        let snap = Snapshot::build_empty(3);
+        assert_eq!(snap.find_all(&ctx, &to_symbols("anything")), vec![]);
+        assert_eq!(snap.max_pattern_len(), 0);
+        let bytes = snap.to_bytes().unwrap();
+        let back = Snapshot::from_bytes(&ctx, &bytes).unwrap();
+        assert_eq!(back.epoch(), 3);
+        assert_eq!(back.pattern_count(), 0);
+    }
+
+    #[test]
+    fn corrupt_snapshot_rejected() {
+        let ctx = Ctx::seq();
+        assert!(Snapshot::from_bytes(&ctx, b"PDMX").is_err());
+        let mut bytes = Snapshot::build_empty(0).to_bytes().unwrap();
+        bytes.push(0);
+        assert!(Snapshot::from_bytes(&ctx, &bytes).is_err());
+    }
+}

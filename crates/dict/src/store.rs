@@ -1,0 +1,570 @@
+//! The versioned dictionary store: staged updates, committed epochs, and
+//! the incremental-vs-full rebuild policy.
+//!
+//! A [`DictStore`] owns three things:
+//!
+//! 1. the **log** (`log.rs`) — every staged add/remove is appended before
+//!    it is acknowledged, every commit seals an epoch, so a killed server
+//!    replays back to exactly its committed dictionary plus the staged
+//!    tail;
+//! 2. the **canonical state** — live patterns in first-commit order (the
+//!    canonical id space every [`Snapshot`] shares), plus a master
+//!    [`DynamicMatcher`] mirroring the committed set through the paper's
+//!    §6 insert/delete path;
+//! 3. the **rebuild policy** — a commit whose pending-update ratio stays
+//!    under the threshold publishes a frozen clone of the dynamic matcher
+//!    (Theorems 7–10: `O(λ)` table work per pattern); past the threshold
+//!    it rebuilds a `StaticMatcher` on the pool instead (Theorem 3),
+//!    which is cheaper than many incremental steps once the batch is a
+//!    sizable fraction of the dictionary. Both paths produce snapshots
+//!    with identical canonical bytes and identical match output.
+
+use crate::log::{LogError, LogFile, Record};
+use crate::snapshot::{Snapshot, SnapshotPath};
+use pdm_core::dynamic::{DynError, DynamicMatcher};
+use pdm_core::{BuildError, PatId, Sym};
+use pdm_pram::Ctx;
+use pdm_primitives::FxHashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Default pending-update ratio above which a commit takes the full-rebuild
+/// path (staged symbols / committed symbols).
+pub const DEFAULT_REBUILD_THRESHOLD: f64 = 0.25;
+
+/// Errors from store operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Empty patterns are not admissible.
+    EmptyPattern,
+    /// Staged add of a pattern already live (committed or staged).
+    AlreadyPresent,
+    /// Staged remove of a pattern not live (committed or staged).
+    NotFound,
+    /// Commit with nothing staged.
+    NothingStaged,
+    /// The log replayed to an inconsistent state (valid CRCs, bad ops).
+    Replay(String),
+    Log(LogError),
+    Build(BuildError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::EmptyPattern => write!(f, "empty pattern"),
+            StoreError::AlreadyPresent => write!(f, "pattern already present"),
+            StoreError::NotFound => write!(f, "pattern not found"),
+            StoreError::NothingStaged => write!(f, "nothing staged to commit"),
+            StoreError::Replay(m) => write!(f, "log replay: {m}"),
+            StoreError::Log(e) => write!(f, "{e}"),
+            StoreError::Build(e) => write!(f, "rebuild: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<LogError> for StoreError {
+    fn from(e: LogError) -> Self {
+        StoreError::Log(e)
+    }
+}
+
+impl From<BuildError> for StoreError {
+    fn from(e: BuildError) -> Self {
+        StoreError::Build(e)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Op {
+    Add(Vec<Sym>),
+    Remove(Vec<Sym>),
+}
+
+impl Op {
+    fn syms(&self) -> usize {
+        match self {
+            Op::Add(p) | Op::Remove(p) => p.len(),
+        }
+    }
+}
+
+/// What a commit did.
+#[derive(Debug, Clone)]
+pub struct CommitOutcome {
+    /// The newly published epoch.
+    pub epoch: u64,
+    /// Snapshot for that epoch (hand to [`crate::EpochHandle::publish`]).
+    pub snapshot: Arc<Snapshot>,
+    /// Which rebuild path ran.
+    pub path: SnapshotPath,
+    /// Number of staged ops applied.
+    pub applied: usize,
+}
+
+/// What a compaction did.
+#[derive(Debug, Clone)]
+pub struct CompactReport {
+    /// Live patterns written to the rewritten log.
+    pub live: usize,
+    /// Staged ops preserved at the tail of the rewritten log.
+    pub staged: usize,
+    /// Snapshot file emitted next to the log (`<log>.snap`).
+    pub snapshot_file: Option<PathBuf>,
+}
+
+/// Versioned dictionary store (see module docs).
+pub struct DictStore {
+    log: Option<LogFile>,
+    path: Option<PathBuf>,
+    /// Canonical slots in first-commit order; `None` = removed.
+    slots: Vec<Option<Vec<Sym>>>,
+    /// Dynamic-matcher slot id per canonical slot (parallel to `slots`).
+    native: Vec<Option<PatId>>,
+    /// Live pattern → canonical slot.
+    index: FxHashMap<Vec<Sym>, usize>,
+    staged: Vec<Op>,
+    /// Liveness overrides from staged ops (pattern → live-after-commit).
+    staged_view: FxHashMap<Vec<Sym>, bool>,
+    /// Master dynamic matcher mirroring the committed set.
+    dynm: DynamicMatcher,
+    epoch: u64,
+    threshold: f64,
+    /// Sequential context for the per-op §6 updates (each is `O(λ)`).
+    seq: Ctx,
+    /// Bytes dropped from a torn/corrupt log tail at open.
+    recovered_truncated: u64,
+}
+
+impl DictStore {
+    /// An in-memory store (no durability; tests and benches).
+    pub fn in_memory() -> Self {
+        DictStore {
+            log: None,
+            path: None,
+            slots: Vec::new(),
+            native: Vec::new(),
+            index: FxHashMap::default(),
+            staged: Vec::new(),
+            staged_view: FxHashMap::default(),
+            dynm: DynamicMatcher::new(),
+            epoch: 0,
+            threshold: DEFAULT_REBUILD_THRESHOLD,
+            seq: Ctx::seq(),
+            recovered_truncated: 0,
+        }
+    }
+
+    /// Open (or create) a store backed by the log at `path`, replaying the
+    /// committed dictionary and re-staging the uncommitted tail.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let (log, replay) = LogFile::open(path)?;
+        let mut store = Self::in_memory();
+        store.log = Some(log);
+        store.path = Some(path.to_path_buf());
+        store.recovered_truncated = replay.truncated;
+        // Split at the last commit: before = committed, after = staged.
+        let last_commit = replay
+            .records
+            .iter()
+            .rposition(|r| matches!(r, Record::Commit(_)));
+        for (i, rec) in replay.records.into_iter().enumerate() {
+            let committed = last_commit.is_some_and(|c| i <= c);
+            match rec {
+                Record::Commit(e) => store.epoch = e,
+                Record::Add(p) if committed => store
+                    .apply_add(p)
+                    .map_err(|e| StoreError::Replay(format!("record {i}: {e}")))?,
+                Record::Remove(p) if committed => {
+                    store
+                        .apply_remove(&p)
+                        .map_err(|e| StoreError::Replay(format!("record {i}: {e}")))?;
+                }
+                Record::Add(p) => store
+                    .restage(Op::Add(p))
+                    .map_err(|e| StoreError::Replay(format!("record {i}: {e}")))?,
+                Record::Remove(p) => store
+                    .restage(Op::Remove(p))
+                    .map_err(|e| StoreError::Replay(format!("record {i}: {e}")))?,
+            }
+        }
+        Ok(store)
+    }
+
+    /// Ratio of staged symbols to committed symbols above which a commit
+    /// runs a full rebuild instead of the incremental path.
+    pub fn set_rebuild_threshold(&mut self, threshold: f64) {
+        self.threshold = threshold.max(0.0);
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Live committed patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Total committed symbols.
+    pub fn symbol_count(&self) -> usize {
+        self.dynm.symbol_count()
+    }
+
+    /// Staged (uncommitted) ops.
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Bytes dropped from a torn or corrupt log tail when this store was
+    /// opened (0 = the log was clean).
+    pub fn recovered_truncated(&self) -> u64 {
+        self.recovered_truncated
+    }
+
+    /// Committed patterns in canonical order.
+    pub fn live_patterns(&self) -> Vec<Vec<Sym>> {
+        self.slots.iter().flatten().cloned().collect()
+    }
+
+    /// Is `pattern` live after every staged op commits?
+    pub fn would_be_live(&self, pattern: &[Sym]) -> bool {
+        match self.staged_view.get(pattern) {
+            Some(&live) => live,
+            None => self.index.contains_key(pattern),
+        }
+    }
+
+    /// Stage an add: validated against the post-commit view, appended to
+    /// the log, applied at the next [`DictStore::commit`].
+    pub fn stage_add(&mut self, pattern: &[Sym]) -> Result<(), StoreError> {
+        if pattern.is_empty() {
+            return Err(StoreError::EmptyPattern);
+        }
+        if self.would_be_live(pattern) {
+            return Err(StoreError::AlreadyPresent);
+        }
+        if let Some(log) = &mut self.log {
+            log.append(&Record::Add(pattern.to_vec()))?;
+            log.sync()?;
+        }
+        self.restage(Op::Add(pattern.to_vec()))
+            .expect("validated above");
+        Ok(())
+    }
+
+    /// Stage a remove (same contract as [`DictStore::stage_add`]).
+    pub fn stage_remove(&mut self, pattern: &[Sym]) -> Result<(), StoreError> {
+        if pattern.is_empty() {
+            return Err(StoreError::EmptyPattern);
+        }
+        if !self.would_be_live(pattern) {
+            return Err(StoreError::NotFound);
+        }
+        if let Some(log) = &mut self.log {
+            log.append(&Record::Remove(pattern.to_vec()))?;
+            log.sync()?;
+        }
+        self.restage(Op::Remove(pattern.to_vec()))
+            .expect("validated above");
+        Ok(())
+    }
+
+    /// Commit every staged op as a new epoch; the rebuild path is chosen
+    /// by the pending-update ratio (see module docs).
+    pub fn commit(&mut self, ctx: &Ctx) -> Result<CommitOutcome, StoreError> {
+        self.commit_with(ctx, None)
+    }
+
+    /// Commit with the rebuild path forced — the differential test uses
+    /// this to prove both paths publish identical snapshots.
+    pub fn commit_with(
+        &mut self,
+        ctx: &Ctx,
+        force: Option<SnapshotPath>,
+    ) -> Result<CommitOutcome, StoreError> {
+        if self.staged.is_empty() {
+            return Err(StoreError::NothingStaged);
+        }
+        let staged_syms: usize = self.staged.iter().map(Op::syms).sum();
+        let ratio = staged_syms as f64 / self.symbol_count().max(1) as f64;
+        let path = force.unwrap_or(if ratio > self.threshold {
+            SnapshotPath::FullRebuild
+        } else {
+            SnapshotPath::Incremental
+        });
+        let ops = std::mem::take(&mut self.staged);
+        self.staged_view.clear();
+        let applied = ops.len();
+        for op in ops {
+            // Staging validated against the post-commit view, so ops can
+            // only fail here if the log was tampered with between runs.
+            match op {
+                Op::Add(p) => self
+                    .apply_add(p)
+                    .map_err(|e| StoreError::Replay(format!("staged add: {e}")))?,
+                Op::Remove(p) => {
+                    self.apply_remove(&p)
+                        .map_err(|e| StoreError::Replay(format!("staged remove: {e}")))?;
+                }
+            }
+        }
+        self.epoch += 1;
+        if let Some(log) = &mut self.log {
+            log.append(&Record::Commit(self.epoch))?;
+            log.sync()?;
+        }
+        let snapshot = Arc::new(self.build_snapshot(ctx, path)?);
+        Ok(CommitOutcome {
+            epoch: self.epoch,
+            snapshot,
+            path,
+            applied,
+        })
+    }
+
+    /// Snapshot of the current committed dictionary (for the initial
+    /// publish at serve start; always the incremental path — nothing is
+    /// pending).
+    pub fn snapshot(&self, ctx: &Ctx) -> Result<Arc<Snapshot>, StoreError> {
+        Ok(Arc::new(
+            self.build_snapshot(ctx, SnapshotPath::Incremental)?,
+        ))
+    }
+
+    /// Rewrite the log to its minimal form — one add per live pattern in
+    /// canonical order, one commit, then the staged tail — and emit a
+    /// loadable snapshot file next to it (`<log>.snap`). Canonical slots
+    /// are densified so the rewritten log replays to this exact state.
+    pub fn compact(&mut self) -> Result<CompactReport, StoreError> {
+        // Densify tombstoned slots; canonical order (live order) unchanged.
+        let mut slots = Vec::with_capacity(self.index.len());
+        let mut native = Vec::with_capacity(self.index.len());
+        for (s, n) in self.slots.iter().zip(&self.native) {
+            if let Some(p) = s {
+                self.index.insert(p.clone(), slots.len());
+                slots.push(Some(p.clone()));
+                native.push(*n);
+            }
+        }
+        self.slots = slots;
+        self.native = native;
+
+        let report = CompactReport {
+            live: self.index.len(),
+            staged: self.staged.len(),
+            snapshot_file: self.path.as_ref().map(|p| snap_path(p)),
+        };
+        let Some(path) = self.path.clone() else {
+            return Ok(report); // in-memory: densify only
+        };
+        // Rewrite into a temp file, fsync, rename over the live log.
+        let tmp = path.with_extension("log.tmp");
+        {
+            let mut log = LogFile::create(&tmp)?;
+            for p in self.slots.iter().flatten() {
+                log.append(&Record::Add(p.clone()))?;
+            }
+            log.append(&Record::Commit(self.epoch))?;
+            for op in &self.staged {
+                let rec = match op {
+                    Op::Add(p) => Record::Add(p.clone()),
+                    Op::Remove(p) => Record::Remove(p.clone()),
+                };
+                log.append(&rec)?;
+            }
+            log.sync()?;
+        }
+        self.log = None; // close before replacing (Windows-friendly habit)
+        std::fs::rename(&tmp, &path).map_err(LogError::Io)?;
+        let (log, _) = LogFile::open(&path)?;
+        self.log = Some(log);
+        // Emit the loadable snapshot beside the log.
+        let bytes = crate::snapshot::encode_snapshot(self.epoch, &self.live_patterns());
+        std::fs::write(snap_path(&path), bytes).map_err(LogError::Io)?;
+        Ok(report)
+    }
+
+    // ---- internals ---------------------------------------------------------
+
+    fn restage(&mut self, op: Op) -> Result<(), StoreError> {
+        let (pattern, live) = match &op {
+            Op::Add(p) => (p, true),
+            Op::Remove(p) => (p, false),
+        };
+        // Replayed staged tails re-validate; direct staging pre-validated.
+        if live && self.would_be_live(pattern) {
+            return Err(StoreError::AlreadyPresent);
+        }
+        if !live && !self.would_be_live(pattern) {
+            return Err(StoreError::NotFound);
+        }
+        self.staged_view.insert(pattern.clone(), live);
+        self.staged.push(op);
+        Ok(())
+    }
+
+    fn apply_add(&mut self, pattern: Vec<Sym>) -> Result<(), StoreError> {
+        if self.index.contains_key(&pattern) {
+            return Err(StoreError::AlreadyPresent);
+        }
+        let nat = self.dynm.insert(&self.seq, &pattern).map_err(dyn_err)?;
+        self.index.insert(pattern.clone(), self.slots.len());
+        self.slots.push(Some(pattern));
+        self.native.push(Some(nat));
+        Ok(())
+    }
+
+    fn apply_remove(&mut self, pattern: &[Sym]) -> Result<(), StoreError> {
+        let slot = self.index.remove(pattern).ok_or(StoreError::NotFound)?;
+        self.dynm.delete(&self.seq, pattern).map_err(dyn_err)?;
+        self.slots[slot] = None;
+        self.native[slot] = None;
+        Ok(())
+    }
+
+    fn build_snapshot(&self, ctx: &Ctx, path: SnapshotPath) -> Result<Snapshot, StoreError> {
+        let mut patterns = Vec::with_capacity(self.index.len());
+        let mut native = Vec::with_capacity(self.index.len());
+        for (s, n) in self.slots.iter().zip(&self.native) {
+            if let Some(p) = s {
+                patterns.push(p.clone());
+                native.push(n.expect("live slot has a native id"));
+            }
+        }
+        Ok(match path {
+            SnapshotPath::FullRebuild => Snapshot::build_static(ctx, self.epoch, patterns)?,
+            SnapshotPath::Incremental => {
+                Snapshot::from_dynamic(self.epoch, self.dynm.clone(), patterns, &native)
+            }
+        })
+    }
+}
+
+fn dyn_err(e: DynError) -> StoreError {
+    match e {
+        DynError::EmptyPattern => StoreError::EmptyPattern,
+        DynError::AlreadyPresent(_) => StoreError::AlreadyPresent,
+        DynError::NotFound => StoreError::NotFound,
+    }
+}
+
+/// The snapshot file emitted by compaction, next to the log.
+pub fn snap_path(log: &Path) -> PathBuf {
+    let mut os = log.as_os_str().to_owned();
+    os.push(".snap");
+    PathBuf::from(os)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_core::dict::{symbolize, to_symbols};
+
+    fn add_all(store: &mut DictStore, pats: &[&str]) {
+        for p in symbolize(pats) {
+            store.stage_add(&p).unwrap();
+        }
+    }
+
+    #[test]
+    fn stage_validation() {
+        let mut s = DictStore::in_memory();
+        assert!(matches!(s.stage_add(&[]), Err(StoreError::EmptyPattern)));
+        s.stage_add(&to_symbols("ab")).unwrap();
+        assert!(matches!(
+            s.stage_add(&to_symbols("ab")),
+            Err(StoreError::AlreadyPresent)
+        ));
+        assert!(matches!(
+            s.stage_remove(&to_symbols("cd")),
+            Err(StoreError::NotFound)
+        ));
+        // Staged remove of a staged add is fine; then the add is free again.
+        s.stage_remove(&to_symbols("ab")).unwrap();
+        s.stage_add(&to_symbols("ab")).unwrap();
+        assert_eq!(s.staged_len(), 3);
+    }
+
+    #[test]
+    fn commit_publishes_epochs() {
+        let ctx = Ctx::seq();
+        let mut s = DictStore::in_memory();
+        assert!(matches!(s.commit(&ctx), Err(StoreError::NothingStaged)));
+        add_all(&mut s, &["he", "she"]);
+        let out = s.commit(&ctx).unwrap();
+        assert_eq!(out.epoch, 1);
+        assert_eq!(out.applied, 2);
+        assert_eq!(out.snapshot.pattern_count(), 2);
+        s.stage_remove(&to_symbols("he")).unwrap();
+        let out = s.commit(&ctx).unwrap();
+        assert_eq!(out.epoch, 2);
+        assert_eq!(out.snapshot.pattern_count(), 1);
+        assert_eq!(s.pattern_count(), 1);
+    }
+
+    #[test]
+    fn rebuild_policy_crosses_threshold() {
+        let ctx = Ctx::seq();
+        let mut s = DictStore::in_memory();
+        add_all(&mut s, &["aaaa", "bbbb", "cccc", "dddd"]);
+        // Bootstrap commit: ratio is huge (empty dictionary) → full.
+        assert_eq!(s.commit(&ctx).unwrap().path, SnapshotPath::FullRebuild);
+        // One small add against 16 symbols: ratio 0.25 is not > 0.25.
+        s.stage_add(&to_symbols("efgh")).unwrap();
+        assert_eq!(s.commit(&ctx).unwrap().path, SnapshotPath::Incremental);
+        // A batch bigger than a quarter of the dictionary → full rebuild.
+        add_all(&mut s, &["iiii", "jjjj"]);
+        assert_eq!(s.commit(&ctx).unwrap().path, SnapshotPath::FullRebuild);
+    }
+
+    #[test]
+    fn incremental_and_full_snapshots_identical() {
+        let ctx = Ctx::seq();
+        let mut a = DictStore::in_memory();
+        let mut b = DictStore::in_memory();
+        for s in [&mut a, &mut b] {
+            add_all(s, &["he", "she", "his", "hers"]);
+            s.commit(&ctx).unwrap();
+            s.stage_remove(&to_symbols("his")).unwrap();
+            s.stage_add(&to_symbols("her")).unwrap();
+        }
+        let inc = a
+            .commit_with(&ctx, Some(SnapshotPath::Incremental))
+            .unwrap();
+        let full = b
+            .commit_with(&ctx, Some(SnapshotPath::FullRebuild))
+            .unwrap();
+        assert_eq!(inc.path, SnapshotPath::Incremental);
+        assert_eq!(full.path, SnapshotPath::FullRebuild);
+        assert_eq!(
+            inc.snapshot.to_bytes().unwrap(),
+            full.snapshot.to_bytes().unwrap(),
+            "canonical bytes must not depend on the rebuild path"
+        );
+        let text = to_symbols("usherssheher");
+        assert_eq!(
+            inc.snapshot.find_all(&ctx, &text),
+            full.snapshot.find_all(&ctx, &text),
+            "match output must not depend on the rebuild path"
+        );
+    }
+
+    #[test]
+    fn canonical_order_is_first_commit_order() {
+        let ctx = Ctx::seq();
+        let mut s = DictStore::in_memory();
+        add_all(&mut s, &["bb", "aa", "cc"]);
+        s.commit(&ctx).unwrap();
+        s.stage_remove(&to_symbols("aa")).unwrap();
+        s.stage_add(&to_symbols("dd")).unwrap();
+        let out = s.commit(&ctx).unwrap();
+        // "aa" tombstoned, "dd" appended: canonical = [bb, cc, dd].
+        assert_eq!(
+            out.snapshot.patterns().unwrap(),
+            &symbolize(&["bb", "cc", "dd"])[..]
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Kill−restart durability: a store reopened on its log recovers the exact
+//! committed dictionary (and the staged tail), through torn tails and
+//! through compaction.
+
+use pdm_core::dict::{symbolize, to_symbols};
+use pdm_dict::{DictStore, Snapshot};
+use pdm_pram::Ctx;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn temp_log(name: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "pdm-dict-{}-{}-{}",
+        name,
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("dict.log")
+}
+
+#[test]
+fn restart_recovers_committed_dictionary() {
+    let ctx = Ctx::seq();
+    let path = temp_log("restart");
+    {
+        let mut store = DictStore::open(&path).unwrap();
+        for p in symbolize(&["he", "she", "his", "hers"]) {
+            store.stage_add(&p).unwrap();
+        }
+        store.commit(&ctx).unwrap();
+        store.stage_remove(&to_symbols("his")).unwrap();
+        store.commit(&ctx).unwrap();
+        // Staged but never committed: must come back staged, not live.
+        store.stage_add(&to_symbols("uncommitted")).unwrap();
+        // "Kill": drop without any graceful close.
+    }
+    let store = DictStore::open(&path).unwrap();
+    assert_eq!(store.epoch(), 2);
+    assert_eq!(store.live_patterns(), symbolize(&["he", "she", "hers"]));
+    assert_eq!(store.staged_len(), 1, "staged tail survives restart");
+    assert_eq!(store.recovered_truncated(), 0);
+}
+
+#[test]
+fn torn_tail_is_truncated_on_reopen() {
+    let ctx = Ctx::seq();
+    let path = temp_log("torn");
+    {
+        let mut store = DictStore::open(&path).unwrap();
+        store.stage_add(&to_symbols("keep")).unwrap();
+        store.commit(&ctx).unwrap();
+        store.stage_add(&to_symbols("torn")).unwrap();
+    }
+    // Simulate a crash mid-append: chop bytes off the last record.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+    let store = DictStore::open(&path).unwrap();
+    assert_eq!(store.live_patterns(), symbolize(&["keep"]));
+    assert_eq!(store.staged_len(), 0, "torn staged record dropped");
+    assert!(store.recovered_truncated() > 0);
+    // The truncation must leave an appendable log.
+    let mut store = store;
+    store.stage_add(&to_symbols("after")).unwrap();
+    store.commit(&ctx).unwrap();
+    let store = DictStore::open(&path).unwrap();
+    assert_eq!(store.live_patterns(), symbolize(&["keep", "after"]));
+}
+
+#[test]
+fn compaction_roundtrip_preserves_state_and_emits_snapshot() {
+    let ctx = Ctx::seq();
+    let path = temp_log("compact");
+    let (before_live, before_epoch, before_bytes) = {
+        let mut store = DictStore::open(&path).unwrap();
+        for p in symbolize(&["alpha", "beta", "gamma", "delta"]) {
+            store.stage_add(&p).unwrap();
+        }
+        store.commit(&ctx).unwrap();
+        store.stage_remove(&to_symbols("beta")).unwrap();
+        store.stage_remove(&to_symbols("delta")).unwrap();
+        let out = store.commit(&ctx).unwrap();
+        store.stage_add(&to_symbols("staged-tail")).unwrap();
+        let report = store.compact().unwrap();
+        assert_eq!(report.live, 2);
+        assert_eq!(report.staged, 1);
+        (
+            store.live_patterns(),
+            store.epoch(),
+            out.snapshot.to_bytes().unwrap(),
+        )
+    };
+    // Replay of the compacted log reproduces the exact state.
+    let store = DictStore::open(&path).unwrap();
+    assert_eq!(store.live_patterns(), before_live);
+    assert_eq!(store.epoch(), before_epoch);
+    assert_eq!(store.staged_len(), 1);
+    // And the compacted log is smaller than the op history it replaced.
+    let snap_file = pdm_dict::store::snap_path(&path);
+    let snap_bytes = std::fs::read(&snap_file).unwrap();
+    let snap = Snapshot::from_bytes(&ctx, &snap_bytes).unwrap();
+    assert_eq!(snap.epoch(), before_epoch);
+    assert_eq!(
+        snap.to_bytes().unwrap(),
+        before_bytes,
+        "snapshot file is canonical for the committed set"
+    );
+    // The loadable snapshot actually matches.
+    let hits = snap.find_all(&ctx, &to_symbols("xxalphagamma"));
+    assert_eq!(hits.len(), 2);
+}
+
+#[test]
+fn compaction_then_further_commits_replay() {
+    let ctx = Ctx::seq();
+    let path = temp_log("compact-then-append");
+    {
+        let mut store = DictStore::open(&path).unwrap();
+        for i in 0..20u32 {
+            store.stage_add(&[100 + i, 200 + i, 300 + i]).unwrap();
+        }
+        store.commit(&ctx).unwrap();
+        for i in 0..15u32 {
+            store.stage_remove(&[100 + i, 200 + i, 300 + i]).unwrap();
+        }
+        store.commit(&ctx).unwrap();
+        store.compact().unwrap();
+        // Appending after compaction must replay cleanly too.
+        store.stage_add(&to_symbols("post-compact")).unwrap();
+        store.commit(&ctx).unwrap();
+    }
+    let store = DictStore::open(&path).unwrap();
+    assert_eq!(store.epoch(), 3);
+    assert_eq!(store.pattern_count(), 6);
+    assert!(store.live_patterns().contains(&to_symbols("post-compact")));
+}

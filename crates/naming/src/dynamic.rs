@@ -21,7 +21,9 @@ use std::sync::Arc;
 
 /// Growable pair→name table with reference counts, for the dynamic
 /// dictionary. Single-writer (the dictionary owner); matching only reads.
-#[derive(Debug)]
+/// Cloning copies the map but shares the pool, so a clone can keep
+/// allocating names without colliding with the original.
+#[derive(Debug, Clone)]
 pub struct DynTable {
     map: PairMap,
     pool: Arc<NamePool>,
@@ -82,7 +84,7 @@ impl DynTable {
 ///
 /// `any` returns an arbitrary live stamp (the arbitrary-CRCW answer);
 /// `remove` deletes one occurrence of a specific stamp.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct StampList {
     map: FxHashMap<u32, Vec<u32>>,
 }

@@ -1,0 +1,126 @@
+//! Dictionary administration: the bridge between the wire protocol's
+//! `DICT_*` frames and a [`DictStore`] + [`EpochHandle`] pair.
+//!
+//! One [`DictAdmin`] is shared by every connection of a versioned server.
+//! Staging and committing serialize on the store mutex (updates are rare
+//! and cheap compared to matching); **publishing** the committed snapshot
+//! is a pointer swap on the epoch handle, so streaming sessions never
+//! block on a rebuild — they adopt the new epoch at their next chunk
+//! boundary.
+
+use std::sync::{Arc, Mutex};
+
+use pdm_core::dict::Sym;
+use pdm_dict::{CommitOutcome, DictStore, EpochHandle, SnapshotPath, StoreError};
+use pdm_pram::{CostModel, Ctx, ExecPolicy};
+
+use crate::metrics::GlobalMetrics;
+use crate::proto::DictInfo;
+
+/// Shared admin state for a versioned server (see module docs).
+pub struct DictAdmin {
+    store: Mutex<DictStore>,
+    handle: Arc<EpochHandle>,
+    /// Context for commit-time rebuilds (the full-rebuild path runs the
+    /// parallel build on this policy's pool).
+    ctx: Ctx,
+}
+
+impl DictAdmin {
+    /// Wrap a store, publishing its current committed dictionary as the
+    /// initial epoch. `exec` is the execution policy for commit-time
+    /// rebuilds.
+    pub fn new(store: DictStore, exec: ExecPolicy) -> Result<Arc<Self>, StoreError> {
+        let ctx = Ctx {
+            exec,
+            cost: Arc::new(CostModel::new()),
+        };
+        let handle = EpochHandle::new(store.snapshot(&ctx)?);
+        Ok(Arc::new(DictAdmin {
+            store: Mutex::new(store),
+            handle,
+            ctx,
+        }))
+    }
+
+    /// The epoch slot to serve from (hand to
+    /// [`crate::ShardedService::start_versioned`]).
+    pub fn handle(&self) -> Arc<EpochHandle> {
+        Arc::clone(&self.handle)
+    }
+
+    /// Stage a pattern add; returns the current (unchanged) epoch.
+    pub fn add(&self, pattern: &[Sym]) -> Result<u64, StoreError> {
+        let mut store = self.store.lock().expect("admin store poisoned");
+        store.stage_add(pattern)?;
+        Ok(store.epoch())
+    }
+
+    /// Stage a pattern remove; returns the current (unchanged) epoch.
+    pub fn remove(&self, pattern: &[Sym]) -> Result<u64, StoreError> {
+        let mut store = self.store.lock().expect("admin store poisoned");
+        store.stage_remove(pattern)?;
+        Ok(store.epoch())
+    }
+
+    /// Commit every staged op as a new epoch and publish it. Sessions pick
+    /// the new snapshot up at their next chunk boundary; `global` records
+    /// the swap and which rebuild path ran.
+    pub fn commit(&self, global: &GlobalMetrics) -> Result<CommitOutcome, StoreError> {
+        let mut store = self.store.lock().expect("admin store poisoned");
+        let out = store.commit(&self.ctx)?;
+        self.handle.publish(Arc::clone(&out.snapshot));
+        global.epoch_swapped(out.path == SnapshotPath::Incremental);
+        Ok(out)
+    }
+
+    /// Current dictionary state (committed epoch, live/staged counts, `m`).
+    pub fn info(&self) -> DictInfo {
+        let store = self.store.lock().expect("admin store poisoned");
+        DictInfo {
+            epoch: store.epoch(),
+            patterns: store.pattern_count() as u32,
+            staged: store.staged_len() as u32,
+            max_pattern_len: self.handle.load().max_pattern_len() as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_core::dict::to_symbols;
+
+    fn admin() -> Arc<DictAdmin> {
+        DictAdmin::new(DictStore::in_memory(), ExecPolicy::Seq).unwrap()
+    }
+
+    #[test]
+    fn commit_publishes_and_counts() {
+        let a = admin();
+        let g = GlobalMetrics::default();
+        assert_eq!(a.handle().epoch(), 0);
+        a.add(&to_symbols("he")).unwrap();
+        a.add(&to_symbols("she")).unwrap();
+        let out = a.commit(&g).unwrap();
+        assert_eq!(out.epoch, 1);
+        assert_eq!(a.handle().epoch(), 1, "commit published the snapshot");
+        let s = g.snapshot();
+        assert_eq!(s.epoch_swaps, 1);
+        assert_eq!(s.dict_applies_incremental + s.dict_rebuilds_full, 1);
+        let info = a.info();
+        assert_eq!((info.epoch, info.patterns, info.staged), (1, 2, 0));
+        assert_eq!(info.max_pattern_len, 3);
+    }
+
+    #[test]
+    fn errors_do_not_poison_the_store() {
+        let a = admin();
+        let g = GlobalMetrics::default();
+        assert!(a.remove(&to_symbols("missing")).is_err());
+        assert!(a.commit(&g).is_err(), "nothing staged");
+        a.add(&to_symbols("ok")).unwrap();
+        assert!(a.commit(&g).is_ok());
+        assert_eq!(a.info().patterns, 1);
+    }
+}

@@ -40,9 +40,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::proto::{
-    decode_ack, decode_hello_ack, decode_match, decode_summary, encode_hello, read_frame,
-    write_frame, Hello, MAX_FRAME, TAG_ACK, TAG_CHUNK, TAG_CLOSE, TAG_ERROR, TAG_HELLO,
-    TAG_HELLO_ACK, TAG_MATCH, TAG_SUMMARY,
+    decode_ack, decode_epoch, decode_hello_ack, decode_match, decode_summary, encode_hello,
+    read_frame, write_frame, Hello, MAX_FRAME, TAG_ACK, TAG_CHUNK, TAG_CLOSE, TAG_EPOCH, TAG_ERROR,
+    TAG_HELLO, TAG_HELLO_ACK, TAG_MATCH, TAG_SUMMARY,
 };
 use crate::stream::StreamMatch;
 
@@ -92,6 +92,8 @@ pub struct ClientStats {
     pub resent_bytes: u64,
     /// Re-found matches dropped by exactly-once dedup.
     pub duplicates_dropped: u64,
+    /// Dictionary epoch changes observed (`TAG_EPOCH` frames).
+    pub epoch_changes: u64,
 }
 
 /// Final client-side accounting from [`RetryingClient::finish`].
@@ -185,8 +187,14 @@ pub struct RetryingClient {
     sent: u64,
     /// Largest server-acked offset: every match ending ≤ here is delivered.
     frontier: u64,
-    /// Dictionary's longest pattern, from the handshake.
+    /// Dictionary's longest pattern — from the handshake, then updated by
+    /// every `TAG_EPOCH` frame, so the replay tail always covers the
+    /// *current* epoch's `m − 1` carry.
     max_pat: u32,
+    /// Last dictionary epoch announced by the server (0 until a
+    /// `TAG_EPOCH` frame arrives; matches delivered after an epoch change
+    /// were found against this epoch).
+    epoch: u64,
     /// Replay buffer: stream bytes `[tail_start, sent)`.
     tail: Vec<u8>,
     tail_start: u64,
@@ -218,6 +226,7 @@ impl RetryingClient {
             sent: 0,
             frontier: 0,
             max_pat: 0,
+            epoch: 0,
             tail: Vec::new(),
             tail_start: 0,
             recent: HashMap::new(),
@@ -232,6 +241,25 @@ impl RetryingClient {
     /// Client-side degradation counters so far.
     pub fn stats(&self) -> ClientStats {
         self.stats
+    }
+
+    /// Last dictionary epoch announced by the server (0 before any
+    /// `TAG_EPOCH` frame).
+    pub fn last_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Record a server-announced epoch change: the replay tail must now
+    /// cover the **new** epoch's `m − 1` carry, so `max_pat` follows the
+    /// epoch immediately (a shrink only lets *future* acks prune more).
+    fn note_epoch(&mut self, payload: &[u8]) {
+        if let Some(e) = decode_epoch(payload) {
+            if e.epoch != self.epoch {
+                self.epoch = e.epoch;
+                self.stats.epoch_changes += 1;
+            }
+            self.max_pat = e.max_pattern_len;
+        }
     }
 
     /// Send one chunk; returns any matches that have arrived so far
@@ -300,6 +328,7 @@ impl RetryingClient {
                                 self.frontier = self.frontier.max(a);
                             }
                         }
+                        TAG_EPOCH => self.note_epoch(&p),
                         TAG_SUMMARY => break decode_summary(&p),
                         TAG_ERROR => break None,
                         _ => {}
@@ -471,6 +500,7 @@ impl RetryingClient {
                             self.frontier = self.frontier.max(a);
                         }
                     }
+                    TAG_EPOCH => self.note_epoch(&p),
                     // Server-side session failure (e.g. worker crash): the
                     // next send/finish reconnects and resumes.
                     TAG_ERROR => {

@@ -19,6 +19,9 @@
 //! * [`hook_worker_loop`] — outside the per-chunk guard; a panic here
 //!   crashes the whole shard worker, exercising the supervisor's
 //!   respawn-and-fail-in-flight path.
+//! * [`hook_epoch_swap`] — at the chunk-boundary epoch-adoption point; a
+//!   panic here crashes the worker mid-dictionary-swap, exercising resume
+//!   across an epoch change.
 //! * [`hook_accept`] — synthesizes a transient `accept()` error (the
 //!   EMFILE shape), exercising the accept loop's capped backoff.
 //! * [`hook_conn_frame`] — before each frame read on a connection: can
@@ -48,6 +51,10 @@ pub struct FaultConfig {
     /// the supervisor respawns it and fails its in-flight sessions).
     pub worker_crash_every: u64,
     pub worker_crash_max: u64,
+    /// Panic at the Nth epoch-swap adoption point (crashes the worker
+    /// mid-swap; exercises resume across a dictionary epoch change).
+    pub swap_crash_every: u64,
+    pub swap_crash_max: u64,
     /// Synthesize an `accept()` error every Nth accept-loop pass.
     pub accept_error_every: u64,
     pub accept_error_max: u64,
@@ -68,6 +75,7 @@ pub struct FaultConfig {
 pub struct FaultCounts {
     pub worker_panics: u64,
     pub worker_crashes: u64,
+    pub swap_crashes: u64,
     pub accept_errors: u64,
     pub conn_resets: u64,
     pub read_stalls: u64,
@@ -120,6 +128,7 @@ mod imp {
         rng: Mutex<StdRng>,
         panic: Counter,
         crash: Counter,
+        swap: Counter,
         accept: Counter,
         reset: Counter,
         read_stall: Counter,
@@ -143,6 +152,7 @@ mod imp {
             cfg,
             panic: Counter::default(),
             crash: Counter::default(),
+            swap: Counter::default(),
             accept: Counter::default(),
             reset: Counter::default(),
             read_stall: Counter::default(),
@@ -163,6 +173,7 @@ mod imp {
         state().map_or(FaultCounts::default(), |s| FaultCounts {
             worker_panics: s.panic.fired.load(Ordering::SeqCst),
             worker_crashes: s.crash.fired.load(Ordering::SeqCst),
+            swap_crashes: s.swap.fired.load(Ordering::SeqCst),
             accept_errors: s.accept.fired.load(Ordering::SeqCst),
             conn_resets: s.reset.fired.load(Ordering::SeqCst),
             read_stalls: s.read_stall.fired.load(Ordering::SeqCst),
@@ -194,6 +205,14 @@ mod imp {
                 .fire(s.cfg.worker_crash_every, s.cfg.worker_crash_max)
             {
                 panic!("injected fault: worker loop crash");
+            }
+        }
+    }
+
+    pub fn hook_epoch_swap() {
+        if let Some(s) = state() {
+            if s.swap.fire(s.cfg.swap_crash_every, s.cfg.swap_crash_max) {
+                panic!("injected fault: worker crash mid-epoch-swap");
             }
         }
     }
@@ -264,6 +283,9 @@ mod imp {
 
     #[inline(always)]
     pub fn hook_worker_loop() {}
+
+    #[inline(always)]
+    pub fn hook_epoch_swap() {}
 
     #[inline(always)]
     pub fn hook_accept() -> Option<std::io::Error> {

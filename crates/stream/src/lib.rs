@@ -28,10 +28,18 @@
 //! * [`faults`] — deterministic fault injection behind the
 //!   `fault-injection` cargo feature (no-op stubs otherwise), driving the
 //!   chaos test suite.
+//! * [`admin`] — live dictionary updates: a versioned server
+//!   (`Server::bind_versioned`) wraps a `pdm_dict::DictStore` in a
+//!   [`DictAdmin`], accepts `DICT_ADD`/`DICT_REMOVE`/`DICT_COMMIT` frames
+//!   while sessions stream, and publishes each commit as a new epoch that
+//!   sessions adopt at chunk boundaries (matches are exact w.r.t. the
+//!   epoch their chunk started in; see `DESIGN.md` §10).
 //!
 //! The dictionary side stays exactly the paper's machinery; this crate
-//! never inspects the tables beyond the public `StaticMatcher` API.
+//! never inspects the tables beyond the public `StaticMatcher` /
+//! `pdm_dict::Snapshot` APIs.
 
+pub mod admin;
 pub mod client;
 pub mod faults;
 pub mod metrics;
@@ -40,6 +48,7 @@ pub mod server;
 pub mod service;
 pub mod stream;
 
+pub use admin::DictAdmin;
 pub use client::{ClientStats, ClientSummary, RetryConfig, RetryingClient};
 pub use metrics::{GlobalMetrics, GlobalSnapshot, SessionCounters, SessionSnapshot};
 pub use server::{Server, ServerConfig};
@@ -47,4 +56,4 @@ pub use service::{
     Event, PushError, ServiceConfig, Session, SessionOptions, SessionSummary, ShardedService,
     TryPushError,
 };
-pub use stream::{StreamMatch, StreamMatcher};
+pub use stream::{StreamDict, StreamMatch, StreamMatcher};

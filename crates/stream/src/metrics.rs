@@ -74,6 +74,10 @@ pub struct GlobalMetrics {
     worker_restarts: AtomicU64,
     sessions_failed: AtomicU64,
     drain_forced: AtomicU64,
+    epoch_swaps: AtomicU64,
+    epoch_adoptions: AtomicU64,
+    dict_applies_incremental: AtomicU64,
+    dict_rebuilds_full: AtomicU64,
 }
 
 /// A point-in-time copy of [`GlobalMetrics`].
@@ -94,6 +98,14 @@ pub struct GlobalSnapshot {
     pub worker_restarts: u64,
     pub sessions_failed: u64,
     pub drain_forced: u64,
+    /// Dictionary epochs published (swaps visible to new chunks).
+    pub epoch_swaps: u64,
+    /// Session-level adoptions of a published epoch at a chunk boundary.
+    pub epoch_adoptions: u64,
+    /// Commits that went through the incremental (§6 dynamic) path.
+    pub dict_applies_incremental: u64,
+    /// Commits that ran a full parallel rebuild.
+    pub dict_rebuilds_full: u64,
 }
 
 impl GlobalMetrics {
@@ -150,6 +162,23 @@ impl GlobalMetrics {
         self.drain_forced.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A new dictionary epoch was published; `incremental` names the
+    /// rebuild path its commit took.
+    pub fn epoch_swapped(&self, incremental: bool) {
+        self.epoch_swaps.fetch_add(1, Ordering::Relaxed);
+        if incremental {
+            self.dict_applies_incremental
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.dict_rebuilds_full.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A session adopted a published epoch at a chunk boundary.
+    pub fn epoch_adopted(&self) {
+        self.epoch_adoptions.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A chunk entered a shard queue.
     pub fn enqueued(&self) {
         let d = self.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
@@ -178,6 +207,10 @@ impl GlobalMetrics {
             worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
             sessions_failed: self.sessions_failed.load(Ordering::Relaxed),
             drain_forced: self.drain_forced.load(Ordering::Relaxed),
+            epoch_swaps: self.epoch_swaps.load(Ordering::Relaxed),
+            epoch_adoptions: self.epoch_adoptions.load(Ordering::Relaxed),
+            dict_applies_incremental: self.dict_applies_incremental.load(Ordering::Relaxed),
+            dict_rebuilds_full: self.dict_rebuilds_full.load(Ordering::Relaxed),
         }
     }
 }

@@ -11,6 +11,10 @@
 //!   `resume_offset` instead of 0) and progress acks (a [`TAG_ACK`] after
 //!   every `ack_every` chunks; 0 disables acks). Plain clients that skip
 //!   the handshake get the original PR-1 protocol unchanged.
+//! * [`TAG_DICT_ADD`] / [`TAG_DICT_REMOVE`] / [`TAG_DICT_COMMIT`] /
+//!   [`TAG_DICT_INFO`] — live dictionary administration (servers started
+//!   with a versioned dictionary only); each gets a [`TAG_DICT_OK`],
+//!   [`TAG_DICT_ERR`] or [`TAG_DICT_INFO_RESP`] reply.
 //!
 //! Server → client:
 //! * [`TAG_MATCH`] — payload `[start: u64 LE][pat: u32 LE][len: u32 LE]`;
@@ -24,6 +28,8 @@
 //! * [`TAG_ACK`] — `[consumed: u64 LE]`: every match whose end offset is
 //!   ≤ `consumed` has already been written to this connection. The
 //!   reconnecting client's exactly-once resume logic builds on this.
+//! * [`TAG_EPOCH`] — the session adopted a new dictionary epoch; matches
+//!   after this frame were found against it.
 //!
 //! One TCP connection = one session. Matches stream back while the client
 //! is still sending, so the client must read concurrently (or rely on OS
@@ -43,6 +49,34 @@ pub const TAG_SUMMARY: u8 = 0x82;
 pub const TAG_ERROR: u8 = 0x83;
 pub const TAG_HELLO_ACK: u8 = 0x84;
 pub const TAG_ACK: u8 = 0x85;
+
+// Dictionary administration (client → server). Valid on any connection at
+// any frame boundary; the payload of ADD/REMOVE is the pattern's raw bytes
+// (one symbol per byte, like TAG_CHUNK).
+/// Stage a pattern add; replied with [`TAG_DICT_OK`]/[`TAG_DICT_ERR`].
+pub const TAG_DICT_ADD: u8 = 0x10;
+/// Stage a pattern remove; replied with [`TAG_DICT_OK`]/[`TAG_DICT_ERR`].
+pub const TAG_DICT_REMOVE: u8 = 0x11;
+/// Commit every staged op as a new epoch and swap it in (empty payload).
+pub const TAG_DICT_COMMIT: u8 = 0x12;
+/// Request a [`TAG_DICT_INFO_RESP`] (empty payload).
+pub const TAG_DICT_INFO: u8 = 0x13;
+
+// Dictionary administration (server → client).
+/// Admin op succeeded: `[epoch: u64 LE]` (the epoch after the op).
+pub const TAG_DICT_OK: u8 = 0x90;
+/// Admin op failed: UTF-8 message. The connection stays usable.
+pub const TAG_DICT_ERR: u8 = 0x91;
+/// Reply to [`TAG_DICT_INFO`]; see [`DictInfo`].
+pub const TAG_DICT_INFO_RESP: u8 = 0x92;
+
+/// Server → client, streaming sessions only: the session adopted a new
+/// dictionary epoch at a chunk boundary. Payload is
+/// `[epoch: u64 LE][max_pattern_len: u32 LE]`; every `TAG_MATCH` after
+/// this frame (until the next one) was found against the named epoch, and
+/// a resuming client must size its replay tail to the new
+/// `max_pattern_len`.
+pub const TAG_EPOCH: u8 = 0x86;
 
 /// Reject frames larger than this (64 MiB) — a corrupt length prefix must
 /// not trigger a giant allocation.
@@ -184,6 +218,64 @@ pub fn decode_ack(p: &[u8]) -> Option<u64> {
     Some(u64::from_le_bytes(p.try_into().ok()?))
 }
 
+/// Decoded [`TAG_EPOCH`] payload: an epoch change observed by a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EpochChange {
+    pub epoch: u64,
+    pub max_pattern_len: u32,
+}
+
+pub fn encode_epoch(e: &EpochChange) -> [u8; 12] {
+    let mut b = [0u8; 12];
+    b[..8].copy_from_slice(&e.epoch.to_le_bytes());
+    b[8..].copy_from_slice(&e.max_pattern_len.to_le_bytes());
+    b
+}
+
+pub fn decode_epoch(p: &[u8]) -> Option<EpochChange> {
+    if p.len() != 12 {
+        return None;
+    }
+    Some(EpochChange {
+        epoch: u64::from_le_bytes(p[..8].try_into().ok()?),
+        max_pattern_len: u32::from_le_bytes(p[8..].try_into().ok()?),
+    })
+}
+
+/// Decoded [`TAG_DICT_INFO_RESP`] payload: the served dictionary's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DictInfo {
+    /// Current committed epoch.
+    pub epoch: u64,
+    /// Live committed patterns.
+    pub patterns: u32,
+    /// Staged (uncommitted) ops.
+    pub staged: u32,
+    /// Longest pattern in the current epoch.
+    pub max_pattern_len: u32,
+}
+
+pub fn encode_dict_info(i: &DictInfo) -> [u8; 20] {
+    let mut b = [0u8; 20];
+    b[..8].copy_from_slice(&i.epoch.to_le_bytes());
+    b[8..12].copy_from_slice(&i.patterns.to_le_bytes());
+    b[12..16].copy_from_slice(&i.staged.to_le_bytes());
+    b[16..].copy_from_slice(&i.max_pattern_len.to_le_bytes());
+    b
+}
+
+pub fn decode_dict_info(p: &[u8]) -> Option<DictInfo> {
+    if p.len() != 20 {
+        return None;
+    }
+    Some(DictInfo {
+        epoch: u64::from_le_bytes(p[..8].try_into().ok()?),
+        patterns: u32::from_le_bytes(p[8..12].try_into().ok()?),
+        staged: u32::from_le_bytes(p[12..16].try_into().ok()?),
+        max_pattern_len: u32::from_le_bytes(p[16..].try_into().ok()?),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +344,24 @@ mod tests {
         let err = read_frame(&mut &[TAG_CHUNK][..]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
         assert!(err.to_string().contains("truncated frame"), "{err}");
+    }
+
+    #[test]
+    fn epoch_and_dict_info_roundtrip() {
+        let e = EpochChange {
+            epoch: 1 << 50,
+            max_pattern_len: 9,
+        };
+        assert_eq!(decode_epoch(&encode_epoch(&e)), Some(e));
+        assert_eq!(decode_epoch(b"short"), None);
+        let i = DictInfo {
+            epoch: 7,
+            patterns: 100,
+            staged: 3,
+            max_pattern_len: 12,
+        };
+        assert_eq!(decode_dict_info(&encode_dict_info(&i)), Some(i));
+        assert_eq!(decode_dict_info(&[0u8; 19]), None);
     }
 
     #[test]

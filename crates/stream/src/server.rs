@@ -32,11 +32,15 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use pdm_core::static1d::StaticMatcher;
+use pdm_dict::DictStore;
 
+use crate::admin::DictAdmin;
 use crate::faults::{self, ConnFault};
 use crate::proto::{
-    decode_hello, encode_ack, encode_hello_ack, encode_match, encode_summary, write_frame, TAG_ACK,
-    TAG_CHUNK, TAG_CLOSE, TAG_ERROR, TAG_HELLO, TAG_HELLO_ACK, TAG_MATCH, TAG_SUMMARY,
+    decode_hello, encode_ack, encode_dict_info, encode_epoch, encode_hello_ack, encode_match,
+    encode_summary, write_frame, EpochChange, TAG_ACK, TAG_CHUNK, TAG_CLOSE, TAG_DICT_ADD,
+    TAG_DICT_COMMIT, TAG_DICT_ERR, TAG_DICT_INFO, TAG_DICT_INFO_RESP, TAG_DICT_OK, TAG_DICT_REMOVE,
+    TAG_EPOCH, TAG_ERROR, TAG_HELLO, TAG_HELLO_ACK, TAG_MATCH, TAG_SUMMARY,
 };
 use crate::service::{Event, ServiceConfig, SessionOptions, ShardedService};
 
@@ -78,6 +82,7 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     service: Arc<ShardedService>,
+    admin: Option<Arc<DictAdmin>>,
     live: Arc<AtomicUsize>,
     conns: ConnRegistry,
     drain_deadline: Duration,
@@ -85,10 +90,38 @@ pub struct Server {
 
 impl Server {
     /// Bind a listener (use port 0 for an ephemeral port) and start
-    /// accepting connections on a background thread.
+    /// accepting connections on a background thread. The dictionary is
+    /// fixed; `DICT_*` admin frames are rejected.
     pub fn bind(
         addr: impl ToSocketAddrs,
         dict: Arc<StaticMatcher>,
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
+        let service = Arc::new(ShardedService::start(dict, cfg.service.clone()));
+        Self::bind_inner(addr, service, None, cfg)
+    }
+
+    /// Bind with a live-updatable dictionary: the store's committed
+    /// dictionary is published as the initial epoch, and `DICT_*` admin
+    /// frames stage, commit, and inspect updates while sessions stream.
+    pub fn bind_versioned(
+        addr: impl ToSocketAddrs,
+        store: DictStore,
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
+        let admin = DictAdmin::new(store, cfg.service.exec.clone())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let service = Arc::new(ShardedService::start_versioned(
+            admin.handle(),
+            cfg.service.clone(),
+        ));
+        Self::bind_inner(addr, service, Some(admin), cfg)
+    }
+
+    fn bind_inner(
+        addr: impl ToSocketAddrs,
+        service: Arc<ShardedService>,
+        admin: Option<Arc<DictAdmin>>,
         cfg: ServerConfig,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
@@ -96,18 +129,18 @@ impl Server {
         // Non-blocking accept so the loop can observe the stop flag.
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let service = Arc::new(ShardedService::start(dict, cfg.service.clone()));
         let live = Arc::new(AtomicUsize::new(0));
         let conns: ConnRegistry = Arc::new(Mutex::new(HashMap::new()));
         let accept = {
             let stop = Arc::clone(&stop);
             let service = Arc::clone(&service);
+            let admin = admin.clone();
             let live = Arc::clone(&live);
             let conns = Arc::clone(&conns);
             let cfg = cfg.clone();
             std::thread::Builder::new()
                 .name("pdm-accept".into())
-                .spawn(move || accept_loop(listener, stop, service, cfg, live, conns))
+                .spawn(move || accept_loop(listener, stop, service, admin, cfg, live, conns))
                 .expect("spawn accept thread")
         };
         Ok(Server {
@@ -115,10 +148,16 @@ impl Server {
             stop,
             accept: Some(accept),
             service,
+            admin,
             live,
             conns,
             drain_deadline: cfg.drain_deadline,
         })
+    }
+
+    /// The dictionary admin, when bound with [`Server::bind_versioned`].
+    pub fn dict_admin(&self) -> Option<&Arc<DictAdmin>> {
+        self.admin.as_ref()
     }
 
     pub fn local_addr(&self) -> SocketAddr {
@@ -185,6 +224,7 @@ fn accept_loop(
     listener: TcpListener,
     stop: Arc<AtomicBool>,
     service: Arc<ShardedService>,
+    admin: Option<Arc<DictAdmin>>,
     cfg: ServerConfig,
     live: Arc<AtomicUsize>,
     conns: ConnRegistry,
@@ -212,6 +252,7 @@ fn accept_loop(
                     conns.lock().unwrap().insert(id, clone);
                 }
                 let conn_service = Arc::clone(&service);
+                let conn_admin = admin.clone();
                 let conn_live = Arc::clone(&live);
                 let conn_conns = Arc::clone(&conns);
                 let read_timeout = cfg.read_timeout;
@@ -219,7 +260,7 @@ fn accept_loop(
                     std::thread::Builder::new()
                         .name("pdm-conn".into())
                         .spawn(move || {
-                            let _ = handle_conn(sock, &conn_service, read_timeout);
+                            let _ = handle_conn(sock, &conn_service, conn_admin, read_timeout);
                             conn_conns.lock().unwrap().remove(&id);
                             conn_live.fetch_sub(1, Ordering::SeqCst);
                         });
@@ -259,6 +300,7 @@ fn shed(sock: TcpStream) {
 fn handle_conn(
     sock: TcpStream,
     service: &ShardedService,
+    admin: Option<Arc<DictAdmin>>,
     read_timeout: Option<Duration>,
 ) -> io::Result<()> {
     sock.set_nodelay(true).ok();
@@ -309,10 +351,15 @@ fn handle_conn(
     // never interleave with concurrently written match frames.
     let pending_err: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
 
-    // Writer half: forward match/ack/summary events to the socket as they
-    // arrive, concurrently with the reader half below.
+    // Admin replies are produced on the reader thread but written by the
+    // writer (below), so they never interleave bytes with match frames.
+    let (admin_tx, admin_rx) = crossbeam::channel::unbounded::<(u8, Vec<u8>)>();
+
+    // Writer half: forward match/ack/summary/epoch events and admin
+    // replies to the socket as they arrive, concurrently with the reader
+    // half below.
     let writer_sock = sock.try_clone()?;
-    let max_pat = service.dict().max_pattern_len() as u32;
+    let max_pat = service.current().max_pattern_len() as u32;
     let writer_pending = Arc::clone(&pending_err);
     let writer = std::thread::Builder::new()
         .name("pdm-conn-writer".into())
@@ -323,7 +370,20 @@ fn handle_conn(
                 w.flush()?;
             }
             let mut chunks_seen = 0u64;
-            while let Ok(ev) = events.recv() {
+            loop {
+                // Multiplex session events with admin replies: drain any
+                // queued replies, then wait briefly for an event so a
+                // reply never sits behind an idle event channel for more
+                // than the poll interval.
+                flush_admin_replies(&admin_rx, &mut w)?;
+                let ev = match events.recv_timeout(Duration::from_millis(25)) {
+                    Ok(ev) => ev,
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                        flush_admin_replies(&admin_rx, &mut w)?;
+                        break;
+                    }
+                };
                 match ev {
                     Event::Matches(batch) => {
                         for m in &batch {
@@ -338,12 +398,31 @@ fn handle_conn(
                             w.flush()?;
                         }
                     }
+                    Event::Epoch {
+                        epoch,
+                        max_pattern_len,
+                    } => {
+                        write_frame(
+                            &mut w,
+                            TAG_EPOCH,
+                            &encode_epoch(&EpochChange {
+                                epoch,
+                                max_pattern_len,
+                            }),
+                        )?;
+                        w.flush()?;
+                    }
                     Event::Failed(msg) => {
+                        flush_admin_replies(&admin_rx, &mut w)?;
                         write_frame(&mut w, TAG_ERROR, msg.as_bytes())?;
                         w.flush()?;
                         break;
                     }
                     Event::Closed(summary) => {
+                        // Terminal events only follow the reader's finish,
+                        // so every admin reply is already queued — emit
+                        // them before the final frame.
+                        flush_admin_replies(&admin_rx, &mut w)?;
                         if let Some(msg) = writer_pending.lock().unwrap().take() {
                             write_frame(&mut w, TAG_ERROR, msg.as_bytes())?;
                         } else {
@@ -396,6 +475,18 @@ fn handle_conn(
                     // exits once it forwards the summary.
                     return Ok(());
                 }
+                Some((
+                    tag @ (TAG_DICT_ADD | TAG_DICT_REMOVE | TAG_DICT_COMMIT | TAG_DICT_INFO),
+                    payload,
+                )) => {
+                    let reply = handle_dict_frame(admin.as_deref(), &global, tag, &payload);
+                    if admin_tx.send(reply).is_err() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::BrokenPipe,
+                            "writer gone before admin reply",
+                        ));
+                    }
+                }
                 Some((TAG_HELLO, _)) => {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
@@ -422,6 +513,52 @@ fn handle_conn(
     session.finish();
     let _ = writer.join();
     result
+}
+
+/// Drain queued admin replies to the socket (used before terminal frames).
+fn flush_admin_replies(
+    admin_rx: &crossbeam::channel::Receiver<(u8, Vec<u8>)>,
+    w: &mut impl Write,
+) -> io::Result<()> {
+    let mut wrote = false;
+    while let Ok((tag, payload)) = admin_rx.try_recv() {
+        write_frame(w, tag, &payload)?;
+        wrote = true;
+    }
+    if wrote {
+        w.flush()?;
+    }
+    Ok(())
+}
+
+/// Execute one `DICT_*` admin frame, returning the reply frame.
+fn handle_dict_frame(
+    admin: Option<&DictAdmin>,
+    global: &crate::metrics::GlobalMetrics,
+    tag: u8,
+    payload: &[u8],
+) -> (u8, Vec<u8>) {
+    let Some(admin) = admin else {
+        return (
+            TAG_DICT_ERR,
+            b"dictionary is static; start the server with a dict log to enable live updates"
+                .to_vec(),
+        );
+    };
+    let pattern: Vec<u32> = payload.iter().map(|&b| u32::from(b)).collect();
+    let result = match tag {
+        TAG_DICT_ADD => admin.add(&pattern),
+        TAG_DICT_REMOVE => admin.remove(&pattern),
+        TAG_DICT_COMMIT => admin.commit(global).map(|out| out.epoch),
+        TAG_DICT_INFO => {
+            return (TAG_DICT_INFO_RESP, encode_dict_info(&admin.info()).to_vec());
+        }
+        _ => unreachable!("caller matched a dict tag"),
+    };
+    match result {
+        Ok(epoch) => (TAG_DICT_OK, epoch.to_le_bytes().to_vec()),
+        Err(e) => (TAG_DICT_ERR, e.to_string().into_bytes()),
+    }
 }
 
 /// Count a connection-level failure in the right degradation bucket.

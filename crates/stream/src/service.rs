@@ -4,9 +4,20 @@
 //! **bounded** job queue. A [`Session`] (one per stream) is pinned to the
 //! shard `id % workers`, so its chunks are processed in order by a single
 //! worker that holds the session's [`StreamMatcher`] carry state. The
-//! dictionary itself is one immutable [`StaticMatcher`] behind an `Arc` —
-//! workers share tables, never copy them (the paper's "preprocess once,
-//! match many texts" economics, made concurrent).
+//! dictionary is an [`EpochHandle`]: one immutable [`Snapshot`] behind an
+//! `Arc`-swap slot — workers share tables, never copy them (the paper's
+//! "preprocess once, match many texts" economics, made concurrent).
+//!
+//! ## Epoch adoption
+//!
+//! A dictionary swap ([`EpochHandle::publish`]) never lands mid-chunk:
+//! each worker checks the handle **between** chunks and adopts a newly
+//! published snapshot at the chunk boundary, emitting [`Event::Epoch`]
+//! first so the client can attribute every subsequent match to the new
+//! epoch. A chunk already dequeued keeps the snapshot it pinned — matches
+//! are exact w.r.t. the epoch their chunk started in (DESIGN.md §10).
+//! Static deployments pass a plain `Arc<StaticMatcher>` to
+//! [`ShardedService::start`], which wraps it as a never-swapped epoch 0.
 //!
 //! ## Backpressure
 //!
@@ -40,6 +51,7 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use pdm_core::dict::Sym;
 use pdm_core::static1d::StaticMatcher;
+use pdm_dict::{EpochHandle, Snapshot};
 use pdm_pram::{CostModel, Ctx, ExecPolicy};
 
 use crate::metrics::{GlobalMetrics, GlobalSnapshot, SessionCounters, SessionSnapshot};
@@ -83,6 +95,11 @@ pub enum Event {
     /// only for sessions opened with [`SessionOptions::progress`]. Every
     /// match ending at or before this offset has already been emitted.
     Progress(u64),
+    /// The session adopted a newly published dictionary epoch at a chunk
+    /// boundary. Every [`Event::Matches`] after this event (until the next
+    /// `Epoch`) was found against the named epoch; `max_pattern_len` is the
+    /// new epoch's `m` (a resuming client must size its replay tail to it).
+    Epoch { epoch: u64, max_pattern_len: u32 },
     /// The session's worker crashed; the session is dead and no further
     /// events follow. The payload describes the failure.
     Failed(String),
@@ -240,7 +257,7 @@ impl Session {
                         .recv_timeout(std::time::Duration::from_millis(5))
                     {
                         Ok(Event::Matches(mut m)) => matches.append(&mut m),
-                        Ok(Event::Progress(_)) => {}
+                        Ok(Event::Progress(_)) | Ok(Event::Epoch { .. }) => {}
                         Ok(Event::Failed(_)) => return (matches, None),
                         Ok(Event::Closed(s)) => return (matches, Some(s)),
                         Err(_) => {}
@@ -253,7 +270,7 @@ impl Session {
         while let Ok(ev) = self.events.recv() {
             match ev {
                 Event::Matches(mut m) => matches.append(&mut m),
-                Event::Progress(_) => {}
+                Event::Progress(_) | Event::Epoch { .. } => {}
                 Event::Failed(_) => break,
                 Event::Closed(s) => {
                     summary = Some(s);
@@ -280,9 +297,9 @@ impl Drop for Session {
     }
 }
 
-/// The service: shared dictionary + shard workers + bounded queues.
+/// The service: shared dictionary epochs + shard workers + bounded queues.
 pub struct ShardedService {
-    dict: Arc<StaticMatcher>,
+    handle: Arc<EpochHandle>,
     shards: Vec<Sender<Job>>,
     handles: Vec<JoinHandle<()>>,
     global: Arc<GlobalMetrics>,
@@ -291,26 +308,37 @@ pub struct ShardedService {
 }
 
 impl ShardedService {
-    /// Spawn `cfg.workers` shard threads over a shared dictionary.
+    /// Spawn `cfg.workers` shard threads over a fixed dictionary, wrapped
+    /// as a never-swapped epoch 0.
     pub fn start(dict: Arc<StaticMatcher>, cfg: ServiceConfig) -> Self {
+        Self::start_versioned(
+            EpochHandle::new(Arc::new(Snapshot::from_static(0, dict))),
+            cfg,
+        )
+    }
+
+    /// Spawn `cfg.workers` shard threads over a live-updatable dictionary.
+    /// Publishing a new snapshot through `handle` swaps every session at
+    /// its next chunk boundary (see module docs).
+    pub fn start_versioned(handle: Arc<EpochHandle>, cfg: ServiceConfig) -> Self {
         let workers = cfg.workers.max(1);
         let global = Arc::new(GlobalMetrics::default());
         let mut shards = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let (tx, rx) = bounded::<Job>(cfg.queue_cap.max(1));
-            let dict = Arc::clone(&dict);
+            let handle = Arc::clone(&handle);
             let global = Arc::clone(&global);
             let exec = cfg.exec.clone();
             let h = std::thread::Builder::new()
                 .name(format!("pdm-shard-{w}"))
-                .spawn(move || worker_loop(rx, dict, exec, global))
+                .spawn(move || worker_loop(rx, handle, exec, global))
                 .expect("spawn shard worker");
             shards.push(tx);
             handles.push(h);
         }
         Self {
-            dict,
+            handle,
             shards,
             handles,
             global,
@@ -319,9 +347,14 @@ impl ShardedService {
         }
     }
 
-    /// The shared dictionary.
-    pub fn dict(&self) -> &Arc<StaticMatcher> {
-        &self.dict
+    /// The epoch slot sessions read from (publish here to swap).
+    pub fn epoch_handle(&self) -> &Arc<EpochHandle> {
+        &self.handle
+    }
+
+    /// Pin the currently published dictionary snapshot.
+    pub fn current(&self) -> Arc<Snapshot> {
+        self.handle.load()
     }
 
     /// Open a new session, pinned to shard `id % workers`.
@@ -383,7 +416,7 @@ impl Drop for ShardedService {
 }
 
 struct WorkerSession {
-    m: StreamMatcher,
+    m: StreamMatcher<Snapshot>,
     events: Sender<Event>,
     counters: Arc<SessionCounters>,
     progress: bool,
@@ -402,14 +435,14 @@ fn fail_session(global: &GlobalMetrics, s: WorkerSession, why: &str) {
 /// survives the crash, so queued and future sessions keep being served.
 fn worker_loop(
     rx: Receiver<Job>,
-    dict: Arc<StaticMatcher>,
+    handle: Arc<EpochHandle>,
     exec: ExecPolicy,
     global: Arc<GlobalMetrics>,
 ) {
     let mut sessions: HashMap<u64, WorkerSession> = HashMap::new();
     loop {
         let run = catch_unwind(AssertUnwindSafe(|| {
-            run_worker(&rx, &dict, &exec, &global, &mut sessions)
+            run_worker(&rx, &handle, &exec, &global, &mut sessions)
         }));
         match run {
             Ok(()) => break, // all job senders dropped: clean shutdown
@@ -425,7 +458,7 @@ fn worker_loop(
 
 fn run_worker(
     rx: &Receiver<Job>,
-    dict: &Arc<StaticMatcher>,
+    handle: &Arc<EpochHandle>,
     exec: &ExecPolicy,
     global: &Arc<GlobalMetrics>,
     sessions: &mut HashMap<u64, WorkerSession>,
@@ -442,7 +475,7 @@ fn run_worker(
                 counters,
                 opts,
             } => {
-                let mut m = StreamMatcher::new(Arc::clone(dict));
+                let mut m = StreamMatcher::new(handle.load());
                 if opts.start_offset > 0 {
                     m.resume_at(opts.start_offset);
                 }
@@ -463,6 +496,22 @@ fn run_worker(
                 // supervisor, which fails every session on this shard.
                 crate::faults::hook_worker_loop();
                 if let Some(s) = sessions.get_mut(&id) {
+                    // Chunk-boundary epoch adoption: a snapshot published
+                    // since the last chunk is swapped in *before* matching,
+                    // with the marker event first, so every match after the
+                    // marker belongs to the new epoch. A panic here (fault
+                    // injection) unwinds to the supervisor mid-swap.
+                    let cur = handle.load();
+                    if cur.epoch() != s.m.dict().epoch() {
+                        crate::faults::hook_epoch_swap();
+                        let marker = Event::Epoch {
+                            epoch: cur.epoch(),
+                            max_pattern_len: cur.max_pattern_len() as u32,
+                        };
+                        s.m.swap_dict(cur);
+                        global.epoch_adopted();
+                        let _ = s.events.send(marker);
+                    }
                     // Per-chunk guard: a panic in the match call costs one
                     // session, not the worker.
                     let found = catch_unwind(AssertUnwindSafe(|| {

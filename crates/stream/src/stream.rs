@@ -34,23 +34,72 @@ pub struct StreamMatch {
     pub len: u32,
 }
 
+/// What a streaming cursor needs from a dictionary: all-matches lookup and
+/// pattern lengths. Implemented by the bare [`StaticMatcher`] (fixed
+/// dictionary, pattern ids are build order) and by
+/// [`pdm_dict::Snapshot`] (one epoch of a versioned dictionary, canonical
+/// ids) — so the same cursor serves both the static and the live-update
+/// serving paths.
+pub trait StreamDict: Send + Sync {
+    /// Every `(position, pattern)` occurrence in `text`, sorted by
+    /// position then pattern id.
+    fn find_all(&self, ctx: &Ctx, text: &[Sym]) -> Vec<(usize, PatId)>;
+    /// Length of pattern `p`.
+    fn pattern_len(&self, p: PatId) -> u32;
+    /// Length of the longest pattern (`m`; the carry keeps `m − 1`).
+    fn max_pattern_len(&self) -> usize;
+}
+
+impl StreamDict for StaticMatcher {
+    fn find_all(&self, ctx: &Ctx, text: &[Sym]) -> Vec<(usize, PatId)> {
+        StaticMatcher::find_all(self, ctx, text)
+    }
+
+    fn pattern_len(&self, p: PatId) -> u32 {
+        StaticMatcher::pattern_len(self, p)
+    }
+
+    fn max_pattern_len(&self) -> usize {
+        StaticMatcher::max_pattern_len(self)
+    }
+}
+
+impl StreamDict for pdm_dict::Snapshot {
+    fn find_all(&self, ctx: &Ctx, text: &[Sym]) -> Vec<(usize, PatId)> {
+        pdm_dict::Snapshot::find_all(self, ctx, text)
+    }
+
+    fn pattern_len(&self, p: PatId) -> u32 {
+        pdm_dict::Snapshot::pattern_len(self, p)
+    }
+
+    fn max_pattern_len(&self) -> usize {
+        pdm_dict::Snapshot::max_pattern_len(self)
+    }
+}
+
 /// A per-stream matching cursor over a shared, immutable dictionary.
 ///
 /// Feed chunks of any size (including smaller than the longest pattern, or
 /// empty); collect occurrences with absolute offsets. The execution policy
 /// is chosen per call, so one session can match small chunks sequentially
 /// and large ones with `ExecPolicy::Par`.
+///
+/// The dictionary is any [`StreamDict`] (default: a [`StaticMatcher`]).
+/// Versioned sessions swap in a new epoch between chunks with
+/// [`StreamMatcher::swap_dict`]; the swap never lands mid-chunk, so every
+/// chunk is matched entirely against the epoch it started with.
 #[derive(Debug)]
-pub struct StreamMatcher {
-    dict: Arc<StaticMatcher>,
+pub struct StreamMatcher<D: StreamDict = StaticMatcher> {
+    dict: Arc<D>,
     /// Last `min(consumed, m − 1)` symbols already consumed.
     carry: Vec<Sym>,
     /// Total symbols consumed so far (absolute offset of the next symbol).
     consumed: u64,
 }
 
-impl StreamMatcher {
-    pub fn new(dict: Arc<StaticMatcher>) -> Self {
+impl<D: StreamDict> StreamMatcher<D> {
+    pub fn new(dict: Arc<D>) -> Self {
         Self {
             dict,
             carry: Vec::new(),
@@ -59,8 +108,26 @@ impl StreamMatcher {
     }
 
     /// The shared dictionary this cursor matches against.
-    pub fn dict(&self) -> &Arc<StaticMatcher> {
+    pub fn dict(&self) -> &Arc<D> {
         &self.dict
+    }
+
+    /// Replace the dictionary between chunks (epoch swap). The carry is
+    /// re-trimmed to the new dictionary's `m − 1`: if the new longest
+    /// pattern is shorter the excess is dropped; if it is longer, only the
+    /// symbols the old epoch retained are available, so a *new* pattern
+    /// longer than the old `m` may miss occurrences spanning the swap
+    /// point (see DESIGN.md §10 — matches are exact w.r.t. the epoch their
+    /// chunk started in).
+    pub fn swap_dict(&mut self, dict: Arc<D>) {
+        self.dict = dict;
+        let keep = self
+            .dict
+            .max_pattern_len()
+            .saturating_sub(1)
+            .min(self.carry.len());
+        let cut = self.carry.len() - keep;
+        self.carry.drain(..cut);
     }
 
     /// Total symbols consumed so far (= absolute offset of the next chunk).

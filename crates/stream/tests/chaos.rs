@@ -17,8 +17,10 @@ use std::time::Duration;
 
 use pdm_core::dict::{symbolize, to_symbols};
 use pdm_core::static1d::StaticMatcher;
+use pdm_dict::DictStore;
 use pdm_pram::Ctx;
 use pdm_stream::faults::{self, FaultConfig};
+use pdm_stream::proto::{read_frame, write_frame, TAG_DICT_ADD, TAG_DICT_COMMIT, TAG_DICT_OK};
 use pdm_stream::{
     RetryConfig, RetryingClient, Server, ServerConfig, ServiceConfig, ShardedService,
 };
@@ -109,6 +111,132 @@ fn assert_exactly_once(server: &Server, d: &Arc<StaticMatcher>, text: &[u8], chu
     assert_eq!(summary.consumed, text.len() as u64, "stream fully consumed");
     assert_eq!(summary.matches, got.len() as u64);
     summary.reconnects
+}
+
+/// Crash a worker at the exact moment it adopts a freshly published
+/// epoch. The session in flight dies, the supervisor respawns the worker,
+/// the client resumes — and the delivered set still respects per-epoch
+/// semantics: with an additive update (epoch 2 ⊇ epoch 1), everything in
+/// the epoch-1 oracle arrives exactly once, nothing outside the epoch-2
+/// oracle ever arrives (a staged-but-never-committed pattern matches
+/// nowhere), and post-swap chunks do match the new pattern.
+#[test]
+fn worker_crash_mid_epoch_swap_keeps_per_epoch_exactness() {
+    let _g = chaos();
+    let log_dir = std::env::temp_dir().join(format!("pdm-chaos-swap-{}", std::process::id()));
+    std::fs::create_dir_all(&log_dir).unwrap();
+    let seed_pats = ["he", "she", "his", "hers"];
+    let mut store = DictStore::open(&log_dir.join("dict.pdml")).unwrap();
+    for p in seed_pats {
+        store.stage_add(&to_symbols(p)).unwrap();
+    }
+    store.commit(&Ctx::seq()).unwrap();
+    let srv = Server::bind_versioned(
+        ("127.0.0.1", 0),
+        store,
+        ServerConfig {
+            service: ServiceConfig {
+                workers: 1,
+                queue_cap: 8,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // Arm the crash before the commit exists: the first chunk-boundary
+    // epoch adoption anywhere panics its worker.
+    faults::install(FaultConfig {
+        swap_crash_every: 1,
+        swap_crash_max: 1,
+        ..Default::default()
+    });
+
+    let text = gen_text(29, 12_000);
+    let half = text.len() / 2;
+    let mut client = RetryingClient::connect(
+        srv.local_addr(),
+        RetryConfig {
+            base_backoff: Duration::from_millis(2),
+            seed: 9,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut got = Vec::new();
+    for c in text[..half].chunks(100) {
+        got.extend(client.send(c).unwrap());
+    }
+    // Everything so far ran under epoch 1. Now commit {ush} (epoch 2) and
+    // stage a pattern that is NEVER committed.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while srv.metrics().chunks < (half as u64).div_ceil(100) {
+        assert!(std::time::Instant::now() < deadline, "chunks not drained");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let admin = std::net::TcpStream::connect(srv.local_addr()).unwrap();
+    admin
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut aw = admin.try_clone().unwrap();
+    let mut ar = std::io::BufReader::new(admin);
+    let reply = |r: &mut std::io::BufReader<std::net::TcpStream>| loop {
+        match read_frame(r).unwrap().expect("admin reply") {
+            (TAG_DICT_OK, _) => return,
+            _ => continue,
+        }
+    };
+    write_frame(&mut aw, TAG_DICT_ADD, b"ush").unwrap();
+    reply(&mut ar);
+    write_frame(&mut aw, TAG_DICT_COMMIT, &[]).unwrap();
+    reply(&mut ar);
+    write_frame(&mut aw, TAG_DICT_ADD, b"never").unwrap();
+    reply(&mut ar);
+    drop(aw);
+    drop(ar);
+
+    // The next chunk boundary adopts epoch 2 → injected crash → respawn →
+    // client resume; the rest streams against epoch 2.
+    for c in text[half..].chunks(100) {
+        got.extend(client.send(c).unwrap());
+    }
+    let (rest, summary) = client.finish().unwrap();
+    got.extend(rest);
+    assert_eq!(summary.consumed, text.len() as u64);
+    assert_eq!(faults::counts().swap_crashes, 1, "the swap crash fired");
+    assert!(srv.metrics().worker_restarts >= 1, "supervisor respawned");
+    assert!(summary.reconnects >= 1, "client resumed");
+
+    // Per-epoch oracles. Canonical ids are first-commit order, so they
+    // agree across epochs: he=0, she=1, his=2, hers=3, ush=4.
+    let ctx = Ctx::seq();
+    let d1 = dict();
+    let all_pats: Vec<Vec<u32>> = seed_pats
+        .iter()
+        .map(|p| to_symbols(p))
+        .chain([to_symbols("ush")])
+        .collect();
+    let d2 = Arc::new(StaticMatcher::build(&ctx, &all_pats).unwrap());
+    let oracle1 = oracle(&d1, &text);
+    let oracle2 = oracle(&d2, &text);
+    let mut delivered: Vec<(u64, u32)> = got.iter().map(|m| (m.start, m.pat)).collect();
+    delivered.sort_unstable();
+    let dup = delivered.windows(2).find(|w| w[0] == w[1]);
+    assert_eq!(dup, None, "exactly-once broken");
+    assert!(
+        oracle1.iter().all(|m| delivered.binary_search(m).is_ok()),
+        "an epoch-1 match was lost"
+    );
+    assert!(
+        delivered.iter().all(|m| oracle2.binary_search(m).is_ok()),
+        "delivered a match outside every committed epoch"
+    );
+    assert!(
+        delivered.iter().any(|&(_, p)| p == 4),
+        "post-swap chunks must match the newly committed pattern"
+    );
+    srv.shutdown();
+    std::fs::remove_dir_all(&log_dir).ok();
 }
 
 #[test]

@@ -8,7 +8,9 @@
 //! pdm stats  --dict words.txt
 //! pdm gen    --out corpus.bin --bytes 1048576 [--seed 7] [--markov]
 //! pdm serve  --dict words.txt --port 7700 [--workers N] [--queue-cap Q]
+//! pdm serve  --dict-log dict.pdml --port 7700          # live updates on
 //! pdm match  --dict words.txt --text corpus.bin --stream [--chunk-bytes K]
+//! pdm dict   add|remove|commit|info|compact (--log F | --addr H:P) [...]
 //! ```
 //!
 //! Dictionary files hold one pattern per line (UTF-8 lines, matched as raw
@@ -23,6 +25,31 @@ use std::io::Write;
 pub enum DictSource {
     Patterns(String),
     Index(String),
+}
+
+/// Where a `pdm dict` subcommand applies: a local log file, or a running
+/// `pdm serve --dict-log` server over the admin frames in
+/// `pdm_stream::proto`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DictTarget {
+    Log(String),
+    Addr(String),
+}
+
+/// A `pdm dict` operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DictOp {
+    Add {
+        pattern: String,
+    },
+    Remove {
+        pattern: String,
+    },
+    Commit,
+    Info,
+    /// Local-only: rewrite the log to live patterns + staged tail and emit
+    /// a `<log>.snap` snapshot.
+    Compact,
 }
 
 /// Parsed command line.
@@ -40,7 +67,12 @@ pub enum Command {
         chunk_bytes: usize,
     },
     Serve {
-        dict: DictSource,
+        /// Static dictionary (`--dict`/`--index`), or with `--dict-log`
+        /// the optional `--dict` seed for an empty log.
+        dict: Option<DictSource>,
+        /// `--dict-log`: serve from a versioned dictionary log and accept
+        /// live `DICT_*` updates (see [`pdm_stream::admin`]).
+        dict_log: Option<String>,
         port: u16,
         workers: Option<usize>,
         queue_cap: usize,
@@ -61,7 +93,12 @@ pub enum Command {
         threads: Option<usize>,
     },
     Stats {
-        dict: String,
+        /// A dictionary file (`--dict`) or a prebuilt index (`--index`).
+        dict: DictSource,
+    },
+    Dict {
+        op: DictOp,
+        target: DictTarget,
     },
     Gen {
         out: String,
@@ -93,7 +130,13 @@ USAGE:
   pdm prefix --dict <file> --text <file> [--threads N]
   pdm serve  --dict <file> --port <n> [--workers N] [--queue-cap Q]
              [--read-timeout-ms T] [--max-conns C] [--drain-deadline-ms D]
-  pdm stats  --dict <file>
+  pdm serve  --dict-log <file> --port <n> [--dict <seed>] [...]
+  pdm stats  --dict <file> | --index <file>
+  pdm dict   add    --pattern <text> (--log <file> | --addr <host:port>)
+  pdm dict   remove --pattern <text> (--log <file> | --addr <host:port>)
+  pdm dict   commit (--log <file> | --addr <host:port>)
+  pdm dict   info   (--log <file> | --addr <host:port>)
+  pdm dict   compact --log <file>
   pdm gen    --out <file> --bytes <n> [--seed S] [--markov]
   pdm help
 
@@ -110,12 +153,26 @@ one connection = one stream session over a shared dictionary.
 `--max-conns` load-sheds arrivals beyond the cap with a busy error frame
 (0 = unlimited); `--drain-deadline-ms` bounds the graceful drain on
 shutdown (default 5000).
+`serve --dict-log` enables live dictionary updates: the dictionary lives
+in an append-only log, `dict add/remove` stage changes, and `dict commit`
+publishes them as a new epoch that running sessions adopt at their next
+chunk boundary without dropping connections. With an empty log, `--dict`
+seeds it from a pattern file. `dict ... --addr` administers a running
+server; `--log` edits the log file directly (server stopped). `compact`
+rewrites the log to its live patterns and emits a `<log>.snap` snapshot.
 ";
 
 /// Parse argv (excluding the program name).
 pub fn parse(args: &[String]) -> Result<Command, UsageError> {
     let mut it = args.iter();
     let sub = it.next().map(String::as_str).unwrap_or("help");
+    // `dict` takes an action word before its flags: `pdm dict add --…`.
+    let mut dict_action = None;
+    if sub == "dict" {
+        dict_action = Some(it.next().cloned().ok_or_else(|| {
+            UsageError("dict requires an action: add|remove|commit|info|compact".into())
+        })?);
+    }
     let mut dict = None;
     let mut index = None;
     let mut text = None;
@@ -133,6 +190,10 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
     let mut read_timeout_ms = 0u64;
     let mut max_conns = 0usize;
     let mut drain_deadline_ms = 5000u64;
+    let mut dict_log = None;
+    let mut log = None;
+    let mut addr = None;
+    let mut pattern = None;
     while let Some(a) = it.next() {
         let mut need = |name: &str| -> Result<String, UsageError> {
             it.next()
@@ -211,6 +272,10 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     .parse()
                     .map_err(|_| UsageError("--drain-deadline-ms wants an integer".into()))?
             }
+            "--dict-log" => dict_log = Some(need("--dict-log")?),
+            "--log" => log = Some(need("--log")?),
+            "--addr" => addr = Some(need("--addr")?),
+            "--pattern" => pattern = Some(need("--pattern")?),
             other => return Err(UsageError(format!("unknown flag: {other}"))),
         }
     }
@@ -232,15 +297,33 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             stream,
             chunk_bytes,
         }),
-        "serve" => Ok(Command::Serve {
-            dict: source(dict, index)?,
-            port: port.ok_or_else(|| UsageError("serve requires --port".into()))?,
-            workers,
-            queue_cap,
-            read_timeout_ms,
-            max_conns,
-            drain_deadline_ms,
-        }),
+        "serve" => {
+            let dict = if dict.is_some() || index.is_some() {
+                Some(source(dict, index)?)
+            } else {
+                None
+            };
+            if dict.is_none() && dict_log.is_none() {
+                return Err(UsageError(
+                    "serve requires --dict, --index, or --dict-log".into(),
+                ));
+            }
+            if dict_log.is_some() && matches!(dict, Some(DictSource::Index(_))) {
+                return Err(UsageError(
+                    "--dict-log seeds from --dict patterns; --index cannot seed a log".into(),
+                ));
+            }
+            Ok(Command::Serve {
+                dict,
+                dict_log,
+                port: port.ok_or_else(|| UsageError("serve requires --port".into()))?,
+                workers,
+                queue_cap,
+                read_timeout_ms,
+                max_conns,
+                drain_deadline_ms,
+            })
+        }
         "build" => Ok(Command::Build {
             dict: want(dict, "--dict")?,
             out: want(out, "--out")?,
@@ -251,8 +334,43 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             threads,
         }),
         "stats" => Ok(Command::Stats {
-            dict: want(dict, "--dict")?,
+            dict: source(dict, index)?,
         }),
+        "dict" => {
+            let target = match (log, addr) {
+                (Some(l), None) => DictTarget::Log(l),
+                (None, Some(a)) => DictTarget::Addr(a),
+                (Some(_), Some(_)) => {
+                    return Err(UsageError("--log and --addr are exclusive".into()))
+                }
+                (None, None) => return Err(UsageError("dict requires --log or --addr".into())),
+            };
+            let action = dict_action.expect("set for the dict subcommand");
+            let op = match action.as_str() {
+                "add" => DictOp::Add {
+                    pattern: want(pattern, "--pattern")?,
+                },
+                "remove" => DictOp::Remove {
+                    pattern: want(pattern, "--pattern")?,
+                },
+                "commit" => DictOp::Commit,
+                "info" => DictOp::Info,
+                "compact" => {
+                    if matches!(target, DictTarget::Addr(_)) {
+                        return Err(UsageError(
+                            "dict compact is local-only: use --log, not --addr".into(),
+                        ));
+                    }
+                    DictOp::Compact
+                }
+                other => {
+                    return Err(UsageError(format!(
+                        "unknown dict action: {other} (expected add|remove|commit|info|compact)"
+                    )))
+                }
+            };
+            Ok(Command::Dict { op, target })
+        }
         "gen" => Ok(Command::Gen {
             out: want(out, "--out")?,
             bytes: bytes.ok_or_else(|| UsageError("gen requires --bytes".into()))?,
@@ -320,17 +438,10 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
             Ok(0)
         }
         Command::Stats { dict } => {
-            let pats = match load_dictionary(&dict) {
-                Ok(p) => p,
-                Err(e) => {
-                    writeln!(w, "error: {e}")?;
-                    return Ok(2);
-                }
-            };
             let ctx = Ctx::par();
             let t0 = std::time::Instant::now();
-            let m = match StaticMatcher::build(&ctx, &pats) {
-                Ok(m) => m,
+            let (m, _) = match resolve_matcher(&dict, &ctx) {
+                Ok(mp) => mp,
                 Err(e) => {
                     writeln!(w, "error: {e}")?;
                     return Ok(2);
@@ -352,9 +463,13 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
                 s.ext_entries
             )?;
             let c = ctx.cost.snapshot();
+            let verb = match dict {
+                DictSource::Patterns(_) => "build",
+                DictSource::Index(_) => "load",
+            };
             writeln!(
                 w,
-                "build: {:.1} ms wall, {} PRAM rounds, {} ops",
+                "{verb}: {:.1} ms wall, {} PRAM rounds, {} ops",
                 t0.elapsed().as_secs_f64() * 1e3,
                 c.rounds,
                 c.work
@@ -544,6 +659,7 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
         }
         Command::Serve {
             dict,
+            dict_log,
             port,
             workers,
             queue_cap,
@@ -552,46 +668,229 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
             drain_deadline_ms,
         } => {
             let ctx = Ctx::par();
-            let (m, _) = match resolve_matcher(&dict, &ctx) {
-                Ok(mp) => mp,
-                Err(e) => {
-                    writeln!(w, "error: {e}")?;
-                    return Ok(2);
-                }
-            };
             let mut service = pdm_stream::ServiceConfig::default();
             if let Some(n) = workers {
                 service.workers = n.max(1);
             }
             service.queue_cap = queue_cap;
-            let n_patterns = m.pattern_count();
-            let server = match pdm_stream::Server::bind(
-                ("0.0.0.0", port),
-                std::sync::Arc::new(m),
-                pdm_stream::ServerConfig {
-                    service,
-                    read_timeout: (read_timeout_ms > 0)
-                        .then(|| std::time::Duration::from_millis(read_timeout_ms)),
-                    max_conns,
-                    drain_deadline: std::time::Duration::from_millis(drain_deadline_ms),
-                    ..Default::default()
-                },
-            ) {
-                Ok(s) => s,
-                Err(e) => {
-                    writeln!(w, "error: bind port {port}: {e}")?;
-                    return Ok(2);
+            let cfg = pdm_stream::ServerConfig {
+                service,
+                read_timeout: (read_timeout_ms > 0)
+                    .then(|| std::time::Duration::from_millis(read_timeout_ms)),
+                max_conns,
+                drain_deadline: std::time::Duration::from_millis(drain_deadline_ms),
+                ..Default::default()
+            };
+            let (server, banner) = if let Some(log) = dict_log {
+                let store = match open_seeded_store(&log, dict.as_ref(), &ctx, w)? {
+                    Ok(s) => s,
+                    Err(e) => {
+                        writeln!(w, "error: {e}")?;
+                        return Ok(2);
+                    }
+                };
+                let banner = format!(
+                    "serving {} patterns (epoch {}, live updates via {log}) on",
+                    store.pattern_count(),
+                    store.epoch()
+                );
+                match pdm_stream::Server::bind_versioned(("0.0.0.0", port), store, cfg) {
+                    Ok(s) => (s, banner),
+                    Err(e) => {
+                        writeln!(w, "error: bind port {port}: {e}")?;
+                        return Ok(2);
+                    }
+                }
+            } else {
+                let src = dict.expect("parse guarantees a source without --dict-log");
+                let (m, _) = match resolve_matcher(&src, &ctx) {
+                    Ok(mp) => mp,
+                    Err(e) => {
+                        writeln!(w, "error: {e}")?;
+                        return Ok(2);
+                    }
+                };
+                let banner = format!("serving {} patterns on", m.pattern_count());
+                match pdm_stream::Server::bind(("0.0.0.0", port), std::sync::Arc::new(m), cfg) {
+                    Ok(s) => (s, banner),
+                    Err(e) => {
+                        writeln!(w, "error: bind port {port}: {e}")?;
+                        return Ok(2);
+                    }
                 }
             };
             writeln!(
                 w,
-                "serving {} patterns on {} (protocol: pdm_stream::proto; ^C to stop)",
-                n_patterns,
+                "{banner} {} (protocol: pdm_stream::proto; ^C to stop)",
                 server.local_addr()
             )?;
             w.flush()?;
             server.join();
             Ok(0)
+        }
+        Command::Dict { op, target } => run_dict(op, target, w),
+    }
+}
+
+/// Open (or create) a dictionary log; with an empty log and a `--dict`
+/// pattern file, seed it with those patterns as epoch 1.
+///
+/// The outer `io::Result` is writer failures; the inner is the usage-level
+/// error already formatted for the user.
+fn open_seeded_store(
+    log: &str,
+    seed: Option<&DictSource>,
+    ctx: &Ctx,
+    w: &mut impl Write,
+) -> std::io::Result<Result<pdm_dict::DictStore, String>> {
+    use pdm_dict::DictStore;
+    let mut store = match DictStore::open(std::path::Path::new(log)) {
+        Ok(s) => s,
+        Err(e) => return Ok(Err(format!("{log}: {e}"))),
+    };
+    if let Some(DictSource::Patterns(path)) = seed {
+        if store.pattern_count() == 0 && store.staged_len() == 0 {
+            let pats = match load_dictionary(path) {
+                Ok(p) => p,
+                Err(e) => return Ok(Err(e)),
+            };
+            for p in &pats {
+                if let Err(e) = store.stage_add(p) {
+                    return Ok(Err(format!("seed {path}: {e}")));
+                }
+            }
+            if let Err(e) = store.commit(ctx) {
+                return Ok(Err(format!("seed {path}: {e}")));
+            }
+            writeln!(w, "seeded {log} with {} patterns from {path}", pats.len())?;
+        } else {
+            writeln!(w, "{log} already has patterns; ignoring --dict seed {path}")?;
+        }
+    }
+    Ok(Ok(store))
+}
+
+/// Execute a `pdm dict` operation against a local log or a live server.
+fn run_dict(op: DictOp, target: DictTarget, w: &mut impl Write) -> std::io::Result<i32> {
+    use pdm_dict::{DictStore, SnapshotPath};
+    use pdm_stream::proto::{
+        decode_dict_info, read_frame, write_frame, TAG_DICT_ADD, TAG_DICT_COMMIT, TAG_DICT_ERR,
+        TAG_DICT_INFO, TAG_DICT_INFO_RESP, TAG_DICT_OK, TAG_DICT_REMOVE,
+    };
+    match target {
+        DictTarget::Log(path) => {
+            let mut store = match DictStore::open(std::path::Path::new(&path)) {
+                Ok(s) => s,
+                Err(e) => {
+                    writeln!(w, "error: {path}: {e}")?;
+                    return Ok(2);
+                }
+            };
+            let result = match &op {
+                DictOp::Add { pattern } => store
+                    .stage_add(&to_symbols(pattern))
+                    .map(|()| format!("staged add \"{pattern}\"")),
+                DictOp::Remove { pattern } => store
+                    .stage_remove(&to_symbols(pattern))
+                    .map(|()| format!("staged remove \"{pattern}\"")),
+                DictOp::Commit => store.commit(&Ctx::par()).map(|out| {
+                    format!(
+                        "committed epoch {} ({} patterns, {} rebuild)",
+                        out.epoch,
+                        out.snapshot.pattern_count(),
+                        match out.path {
+                            SnapshotPath::Incremental => "incremental",
+                            SnapshotPath::FullRebuild => "full",
+                        }
+                    )
+                }),
+                DictOp::Info => Ok(format!(
+                    "epoch {}: {} patterns ({} symbols), {} staged ops",
+                    store.epoch(),
+                    store.pattern_count(),
+                    store.symbol_count(),
+                    store.staged_len()
+                )),
+                DictOp::Compact => store.compact().map(|r| {
+                    format!(
+                        "compacted {path}: {} live patterns, {} staged ops{}",
+                        r.live,
+                        r.staged,
+                        r.snapshot_file
+                            .map(|p| format!(", snapshot {}", p.display()))
+                            .unwrap_or_default()
+                    )
+                }),
+            };
+            match result {
+                Ok(msg) => {
+                    writeln!(w, "{msg}")?;
+                    Ok(0)
+                }
+                Err(e) => {
+                    writeln!(w, "error: {e}")?;
+                    Ok(2)
+                }
+            }
+        }
+        DictTarget::Addr(addr) => {
+            let (tag, payload) = match &op {
+                DictOp::Add { pattern } => (TAG_DICT_ADD, pattern.clone().into_bytes()),
+                DictOp::Remove { pattern } => (TAG_DICT_REMOVE, pattern.clone().into_bytes()),
+                DictOp::Commit => (TAG_DICT_COMMIT, Vec::new()),
+                DictOp::Info => (TAG_DICT_INFO, Vec::new()),
+                DictOp::Compact => unreachable!("parse rejects compact --addr"),
+            };
+            let attempt = || -> std::io::Result<(u8, Vec<u8>)> {
+                let mut sock = std::net::TcpStream::connect(&addr)?;
+                sock.set_read_timeout(Some(std::time::Duration::from_secs(10)))?;
+                write_frame(&mut sock, tag, &payload)?;
+                // The server interleaves session frames (hello-ack, acks)
+                // with admin replies; skip to the reply.
+                loop {
+                    match read_frame(&mut sock)? {
+                        Some((t @ (TAG_DICT_OK | TAG_DICT_ERR | TAG_DICT_INFO_RESP), p)) => {
+                            return Ok((t, p))
+                        }
+                        Some(_) => continue,
+                        None => {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::UnexpectedEof,
+                                "server closed before replying",
+                            ))
+                        }
+                    }
+                }
+            };
+            match attempt() {
+                Ok((TAG_DICT_OK, p)) => {
+                    let epoch = u64::from_le_bytes(p.try_into().unwrap_or_default());
+                    writeln!(w, "ok (epoch {epoch})")?;
+                    Ok(0)
+                }
+                Ok((TAG_DICT_INFO_RESP, p)) => match decode_dict_info(&p) {
+                    Some(i) => {
+                        writeln!(
+                            w,
+                            "epoch {}: {} patterns, {} staged ops, longest pattern {}",
+                            i.epoch, i.patterns, i.staged, i.max_pattern_len
+                        )?;
+                        Ok(0)
+                    }
+                    None => {
+                        writeln!(w, "error: malformed dict-info reply")?;
+                        Ok(2)
+                    }
+                },
+                Ok((_, p)) => {
+                    writeln!(w, "error: {}", String::from_utf8_lossy(&p))?;
+                    Ok(2)
+                }
+                Err(e) => {
+                    writeln!(w, "error: {addr}: {e}")?;
+                    Ok(2)
+                }
+            }
         }
     }
 }
@@ -702,7 +1001,7 @@ mod tests {
         let mut out = Vec::new();
         let code = run(
             Command::Stats {
-                dict: dpath.to_string_lossy().into(),
+                dict: DictSource::Patterns(dpath.to_string_lossy().into()),
             },
             &mut out,
         )
@@ -777,7 +1076,8 @@ mod tests {
         assert_eq!(
             c,
             Command::Serve {
-                dict: DictSource::Patterns("d".into()),
+                dict: Some(DictSource::Patterns("d".into())),
+                dict_log: None,
                 port: 7700,
                 workers: Some(3),
                 queue_cap: 8,
@@ -914,11 +1214,190 @@ mod tests {
     }
 
     #[test]
+    fn parses_dict_subcommand() {
+        let c = parse(&args(&[
+            "dict",
+            "add",
+            "--pattern",
+            "hers",
+            "--log",
+            "d.pdml",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Dict {
+                op: DictOp::Add {
+                    pattern: "hers".into()
+                },
+                target: DictTarget::Log("d.pdml".into()),
+            }
+        );
+        let c = parse(&args(&["dict", "commit", "--addr", "127.0.0.1:7700"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Dict {
+                op: DictOp::Commit,
+                target: DictTarget::Addr("127.0.0.1:7700".into()),
+            }
+        );
+        assert!(parse(&args(&["dict"])).is_err(), "action required");
+        assert!(
+            parse(&args(&["dict", "add", "--log", "l"])).is_err(),
+            "pattern required"
+        );
+        assert!(parse(&args(&["dict", "info"])).is_err(), "target required");
+        assert!(parse(&args(&["dict", "info", "--log", "l", "--addr", "a"])).is_err());
+        assert!(
+            parse(&args(&["dict", "compact", "--addr", "a"])).is_err(),
+            "compact is local"
+        );
+        assert!(parse(&args(&["dict", "frobnicate", "--log", "l"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_dict_log_and_stats_index() {
+        let c = parse(&args(&["serve", "--dict-log", "d.pdml", "--port", "1"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Serve {
+                dict: None,
+                dict_log: Some(_),
+                ..
+            }
+        ));
+        let c = parse(&args(&[
+            "serve",
+            "--dict-log",
+            "d.pdml",
+            "--dict",
+            "seed.txt",
+            "--port",
+            "1",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            c,
+            Command::Serve {
+                dict: Some(DictSource::Patterns(_)),
+                dict_log: Some(_),
+                ..
+            }
+        ));
+        assert!(
+            parse(&args(&[
+                "serve",
+                "--dict-log",
+                "d",
+                "--index",
+                "i",
+                "--port",
+                "1"
+            ]))
+            .is_err(),
+            "an index cannot seed a log"
+        );
+        let c = parse(&args(&["stats", "--index", "i"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Stats {
+                dict: DictSource::Index("i".into())
+            }
+        );
+        assert!(parse(&args(&["stats"])).is_err());
+    }
+
+    #[test]
+    fn stats_from_prebuilt_index() {
+        let dir = std::env::temp_dir().join(format!("pdm-cli-sidx-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dpath = dir.join("dict.txt");
+        let ipath = dir.join("index.pdm");
+        std::fs::write(&dpath, "he\nshe\nhers\n").unwrap();
+        let mut out = Vec::new();
+        assert_eq!(
+            run(
+                Command::Build {
+                    dict: dpath.to_string_lossy().into(),
+                    out: ipath.to_string_lossy().into(),
+                },
+                &mut out,
+            )
+            .unwrap(),
+            0
+        );
+        let mut out = Vec::new();
+        let code = run(
+            Command::Stats {
+                dict: DictSource::Index(ipath.to_string_lossy().into()),
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("patterns:        3"), "{s}");
+        assert!(s.contains("load:"), "{s}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dict_log_lifecycle_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("pdm-cli-dict-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log: String = dir.join("dict.pdml").to_string_lossy().into();
+        let run_op = |op: DictOp| -> (i32, String) {
+            let mut out = Vec::new();
+            let code = run(
+                Command::Dict {
+                    op,
+                    target: DictTarget::Log(log.clone()),
+                },
+                &mut out,
+            )
+            .unwrap();
+            (code, String::from_utf8(out).unwrap())
+        };
+        for p in ["he", "she"] {
+            let (code, s) = run_op(DictOp::Add { pattern: p.into() });
+            assert_eq!(code, 0, "{s}");
+        }
+        let (code, s) = run_op(DictOp::Commit);
+        assert_eq!(code, 0, "{s}");
+        assert!(s.contains("committed epoch 1 (2 patterns"), "{s}");
+        let (code, s) = run_op(DictOp::Remove {
+            pattern: "he".into(),
+        });
+        assert_eq!(code, 0, "{s}");
+        let (code, s) = run_op(DictOp::Info);
+        assert_eq!(code, 0);
+        assert!(s.contains("epoch 1: 2 patterns"), "{s}");
+        assert!(s.contains("1 staged ops"), "{s}");
+        let (code, s) = run_op(DictOp::Commit);
+        assert_eq!(code, 0, "{s}");
+        assert!(s.contains("committed epoch 2 (1 patterns"), "{s}");
+        // Double-remove is a user error, surfaced as exit 2.
+        let (code, s) = run_op(DictOp::Remove {
+            pattern: "he".into(),
+        });
+        assert_eq!(code, 2);
+        assert!(s.starts_with("error:"), "{s}");
+        let (code, s) = run_op(DictOp::Compact);
+        assert_eq!(code, 0, "{s}");
+        assert!(s.contains("1 live patterns"), "{s}");
+        assert!(
+            std::path::Path::new(&format!("{log}.snap")).exists() || s.contains("snapshot"),
+            "compact emits a snapshot: {s}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn bad_paths_exit_2() {
         let mut out = Vec::new();
         let code = run(
             Command::Stats {
-                dict: "/nonexistent/x".into(),
+                dict: DictSource::Patterns("/nonexistent/x".into()),
             },
             &mut out,
         )
