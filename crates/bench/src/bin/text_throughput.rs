@@ -1,0 +1,287 @@
+//! Text-side hot-path throughput, written to `BENCH_text.json`.
+//!
+//! Measures matching MB/s before and after the text-side overhaul
+//! (DESIGN.md §11) for four workloads:
+//!
+//! * `static1d`   — §4 mixed-length matching. *after* = sentinel naming +
+//!   frozen tables + session scratch; *before* = the retained text-local
+//!   reference descent over the concurrent tables (`ConcView`).
+//! * `equal_len`  — Theorem 11. *after* = per-level frozen probes;
+//!   *before* = the live concurrent-table path (`match_texts_ref`).
+//! * `smallalpha` — §5 small-σ matching. *after* = frozen block-tuple
+//!   probe; *before* = the live probe (`match_text_ref`).
+//! * `streaming`  — chunked cursor. *after* = session scratch via
+//!   `find_all_into`; *before* = per-chunk window matching through the
+//!   concurrent reference path (the pre-overhaul per-chunk cost).
+//!
+//! Each leg reports sequential MB/s plus pool MB/s at widths 1 / 2 / max.
+//!
+//! Usage: `text_throughput [out.json] [--check baseline.json]`
+//!
+//! `PDM_BENCH_SMOKE=1` keeps the full text size (so MB/s stays comparable
+//! with a committed full run) but takes a single sample and skips the
+//! `before` legs, which exist for documentation, not regression tracking.
+//! `--check` compares this run's *after* sequential MB/s per workload
+//! against a committed baseline and exits non-zero if any workload lost
+//! more than 30 % — wide enough to absorb single-sample noise, tight
+//! enough to catch structural regressions.
+
+use pdm_bench::timing::time_median;
+use pdm_core::dict::Sym;
+use pdm_core::equal_len::EqualLenMatcher;
+use pdm_core::smallalpha::SmallAlphaMatcher;
+use pdm_core::static1d::{match_text_ref, ConcView, MatchOutput, StaticMatcher};
+use pdm_core::TextScratch;
+use pdm_pram::Ctx;
+use pdm_stream::StreamMatcher;
+use pdm_textgen::{strings, Alphabet};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+const RUNS_FULL: usize = 3;
+const CHUNK: usize = 64 << 10;
+
+fn smoke() -> bool {
+    std::env::var_os("PDM_BENCH_SMOKE").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+fn widths() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut v = vec![1, 2];
+    if !v.contains(&max) {
+        v.push(max);
+    }
+    v
+}
+
+fn mbps(bytes: usize, d: std::time::Duration) -> f64 {
+    bytes as f64 / (1 << 20) as f64 / d.as_secs_f64()
+}
+
+/// `{"1": 12.3, ...}` with widths as keys.
+fn json_map(entries: &[(usize, f64)]) -> String {
+    let mut s = String::from("{");
+    for (i, (w, v)) in entries.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "\"{w}\": {v:.2}");
+    }
+    s.push('}');
+    s
+}
+
+/// Pull `workloads.<name>.after.seq_mbps` out of a baseline JSON produced
+/// by this binary (hand-rolled to match the hand-rolled writer).
+fn extract_after_seq(json: &str, name: &str) -> Option<f64> {
+    let at = json.find(&format!("\"{name}\""))?;
+    let rest = &json[at..];
+    let rest = &rest[rest.find("\"after\"")?..];
+    let rest = &rest[rest.find("\"seq_mbps\": ")? + "\"seq_mbps\": ".len()..];
+    let end = rest
+        .find(|c: char| c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_text.json");
+    let mut check_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--check" {
+            check_path = args.next();
+        } else {
+            out_path = a;
+        }
+    }
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let text_syms: usize = 1 << 20;
+    let runs = if smoke() { 1 } else { RUNS_FULL };
+
+    // Mixed-length workload (static + streaming), pool_baseline's shape.
+    let mut r = strings::rng(42);
+    let mut text = strings::random_text(&mut r, Alphabet::Bytes, text_syms);
+    let pats = strings::excerpt_dictionary(&mut r, &text, 64, 32, 64);
+    strings::plant_occurrences(&mut r, &mut text, &pats, 512);
+    let eq_pats = strings::equal_len_dictionary(&mut r, Alphabet::Bytes, 16, 64);
+    // Small-alphabet workload: DNA text, one equal pattern length.
+    let mut dna = strings::random_text(&mut r, Alphabet::Dna, text_syms);
+    let sa_pats = strings::excerpt_dictionary(&mut r, &dna, 16, 9, 9);
+    strings::plant_occurrences(&mut r, &mut dna, &sa_pats, 256);
+
+    let bctx = Ctx::seq();
+    let dict = Arc::new(StaticMatcher::build(&bctx, &pats).unwrap());
+    let eq = EqualLenMatcher::new(&eq_pats).unwrap();
+    let eq_texts = vec![text.clone()];
+    let sa = SmallAlphaMatcher::build_with_l(&bctx, &sa_pats, 4, 3).unwrap();
+
+    let d2 = Arc::clone(&dict);
+    let d3 = Arc::clone(&dict);
+    let d4 = Arc::clone(&dict);
+    let t2 = text.clone();
+    let t3 = text.clone();
+    let t4 = text.clone();
+    let dna2 = dna.clone();
+
+    // Session-lifetime buffers for the "after" legs, reused across runs —
+    // exactly how a long-lived session holds them.
+    let mut scratch = TextScratch::new();
+    let mut mo = MatchOutput::empty();
+
+    type Leg<'a> = Box<dyn FnMut(&Ctx) + 'a>;
+    let mut legs: Vec<(&str, &str, usize, Leg)> = vec![
+        (
+            "static1d",
+            "after",
+            text_syms,
+            Box::new(move |ctx: &Ctx| {
+                d2.match_into(ctx, &t2, &mut scratch, &mut mo);
+                std::hint::black_box(&mo);
+            }),
+        ),
+        (
+            "static1d",
+            "before",
+            text_syms,
+            Box::new(|ctx: &Ctx| {
+                std::hint::black_box(match_text_ref(ctx, &ConcView(dict.tables()), &text));
+            }),
+        ),
+        (
+            "equal_len",
+            "after",
+            text_syms,
+            Box::new(|ctx: &Ctx| {
+                std::hint::black_box(eq.match_texts(ctx, &eq_texts));
+            }),
+        ),
+        (
+            "equal_len",
+            "before",
+            text_syms,
+            Box::new(|ctx: &Ctx| {
+                std::hint::black_box(eq.match_texts_ref(ctx, &eq_texts));
+            }),
+        ),
+        (
+            "smallalpha",
+            "after",
+            text_syms,
+            Box::new(|ctx: &Ctx| {
+                std::hint::black_box(sa.match_text(ctx, &dna));
+            }),
+        ),
+        (
+            "smallalpha",
+            "before",
+            text_syms,
+            Box::new(|ctx: &Ctx| {
+                std::hint::black_box(sa.match_text_ref(ctx, &dna2));
+            }),
+        ),
+        (
+            "streaming",
+            "after",
+            text_syms,
+            Box::new(move |ctx: &Ctx| {
+                let mut sm = StreamMatcher::new(Arc::clone(&d3));
+                let mut out = Vec::new();
+                for chunk in t3.chunks(CHUNK) {
+                    sm.push_into(ctx, chunk, &mut out);
+                }
+                std::hint::black_box(out);
+            }),
+        ),
+        (
+            "streaming",
+            "before",
+            text_syms,
+            Box::new(move |ctx: &Ctx| {
+                // Pre-overhaul per-chunk cost: fresh window copy + the
+                // text-local reference match over the concurrent tables.
+                let overlap = d4.max_pattern_len().saturating_sub(1);
+                let mut carry: Vec<Sym> = Vec::new();
+                for chunk in t4.chunks(CHUNK) {
+                    let mut window = carry.clone();
+                    window.extend_from_slice(chunk);
+                    std::hint::black_box(match_text_ref(ctx, &ConcView(d4.tables()), &window));
+                    let keep = overlap.min(window.len());
+                    carry = window[window.len() - keep..].to_vec();
+                }
+            }),
+        ),
+    ];
+
+    // name -> (leg -> (seq, par)) preserving declaration order.
+    let mut results: Vec<(String, Vec<(String, f64, Vec<(usize, f64)>)>)> = Vec::new();
+    for (name, leg, bytes, work) in legs.iter_mut() {
+        if smoke() && *leg == "before" {
+            continue;
+        }
+        let seq = mbps(*bytes, time_median(runs, || work(&Ctx::seq())));
+        let par: Vec<(usize, f64)> = widths()
+            .into_iter()
+            .map(|w| {
+                let ctx = Ctx::with_threads(w);
+                (w, mbps(*bytes, time_median(runs, || work(&ctx))))
+            })
+            .collect();
+        eprintln!("{name}/{leg}: seq {seq:.2} MB/s, par {par:?}");
+        match results.iter_mut().find(|(n, _)| n == name) {
+            Some((_, legs)) => legs.push((leg.to_string(), seq, par)),
+            None => results.push((name.to_string(), vec![(leg.to_string(), seq, par)])),
+        }
+    }
+
+    let mut sections = Vec::new();
+    for (name, legs) in &results {
+        let inner: Vec<String> = legs
+            .iter()
+            .map(|(leg, seq, par)| {
+                format!(
+                    "\"{leg}\": {{\"seq_mbps\": {seq:.2}, \"par_mbps\": {}}}",
+                    json_map(par)
+                )
+            })
+            .collect();
+        sections.push(format!("    \"{name}\": {{{}}}", inner.join(", ")));
+    }
+    let json = format!(
+        "{{\n  \"meta\": {{\"host_cpus\": {host_cpus}, \"text_bytes\": {text_syms}, \
+         \"runs\": {runs}, \"smoke\": {}, \"note\": \"after = sentinel naming + frozen \
+         tables + session scratch; before = text-local naming over concurrent \
+         tables\"}},\n  \"workloads\": {{\n{}\n  }}\n}}\n",
+        smoke(),
+        sections.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+
+    if let Some(base_path) = check_path {
+        let base = std::fs::read_to_string(&base_path)
+            .unwrap_or_else(|e| panic!("read baseline {base_path}: {e}"));
+        let mut failed = false;
+        for (name, legs) in &results {
+            let Some((_, cur, _)) = legs.iter().find(|(l, _, _)| l == "after") else {
+                continue;
+            };
+            let Some(want) = extract_after_seq(&base, name) else {
+                eprintln!("check: {name} missing from baseline, skipping");
+                continue;
+            };
+            let floor = want * 0.70;
+            if *cur < floor {
+                eprintln!("check FAIL: {name} after/seq {cur:.2} MB/s < 70% of baseline {want:.2}");
+                failed = true;
+            } else {
+                eprintln!("check ok:   {name} after/seq {cur:.2} MB/s vs baseline {want:.2}");
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

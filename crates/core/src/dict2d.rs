@@ -39,7 +39,7 @@
 //! ```
 
 use crate::dict::{BuildError, PatId, Sym};
-use pdm_naming::{NamePool, NameTable, IDENTITY};
+use pdm_naming::{FrozenNameTable, NamePool, NameTable, IDENTITY};
 use pdm_pram::{floor_log2, Ctx};
 use pdm_primitives::FxHashMap;
 use std::sync::Arc;
@@ -115,12 +115,15 @@ pub struct Dict2DMatcher {
     max_side: usize,
     n_patterns: usize,
     total_cells: usize,
-    sym: NameTable,
-    /// `quad[k-1]`: level-`k` block names from four level-`k−1` quadrant
-    /// names (chained 4-tuple namestamp).
-    quad: Vec<NameTable>,
-    /// Certificate table: `(n00, n01, n10, n11, s)` chained → cert name.
-    cert: NameTable,
+    /// Atomics-free snapshots of the build-side `sym` / `quad` / `cert`
+    /// tables — the dictionary side finishes inserting at build time, and
+    /// the text side only ever reads, so only the frozen forms are kept.
+    /// `frozen_quad[k-1]`: level-`k` block names from four level-`k−1`
+    /// quadrant names (chained 4-tuple namestamp); `frozen_cert`:
+    /// `(n00, n01, n10, n11, s)` chained → cert name.
+    frozen_sym: FrozenNameTable,
+    frozen_quad: Vec<FrozenNameTable>,
+    frozen_cert: FrozenNameTable,
     /// cert name → best full pattern `(id, side)` with side ≤ s whose square
     /// prefixes agree (the 2-D analogue of Theorem 2's table).
     best: FxHashMap<u32, (PatId, u32)>,
@@ -253,9 +256,9 @@ impl Dict2DMatcher {
             max_side,
             n_patterns: patterns.len(),
             total_cells,
-            sym,
-            quad,
-            cert,
+            frozen_sym: sym.freeze(),
+            frozen_quad: quad.iter().map(NameTable::freeze).collect(),
+            frozen_cert: cert.freeze(),
             best,
             pool,
         })
@@ -396,7 +399,10 @@ impl<'a> TextLevels<'a> {
             .min(floor_log2(rows.min(cols).max(1)) as usize);
         let mut lvls: Vec<Vec<u32>> = Vec::with_capacity(kt + 1);
         lvls.push(ctx.map(n, |idx| {
-            matcher.sym.lookup(text.data[idx], 0).unwrap_or(UNKNOWN)
+            matcher
+                .frozen_sym
+                .lookup(text.data[idx], 0)
+                .unwrap_or(UNKNOWN)
         }));
         for k in 1..=kt {
             let h = 1usize << (k - 1);
@@ -405,7 +411,7 @@ impl<'a> TextLevels<'a> {
             let dim_c = cols + 1 - span;
             let prev_c = cols + 1 - h;
             let prev = &lvls[k - 1];
-            let q = &matcher.quad[k - 1];
+            let q = &matcher.frozen_quad[k - 1];
             let cur = ctx.map(dim_r * dim_c, |idx| {
                 let (i, j) = (idx / dim_c, idx % dim_c);
                 let a = prev[i * prev_c + j];
@@ -444,7 +450,9 @@ impl<'a> TextLevels<'a> {
         if a == UNKNOWN || b == UNKNOWN || c_ == UNKNOWN || d == UNKNOWN {
             return None;
         }
-        self.matcher.cert.lookup_tuple(&[a, b, c_, d, s as u32])
+        self.matcher
+            .frozen_cert
+            .lookup_tuple(&[a, b, c_, d, s as u32])
     }
 
     /// Binary search the largest matching square-prefix side at `(i, j)`.

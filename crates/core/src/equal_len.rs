@@ -48,7 +48,7 @@
 //! ```
 
 use crate::dict::{validate_dictionary, BuildError, PatId, Sym};
-use pdm_naming::{NamePool, NameTable, IDENTITY};
+use pdm_naming::{FrozenNameTable, NamePool, NameTable, IDENTITY};
 use pdm_pram::Ctx;
 use pdm_primitives::FxHashMap;
 use std::sync::Arc;
@@ -118,12 +118,33 @@ impl EqualLenMatcher {
     /// dictionary naming across all of them — this is what keeps the
     /// multi-dimensional reduction (§7, `pdm_core::multidim`) at `O(n + M)`
     /// total work when `n` is split over thousands of rows/columns.
+    ///
+    /// Per level, pattern-side naming fully precedes text-side lookup, so
+    /// each level freezes its tables at that boundary and probes the text
+    /// through atomics-free [`FrozenNameTable`]s (pattern-sized, so the
+    /// freeze cost stays inside the `O(M)` term).
     pub fn match_texts(&self, ctx: &Ctx, texts: &[Vec<Sym>]) -> Vec<Vec<Option<PatId>>> {
+        self.match_texts_impl(ctx, texts, true)
+    }
+
+    /// Reference leg: identical recursion probing the *concurrent* tables
+    /// directly (the pre-freeze behavior). Retained for the equivalence
+    /// tests and the `text_throughput` bench's before leg.
+    pub fn match_texts_ref(&self, ctx: &Ctx, texts: &[Vec<Sym>]) -> Vec<Vec<Option<PatId>>> {
+        self.match_texts_impl(ctx, texts, false)
+    }
+
+    fn match_texts_impl(
+        &self,
+        ctx: &Ctx,
+        texts: &[Vec<Sym>],
+        fast: bool,
+    ) -> Vec<Vec<Option<PatId>>> {
         if texts.iter().all(|t| t.is_empty()) {
             return texts.iter().map(|_| Vec::new()).collect();
         }
         let pool = NamePool::dictionary();
-        let (beta, matches) = solve(ctx, texts.to_vec(), self.patterns.clone(), &pool);
+        let (beta, matches) = solve(ctx, texts.to_vec(), self.patterns.clone(), &pool, fast);
         let by_name: FxHashMap<u32, PatId> = beta
             .iter()
             .enumerate()
@@ -181,12 +202,46 @@ fn name2(t: &NameTable, a: u32, b: u32) -> u32 {
     t.name(a, b)
 }
 
+/// Read-only view of a level table for the text side, taken *after* the
+/// pattern side finished inserting: either a frozen snapshot (the fast
+/// path) or the live concurrent table (the reference leg).
+enum Probe<'a> {
+    Frozen(FrozenNameTable),
+    Live(&'a NameTable),
+}
+
+impl Probe<'_> {
+    fn of(fast: bool, t: &NameTable) -> Probe<'_> {
+        if fast {
+            Probe::Frozen(t.freeze())
+        } else {
+            Probe::Live(t)
+        }
+    }
+
+    #[inline]
+    fn get(&self, a: u32, b: u32) -> Option<u32> {
+        match self {
+            Probe::Frozen(f) => f.lookup(a, b),
+            Probe::Live(t) => t.lookup(a, b),
+        }
+    }
+
+    #[inline]
+    fn get_tuple(&self, ts: &[u32]) -> Option<u32> {
+        match self {
+            Probe::Frozen(f) => f.lookup_tuple(ts),
+            Probe::Live(t) => t.lookup_tuple(ts),
+        }
+    }
+}
+
 #[inline]
-fn lookup2(t: &NameTable, a: u32, b: u32) -> u32 {
+fn lookup2(t: &Probe, a: u32, b: u32) -> u32 {
     if a == UNKNOWN || b == UNKNOWN {
         return UNKNOWN;
     }
-    t.lookup(a, b).unwrap_or(UNKNOWN)
+    t.get(a, b).unwrap_or(UNKNOWN)
 }
 
 /// Name the length-`r` run `s[i..i+r]` (pattern side: allocates).
@@ -201,12 +256,12 @@ fn name_run(t: &LevelTables, s: &[u32], i: usize, r: usize) -> u32 {
 }
 
 /// Look up the length-`r` run name (text side: never allocates).
-fn lookup_run(t: &LevelTables, s: &[u32], i: usize, r: usize) -> u32 {
+fn lookup_run(res_a: &Probe, res_b: &Probe, s: &[u32], i: usize, r: usize) -> u32 {
     match r {
         0 => IDENTITY,
-        1 => lookup2(&t.res_a, s[i], IDENTITY),
-        2 => lookup2(&t.res_a, s[i], s[i + 1]),
-        3 => lookup2(&t.res_b, lookup2(&t.res_a, s[i], s[i + 1]), s[i + 2]),
+        1 => lookup2(res_a, s[i], IDENTITY),
+        2 => lookup2(res_a, s[i], s[i + 1]),
+        3 => lookup2(res_b, lookup2(res_a, s[i], s[i + 1]), s[i + 2]),
         _ => unreachable!("residues are < 4"),
     }
 }
@@ -222,6 +277,7 @@ fn solve(
     texts: Vec<Vec<u32>>,
     patterns: Vec<Vec<u32>>,
     pool: &Arc<NamePool>,
+    fast: bool,
 ) -> (Vec<u32>, Vec<Vec<Option<u32>>>) {
     let m = patterns[0].len();
     debug_assert!(patterns.iter().all(|p| p.len() == m) && m >= 1);
@@ -246,7 +302,9 @@ fn solve(
 
     let text_sz: usize = texts.iter().map(Vec::len).sum();
     let pat_sz: usize = uniq.len() * m;
-    let tables = LevelTables::new(2 * (text_sz + 2 * pat_sz) + 64, pool);
+    // Only the pattern side ever inserts (≤ 2·pat_sz entries per table), so
+    // pattern-sized tables keep the per-level freeze inside the O(M) term.
+    let tables = LevelTables::new(4 * pat_sz + 64, pool);
 
     // Base case: name whole patterns directly, scan each window by lookup.
     if m <= 4 {
@@ -263,6 +321,8 @@ fn solve(
                 ),
             }
         });
+        let p1 = Probe::of(fast, &tables.pair1);
+        let p2 = Probe::of(fast, &tables.pair2);
         let matches: Vec<Vec<Option<u32>>> = texts
             .iter()
             .map(|t| {
@@ -271,17 +331,13 @@ fn solve(
                         return None;
                     }
                     let nm = match m {
-                        1 => lookup2(&tables.pair1, t[i], IDENTITY),
-                        2 => lookup2(&tables.pair1, t[i], t[i + 1]),
-                        3 => lookup2(
-                            &tables.pair2,
-                            lookup2(&tables.pair1, t[i], t[i + 1]),
-                            t[i + 2],
-                        ),
+                        1 => lookup2(&p1, t[i], IDENTITY),
+                        2 => lookup2(&p1, t[i], t[i + 1]),
+                        3 => lookup2(&p2, lookup2(&p1, t[i], t[i + 1]), t[i + 2]),
                         _ => lookup2(
-                            &tables.pair2,
-                            lookup2(&tables.pair1, t[i], t[i + 1]),
-                            lookup2(&tables.pair1, t[i + 2], t[i + 3]),
+                            &p2,
+                            lookup2(&p1, t[i], t[i + 1]),
+                            lookup2(&p1, t[i + 2], t[i + 3]),
                         ),
                     };
                     // The tuple tables only ever name whole patterns, so a
@@ -312,17 +368,22 @@ fn solve(
     });
     ctx.cost.work(pat_sz as u64);
 
-    // Text-side block names at every position, lookup-only.
-    let text_l4: Vec<Vec<u32>> = texts
-        .iter()
-        .map(|t| {
-            if t.len() < 4 {
-                return Vec::new();
-            }
-            let l1: Vec<u32> = ctx.map(t.len() - 1, |i| lookup2(&tables.pair1, t[i], t[i + 1]));
-            ctx.map(t.len() - 3, |i| lookup2(&tables.pair2, l1[i], l1[i + 2]))
-        })
-        .collect();
+    // Text-side block names at every position, lookup-only (the pattern
+    // side above was the last writer to pair1/pair2, so freeze here).
+    let text_l4: Vec<Vec<u32>> = {
+        let p1 = Probe::of(fast, &tables.pair1);
+        let p2 = Probe::of(fast, &tables.pair2);
+        texts
+            .iter()
+            .map(|t| {
+                if t.len() < 4 {
+                    return Vec::new();
+                }
+                let l1: Vec<u32> = ctx.map(t.len() - 1, |i| lookup2(&p1, t[i], t[i + 1]));
+                ctx.map(t.len() - 3, |i| lookup2(&p2, l1[i], l1[i + 2]))
+            })
+            .collect()
+    };
 
     // Shrunk dictionary 𝒫′: for each unique pattern, shrunk P^p (offset 0)
     // and shrunk P^s (offset 1).
@@ -342,7 +403,7 @@ fn solve(
     ctx.cost.round(text_sz as u64 / 2);
 
     // ---- Step 2: recurse ---------------------------------------------------
-    let (sub_beta, sub_matches) = solve(ctx, sub_texts, sub_patterns, pool);
+    let (sub_beta, sub_matches) = solve(ctx, sub_texts, sub_patterns, pool, fast);
     let delta_pp = |u: usize| sub_beta[2 * u];
     let delta_sp = |u: usize| sub_beta[2 * u + 1];
 
@@ -362,6 +423,13 @@ fn solve(
     });
 
     // ---- Steps 3b & 3c: complete matches at every position ----------------
+    // Step 3a/3c pattern naming above was the last writer; freeze for the
+    // text scans.
+    let res_a = Probe::of(fast, &tables.res_a);
+    let res_b = Probe::of(fast, &tables.res_b);
+    let t3a = Probe::of(fast, &tables.t3a);
+    let t3c_key = Probe::of(fast, &tables.t3c_key);
+    let t3c_val = Probe::of(fast, &tables.t3c_val);
     let matches: Vec<Vec<Option<u32>>> = texts
         .iter()
         .enumerate()
@@ -384,20 +452,20 @@ fn solve(
                 if i % 2 == 0 {
                     // Step 3b: α(i) is the shrunk P^p of the candidate.
                     let a = alpha(i)?;
-                    let res = lookup_run(&tables, t, i + 4 * q, r);
+                    let res = lookup_run(&res_a, &res_b, t, i + 4 * q, r);
                     if res == UNKNOWN {
                         return None;
                     }
-                    tables.t3a.lookup_tuple(&[a, res, t[i + m - 1]])
+                    t3a.get_tuple(&[a, res, t[i + m - 1]])
                 } else {
                     // Step 3c: extend the right neighbour's shrunk P^s left.
                     let a = alpha(i + 1)?;
-                    let res = lookup_run(&tables, t, i + 1 + 4 * q, r);
+                    let res = lookup_run(&res_a, &res_b, t, i + 1 + 4 * q, r);
                     if res == UNKNOWN {
                         return None;
                     }
-                    let key = tables.t3c_key.lookup_tuple(&[t[i], a, res])?;
-                    tables.t3c_val.lookup(key, 0)
+                    let key = t3c_key.get_tuple(&[t[i], a, res])?;
+                    t3c_val.get(key, 0)
                 }
             })
         })
@@ -492,6 +560,25 @@ mod tests {
     fn single_pattern_whole_text() {
         let pats = symbolize(&["hello"]);
         check(&pats, &to_symbols("hello"), "exact");
+    }
+
+    #[test]
+    fn frozen_fast_path_matches_reference() {
+        use pdm_textgen::{strings, Alphabet};
+        for &m in &[3usize, 7, 48] {
+            let mut r = strings::rng(m as u64 + 100);
+            let mut text = strings::random_text(&mut r, Alphabet::Dna, 1500);
+            let pats = strings::excerpt_dictionary(&mut r, &text, 5, m, m);
+            strings::plant_occurrences(&mut r, &mut text, &pats, 10);
+            let matcher = EqualLenMatcher::new(&pats).unwrap();
+            let ctx = Ctx::seq();
+            let texts = vec![text];
+            assert_eq!(
+                matcher.match_texts(&ctx, &texts),
+                matcher.match_texts_ref(&ctx, &texts),
+                "m = {m}"
+            );
+        }
     }
 
     #[test]

@@ -34,11 +34,13 @@ pub mod dynamic;
 pub mod equal_len;
 pub mod matcher;
 pub mod multidim;
+pub mod scratch;
 pub mod smallalpha;
 pub mod static1d;
 
 pub use dict::{BuildError, PatId, Sym};
 pub use matcher::{Matcher, MatcherBuilder, MatcherKind, MatcherStats};
+pub use scratch::TextScratch;
 pub use static1d::{MatchOutput, StaticMatcher};
 
 /// Everything needed to build a matcher and match a text:
@@ -58,6 +60,7 @@ pub mod prelude {
     pub use crate::dynamic::DynamicMatcher;
     pub use crate::equal_len::EqualLenMatcher;
     pub use crate::matcher::{Matcher, MatcherBuilder, MatcherKind, MatcherStats};
+    pub use crate::scratch::TextScratch;
     pub use crate::smallalpha::{BinaryEncodedMatcher, SmallAlphaMatcher};
     pub use crate::static1d::{MatchOutput, StaticMatcher};
     pub use pdm_pram::Ctx;

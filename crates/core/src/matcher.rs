@@ -62,6 +62,13 @@ pub struct MatcherStats {
     pub max_pattern_len: usize,
     /// Entries across all namestamp tables (the paper's space bound).
     pub table_entry_count: usize,
+    /// Text-side scratch (re)allocation events so far — flat in steady
+    /// state for matchers with a zero-alloc hot path; `0` for matchers
+    /// that do not track allocations.
+    pub alloc_events: u64,
+    /// Name-table probes issued by text-side calls so far (`0` when not
+    /// tracked).
+    pub lookup_count: u64,
 }
 
 /// Dictionary matching behind one object-safe interface.
@@ -87,11 +94,14 @@ impl Matcher for StaticMatcher {
     }
 
     fn stats(&self) -> MatcherStats {
+        let d = StaticMatcher::stats(self);
         MatcherStats {
             pattern_count: self.pattern_count(),
             symbol_count: self.symbol_count(),
             max_pattern_len: StaticMatcher::max_pattern_len(self),
             table_entry_count: self.table_entry_count(),
+            alloc_events: d.alloc_events,
+            lookup_count: d.table_lookups,
         }
     }
 
@@ -111,6 +121,8 @@ impl Matcher for DynamicMatcher {
             symbol_count: self.symbol_count(),
             max_pattern_len: DynamicMatcher::max_pattern_len(self),
             table_entry_count: self.table_entry_count(),
+            alloc_events: 0,
+            lookup_count: 0,
         }
     }
 
@@ -151,6 +163,8 @@ impl Matcher for EqualLenMatcher {
             symbol_count: self.symbol_count(),
             max_pattern_len: EqualLenMatcher::max_pattern_len(self),
             table_entry_count: 0, // builds its tables per match_text call
+            alloc_events: 0,
+            lookup_count: 0,
         }
     }
 
@@ -184,6 +198,8 @@ impl Matcher for SmallAlphaMatcher {
             symbol_count: self.symbol_count(),
             max_pattern_len: SmallAlphaMatcher::max_pattern_len(self),
             table_entry_count: self.table_entry_count(),
+            alloc_events: 0,
+            lookup_count: 0,
         }
     }
 
@@ -203,6 +219,8 @@ impl Matcher for BinaryEncodedMatcher {
             symbol_count: self.symbol_count(),
             max_pattern_len: BinaryEncodedMatcher::max_pattern_len(self),
             table_entry_count: self.table_entry_count(),
+            alloc_events: 0,
+            lookup_count: 0,
         }
     }
 

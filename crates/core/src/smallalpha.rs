@@ -50,7 +50,7 @@
 
 use crate::dict::{validate_dictionary, BuildError, PatId, Sym};
 use crate::static1d::StaticMatcher;
-use pdm_naming::{NamePool, NameTable, IDENTITY};
+use pdm_naming::{FrozenNameTable, NamePool, NameTable, IDENTITY};
 use pdm_pram::{ceil_log2, Ctx};
 use pdm_primitives::table::pack;
 use pdm_primitives::FxHashMap;
@@ -77,6 +77,9 @@ pub struct SmallAlphaMatcher {
     inner: Option<StaticMatcher>,
     /// `L`-block naming, shared by dictionary and text shrinking.
     block_tuple: NameTable,
+    /// Atomics-free snapshot of `block_tuple` for text-side shrinking (the
+    /// dictionary side finished inserting at build time).
+    frozen_block_tuple: FrozenNameTable,
     /// inner (block-level) prefix name → `(char-level prefix name, chars)`.
     block_to_char: FxHashMap<u32, (u32, u32)>,
     /// `(char-level prefix name, symbol) → extended prefix name`, member
@@ -294,6 +297,7 @@ impl SmallAlphaMatcher {
             (total * l * sigma as usize) as u64,
         );
 
+        let frozen_block_tuple = block_tuple.freeze();
         Ok(SmallAlphaMatcher {
             l_param: l,
             sigma,
@@ -302,6 +306,7 @@ impl SmallAlphaMatcher {
             total_len: total,
             inner,
             block_tuple,
+            frozen_block_tuple,
             block_to_char,
             rightext,
             g,
@@ -347,6 +352,16 @@ impl SmallAlphaMatcher {
 
     /// Longest pattern per text position.
     pub fn match_text(&self, ctx: &Ctx, text: &[Sym]) -> SmallAlphaOutput {
+        self.match_text_impl(ctx, text, true)
+    }
+
+    /// Reference leg probing the concurrent `block_tuple` instead of its
+    /// frozen snapshot (equivalence tests, bench before leg).
+    pub fn match_text_ref(&self, ctx: &Ctx, text: &[Sym]) -> SmallAlphaOutput {
+        self.match_text_impl(ctx, text, false)
+    }
+
+    fn match_text_impl(&self, ctx: &Ctx, text: &[Sym], use_frozen: bool) -> SmallAlphaOutput {
         let n = text.len();
         let l = self.l_param;
         let mut out = SmallAlphaOutput {
@@ -360,9 +375,13 @@ impl SmallAlphaMatcher {
         // Step 1: collapse the text — L-block names at aligned positions.
         let nb = n / l;
         let t_shrunk: Vec<u32> = ctx.map(nb, |k| {
-            self.block_tuple
-                .lookup_tuple(&text[k * l..(k + 1) * l])
-                .unwrap_or(UNKNOWN_SYM)
+            let block = &text[k * l..(k + 1) * l];
+            if use_frozen {
+                self.frozen_block_tuple.lookup_tuple(block)
+            } else {
+                self.block_tuple.lookup_tuple(block)
+            }
+            .unwrap_or(UNKNOWN_SYM)
         });
 
         // Step 2: §4 prefix matching on the collapsed text.
@@ -629,6 +648,24 @@ mod tests {
         uniq.sort();
         uniq.dedup();
         check_all_l(&uniq, &text, 2, "periodic");
+    }
+
+    #[test]
+    fn frozen_fast_path_matches_reference() {
+        use pdm_textgen::{strings, Alphabet};
+        let mut r = strings::rng(21);
+        let mut text = strings::random_text(&mut r, Alphabet::Dna, 600);
+        let pats = strings::excerpt_dictionary(&mut r, &text, 8, 2, 20);
+        strings::plant_occurrences(&mut r, &mut text, &pats, 10);
+        let ctx = Ctx::seq();
+        for l in [1usize, 2, 3] {
+            let m = SmallAlphaMatcher::build_with_l(&ctx, &pats, 4, l).unwrap();
+            assert_eq!(
+                m.match_text(&ctx, &text),
+                m.match_text_ref(&ctx, &text),
+                "L={l}"
+            );
+        }
     }
 
     #[test]

@@ -18,11 +18,28 @@ pub mod prefix_match;
 pub mod serial;
 pub mod tables;
 
-pub use prefix_match::{match_text, prefix_match, MatchOutput, MatchTables, PrefixMatch};
+pub use prefix_match::{
+    match_text, match_text_into, match_text_ref, prefix_match, prefix_match_into, prefix_match_ref,
+    ConcView, MatchOutput, MatchTables, PrefixMatch,
+};
 pub use tables::StaticTables;
 
+use crate::allmatches::PatternChains;
 use crate::dict::{BuildError, PatId, Sym};
+use crate::scratch::TextScratch;
 use pdm_pram::Ctx;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Cumulative text-side counters, aggregated across every scratch that
+/// passes through this matcher (surfaced by `pdm stats` and
+/// [`MatcherStats`](crate::matcher::MatcherStats)).
+#[derive(Debug, Default)]
+struct Metrics {
+    match_calls: AtomicU64,
+    alloc_events: AtomicU64,
+    table_lookups: AtomicU64,
+}
 
 /// The static dictionary matcher: preprocess once (`O(log m)` time, `O(M)`
 /// work), match any number of texts (`O(log m)` time, `O(n log m)` work
@@ -30,6 +47,10 @@ use pdm_pram::Ctx;
 #[derive(Debug)]
 pub struct StaticMatcher {
     tables: StaticTables,
+    /// Pattern suffix-chains for all-matches expansion, built lazily on the
+    /// first `find_all_into` call and shared by every session thereafter.
+    chains: OnceLock<PatternChains>,
+    metrics: Metrics,
 }
 
 /// Size diagnostics for a built dictionary (see [`StaticMatcher::stats`]).
@@ -46,6 +67,13 @@ pub struct DictStats {
     pub pair_entries: usize,
     pub fold_entries: usize,
     pub ext_entries: usize,
+    /// Text-side `match_*` calls served so far.
+    pub match_calls: u64,
+    /// Scratch-buffer (re)allocation events across those calls — flat in
+    /// steady state (see [`crate::scratch::TextScratch`]).
+    pub alloc_events: u64,
+    /// Name-table probes issued across those calls.
+    pub table_lookups: u64,
 }
 
 impl DictStats {
@@ -63,14 +91,49 @@ impl DictStats {
 impl StaticMatcher {
     /// Preprocess a dictionary of distinct, non-empty patterns.
     pub fn build(ctx: &Ctx, patterns: &[Vec<Sym>]) -> Result<Self, BuildError> {
-        Ok(Self {
-            tables: StaticTables::build(ctx, patterns)?,
-        })
+        Ok(Self::from_tables(StaticTables::build(ctx, patterns)?))
+    }
+
+    fn from_tables(tables: StaticTables) -> Self {
+        Self {
+            tables,
+            chains: OnceLock::new(),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// Fold a scratch's counter deltas into the matcher-wide metrics.
+    fn record(&self, scratch: &TextScratch, grows0: u64, lookups0: u64) {
+        self.metrics.match_calls.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .alloc_events
+            .fetch_add(scratch.grow_events() - grows0, Ordering::Relaxed);
+        self.metrics
+            .table_lookups
+            .fetch_add(scratch.table_lookups() - lookups0, Ordering::Relaxed);
     }
 
     /// Longest pattern (and prefix) starting at every text position.
     pub fn match_text(&self, ctx: &Ctx, text: &[Sym]) -> MatchOutput {
-        match_text(ctx, &self.tables, text)
+        let mut scratch = TextScratch::new();
+        let mut out = MatchOutput::empty();
+        self.match_into(ctx, text, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`Self::match_text`] into caller-owned buffers: `out` is overwritten
+    /// and `scratch` is reused across calls, so a session matching chunk
+    /// after chunk allocates nothing once warm.
+    pub fn match_into(
+        &self,
+        ctx: &Ctx,
+        text: &[Sym],
+        scratch: &mut TextScratch,
+        out: &mut MatchOutput,
+    ) {
+        let (g0, l0) = (scratch.grow_events(), scratch.table_lookups());
+        match_text_into(ctx, &self.tables, text, scratch, out);
+        self.record(scratch, g0, l0);
     }
 
     /// Match a *set* of texts (the paper's problem statement takes
@@ -82,7 +145,24 @@ impl StaticMatcher {
 
     /// Phase 1 only: longest dictionary *prefix* per position (Theorem 1).
     pub fn prefix_match(&self, ctx: &Ctx, text: &[Sym]) -> PrefixMatch {
-        prefix_match(ctx, &self.tables, text)
+        let mut scratch = TextScratch::new();
+        let mut out = PrefixMatch::default();
+        self.prefix_match_into(ctx, text, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`Self::prefix_match`] into caller-owned buffers (see
+    /// [`Self::match_into`]).
+    pub fn prefix_match_into(
+        &self,
+        ctx: &Ctx,
+        text: &[Sym],
+        scratch: &mut TextScratch,
+        out: &mut PrefixMatch,
+    ) {
+        let (g0, l0) = (scratch.grow_events(), scratch.table_lookups());
+        prefix_match_into(ctx, &self.tables, text, scratch, out);
+        self.record(scratch, g0, l0);
     }
 
     /// Memory-lean variant of [`Self::match_text`] for long texts: process
@@ -96,11 +176,13 @@ impl StaticMatcher {
         let n = text.len();
         let overlap = self.tables.max_len.saturating_sub(1);
         let mut out = MatchOutput::empty();
+        let mut scratch = TextScratch::new();
+        let mut part = MatchOutput::empty();
         let mut at = 0usize;
         while at < n {
             let end_proper = (at + chunk).min(n);
             let end = (end_proper + overlap).min(n);
-            let part = self.match_text(ctx, &text[at..end]);
+            self.match_into(ctx, &text[at..end], &mut scratch, &mut part);
             let take = end_proper - at;
             out.prefix_len.extend_from_slice(&part.prefix_len[..take]);
             out.prefix_name.extend_from_slice(&part.prefix_name[..take]);
@@ -119,15 +201,46 @@ impl StaticMatcher {
     /// the classical sequential output format, produced from the
     /// longest-match output plus the §2 all-matches expansion.
     pub fn find_all(&self, ctx: &Ctx, text: &[Sym]) -> Vec<(usize, PatId)> {
-        let out = self.match_text(ctx, text);
-        let all = crate::allmatches::enumerate_all(ctx, self, &out);
-        let mut v = Vec::with_capacity(all.total());
-        for i in 0..text.len() {
-            let mut here: Vec<PatId> = all.at(i).to_vec();
-            here.sort_unstable();
-            v.extend(here.into_iter().map(|p| (i, p)));
+        let mut scratch = TextScratch::new();
+        let mut out = Vec::new();
+        self.find_all_into(ctx, text, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`Self::find_all`] into caller-owned buffers. Uses the lazily-built
+    /// per-pattern prefix chains (`chain[p]` = longest pattern properly
+    /// prefixing `p`): the patterns matching at a position are exactly the
+    /// chain from the longest match downward, so the expansion needs no
+    /// allocation beyond the reused scratch.
+    pub fn find_all_into(
+        &self,
+        ctx: &Ctx,
+        text: &[Sym],
+        scratch: &mut TextScratch,
+        out: &mut Vec<(usize, PatId)>,
+    ) {
+        out.clear();
+        let mut mo = std::mem::take(&mut scratch.match_out);
+        self.match_into(ctx, text, scratch, &mut mo);
+        let chains = self
+            .chains
+            .get_or_init(|| crate::allmatches::pattern_chains(self));
+        let cap0 = out.capacity() + scratch.pats_here.capacity();
+        for (i, &longest) in mo.longest_pattern.iter().enumerate() {
+            scratch.pats_here.clear();
+            let mut cur = longest;
+            while let Some(p) = cur {
+                scratch.pats_here.push(p);
+                cur = chains.chain[p as usize];
+            }
+            scratch.pats_here.sort_unstable();
+            out.extend(scratch.pats_here.iter().map(|&p| (i, p)));
         }
-        v
+        if out.capacity() + scratch.pats_here.capacity() != cap0 {
+            scratch.grows += 1;
+            self.metrics.alloc_events.fetch_add(1, Ordering::Relaxed);
+        }
+        scratch.match_out = mo;
     }
 
     /// Access the underlying tables (consumed by §4.4 and the experiments).
@@ -148,6 +261,9 @@ impl StaticMatcher {
             pair_entries: t.pair.iter().map(|x| x.len()).sum(),
             fold_entries: t.fold.len(),
             ext_entries: t.ext.iter().map(|x| x.len()).sum(),
+            match_calls: self.metrics.match_calls.load(Ordering::Relaxed),
+            alloc_events: self.metrics.alloc_events.load(Ordering::Relaxed),
+            table_lookups: self.metrics.table_lookups.load(Ordering::Relaxed),
         }
     }
 
@@ -158,9 +274,7 @@ impl StaticMatcher {
 
     /// Load a matcher from a serialized index.
     pub fn from_bytes(data: &[u8]) -> Result<Self, serial::LoadError> {
-        Ok(Self {
-            tables: StaticTables::from_bytes(data)?,
-        })
+        Ok(Self::from_tables(StaticTables::from_bytes(data)?))
     }
 
     /// Longest pattern length in the dictionary (`m`).

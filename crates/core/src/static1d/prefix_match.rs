@@ -5,11 +5,10 @@
 //!
 //! * **Ascent (= the spawn side of shrink-and-spawn):** compute level-`k`
 //!   block names at *every* text position by doubling, resolving pairs
-//!   through the dictionary tables first and a text-local overlay for
-//!   blocks the dictionary never saw (§3.1's "special symbols"). Reading the
-//!   level-`k` array at stride `2^k` from offset `i` is exactly the paper's
-//!   `i`-th spawned copy; storing all offsets in one flat array realizes all
-//!   `2^k` copies in `O(n)` space per level.
+//!   through the dictionary tables. Reading the level-`k` array at stride
+//!   `2^k` from offset `i` is exactly the paper's `i`-th spawned copy;
+//!   storing all offsets in one flat array realizes all `2^k` copies in
+//!   `O(n)` space per level.
 //! * **Descent (= the unwinding with Extend-Right):** starting from the
 //!   deepest level (where at most one block fits), maintain per position the
 //!   longest matching shrunk-dictionary prefix as `(block count, prefix
@@ -23,10 +22,27 @@
 //! The descent starts at `min(K, ⌊log₂ n⌋)`: at that level at most one block
 //! fits in the text, so the base case ("shrunk patterns have ≤ 1 block") is
 //! satisfied even when the text is shorter than the longest pattern.
+//!
+//! ## The sentinel fast path
+//!
+//! The paper names text blocks the dictionary never saw with "special
+//! symbols" — realized historically by a text-local [`Overlay`]-style table
+//! allocating fresh names ≥ [`pdm_naming::TEXT_NAME_BASE`] per novel block.
+//! But every consumer of those names — the next ascent level's pair lookup,
+//! the descent's extension lookup — probes a *dictionary* table, which only
+//! contains pairs of dictionary names, so any pair with a text-local half
+//! misses identically regardless of which text-local name it carries. The
+//! fast path therefore collapses all text-local names to the single
+//! [`TEXT_MISS`] sentinel: no atomic pool allocation, no text-side table
+//! insertions, no per-level table construction (equivalence argument in
+//! DESIGN.md §11, verified by `tests/sentinel_equiv.rs`). The original
+//! text-local scheme survives as [`prefix_match_ref`]/[`match_text_ref`] —
+//! the proptest oracle and the bench "before" leg.
 
 use crate::dict::{PatId, Sym};
+use crate::scratch::{ensure, TextScratch};
 use crate::static1d::namemap::unpack2;
-use pdm_naming::{NamePool, NameTable, IDENTITY};
+use pdm_naming::{NamePool, NameTable, IDENTITY, TEXT_MISS};
 use pdm_pram::{floor_log2, Ctx};
 
 /// Lookup interface shared by the static tables and the dynamic dictionary
@@ -51,7 +67,7 @@ pub trait MatchTables: Sync {
 /// for each location, the longest pattern that matches there; plus the
 /// §4.1 prefix-matching artifacts, which the dynamic and small-alphabet
 /// layers consume).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MatchOutput {
     /// `δ_t(τ)` length: longest dictionary prefix matching at each position.
     pub prefix_len: Vec<u32>,
@@ -67,13 +83,7 @@ pub struct MatchOutput {
 
 impl MatchOutput {
     pub fn empty() -> Self {
-        MatchOutput {
-            prefix_len: Vec::new(),
-            prefix_name: Vec::new(),
-            longest_pattern: Vec::new(),
-            longest_pattern_len: Vec::new(),
-            prefix_owner: Vec::new(),
-        }
+        Self::default()
     }
 
     /// All `(position, pattern)` pairs with a longest-pattern match.
@@ -84,23 +94,225 @@ impl MatchOutput {
             .filter_map(|(i, p)| p.map(|p| (i, p)))
             .collect()
     }
+
+    fn clear(&mut self) {
+        self.prefix_len.clear();
+        self.prefix_name.clear();
+        self.longest_pattern.clear();
+        self.longest_pattern_len.clear();
+        self.prefix_owner.clear();
+    }
 }
 
 /// Phase-1 result, exposed separately for layers that only need prefixes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PrefixMatch {
     pub len: Vec<u32>,
     pub name: Vec<u32>,
 }
 
+/// Append into `dst`, counting a grow event if capacity was insufficient.
+#[inline]
+fn extend_counted<T>(dst: &mut Vec<T>, n: usize, it: impl Iterator<Item = T>, grows: &mut u64) {
+    if dst.capacity() - dst.len() < n {
+        *grows += 1;
+    }
+    dst.extend(it);
+}
+
+/// Sentinel-named ascent + descent: leaves `(blocks, prefix-name)` per
+/// position in `scratch.state`. Shared by the prefix-only and full paths.
+fn ascend_descend<T: MatchTables>(ctx: &Ctx, tables: &T, text: &[Sym], scratch: &mut TextScratch) {
+    let n = text.len();
+    let kt = tables.levels().min(floor_log2(n) as usize);
+    if scratch.levels.len() <= kt {
+        scratch.levels.resize_with(kt + 1, Vec::new);
+    }
+    let mut grows = 0u64;
+    let mut lookups = 0u64;
+
+    // Ascent: block names at every position, per level; any pair with a
+    // text-local (= sentinel) half misses every dictionary table, so it
+    // *is* the sentinel at the next level too.
+    ctx.cost.phase("text/ascent", || {
+        let l0 = &mut scratch.levels[0];
+        ensure(l0, n, &mut grows);
+        ctx.for_each_mut(l0, |i, v| {
+            *v = tables.sym_lookup(text[i]).unwrap_or(TEXT_MISS);
+        });
+        lookups += n as u64;
+        for k in 1..=kt {
+            let half = 1usize << (k - 1);
+            let cnt = n + 1 - (1usize << k);
+            let (lower, upper) = scratch.levels.split_at_mut(k);
+            let prev = &lower[k - 1];
+            let cur = &mut upper[0];
+            ensure(cur, cnt, &mut grows);
+            ctx.for_each_mut(cur, |i, v| {
+                let (a, b) = (prev[i], prev[i + half]);
+                *v = if a == TEXT_MISS || b == TEXT_MISS {
+                    TEXT_MISS
+                } else {
+                    tables.pair_lookup(k, a, b).unwrap_or(TEXT_MISS)
+                };
+            });
+            lookups += cnt as u64;
+        }
+    });
+
+    // Descent: (blocks, prefix-name) per position; one extension per level.
+    ctx.cost.phase("text/descent", || {
+        ensure(&mut scratch.state, n, &mut grows); // default = (0, IDENTITY)
+        for k in (0..=kt).rev() {
+            let lvl = &scratch.levels[k];
+            let span = 1usize << k;
+            ctx.for_each_mut(&mut scratch.state, |i, st| {
+                let mut b = if k == kt { 0 } else { st.0 << 1 };
+                let mut pref = st.1;
+                let clen = (b as usize) << k;
+                if i + clen + span <= n {
+                    let block = lvl[i + clen];
+                    if block != TEXT_MISS {
+                        if let Some(np) = tables.ext_lookup(k, pref, block) {
+                            pref = np;
+                            b += 1;
+                        }
+                    }
+                }
+                *st = (b, pref);
+            });
+            lookups += n as u64;
+        }
+    });
+
+    scratch.grows += grows;
+    scratch.lookups += lookups;
+}
+
+/// Static prefix-matching (§4.1) into caller-owned buffers: `out` is
+/// overwritten, `scratch` buffers are reused across calls (zero steady-state
+/// allocation).
+pub fn prefix_match_into<T: MatchTables>(
+    ctx: &Ctx,
+    tables: &T,
+    text: &[Sym],
+    scratch: &mut TextScratch,
+    out: &mut PrefixMatch,
+) {
+    let n = text.len();
+    out.len.clear();
+    out.name.clear();
+    if n == 0 {
+        return;
+    }
+    ascend_descend(ctx, tables, text, scratch);
+    let mut grows = 0u64;
+    extend_counted(
+        &mut out.len,
+        n,
+        scratch.state.iter().map(|s| s.0),
+        &mut grows,
+    );
+    extend_counted(
+        &mut out.name,
+        n,
+        scratch.state.iter().map(|s| s.1),
+        &mut grows,
+    );
+    scratch.grows += grows;
+}
+
 /// Static prefix-matching (§4.1): longest dictionary prefix per position.
 pub fn prefix_match<T: MatchTables>(ctx: &Ctx, tables: &T, text: &[Sym]) -> PrefixMatch {
+    let mut scratch = TextScratch::new();
+    let mut out = PrefixMatch::default();
+    prefix_match_into(ctx, tables, text, &mut scratch, &mut out);
+    out
+}
+
+/// Full dictionary matching (phase 1 + the longest-pattern lookup) into
+/// caller-owned buffers: `out` is overwritten, `scratch` is reused.
+pub fn match_text_into<T: MatchTables>(
+    ctx: &Ctx,
+    tables: &T,
+    text: &[Sym],
+    scratch: &mut TextScratch,
+    out: &mut MatchOutput,
+) {
+    let n = text.len();
+    out.clear();
+    if n == 0 {
+        return;
+    }
+    ascend_descend(ctx, tables, text, scratch);
+    let mut grows = 0u64;
+    extend_counted(
+        &mut out.prefix_len,
+        n,
+        scratch.state.iter().map(|s| s.0),
+        &mut grows,
+    );
+    extend_counted(
+        &mut out.prefix_name,
+        n,
+        scratch.state.iter().map(|s| s.1),
+        &mut grows,
+    );
+    ctx.cost.phase("text/longest-lookup", || {
+        ensure(&mut scratch.pats, n, &mut grows);
+        let names = &out.prefix_name;
+        let lens = &out.prefix_len;
+        ctx.for_each_mut(&mut scratch.pats, |i, v| {
+            *v = if lens[i] == 0 {
+                (None, 0, None)
+            } else {
+                let owner = tables.owner(names[i]);
+                match tables.longest_pattern(names[i]) {
+                    Some((pid, plen)) => (Some(pid), plen, owner),
+                    None => (None, 0, owner),
+                }
+            };
+        });
+    });
+    scratch.lookups += n as u64;
+    extend_counted(
+        &mut out.longest_pattern,
+        n,
+        scratch.pats.iter().map(|p| p.0),
+        &mut grows,
+    );
+    extend_counted(
+        &mut out.longest_pattern_len,
+        n,
+        scratch.pats.iter().map(|p| p.1),
+        &mut grows,
+    );
+    extend_counted(
+        &mut out.prefix_owner,
+        n,
+        scratch.pats.iter().map(|p| p.2),
+        &mut grows,
+    );
+    scratch.grows += grows;
+}
+
+/// Full dictionary matching: phase 1 + the longest-pattern lookup.
+pub fn match_text<T: MatchTables>(ctx: &Ctx, tables: &T, text: &[Sym]) -> MatchOutput {
+    let mut scratch = TextScratch::new();
+    let mut out = MatchOutput::empty();
+    match_text_into(ctx, tables, text, &mut scratch, &mut out);
+    out
+}
+
+/// Reference prefix-matching with the pre-sentinel text-local naming
+/// scheme: novel text blocks get fresh names from a per-call text-local
+/// pool, with per-level overlay tables and per-level allocation. Kept as
+/// the equivalence oracle for the sentinel fast path (`sentinel_equiv`
+/// proptests) and the "before" leg of the `text_throughput` bench.
+pub fn prefix_match_ref<T: MatchTables>(ctx: &Ctx, tables: &T, text: &[Sym]) -> PrefixMatch {
     let n = text.len();
     if n == 0 {
-        return PrefixMatch {
-            len: Vec::new(),
-            name: Vec::new(),
-        };
+        return PrefixMatch::default();
     }
     let kt = tables.levels().min(floor_log2(n) as usize);
     let text_pool = NamePool::text_local();
@@ -162,13 +374,13 @@ pub fn prefix_match<T: MatchTables>(ctx: &Ctx, tables: &T, text: &[Sym]) -> Pref
     }
 }
 
-/// Full dictionary matching: phase 1 + the longest-pattern lookup.
-pub fn match_text<T: MatchTables>(ctx: &Ctx, tables: &T, text: &[Sym]) -> MatchOutput {
+/// Reference full matching on top of [`prefix_match_ref`] (see there).
+pub fn match_text_ref<T: MatchTables>(ctx: &Ctx, tables: &T, text: &[Sym]) -> MatchOutput {
     let n = text.len();
     if n == 0 {
         return MatchOutput::empty();
     }
-    let pm = prefix_match(ctx, tables, text);
+    let pm = prefix_match_ref(ctx, tables, text);
     let mut out = MatchOutput {
         prefix_len: pm.len,
         prefix_name: pm.name,
@@ -198,22 +410,31 @@ pub fn match_text<T: MatchTables>(ctx: &Ctx, tables: &T, text: &[Sym]) -> MatchO
     out
 }
 
-/// Glue for `MatchTables` implementors backed by [`super::tables::StaticTables`].
+/// Glue for `MatchTables` implementors backed by [`super::tables::StaticTables`]:
+/// all text-side lookups route through the frozen read path (dense symbol
+/// map when available, atomics-free open addressing otherwise).
 impl MatchTables for super::tables::StaticTables {
     fn levels(&self) -> usize {
         self.levels
     }
 
+    #[inline]
     fn sym_lookup(&self, c: Sym) -> Option<u32> {
-        self.sym.lookup(c, 0)
+        if let Some(d) = &self.read.sym_dense {
+            let v = d.get(c as usize).copied().unwrap_or(IDENTITY);
+            return (v != IDENTITY).then_some(v);
+        }
+        self.read.sym.lookup(c, 0)
     }
 
+    #[inline]
     fn pair_lookup(&self, k: usize, a: u32, b: u32) -> Option<u32> {
-        self.pair[k - 1].lookup(a, b)
+        self.read.pair[k - 1].lookup(a, b)
     }
 
+    #[inline]
     fn ext_lookup(&self, k: usize, pref: u32, block: u32) -> Option<u32> {
-        self.ext[k].lookup(pref, block)
+        self.read.ext[k].lookup(pref, block)
     }
 
     fn longest_pattern(&self, pref: u32) -> Option<(PatId, u32)> {
@@ -225,6 +446,38 @@ impl MatchTables for super::tables::StaticTables {
 
     fn owner(&self, pref: u32) -> Option<PatId> {
         self.owner.get(pref).map(|v| unpack2(v).1)
+    }
+}
+
+/// View of a [`StaticTables`](super::tables::StaticTables) that routes the
+/// text-side lookups through the *concurrent* build tables instead of the
+/// frozen read path — the pre-freeze probing behavior, retained so the
+/// `text_throughput` bench can report honest before/after numbers.
+pub struct ConcView<'a>(pub &'a super::tables::StaticTables);
+
+impl MatchTables for ConcView<'_> {
+    fn levels(&self) -> usize {
+        self.0.levels
+    }
+
+    fn sym_lookup(&self, c: Sym) -> Option<u32> {
+        self.0.sym.lookup(c, 0)
+    }
+
+    fn pair_lookup(&self, k: usize, a: u32, b: u32) -> Option<u32> {
+        self.0.pair[k - 1].lookup(a, b)
+    }
+
+    fn ext_lookup(&self, k: usize, pref: u32, block: u32) -> Option<u32> {
+        self.0.ext[k].lookup(pref, block)
+    }
+
+    fn longest_pattern(&self, pref: u32) -> Option<(PatId, u32)> {
+        self.0.longest_pattern(pref)
+    }
+
+    fn owner(&self, pref: u32) -> Option<PatId> {
+        self.0.owner(pref)
     }
 }
 
@@ -272,5 +525,39 @@ mod tests {
         assert_eq!(out.longest_pattern[0], Some(1));
         assert_eq!(out.longest_pattern[1], Some(2));
         assert_eq!(out.prefix_len[2], 0);
+    }
+
+    #[test]
+    fn sentinel_path_equals_text_local_reference() {
+        let ctx = Ctx::seq();
+        let pats = symbolize(&["he", "she", "his", "hers", "xyzzy"]);
+        let m = StaticMatcher::build(&ctx, &pats).unwrap();
+        let text = to_symbols("ushers love xyzzy and xyzzx");
+        let fast = match_text(&ctx, m.tables(), &text);
+        let slow = match_text_ref(&ctx, m.tables(), &text);
+        assert_eq!(fast, slow);
+        let slow_conc = match_text_ref(&ctx, &ConcView(m.tables()), &text);
+        assert_eq!(fast, slow_conc);
+    }
+
+    #[test]
+    fn scratch_reuse_is_allocation_free_in_steady_state() {
+        let ctx = Ctx::seq();
+        let m = StaticMatcher::build(&ctx, &symbolize(&["ab", "abc", "zzz"])).unwrap();
+        let mut scratch = TextScratch::new();
+        let mut out = MatchOutput::empty();
+        let text = to_symbols("xabcabzzzab");
+        match_text_into(&ctx, m.tables(), &text, &mut scratch, &mut out);
+        let warm = scratch.grow_events();
+        assert!(warm > 0, "first call must grow the buffers");
+        for _ in 0..10 {
+            match_text_into(&ctx, m.tables(), &text, &mut scratch, &mut out);
+        }
+        assert_eq!(
+            scratch.grow_events(),
+            warm,
+            "steady-state calls must not allocate"
+        );
+        assert!(scratch.table_lookups() > 0);
     }
 }

@@ -21,7 +21,7 @@
 //! `namemap` = `u32 count | count × u64`.
 
 use crate::static1d::namemap::NameMap;
-use crate::static1d::tables::StaticTables;
+use crate::static1d::tables::{ReadTables, StaticTables};
 use pdm_naming::{NamePool, NameTable};
 
 const MAGIC: &[u8; 4] = b"PDM1";
@@ -207,6 +207,9 @@ impl StaticTables {
         if r.at != data.len() {
             return Err(LoadError("trailing bytes".into()));
         }
+        // The frozen read path is derived state, not serialized; rebuild it
+        // from the loaded tables so a deserialized matcher fast-paths too.
+        let read = ReadTables::build(&sym, &pair, &ext);
         Ok(StaticTables {
             levels,
             max_len,
@@ -221,6 +224,7 @@ impl StaticTables {
             pattern_names,
             pattern_prefs,
             pool,
+            read,
         })
     }
 }

@@ -19,10 +19,53 @@
 
 use crate::dict::{validate_dictionary, BuildError, Sym};
 use crate::static1d::namemap::{pack2, AtomicNameMap, NameMap};
-use pdm_naming::{NamePool, NameTable, IDENTITY};
+use pdm_naming::{FrozenNameTable, NamePool, NameTable, IDENTITY};
 use pdm_pram::{ceil_log2, Ctx};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+
+/// Read-optimized snapshots of the text-side tables, built once after
+/// preprocessing: atomics-free open-addressing copies of `sym`/`pair`/`ext`
+/// plus a dense level-0 symbol map for small alphabets. All text-side
+/// lookups go through these; the concurrent originals remain the write side
+/// (builds, serialization, the §6 dynamic path).
+#[derive(Debug)]
+pub struct ReadTables {
+    pub sym: FrozenNameTable,
+    pub pair: Vec<FrozenNameTable>,
+    pub ext: Vec<FrozenNameTable>,
+    /// `sym_dense[c]` = level-0 name of symbol `c`, or [`IDENTITY`] when
+    /// the dictionary lacks `c` (symbol names are never `IDENTITY`). Built
+    /// when the largest symbol value is small enough for a flat array.
+    pub sym_dense: Option<Box<[u32]>>,
+}
+
+impl ReadTables {
+    /// Largest symbol value for which the dense level-0 map is built
+    /// (bytes and UTF-8 code points of most texts fit; huge symbolized
+    /// alphabets fall back to the frozen hash table).
+    const DENSE_SYM_LIMIT: u32 = 1 << 16;
+
+    /// Freeze the text-side tables of a finished build.
+    pub fn build(sym: &NameTable, pair: &[NameTable], ext: &[NameTable]) -> Self {
+        let entries = sym.entries();
+        let sym_dense = entries.iter().map(|e| e.0).max().and_then(|max_c| {
+            (max_c < Self::DENSE_SYM_LIMIT).then(|| {
+                let mut d = vec![IDENTITY; max_c as usize + 1].into_boxed_slice();
+                for &(c, _, name) in &entries {
+                    d[c as usize] = name;
+                }
+                d
+            })
+        });
+        ReadTables {
+            sym: FrozenNameTable::from_entries(&entries),
+            pair: pair.iter().map(NameTable::freeze).collect(),
+            ext: ext.iter().map(NameTable::freeze).collect(),
+            sym_dense,
+        }
+    }
+}
 
 /// Frozen dictionary tables: everything text processing needs.
 #[derive(Debug)]
@@ -52,6 +95,8 @@ pub struct StaticTables {
     /// Kept because the §4.4 and all-matches layers consume them.
     pub pattern_prefs: Vec<Vec<u32>>,
     pub pool: Arc<NamePool>,
+    /// Frozen read path for text processing (see [`ReadTables`]).
+    pub read: ReadTables,
 }
 
 impl StaticTables {
@@ -192,6 +237,10 @@ impl StaticTables {
             (longest.freeze(), owner.freeze())
         });
 
+        let read = ctx.cost.phase("dict/freeze-read-path", || {
+            ReadTables::build(&sym, &pair, &ext)
+        });
+
         Ok(Self {
             levels: k_levels,
             max_len,
@@ -206,6 +255,7 @@ impl StaticTables {
             pattern_names,
             pattern_prefs: prefs,
             pool,
+            read,
         })
     }
 }

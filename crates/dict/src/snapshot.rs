@@ -15,7 +15,7 @@
 //! incremental-vs-full differential test meaningful (`store.rs`).
 
 use pdm_core::dynamic::DynamicMatcher;
-use pdm_core::{BuildError, Matcher, PatId, StaticMatcher, Sym};
+use pdm_core::{BuildError, Matcher, PatId, StaticMatcher, Sym, TextScratch};
 use pdm_pram::Ctx;
 use pdm_primitives::FxHashMap;
 use std::sync::Arc;
@@ -223,23 +223,45 @@ impl Snapshot {
     /// [`StaticMatcher::find_all`], but canonical ids, so results are
     /// identical whichever rebuild path produced the snapshot.
     pub fn find_all(&self, ctx: &Ctx, text: &[Sym]) -> Vec<(usize, PatId)> {
-        if self.lens.is_empty() {
-            return Vec::new();
-        }
-        let out = self.matcher().match_text(ctx, text);
+        let mut scratch = TextScratch::new();
         let mut v = Vec::new();
-        for (i, hit) in out.longest_pattern.iter().enumerate() {
+        self.find_all_into(ctx, text, &mut scratch, &mut v);
+        v
+    }
+
+    /// [`Self::find_all`] into caller-owned buffers. On the static path the
+    /// whole match reuses `scratch` (zero steady-state allocation per
+    /// chunk); the dynamic path matches through its concurrent tables as
+    /// before (its dictionary mutates, so its tables cannot be frozen).
+    pub fn find_all_into(
+        &self,
+        ctx: &Ctx,
+        text: &[Sym],
+        scratch: &mut TextScratch,
+        out: &mut Vec<(usize, PatId)>,
+    ) {
+        out.clear();
+        if self.lens.is_empty() {
+            return;
+        }
+        let mut mo = scratch.take_match_out();
+        match &self.inner {
+            SnapInner::Static(m) => m.match_into(ctx, text, scratch, &mut mo),
+            SnapInner::Dynamic { m, .. } => mo = m.match_text(ctx, text),
+        }
+        for (i, hit) in mo.longest_pattern.iter().enumerate() {
             let Some(native) = *hit else { continue };
-            let mut here: Vec<PatId> = Vec::new();
+            let here = scratch.pats_here_mut();
+            here.clear();
             let mut cur = Some(self.to_canon(native));
             while let Some(p) = cur {
                 here.push(p);
                 cur = self.chains[p as usize];
             }
             here.sort_unstable();
-            v.extend(here.into_iter().map(|p| (i, p)));
+            out.extend(here.iter().map(|&p| (i, p)));
         }
-        v
+        scratch.put_match_out(mo);
     }
 
     /// Canonical bytes: `(epoch, patterns in canonical order)` and nothing

@@ -9,7 +9,7 @@
 //! dictionary names (§3.1) — a text-local name can never be mistaken for a
 //! dictionary name.
 
-use pdm_primitives::ConcPairTable;
+use pdm_primitives::{ConcPairTable, FrozenPairTable};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
@@ -18,6 +18,23 @@ pub const IDENTITY: u32 = 0;
 
 /// First name of the text-local name space.
 pub const TEXT_NAME_BASE: u32 = 0x8000_0000;
+
+/// The collapsed text-local name: every substring that occurs in the text
+/// but not in the dictionary gets *this one* name on the fast path.
+///
+/// Dictionary tables only ever contain pairs of dictionary names, so a pair
+/// with any text-local half misses the table no matter *which* text-local
+/// name it carries — distinct text-local names are indistinguishable to
+/// every dictionary-side lookup. Collapsing them to a single sentinel
+/// therefore preserves all match output while eliminating the shared-pool
+/// `fetch_add` and the text-side table insertion per novel substring
+/// (argument spelled out in DESIGN.md §11; verified against the
+/// text-local-overlay scheme by the `sentinel_equiv` proptests).
+///
+/// The value sits inside the text-local space so [`NamePool::is_text_local`]
+/// holds for it, and clear of the reserved `u32::MAX` / `u32::MAX - 1`
+/// sentinels used by tables and matchers.
+pub const TEXT_MISS: u32 = u32::MAX - 7;
 
 /// Monotone allocator of fresh names.
 #[derive(Debug)]
@@ -172,6 +189,62 @@ impl NameTable {
         }
         t
     }
+
+    /// Freeze the current contents into a read-only, atomics-free table for
+    /// the text-side fast path. The live table keeps working (builds, §6
+    /// dynamic updates); the frozen copy never sees later inserts.
+    pub fn freeze(&self) -> FrozenNameTable {
+        FrozenNameTable {
+            table: FrozenPairTable::freeze(&self.table),
+        }
+    }
+}
+
+/// Read-only snapshot of a [`NameTable`]: plain-array open addressing, no
+/// atomics, no allocation. Text-side lookups go through this; the live
+/// [`NameTable`] remains the write side.
+#[derive(Debug, Clone)]
+pub struct FrozenNameTable {
+    table: FrozenPairTable,
+}
+
+impl FrozenNameTable {
+    /// Freeze an explicit entry list (mirror of [`NameTable::from_entries`]).
+    pub fn from_entries(entries: &[(u32, u32, u32)]) -> Self {
+        Self {
+            table: FrozenPairTable::from_entries(entries),
+        }
+    }
+
+    /// Read-only lookup (mirror of [`NameTable::lookup`]).
+    #[inline]
+    pub fn lookup(&self, a: u32, b: u32) -> Option<u32> {
+        self.table.get(a, b)
+    }
+
+    /// Read-only tuple lookup with the same left-chained shape as
+    /// [`NameTable::name_tuple`].
+    pub fn lookup_tuple(&self, t: &[u32]) -> Option<u32> {
+        match t.len() {
+            0 => Some(IDENTITY),
+            1 => self.lookup(t[0], IDENTITY),
+            _ => {
+                let mut acc = self.lookup(t[0], t[1])?;
+                for &x in &t[2..] {
+                    acc = self.lookup(acc, x)?;
+                }
+                Some(acc)
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
 }
 
 /// Read-through pair of tables for text processing: dictionary layer first,
@@ -275,6 +348,32 @@ mod tests {
         assert_eq!(ov.local_len(), 1);
         // The overlay never writes into the dictionary layer.
         assert_eq!(dict.lookup(5, 6), None);
+    }
+
+    #[test]
+    fn text_miss_is_text_local_and_clear_of_sentinels() {
+        assert!(NamePool::is_text_local(TEXT_MISS));
+        assert_ne!(TEXT_MISS, u32::MAX); // ConcPairTable PENDING
+        assert_ne!(TEXT_MISS, u32::MAX - 1); // matcher UNKNOWN sentinels
+        assert_ne!(TEXT_MISS, IDENTITY);
+    }
+
+    #[test]
+    fn frozen_table_mirrors_live_lookups() {
+        let pool = NamePool::dictionary();
+        let t = NameTable::with_capacity(64, pool);
+        let ab = t.name(1, 2);
+        let tri = t.name_tuple(&[4, 5, 6]);
+        let f = t.freeze();
+        assert_eq!(f.len(), t.len());
+        assert_eq!(f.lookup(1, 2), Some(ab));
+        assert_eq!(f.lookup(2, 1), None);
+        assert_eq!(f.lookup_tuple(&[4, 5, 6]), Some(tri));
+        assert_eq!(f.lookup_tuple(&[4, 6, 5]), None);
+        assert_eq!(f.lookup_tuple(&[]), Some(IDENTITY));
+        // Later inserts into the live table are invisible to the snapshot.
+        t.name(9, 9);
+        assert_eq!(f.lookup(9, 9), None);
     }
 
     #[test]

@@ -41,4 +41,6 @@ pub mod dynamic;
 pub mod kmr;
 pub mod prefix;
 
-pub use arena::{NamePool, NameTable, Overlay, IDENTITY, TEXT_NAME_BASE};
+pub use arena::{
+    FrozenNameTable, NamePool, NameTable, Overlay, IDENTITY, TEXT_MISS, TEXT_NAME_BASE,
+};

@@ -85,6 +85,23 @@ impl Default for Ctx {
 /// dealt in chunks of at least this many items.
 const MIN_CHUNK: usize = 1024;
 
+/// Per-round item-count threshold at or below which parallel policies run
+/// the round inline on the caller instead of dispatching to the pool.
+///
+/// Even a parked persistent pool costs a wake/park handshake per round;
+/// for small rounds that overhead exceeds the loop body (BENCH_pool.json:
+/// equal_len at width 1 ran *slower* through the pool than sequentially).
+/// Overridable with `PDM_PAR_THRESHOLD` (0 disables the fallback).
+pub fn par_threshold() -> usize {
+    static T: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *T.get_or_init(|| {
+        std::env::var("PDM_PAR_THRESHOLD")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(MIN_CHUNK)
+    })
+}
+
 impl Ctx {
     /// Sequential context with a fresh cost model.
     pub fn seq() -> Self {
@@ -117,38 +134,37 @@ impl Ctx {
         F: Fn(usize) + Sync + Send,
     {
         self.cost.round(n as u64);
-        match &self.exec {
-            ExecPolicy::Seq => {
-                for i in 0..n {
-                    f(i);
-                }
+        if !self.dispatch(n) {
+            for i in 0..n {
+                f(i);
             }
-            _ => self.exec.install(|| {
+        } else {
+            self.exec.install(|| {
                 use rayon::prelude::*;
                 (0..n).into_par_iter().with_min_len(MIN_CHUNK).for_each(f);
-            }),
+            })
         }
     }
 
     /// One PRAM round over `n` host-side items that performs `ops` PRAM
     /// operations in total (used when one host iteration covers several
     /// virtual processors, e.g. a per-pattern loop touching all its blocks).
-    /// Charges 1 round / `ops` work.
+    /// Charges 1 round / `ops` work. The small-round fallback keys on `ops`
+    /// (the real work), not the host-side item count.
     pub fn for_each_ops<F>(&self, n: usize, ops: u64, f: F)
     where
         F: Fn(usize) + Sync + Send,
     {
         self.cost.round(ops);
-        match &self.exec {
-            ExecPolicy::Seq => {
-                for i in 0..n {
-                    f(i);
-                }
+        if !self.dispatch(usize::try_from(ops).unwrap_or(usize::MAX)) {
+            for i in 0..n {
+                f(i);
             }
-            _ => self.exec.install(|| {
+        } else {
+            self.exec.install(|| {
                 use rayon::prelude::*;
                 (0..n).into_par_iter().for_each(f);
-            }),
+            })
         }
     }
 
@@ -160,16 +176,17 @@ impl Ctx {
         F: Fn(usize) -> T + Sync + Send,
     {
         self.cost.round(n as u64);
-        match &self.exec {
-            ExecPolicy::Seq => (0..n).map(f).collect(),
-            _ => self.exec.install(|| {
+        if !self.dispatch(n) {
+            (0..n).map(f).collect()
+        } else {
+            self.exec.install(|| {
                 use rayon::prelude::*;
                 (0..n)
                     .into_par_iter()
                     .with_min_len(MIN_CHUNK)
                     .map(f)
                     .collect()
-            }),
+            })
         }
     }
 
@@ -181,19 +198,18 @@ impl Ctx {
         F: Fn(usize, &mut T) + Sync + Send,
     {
         self.cost.round(out.len() as u64);
-        match &self.exec {
-            ExecPolicy::Seq => {
-                for (i, v) in out.iter_mut().enumerate() {
-                    f(i, v);
-                }
+        if !self.dispatch(out.len()) {
+            for (i, v) in out.iter_mut().enumerate() {
+                f(i, v);
             }
-            _ => self.exec.install(|| {
+        } else {
+            self.exec.install(|| {
                 use rayon::prelude::*;
                 out.par_iter_mut()
                     .with_min_len(MIN_CHUNK)
                     .enumerate()
                     .for_each(|(i, v)| f(i, v));
-            }),
+            })
         }
     }
 
@@ -206,16 +222,17 @@ impl Ctx {
     {
         self.cost
             .rounds(crate::ceil_log2(n.max(1)) as u64 + 1, n as u64);
-        match &self.exec {
-            ExecPolicy::Seq => (0..n).map(eval).fold(identity, combine),
-            _ => self.exec.install(|| {
+        if !self.dispatch(n) {
+            (0..n).map(eval).fold(identity, combine)
+        } else {
+            self.exec.install(|| {
                 use rayon::prelude::*;
                 (0..n)
                     .into_par_iter()
                     .with_min_len(MIN_CHUNK)
                     .map(eval)
                     .reduce(|| identity.clone(), combine)
-            }),
+            })
         }
     }
 
@@ -228,6 +245,14 @@ impl Ctx {
     /// Whether rounds actually execute in parallel.
     pub fn is_parallel(&self) -> bool {
         !matches!(self.exec, ExecPolicy::Seq)
+    }
+
+    /// Whether a round of `n` items should be handed to the pool at all:
+    /// false for sequential policies and for rounds at or below
+    /// [`par_threshold`] (the small-round inline fallback).
+    #[inline]
+    fn dispatch(&self, n: usize) -> bool {
+        self.is_parallel() && n > par_threshold()
     }
 }
 
@@ -322,6 +347,21 @@ mod tests {
         // Debug formatting names the variant.
         assert!(format!("{:?}", ctx.exec).contains("3"));
         assert_eq!(format!("{:?}", ExecPolicy::Seq), "Seq");
+    }
+
+    #[test]
+    fn small_rounds_run_inline_on_caller() {
+        if par_threshold() < 8 {
+            return; // PDM_PAR_THRESHOLD override disabled the fallback
+        }
+        let ctx = Ctx::with_threads(2);
+        let caller = std::thread::current().id();
+        let mut tids = vec![None; 8];
+        ctx.for_each_mut(&mut tids, |_, t| *t = Some(std::thread::current().id()));
+        assert!(
+            tids.iter().all(|t| *t == Some(caller)),
+            "sub-threshold round must not dispatch to the pool"
+        );
     }
 
     #[test]

@@ -80,6 +80,12 @@ impl ConcPairTable {
         self.capacity
     }
 
+    /// Physical slot count (a power of two; 2 × declared capacity rounded
+    /// up). Freezing reuses it so probe distances survive the snapshot.
+    pub fn slots_len(&self) -> usize {
+        self.mask + 1
+    }
+
     /// Name of `(a, b)`, allocating via `alloc` if this is the first claim.
     ///
     /// Concurrent callers with the same key all receive the same name and

@@ -1,0 +1,191 @@
+//! Frozen (read-only) pair table: the text-side fast path.
+//!
+//! A [`crate::ConcPairTable`] is write-optimized: every probe is an
+//! `Acquire` load and every hit spins past a `PENDING` publish window. The
+//! text side of matching never writes — after the dictionary build the
+//! tables are immutable — so it can pay none of that. `FrozenPairTable` is
+//! the same open-addressing layout (same `mix64(pack(a, b)) & mask` home
+//! slot, same linear probe order, same `EMPTY` key sentinel) re-materialized
+//! into plain arrays: a `u64` key array probed with non-atomic loads and a
+//! parallel `u32` value array read exactly once on a hit.
+//!
+//! Keys and values are split into parallel arrays rather than packed
+//! 12-byte slots so the probe loop touches only the key array — 8 bytes per
+//! slot, 8 slots per cache line — and the value array is touched once per
+//! successful lookup.
+
+use crate::conc_table::ConcPairTable;
+use crate::hash::mix64;
+use crate::table::pack;
+
+const EMPTY_KEY: u64 = u64::MAX;
+
+/// Immutable open-addressing `(u32, u32) → u32` map built by freezing a
+/// [`ConcPairTable`] (or an entry list) after all inserts are done.
+///
+/// Lookups are branch-light: one hashed home slot, then a linear probe that
+/// stops at the first empty slot. No atomics, no pending-value spins.
+#[derive(Debug, Clone)]
+pub struct FrozenPairTable {
+    keys: Box<[u64]>,
+    vals: Box<[u32]>,
+    mask: usize,
+    len: usize,
+}
+
+impl FrozenPairTable {
+    /// Freeze `entries` (each `(a, b, value)`) into a read-only table.
+    /// Slots are sized for load factor ≤ 0.25: the text side mostly probes
+    /// *absent* keys (every text-local pair misses), and unsuccessful
+    /// linear-probe searches are the ones that degrade with load, so the
+    /// frozen table trades 12 bytes/slot for short miss chains.
+    pub fn from_entries(entries: &[(u32, u32, u32)]) -> Self {
+        Self::with_slots(entries, (entries.len().max(1) * 4).next_power_of_two())
+    }
+
+    /// Freeze `entries` into exactly `slots_len` slots (a power of two,
+    /// ≥ 2 × entries). Used by [`Self::freeze`] to reproduce the source
+    /// table's slot count, so frozen miss chains are never longer than the
+    /// live ones they replace.
+    pub fn with_slots(entries: &[(u32, u32, u32)], slots_len: usize) -> Self {
+        debug_assert!(slots_len.is_power_of_two());
+        debug_assert!(slots_len >= (entries.len() * 2).max(1));
+        let mask = slots_len - 1;
+        let mut keys = vec![EMPTY_KEY; slots_len].into_boxed_slice();
+        let mut vals = vec![0u32; slots_len].into_boxed_slice();
+        for &(a, b, v) in entries {
+            let key = pack(a, b);
+            debug_assert_ne!(key, EMPTY_KEY, "reserved key");
+            let mut idx = mix64(key) as usize & mask;
+            loop {
+                if keys[idx] == EMPTY_KEY {
+                    keys[idx] = key;
+                    vals[idx] = v;
+                    break;
+                }
+                debug_assert_ne!(keys[idx], key, "duplicate key in frozen entries");
+                idx = (idx + 1) & mask;
+            }
+        }
+        Self {
+            keys,
+            vals,
+            mask,
+            len: entries.len(),
+        }
+    }
+
+    /// Freeze a live concurrent table. The table must be quiescent (no
+    /// concurrent inserts) — which is exactly the post-build state. The
+    /// snapshot keeps at least the source's slot count (conc tables are
+    /// provisioned well below their own load ceiling), so a frozen probe
+    /// never walks a longer miss chain than the live probe it replaces.
+    pub fn freeze(table: &ConcPairTable) -> Self {
+        let entries = table.entries();
+        let min = (entries.len().max(1) * 4).next_power_of_two();
+        Self::with_slots(&entries, min.max(table.slots_len()))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read-only lookup: `Some(value)` iff `(a, b)` was in the frozen set.
+    #[inline]
+    pub fn get(&self, a: u32, b: u32) -> Option<u32> {
+        let key = pack(a, b);
+        let mut idx = mix64(key) as usize & self.mask;
+        loop {
+            // Safety of the plain indexing: idx is masked into range.
+            let k = self.keys[idx];
+            if k == key {
+                return Some(self.vals[idx]);
+            }
+            if k == EMPTY_KEY {
+                return None;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+}
+
+impl From<&ConcPairTable> for FrozenPairTable {
+    fn from(t: &ConcPairTable) -> Self {
+        Self::freeze(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn empty_table_misses_everything() {
+        let f = FrozenPairTable::from_entries(&[]);
+        assert!(f.is_empty());
+        assert_eq!(f.get(0, 0), None);
+        assert_eq!(f.get(u32::MAX - 1, 7), None);
+    }
+
+    #[test]
+    fn freeze_preserves_every_entry() {
+        let t = ConcPairTable::with_capacity(100);
+        let ctr = AtomicU32::new(0);
+        for i in 0..100u32 {
+            t.get_or_insert(i, i.wrapping_mul(31), || {
+                ctr.fetch_add(1, Ordering::Relaxed)
+            });
+        }
+        let f = FrozenPairTable::freeze(&t);
+        assert_eq!(f.len(), 100);
+        for i in 0..100u32 {
+            assert_eq!(f.get(i, i.wrapping_mul(31)), t.get(i, i.wrapping_mul(31)));
+        }
+        assert_eq!(f.get(5, 5), t.get(5, 5));
+    }
+
+    #[test]
+    fn collision_chains_survive_freezing() {
+        // Tiny table forces probe chains in both representations.
+        let t = ConcPairTable::with_capacity(4);
+        let ctr = AtomicU32::new(0);
+        for i in 0..4u32 {
+            t.get_or_insert(i, 0, || ctr.fetch_add(1, Ordering::Relaxed));
+        }
+        let f = FrozenPairTable::freeze(&t);
+        for i in 0..4u32 {
+            assert_eq!(f.get(i, 0), t.get(i, 0));
+            assert!(f.get(i, 0).is_some());
+        }
+        assert_eq!(f.get(9, 9), None);
+    }
+
+    proptest! {
+        /// FrozenPairTable ≡ ConcPairTable on random insert sets, probed
+        /// with both inserted keys (hits) and arbitrary keys (mostly
+        /// misses).
+        #[test]
+        fn frozen_equals_conc(
+            inserts in proptest::collection::vec((0u32..5000, 0u32..5000), 0..400),
+            probes in proptest::collection::vec((0u32..6000, 0u32..6000), 0..200),
+        ) {
+            let t = ConcPairTable::with_capacity(inserts.len().max(1));
+            let ctr = AtomicU32::new(1);
+            for &(a, b) in &inserts {
+                t.get_or_insert(a, b, || ctr.fetch_add(1, Ordering::Relaxed));
+            }
+            let f = FrozenPairTable::freeze(&t);
+            prop_assert_eq!(f.len(), t.len());
+            for &(a, b) in inserts.iter().chain(probes.iter()) {
+                prop_assert_eq!(f.get(a, b), t.get(a, b));
+            }
+        }
+    }
+}

@@ -21,6 +21,7 @@
 
 pub mod compact;
 pub mod conc_table;
+pub mod frozen;
 pub mod hash;
 pub mod nearest;
 pub mod radix;
@@ -28,5 +29,6 @@ pub mod scan;
 pub mod table;
 
 pub use conc_table::ConcPairTable;
+pub use frozen::FrozenPairTable;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use table::PairMap;

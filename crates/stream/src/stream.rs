@@ -23,6 +23,7 @@ use std::sync::Arc;
 
 use pdm_core::dict::{PatId, Sym};
 use pdm_core::static1d::StaticMatcher;
+use pdm_core::TextScratch;
 use pdm_pram::Ctx;
 
 /// One occurrence in the stream: pattern `pat` (of length `len`) begins at
@@ -44,6 +45,21 @@ pub trait StreamDict: Send + Sync {
     /// Every `(position, pattern)` occurrence in `text`, sorted by
     /// position then pattern id.
     fn find_all(&self, ctx: &Ctx, text: &[Sym]) -> Vec<(usize, PatId)>;
+    /// [`Self::find_all`] into caller-owned buffers, reusing `scratch`
+    /// across chunks. The default delegates to the allocating
+    /// [`Self::find_all`]; dictionaries with a frozen read path override
+    /// this so a streaming session allocates nothing per chunk in steady
+    /// state.
+    fn find_all_into(
+        &self,
+        ctx: &Ctx,
+        text: &[Sym],
+        _scratch: &mut TextScratch,
+        out: &mut Vec<(usize, PatId)>,
+    ) {
+        out.clear();
+        out.extend(self.find_all(ctx, text));
+    }
     /// Length of pattern `p`.
     fn pattern_len(&self, p: PatId) -> u32;
     /// Length of the longest pattern (`m`; the carry keeps `m − 1`).
@@ -53,6 +69,16 @@ pub trait StreamDict: Send + Sync {
 impl StreamDict for StaticMatcher {
     fn find_all(&self, ctx: &Ctx, text: &[Sym]) -> Vec<(usize, PatId)> {
         StaticMatcher::find_all(self, ctx, text)
+    }
+
+    fn find_all_into(
+        &self,
+        ctx: &Ctx,
+        text: &[Sym],
+        scratch: &mut TextScratch,
+        out: &mut Vec<(usize, PatId)>,
+    ) {
+        StaticMatcher::find_all_into(self, ctx, text, scratch, out)
     }
 
     fn pattern_len(&self, p: PatId) -> u32 {
@@ -67,6 +93,16 @@ impl StreamDict for StaticMatcher {
 impl StreamDict for pdm_dict::Snapshot {
     fn find_all(&self, ctx: &Ctx, text: &[Sym]) -> Vec<(usize, PatId)> {
         pdm_dict::Snapshot::find_all(self, ctx, text)
+    }
+
+    fn find_all_into(
+        &self,
+        ctx: &Ctx,
+        text: &[Sym],
+        scratch: &mut TextScratch,
+        out: &mut Vec<(usize, PatId)>,
+    ) {
+        pdm_dict::Snapshot::find_all_into(self, ctx, text, scratch, out)
     }
 
     fn pattern_len(&self, p: PatId) -> u32 {
@@ -96,6 +132,10 @@ pub struct StreamMatcher<D: StreamDict = StaticMatcher> {
     carry: Vec<Sym>,
     /// Total symbols consumed so far (absolute offset of the next symbol).
     consumed: u64,
+    /// Session-lifetime match scratch: once warm, pushes allocate nothing.
+    scratch: TextScratch,
+    /// Reused `(window position, pattern)` buffer for `find_all_into`.
+    find_buf: Vec<(usize, PatId)>,
 }
 
 impl<D: StreamDict> StreamMatcher<D> {
@@ -104,7 +144,16 @@ impl<D: StreamDict> StreamMatcher<D> {
             dict,
             carry: Vec::new(),
             consumed: 0,
+            scratch: TextScratch::new(),
+            find_buf: Vec::new(),
         }
+    }
+
+    /// Buffer (re)allocation events served by this session's scratch so
+    /// far. Flat across pushes once the session is warm — the zero-alloc
+    /// steady-state tests assert on exactly this counter.
+    pub fn scratch_grow_events(&self) -> u64 {
+        self.scratch.grow_events()
     }
 
     /// The shared dictionary this cursor matches against.
@@ -161,7 +210,9 @@ impl<D: StreamDict> StreamMatcher<D> {
         let mut window = std::mem::take(&mut self.carry);
         window.extend_from_slice(chunk);
 
-        for (i, p) in self.dict.find_all(ctx, &window) {
+        self.dict
+            .find_all_into(ctx, &window, &mut self.scratch, &mut self.find_buf);
+        for &(i, p) in &self.find_buf {
             let len = self.dict.pattern_len(p);
             if i + len as usize > carry_len {
                 out.push(StreamMatch {

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Text-throughput regression guard for CI.
+#
+# Runs the text_throughput bench in smoke mode and compares each
+# workload's *after* sequential MB/s against the committed
+# BENCH_text.json; the bench exits non-zero if any workload lost more
+# than 30% (margin chosen to absorb smoke-vs-full-size variance while
+# still catching structural regressions).
+#
+# Usage: scripts/check_bench_regression.sh [baseline.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${1:-BENCH_text.json}"
+if [[ ! -f "$baseline" ]]; then
+    echo "error: baseline $baseline not found" >&2
+    exit 2
+fi
+
+PDM_BENCH_SMOKE=1 cargo run --release -p pdm-bench --bin text_throughput -- \
+    /tmp/BENCH_text_smoke.json --check "$baseline"

@@ -462,6 +462,11 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
                 s.fold_entries,
                 s.ext_entries
             )?;
+            writeln!(
+                w,
+                "match telemetry: {} calls, {} alloc events, {} table lookups",
+                s.match_calls, s.alloc_events, s.table_lookups
+            )?;
             let c = ctx.cost.snapshot();
             let verb = match dict {
                 DictSource::Patterns(_) => "build",
