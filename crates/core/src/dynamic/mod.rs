@@ -166,21 +166,6 @@ impl DynamicMatcher {
             + self.ext.iter().map(DynTable::len).sum::<usize>()
     }
 
-    #[deprecated(since = "0.2.0", note = "renamed to `pattern_count`")]
-    pub fn live_patterns(&self) -> usize {
-        self.pattern_count()
-    }
-
-    #[deprecated(since = "0.2.0", note = "renamed to `symbol_count`")]
-    pub fn live_size(&self) -> usize {
-        self.symbol_count()
-    }
-
-    #[deprecated(since = "0.2.0", note = "renamed to `table_entry_count`")]
-    pub fn table_entries(&self) -> usize {
-        self.table_entry_count()
-    }
-
     /// Insert a pattern; returns its id. `O(λ)` table work, `O(log λ)` time
     /// on the PRAM schedule (Theorem 7), plus `O(λ log M)`-style trie
     /// bookkeeping (Theorem 8).

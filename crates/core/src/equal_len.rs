@@ -93,19 +93,6 @@ impl EqualLenMatcher {
         self.m
     }
 
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `max_pattern_len` (all patterns share one length)"
-    )]
-    pub fn pattern_len(&self) -> usize {
-        self.m
-    }
-
-    #[deprecated(since = "0.2.0", note = "renamed to `pattern_count`")]
-    pub fn n_patterns(&self) -> usize {
-        self.pattern_count()
-    }
-
     /// For each text position, the pattern matching there (at most one).
     ///
     /// One call runs the full recursion: `O(log m)` rounds, `O(n + M)` work

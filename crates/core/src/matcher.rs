@@ -432,26 +432,6 @@ mod tests {
         ));
     }
 
-    /// The pre-facade accessor names must keep working (deprecated
-    /// delegating wrappers) and agree with the canonical ones.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_accessors_still_delegate() {
-        let ctx = Ctx::seq();
-        let m = StaticMatcher::build(&ctx, &symbolize(&["ab", "abc"])).unwrap();
-        assert_eq!(m.n_patterns(), m.pattern_count());
-        assert_eq!(m.dictionary_size(), m.symbol_count());
-        assert_eq!(m.stats().total_entries(), m.table_entry_count());
-        let e = EqualLenMatcher::new(&symbolize(&["ab", "cd"])).unwrap();
-        assert_eq!(e.n_patterns(), e.pattern_count());
-        assert_eq!(e.pattern_len(), EqualLenMatcher::max_pattern_len(&e));
-        let mut d = DynamicMatcher::new();
-        d.insert(&ctx, &to_symbols("abc")).unwrap();
-        assert_eq!(d.live_patterns(), d.pattern_count());
-        assert_eq!(d.live_size(), d.symbol_count());
-        assert_eq!(d.table_entries(), d.table_entry_count());
-    }
-
     #[test]
     fn trait_objects_share_across_threads() {
         use std::sync::Arc;

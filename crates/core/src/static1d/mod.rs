@@ -81,11 +81,6 @@ impl DictStats {
     pub fn table_entry_count(&self) -> usize {
         self.sym_entries + self.pair_entries + self.fold_entries + self.ext_entries
     }
-
-    #[deprecated(since = "0.2.0", note = "renamed to `table_entry_count`")]
-    pub fn total_entries(&self) -> usize {
-        self.table_entry_count()
-    }
 }
 
 impl StaticMatcher {
@@ -302,15 +297,5 @@ impl StaticMatcher {
     /// All namestamp-table entries combined (the paper's `O(M)` space).
     pub fn table_entry_count(&self) -> usize {
         self.stats().table_entry_count()
-    }
-
-    #[deprecated(since = "0.2.0", note = "renamed to `symbol_count`")]
-    pub fn dictionary_size(&self) -> usize {
-        self.symbol_count()
-    }
-
-    #[deprecated(since = "0.2.0", note = "renamed to `pattern_count`")]
-    pub fn n_patterns(&self) -> usize {
-        self.pattern_count()
     }
 }

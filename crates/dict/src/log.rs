@@ -65,19 +65,9 @@ impl From<io::Error> for LogError {
     }
 }
 
-/// CRC-32 (IEEE 802.3, reflected). Bitwise — the log is an admin path, not
-/// a hot one, and this keeps the crate dependency-free.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
+/// CRC-32 (IEEE 802.3, reflected) — the workspace-shared implementation,
+/// re-exported here because the record format documents it.
+pub use pdm_primitives::crc32;
 
 fn pattern_payload(pattern: &[Sym]) -> Vec<u8> {
     let mut v = Vec::with_capacity(pattern.len() * 4);

@@ -1,0 +1,210 @@
+//! The `PDMX` sidecar format: a versioned, CRC'd serialization of a built
+//! [`CorpusIndex`](crate::CorpusIndex) so `pdm index` pays the construction
+//! cost once and `pdm query` only ever reads.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size        field
+//! 0       4           magic "PDMX"
+//! 4       4           format version (currently 1)
+//! 8       4           sym_width: bytes per corpus symbol, 1 or 4
+//! 12      8           n: corpus length in symbols
+//! 20      n·width     corpus symbols
+//! …       n·4         suffix array (u32 ranks → positions)
+//! …       n·4         LCP array (u32)
+//! end−4   4           CRC-32 (IEEE) of everything before it
+//! ```
+//!
+//! `sym_width` is chosen at encode time: 1 when every symbol fits a byte
+//! (genomes, log text — the common case, and 4× smaller on disk), 4
+//! otherwise. The trailing CRC covers header and payload, so truncation,
+//! bit rot and partial writes all surface as [`DiskError::CrcMismatch`]
+//! or [`DiskError::Truncated`] instead of silently wrong match results.
+
+use crate::CorpusIndex;
+use pdm_primitives::crc::Crc32;
+
+pub const MAGIC: [u8; 4] = *b"PDMX";
+pub const VERSION: u32 = 1;
+const HEADER_LEN: usize = 20;
+
+/// Everything that can go wrong reading a sidecar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiskError {
+    /// The file does not start with `PDMX`.
+    BadMagic,
+    /// Recognized file, unsupported format version.
+    BadVersion(u32),
+    /// `sym_width` was neither 1 nor 4.
+    BadSymWidth(u32),
+    /// The buffer is shorter than its header claims.
+    Truncated { expected: usize, actual: usize },
+    /// The stored checksum does not match the payload.
+    CrcMismatch { stored: u32, computed: u32 },
+}
+
+impl std::fmt::Display for DiskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "not a PDMX index (bad magic)"),
+            Self::BadVersion(v) => write!(f, "unsupported PDMX version {v}"),
+            Self::BadSymWidth(w) => write!(f, "invalid symbol width {w} (expected 1 or 4)"),
+            Self::Truncated { expected, actual } => {
+                write!(f, "truncated index: need {expected} bytes, have {actual}")
+            }
+            Self::CrcMismatch { stored, computed } => write!(
+                f,
+                "index checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+/// Serialize `index` to the `PDMX` byte layout.
+pub fn encode(index: &CorpusIndex) -> Vec<u8> {
+    let n = index.text.len();
+    let width: u32 = if index.text.iter().all(|&s| s < 256) {
+        1
+    } else {
+        4
+    };
+    let mut out = Vec::with_capacity(HEADER_LEN + n * (width as usize + 8) + 4);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&width.to_le_bytes());
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    match width {
+        1 => out.extend(index.text.iter().map(|&s| s as u8)),
+        _ => {
+            for &s in &index.text {
+                out.extend_from_slice(&s.to_le_bytes());
+            }
+        }
+    }
+    for &r in &index.sa {
+        out.extend_from_slice(&r.to_le_bytes());
+    }
+    for &l in &index.lcp {
+        out.extend_from_slice(&l.to_le_bytes());
+    }
+    let mut h = Crc32::new();
+    h.update(&out);
+    out.extend_from_slice(&h.finish().to_le_bytes());
+    out
+}
+
+#[inline]
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("bounds checked"))
+}
+
+/// Deserialize and verify a `PDMX` buffer.
+pub fn decode(bytes: &[u8]) -> Result<CorpusIndex, DiskError> {
+    if bytes.len() < HEADER_LEN + 4 {
+        return Err(DiskError::Truncated {
+            expected: HEADER_LEN + 4,
+            actual: bytes.len(),
+        });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(DiskError::BadMagic);
+    }
+    let version = read_u32(bytes, 4);
+    if version != VERSION {
+        return Err(DiskError::BadVersion(version));
+    }
+    let width = read_u32(bytes, 8);
+    if width != 1 && width != 4 {
+        return Err(DiskError::BadSymWidth(width));
+    }
+    let n = u64::from_le_bytes(bytes[12..20].try_into().expect("bounds checked")) as usize;
+    let expected = HEADER_LEN
+        .checked_add(n.saturating_mul(width as usize + 8))
+        .and_then(|v| v.checked_add(4))
+        .unwrap_or(usize::MAX);
+    if bytes.len() != expected {
+        return Err(DiskError::Truncated {
+            expected,
+            actual: bytes.len(),
+        });
+    }
+    let payload_end = bytes.len() - 4;
+    let stored = read_u32(bytes, payload_end);
+    let mut h = Crc32::new();
+    h.update(&bytes[..payload_end]);
+    let computed = h.finish();
+    if stored != computed {
+        return Err(DiskError::CrcMismatch { stored, computed });
+    }
+
+    let mut at = HEADER_LEN;
+    let text: Vec<u32> = if width == 1 {
+        let t = bytes[at..at + n].iter().map(|&b| u32::from(b)).collect();
+        at += n;
+        t
+    } else {
+        let t = (0..n).map(|i| read_u32(bytes, at + 4 * i)).collect();
+        at += 4 * n;
+        t
+    };
+    let sa: Vec<u32> = (0..n).map(|i| read_u32(bytes, at + 4 * i)).collect();
+    at += 4 * n;
+    let lcp: Vec<u32> = (0..n).map(|i| read_u32(bytes, at + 4 * i)).collect();
+    Ok(CorpusIndex { text, sa, lcp })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_pram::Ctx;
+
+    fn sample(sigma: u32) -> CorpusIndex {
+        let text: Vec<u32> = (0..300u32).map(|i| (i * 17 + i / 7) % sigma).collect();
+        CorpusIndex::build(&Ctx::seq(), text)
+    }
+
+    #[test]
+    fn round_trips_both_widths() {
+        for sigma in [4, 1000] {
+            let idx = sample(sigma);
+            let bytes = encode(&idx);
+            let back = decode(&bytes).expect("round trip");
+            assert_eq!(back.text, idx.text);
+            assert_eq!(back.sa, idx.sa);
+            assert_eq!(back.lcp, idx.lcp);
+            let expect_width = if sigma <= 256 { 1 } else { 4 };
+            assert_eq!(read_u32(&bytes, 8), expect_width, "sigma={sigma}");
+        }
+    }
+
+    #[test]
+    fn detects_corruption_anywhere() {
+        let bytes = encode(&sample(4));
+        for at in [0usize, 5, 9, 14, 25, bytes.len() / 2, bytes.len() - 2] {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x40;
+            assert!(decode(&bad).is_err(), "flip at {at} went unnoticed");
+        }
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let bytes = encode(&sample(4));
+        for cut in [0usize, 3, HEADER_LEN, bytes.len() - 1] {
+            assert!(matches!(
+                decode(&bytes[..cut]),
+                Err(DiskError::Truncated { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn empty_corpus_round_trips() {
+        let idx = CorpusIndex::build(&Ctx::seq(), Vec::new());
+        let back = decode(&encode(&idx)).expect("empty round trip");
+        assert!(back.text.is_empty() && back.sa.is_empty() && back.lcp.is_empty());
+    }
+}

@@ -1,0 +1,335 @@
+//! Batch query execution: per-pattern binary search, fanned out over the
+//! pool, with interval merging for patterns that share prefixes.
+//!
+//! A single pattern `p` resolves to the suffix-array interval `[lo, hi)` of
+//! suffixes having `p` as a prefix: two `partition_point` searches of
+//! `O(|p| log n)` symbol comparisons. For a *batch*, the interval-merging
+//! observation (Flick & Aluru's line of work, see PAPERS.md) applies: sort
+//! the batch, and consecutive patterns share prefixes; the interval of a
+//! shared prefix contains the intervals of every pattern extending it, so
+//! later searches can start from the recorded interval of the deepest
+//! shared prefix instead of `[0, n)`. The stack discipline below records
+//! exactly the prefix intervals that the *next* pattern will reuse (its LCP
+//! with the current one is known ahead of time because the batch is
+//! sorted), so on template-heavy batches — log queries, genome k-mer sets —
+//! most searches run over intervals that are already tiny.
+//!
+//! Parallelism: the sorted batch is cut into contiguous groups, one pool
+//! task each; merging applies within a group, and groups are independent.
+
+use pdm_pram::Ctx;
+use rayon::prelude::*;
+use std::cmp::Ordering;
+
+/// What a batch query returns per pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryMode {
+    /// Occurrence counts only.
+    Count,
+    /// Counts plus the sorted start positions of every occurrence.
+    Locate,
+}
+
+/// Batch execution options.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOptions {
+    /// Reuse shared-prefix intervals across the sorted batch (on by
+    /// default; turning it off is for measurement, not production).
+    pub merge: bool,
+    pub mode: QueryMode,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        Self {
+            merge: true,
+            mode: QueryMode::Count,
+        }
+    }
+}
+
+/// Result for one pattern of a batch, in the batch's original order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PatternHits {
+    /// Number of occurrences in the corpus.
+    pub count: usize,
+    /// Sorted occurrence start positions ([`QueryMode::Locate`] only).
+    pub positions: Vec<u32>,
+}
+
+/// Compare the suffix starting at `s` against `pat` *as a prefix query*:
+/// `Equal` means the suffix starts with `pat`.
+#[inline]
+fn cmp_suffix(text: &[u32], s: usize, pat: &[u32]) -> Ordering {
+    let suffix = &text[s..];
+    let m = pat.len().min(suffix.len());
+    match suffix[..m].cmp(&pat[..m]) {
+        Ordering::Equal if suffix.len() >= pat.len() => Ordering::Equal,
+        Ordering::Equal => Ordering::Less, // proper prefix: shorter sorts first
+        other => other,
+    }
+}
+
+/// SA interval of suffixes starting with `pat`, searched within `[lo, hi)`
+/// (callers guarantee the answer lies inside). Two binary searches,
+/// `O(|pat| · log (hi − lo))` symbol comparisons.
+pub(crate) fn interval_within(
+    text: &[u32],
+    sa: &[u32],
+    lo: usize,
+    hi: usize,
+    pat: &[u32],
+) -> (usize, usize) {
+    let range = &sa[lo..hi];
+    let first =
+        lo + range.partition_point(|&s| cmp_suffix(text, s as usize, pat) == Ordering::Less);
+    let last =
+        lo + range.partition_point(|&s| cmp_suffix(text, s as usize, pat) != Ordering::Greater);
+    (first, last)
+}
+
+/// Length of the longest common prefix of two patterns.
+#[inline]
+fn lcp_pats(a: &[u32], b: &[u32]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+/// Resolve one contiguous group of the sorted batch to intervals.
+///
+/// `ids` indexes into `pats` in lexicographic order. The stack holds
+/// `(depth, lo, hi)` entries — the SA interval of the current pattern's
+/// prefix of length `depth`, strictly increasing in depth — and is the
+/// whole interval-merge mechanism: before searching pattern `i`, pop to the
+/// LCP with pattern `i−1` and start from the surviving top; after
+/// computing the LCP with pattern `i+1`, bound that shared prefix once and
+/// push it for `i+1` to start from.
+fn resolve_group(
+    text: &[u32],
+    sa: &[u32],
+    pats: &[Vec<u32>],
+    ids: &[usize],
+    merge: bool,
+    out: &mut Vec<(usize, usize, usize)>,
+) {
+    let n = sa.len();
+    let mut stack: Vec<(usize, usize, usize)> = Vec::new();
+    for (g, &id) in ids.iter().enumerate() {
+        let p = pats[id].as_slice();
+        if !merge {
+            let (flo, fhi) = interval_within(text, sa, 0, n, p);
+            out.push((id, flo, fhi));
+            continue;
+        }
+        let l_prev = if g == 0 {
+            0
+        } else {
+            lcp_pats(pats[ids[g - 1]].as_slice(), p)
+        };
+        while stack.last().is_some_and(|&(d, _, _)| d > l_prev) {
+            stack.pop();
+        }
+        let (mut lo, mut hi) = stack.last().map_or((0, n), |&(_, lo, hi)| (lo, hi));
+        let top_depth = stack.last().map_or(0, |&(d, _, _)| d);
+        let l_next = if g + 1 < ids.len() {
+            lcp_pats(p, pats[ids[g + 1]].as_slice())
+        } else {
+            0
+        };
+        // Bound the prefix shared with the next pattern first, so its
+        // interval is on the stack when that pattern runs.
+        if l_next > top_depth && l_next < p.len() {
+            let (plo, phi) = interval_within(text, sa, lo, hi, &p[..l_next]);
+            stack.push((l_next, plo, phi));
+            (lo, hi) = (plo, phi);
+        }
+        let (flo, fhi) = interval_within(text, sa, lo, hi, p);
+        if l_next == p.len() && l_next > top_depth {
+            // The whole pattern is the shared prefix (it's a prefix of the
+            // next pattern, or a duplicate).
+            stack.push((p.len(), flo, fhi));
+        }
+        out.push((id, flo, fhi));
+    }
+}
+
+/// Execute a pattern batch against `(text, sa)` at the width of `ctx`.
+/// Results are in the batch's original order.
+pub fn query_batch(
+    ctx: &Ctx,
+    text: &[u32],
+    sa: &[u32],
+    pats: &[Vec<u32>],
+    opts: &BatchOptions,
+) -> Vec<PatternHits> {
+    let k = pats.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    // Sort the batch lexicographically (indices only); adjacent patterns
+    // then share maximal prefixes, which is what merging feeds on.
+    let mut ids: Vec<usize> = (0..k).collect();
+    ids.sort_unstable_by(|&a, &b| pats[a].cmp(&pats[b]));
+
+    // Cut into contiguous groups, one pool task each. More groups than
+    // threads evens out skew; sequential contexts get one group (and with
+    // it maximal merging).
+    let threads = if ctx.is_parallel() {
+        ctx.exec.threads().max(1)
+    } else {
+        1
+    };
+    let ngroups = (threads * 4).min(k).max(1);
+    let group = k.div_ceil(ngroups);
+    let total_syms: u64 = pats.iter().map(|p| p.len() as u64).sum();
+    ctx.cost
+        .rounds(pdm_pram::ceil_log2(sa.len().max(2)) as u64, total_syms);
+    let resolved: Vec<Vec<(usize, usize, usize)>> = ctx.install(|| {
+        ids.par_chunks(group)
+            .map(|chunk| {
+                let mut out = Vec::with_capacity(chunk.len());
+                resolve_group(text, sa, pats, chunk, opts.merge, &mut out);
+                out
+            })
+            .collect()
+    });
+
+    let mut hits = vec![PatternHits::default(); k];
+    for (id, lo, hi) in resolved.into_iter().flatten() {
+        hits[id].count = hi - lo;
+        // Stash the interval for the locate pass below.
+        if opts.mode == QueryMode::Locate && hi > lo {
+            hits[id].positions = vec![lo as u32, hi as u32];
+        }
+    }
+    if opts.mode == QueryMode::Locate {
+        ctx.for_each_mut(&mut hits, |_, h| {
+            if h.positions.is_empty() {
+                return;
+            }
+            let (lo, hi) = (h.positions[0] as usize, h.positions[1] as usize);
+            h.positions = sa[lo..hi].to_vec();
+            h.positions.sort_unstable();
+        });
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sa::build_suffix_array;
+
+    fn naive_starts(text: &[u32], pat: &[u32]) -> Vec<u32> {
+        if pat.is_empty() {
+            return (0..text.len() as u32).collect();
+        }
+        if pat.len() > text.len() {
+            return Vec::new();
+        }
+        (0..=text.len() - pat.len())
+            .filter(|&i| &text[i..i + pat.len()] == pat)
+            .map(|i| i as u32)
+            .collect()
+    }
+
+    fn check_batch(text: &[u32], pats: &[Vec<u32>]) {
+        let sa = build_suffix_array(&Ctx::seq(), text);
+        for ctx in [Ctx::seq(), Ctx::with_threads(2), Ctx::with_threads(4)] {
+            for merge in [false, true] {
+                let opts = BatchOptions {
+                    merge,
+                    mode: QueryMode::Locate,
+                };
+                let hits = query_batch(&ctx, text, &sa, pats, &opts);
+                assert_eq!(hits.len(), pats.len());
+                for (i, h) in hits.iter().enumerate() {
+                    let want = naive_starts(text, &pats[i]);
+                    assert_eq!(h.positions, want, "pattern {i} {:?} merge={merge}", pats[i]);
+                    assert_eq!(h.count, want.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_prefix_batches_match_naive() {
+        // banana-family: heavy prefix sharing including duplicates and
+        // whole-pattern prefixes of other patterns.
+        let text: Vec<u32> = vec![1, 0, 2, 0, 2, 0]; // "banana"
+        let pats: Vec<Vec<u32>> = vec![
+            vec![0],                   // "a"
+            vec![0, 2],                // "an"
+            vec![0, 2, 0],             // "ana"
+            vec![0, 2, 0, 2, 0],       // "anana"
+            vec![0, 2, 0, 2, 0],       // duplicate
+            vec![2, 0],                // "na"
+            vec![1],                   // "b"
+            vec![3],                   // absent symbol
+            vec![0, 2, 0, 2, 0, 2],    // longer than any occurrence
+            vec![1, 0, 2, 0, 2, 0, 0], // longer than the corpus
+        ];
+        check_batch(&text, &pats);
+    }
+
+    #[test]
+    fn empty_batch_and_empty_pattern() {
+        let text: Vec<u32> = vec![0, 1, 0];
+        let sa = build_suffix_array(&Ctx::seq(), &text);
+        let ctx = Ctx::seq();
+        assert!(query_batch(&ctx, &text, &sa, &[], &BatchOptions::default()).is_empty());
+        // Empty pattern: prefix of every suffix.
+        let hits = query_batch(
+            &ctx,
+            &text,
+            &sa,
+            &[vec![]],
+            &BatchOptions {
+                merge: true,
+                mode: QueryMode::Locate,
+            },
+        );
+        assert_eq!(hits[0].count, 3);
+        assert_eq!(hits[0].positions, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pseudorandom_batches_match_naive() {
+        let mut x = 7u64;
+        let mut next = |m: u64| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % m) as usize
+        };
+        let text: Vec<u32> = (0..800).map(|_| next(3) as u32).collect();
+        let mut pats: Vec<Vec<u32>> = Vec::new();
+        for _ in 0..60 {
+            let start = next(780);
+            let len = 1 + next(12);
+            pats.push(text[start..start + len].to_vec());
+        }
+        for _ in 0..20 {
+            let len = 1 + next(6);
+            pats.push((0..len).map(|_| next(4) as u32).collect());
+        }
+        check_batch(&text, &pats);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let text: Vec<u32> = Vec::new();
+        let sa = build_suffix_array(&Ctx::seq(), &text);
+        let hits = query_batch(
+            &Ctx::seq(),
+            &text,
+            &sa,
+            &[vec![1, 2], vec![]],
+            &BatchOptions {
+                merge: true,
+                mode: QueryMode::Locate,
+            },
+        );
+        assert_eq!(hits[0].count, 0);
+        assert_eq!(hits[1].count, 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Parallel suffix-array construction by prefix doubling.
+//!
+//! This is the ordered twin of the KMR naming recurrence the matchers are
+//! built on: where dictionary naming computes
+//! `name_k(i) = δ(name_{k−1}(i), name_{k−1}(i+2^{k−1}))` through a
+//! namestamping table (equal iff equal, unordered), suffix ordering runs
+//! the *same* doubling with an order-preserving codomain — pack the pair of
+//! previous ranks into one `u64` key (`pdm_naming::kmr::rank_pair_keys_into`),
+//! sort the keys (`pdm_primitives::radix`), and densely re-rank by scanning
+//! the tie flags (`pdm_primitives::scan`). After `⌈log₂ n⌉` levels — or as
+//! soon as all ranks are distinct, which for realistic corpora happens much
+//! earlier — the sorted payloads *are* the suffix array.
+//!
+//! Every level is `O(n)` work in `O(1)` sort passes over the pool, so the
+//! whole construction is `O(n log n)` work with `O(log n · log σ_k)` PRAM
+//! round-depth — the Manber–Myers schedule, not SA-IS's `O(n)`, chosen
+//! because it reuses this repo's substrate end to end and parallelizes
+//! trivially.
+
+use pdm_naming::kmr;
+use pdm_pram::Ctx;
+use pdm_primitives::radix::radix_sort_by_key_in_place;
+use pdm_primitives::scan::scan_inclusive;
+
+/// Build the suffix array of `text`: `sa[r]` is the start of the `r`-th
+/// smallest suffix. Shorter suffixes that are prefixes of longer ones sort
+/// first (the `rank 0` padding convention of `rank_pair_keys_into`).
+pub fn build_suffix_array(ctx: &Ctx, text: &[u32]) -> Vec<u32> {
+    let n = text.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![0];
+    }
+
+    let mut keys: Vec<(u64, u32)> = Vec::new();
+    let mut scratch: Vec<(u64, u32)> = Vec::new();
+    let mut rank: Vec<u32> = vec![0; n];
+
+    // Level 0: order positions by symbol.
+    kmr::symbol_rank_keys_into(ctx, text, &mut keys);
+    radix_sort_by_key_in_place(ctx, &mut keys, &mut scratch);
+    let mut distinct = rerank(ctx, &keys, &mut rank);
+
+    // Level k: order by (rank_{k−1}(i), rank_{k−1}(i + 2^{k−1})).
+    let mut half = 1usize;
+    while distinct < n && half < n {
+        kmr::rank_pair_keys_into(ctx, &rank, half, &mut keys);
+        radix_sort_by_key_in_place(ctx, &mut keys, &mut scratch);
+        distinct = rerank(ctx, &keys, &mut rank);
+        half *= 2;
+    }
+    debug_assert_eq!(distinct, n, "suffixes of one text are pairwise distinct");
+
+    // The payloads of the final sort are the suffix array.
+    keys.into_iter().map(|(_, pos)| pos).collect()
+}
+
+/// Densely re-rank sorted `(key, position)` records: positions with equal
+/// keys get equal ranks, ranks increase with keys, and the rank values are
+/// `0..distinct`. Returns the number of distinct keys. `O(log n)` rounds,
+/// `O(n)` work (tie flags, inclusive scan, scatter).
+fn rerank(ctx: &Ctx, sorted: &[(u64, u32)], rank: &mut [u32]) -> usize {
+    let n = sorted.len();
+    // flag[j] = 1 iff record j opens a new rank class.
+    let flags: Vec<u64> = ctx.map(n, |j| u64::from(j > 0 && sorted[j].0 != sorted[j - 1].0));
+    let dense = scan_inclusive(ctx, &flags, 0u64, |a, b| a + b);
+    let distinct = (*dense.last().expect("n >= 1") + 1) as usize;
+    {
+        let rank_ptr = SendPtr(rank.as_mut_ptr());
+        ctx.for_each(n, |j| {
+            // Move (not borrow) the Copy wrapper into the task.
+            #[allow(clippy::redundant_locals)]
+            let rank_ptr = rank_ptr;
+            // SAFETY: the payloads of `sorted` are a permutation of 0..n,
+            // so each slot of `rank` is written by exactly one iteration.
+            unsafe { *rank_ptr.0.add(sorted[j].1 as usize) = dense[j] as u32 };
+        });
+    }
+    distinct
+}
+
+#[derive(Clone, Copy)]
+pub(crate) struct SendPtr<T>(pub *mut T);
+// SAFETY: used only for writes proven disjoint at the write site.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_sa(text: &[u32]) -> Vec<u32> {
+        let mut sa: Vec<u32> = (0..text.len() as u32).collect();
+        sa.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+        sa
+    }
+
+    fn ctxs() -> Vec<Ctx> {
+        vec![Ctx::seq(), Ctx::with_threads(2), Ctx::with_threads(4)]
+    }
+
+    #[test]
+    fn matches_naive_on_classic_strings() {
+        let cases: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![5],
+            vec![1, 0, 2, 0, 2, 0],    // banana
+            vec![0; 17],               // aaaa…
+            vec![0, 1, 0, 1, 0, 1, 0], // abababa
+            (0..100).map(|i| i % 3).collect(),
+            vec![2, 1, 0],
+        ];
+        for ctx in ctxs() {
+            for t in &cases {
+                assert_eq!(build_suffix_array(&ctx, t), naive_sa(t), "text {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_pseudorandom_texts() {
+        let mut x = 0x12345u64;
+        for ctx in ctxs() {
+            for (n, sigma) in [(1000usize, 2u64), (2000, 4), (1500, 256)] {
+                let t: Vec<u32> = (0..n)
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        (x % sigma) as u32
+                    })
+                    .collect();
+                assert_eq!(
+                    build_suffix_array(&ctx, &t),
+                    naive_sa(&t),
+                    "n={n} σ={sigma}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn result_is_permutation() {
+        let t: Vec<u32> = (0..512).map(|i| (i * 7 % 5) as u32).collect();
+        let mut sa = build_suffix_array(&Ctx::par(), &t);
+        sa.sort_unstable();
+        assert!(sa.iter().enumerate().all(|(i, &s)| s as usize == i));
+    }
+}

@@ -1,0 +1,158 @@
+//! The index and the matcher must agree: `pdm-index` `locate` over a
+//! corpus returns exactly the occurrence set `StaticMatcher::find_all`
+//! reports for the same patterns — at pool widths 1, 2 and 4, with
+//! interval merging on and off, and across the `PDMX` disk round trip.
+//!
+//! This is the subsystem's contract in one sentence: the offline index is
+//! a *representation change*, never a semantics change.
+
+use pdm_core::static1d::StaticMatcher;
+use pdm_index::{BatchOptions, CorpusIndex, QueryMode};
+use pdm_pram::Ctx;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Non-empty patterns over the same alphabet as the text, so short ones
+/// actually occur. May contain duplicates — [`dedup`] strips them (the
+/// matcher requires distinct patterns; the index does not care).
+fn patterns_strategy() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(proptest::collection::vec(0u32..3, 1..9), 1..16)
+}
+
+fn dedup(mut pats: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
+    pats.sort_unstable();
+    pats.dedup();
+    pats
+}
+
+/// Occurrences of `find_all` grouped per pattern id, positions sorted.
+fn matcher_occurrences(ctx: &Ctx, pats: &[Vec<u32>], text: &[u32]) -> BTreeMap<usize, Vec<u32>> {
+    let m = StaticMatcher::build(ctx, pats).expect("distinct non-empty patterns");
+    let mut by_pat: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+    for (start, pid) in m.find_all(ctx, text) {
+        by_pat.entry(pid as usize).or_default().push(start as u32);
+    }
+    for v in by_pat.values_mut() {
+        v.sort_unstable();
+    }
+    by_pat
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn locate_equals_static_matcher_find_all(
+        text in proptest::collection::vec(0u32..3, 0..250),
+        raw_pats in patterns_strategy(),
+    ) {
+        let pats = dedup(raw_pats);
+        let want = matcher_occurrences(&Ctx::seq(), &pats, &text);
+        for threads in [1usize, 2, 4] {
+            let ctx = Ctx::with_threads(threads);
+            let idx = CorpusIndex::build(&ctx, text.clone());
+            for merge in [true, false] {
+                let opts = BatchOptions { merge, mode: QueryMode::Locate };
+                let hits = idx.query_batch(&ctx, &pats, &opts);
+                prop_assert_eq!(hits.len(), pats.len());
+                for (i, h) in hits.iter().enumerate() {
+                    let want_i = want.get(&i).cloned().unwrap_or_default();
+                    prop_assert_eq!(
+                        &h.positions, &want_i,
+                        "pattern {} {:?} threads={} merge={}", i, pats[i], threads, merge
+                    );
+                    prop_assert_eq!(h.count, want_i.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disk_round_trip_preserves_answers(
+        text in proptest::collection::vec(0u32..4, 1..300),
+        raw_pats in patterns_strategy(),
+        flip in any::<usize>(),
+    ) {
+        let pats = dedup(raw_pats);
+        let ctx = Ctx::with_threads(2);
+        let idx = CorpusIndex::build(&ctx, text);
+        let bytes = idx.to_bytes();
+        let back = CorpusIndex::from_bytes(&bytes).expect("clean round trip");
+        prop_assert_eq!(&back, &idx);
+        let opts = BatchOptions { merge: true, mode: QueryMode::Locate };
+        prop_assert_eq!(
+            back.query_batch(&ctx, &pats, &opts),
+            idx.query_batch(&ctx, &pats, &opts)
+        );
+        // Any single bit flip must be detected, never silently absorbed.
+        let mut bad = bytes.clone();
+        let at = flip % bad.len();
+        bad[at] ^= 0x10;
+        prop_assert!(CorpusIndex::from_bytes(&bad).is_err(), "flip at {} accepted", at);
+    }
+}
+
+#[test]
+fn empty_pattern_batch_is_empty_answer() {
+    for threads in [1usize, 2, 4] {
+        let ctx = Ctx::with_threads(threads);
+        let idx = CorpusIndex::build(&ctx, vec![0, 1, 2, 0, 1]);
+        let hits = idx.query_batch(&ctx, &[], &BatchOptions::default());
+        assert!(hits.is_empty());
+    }
+}
+
+#[test]
+fn pattern_longer_than_corpus_never_matches() {
+    for threads in [1usize, 2, 4] {
+        let ctx = Ctx::with_threads(threads);
+        let text = vec![1u32, 2, 1];
+        let idx = CorpusIndex::build(&ctx, text.clone());
+        // One pattern that IS the corpus plus a tail, one unrelated long
+        // one, one exact-corpus pattern as a control.
+        let pats = vec![vec![1u32, 2, 1, 2], vec![0u32; 10], text.clone()];
+        for merge in [true, false] {
+            let opts = BatchOptions {
+                merge,
+                mode: QueryMode::Locate,
+            };
+            let hits = idx.query_batch(&ctx, &pats, &opts);
+            assert_eq!(hits[0].count, 0);
+            assert!(hits[0].positions.is_empty());
+            assert_eq!(hits[1].count, 0);
+            assert_eq!(hits[2].positions, vec![0]);
+        }
+    }
+}
+
+#[test]
+fn excerpt_batch_on_generated_corpora_matches_matcher() {
+    // Deterministic end-to-end over both corpus generators, wider than the
+    // proptest alphabet: the realistic shapes the workload targets.
+    use pdm_textgen::corpus;
+    use pdm_textgen::strings::rng;
+    let mut r = rng(17);
+    for text in [
+        corpus::genome_default(&mut r, 4096),
+        corpus::log_lines(&mut r, 4096, 4),
+    ] {
+        let pats = corpus::distinct_query_patterns(&mut r, &text, 64, 2, 12, 4);
+        let want = matcher_occurrences(&Ctx::seq(), &pats, &text);
+        for threads in [1usize, 2, 4] {
+            let ctx = Ctx::with_threads(threads);
+            let idx = CorpusIndex::build(&ctx, text.clone());
+            let opts = BatchOptions {
+                merge: true,
+                mode: QueryMode::Locate,
+            };
+            let hits = idx.query_batch(&ctx, &pats, &opts);
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(
+                    h.positions,
+                    want.get(&i).cloned().unwrap_or_default(),
+                    "pattern {i} threads={threads}"
+                );
+            }
+        }
+    }
+}

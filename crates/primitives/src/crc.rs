@@ -1,0 +1,84 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//!
+//! Shared by every on-disk format in the workspace: the pdm-dict append-only
+//! log records and the pdm-index corpus sidecar. Table-driven (one 256-entry
+//! table built at compile time) because the index path checksums whole
+//! multi-megabyte files, not just admin-sized records.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `data` in one shot.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finish()
+}
+
+/// Incremental CRC-32 for writers that stream sections of a file.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &b in data {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // The standard check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 7) as u8).collect();
+        let mut h = Crc32::new();
+        for chunk in data.chunks(37) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finish(), crc32(&data));
+    }
+}

@@ -17,10 +17,13 @@
 //!   (sequential and CAS-based concurrent) with identical semantics — see
 //!   DESIGN.md §2;
 //! * [`hash`] — the multiply-xor hasher used by those tables (our own
-//!   implementation, no external hashing crates).
+//!   implementation, no external hashing crates);
+//! * [`crc`] — table-driven CRC-32 shared by the on-disk formats (dict log
+//!   records, index sidecars).
 
 pub mod compact;
 pub mod conc_table;
+pub mod crc;
 pub mod frozen;
 pub mod hash;
 pub mod nearest;
@@ -29,6 +32,7 @@ pub mod scan;
 pub mod table;
 
 pub use conc_table::ConcPairTable;
+pub use crc::{crc32, Crc32};
 pub use frozen::FrozenPairTable;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use table::PairMap;

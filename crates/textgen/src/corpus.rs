@@ -1,0 +1,229 @@
+//! Large fixed corpora for the offline-indexing workload.
+//!
+//! `pdm index` inverts the paper's scenario: the *text* is huge and static,
+//! the patterns arrive as query batches. These generators produce the two
+//! corpus shapes that workload cares about, both seeded and deterministic:
+//!
+//! * [`genome`] — 4-symbol text with duplicated segments, the shape of
+//!   genomic data (deep suffix-array intervals, long repeats, small σ);
+//! * [`log_lines`] — newline-separated lines drawn from a small set of
+//!   templates with variable fields, the shape of log archives (heavy
+//!   prefix sharing between lines, byte alphabet).
+//!
+//! [`query_patterns`] samples a query batch against either corpus: groups of
+//! excerpts sharing a start position (so batch members share prefixes —
+//! exactly what interval-merge querying exploits) plus a fraction of random
+//! patterns that mostly miss.
+
+use crate::alphabet::Alphabet;
+use crate::markov::MarkovSource;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Genome-style corpus: `n` symbols over `{0,1,2,3}` from a skewed order-1
+/// Markov chain, then `dup_count` segment duplications (a random segment of
+/// `dup_len` symbols copied to a random other position), mimicking the
+/// repeat structure that makes genomic suffix arrays interesting.
+pub fn genome(r: &mut StdRng, n: usize, dup_count: usize, dup_len: usize) -> Vec<u32> {
+    let src = MarkovSource::random(r, Alphabet::Dna, 1.5);
+    let mut t = src.generate(r, n);
+    let l = dup_len.min(n / 2).max(1);
+    if n >= 2 * l {
+        for _ in 0..dup_count {
+            let from = r.gen_range(0..=n - l);
+            let to = r.gen_range(0..=n - l);
+            let seg: Vec<u32> = t[from..from + l].to_vec();
+            t[to..to + l].copy_from_slice(&seg);
+        }
+    }
+    t
+}
+
+/// Default genome shape: 64 duplications of `n/64`-symbol segments.
+pub fn genome_default(r: &mut StdRng, n: usize) -> Vec<u32> {
+    genome(r, n, 64, (n / 64).max(16))
+}
+
+/// Log-archive corpus: about `n` symbols of newline-separated lines. Each
+/// line is one of `templates` fixed stems followed by a variable field
+/// (hex-ish id) and a short Markov tail — so lines share long prefixes with
+/// every other line of the same template, while the tails keep the corpus
+/// from being purely periodic. Symbols are printable ASCII plus `\n` (10).
+pub fn log_lines(r: &mut StdRng, n: usize, templates: usize) -> Vec<u32> {
+    assert!(templates >= 1);
+    let stems: Vec<Vec<u32>> = (0..templates)
+        .map(|_| {
+            // "svc42 GET /api/xyzw " style stems: lowercase words + digits.
+            let words = r.gen_range(2..=4);
+            let mut stem = Vec::new();
+            for w in 0..words {
+                if w > 0 {
+                    stem.push(b' ' as u32);
+                }
+                let len = r.gen_range(3..=8);
+                for _ in 0..len {
+                    stem.push(b'a' as u32 + r.gen_range(0..26));
+                }
+            }
+            stem.push(b' ' as u32);
+            stem
+        })
+        .collect();
+    let tail_src = MarkovSource::random(r, Alphabet::Letters, 1.2);
+    let mut out = Vec::with_capacity(n + 64);
+    while out.len() < n {
+        let stem = &stems[r.gen_range(0..stems.len())];
+        out.extend_from_slice(stem);
+        // Variable field: 4–8 hex digits.
+        for _ in 0..r.gen_range(4..=8) {
+            let d = r.gen_range(0..16u32);
+            out.push(if d < 10 {
+                b'0' as u32 + d
+            } else {
+                b'a' as u32 + d - 10
+            });
+        }
+        out.push(b' ' as u32);
+        let tail_len = r.gen_range(4..=24);
+        for c in tail_src.generate(r, tail_len) {
+            out.push(b'a' as u32 + c);
+        }
+        out.push(b'\n' as u32);
+    }
+    out.truncate(n);
+    out
+}
+
+/// A query batch against `corpus`: `count` patterns with lengths in
+/// `min_len ..= max_len`. Patterns come in groups of up to `group` sharing
+/// a start position (hence sharing prefixes — the interval-merge case), and
+/// a `miss_permille`‰ fraction is replaced by uniform random patterns that
+/// mostly miss. Patterns may repeat across groups; they are *not* deduped —
+/// query batches in the wild aren't either.
+pub fn query_patterns(
+    r: &mut StdRng,
+    corpus: &[u32],
+    count: usize,
+    min_len: usize,
+    max_len: usize,
+    group: usize,
+    miss_permille: usize,
+) -> Vec<Vec<u32>> {
+    assert!(min_len >= 1 && min_len <= max_len && max_len <= corpus.len());
+    assert!(group >= 1);
+    let sigma = corpus.iter().copied().max().unwrap_or(0) + 1;
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let start = r.gen_range(0..=corpus.len() - max_len);
+        let members = group.min(count - out.len());
+        for _ in 0..members {
+            let len = r.gen_range(min_len..=max_len);
+            if r.gen_range(0..1000) < miss_permille {
+                out.push((0..len).map(|_| r.gen_range(0..sigma)).collect());
+            } else {
+                out.push(corpus[start..start + len].to_vec());
+            }
+        }
+    }
+    out
+}
+
+/// Distinct excerpt patterns suitable for feeding both the index *and* a
+/// `StaticMatcher`/AC dictionary (which reject duplicates): like
+/// [`crate::strings::excerpt_dictionary`] but grouped by start position so
+/// the batch still exercises interval merging.
+pub fn distinct_query_patterns(
+    r: &mut StdRng,
+    corpus: &[u32],
+    count: usize,
+    min_len: usize,
+    max_len: usize,
+    group: usize,
+) -> Vec<Vec<u32>> {
+    assert!(min_len >= 1 && min_len <= max_len && max_len <= corpus.len());
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while out.len() < count {
+        attempts += 1;
+        assert!(
+            attempts < count * 200 + 2000,
+            "corpus too repetitive for {count} distinct excerpts"
+        );
+        let start = r.gen_range(0..=corpus.len() - max_len);
+        for _ in 0..group.max(1) {
+            if out.len() >= count {
+                break;
+            }
+            let len = r.gen_range(min_len..=max_len);
+            let p = corpus[start..start + len].to_vec();
+            if seen.insert(p.clone()) {
+                out.push(p);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strings::rng;
+
+    #[test]
+    fn genome_is_deterministic_and_4_symbol() {
+        let a = genome_default(&mut rng(7), 10_000);
+        let b = genome_default(&mut rng(7), 10_000);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10_000);
+        assert!(a.iter().all(|&c| c < 4));
+    }
+
+    #[test]
+    fn genome_duplications_create_long_repeats() {
+        let t = genome(&mut rng(3), 20_000, 32, 512);
+        // Some 64-symbol window must appear at least twice.
+        let mut seen = std::collections::HashSet::new();
+        let repeated = t.windows(64).any(|w| !seen.insert(w.to_vec()));
+        assert!(repeated, "expected duplicated segments to repeat windows");
+    }
+
+    #[test]
+    fn log_lines_shape() {
+        let t = log_lines(&mut rng(5), 50_000, 8);
+        assert_eq!(t.len(), 50_000);
+        let newlines = t.iter().filter(|&&c| c == b'\n' as u32).count();
+        assert!(newlines > 500, "expected many lines, got {newlines}");
+        assert!(t
+            .iter()
+            .all(|&c| c == b'\n' as u32 || (0x20..0x7f).contains(&c)));
+        assert_eq!(t, log_lines(&mut rng(5), 50_000, 8));
+    }
+
+    #[test]
+    fn query_patterns_hit_and_miss_mix() {
+        let mut r = rng(11);
+        let corpus = log_lines(&mut r, 20_000, 4);
+        let pats = query_patterns(&mut r, &corpus, 200, 4, 16, 4, 100);
+        assert_eq!(pats.len(), 200);
+        assert!(pats.iter().all(|p| (4..=16).contains(&p.len())));
+        let hits = pats
+            .iter()
+            .filter(|p| corpus.windows(p.len()).any(|w| w == p.as_slice()))
+            .count();
+        assert!(hits > 100, "most patterns should occur, got {hits}/200");
+    }
+
+    #[test]
+    fn distinct_query_patterns_are_distinct_excerpts() {
+        let mut r = rng(13);
+        let corpus = genome_default(&mut r, 5_000);
+        let pats = distinct_query_patterns(&mut r, &corpus, 100, 3, 12, 4);
+        assert_eq!(pats.len(), 100);
+        let set: std::collections::HashSet<_> = pats.iter().collect();
+        assert_eq!(set.len(), 100);
+        for p in &pats {
+            assert!(corpus.windows(p.len()).any(|w| w == p.as_slice()));
+        }
+    }
+}

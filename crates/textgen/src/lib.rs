@@ -8,10 +8,14 @@
 //! * [`strings`] — random/periodic texts, dictionaries with controlled
 //!   shape (equal lengths, shared prefixes, nested patterns), and planted
 //!   occurrences so matches actually happen;
+//! * [`corpus`] — large *fixed* texts for the offline-indexing workload
+//!   (genome-style 4-symbol and log-line corpora) plus query batches with
+//!   controlled prefix sharing;
 //! * [`grid`] — 2-D texts and square patterns for §5;
 //! * [`workload`] — plain-data experiment configurations.
 
 pub mod alphabet;
+pub mod corpus;
 pub mod grid;
 pub mod markov;
 pub mod strings;

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Text-throughput regression guard for CI.
+# Bench regression guard for CI.
 #
-# Runs the text_throughput bench in smoke mode and compares each
-# workload's *after* sequential MB/s against the committed
-# BENCH_text.json; the bench exits non-zero if any workload lost more
-# than 30% (margin chosen to absorb smoke-vs-full-size variance while
-# still catching structural regressions).
+# Runs the matching bench in smoke mode and compares this run against the
+# committed baseline JSON; the bench exits non-zero on a loss of more than
+# 30% (margin chosen to absorb smoke-vs-full-size variance while still
+# catching structural regressions). The bench binary is picked from the
+# baseline's name: BENCH_text.json -> text_throughput (after-leg seq MB/s
+# per workload), BENCH_index.json -> index_throughput (build seq MB/s and
+# merged-query seq kqps).
 #
 # Usage: scripts/check_bench_regression.sh [baseline.json]
 set -euo pipefail
@@ -17,5 +19,10 @@ if [[ ! -f "$baseline" ]]; then
     exit 2
 fi
 
-PDM_BENCH_SMOKE=1 cargo run --release -p pdm-bench --bin text_throughput -- \
-    /tmp/BENCH_text_smoke.json --check "$baseline"
+case "$(basename "$baseline")" in
+    BENCH_index*) bench=index_throughput ;;
+    *)            bench=text_throughput ;;
+esac
+
+PDM_BENCH_SMOKE=1 cargo run --release -p pdm-bench --bin "$bench" -- \
+    "/tmp/${bench}_smoke.json" --check "$baseline"

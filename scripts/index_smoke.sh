@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Offline-index smoke for CI.
+#
+# End-to-end through the real CLI and the real on-disk format: generate a
+# 1 MB log-shaped corpus plus a 1000-pattern query batch, build the PDMX
+# sidecar with `pdm index`, answer the batch with `pdm query --verify` —
+# which cross-checks every per-pattern count against an Aho–Corasick scan
+# of the corpus and exits non-zero on any disagreement. Run under
+# PDM_THREADS=2 so the pool substrate (not just sequential fallbacks)
+# backs both the build and the batch query.
+#
+# Usage: scripts/index_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+cargo build --release --bin pdm
+bin=target/release/pdm
+
+"$bin" gen --out "$tmp/corpus.bin" --bytes $((1 << 20)) --seed 7 \
+    --corpus log --patterns-out "$tmp/patterns.txt" --pattern-count 1000
+"$bin" index --text "$tmp/corpus.bin" --out "$tmp/corpus.pdmx"
+"$bin" query --index "$tmp/corpus.pdmx" --patterns "$tmp/patterns.txt" \
+    --verify >"$tmp/query.out"
+tail -n 2 "$tmp/query.out"
+grep -q "verify: OK" "$tmp/query.out"
+echo "index smoke: OK"

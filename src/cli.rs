@@ -105,6 +105,31 @@ pub enum Command {
         bytes: usize,
         seed: u64,
         markov: bool,
+        /// `--corpus genome|log`: indexing-workload corpus shapes from
+        /// `pdm_textgen::corpus` instead of the matching-workload texts.
+        corpus: Option<String>,
+        /// `--patterns-out F [--pattern-count K]`: also sample a query
+        /// batch from the generated corpus, one pattern per line.
+        patterns_out: Option<String>,
+        pattern_count: usize,
+    },
+    /// Build a suffix-array sidecar for a corpus (`pdm-index`).
+    Index {
+        text: String,
+        out: String,
+        threads: Option<usize>,
+    },
+    /// Answer a pattern batch from a prebuilt sidecar.
+    Query {
+        index: String,
+        patterns: String,
+        threads: Option<usize>,
+        /// `--locate`: print every occurrence, not just per-pattern counts.
+        locate: bool,
+        /// `--no-merge`: disable interval merging (for measurement).
+        no_merge: bool,
+        /// `--verify`: cross-check counts against the Aho–Corasick baseline.
+        verify: bool,
     },
     Help,
 }
@@ -137,7 +162,11 @@ USAGE:
   pdm dict   commit (--log <file> | --addr <host:port>)
   pdm dict   info   (--log <file> | --addr <host:port>)
   pdm dict   compact --log <file>
-  pdm gen    --out <file> --bytes <n> [--seed S] [--markov]
+  pdm gen    --out <file> --bytes <n> [--seed S] [--markov | --corpus genome|log]
+             [--patterns-out <file> [--pattern-count K]]
+  pdm index  --text <corpus> --out <file.pdmx> [--threads N]
+  pdm query  --index <file.pdmx> --patterns <file> [--threads N]
+             [--locate] [--no-merge] [--verify]
   pdm help
 
 Dictionary files: one pattern per line. Texts are matched byte-wise.
@@ -153,6 +182,12 @@ one connection = one stream session over a shared dictionary.
 `--max-conns` load-sheds arrivals beyond the cap with a busy error frame
 (0 = unlimited); `--drain-deadline-ms` bounds the graceful drain on
 shutdown (default 5000).
+`index` builds the offline suffix-array sidecar (pdm-index, PDMX format,
+CRC-verified on load); `query` answers a batch of patterns (one per line)
+against it without touching the corpus again — per-pattern counts by
+default, `--locate` for every occurrence as <offset>\\t<pattern>\\t<text>.
+`gen --corpus genome|log` emits the indexing-workload corpus shapes;
+`--patterns-out` samples a prefix-sharing query batch from the corpus.
 `serve --dict-log` enables live dictionary updates: the dictionary lives
 in an append-only log, `dict add/remove` stage changes, and `dict commit`
 publishes them as a new epoch that running sessions adopt at their next
@@ -194,6 +229,13 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
     let mut log = None;
     let mut addr = None;
     let mut pattern = None;
+    let mut patterns = None;
+    let mut corpus = None;
+    let mut patterns_out = None;
+    let mut pattern_count = 1000usize;
+    let mut locate = false;
+    let mut no_merge = false;
+    let mut verify = false;
     while let Some(a) = it.next() {
         let mut need = |name: &str| -> Result<String, UsageError> {
             it.next()
@@ -276,6 +318,20 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             "--log" => log = Some(need("--log")?),
             "--addr" => addr = Some(need("--addr")?),
             "--pattern" => pattern = Some(need("--pattern")?),
+            "--patterns" => patterns = Some(need("--patterns")?),
+            "--corpus" => corpus = Some(need("--corpus")?),
+            "--patterns-out" => patterns_out = Some(need("--patterns-out")?),
+            "--pattern-count" => {
+                pattern_count = need("--pattern-count")?
+                    .parse()
+                    .map_err(|_| UsageError("--pattern-count wants an integer".into()))?;
+                if pattern_count == 0 {
+                    return Err(UsageError("--pattern-count must be positive".into()));
+                }
+            }
+            "--locate" => locate = true,
+            "--no-merge" => no_merge = true,
+            "--verify" => verify = true,
             other => return Err(UsageError(format!("unknown flag: {other}"))),
         }
     }
@@ -371,11 +427,44 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             };
             Ok(Command::Dict { op, target })
         }
-        "gen" => Ok(Command::Gen {
+        "gen" => {
+            if let Some(c) = &corpus {
+                if c != "genome" && c != "log" {
+                    return Err(UsageError(format!(
+                        "--corpus must be genome or log, not {c}"
+                    )));
+                }
+                if markov {
+                    return Err(UsageError("--markov and --corpus are exclusive".into()));
+                }
+            }
+            if patterns_out.is_some() && corpus.is_none() {
+                return Err(UsageError(
+                    "--patterns-out requires --corpus genome|log".into(),
+                ));
+            }
+            Ok(Command::Gen {
+                out: want(out, "--out")?,
+                bytes: bytes.ok_or_else(|| UsageError("gen requires --bytes".into()))?,
+                seed,
+                markov,
+                corpus,
+                patterns_out,
+                pattern_count,
+            })
+        }
+        "index" => Ok(Command::Index {
+            text: want(text, "--text")?,
             out: want(out, "--out")?,
-            bytes: bytes.ok_or_else(|| UsageError("gen requires --bytes".into()))?,
-            seed,
-            markov,
+            threads,
+        }),
+        "query" => Ok(Command::Query {
+            index: want(index, "--index")?,
+            patterns: want(patterns, "--patterns")?,
+            threads,
+            locate,
+            no_merge,
+            verify,
         }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(UsageError(format!("unknown command: {other}"))),
@@ -637,30 +726,196 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
             bytes,
             seed,
             markov,
+            corpus,
+            patterns_out,
+            pattern_count,
         } => {
-            use pdm_textgen::{markov as mk, strings, Alphabet};
+            use pdm_textgen::{corpus as cg, markov as mk, strings, Alphabet};
             let mut r = strings::rng(seed);
-            let syms = if markov {
-                mk::english_like(&mut r, bytes)
+            let syms: Vec<u8> = match corpus.as_deref() {
+                // Genome symbols 0..4 are written as ACGT so the corpus
+                // file is readable and the byte values are the symbols.
+                Some("genome") => cg::genome_default(&mut r, bytes)
                     .into_iter()
-                    .map(|c| c as u8 + b'a')
-                    .collect::<Vec<u8>>()
-            } else {
-                strings::random_text(&mut r, Alphabet::Bytes, bytes)
+                    .map(|c| b"ACGT"[c as usize])
+                    .collect(),
+                Some(_) => cg::log_lines(&mut r, bytes, 8)
                     .into_iter()
                     .map(|c| c as u8)
+                    .collect(),
+                None if markov => mk::english_like(&mut r, bytes)
+                    .into_iter()
+                    .map(|c| c as u8 + b'a')
+                    .collect(),
+                None => strings::random_text(&mut r, Alphabet::Bytes, bytes)
+                    .into_iter()
+                    .map(|c| c as u8)
+                    .collect(),
+            };
+            if let Err(e) = std::fs::write(&out, &syms) {
+                writeln!(w, "error: {out}: {e}")?;
+                return Ok(2);
+            }
+            writeln!(w, "wrote {} bytes to {out}", syms.len())?;
+            if let Some(ppath) = patterns_out {
+                // Sample a prefix-sharing query batch from the corpus we
+                // just wrote. Pattern files are line-based, so patterns
+                // containing a newline byte are dropped and resampled.
+                let corpus_syms: Vec<u32> = syms.iter().map(|&b| u32::from(b)).collect();
+                let max_len = 24.min(corpus_syms.len());
+                let min_len = 4.min(max_len);
+                let mut pats: Vec<Vec<u32>> = Vec::with_capacity(pattern_count);
+                while pats.len() < pattern_count {
+                    let want = pattern_count - pats.len();
+                    let batch =
+                        cg::query_patterns(&mut r, &corpus_syms, want, min_len, max_len, 4, 50);
+                    pats.extend(batch.into_iter().filter(|p| !p.contains(&u32::from(b'\n'))));
+                }
+                let mut text = String::new();
+                for p in &pats {
+                    for &c in p {
+                        text.push(char::from(c as u8));
+                    }
+                    text.push('\n');
+                }
+                if let Err(e) = std::fs::write(&ppath, text.as_bytes()) {
+                    writeln!(w, "error: {ppath}: {e}")?;
+                    return Ok(2);
+                }
+                writeln!(w, "wrote {} patterns to {ppath}", pats.len())?;
+            }
+            Ok(0)
+        }
+        Command::Index { text, out, threads } => {
+            let txt = match load_text(&text) {
+                Ok(t) => t,
+                Err(e) => {
+                    writeln!(w, "error: {e}")?;
+                    return Ok(2);
+                }
+            };
+            let ctx = ctx_for(threads);
+            let t0 = std::time::Instant::now();
+            let idx = pdm_index::CorpusIndex::build(&ctx, txt);
+            let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let bytes = idx.to_bytes();
+            if let Err(e) = std::fs::write(&out, &bytes) {
+                writeln!(w, "error: {out}: {e}")?;
+                return Ok(2);
+            }
+            let c = ctx.cost.snapshot();
+            writeln!(
+                w,
+                "indexed {} symbols into {out}: {} bytes, {build_ms:.1} ms build, {} PRAM rounds, {} ops",
+                idx.len(),
+                bytes.len(),
+                c.rounds,
+                c.work
+            )?;
+            Ok(0)
+        }
+        Command::Query {
+            index,
+            patterns,
+            threads,
+            locate,
+            no_merge,
+            verify,
+        } => {
+            let idx = match pdm_index::CorpusIndex::read_from(std::path::Path::new(&index)) {
+                Ok(i) => i,
+                Err(e) => {
+                    writeln!(w, "error: {index}: {e}")?;
+                    return Ok(2);
+                }
+            };
+            let pats = match load_dictionary(&patterns) {
+                Ok(p) => p,
+                Err(e) => {
+                    writeln!(w, "error: {e}")?;
+                    return Ok(2);
+                }
+            };
+            let ctx = ctx_for(threads);
+            let opts = pdm_index::BatchOptions {
+                merge: !no_merge,
+                mode: if locate {
+                    pdm_index::QueryMode::Locate
+                } else {
+                    pdm_index::QueryMode::Count
+                },
+            };
+            let t0 = std::time::Instant::now();
+            let hits = idx.query_batch(&ctx, &pats, &opts);
+            let query_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let show_pat = |p: &[Sym]| -> String {
+                p.iter()
+                    .map(|&c| char::from(c as u8))
+                    .map(|c| {
+                        if c.is_ascii_graphic() || c == ' ' {
+                            c
+                        } else {
+                            '.'
+                        }
+                    })
                     .collect()
             };
-            match std::fs::write(&out, &syms) {
-                Ok(()) => {
-                    writeln!(w, "wrote {} bytes to {out}", syms.len())?;
-                    Ok(0)
-                }
-                Err(e) => {
-                    writeln!(w, "error: {out}: {e}")?;
-                    Ok(2)
+            let mut total = 0usize;
+            for (i, h) in hits.iter().enumerate() {
+                total += h.count;
+                if locate {
+                    for &pos in &h.positions {
+                        writeln!(w, "{pos}\t{i}\t{}", show_pat(&pats[i]))?;
+                    }
+                } else {
+                    writeln!(w, "{i}\t{}\t{}", h.count, show_pat(&pats[i]))?;
                 }
             }
+            writeln!(
+                w,
+                "# {total} occurrences for {} patterns in {} symbols, {query_ms:.2} ms",
+                pats.len(),
+                idx.len()
+            )?;
+            if verify {
+                // Cross-check every count against the streaming baseline:
+                // an Aho–Corasick pass over the full corpus.
+                let mut uniq: Vec<Vec<u32>> = pats.clone();
+                uniq.sort_unstable();
+                uniq.dedup();
+                let ac = pdm_baselines::AhoCorasick::new(&uniq);
+                let maxlen = uniq.iter().map(Vec::len).max().unwrap_or(1);
+                let occs =
+                    pdm_baselines::chunked_ac::find_all_chunked(&ac, &idx.text, maxlen, 1 << 16);
+                let mut ac_counts = vec![0usize; uniq.len()];
+                for o in &occs {
+                    ac_counts[o.pat] += 1;
+                }
+                let mut bad = 0usize;
+                for (i, p) in pats.iter().enumerate() {
+                    let u = uniq.binary_search(p).expect("uniq contains every pattern");
+                    if hits[i].count != ac_counts[u] {
+                        bad += 1;
+                        writeln!(
+                            w,
+                            "verify MISMATCH pattern {i} ({}): index {} vs AC {}",
+                            show_pat(p),
+                            hits[i].count,
+                            ac_counts[u]
+                        )?;
+                    }
+                }
+                if bad > 0 {
+                    writeln!(w, "verify: {bad}/{} patterns disagree", pats.len())?;
+                    return Ok(1);
+                }
+                writeln!(
+                    w,
+                    "verify: OK ({} patterns agree with Aho–Corasick)",
+                    pats.len()
+                )?;
+            }
+            Ok(0)
         }
         Command::Serve {
             dict,
@@ -933,9 +1188,214 @@ mod tests {
                 out: "f".into(),
                 bytes: 100,
                 seed: 0,
-                markov: false
+                markov: false,
+                corpus: None,
+                patterns_out: None,
+                pattern_count: 1000,
             }
         );
+    }
+
+    #[test]
+    fn parses_gen_corpus_and_pattern_flags() {
+        let c = parse(&args(&[
+            "gen",
+            "--out",
+            "c.bin",
+            "--bytes",
+            "4096",
+            "--corpus",
+            "genome",
+            "--patterns-out",
+            "p.txt",
+            "--pattern-count",
+            "50",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Gen {
+                out: "c.bin".into(),
+                bytes: 4096,
+                seed: 0,
+                markov: false,
+                corpus: Some("genome".into()),
+                patterns_out: Some("p.txt".into()),
+                pattern_count: 50,
+            }
+        );
+        assert!(parse(&args(&[
+            "gen", "--out", "c", "--bytes", "1", "--corpus", "bogus"
+        ]))
+        .is_err());
+        assert!(parse(&args(&[
+            "gen", "--out", "c", "--bytes", "1", "--corpus", "log", "--markov"
+        ]))
+        .is_err());
+        assert!(
+            parse(&args(&[
+                "gen",
+                "--out",
+                "c",
+                "--bytes",
+                "1",
+                "--patterns-out",
+                "p"
+            ]))
+            .is_err(),
+            "--patterns-out needs --corpus"
+        );
+    }
+
+    #[test]
+    fn parses_index_and_query() {
+        let c = parse(&args(&["index", "--text", "c.bin", "--out", "c.pdmx"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Index {
+                text: "c.bin".into(),
+                out: "c.pdmx".into(),
+                threads: None,
+            }
+        );
+        let c = parse(&args(&[
+            "query",
+            "--index",
+            "c.pdmx",
+            "--patterns",
+            "p.txt",
+            "--threads",
+            "2",
+            "--locate",
+            "--no-merge",
+            "--verify",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Query {
+                index: "c.pdmx".into(),
+                patterns: "p.txt".into(),
+                threads: Some(2),
+                locate: true,
+                no_merge: true,
+                verify: true,
+            }
+        );
+        assert!(parse(&args(&["index", "--text", "c"])).is_err());
+        assert!(parse(&args(&["query", "--index", "i"])).is_err());
+        assert!(parse(&args(&["query", "--patterns", "p"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_gen_index_query_verify() {
+        let dir = std::env::temp_dir().join(format!("pdm-cli-pdmx-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cpath: String = dir.join("corpus.bin").to_string_lossy().into();
+        let ppath: String = dir.join("patterns.txt").to_string_lossy().into();
+        let ipath: String = dir.join("corpus.pdmx").to_string_lossy().into();
+        let mut out = Vec::new();
+        assert_eq!(
+            run(
+                Command::Gen {
+                    out: cpath.clone(),
+                    bytes: 20_000,
+                    seed: 42,
+                    markov: false,
+                    corpus: Some("log".into()),
+                    patterns_out: Some(ppath.clone()),
+                    pattern_count: 60,
+                },
+                &mut out,
+            )
+            .unwrap(),
+            0
+        );
+        let mut out = Vec::new();
+        assert_eq!(
+            run(
+                Command::Index {
+                    text: cpath.clone(),
+                    out: ipath.clone(),
+                    threads: Some(2),
+                },
+                &mut out,
+            )
+            .unwrap(),
+            0
+        );
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("indexed 20000 symbols"), "{s}");
+
+        // Counts must survive the disk round trip and agree with AC.
+        let mut out = Vec::new();
+        let code = run(
+            Command::Query {
+                index: ipath.clone(),
+                patterns: ppath.clone(),
+                threads: Some(2),
+                locate: false,
+                no_merge: false,
+                verify: true,
+            },
+            &mut out,
+        )
+        .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert_eq!(code, 0, "{s}");
+        assert!(s.contains("verify: OK"), "{s}");
+
+        // Locate output lines are <offset>\t<pattern-index>\t<text>.
+        let mut out = Vec::new();
+        assert_eq!(
+            run(
+                Command::Query {
+                    index: ipath.clone(),
+                    patterns: ppath,
+                    threads: Some(1),
+                    locate: true,
+                    no_merge: true,
+                    verify: false,
+                },
+                &mut out,
+            )
+            .unwrap(),
+            0
+        );
+        let s = String::from_utf8(out).unwrap();
+        assert!(
+            s.lines().any(|l| {
+                let mut f = l.split('\t');
+                matches!(
+                    (f.next(), f.next(), f.next()),
+                    (Some(a), Some(b), Some(_))
+                        if a.parse::<usize>().is_ok() && b.parse::<usize>().is_ok()
+                )
+            }),
+            "{s}"
+        );
+
+        // A corrupted sidecar must be rejected, not silently mis-answered.
+        let mut bytes = std::fs::read(&ipath).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&ipath, &bytes).unwrap();
+        let mut out = Vec::new();
+        let code = run(
+            Command::Query {
+                index: ipath,
+                patterns: dir.join("patterns.txt").to_string_lossy().into(),
+                threads: Some(1),
+                locate: false,
+                no_merge: false,
+                verify: false,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(code, 2);
+        assert!(String::from_utf8(out).unwrap().contains("checksum"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -994,6 +1454,9 @@ mod tests {
                 bytes: 1000,
                 seed: 3,
                 markov: true,
+                corpus: None,
+                patterns_out: None,
+                pattern_count: 1000,
             },
             &mut out,
         )

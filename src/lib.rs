@@ -22,7 +22,10 @@
 //!   bounded-queue backpressure ([`stream::ShardedService`]), a
 //!   fault-tolerant length-prefixed TCP protocol (`pdm serve`: supervised
 //!   workers, load shedding, graceful drain), and a reconnecting
-//!   exactly-once client ([`stream::RetryingClient`]).
+//!   exactly-once client ([`stream::RetryingClient`]);
+//! * [`index`] — the transposed offline workload: suffix-array corpus
+//!   indexing on the same substrate (`pdm index` / `pdm query`), with
+//!   interval-merged parallel batch queries and a CRC'd sidecar format.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +45,7 @@
 
 pub use pdm_baselines as baselines;
 pub use pdm_core as core;
+pub use pdm_index as index;
 pub use pdm_naming as naming;
 pub use pdm_pram as pram;
 pub use pdm_primitives as primitives;
