@@ -69,6 +69,11 @@ pub struct MatcherStats {
     /// Name-table probes issued by text-side calls so far (`0` when not
     /// tracked).
     pub lookup_count: u64,
+    /// Whether this matcher was cold-loaded from a serialized snapshot
+    /// instead of built by the parallel preprocessing — `true` means no
+    /// naming round ran for it. Always `false` for matchers without a
+    /// snapshot form.
+    pub cold_loaded: bool,
 }
 
 /// Dictionary matching behind one object-safe interface.
@@ -102,6 +107,7 @@ impl Matcher for StaticMatcher {
             table_entry_count: self.table_entry_count(),
             alloc_events: d.alloc_events,
             lookup_count: d.table_lookups,
+            cold_loaded: self.cold_loaded(),
         }
     }
 
@@ -123,6 +129,7 @@ impl Matcher for DynamicMatcher {
             table_entry_count: self.table_entry_count(),
             alloc_events: 0,
             lookup_count: 0,
+            cold_loaded: false,
         }
     }
 
@@ -165,6 +172,7 @@ impl Matcher for EqualLenMatcher {
             table_entry_count: 0, // builds its tables per match_text call
             alloc_events: 0,
             lookup_count: 0,
+            cold_loaded: false,
         }
     }
 
@@ -200,6 +208,7 @@ impl Matcher for SmallAlphaMatcher {
             table_entry_count: self.table_entry_count(),
             alloc_events: 0,
             lookup_count: 0,
+            cold_loaded: false,
         }
     }
 
@@ -221,6 +230,7 @@ impl Matcher for BinaryEncodedMatcher {
             table_entry_count: self.table_entry_count(),
             alloc_events: 0,
             lookup_count: 0,
+            cold_loaded: false,
         }
     }
 

@@ -13,6 +13,7 @@
 //! assert_eq!(out.prefix_len[3], 0);            // nothing starts with 'r'
 //! ```
 
+pub mod frozen_serial;
 pub mod namemap;
 pub mod prefix_match;
 pub mod serial;
@@ -22,7 +23,7 @@ pub use prefix_match::{
     match_text, match_text_into, match_text_ref, prefix_match, prefix_match_into, prefix_match_ref,
     ConcView, MatchOutput, MatchTables, PrefixMatch,
 };
-pub use tables::StaticTables;
+pub use tables::{StaticTables, WriteTables};
 
 use crate::allmatches::PatternChains;
 use crate::dict::{BuildError, PatId, Sym};
@@ -51,6 +52,11 @@ pub struct StaticMatcher {
     /// first `find_all_into` call and shared by every session thereafter.
     chains: OnceLock<PatternChains>,
     metrics: Metrics,
+    /// Whether this matcher was cold-loaded from the frozen snapshot form
+    /// (no parallel build ran). Surfaced through
+    /// [`MatcherStats::cold_loaded`](crate::matcher::MatcherStats) so boot
+    /// paths can *assert* that a snapshot spared them the rebuild.
+    cold_loaded: bool,
 }
 
 /// Size diagnostics for a built dictionary (see [`StaticMatcher::stats`]).
@@ -94,6 +100,7 @@ impl StaticMatcher {
             tables,
             chains: OnceLock::new(),
             metrics: Metrics::default(),
+            cold_loaded: false,
         }
     }
 
@@ -244,6 +251,9 @@ impl StaticMatcher {
     }
 
     /// Size diagnostics: names allocated and per-table entry counts.
+    /// Entry counts come from the frozen read path (identical to the live
+    /// counts — freezing preserves every entry), so they are available on
+    /// cold-loaded matchers too.
     pub fn stats(&self) -> DictStats {
         let t = &self.tables;
         DictStats {
@@ -252,10 +262,10 @@ impl StaticMatcher {
             dictionary_size: t.total_len,
             max_pattern_len: t.max_len,
             names_allocated: t.pool.allocated() as usize,
-            sym_entries: t.sym.len(),
-            pair_entries: t.pair.iter().map(|x| x.len()).sum(),
-            fold_entries: t.fold.len(),
-            ext_entries: t.ext.iter().map(|x| x.len()).sum(),
+            sym_entries: t.read.sym.len(),
+            pair_entries: t.read.pair.iter().map(|x| x.len()).sum(),
+            fold_entries: t.fold_len,
+            ext_entries: t.read.ext.iter().map(|x| x.len()).sum(),
             match_calls: self.metrics.match_calls.load(Ordering::Relaxed),
             alloc_events: self.metrics.alloc_events.load(Ordering::Relaxed),
             table_lookups: self.metrics.table_lookups.load(Ordering::Relaxed),
@@ -270,6 +280,35 @@ impl StaticMatcher {
     /// Load a matcher from a serialized index.
     pub fn from_bytes(data: &[u8]) -> Result<Self, serial::LoadError> {
         Ok(Self::from_tables(StaticTables::from_bytes(data)?))
+    }
+
+    /// Serialize the read path to the frozen snapshot form (see
+    /// [`frozen_serial`]).
+    pub fn to_frozen_bytes(&self) -> Vec<u8> {
+        self.tables.to_frozen_bytes()
+    }
+
+    /// Cold-load a matcher from the frozen snapshot form: `O(bytes)` work,
+    /// no naming rounds, no parallel build. The result reports
+    /// `cold_loaded = true` in its [`MatcherStats`](crate::matcher::Matcher)
+    /// so callers can verify the rebuild was actually skipped.
+    pub fn from_frozen_bytes(data: &[u8]) -> Result<Self, serial::LoadError> {
+        let mut m = Self::from_tables(StaticTables::from_frozen_bytes(data)?);
+        m.cold_loaded = true;
+        Ok(m)
+    }
+
+    /// Whether this matcher was cold-loaded (see [`Self::from_frozen_bytes`]).
+    pub fn cold_loaded(&self) -> bool {
+        self.cold_loaded
+    }
+
+    /// Seed the all-matches prefix chains with precomputed values (a
+    /// snapshot loader restoring serialized chains). A no-op if the chains
+    /// were already built; `chains` must describe exactly this dictionary.
+    pub fn prime_chains(&self, chains: PatternChains) {
+        debug_assert_eq!(chains.chain.len(), self.pattern_count());
+        let _ = self.chains.set(chains);
     }
 
     /// Longest pattern length in the dictionary (`m`).

@@ -461,15 +461,15 @@ impl MatchTables for ConcView<'_> {
     }
 
     fn sym_lookup(&self, c: Sym) -> Option<u32> {
-        self.0.sym.lookup(c, 0)
+        self.0.write_tables().sym.lookup(c, 0)
     }
 
     fn pair_lookup(&self, k: usize, a: u32, b: u32) -> Option<u32> {
-        self.0.pair[k - 1].lookup(a, b)
+        self.0.write_tables().pair[k - 1].lookup(a, b)
     }
 
     fn ext_lookup(&self, k: usize, pref: u32, block: u32) -> Option<u32> {
-        self.0.ext[k].lookup(pref, block)
+        self.0.write_tables().ext[k].lookup(pref, block)
     }
 
     fn longest_pattern(&self, pref: u32) -> Option<(PatId, u32)> {

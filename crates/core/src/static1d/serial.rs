@@ -21,7 +21,7 @@
 //! `namemap` = `u32 count | count × u64`.
 
 use crate::static1d::namemap::NameMap;
-use crate::static1d::tables::{ReadTables, StaticTables};
+use crate::static1d::tables::{ReadTables, StaticTables, WriteTables};
 use pdm_naming::{NamePool, NameTable};
 
 const MAGIC: &[u8; 4] = b"PDM1";
@@ -140,7 +140,14 @@ impl<'a> Reader<'a> {
 
 impl StaticTables {
     /// Serialize to the `PDM1` binary format.
+    ///
+    /// `PDM1` is an entry-list format over the *live* build tables, so this
+    /// requires the build side (always present except on matchers
+    /// cold-loaded from the frozen snapshot form, which serialize through
+    /// [`Self::to_frozen_bytes`](crate::static1d::StaticTables::to_frozen_bytes)
+    /// instead).
     pub fn to_bytes(&self) -> Vec<u8> {
+        let wt = self.write_tables();
         let mut w = Writer { buf: Vec::new() };
         w.buf.extend_from_slice(MAGIC);
         w.u32(VERSION);
@@ -149,12 +156,12 @@ impl StaticTables {
         w.u32(self.total_len as u32);
         w.u32(self.n_patterns as u32);
         w.u32(self.pool.allocated());
-        w.table(&self.sym);
-        for p in &self.pair {
+        w.table(&wt.sym);
+        for p in &wt.pair {
             w.table(p);
         }
-        w.table(&self.fold);
-        for e in &self.ext {
+        w.table(&wt.fold);
+        for e in &wt.ext {
             w.table(e);
         }
         w.namemap(&self.longest);
@@ -215,10 +222,13 @@ impl StaticTables {
             max_len,
             total_len,
             n_patterns,
-            sym,
-            pair,
-            fold,
-            ext,
+            fold_len: fold.len(),
+            write: Some(WriteTables {
+                sym,
+                pair,
+                fold,
+                ext,
+            }),
             longest,
             owner,
             pattern_names,

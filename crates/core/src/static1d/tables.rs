@@ -65,6 +65,48 @@ impl ReadTables {
             sym_dense,
         }
     }
+
+    /// Assemble from already-frozen tables (the cold-load path: the frozen
+    /// slot arrays come straight off disk). Only the dense level-0 map is
+    /// derived — an `O(|Σ|)` scan of the symbol table's entries, no
+    /// rehashing of anything.
+    pub fn from_frozen(
+        sym: FrozenNameTable,
+        pair: Vec<FrozenNameTable>,
+        ext: Vec<FrozenNameTable>,
+    ) -> Self {
+        let sym_dense = sym.entries().map(|(c, _, _)| c).max().and_then(|max_c| {
+            (max_c < Self::DENSE_SYM_LIMIT).then(|| {
+                let mut d = vec![IDENTITY; max_c as usize + 1].into_boxed_slice();
+                for (c, _, name) in sym.entries() {
+                    d[c as usize] = name;
+                }
+                d
+            })
+        });
+        ReadTables {
+            sym,
+            pair,
+            ext,
+            sym_dense,
+        }
+    }
+}
+
+/// The live (concurrent, write-capable) build-side tables. Text matching
+/// never touches these — every text-side lookup goes through
+/// [`ReadTables`] — so a matcher cold-loaded from a serialized snapshot
+/// carries none (see [`StaticTables::write`]).
+#[derive(Debug)]
+pub struct WriteTables {
+    /// Level-0 naming of symbols.
+    pub sym: NameTable,
+    /// `pair[k-1]` produces level-`k` block names from level-`k−1` names.
+    pub pair: Vec<NameTable>,
+    /// Prefix-name fold table (shared across levels; see `pdm-naming`).
+    pub fold: NameTable,
+    /// `ext[k]`: `(prefix-name, level-k block name) → longer prefix-name`.
+    pub ext: Vec<NameTable>,
 }
 
 /// Frozen dictionary tables: everything text processing needs.
@@ -75,14 +117,16 @@ pub struct StaticTables {
     pub max_len: usize,
     pub total_len: usize,
     pub n_patterns: usize,
-    /// Level-0 naming of symbols.
-    pub sym: NameTable,
-    /// `pair[k-1]` produces level-`k` block names from level-`k−1` names.
-    pub pair: Vec<NameTable>,
-    /// Prefix-name fold table (shared across levels; see `pdm-naming`).
-    pub fold: NameTable,
-    /// `ext[k]`: `(prefix-name, level-k block name) → longer prefix-name`.
-    pub ext: Vec<NameTable>,
+    /// Build-side live tables. `Some` for tables produced by
+    /// [`Self::build`] or the `PDM1` entry-list loader; `None` for tables
+    /// cold-loaded from the frozen-snapshot form, which ship only the read
+    /// path. Only `PDM1` serialization and the pre-freeze
+    /// [`ConcView`](crate::static1d::ConcView) bench path need them.
+    pub write: Option<WriteTables>,
+    /// Entry count of the fold table at freeze time (the fold itself is
+    /// build-only state and is not part of the frozen form; the count keeps
+    /// size diagnostics meaningful on cold-loaded tables).
+    pub fold_len: usize,
     /// prefix-name → packed `(len, pat)` of the longest pattern that is a
     /// prefix of it (Theorem 2's output).
     pub longest: NameMap,
@@ -246,10 +290,13 @@ impl StaticTables {
             max_len,
             total_len: total,
             n_patterns: npat,
-            sym,
-            pair,
-            fold,
-            ext,
+            fold_len: fold.len(),
+            write: Some(WriteTables {
+                sym,
+                pair,
+                fold,
+                ext,
+            }),
             longest,
             owner,
             pattern_names,
@@ -257,6 +304,16 @@ impl StaticTables {
             pool,
             read,
         })
+    }
+
+    /// Build-side tables, which exist unless this value was cold-loaded
+    /// from the frozen-snapshot form. Callers that genuinely need the live
+    /// tables (`PDM1` serialization, the pre-freeze bench view) should go
+    /// through here so the panic message names the contract.
+    pub fn write_tables(&self) -> &WriteTables {
+        self.write
+            .as_ref()
+            .expect("build-side tables absent: this matcher was cold-loaded from a frozen snapshot")
     }
 }
 
@@ -322,10 +379,13 @@ mod tests {
         let pats = symbolize(&["a", "b"]);
         let t = StaticTables::build(&ctx, &pats).unwrap();
         assert_eq!(t.levels, 0);
-        assert_eq!(t.ext.len(), 1);
+        assert_eq!(t.read.ext.len(), 1);
         // ext[0] must contain (IDENTITY, name(a)) → pref("a").
-        let na = t.sym.lookup(u32::from(b'a'), 0).unwrap();
-        assert_eq!(t.ext[0].lookup(IDENTITY, na), Some(t.pattern_prefs[0][0]));
+        let na = t.read.sym.lookup(u32::from(b'a'), 0).unwrap();
+        assert_eq!(
+            t.read.ext[0].lookup(IDENTITY, na),
+            Some(t.pattern_prefs[0][0])
+        );
     }
 
     #[test]

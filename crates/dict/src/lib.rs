@@ -44,5 +44,8 @@ pub mod snapshot;
 pub mod store;
 
 pub use epoch::EpochHandle;
-pub use snapshot::{Snapshot, SnapshotPath};
-pub use store::{CommitOutcome, CompactReport, DictStore, StoreError, DEFAULT_REBUILD_THRESHOLD};
+pub use snapshot::{inspect, SnapError, SnapInfo, Snapshot, SnapshotPath};
+pub use store::{
+    BootFallback, BootOutcome, CommitOutcome, CompactReport, DictStore, StoreError,
+    DEFAULT_REBUILD_THRESHOLD,
+};

@@ -14,6 +14,7 @@
 //! and the drop is reported to the caller.
 
 use pdm_core::Sym;
+use pdm_primitives::codec::{self, CodecError, RecordRead};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
@@ -40,28 +41,44 @@ pub enum Record {
     Commit(u64),
 }
 
-/// Errors opening or replaying a log file.
+/// Errors opening or replaying a log file: an I/O failure or a framing
+/// failure from the shared sidecar codec (bad magic, unknown version).
+/// Torn or corrupt *records* are not errors — replay truncates them away
+/// and reports the drop (module docs).
 #[derive(Debug)]
 pub enum LogError {
     Io(io::Error),
-    /// Not a pattern log (bad magic) or an unknown version.
-    BadHeader(String),
+    /// Not a readable pattern log: header framing rejected by the codec.
+    Corrupt(CodecError),
 }
 
 impl std::fmt::Display for LogError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LogError::Io(e) => write!(f, "log I/O: {e}"),
-            LogError::BadHeader(m) => write!(f, "bad log header: {m}"),
+            LogError::Corrupt(e) => write!(f, "log {e}"),
         }
     }
 }
 
-impl std::error::Error for LogError {}
+impl std::error::Error for LogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LogError::Io(e) => Some(e),
+            LogError::Corrupt(e) => Some(e),
+        }
+    }
+}
 
 impl From<io::Error> for LogError {
     fn from(e: io::Error) -> Self {
         LogError::Io(e)
+    }
+}
+
+impl From<CodecError> for LogError {
+    fn from(e: CodecError) -> Self {
+        LogError::Corrupt(e)
     }
 }
 
@@ -89,23 +106,17 @@ fn payload_pattern(payload: &[u8]) -> Option<Vec<Sym>> {
     )
 }
 
-/// Encode one record: `[kind u8][len u32][crc u32][payload]`, CRC over the
-/// kind byte and the payload.
+/// Encode one record through the shared codec framing:
+/// `[kind u8][len u32][crc u32][payload]`, CRC over the kind byte and the
+/// payload — byte-identical to the pre-codec writer.
 pub fn encode_record(rec: &Record) -> Vec<u8> {
     let (kind, payload) = match rec {
         Record::Add(p) => (KIND_ADD, pattern_payload(p)),
         Record::Remove(p) => (KIND_REMOVE, pattern_payload(p)),
         Record::Commit(e) => (KIND_COMMIT, e.to_le_bytes().to_vec()),
     };
-    let mut crc_input = Vec::with_capacity(1 + payload.len());
-    crc_input.push(kind);
-    crc_input.extend_from_slice(&payload);
-    let crc = crc32(&crc_input);
-    let mut out = Vec::with_capacity(9 + payload.len());
-    out.push(kind);
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&crc.to_le_bytes());
-    out.extend_from_slice(&payload);
+    let mut out = Vec::with_capacity(codec::RECORD_HEADER_LEN + payload.len());
+    codec::write_record(&mut out, kind, &payload);
     out
 }
 
@@ -119,42 +130,19 @@ pub struct Replay {
     pub truncated: u64,
 }
 
-/// Replay every good record from `bytes` (header included).
+/// Replay every good record from `bytes` (header included). Header and
+/// record framing both go through the shared codec; a torn or CRC-bad
+/// record stops replay and everything after it is reported as truncated.
 pub fn replay_bytes(bytes: &[u8]) -> Result<Replay, LogError> {
-    if bytes.len() < 8 {
-        return Err(LogError::BadHeader("file shorter than header".into()));
-    }
-    if bytes[..4] != LOG_MAGIC {
-        return Err(LogError::BadHeader("magic mismatch".into()));
-    }
-    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
-    if version != LOG_VERSION {
-        return Err(LogError::BadHeader(format!("unknown version {version}")));
-    }
+    let version = codec::read_header(bytes, LOG_MAGIC)?;
+    codec::require_version(version, LOG_VERSION)?;
     let mut records = Vec::new();
-    let mut at = 8usize;
-    loop {
-        if at + 9 > bytes.len() {
-            break; // torn header (or clean EOF)
-        }
-        let kind = bytes[at];
-        let len = u32::from_le_bytes([bytes[at + 1], bytes[at + 2], bytes[at + 3], bytes[at + 4]]);
-        let crc = u32::from_le_bytes([bytes[at + 5], bytes[at + 6], bytes[at + 7], bytes[at + 8]]);
-        if len > MAX_PAYLOAD {
-            break; // nonsense length: treat as corruption
-        }
-        let (lo, hi) = (at + 9, at + 9 + len as usize);
-        if hi > bytes.len() {
-            break; // torn payload
-        }
-        let payload = &bytes[lo..hi];
-        let mut crc_input = Vec::with_capacity(1 + payload.len());
-        crc_input.push(kind);
-        crc_input.extend_from_slice(payload);
-        if crc32(&crc_input) != crc {
-            break; // corrupt record: stop, drop the rest
-        }
-        let rec = match kind {
+    let mut at = codec::HEADER_LEN;
+    // Torn tail (crash mid-append) or bit rot: either way, stop at the
+    // first bad record and drop the rest — never skip past it.
+    while let RecordRead::Ok(framed) = codec::read_record(&bytes[at..], MAX_PAYLOAD as usize) {
+        let payload = framed.payload;
+        let rec = match framed.kind {
             KIND_ADD => payload_pattern(payload).map(Record::Add),
             KIND_REMOVE => payload_pattern(payload).map(Record::Remove),
             KIND_COMMIT if payload.len() == 8 => {
@@ -168,7 +156,7 @@ pub fn replay_bytes(bytes: &[u8]) -> Result<Replay, LogError> {
             Some(r) => records.push(r),
             None => break, // unknown kind / malformed payload
         }
-        at = hi;
+        at += framed.consumed;
     }
     Ok(Replay {
         records,
@@ -192,8 +180,9 @@ impl LogFile {
             .truncate(true)
             .read(true)
             .open(path)?;
-        file.write_all(&LOG_MAGIC)?;
-        file.write_all(&LOG_VERSION.to_le_bytes())?;
+        let mut header = Vec::with_capacity(codec::HEADER_LEN);
+        codec::write_header(&mut header, LOG_MAGIC, LOG_VERSION);
+        file.write_all(&header)?;
         file.sync_data()?;
         Ok(LogFile { file })
     }
@@ -298,7 +287,13 @@ mod tests {
     fn bad_magic_rejected() {
         assert!(matches!(
             replay_bytes(b"NOPE\x01\x00\x00\x00"),
-            Err(LogError::BadHeader(_))
+            Err(LogError::Corrupt(CodecError::BadMagic { .. }))
+        ));
+        let mut v9 = Vec::new();
+        codec::write_header(&mut v9, LOG_MAGIC, 9);
+        assert!(matches!(
+            replay_bytes(&v9),
+            Err(LogError::Corrupt(CodecError::VersionMismatch { .. }))
         ));
     }
 

@@ -1,4 +1,5 @@
-//! Immutable matcher snapshots with a canonical identity.
+//! Immutable matcher snapshots: canonical identity bytes and the v2
+//! cold-start sidecar.
 //!
 //! A [`Snapshot`] is one epoch of the dictionary, frozen: a canonical
 //! pattern list (ids are positions in that list), a matcher over it, and
@@ -8,31 +9,103 @@
 //! finish a chunk against the epoch it started with while the store
 //! publishes a successor.
 //!
-//! The same committed pattern set always yields the same canonical bytes
-//! ([`Snapshot::to_bytes`]) no matter which rebuild path produced the
-//! snapshot: the serialization covers `(epoch, patterns-in-canonical-order)`
-//! and nothing matcher-internal, which is what makes the
-//! incremental-vs-full differential test meaningful (`store.rs`).
+//! Two distinct serializations share the `PDMS` magic:
+//!
+//! * **Identity bytes** ([`Snapshot::identity_bytes`], version 1): exactly
+//!   `(epoch, patterns-in-canonical-order)` and nothing matcher-internal.
+//!   The same committed pattern set always yields the same identity bytes
+//!   no matter which rebuild path produced the snapshot — this is what the
+//!   incremental-vs-full differential test in `store.rs` compares, and
+//!   what pre-v2 `.snap` sidecars contain. Loading identity bytes
+//!   rebuilds the matcher from the pattern list.
+//! * **Sidecar bytes** ([`Snapshot::to_sidecar_bytes`], version 2): a
+//!   sectioned, CRC-trailed container (shared [`pdm_primitives::codec`]
+//!   framing) holding the *built* static matcher — frozen name tables,
+//!   per-level metadata, prefix chains, and the canonical pattern list.
+//!   Loading it ([`SnapshotPath::ColdLoaded`]) reconstructs a servable
+//!   snapshot in O(file size) with **zero naming rounds**: the frozen
+//!   tables' probe order depends only on key bits and slot counts, so the
+//!   raw slot arrays deserialize without rehashing.
 
+use pdm_core::allmatches::{pattern_chains, PatternChains};
 use pdm_core::dynamic::DynamicMatcher;
+use pdm_core::static1d::serial::LoadError;
 use pdm_core::{BuildError, Matcher, PatId, StaticMatcher, Sym, TextScratch};
 use pdm_pram::Ctx;
+use pdm_primitives::codec::{self, CodecError, SectionReader, SectionWriter};
 use pdm_primitives::FxHashMap;
 use std::sync::Arc;
 
 /// File magic for serialized snapshots.
 pub const SNAP_MAGIC: [u8; 4] = *b"PDMS";
-/// Current snapshot format version.
-pub const SNAP_VERSION: u32 = 1;
+/// Current sidecar format: sectioned container with the built matcher.
+pub const SNAP_VERSION: u32 = 2;
+/// Legacy sidecar format: identity bytes only; loading rebuilds.
+pub const SNAP_VERSION_IDENTITY: u32 = 1;
 
-/// Which rebuild path produced a snapshot (diagnostics; both paths are
-/// behaviorally identical).
+/// v2 section ids.
+pub const SEC_META: u32 = 1;
+pub const SEC_PATTERNS: u32 = 2;
+pub const SEC_TABLES: u32 = 3;
+pub const SEC_CHAINS: u32 = 4;
+
+/// Everything that can go wrong loading a snapshot.
+#[derive(Debug)]
+pub enum SnapError {
+    /// Framing, checksum, or structural failure (shared codec shape).
+    Corrupt(CodecError),
+    /// The frozen matcher tables inside a v2 sidecar failed to decode.
+    Tables(LoadError),
+    /// Rebuilding the matcher from identity bytes failed.
+    Build(BuildError),
+}
+
+impl std::fmt::Display for SnapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Corrupt(e) => write!(f, "snapshot {e}"),
+            Self::Tables(e) => write!(f, "snapshot tables: {e}"),
+            Self::Build(e) => write!(f, "snapshot rebuild: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Corrupt(e) => Some(e),
+            Self::Tables(e) => Some(e),
+            Self::Build(e) => Some(e),
+        }
+    }
+}
+
+impl From<CodecError> for SnapError {
+    fn from(e: CodecError) -> Self {
+        Self::Corrupt(e)
+    }
+}
+
+impl From<BuildError> for SnapError {
+    fn from(e: BuildError) -> Self {
+        Self::Build(e)
+    }
+}
+
+fn corrupt(why: impl Into<String>) -> SnapError {
+    SnapError::Corrupt(CodecError::Corrupt(why.into()))
+}
+
+/// Which path produced a snapshot (diagnostics; all paths are behaviorally
+/// identical).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SnapshotPath {
     /// Batch applied through the §6 `DynamicMatcher` (Theorems 7–10).
     Incremental,
     /// Full parallel `StaticMatcher` rebuild on the pool (Theorem 3).
     FullRebuild,
+    /// Deserialized from a v2 sidecar — no naming rounds ran at all.
+    ColdLoaded,
 }
 
 enum SnapInner {
@@ -158,11 +231,11 @@ impl Snapshot {
     }
 
     /// Wrap a prebuilt static matcher (e.g. a loaded `PDM1` index) as
-    /// epoch `epoch`. Pattern texts are unknown, so the snapshot cannot be
-    /// serialized, but matching and all-matches expansion work — the
+    /// epoch `epoch`. Pattern texts are unknown, so the snapshot has no
+    /// identity bytes, but matching and all-matches expansion work — the
     /// chains come from the static tables.
     pub fn from_static(epoch: u64, m: Arc<StaticMatcher>) -> Self {
-        let chains = pdm_core::allmatches::pattern_chains(&m).chain;
+        let chains = pattern_chains(&m).chain;
         let k = m.pattern_count();
         Snapshot {
             epoch,
@@ -179,7 +252,7 @@ impl Snapshot {
         self.epoch
     }
 
-    /// Which rebuild path produced this snapshot.
+    /// Which path produced this snapshot.
     pub fn path(&self) -> SnapshotPath {
         self.path
     }
@@ -264,54 +337,116 @@ impl Snapshot {
         scratch.put_match_out(mo);
     }
 
-    /// Canonical bytes: `(epoch, patterns in canonical order)` and nothing
-    /// matcher-internal. `None` if the pattern texts are unknown
-    /// ([`Snapshot::from_static`]).
-    pub fn to_bytes(&self) -> Option<Vec<u8>> {
-        Some(encode_snapshot(self.epoch, self.patterns.as_ref()?))
+    /// Canonical **identity** bytes: `(epoch, patterns in canonical order)`
+    /// and nothing matcher-internal — the version-1 `PDMS` layout. Equal
+    /// identity bytes ⇔ same epoch and same committed pattern set, which is
+    /// what the incremental-vs-full differential test compares. `None` if
+    /// the pattern texts are unknown ([`Snapshot::from_static`]).
+    pub fn identity_bytes(&self) -> Option<Vec<u8>> {
+        Some(encode_identity(self.epoch, self.patterns.as_ref()?))
     }
 
-    /// Load a serialized snapshot, rebuilding its matcher on `ctx`.
-    pub fn from_bytes(ctx: &Ctx, bytes: &[u8]) -> Result<Self, String> {
-        let mut at = 0usize;
-        let mut take = |n: usize| -> Result<&[u8], String> {
-            let s = bytes
-                .get(at..at + n)
-                .ok_or_else(|| "snapshot truncated".to_string())?;
-            at += n;
-            Ok(s)
+    /// Serialize the **built** matcher into the v2 sidecar layout:
+    /// sectioned, CRC-trailed, loadable in O(file size) with zero naming
+    /// rounds. `None` when this snapshot has no frozen form — pattern
+    /// texts unknown, or the epoch is backed by the dynamic matcher (its
+    /// tables mutate and cannot be frozen); callers fall back to
+    /// [`Snapshot::identity_bytes`].
+    pub fn to_sidecar_bytes(&self) -> Option<Vec<u8>> {
+        let patterns = self.patterns.as_ref()?;
+        let SnapInner::Static(m) = &self.inner else {
+            return None;
         };
-        if take(4)? != SNAP_MAGIC {
-            return Err("not a snapshot file (bad magic)".into());
+        let chains = pattern_chains(m);
+        let mut w = SectionWriter::new();
+        w.section(SEC_META, self.epoch.to_le_bytes().to_vec());
+        w.section(SEC_PATTERNS, encode_patterns(patterns));
+        w.section(SEC_TABLES, m.to_frozen_bytes());
+        w.section(SEC_CHAINS, encode_chains(&chains));
+        Some(w.finish(SNAP_MAGIC, SNAP_VERSION))
+    }
+
+    /// Format version of a `.snap` buffer without loading it — boot logic
+    /// routes legacy versions straight to the rebuild fallback.
+    pub fn peek_version(bytes: &[u8]) -> Result<u32, CodecError> {
+        codec::read_header(bytes, SNAP_MAGIC)
+    }
+
+    /// Load a serialized snapshot. Version 2 cold-loads the built matcher
+    /// (no naming rounds, `ctx` untouched); version 1 rebuilds it on `ctx`.
+    pub fn from_bytes(ctx: &Ctx, bytes: &[u8]) -> Result<Self, SnapError> {
+        match codec::read_header(bytes, SNAP_MAGIC)? {
+            SNAP_VERSION_IDENTITY => Self::from_identity_bytes(ctx, bytes),
+            SNAP_VERSION => Self::from_sidecar_v2(bytes),
+            v => Err(CodecError::VersionMismatch {
+                found: v,
+                supported: SNAP_VERSION,
+            }
+            .into()),
         }
-        let version = u32::from_le_bytes(take(4)?.try_into().unwrap());
-        if version != SNAP_VERSION {
-            return Err(format!("unknown snapshot version {version}"));
+    }
+
+    /// Legacy path: parse identity bytes and rebuild the matcher.
+    fn from_identity_bytes(ctx: &Ctx, bytes: &[u8]) -> Result<Self, SnapError> {
+        let (epoch, patterns) = decode_identity(bytes)?;
+        Ok(Self::build_static(ctx, epoch, patterns)?)
+    }
+
+    /// Cold path: reconstruct the servable snapshot from the v2 sections.
+    fn from_sidecar_v2(bytes: &[u8]) -> Result<Self, SnapError> {
+        let r = SectionReader::open(bytes, SNAP_MAGIC)?;
+        let meta = r.section(SEC_META).ok_or_else(|| corrupt("missing META"))?;
+        if meta.len() < 8 {
+            return Err(corrupt(format!(
+                "META section too short ({} bytes)",
+                meta.len()
+            )));
         }
-        let epoch = u64::from_le_bytes(take(8)?.try_into().unwrap());
-        let count = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
-        let mut patterns = Vec::with_capacity(count);
-        for _ in 0..count {
-            let len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
-            let raw = take(len * 4)?;
-            patterns.push(
-                raw.chunks_exact(4)
-                    .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                    .collect::<Vec<Sym>>(),
-            );
+        let epoch = u64::from_le_bytes(meta[..8].try_into().expect("bounds checked"));
+        let patterns = decode_patterns(
+            r.section(SEC_PATTERNS)
+                .ok_or_else(|| corrupt("missing PATTERNS"))?,
+        )?;
+        let tables = r
+            .section(SEC_TABLES)
+            .ok_or_else(|| corrupt("missing TABLES"))?;
+        let m = StaticMatcher::from_frozen_bytes(tables).map_err(SnapError::Tables)?;
+        if m.pattern_count() != patterns.len() {
+            return Err(corrupt(format!(
+                "TABLES holds {} patterns, PATTERNS lists {}",
+                m.pattern_count(),
+                patterns.len()
+            )));
         }
-        if at != bytes.len() {
-            return Err("trailing bytes after snapshot".into());
+        for (p, pat) in patterns.iter().enumerate() {
+            if m.pattern_len(p as PatId) as usize != pat.len() {
+                return Err(corrupt(format!("pattern {p} length disagrees with tables")));
+            }
         }
-        Self::build_static(ctx, epoch, patterns).map_err(|e| format!("rebuild: {e}"))
+        let chains = decode_chains(
+            r.section(SEC_CHAINS)
+                .ok_or_else(|| corrupt("missing CHAINS"))?,
+            patterns.len(),
+        )?;
+        let chain = chains.chain.clone();
+        m.prime_chains(chains);
+        Ok(Snapshot {
+            epoch,
+            lens: patterns.iter().map(|p| p.len() as u32).collect(),
+            max_len: patterns.iter().map(Vec::len).max().unwrap_or(0),
+            patterns: Some(patterns),
+            chains: chain,
+            inner: SnapInner::Static(Arc::new(m)),
+            path: SnapshotPath::ColdLoaded,
+        })
     }
 }
 
-/// Serialize `(epoch, patterns)` in the canonical snapshot format.
-pub fn encode_snapshot(epoch: u64, patterns: &[Vec<Sym>]) -> Vec<u8> {
+/// Serialize `(epoch, patterns)` in the canonical identity format
+/// (version-1 `PDMS` bytes; also the legacy loadable sidecar layout).
+pub fn encode_identity(epoch: u64, patterns: &[Vec<Sym>]) -> Vec<u8> {
     let mut out = Vec::new();
-    out.extend_from_slice(&SNAP_MAGIC);
-    out.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+    codec::write_header(&mut out, SNAP_MAGIC, SNAP_VERSION_IDENTITY);
     out.extend_from_slice(&epoch.to_le_bytes());
     out.extend_from_slice(&(patterns.len() as u32).to_le_bytes());
     for p in patterns {
@@ -321,6 +456,176 @@ pub fn encode_snapshot(epoch: u64, patterns: &[Vec<Sym>]) -> Vec<u8> {
         }
     }
     out
+}
+
+/// Parse identity bytes back into `(epoch, patterns)`. Also used by
+/// `snap inspect` on legacy sidecars, so it must not build anything.
+pub fn decode_identity(bytes: &[u8]) -> Result<(u64, Vec<Vec<Sym>>), SnapError> {
+    codec::require_version(
+        codec::read_header(bytes, SNAP_MAGIC)?,
+        SNAP_VERSION_IDENTITY,
+    )?;
+    let mut at = codec::HEADER_LEN;
+    let mut take = |n: usize| -> Result<&[u8], SnapError> {
+        let s = bytes.get(at..at + n).ok_or(CodecError::Truncated {
+            expected: at + n,
+            actual: bytes.len(),
+        })?;
+        at += n;
+        Ok(s)
+    };
+    let epoch = u64::from_le_bytes(take(8)?.try_into().expect("sized"));
+    let count = u32::from_le_bytes(take(4)?.try_into().expect("sized")) as usize;
+    let mut patterns = Vec::with_capacity(count.min(bytes.len() / 4));
+    for _ in 0..count {
+        let len = u32::from_le_bytes(take(4)?.try_into().expect("sized")) as usize;
+        let raw = take(len * 4)?;
+        patterns.push(
+            raw.chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect::<Vec<Sym>>(),
+        );
+    }
+    if at != bytes.len() {
+        return Err(corrupt("trailing bytes after snapshot"));
+    }
+    Ok((epoch, patterns))
+}
+
+/// `count u32 | count × (len u32, len × sym u32)` — the identity body.
+fn encode_patterns(patterns: &[Vec<Sym>]) -> Vec<u8> {
+    let total: usize = patterns.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(4 + patterns.len() * 4 + total * 4);
+    out.extend_from_slice(&(patterns.len() as u32).to_le_bytes());
+    for p in patterns {
+        out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        for &s in p {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn decode_patterns(sec: &[u8]) -> Result<Vec<Vec<Sym>>, SnapError> {
+    let mut at = 0usize;
+    let mut take = |n: usize| -> Result<&[u8], SnapError> {
+        let s = sec
+            .get(at..at + n)
+            .ok_or_else(|| corrupt("PATTERNS section truncated"))?;
+        at += n;
+        Ok(s)
+    };
+    let count = u32::from_le_bytes(take(4)?.try_into().expect("sized")) as usize;
+    let mut patterns = Vec::with_capacity(count.min(sec.len() / 4));
+    for _ in 0..count {
+        let len = u32::from_le_bytes(take(4)?.try_into().expect("sized")) as usize;
+        let raw = take(len * 4)?;
+        patterns.push(
+            raw.chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect::<Vec<Sym>>(),
+        );
+    }
+    if at != sec.len() {
+        return Err(corrupt("trailing bytes in PATTERNS section"));
+    }
+    Ok(patterns)
+}
+
+/// `count u32 | count × chain u32 (MAX = none) | count × depth u32`.
+fn encode_chains(chains: &PatternChains) -> Vec<u8> {
+    let k = chains.chain.len();
+    let mut out = Vec::with_capacity(4 + 8 * k);
+    out.extend_from_slice(&(k as u32).to_le_bytes());
+    for c in &chains.chain {
+        out.extend_from_slice(&c.unwrap_or(u32::MAX).to_le_bytes());
+    }
+    for &d in &chains.depth {
+        out.extend_from_slice(&d.to_le_bytes());
+    }
+    out
+}
+
+fn decode_chains(sec: &[u8], expect: usize) -> Result<PatternChains, SnapError> {
+    if sec.len() < 4 {
+        return Err(corrupt("CHAINS section truncated"));
+    }
+    let k = u32::from_le_bytes(sec[..4].try_into().expect("sized")) as usize;
+    if k != expect {
+        return Err(corrupt(format!(
+            "CHAINS lists {k} patterns, expected {expect}"
+        )));
+    }
+    if sec.len() != 4 + 8 * k {
+        return Err(corrupt("CHAINS section size disagrees with its count"));
+    }
+    let word = |i: usize| -> u32 {
+        u32::from_le_bytes(sec[4 + 4 * i..8 + 4 * i].try_into().expect("sized"))
+    };
+    let mut chain = Vec::with_capacity(k);
+    for i in 0..k {
+        let c = word(i);
+        if c != u32::MAX && c as usize >= k {
+            return Err(corrupt(format!(
+                "chain entry {i} points past pattern count"
+            )));
+        }
+        chain.push((c != u32::MAX).then_some(c));
+    }
+    let depth: Vec<u32> = (0..k).map(|i| word(k + i)).collect();
+    Ok(PatternChains { chain, depth })
+}
+
+/// What `pdm snap inspect` reports for a `PDMS` sidecar — parsed without
+/// building or loading any matcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapInfo {
+    pub version: u32,
+    pub epoch: u64,
+    pub patterns: usize,
+    /// `(section id, byte length)` in file order; empty for version 1.
+    pub sections: Vec<(u32, usize)>,
+}
+
+/// Inspect a `.snap` buffer: version, epoch, pattern count, and (for v2)
+/// section sizes. Validation depth matches the load path — v2 checks the
+/// whole-file CRC, v1 has none to check.
+pub fn inspect(bytes: &[u8]) -> Result<SnapInfo, SnapError> {
+    match codec::read_header(bytes, SNAP_MAGIC)? {
+        SNAP_VERSION_IDENTITY => {
+            let (epoch, patterns) = decode_identity(bytes)?;
+            Ok(SnapInfo {
+                version: SNAP_VERSION_IDENTITY,
+                epoch,
+                patterns: patterns.len(),
+                sections: Vec::new(),
+            })
+        }
+        SNAP_VERSION => {
+            let r = SectionReader::open(bytes, SNAP_MAGIC)?;
+            let meta = r.section(SEC_META).ok_or_else(|| corrupt("missing META"))?;
+            if meta.len() < 8 {
+                return Err(corrupt("META section too short"));
+            }
+            let epoch = u64::from_le_bytes(meta[..8].try_into().expect("bounds checked"));
+            let patterns = decode_patterns(
+                r.section(SEC_PATTERNS)
+                    .ok_or_else(|| corrupt("missing PATTERNS"))?,
+            )?
+            .len();
+            Ok(SnapInfo {
+                version: SNAP_VERSION,
+                epoch,
+                patterns,
+                sections: r.sections().collect(),
+            })
+        }
+        v => Err(CodecError::VersionMismatch {
+            found: v,
+            supported: SNAP_VERSION,
+        }
+        .into()),
+    }
 }
 
 #[cfg(test)]
@@ -345,7 +650,7 @@ mod tests {
         let dsnap = Snapshot::from_dynamic(1, d, patterns, &native);
         let text = to_symbols("ushershishe");
         assert_eq!(s.find_all(&ctx, &text), dsnap.find_all(&ctx, &text));
-        assert_eq!(s.to_bytes().unwrap(), dsnap.to_bytes().unwrap());
+        assert_eq!(s.identity_bytes().unwrap(), dsnap.identity_bytes().unwrap());
     }
 
     #[test]
@@ -366,20 +671,65 @@ mod tests {
         let snap = Snapshot::from_static(0, m.clone());
         let text = to_symbols("usherss");
         assert_eq!(snap.find_all(&ctx, &text), m.find_all(&ctx, &text));
-        assert!(snap.to_bytes().is_none(), "texts unknown");
+        assert!(snap.identity_bytes().is_none(), "texts unknown");
         assert_eq!(snap.max_pattern_len(), 4);
     }
 
     #[test]
-    fn bytes_roundtrip() {
+    fn identity_bytes_roundtrip() {
         let ctx = Ctx::seq();
         let snap = Snapshot::build_static(&ctx, 42, pats()).unwrap();
-        let bytes = snap.to_bytes().unwrap();
+        let bytes = snap.identity_bytes().unwrap();
+        assert_eq!(Snapshot::peek_version(&bytes), Ok(SNAP_VERSION_IDENTITY));
         let back = Snapshot::from_bytes(&ctx, &bytes).unwrap();
         assert_eq!(back.epoch(), 42);
-        assert_eq!(back.to_bytes().unwrap(), bytes);
+        assert_eq!(back.path(), SnapshotPath::FullRebuild, "v1 rebuilds");
+        assert_eq!(back.identity_bytes().unwrap(), bytes);
         let text = to_symbols("ushers");
         assert_eq!(back.find_all(&ctx, &text), snap.find_all(&ctx, &text));
+    }
+
+    #[test]
+    fn sidecar_v2_cold_load_is_equivalent_and_skips_naming() {
+        let ctx = Ctx::seq();
+        let snap = Snapshot::build_static(&ctx, 7, pats()).unwrap();
+        let bytes = snap.to_sidecar_bytes().unwrap();
+        assert_eq!(Snapshot::peek_version(&bytes), Ok(SNAP_VERSION));
+        let back = Snapshot::from_bytes(&ctx, &bytes).unwrap();
+        assert_eq!(back.epoch(), 7);
+        assert_eq!(back.path(), SnapshotPath::ColdLoaded);
+        assert!(back.matcher().stats().cold_loaded, "no naming rounds ran");
+        assert_eq!(back.patterns(), snap.patterns());
+        // Same identity: the cold-loaded snapshot serializes identically.
+        assert_eq!(back.identity_bytes(), snap.identity_bytes());
+        for text in ["ushershishe", "hers his she he", ""] {
+            let t = to_symbols(text);
+            assert_eq!(back.find_all(&ctx, &t), snap.find_all(&ctx, &t), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn cold_loaded_snapshot_reserializes_to_same_sidecar() {
+        let ctx = Ctx::seq();
+        let snap = Snapshot::build_static(&ctx, 3, pats()).unwrap();
+        let bytes = snap.to_sidecar_bytes().unwrap();
+        let back = Snapshot::from_bytes(&ctx, &bytes).unwrap();
+        assert_eq!(
+            back.to_sidecar_bytes().unwrap(),
+            bytes,
+            "v2 sidecar is a serialization fixed point"
+        );
+    }
+
+    #[test]
+    fn wrapped_static_matcher_still_freezes() {
+        // `from_static` has no pattern texts, so no sidecar — but a static
+        // snapshot built from texts always has one.
+        let ctx = Ctx::seq();
+        let m = Arc::new(StaticMatcher::build(&ctx, &pats()).unwrap());
+        assert!(Snapshot::from_static(0, m).to_sidecar_bytes().is_none());
+        let s = Snapshot::build_static(&ctx, 0, pats()).unwrap();
+        assert!(s.to_sidecar_bytes().is_some());
     }
 
     #[test]
@@ -388,7 +738,11 @@ mod tests {
         let snap = Snapshot::build_empty(3);
         assert_eq!(snap.find_all(&ctx, &to_symbols("anything")), vec![]);
         assert_eq!(snap.max_pattern_len(), 0);
-        let bytes = snap.to_bytes().unwrap();
+        assert!(
+            snap.to_sidecar_bytes().is_none(),
+            "dynamic inner has no frozen form"
+        );
+        let bytes = snap.identity_bytes().unwrap();
         let back = Snapshot::from_bytes(&ctx, &bytes).unwrap();
         assert_eq!(back.epoch(), 3);
         assert_eq!(back.pattern_count(), 0);
@@ -397,9 +751,57 @@ mod tests {
     #[test]
     fn corrupt_snapshot_rejected() {
         let ctx = Ctx::seq();
-        assert!(Snapshot::from_bytes(&ctx, b"PDMX").is_err());
-        let mut bytes = Snapshot::build_empty(0).to_bytes().unwrap();
+        assert!(matches!(
+            Snapshot::from_bytes(&ctx, b"PDMX\x01\x00\x00\x00"),
+            Err(SnapError::Corrupt(CodecError::BadMagic { .. }))
+        ));
+        let mut bytes = Snapshot::build_empty(0).identity_bytes().unwrap();
         bytes.push(0);
-        assert!(Snapshot::from_bytes(&ctx, &bytes).is_err());
+        assert!(Snapshot::from_bytes(&ctx, &bytes).is_err(), "trailing byte");
+        let mut v9 = Snapshot::build_empty(0).identity_bytes().unwrap();
+        v9[4..8].copy_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(
+            Snapshot::from_bytes(&ctx, &v9),
+            Err(SnapError::Corrupt(CodecError::VersionMismatch {
+                found: 9,
+                ..
+            }))
+        ));
+    }
+
+    #[test]
+    fn corrupt_sidecar_v2_rejected_everywhere() {
+        let ctx = Ctx::seq();
+        let bytes = Snapshot::build_static(&ctx, 1, pats())
+            .unwrap()
+            .to_sidecar_bytes()
+            .unwrap();
+        // Any bit flip breaks the whole-file CRC (or the magic/framing).
+        let step = (bytes.len() / 37).max(1);
+        for at in (0..bytes.len()).step_by(step) {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x08;
+            assert!(Snapshot::from_bytes(&ctx, &bad).is_err(), "flip at {at}");
+        }
+        // Truncation at any point is rejected too.
+        for cut in [0, 4, 11, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                Snapshot::from_bytes(&ctx, &bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn inspect_reports_both_versions() {
+        let ctx = Ctx::seq();
+        let snap = Snapshot::build_static(&ctx, 5, pats()).unwrap();
+        let v1 = inspect(&snap.identity_bytes().unwrap()).unwrap();
+        assert_eq!((v1.version, v1.epoch, v1.patterns), (1, 5, 4));
+        assert!(v1.sections.is_empty());
+        let v2 = inspect(&snap.to_sidecar_bytes().unwrap()).unwrap();
+        assert_eq!((v2.version, v2.epoch, v2.patterns), (2, 5, 4));
+        let ids: Vec<u32> = v2.sections.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, [SEC_META, SEC_PATTERNS, SEC_TABLES, SEC_CHAINS]);
     }
 }

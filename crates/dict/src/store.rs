@@ -18,9 +18,18 @@
 //!    which is cheaper than many incremental steps once the batch is a
 //!    sizable fraction of the dictionary. Both paths produce snapshots
 //!    with identical canonical bytes and identical match output.
+//!
+//! **Cold start.** [`DictStore::open`] replays the log *structurally* —
+//! canonical slots, liveness, staged tail — without feeding the master
+//! dynamic matcher (that naming work is deferred to the first commit via
+//! lazy hydration). [`DictStore::boot_snapshot`] then serves the first
+//! epoch from the `<log>.snap` sidecar when it is a valid, current v2
+//! snapshot ([`SnapshotPath::ColdLoaded`], zero naming rounds), and falls
+//! back to a rebuild otherwise, reporting why ([`BootFallback`]).
+//! [`DictStore::compact`] emits that v2 sidecar.
 
 use crate::log::{LogError, LogFile, Record};
-use crate::snapshot::{Snapshot, SnapshotPath};
+use crate::snapshot::{Snapshot, SnapshotPath, SNAP_VERSION};
 use pdm_core::dynamic::{DynError, DynamicMatcher};
 use pdm_core::{BuildError, PatId, Sym};
 use pdm_pram::Ctx;
@@ -115,6 +124,51 @@ pub struct CompactReport {
     pub snapshot_file: Option<PathBuf>,
 }
 
+/// Why [`DictStore::boot_snapshot`] rebuilt instead of cold-loading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BootFallback {
+    /// No `.snap` sidecar next to the log (or an in-memory store).
+    NoSidecar,
+    /// The sidecar is a pre-v2 format — loadable only by rebuilding.
+    LegacyVersion(u32),
+    /// The sidecar failed to read or validate (message has the detail).
+    Unreadable(String),
+    /// The sidecar seals a different epoch than the replayed log.
+    StaleEpoch { sidecar: u64, store: u64 },
+    /// Same epoch but a different canonical pattern list.
+    StalePatterns,
+}
+
+impl std::fmt::Display for BootFallback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoSidecar => write!(f, "no snapshot sidecar"),
+            Self::LegacyVersion(v) => write!(f, "snapshot is legacy format v{v}"),
+            Self::Unreadable(m) => write!(f, "{m}"),
+            Self::StaleEpoch { sidecar, store } => {
+                write!(f, "snapshot epoch {sidecar} behind log epoch {store}")
+            }
+            Self::StalePatterns => write!(f, "snapshot patterns disagree with log"),
+        }
+    }
+}
+
+/// The first served snapshot plus how it was obtained.
+#[derive(Debug, Clone)]
+pub struct BootOutcome {
+    pub snapshot: Arc<Snapshot>,
+    /// `None` = cold-loaded from the v2 sidecar (no naming rounds);
+    /// `Some(reason)` = rebuilt, and why the sidecar was not used.
+    pub fallback: Option<BootFallback>,
+}
+
+impl BootOutcome {
+    /// Did boot skip the rebuild entirely?
+    pub fn cold_loaded(&self) -> bool {
+        self.fallback.is_none()
+    }
+}
+
 /// Versioned dictionary store (see module docs).
 pub struct DictStore {
     log: Option<LogFile>,
@@ -128,8 +182,15 @@ pub struct DictStore {
     staged: Vec<Op>,
     /// Liveness overrides from staged ops (pattern → live-after-commit).
     staged_view: FxHashMap<Vec<Sym>, bool>,
-    /// Master dynamic matcher mirroring the committed set.
+    /// Master dynamic matcher mirroring the committed set — only once
+    /// hydrated; a freshly opened store defers this naming work.
     dynm: DynamicMatcher,
+    /// Has `dynm` been fed the committed patterns? `open` replays the log
+    /// structurally and leaves this false; the first commit hydrates.
+    hydrated: bool,
+    /// Total committed symbols (maintained structurally, so it is correct
+    /// whether or not `dynm` is hydrated).
+    committed_syms: usize,
     epoch: u64,
     threshold: f64,
     /// Sequential context for the per-op §6 updates (each is `O(λ)`).
@@ -150,6 +211,8 @@ impl DictStore {
             staged: Vec::new(),
             staged_view: FxHashMap::default(),
             dynm: DynamicMatcher::new(),
+            hydrated: true,
+            committed_syms: 0,
             epoch: 0,
             threshold: DEFAULT_REBUILD_THRESHOLD,
             seq: Ctx::seq(),
@@ -165,6 +228,11 @@ impl DictStore {
         store.log = Some(log);
         store.path = Some(path.to_path_buf());
         store.recovered_truncated = replay.truncated;
+        // Structural replay: rebuild slots/liveness without paying the §6
+        // naming work per pattern. The master dynamic matcher is hydrated
+        // lazily — on the first commit — so a boot that cold-loads its
+        // snapshot from the sidecar does zero naming rounds.
+        store.hydrated = false;
         // Split at the last commit: before = committed, after = staged.
         let last_commit = replay
             .records
@@ -210,7 +278,7 @@ impl DictStore {
 
     /// Total committed symbols.
     pub fn symbol_count(&self) -> usize {
-        self.dynm.symbol_count()
+        self.committed_syms
     }
 
     /// Staged (uncommitted) ops.
@@ -288,6 +356,9 @@ impl DictStore {
         if self.staged.is_empty() {
             return Err(StoreError::NothingStaged);
         }
+        // Commits mutate the master dynamic matcher, so a structurally
+        // replayed store pays its deferred naming work now (once).
+        self.ensure_hydrated()?;
         let staged_syms: usize = self.staged.iter().map(Op::syms).sum();
         let ratio = staged_syms as f64 / self.symbol_count().max(1) as f64;
         let path = force.unwrap_or(if ratio > self.threshold {
@@ -326,19 +397,76 @@ impl DictStore {
     }
 
     /// Snapshot of the current committed dictionary (for the initial
-    /// publish at serve start; always the incremental path — nothing is
-    /// pending).
-    pub fn snapshot(&self, ctx: &Ctx) -> Result<Arc<Snapshot>, StoreError> {
-        Ok(Arc::new(
-            self.build_snapshot(ctx, SnapshotPath::Incremental)?,
-        ))
+    /// publish at serve start). A hydrated store freezes the live dynamic
+    /// matcher (incremental path); a structurally replayed one rebuilds a
+    /// static matcher instead — cheaper than hydrating just to clone.
+    pub fn snapshot(&mut self, ctx: &Ctx) -> Result<Arc<Snapshot>, StoreError> {
+        let path = if self.hydrated {
+            SnapshotPath::Incremental
+        } else {
+            SnapshotPath::FullRebuild
+        };
+        Ok(Arc::new(self.build_snapshot(ctx, path)?))
+    }
+
+    /// First snapshot at serve start, preferring the `<log>.snap` sidecar:
+    /// a valid, current v2 sidecar is loaded in `O(file size)` with zero
+    /// naming rounds ([`SnapshotPath::ColdLoaded`]); anything else —
+    /// missing, legacy v1, corrupt, stale — falls back to
+    /// [`DictStore::snapshot`] and reports why in
+    /// [`BootOutcome::fallback`].
+    pub fn boot_snapshot(&mut self, ctx: &Ctx) -> Result<BootOutcome, StoreError> {
+        match self.try_cold_boot(ctx) {
+            Ok(snapshot) => Ok(BootOutcome {
+                snapshot,
+                fallback: None,
+            }),
+            Err(reason) => Ok(BootOutcome {
+                snapshot: self.snapshot(ctx)?,
+                fallback: Some(reason),
+            }),
+        }
+    }
+
+    fn try_cold_boot(&self, ctx: &Ctx) -> Result<Arc<Snapshot>, BootFallback> {
+        let Some(path) = &self.path else {
+            return Err(BootFallback::NoSidecar);
+        };
+        let file = snap_path(path);
+        let bytes = match std::fs::read(&file) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(BootFallback::NoSidecar);
+            }
+            Err(e) => return Err(BootFallback::Unreadable(e.to_string())),
+        };
+        match Snapshot::peek_version(&bytes) {
+            Ok(SNAP_VERSION) => {}
+            Ok(v) => return Err(BootFallback::LegacyVersion(v)),
+            Err(e) => return Err(BootFallback::Unreadable(e.to_string())),
+        }
+        let snap = Snapshot::from_bytes(ctx, &bytes)
+            .map_err(|e| BootFallback::Unreadable(e.to_string()))?;
+        if snap.epoch() != self.epoch {
+            return Err(BootFallback::StaleEpoch {
+                sidecar: snap.epoch(),
+                store: self.epoch,
+            });
+        }
+        let live = self.live_patterns();
+        if snap.patterns() != Some(&live[..]) {
+            return Err(BootFallback::StalePatterns);
+        }
+        Ok(Arc::new(snap))
     }
 
     /// Rewrite the log to its minimal form — one add per live pattern in
     /// canonical order, one commit, then the staged tail — and emit a
-    /// loadable snapshot file next to it (`<log>.snap`). Canonical slots
-    /// are densified so the rewritten log replays to this exact state.
-    pub fn compact(&mut self) -> Result<CompactReport, StoreError> {
+    /// loadable v2 snapshot file next to it (`<log>.snap`): the *built*
+    /// matcher, serialized, so the next [`DictStore::boot_snapshot`] skips
+    /// the rebuild entirely. Canonical slots are densified so the
+    /// rewritten log replays to this exact state.
+    pub fn compact(&mut self, ctx: &Ctx) -> Result<CompactReport, StoreError> {
         // Densify tombstoned slots; canonical order (live order) unchanged.
         let mut slots = Vec::with_capacity(self.index.len());
         let mut native = Vec::with_capacity(self.index.len());
@@ -381,8 +509,13 @@ impl DictStore {
         std::fs::rename(&tmp, &path).map_err(LogError::Io)?;
         let (log, _) = LogFile::open(&path)?;
         self.log = Some(log);
-        // Emit the loadable snapshot beside the log.
-        let bytes = crate::snapshot::encode_snapshot(self.epoch, &self.live_patterns());
+        // Emit the loadable snapshot beside the log: v2 (serialized built
+        // matcher) when the dictionary is non-empty, identity bytes (v1)
+        // for an empty one — a dynamic inner has no frozen form.
+        let snap = Snapshot::build_static(ctx, self.epoch, self.live_patterns())?;
+        let bytes = snap
+            .to_sidecar_bytes()
+            .unwrap_or_else(|| crate::snapshot::encode_identity(self.epoch, &self.live_patterns()));
         std::fs::write(snap_path(&path), bytes).map_err(LogError::Io)?;
         Ok(report)
     }
@@ -410,33 +543,65 @@ impl DictStore {
         if self.index.contains_key(&pattern) {
             return Err(StoreError::AlreadyPresent);
         }
-        let nat = self.dynm.insert(&self.seq, &pattern).map_err(dyn_err)?;
+        if pattern.is_empty() {
+            return Err(StoreError::EmptyPattern);
+        }
+        let nat = if self.hydrated {
+            Some(self.dynm.insert(&self.seq, &pattern).map_err(dyn_err)?)
+        } else {
+            None
+        };
+        self.committed_syms += pattern.len();
         self.index.insert(pattern.clone(), self.slots.len());
         self.slots.push(Some(pattern));
-        self.native.push(Some(nat));
+        self.native.push(nat);
         Ok(())
     }
 
     fn apply_remove(&mut self, pattern: &[Sym]) -> Result<(), StoreError> {
         let slot = self.index.remove(pattern).ok_or(StoreError::NotFound)?;
-        self.dynm.delete(&self.seq, pattern).map_err(dyn_err)?;
+        if self.hydrated {
+            self.dynm.delete(&self.seq, pattern).map_err(dyn_err)?;
+        }
+        self.committed_syms -= pattern.len();
         self.slots[slot] = None;
         self.native[slot] = None;
         Ok(())
     }
 
-    fn build_snapshot(&self, ctx: &Ctx, path: SnapshotPath) -> Result<Snapshot, StoreError> {
-        let mut patterns = Vec::with_capacity(self.index.len());
-        let mut native = Vec::with_capacity(self.index.len());
-        for (s, n) in self.slots.iter().zip(&self.native) {
-            if let Some(p) = s {
-                patterns.push(p.clone());
-                native.push(n.expect("live slot has a native id"));
-            }
+    /// Feed the committed patterns into the master dynamic matcher if the
+    /// store was opened with a structural replay. Idempotent; `O(Σλ)` the
+    /// first time after `open`, free afterwards.
+    fn ensure_hydrated(&mut self) -> Result<(), StoreError> {
+        if self.hydrated {
+            return Ok(());
         }
+        for slot in 0..self.slots.len() {
+            let Some(p) = self.slots[slot].clone() else {
+                continue;
+            };
+            let nat = self.dynm.insert(&self.seq, &p).map_err(dyn_err)?;
+            self.native[slot] = Some(nat);
+        }
+        self.hydrated = true;
+        Ok(())
+    }
+
+    fn build_snapshot(&self, ctx: &Ctx, path: SnapshotPath) -> Result<Snapshot, StoreError> {
+        let patterns = self.live_patterns();
         Ok(match path {
-            SnapshotPath::FullRebuild => Snapshot::build_static(ctx, self.epoch, patterns)?,
+            SnapshotPath::FullRebuild | SnapshotPath::ColdLoaded => {
+                Snapshot::build_static(ctx, self.epoch, patterns)?
+            }
             SnapshotPath::Incremental => {
+                debug_assert!(self.hydrated, "incremental snapshot of unhydrated store");
+                let native: Vec<PatId> = self
+                    .slots
+                    .iter()
+                    .zip(&self.native)
+                    .filter(|(s, _)| s.is_some())
+                    .map(|(_, n)| n.expect("hydrated live slot has a native id"))
+                    .collect();
                 Snapshot::from_dynamic(self.epoch, self.dynm.clone(), patterns, &native)
             }
         })
@@ -540,8 +705,8 @@ mod tests {
         assert_eq!(inc.path, SnapshotPath::Incremental);
         assert_eq!(full.path, SnapshotPath::FullRebuild);
         assert_eq!(
-            inc.snapshot.to_bytes().unwrap(),
-            full.snapshot.to_bytes().unwrap(),
+            inc.snapshot.identity_bytes().unwrap(),
+            full.snapshot.identity_bytes().unwrap(),
             "canonical bytes must not depend on the rebuild path"
         );
         let text = to_symbols("usherssheher");

@@ -82,13 +82,13 @@ fn compaction_roundtrip_preserves_state_and_emits_snapshot() {
         store.stage_remove(&to_symbols("delta")).unwrap();
         let out = store.commit(&ctx).unwrap();
         store.stage_add(&to_symbols("staged-tail")).unwrap();
-        let report = store.compact().unwrap();
+        let report = store.compact(&ctx).unwrap();
         assert_eq!(report.live, 2);
         assert_eq!(report.staged, 1);
         (
             store.live_patterns(),
             store.epoch(),
-            out.snapshot.to_bytes().unwrap(),
+            out.snapshot.identity_bytes().unwrap(),
         )
     };
     // Replay of the compacted log reproduces the exact state.
@@ -102,7 +102,7 @@ fn compaction_roundtrip_preserves_state_and_emits_snapshot() {
     let snap = Snapshot::from_bytes(&ctx, &snap_bytes).unwrap();
     assert_eq!(snap.epoch(), before_epoch);
     assert_eq!(
-        snap.to_bytes().unwrap(),
+        snap.identity_bytes().unwrap(),
         before_bytes,
         "snapshot file is canonical for the committed set"
     );
@@ -125,7 +125,7 @@ fn compaction_then_further_commits_replay() {
             store.stage_remove(&[100 + i, 200 + i, 300 + i]).unwrap();
         }
         store.commit(&ctx).unwrap();
-        store.compact().unwrap();
+        store.compact(&ctx).unwrap();
         // Appending after compaction must replay cleanly too.
         store.stage_add(&to_symbols("post-compact")).unwrap();
         store.commit(&ctx).unwrap();
@@ -134,4 +134,132 @@ fn compaction_then_further_commits_replay() {
     assert_eq!(store.epoch(), 3);
     assert_eq!(store.pattern_count(), 6);
     assert!(store.live_patterns().contains(&to_symbols("post-compact")));
+}
+
+#[test]
+fn boot_cold_loads_fresh_sidecar() {
+    let ctx = Ctx::seq();
+    let path = temp_log("boot-cold");
+    {
+        let mut store = DictStore::open(&path).unwrap();
+        for p in symbolize(&["he", "she", "his", "hers"]) {
+            store.stage_add(&p).unwrap();
+        }
+        store.commit(&ctx).unwrap();
+        store.compact(&ctx).unwrap();
+    }
+    let mut store = DictStore::open(&path).unwrap();
+    let boot = store.boot_snapshot(&ctx).unwrap();
+    assert!(boot.cold_loaded(), "fallback: {:?}", boot.fallback);
+    assert_eq!(boot.snapshot.path(), pdm_dict::SnapshotPath::ColdLoaded);
+    assert!(
+        boot.snapshot.matcher().stats().cold_loaded,
+        "no naming rounds may run on a cold boot"
+    );
+    assert_eq!(boot.snapshot.epoch(), 1);
+    // The cold-loaded epoch matches exactly what a rebuild would serve.
+    let rebuilt = Snapshot::build_static(&ctx, 1, store.live_patterns()).unwrap();
+    let text = to_symbols("ushershishe");
+    assert_eq!(
+        boot.snapshot.find_all(&ctx, &text),
+        rebuilt.find_all(&ctx, &text)
+    );
+}
+
+#[test]
+fn boot_falls_back_with_reasons() {
+    use pdm_dict::BootFallback;
+    let ctx = Ctx::seq();
+
+    // No sidecar at all (never compacted).
+    let path = temp_log("boot-nosnap");
+    {
+        let mut store = DictStore::open(&path).unwrap();
+        store.stage_add(&to_symbols("solo")).unwrap();
+        store.commit(&ctx).unwrap();
+    }
+    let mut store = DictStore::open(&path).unwrap();
+    let boot = store.boot_snapshot(&ctx).unwrap();
+    assert_eq!(boot.fallback, Some(BootFallback::NoSidecar));
+    assert_eq!(boot.snapshot.pattern_count(), 1);
+
+    // Legacy v1 sidecar: loadable, but only by rebuilding — boot reports it.
+    let snap_file = pdm_dict::store::snap_path(&path);
+    let v1 = pdm_dict::snapshot::encode_identity(1, &store.live_patterns());
+    std::fs::write(&snap_file, v1).unwrap();
+    let boot = store.boot_snapshot(&ctx).unwrap();
+    assert_eq!(boot.fallback, Some(BootFallback::LegacyVersion(1)));
+    assert_eq!(boot.snapshot.pattern_count(), 1);
+
+    // Corrupt sidecar: flip a byte in a fresh v2 file.
+    let good = Snapshot::build_static(&ctx, 1, store.live_patterns())
+        .unwrap()
+        .to_sidecar_bytes()
+        .unwrap();
+    let mut bad = good.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0x10;
+    std::fs::write(&snap_file, &bad).unwrap();
+    let boot = store.boot_snapshot(&ctx).unwrap();
+    assert!(
+        matches!(boot.fallback, Some(BootFallback::Unreadable(_))),
+        "{:?}",
+        boot.fallback
+    );
+
+    // Stale epoch: sidecar seals epoch 1, store commits past it.
+    std::fs::write(&snap_file, &good).unwrap();
+    store.stage_add(&to_symbols("newer")).unwrap();
+    store.commit(&ctx).unwrap();
+    let boot = store.boot_snapshot(&ctx).unwrap();
+    assert_eq!(
+        boot.fallback,
+        Some(BootFallback::StaleEpoch {
+            sidecar: 1,
+            store: 2
+        })
+    );
+
+    // Stale patterns: same epoch, different canonical list.
+    let wrong = Snapshot::build_static(&ctx, 2, symbolize(&["imposter"]))
+        .unwrap()
+        .to_sidecar_bytes()
+        .unwrap();
+    std::fs::write(&snap_file, wrong).unwrap();
+    let boot = store.boot_snapshot(&ctx).unwrap();
+    assert_eq!(boot.fallback, Some(BootFallback::StalePatterns));
+
+    // Every fallback still served a correct snapshot.
+    assert_eq!(boot.snapshot.pattern_count(), 2);
+    assert_eq!(boot.snapshot.epoch(), 2);
+}
+
+#[test]
+fn lazy_hydration_defers_naming_until_first_commit() {
+    let ctx = Ctx::seq();
+    let path = temp_log("hydrate");
+    {
+        let mut store = DictStore::open(&path).unwrap();
+        for p in symbolize(&["aa", "bb", "cc"]) {
+            store.stage_add(&p).unwrap();
+        }
+        store.commit(&ctx).unwrap();
+        store.compact(&ctx).unwrap();
+    }
+    let mut store = DictStore::open(&path).unwrap();
+    // Structural replay still exposes correct counts.
+    assert_eq!(store.pattern_count(), 3);
+    assert_eq!(store.symbol_count(), 6);
+    // First commit after a cold open hydrates, then the incremental path
+    // and the rebuild path still agree end to end.
+    store.stage_add(&to_symbols("dd")).unwrap();
+    let out = store.commit(&ctx).unwrap();
+    assert_eq!(out.epoch, 2);
+    assert_eq!(out.snapshot.pattern_count(), 4);
+    let text = to_symbols("aabbccdd");
+    let rebuilt = Snapshot::build_static(&ctx, 2, store.live_patterns()).unwrap();
+    assert_eq!(
+        out.snapshot.find_all(&ctx, &text),
+        rebuilt.find_all(&ctx, &text)
+    );
 }

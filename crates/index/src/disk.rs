@@ -18,50 +18,53 @@
 //!
 //! `sym_width` is chosen at encode time: 1 when every symbol fits a byte
 //! (genomes, log text — the common case, and 4× smaller on disk), 4
-//! otherwise. The trailing CRC covers header and payload, so truncation,
-//! bit rot and partial writes all surface as [`DiskError::CrcMismatch`]
-//! or [`DiskError::Truncated`] instead of silently wrong match results.
+//! otherwise. The header and the trailing CRC go through
+//! [`pdm_primitives::codec`] — the same framing the dict log and the
+//! matcher snapshot use — so truncation, bit rot and partial writes all
+//! surface as one [`CodecError`] shape instead of silently wrong match
+//! results. The bytes are unchanged from the pre-codec writer: existing
+//! sidecars stay readable.
 
 use crate::CorpusIndex;
-use pdm_primitives::crc::Crc32;
+use pdm_primitives::codec::{self, CodecError};
 
 pub const MAGIC: [u8; 4] = *b"PDMX";
 pub const VERSION: u32 = 1;
 const HEADER_LEN: usize = 20;
 
-/// Everything that can go wrong reading a sidecar.
+/// Everything that can go wrong reading a sidecar: one format-specific
+/// check, plus the shared codec failures (magic, version, truncation, CRC).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DiskError {
-    /// The file does not start with `PDMX`.
-    BadMagic,
-    /// Recognized file, unsupported format version.
-    BadVersion(u32),
     /// `sym_width` was neither 1 nor 4.
     BadSymWidth(u32),
-    /// The buffer is shorter than its header claims.
-    Truncated { expected: usize, actual: usize },
-    /// The stored checksum does not match the payload.
-    CrcMismatch { stored: u32, computed: u32 },
+    /// Framing or checksum failure from the shared sidecar codec.
+    Corrupt(CodecError),
 }
 
 impl std::fmt::Display for DiskError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Self::BadMagic => write!(f, "not a PDMX index (bad magic)"),
-            Self::BadVersion(v) => write!(f, "unsupported PDMX version {v}"),
             Self::BadSymWidth(w) => write!(f, "invalid symbol width {w} (expected 1 or 4)"),
-            Self::Truncated { expected, actual } => {
-                write!(f, "truncated index: need {expected} bytes, have {actual}")
-            }
-            Self::CrcMismatch { stored, computed } => write!(
-                f,
-                "index checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
-            ),
+            Self::Corrupt(e) => write!(f, "index {e}"),
         }
     }
 }
 
-impl std::error::Error for DiskError {}
+impl std::error::Error for DiskError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Corrupt(e) => Some(e),
+            Self::BadSymWidth(_) => None,
+        }
+    }
+}
+
+impl From<CodecError> for DiskError {
+    fn from(e: CodecError) -> Self {
+        Self::Corrupt(e)
+    }
+}
 
 /// Serialize `index` to the `PDMX` byte layout.
 pub fn encode(index: &CorpusIndex) -> Vec<u8> {
@@ -72,8 +75,7 @@ pub fn encode(index: &CorpusIndex) -> Vec<u8> {
         4
     };
     let mut out = Vec::with_capacity(HEADER_LEN + n * (width as usize + 8) + 4);
-    out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
+    codec::write_header(&mut out, MAGIC, VERSION);
     out.extend_from_slice(&width.to_le_bytes());
     out.extend_from_slice(&(n as u64).to_le_bytes());
     match width {
@@ -90,9 +92,7 @@ pub fn encode(index: &CorpusIndex) -> Vec<u8> {
     for &l in &index.lcp {
         out.extend_from_slice(&l.to_le_bytes());
     }
-    let mut h = Crc32::new();
-    h.update(&out);
-    out.extend_from_slice(&h.finish().to_le_bytes());
+    codec::append_crc(&mut out);
     out
 }
 
@@ -103,18 +103,14 @@ fn read_u32(bytes: &[u8], at: usize) -> u32 {
 
 /// Deserialize and verify a `PDMX` buffer.
 pub fn decode(bytes: &[u8]) -> Result<CorpusIndex, DiskError> {
+    let version = codec::read_header(bytes, MAGIC)?;
+    codec::require_version(version, VERSION)?;
     if bytes.len() < HEADER_LEN + 4 {
-        return Err(DiskError::Truncated {
+        return Err(CodecError::Truncated {
             expected: HEADER_LEN + 4,
             actual: bytes.len(),
-        });
-    }
-    if bytes[..4] != MAGIC {
-        return Err(DiskError::BadMagic);
-    }
-    let version = read_u32(bytes, 4);
-    if version != VERSION {
-        return Err(DiskError::BadVersion(version));
+        }
+        .into());
     }
     let width = read_u32(bytes, 8);
     if width != 1 && width != 4 {
@@ -126,33 +122,27 @@ pub fn decode(bytes: &[u8]) -> Result<CorpusIndex, DiskError> {
         .and_then(|v| v.checked_add(4))
         .unwrap_or(usize::MAX);
     if bytes.len() != expected {
-        return Err(DiskError::Truncated {
+        return Err(CodecError::Truncated {
             expected,
             actual: bytes.len(),
-        });
+        }
+        .into());
     }
-    let payload_end = bytes.len() - 4;
-    let stored = read_u32(bytes, payload_end);
-    let mut h = Crc32::new();
-    h.update(&bytes[..payload_end]);
-    let computed = h.finish();
-    if stored != computed {
-        return Err(DiskError::CrcMismatch { stored, computed });
-    }
+    let payload = codec::verify_crc(bytes)?;
 
     let mut at = HEADER_LEN;
     let text: Vec<u32> = if width == 1 {
-        let t = bytes[at..at + n].iter().map(|&b| u32::from(b)).collect();
+        let t = payload[at..at + n].iter().map(|&b| u32::from(b)).collect();
         at += n;
         t
     } else {
-        let t = (0..n).map(|i| read_u32(bytes, at + 4 * i)).collect();
+        let t = (0..n).map(|i| read_u32(payload, at + 4 * i)).collect();
         at += 4 * n;
         t
     };
-    let sa: Vec<u32> = (0..n).map(|i| read_u32(bytes, at + 4 * i)).collect();
+    let sa: Vec<u32> = (0..n).map(|i| read_u32(payload, at + 4 * i)).collect();
     at += 4 * n;
-    let lcp: Vec<u32> = (0..n).map(|i| read_u32(bytes, at + 4 * i)).collect();
+    let lcp: Vec<u32> = (0..n).map(|i| read_u32(payload, at + 4 * i)).collect();
     Ok(CorpusIndex { text, sa, lcp })
 }
 
@@ -196,9 +186,40 @@ mod tests {
         for cut in [0usize, 3, HEADER_LEN, bytes.len() - 1] {
             assert!(matches!(
                 decode(&bytes[..cut]),
-                Err(DiskError::Truncated { .. })
+                Err(DiskError::Corrupt(CodecError::Truncated { .. }))
             ));
         }
+    }
+
+    #[test]
+    fn codec_error_variants_surface() {
+        let bytes = encode(&sample(4));
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            decode(&wrong_magic),
+            Err(DiskError::Corrupt(CodecError::BadMagic { .. }))
+        ));
+        let mut wrong_version = bytes.clone();
+        wrong_version[4..8].copy_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(
+            decode(&wrong_version),
+            Err(DiskError::Corrupt(CodecError::VersionMismatch {
+                found: 9,
+                ..
+            }))
+        ));
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 1;
+        assert!(matches!(
+            decode(&flipped),
+            Err(DiskError::Corrupt(CodecError::CrcMismatch { .. }))
+        ));
+        // The CLI greps for "checksum" on corrupt sidecars — keep the word
+        // in the rendered message.
+        let msg = decode(&flipped).unwrap_err().to_string();
+        assert!(msg.contains("checksum"), "{msg}");
     }
 
     #[test]
@@ -206,5 +227,27 @@ mod tests {
         let idx = CorpusIndex::build(&Ctx::seq(), Vec::new());
         let back = decode(&encode(&idx)).expect("empty round trip");
         assert!(back.text.is_empty() && back.sa.is_empty() && back.lcp.is_empty());
+    }
+
+    /// The codec port must not change a single byte of the format:
+    /// hand-assemble the pre-codec layout and check equality.
+    #[test]
+    fn on_disk_bytes_unchanged_by_codec_port() {
+        let idx = sample(4);
+        let bytes = encode(&idx);
+        let mut manual = Vec::new();
+        manual.extend_from_slice(&MAGIC);
+        manual.extend_from_slice(&VERSION.to_le_bytes());
+        manual.extend_from_slice(&1u32.to_le_bytes());
+        manual.extend_from_slice(&(idx.text.len() as u64).to_le_bytes());
+        manual.extend(idx.text.iter().map(|&s| s as u8));
+        for &r in &idx.sa {
+            manual.extend_from_slice(&r.to_le_bytes());
+        }
+        for &l in &idx.lcp {
+            manual.extend_from_slice(&l.to_le_bytes());
+        }
+        manual.extend_from_slice(&pdm_primitives::crc32(&manual).to_le_bytes());
+        assert_eq!(bytes, manual);
     }
 }

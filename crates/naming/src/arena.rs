@@ -245,6 +245,26 @@ impl FrozenNameTable {
     pub fn is_empty(&self) -> bool {
         self.table.is_empty()
     }
+
+    /// The underlying frozen pair table — raw slot-array access for
+    /// serializers that dump the table without rehashing.
+    pub fn raw(&self) -> &FrozenPairTable {
+        &self.table
+    }
+
+    /// Reassemble from a deserialized [`FrozenPairTable`] (see
+    /// [`FrozenPairTable::from_raw_parts`]). Lookups are identical to the
+    /// table that was serialized: probe order depends only on key and slot
+    /// count, both preserved by the raw round trip.
+    pub fn from_raw(table: FrozenPairTable) -> Self {
+        Self { table }
+    }
+
+    /// All `(a, b, name)` entries in slot order (serialization support,
+    /// mirror of [`NameTable::entries`]).
+    pub fn entries(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        self.table.entries()
+    }
 }
 
 /// Read-through pair of tables for text processing: dictionary layer first,
@@ -374,6 +394,31 @@ mod tests {
         // Later inserts into the live table are invisible to the snapshot.
         t.name(9, 9);
         assert_eq!(f.lookup(9, 9), None);
+    }
+
+    #[test]
+    fn frozen_raw_round_trip_preserves_lookups() {
+        let pool = NamePool::dictionary();
+        let t = NameTable::with_capacity(64, pool);
+        for i in 0..40u32 {
+            t.name(i, i * 3);
+        }
+        let f = t.freeze();
+        let raw = f.raw();
+        let rebuilt = FrozenNameTable::from_raw(
+            FrozenPairTable::from_raw_parts(
+                raw.keys().to_vec().into(),
+                raw.vals().to_vec().into(),
+                raw.len(),
+            )
+            .expect("valid raw parts"),
+        );
+        assert_eq!(rebuilt.len(), f.len());
+        for i in 0..40u32 {
+            assert_eq!(rebuilt.lookup(i, i * 3), f.lookup(i, i * 3));
+        }
+        assert_eq!(rebuilt.lookup(100, 100), None);
+        assert_eq!(rebuilt.entries().count(), f.len());
     }
 
     #[test]

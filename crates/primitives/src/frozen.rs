@@ -91,6 +91,60 @@ impl FrozenPairTable {
         self.len
     }
 
+    /// Number of slots (a power of two). With [`Self::keys`]/[`Self::vals`]
+    /// and [`Self::from_raw_parts`] this makes the table serializable
+    /// without rehashing: the slot arrays *are* the table.
+    pub fn slots_len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Raw key slots (`u64::MAX` marks empties). Probe order is a pure
+    /// function of key and slot count, so dumping these bytes and reloading
+    /// them with [`Self::from_raw_parts`] reproduces lookups exactly.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Raw value slots, parallel to [`Self::keys`]; slots whose key is
+    /// empty hold an arbitrary value (zero as written).
+    pub fn vals(&self) -> &[u32] {
+        &self.vals
+    }
+
+    /// Reassemble a table from serialized slot arrays. Returns `None` when
+    /// the arrays cannot be a valid table (mismatched lengths, slot count
+    /// not a power of two, or `len` disagreeing with the non-empty slots) —
+    /// a loader turns that into its corruption error rather than panicking.
+    pub fn from_raw_parts(keys: Box<[u64]>, vals: Box<[u32]>, len: usize) -> Option<Self> {
+        if keys.len() != vals.len() || !keys.len().is_power_of_two() {
+            return None;
+        }
+        if keys.iter().filter(|&&k| k != EMPTY_KEY).count() != len {
+            return None;
+        }
+        let mask = keys.len() - 1;
+        Some(Self {
+            keys,
+            vals,
+            mask,
+            len,
+        })
+    }
+
+    /// Iterate the stored `(a, b, value)` entries in slot order. Used to
+    /// rebuild derived structures (e.g. dense symbol maps) from a
+    /// deserialized table.
+    pub fn entries(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        self.keys
+            .iter()
+            .zip(self.vals.iter())
+            .filter(|&(&k, _)| k != EMPTY_KEY)
+            .map(|(&k, &v)| {
+                let (a, b) = crate::table::unpack(k);
+                (a, b, v)
+            })
+    }
+
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
@@ -165,6 +219,44 @@ mod tests {
             assert!(f.get(i, 0).is_some());
         }
         assert_eq!(f.get(9, 9), None);
+    }
+
+    #[test]
+    fn raw_parts_round_trip() {
+        let entries: Vec<(u32, u32, u32)> = (0..57u32)
+            .map(|i| (i, i.wrapping_mul(101), i + 7))
+            .collect();
+        let f = FrozenPairTable::from_entries(&entries);
+        let keys = f.keys().to_vec().into_boxed_slice();
+        let vals = f.vals().to_vec().into_boxed_slice();
+        let back = FrozenPairTable::from_raw_parts(keys, vals, f.len()).expect("valid parts");
+        assert_eq!(back.len(), f.len());
+        assert_eq!(back.slots_len(), f.slots_len());
+        for &(a, b, v) in &entries {
+            assert_eq!(back.get(a, b), Some(v));
+        }
+        assert_eq!(back.get(999, 999), None);
+        let mut got: Vec<_> = back.entries().collect();
+        got.sort_unstable();
+        assert_eq!(got, entries);
+    }
+
+    #[test]
+    fn raw_parts_reject_inconsistent_input() {
+        let f = FrozenPairTable::from_entries(&[(1, 2, 3), (4, 5, 6)]);
+        let keys = || f.keys().to_vec().into_boxed_slice();
+        let vals = || f.vals().to_vec().into_boxed_slice();
+        // len disagreeing with occupied slots.
+        assert!(FrozenPairTable::from_raw_parts(keys(), vals(), 1).is_none());
+        // Mismatched array lengths.
+        let short: Box<[u32]> = f.vals()[..f.slots_len() - 1].to_vec().into_boxed_slice();
+        assert!(FrozenPairTable::from_raw_parts(keys(), short, 2).is_none());
+        // Non-power-of-two slot count.
+        let mut k = f.keys().to_vec();
+        let mut v = f.vals().to_vec();
+        k.push(EMPTY_KEY);
+        v.push(0);
+        assert!(FrozenPairTable::from_raw_parts(k.into(), v.into(), 2).is_none());
     }
 
     proptest! {

@@ -19,8 +19,12 @@
 //! * [`hash`] — the multiply-xor hasher used by those tables (our own
 //!   implementation, no external hashing crates);
 //! * [`crc`] — table-driven CRC-32 shared by the on-disk formats (dict log
-//!   records, index sidecars).
+//!   records, index sidecars);
+//! * [`codec`] — the shared sidecar framing (magic + version headers,
+//!   record framing, section tables, CRC trailers) every on-disk format
+//!   reads and writes through.
 
+pub mod codec;
 pub mod compact;
 pub mod conc_table;
 pub mod crc;
@@ -31,6 +35,7 @@ pub mod radix;
 pub mod scan;
 pub mod table;
 
+pub use codec::CodecError;
 pub use conc_table::ConcPairTable;
 pub use crc::{crc32, Crc32};
 pub use frozen::FrozenPairTable;

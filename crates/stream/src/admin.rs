@@ -11,7 +11,7 @@
 use std::sync::{Arc, Mutex};
 
 use pdm_core::dict::Sym;
-use pdm_dict::{CommitOutcome, DictStore, EpochHandle, SnapshotPath, StoreError};
+use pdm_dict::{BootFallback, CommitOutcome, DictStore, EpochHandle, SnapshotPath, StoreError};
 use pdm_pram::{CostModel, Ctx, ExecPolicy};
 
 use crate::metrics::GlobalMetrics;
@@ -24,23 +24,39 @@ pub struct DictAdmin {
     /// Context for commit-time rebuilds (the full-rebuild path runs the
     /// parallel build on this policy's pool).
     ctx: Ctx,
+    /// Why the first epoch was rebuilt instead of cold-loaded from the
+    /// `.snap` sidecar; `None` = it was cold-loaded.
+    boot_fallback: Option<BootFallback>,
 }
 
 impl DictAdmin {
     /// Wrap a store, publishing its current committed dictionary as the
-    /// initial epoch. `exec` is the execution policy for commit-time
-    /// rebuilds.
-    pub fn new(store: DictStore, exec: ExecPolicy) -> Result<Arc<Self>, StoreError> {
+    /// initial epoch — cold-loaded from the `.snap` sidecar when it is
+    /// fresh, rebuilt otherwise. `exec` is the execution policy for
+    /// commit-time rebuilds.
+    pub fn new(mut store: DictStore, exec: ExecPolicy) -> Result<Arc<Self>, StoreError> {
         let ctx = Ctx {
             exec,
             cost: Arc::new(CostModel::new()),
         };
-        let handle = EpochHandle::new(store.snapshot(&ctx)?);
+        let boot = store.boot_snapshot(&ctx)?;
+        let handle = EpochHandle::new(boot.snapshot);
         Ok(Arc::new(DictAdmin {
             store: Mutex::new(store),
             handle,
             ctx,
+            boot_fallback: boot.fallback,
         }))
+    }
+
+    /// Was the initial epoch cold-loaded from the sidecar (no rebuild)?
+    pub fn booted_cold(&self) -> bool {
+        self.boot_fallback.is_none()
+    }
+
+    /// Why boot rebuilt instead of cold-loading (`None` = cold-loaded).
+    pub fn boot_fallback(&self) -> Option<&BootFallback> {
+        self.boot_fallback.as_ref()
     }
 
     /// The epoch slot to serve from (hand to
@@ -111,6 +127,36 @@ mod tests {
         let info = a.info();
         assert_eq!((info.epoch, info.patterns, info.staged), (1, 2, 0));
         assert_eq!(info.max_pattern_len, 3);
+    }
+
+    #[test]
+    fn in_memory_store_boots_by_rebuilding() {
+        let a = admin();
+        assert!(!a.booted_cold());
+        assert_eq!(a.boot_fallback(), Some(&BootFallback::NoSidecar));
+    }
+
+    #[test]
+    fn compacted_store_boots_cold() {
+        let ctx = Ctx::seq();
+        let dir = std::env::temp_dir().join(format!("pdm-admin-boot-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("dict.pdml");
+        {
+            let mut store = DictStore::open(&log).unwrap();
+            store.stage_add(&to_symbols("he")).unwrap();
+            store.stage_add(&to_symbols("she")).unwrap();
+            store.commit(&ctx).unwrap();
+            store.compact(&ctx).unwrap();
+        }
+        let store = DictStore::open(&log).unwrap();
+        let a = DictAdmin::new(store, ExecPolicy::Seq).unwrap();
+        assert!(a.booted_cold(), "fallback: {:?}", a.boot_fallback());
+        assert_eq!(a.handle().epoch(), 1);
+        assert_eq!(a.handle().load().path(), SnapshotPath::ColdLoaded);
+        let info = a.info();
+        assert_eq!((info.epoch, info.patterns, info.staged), (1, 2, 0));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use pdm_core::dict::to_symbols;
 use pdm_core::static1d::StaticMatcher;
-use pdm_dict::DictStore;
+use pdm_dict::{DictStore, SnapshotPath};
 use pdm_pram::Ctx;
 use pdm_stream::proto::{
     decode_dict_info, decode_epoch, decode_match, decode_summary, read_frame, write_frame,
@@ -237,7 +237,7 @@ fn kill_restart_recovers_committed_dictionary() {
     // Replay recovers epoch 2 = {he, she, hers}; compaction preserves it.
     let mut store = DictStore::open(&log).unwrap();
     assert_eq!((store.epoch(), store.pattern_count()), (2, 3));
-    store.compact().unwrap();
+    store.compact(&Ctx::seq()).unwrap();
     drop(store);
     let store = DictStore::open(&log).unwrap();
     assert_eq!((store.epoch(), store.pattern_count()), (2, 3));
@@ -247,8 +247,17 @@ fn kill_restart_recovers_committed_dictionary() {
     want.sort();
     assert_eq!(live, want);
 
-    // And the restarted server serves exactly that dictionary.
+    // And the restarted server serves exactly that dictionary — cold-loaded
+    // straight from the fresh `.snap` sidecar compaction just wrote, with
+    // no parallel rebuild at boot.
     let server = Server::bind_versioned(("127.0.0.1", 0), store, cfg()).unwrap();
+    let admin = server.dict_admin().expect("versioned server has an admin");
+    assert!(
+        admin.booted_cold(),
+        "expected cold boot, got fallback {:?}",
+        admin.boot_fallback()
+    );
+    assert_eq!(admin.handle().load().path(), SnapshotPath::ColdLoaded);
     let sock = connect(&server);
     let mut w = sock.try_clone().unwrap();
     let mut r = BufReader::new(sock);

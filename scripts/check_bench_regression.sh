@@ -7,7 +7,8 @@
 # catching structural regressions). The bench binary is picked from the
 # baseline's name: BENCH_text.json -> text_throughput (after-leg seq MB/s
 # per workload), BENCH_index.json -> index_throughput (build seq MB/s and
-# merged-query seq kqps).
+# merged-query seq kqps), BENCH_snap.json -> snap_coldstart (sidecar
+# decode MB/s).
 #
 # Usage: scripts/check_bench_regression.sh [baseline.json]
 set -euo pipefail
@@ -21,6 +22,7 @@ fi
 
 case "$(basename "$baseline")" in
     BENCH_index*) bench=index_throughput ;;
+    BENCH_snap*)  bench=snap_coldstart ;;
     *)            bench=text_throughput ;;
 esac
 

@@ -25,6 +25,9 @@ use std::io::Write;
 pub enum DictSource {
     Patterns(String),
     Index(String),
+    /// A versioned dictionary log (`match --dict-log`): the committed
+    /// epoch is served, cold-loaded from its `.snap` sidecar when fresh.
+    Log(String),
 }
 
 /// Where a `pdm dict` subcommand applies: a local log file, or a running
@@ -119,6 +122,10 @@ pub enum Command {
         out: String,
         threads: Option<usize>,
     },
+    /// Inspect any sidecar file: magic, version, CRC status, sections.
+    SnapInspect {
+        file: String,
+    },
     /// Answer a pattern batch from a prebuilt sidecar.
     Query {
         index: String,
@@ -152,6 +159,7 @@ USAGE:
   pdm match  --dict <file> --text <file> [--threads N] [--all]
   pdm match  --index <file> --text <file> [--threads N] [--all]
   pdm match  --dict <file> --text <file> --stream [--chunk-bytes K]
+  pdm match  --dict-log <file> --text <file> [--threads N]
   pdm prefix --dict <file> --text <file> [--threads N]
   pdm serve  --dict <file> --port <n> [--workers N] [--queue-cap Q]
              [--read-timeout-ms T] [--max-conns C] [--drain-deadline-ms D]
@@ -164,6 +172,7 @@ USAGE:
   pdm dict   compact --log <file>
   pdm gen    --out <file> --bytes <n> [--seed S] [--markov | --corpus genome|log]
              [--patterns-out <file> [--pattern-count K]]
+  pdm snap   inspect --file <sidecar>
   pdm index  --text <corpus> --out <file.pdmx> [--threads N]
   pdm query  --index <file.pdmx> --patterns <file> [--threads N]
              [--locate] [--no-merge] [--verify]
@@ -194,7 +203,12 @@ publishes them as a new epoch that running sessions adopt at their next
 chunk boundary without dropping connections. With an empty log, `--dict`
 seeds it from a pattern file. `dict ... --addr` administers a running
 server; `--log` edits the log file directly (server stopped). `compact`
-rewrites the log to its live patterns and emits a `<log>.snap` snapshot.
+rewrites the log to its live patterns and emits a `<log>.snap` snapshot
+holding the *built* matcher; `serve --dict-log` and `match --dict-log`
+boot from a fresh snapshot in O(file size) with no rebuild, and fall back
+to rebuilding when it is missing, legacy, corrupt, or stale.
+`snap inspect` prints any sidecar's magic, version, CRC status, and
+sections (`.snap` snapshots, `.pdmx` corpus indexes, `.pdml` dict logs).
 ";
 
 /// Parse argv (excluding the program name).
@@ -207,6 +221,18 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
         dict_action = Some(it.next().cloned().ok_or_else(|| {
             UsageError("dict requires an action: add|remove|commit|info|compact".into())
         })?);
+    }
+    // `snap` likewise: `pdm snap inspect --file …`.
+    if sub == "snap" {
+        let action = it
+            .next()
+            .cloned()
+            .ok_or_else(|| UsageError("snap requires an action: inspect".into()))?;
+        if action != "inspect" {
+            return Err(UsageError(format!(
+                "unknown snap action: {action} (expected inspect)"
+            )));
+        }
     }
     let mut dict = None;
     let mut index = None;
@@ -236,6 +262,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
     let mut locate = false;
     let mut no_merge = false;
     let mut verify = false;
+    let mut file = None;
     while let Some(a) = it.next() {
         let mut need = |name: &str| -> Result<String, UsageError> {
             it.next()
@@ -332,6 +359,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             "--locate" => locate = true,
             "--no-merge" => no_merge = true,
             "--verify" => verify = true,
+            "--file" => file = Some(need("--file")?),
             other => return Err(UsageError(format!("unknown flag: {other}"))),
         }
     }
@@ -345,14 +373,31 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
         (None, None) => Err(UsageError(format!("{sub} requires --dict or --index"))),
     };
     match sub {
-        "match" => Ok(Command::Match {
-            dict: source(dict, index)?,
-            text: want(text, "--text")?,
-            threads,
-            all,
-            stream,
-            chunk_bytes,
-        }),
+        "match" => {
+            let src = if let Some(log) = dict_log {
+                if dict.is_some() || index.is_some() {
+                    return Err(UsageError(
+                        "--dict-log is exclusive with --dict/--index".into(),
+                    ));
+                }
+                if stream {
+                    return Err(UsageError(
+                        "--stream needs a static dictionary (--dict or --index)".into(),
+                    ));
+                }
+                DictSource::Log(log)
+            } else {
+                source(dict, index)?
+            };
+            Ok(Command::Match {
+                dict: src,
+                text: want(text, "--text")?,
+                threads,
+                all,
+                stream,
+                chunk_bytes,
+            })
+        }
         "serve" => {
             let dict = if dict.is_some() || index.is_some() {
                 Some(source(dict, index)?)
@@ -458,6 +503,9 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             out: want(out, "--out")?,
             threads,
         }),
+        "snap" => Ok(Command::SnapInspect {
+            file: want(file, "--file")?,
+        }),
         "query" => Ok(Command::Query {
             index: want(index, "--index")?,
             patterns: want(patterns, "--patterns")?,
@@ -478,44 +526,135 @@ fn ctx_for(threads: Option<usize>) -> Ctx {
     }
 }
 
-/// Load a dictionary file: one pattern per line, empty lines skipped,
-/// duplicates rejected with a clear message.
-pub fn load_dictionary(path: &str) -> Result<Vec<Vec<Sym>>, String> {
-    let data = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+/// Typed CLI-boundary error: every failure a subcommand can hit keeps its
+/// underlying error (I/O, build, corrupt sidecar, store) instead of being
+/// flattened to a `String` at the call site. `run` renders it once, as
+/// `error: {e}`, exit code 2.
+#[derive(Debug)]
+pub enum CliError {
+    /// File I/O against a user-supplied path.
+    Io {
+        path: String,
+        source: std::io::Error,
+    },
+    /// A dictionary file with no usable patterns.
+    NoPatterns(String),
+    /// Matcher construction failed.
+    Build(BuildError),
+    /// A serialized `PDM1`/`PDMT` matcher index failed to load.
+    MatcherLoad(pdm_core::static1d::serial::LoadError),
+    /// Dictionary log/store failure.
+    Store {
+        path: String,
+        source: pdm_dict::StoreError,
+    },
+    /// A `.snap` snapshot sidecar failed to load or validate.
+    Snap(pdm_dict::SnapError),
+    /// Any sidecar failed the shared codec framing (magic/version/CRC).
+    Corrupt(pdm_primitives::codec::CodecError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io { path, source } => write!(f, "{path}: {source}"),
+            Self::NoPatterns(path) => write!(f, "{path}: no patterns"),
+            Self::Build(e) => write!(f, "{e}"),
+            Self::MatcherLoad(e) => write!(f, "{e}"),
+            Self::Store { path, source } => write!(f, "{path}: {source}"),
+            Self::Snap(e) => write!(f, "{e}"),
+            Self::Corrupt(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io { source, .. } => Some(source),
+            Self::NoPatterns(_) => None,
+            Self::Build(e) => Some(e),
+            Self::MatcherLoad(e) => Some(e),
+            Self::Store { source, .. } => Some(source),
+            Self::Snap(e) => Some(e),
+            Self::Corrupt(e) => Some(e),
+        }
+    }
+}
+
+impl From<BuildError> for CliError {
+    fn from(e: BuildError) -> Self {
+        Self::Build(e)
+    }
+}
+
+impl From<pdm_dict::SnapError> for CliError {
+    fn from(e: pdm_dict::SnapError) -> Self {
+        Self::Snap(e)
+    }
+}
+
+impl From<pdm_primitives::codec::CodecError> for CliError {
+    fn from(e: pdm_primitives::codec::CodecError) -> Self {
+        Self::Corrupt(e)
+    }
+}
+
+fn io_err(path: &str) -> impl Fn(std::io::Error) -> CliError + '_ {
+    move |source| CliError::Io {
+        path: path.to_string(),
+        source,
+    }
+}
+
+fn store_err(path: &str) -> impl Fn(pdm_dict::StoreError) -> CliError + '_ {
+    move |source| CliError::Store {
+        path: path.to_string(),
+        source,
+    }
+}
+
+/// Load a dictionary file: one pattern per line, empty lines skipped.
+pub fn load_dictionary(path: &str) -> Result<Vec<Vec<Sym>>, CliError> {
+    let data = std::fs::read_to_string(path).map_err(io_err(path))?;
     let pats: Vec<Vec<Sym>> = data
         .lines()
         .filter(|l| !l.is_empty())
         .map(to_symbols)
         .collect();
     if pats.is_empty() {
-        return Err(format!("{path}: no patterns"));
+        return Err(CliError::NoPatterns(path.to_string()));
     }
     Ok(pats)
 }
 
 /// Load a text file as raw bytes.
-pub fn load_text(path: &str) -> Result<Vec<Sym>, String> {
-    let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+pub fn load_text(path: &str) -> Result<Vec<Sym>, CliError> {
+    let data = std::fs::read(path).map_err(io_err(path))?;
     Ok(data.into_iter().map(Sym::from).collect())
 }
 
-/// Resolve a matcher (and pattern texts, when built from `--dict` rather
-/// than a serialized index).
 /// A matcher plus, when built from `--dict`, the pattern texts for display.
 type ResolvedMatcher = (StaticMatcher, Option<Vec<Vec<Sym>>>);
 
-fn resolve_matcher(dict: &DictSource, ctx: &Ctx) -> Result<ResolvedMatcher, String> {
+fn resolve_matcher(dict: &DictSource, ctx: &Ctx) -> Result<ResolvedMatcher, CliError> {
     match dict {
         DictSource::Patterns(path) => {
             let pats = load_dictionary(path)?;
-            let m = StaticMatcher::build(ctx, &pats).map_err(|e| e.to_string())?;
+            let m = StaticMatcher::build(ctx, &pats)?;
             Ok((m, Some(pats)))
         }
         DictSource::Index(path) => {
-            let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-            let m = StaticMatcher::from_bytes(&data).map_err(|e| e.to_string())?;
+            let data = std::fs::read(path).map_err(io_err(path))?;
+            let m = StaticMatcher::from_bytes(&data).map_err(CliError::MatcherLoad)?;
             Ok((m, None))
         }
+        DictSource::Log(path) => Err(CliError::Store {
+            path: path.clone(),
+            source: pdm_dict::StoreError::Replay(
+                "--dict-log is only valid for match and serve".into(),
+            ),
+        }),
     }
 }
 
@@ -559,7 +698,7 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
             let c = ctx.cost.snapshot();
             let verb = match dict {
                 DictSource::Patterns(_) => "build",
-                DictSource::Index(_) => "load",
+                DictSource::Index(_) | DictSource::Log(_) => "load",
             };
             writeln!(
                 w,
@@ -620,6 +759,9 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
                 }
             };
             let ctx = ctx_for(threads);
+            if let DictSource::Log(log) = &dict {
+                return run_match_log(log, &txt, &ctx, w);
+            }
             let (m, pats) = match resolve_matcher(&dict, &ctx) {
                 Ok(mp) => mp,
                 Err(e) => {
@@ -955,7 +1097,20 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
                     store.epoch()
                 );
                 match pdm_stream::Server::bind_versioned(("0.0.0.0", port), store, cfg) {
-                    Ok(s) => (s, banner),
+                    Ok(s) => {
+                        // Boot happened inside bind: say whether the first
+                        // epoch came from the `.snap` sidecar or a rebuild.
+                        if let Some(admin) = s.dict_admin() {
+                            match admin.boot_fallback() {
+                                None => writeln!(
+                                    w,
+                                    "dictionary boot: cold-loaded from snapshot (no rebuild)"
+                                )?,
+                                Some(reason) => writeln!(w, "dictionary boot: rebuilt ({reason})")?,
+                            }
+                        }
+                        (s, banner)
+                    }
                     Err(e) => {
                         writeln!(w, "error: bind port {port}: {e}")?;
                         return Ok(2);
@@ -989,24 +1144,181 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
             Ok(0)
         }
         Command::Dict { op, target } => run_dict(op, target, w),
+        Command::SnapInspect { file } => run_snap_inspect(&file, w),
+    }
+}
+
+/// `pdm match --dict-log`: serve the committed epoch of a versioned log,
+/// cold-loading its `.snap` sidecar when fresh (one `#` line reports which
+/// path ran). Reports *all* occurrences per position, like `--all`.
+fn run_match_log(log: &str, txt: &[Sym], ctx: &Ctx, w: &mut impl Write) -> std::io::Result<i32> {
+    let boot = match pdm_dict::DictStore::open(std::path::Path::new(log))
+        .and_then(|mut store| store.boot_snapshot(ctx))
+        .map_err(store_err(log))
+    {
+        Ok(b) => b,
+        Err(e) => {
+            writeln!(w, "error: {e}")?;
+            return Ok(2);
+        }
+    };
+    match &boot.fallback {
+        None => writeln!(
+            w,
+            "# dictionary epoch {}: cold-loaded from {}",
+            boot.snapshot.epoch(),
+            pdm_dict::store::snap_path(std::path::Path::new(log)).display()
+        )?,
+        Some(reason) => writeln!(
+            w,
+            "# dictionary epoch {}: rebuilt ({reason})",
+            boot.snapshot.epoch()
+        )?,
+    }
+    let pats = boot.snapshot.patterns().map(<[Vec<Sym>]>::to_vec);
+    let mut count = 0usize;
+    for (i, p) in boot.snapshot.find_all(ctx, txt) {
+        match &pats {
+            Some(pats) => {
+                let shown: String = pats[p as usize]
+                    .iter()
+                    .map(|&c| char::from(c as u8))
+                    .map(|c| {
+                        if c.is_ascii_graphic() || c == ' ' {
+                            c
+                        } else {
+                            '.'
+                        }
+                    })
+                    .collect();
+                writeln!(w, "{i}\t{p}\t{shown}")?;
+            }
+            None => writeln!(w, "{i}\t{p}")?,
+        }
+        count += 1;
+    }
+    writeln!(w, "# {count} occurrences in {} bytes", txt.len())?;
+    Ok(0)
+}
+
+/// `pdm snap inspect`: report magic, version, CRC status, and sections of
+/// any sidecar file, without building a matcher or replaying a log.
+fn run_snap_inspect(file: &str, w: &mut impl Write) -> std::io::Result<i32> {
+    use pdm_primitives::codec;
+    let bytes = match std::fs::read(file).map_err(io_err(file)) {
+        Ok(b) => b,
+        Err(e) => {
+            writeln!(w, "error: {e}")?;
+            return Ok(2);
+        }
+    };
+    writeln!(w, "file: {file} ({} bytes)", bytes.len())?;
+    if bytes.len() < codec::HEADER_LEN {
+        writeln!(w, "error: too short for any sidecar header")?;
+        return Ok(2);
+    }
+    match &bytes[..4] {
+        b"PDMS" => match pdm_dict::inspect(&bytes) {
+            Ok(info) => {
+                let kind = if info.version >= 2 {
+                    "built-matcher snapshot"
+                } else {
+                    "identity snapshot (legacy; load rebuilds)"
+                };
+                writeln!(w, "format: PDMS v{} — {kind}", info.version)?;
+                writeln!(w, "epoch: {}", info.epoch)?;
+                writeln!(w, "patterns: {}", info.patterns)?;
+                for &(id, len) in &info.sections {
+                    let name = match id {
+                        pdm_dict::snapshot::SEC_META => "META",
+                        pdm_dict::snapshot::SEC_PATTERNS => "PATTERNS",
+                        pdm_dict::snapshot::SEC_TABLES => "TABLES",
+                        pdm_dict::snapshot::SEC_CHAINS => "CHAINS",
+                        _ => "?",
+                    };
+                    writeln!(w, "section {name} (id {id}): {len} bytes")?;
+                }
+                let crc = if info.version >= 2 {
+                    "OK"
+                } else {
+                    "none (v1 has no checksum)"
+                };
+                writeln!(w, "crc: {crc}")?;
+                Ok(0)
+            }
+            Err(e) => {
+                writeln!(w, "error: {e}")?;
+                Ok(2)
+            }
+        },
+        b"PDMX" => {
+            let version = codec::read_header(&bytes, *b"PDMX").expect("magic just checked");
+            writeln!(w, "format: PDMX v{version} — corpus index")?;
+            match codec::verify_crc(&bytes) {
+                Ok(_) => {
+                    writeln!(w, "crc: OK")?;
+                    Ok(0)
+                }
+                Err(e) => {
+                    writeln!(w, "crc: FAILED ({e})")?;
+                    Ok(2)
+                }
+            }
+        }
+        b"PDML" => {
+            let version =
+                codec::read_header(&bytes, pdm_dict::log::LOG_MAGIC).expect("magic just checked");
+            writeln!(w, "format: PDML v{version} — dictionary log")?;
+            // Per-record CRCs: walk the framing the same way replay does.
+            let mut at = codec::HEADER_LEN;
+            let mut records = 0usize;
+            let mut tail = "clean";
+            while at < bytes.len() {
+                match codec::read_record(&bytes[at..], 64 << 20) {
+                    codec::RecordRead::Ok(rec) => {
+                        at += rec.consumed;
+                        records += 1;
+                    }
+                    codec::RecordRead::Torn => {
+                        tail = "torn (incomplete final record)";
+                        break;
+                    }
+                    codec::RecordRead::Bad(_) => {
+                        tail = "corrupt (record checksum failed)";
+                        break;
+                    }
+                }
+            }
+            writeln!(w, "records: {records}")?;
+            writeln!(w, "tail: {tail}")?;
+            Ok(if tail == "clean" { 0 } else { 2 })
+        }
+        other => {
+            writeln!(
+                w,
+                "error: unknown magic {:?} (expected PDMS, PDMX, or PDML)",
+                String::from_utf8_lossy(other)
+            )?;
+            Ok(2)
+        }
     }
 }
 
 /// Open (or create) a dictionary log; with an empty log and a `--dict`
 /// pattern file, seed it with those patterns as epoch 1.
 ///
-/// The outer `io::Result` is writer failures; the inner is the usage-level
-/// error already formatted for the user.
+/// The outer `io::Result` is writer failures; the inner is the typed
+/// CLI-boundary error rendered by the caller.
 fn open_seeded_store(
     log: &str,
     seed: Option<&DictSource>,
     ctx: &Ctx,
     w: &mut impl Write,
-) -> std::io::Result<Result<pdm_dict::DictStore, String>> {
+) -> std::io::Result<Result<pdm_dict::DictStore, CliError>> {
     use pdm_dict::DictStore;
-    let mut store = match DictStore::open(std::path::Path::new(log)) {
+    let mut store = match DictStore::open(std::path::Path::new(log)).map_err(store_err(log)) {
         Ok(s) => s,
-        Err(e) => return Ok(Err(format!("{log}: {e}"))),
+        Err(e) => return Ok(Err(e)),
     };
     if let Some(DictSource::Patterns(path)) = seed {
         if store.pattern_count() == 0 && store.staged_len() == 0 {
@@ -1015,12 +1327,12 @@ fn open_seeded_store(
                 Err(e) => return Ok(Err(e)),
             };
             for p in &pats {
-                if let Err(e) = store.stage_add(p) {
-                    return Ok(Err(format!("seed {path}: {e}")));
+                if let Err(e) = store.stage_add(p).map_err(store_err(path)) {
+                    return Ok(Err(e));
                 }
             }
-            if let Err(e) = store.commit(ctx) {
-                return Ok(Err(format!("seed {path}: {e}")));
+            if let Err(e) = store.commit(ctx).map_err(store_err(path)) {
+                return Ok(Err(e));
             }
             writeln!(w, "seeded {log} with {} patterns from {path}", pats.len())?;
         } else {
@@ -1061,6 +1373,7 @@ fn run_dict(op: DictOp, target: DictTarget, w: &mut impl Write) -> std::io::Resu
                         match out.path {
                             SnapshotPath::Incremental => "incremental",
                             SnapshotPath::FullRebuild => "full",
+                            SnapshotPath::ColdLoaded => "cold-loaded",
                         }
                     )
                 }),
@@ -1071,7 +1384,7 @@ fn run_dict(op: DictOp, target: DictTarget, w: &mut impl Write) -> std::io::Resu
                     store.symbol_count(),
                     store.staged_len()
                 )),
-                DictOp::Compact => store.compact().map(|r| {
+                DictOp::Compact => store.compact(&Ctx::par()).map(|r| {
                     format!(
                         "compacted {path}: {} live patterns, {} staged ops{}",
                         r.live,
@@ -1857,6 +2170,184 @@ mod tests {
             std::path::Path::new(&format!("{log}.snap")).exists() || s.contains("snapshot"),
             "compact emits a snapshot: {s}"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parses_match_dict_log_and_snap_inspect() {
+        let c = parse(&args(&["match", "--dict-log", "d.pdml", "--text", "t"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Match {
+                dict: DictSource::Log("d.pdml".into()),
+                text: "t".into(),
+                threads: None,
+                all: false,
+                stream: false,
+                chunk_bytes: 64 * 1024,
+            }
+        );
+        assert!(
+            parse(&args(&[
+                "match",
+                "--dict-log",
+                "l",
+                "--dict",
+                "d",
+                "--text",
+                "t"
+            ]))
+            .is_err(),
+            "--dict-log excludes --dict"
+        );
+        assert!(
+            parse(&args(&[
+                "match",
+                "--dict-log",
+                "l",
+                "--text",
+                "t",
+                "--stream"
+            ]))
+            .is_err(),
+            "--stream needs a static dictionary"
+        );
+        let c = parse(&args(&["snap", "inspect", "--file", "d.pdml.snap"])).unwrap();
+        assert_eq!(
+            c,
+            Command::SnapInspect {
+                file: "d.pdml.snap".into()
+            }
+        );
+        assert!(parse(&args(&["snap"])).is_err(), "action required");
+        assert!(parse(&args(&["snap", "bogus", "--file", "f"])).is_err());
+        assert!(parse(&args(&["snap", "inspect"])).is_err(), "file required");
+    }
+
+    #[test]
+    fn match_dict_log_cold_loads_and_snap_inspect_reports() {
+        let dir = std::env::temp_dir().join(format!("pdm-cli-coldboot-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log: String = dir.join("dict.pdml").to_string_lossy().into();
+        let tpath = dir.join("text.bin");
+        std::fs::write(&tpath, "ushers").unwrap();
+        let run_op = |op: DictOp| -> (i32, String) {
+            let mut out = Vec::new();
+            let code = run(
+                Command::Dict {
+                    op,
+                    target: DictTarget::Log(log.clone()),
+                },
+                &mut out,
+            )
+            .unwrap();
+            (code, String::from_utf8(out).unwrap())
+        };
+        for p in ["he", "she", "hers"] {
+            let (code, s) = run_op(DictOp::Add { pattern: p.into() });
+            assert_eq!(code, 0, "{s}");
+        }
+        let (code, s) = run_op(DictOp::Commit);
+        assert_eq!(code, 0, "{s}");
+
+        // Before compaction there is no sidecar: match rebuilds, says why.
+        let mut out = Vec::new();
+        let code = run(
+            Command::Match {
+                dict: DictSource::Log(log.clone()),
+                text: tpath.to_string_lossy().into(),
+                threads: Some(1),
+                all: false,
+                stream: false,
+                chunk_bytes: 64 * 1024,
+            },
+            &mut out,
+        )
+        .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert_eq!(code, 0, "{s}");
+        assert!(s.contains("rebuilt (no snapshot sidecar)"), "{s}");
+        assert!(s.contains("# 3 occurrences"), "{s}");
+
+        // Compact emits the v2 sidecar; match now cold-loads it.
+        let (code, s) = run_op(DictOp::Compact);
+        assert_eq!(code, 0, "{s}");
+        let mut out = Vec::new();
+        let code = run(
+            Command::Match {
+                dict: DictSource::Log(log.clone()),
+                text: tpath.to_string_lossy().into(),
+                threads: Some(1),
+                all: false,
+                stream: false,
+                chunk_bytes: 64 * 1024,
+            },
+            &mut out,
+        )
+        .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert_eq!(code, 0, "{s}");
+        assert!(s.contains("cold-loaded from"), "{s}");
+        assert!(s.contains("# 3 occurrences"), "{s}");
+        assert!(s.contains("2\t2\thers"), "{s}");
+
+        // snap inspect on the emitted v2 sidecar.
+        let snap_file = format!("{log}.snap");
+        let mut out = Vec::new();
+        let code = run(
+            Command::SnapInspect {
+                file: snap_file.clone(),
+            },
+            &mut out,
+        )
+        .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert_eq!(code, 0, "{s}");
+        assert!(s.contains("PDMS v2"), "{s}");
+        assert!(s.contains("patterns: 3"), "{s}");
+        assert!(s.contains("section TABLES"), "{s}");
+        assert!(s.contains("crc: OK"), "{s}");
+
+        // snap inspect on the log itself (PDML).
+        let mut out = Vec::new();
+        let code = run(Command::SnapInspect { file: log.clone() }, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert_eq!(code, 0, "{s}");
+        assert!(s.contains("PDML v1"), "{s}");
+        assert!(s.contains("tail: clean"), "{s}");
+
+        // A corrupted sidecar fails inspection and makes match fall back.
+        let mut bytes = std::fs::read(&snap_file).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&snap_file, &bytes).unwrap();
+        let mut out = Vec::new();
+        let code = run(
+            Command::SnapInspect {
+                file: snap_file.clone(),
+            },
+            &mut out,
+        )
+        .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert_eq!(code, 2, "{s}");
+        let mut out = Vec::new();
+        let code = run(
+            Command::Match {
+                dict: DictSource::Log(log.clone()),
+                text: tpath.to_string_lossy().into(),
+                threads: Some(1),
+                all: false,
+                stream: false,
+                chunk_bytes: 64 * 1024,
+            },
+            &mut out,
+        )
+        .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert_eq!(code, 0, "{s}");
+        assert!(s.contains("rebuilt ("), "{s}");
+        assert!(s.contains("# 3 occurrences"), "{s}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
