@@ -39,11 +39,14 @@
 //! ```
 
 pub mod epoch;
+pub mod fsck;
 pub mod log;
 pub mod snapshot;
 pub mod store;
 
 pub use epoch::EpochHandle;
+pub use fsck::{fsck_store, Finding, FsckReport, Severity};
+pub use log::{RecoveredTornTail, TailFault};
 pub use snapshot::{inspect, SnapError, SnapInfo, Snapshot, SnapshotPath};
 pub use store::{
     BootFallback, BootOutcome, CommitOutcome, CompactReport, DictStore, StoreError,

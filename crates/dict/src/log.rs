@@ -15,8 +15,8 @@
 
 use pdm_core::Sym;
 use pdm_primitives::codec::{self, CodecError, RecordRead};
-use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use pdm_primitives::vfs::{self, VfsFile};
+use std::io::{self, SeekFrom};
 use std::path::Path;
 
 /// File magic for the pattern log.
@@ -120,6 +120,54 @@ pub fn encode_record(rec: &Record) -> Vec<u8> {
     out
 }
 
+/// Why a replay stopped before the end of the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailFault {
+    /// The file ends mid-record: the classic crash-during-append shape.
+    Torn,
+    /// A complete record failed its CRC (or framing) — bit rot, or a
+    /// torn write that happened to span record boundaries.
+    Corrupt(CodecError),
+    /// The file is shorter than the 8-byte header: a crash tore the
+    /// initial header write of a brand-new log (no records can exist
+    /// before the header, so nothing is lost by rewriting it).
+    TornHeader,
+}
+
+impl std::fmt::Display for TailFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Torn => write!(f, "torn tail (incomplete final record)"),
+            Self::Corrupt(e) => write!(f, "corrupt record ({e})"),
+            Self::TornHeader => write!(f, "torn header (crash creating the log)"),
+        }
+    }
+}
+
+/// The typed recovery report surfaced when replay had to drop a tail:
+/// what was kept, what was dropped, and why. "Recovered" is literal —
+/// the log is usable after truncating to `good_len`; nothing before it
+/// was lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredTornTail {
+    /// Bytes dropped past the last good record.
+    pub dropped_bytes: u64,
+    /// Records that survived (everything before the fault).
+    pub kept_records: usize,
+    /// What the tail looked like.
+    pub fault: TailFault,
+}
+
+impl std::fmt::Display for RecoveredTornTail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: dropped {} bytes, kept {} records",
+            self.fault, self.dropped_bytes, self.kept_records
+        )
+    }
+}
+
 /// Outcome of replaying a log file.
 #[derive(Debug)]
 pub struct Replay {
@@ -128,6 +176,8 @@ pub struct Replay {
     pub good_len: u64,
     /// Bytes discarded past `good_len` (torn or corrupt tail), 0 if clean.
     pub truncated: u64,
+    /// Typed report when `truncated > 0`: why the tail was dropped.
+    pub recovery: Option<RecoveredTornTail>,
 }
 
 /// Replay every good record from `bytes` (header included). Header and
@@ -140,55 +190,86 @@ pub fn replay_bytes(bytes: &[u8]) -> Result<Replay, LogError> {
     let mut at = codec::HEADER_LEN;
     // Torn tail (crash mid-append) or bit rot: either way, stop at the
     // first bad record and drop the rest — never skip past it.
-    while let RecordRead::Ok(framed) = codec::read_record(&bytes[at..], MAX_PAYLOAD as usize) {
-        let payload = framed.payload;
-        let rec = match framed.kind {
-            KIND_ADD => payload_pattern(payload).map(Record::Add),
-            KIND_REMOVE => payload_pattern(payload).map(Record::Remove),
-            KIND_COMMIT if payload.len() == 8 => {
-                let mut e = [0u8; 8];
-                e.copy_from_slice(payload);
-                Some(Record::Commit(u64::from_le_bytes(e)))
+    let mut fault = None;
+    while at < bytes.len() {
+        match codec::read_record(&bytes[at..], MAX_PAYLOAD as usize) {
+            RecordRead::Ok(framed) => {
+                let payload = framed.payload;
+                let rec = match framed.kind {
+                    KIND_ADD => payload_pattern(payload).map(Record::Add),
+                    KIND_REMOVE => payload_pattern(payload).map(Record::Remove),
+                    KIND_COMMIT if payload.len() == 8 => {
+                        let mut e = [0u8; 8];
+                        e.copy_from_slice(payload);
+                        Some(Record::Commit(u64::from_le_bytes(e)))
+                    }
+                    _ => None,
+                };
+                match rec {
+                    Some(r) => records.push(r),
+                    None => {
+                        // CRC-valid framing around an unreadable record:
+                        // not a torn write, so report it as corruption.
+                        fault = Some(TailFault::Corrupt(CodecError::Corrupt(format!(
+                            "unreadable record kind {} at offset {at}",
+                            framed.kind
+                        ))));
+                        break;
+                    }
+                }
+                at += framed.consumed;
             }
-            _ => None,
-        };
-        match rec {
-            Some(r) => records.push(r),
-            None => break, // unknown kind / malformed payload
+            RecordRead::Torn => {
+                fault = Some(TailFault::Torn);
+                break;
+            }
+            RecordRead::Bad(e) => {
+                fault = Some(TailFault::Corrupt(e));
+                break;
+            }
         }
-        at += framed.consumed;
     }
+    let truncated = (bytes.len() - at) as u64;
     Ok(Replay {
-        records,
         good_len: at as u64,
-        truncated: (bytes.len() - at) as u64,
+        truncated,
+        recovery: fault.map(|fault| RecoveredTornTail {
+            dropped_bytes: truncated,
+            kept_records: records.len(),
+            fault,
+        }),
+        records,
     })
 }
 
-/// An open log file positioned for appending.
+/// An open log file positioned for appending. All I/O goes through the
+/// [`pdm_primitives::vfs`] plane, so the crash-chaos suite can fail or
+/// tear any individual operation.
 #[derive(Debug)]
 pub struct LogFile {
-    file: File,
+    file: VfsFile,
 }
 
 impl LogFile {
-    /// Create a fresh log (truncating any existing file) with just a header.
+    /// Create a fresh log (truncating any existing file) with just a
+    /// header, durably: the header is fsynced and so is the parent
+    /// directory (a crash right after `create` must not lose the file).
     pub fn create(path: &Path) -> Result<Self, LogError> {
-        let mut file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .read(true)
-            .open(path)?;
+        let mut file = VfsFile::create(path)?;
         let mut header = Vec::with_capacity(codec::HEADER_LEN);
         codec::write_header(&mut header, LOG_MAGIC, LOG_VERSION);
         file.write_all(&header)?;
         file.sync_data()?;
+        vfs::sync_parent_dir(path)?;
         Ok(LogFile { file })
     }
 
     /// Open an existing log (or create an empty one), replaying its records.
-    /// A torn or corrupt tail is truncated away before appending resumes.
+    /// A torn or corrupt tail is truncated away before appending resumes,
+    /// and the drop is reported as a typed [`RecoveredTornTail`]. A file
+    /// shorter than the header (a crash tore the initial create) is
+    /// rewritten as an empty log rather than rejected — nothing could
+    /// have been appended before the header was durable.
     pub fn open(path: &Path) -> Result<(Self, Replay), LogError> {
         if !path.exists() {
             let log = Self::create(path)?;
@@ -198,13 +279,30 @@ impl LogFile {
                     records: Vec::new(),
                     good_len: 8,
                     truncated: 0,
+                    recovery: None,
                 },
             ));
         }
-        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes)?;
+        let bytes = vfs::read(path)?;
+        if bytes.len() < codec::HEADER_LEN {
+            let dropped = bytes.len() as u64;
+            let log = Self::create(path)?;
+            return Ok((
+                log,
+                Replay {
+                    records: Vec::new(),
+                    good_len: 8,
+                    truncated: dropped,
+                    recovery: Some(RecoveredTornTail {
+                        dropped_bytes: dropped,
+                        kept_records: 0,
+                        fault: TailFault::TornHeader,
+                    }),
+                },
+            ));
+        }
         let replay = replay_bytes(&bytes)?;
+        let mut file = VfsFile::open_rw(path)?;
         if replay.truncated > 0 {
             file.set_len(replay.good_len)?;
             file.sync_data()?;
@@ -265,6 +363,10 @@ mod tests {
         assert_eq!(replay.records, vec![Record::Add(vec![9, 9])]);
         assert_eq!(replay.good_len, good);
         assert!(replay.truncated > 0);
+        let rec = replay.recovery.expect("typed recovery report");
+        assert_eq!(rec.fault, TailFault::Torn);
+        assert_eq!(rec.kept_records, 1);
+        assert_eq!(rec.dropped_bytes, replay.truncated);
     }
 
     #[test]
@@ -281,6 +383,14 @@ mod tests {
         let replay = replay_bytes(&bytes).unwrap();
         assert_eq!(replay.records, vec![Record::Add(vec![1])]);
         assert!(replay.truncated > 0, "corrupt record and everything after");
+        let rec = replay.recovery.expect("typed recovery report");
+        assert!(matches!(rec.fault, TailFault::Corrupt(_)), "{rec}");
+    }
+
+    #[test]
+    fn clean_replay_reports_no_recovery() {
+        let replay = roundtrip(&[Record::Add(vec![5]), Record::Commit(1)]);
+        assert!(replay.recovery.is_none());
     }
 
     #[test]

@@ -28,12 +28,12 @@
 //! back to a rebuild otherwise, reporting why ([`BootFallback`]).
 //! [`DictStore::compact`] emits that v2 sidecar.
 
-use crate::log::{LogError, LogFile, Record};
+use crate::log::{LogError, LogFile, Record, RecoveredTornTail};
 use crate::snapshot::{Snapshot, SnapshotPath, SNAP_VERSION};
 use pdm_core::dynamic::{DynError, DynamicMatcher};
 use pdm_core::{BuildError, PatId, Sym};
 use pdm_pram::Ctx;
-use pdm_primitives::FxHashMap;
+use pdm_primitives::{vfs, FxHashMap};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -197,6 +197,8 @@ pub struct DictStore {
     seq: Ctx,
     /// Bytes dropped from a torn/corrupt log tail at open.
     recovered_truncated: u64,
+    /// Typed report of that drop (what was kept, what was torn, why).
+    recovery: Option<RecoveredTornTail>,
 }
 
 impl DictStore {
@@ -217,6 +219,7 @@ impl DictStore {
             threshold: DEFAULT_REBUILD_THRESHOLD,
             seq: Ctx::seq(),
             recovered_truncated: 0,
+            recovery: None,
         }
     }
 
@@ -228,6 +231,7 @@ impl DictStore {
         store.log = Some(log);
         store.path = Some(path.to_path_buf());
         store.recovered_truncated = replay.truncated;
+        store.recovery = replay.recovery;
         // Structural replay: rebuild slots/liveness without paying the §6
         // naming work per pattern. The master dynamic matcher is hydrated
         // lazily — on the first commit — so a boot that cold-loads its
@@ -290,6 +294,12 @@ impl DictStore {
     /// opened (0 = the log was clean).
     pub fn recovered_truncated(&self) -> u64 {
         self.recovered_truncated
+    }
+
+    /// Typed recovery report when open had to drop a torn or corrupt log
+    /// tail (`None` = the log replayed cleanly).
+    pub fn recovery(&self) -> Option<&RecoveredTornTail> {
+        self.recovery.as_ref()
     }
 
     /// Committed patterns in canonical order.
@@ -433,7 +443,7 @@ impl DictStore {
             return Err(BootFallback::NoSidecar);
         };
         let file = snap_path(path);
-        let bytes = match std::fs::read(&file) {
+        let bytes = match vfs::read(&file) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 return Err(BootFallback::NoSidecar);
@@ -506,17 +516,23 @@ impl DictStore {
             log.sync()?;
         }
         self.log = None; // close before replacing (Windows-friendly habit)
-        std::fs::rename(&tmp, &path).map_err(LogError::Io)?;
+        vfs::rename(&tmp, &path).map_err(LogError::Io)?;
+        // The rename is only durable once the parent directory's entry is
+        // on disk too — without this fsync a crash can resurrect the old
+        // (pre-compaction) log or, worse, lose the name entirely.
+        vfs::sync_parent_dir(&path).map_err(LogError::Io)?;
         let (log, _) = LogFile::open(&path)?;
         self.log = Some(log);
         // Emit the loadable snapshot beside the log: v2 (serialized built
         // matcher) when the dictionary is non-empty, identity bytes (v1)
-        // for an empty one — a dynamic inner has no frozen form.
+        // for an empty one — a dynamic inner has no frozen form. Written
+        // atomically so a crash mid-write leaves the previous good sidecar
+        // (or none) rather than a torn one.
         let snap = Snapshot::build_static(ctx, self.epoch, self.live_patterns())?;
         let bytes = snap
             .to_sidecar_bytes()
             .unwrap_or_else(|| crate::snapshot::encode_identity(self.epoch, &self.live_patterns()));
-        std::fs::write(snap_path(&path), bytes).map_err(LogError::Io)?;
+        vfs::atomic_write(&snap_path(&path), &bytes).map_err(LogError::Io)?;
         Ok(report)
     }
 

@@ -1,0 +1,133 @@
+//! Property: truncating a `PDML` log at *every* byte offset of its final
+//! record either replays cleanly (the cut landed on a record boundary)
+//! or recovers by torn-tail truncation — never a panic, never a silently
+//! dropped earlier record, never a phantom record conjured from the torn
+//! bytes.
+
+use pdm_dict::log::{
+    encode_record, replay_bytes, LogFile, Record, TailFault, LOG_MAGIC, LOG_VERSION,
+};
+use pdm_dict::RecoveredTornTail;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn temp_log(name: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "pdm-torn-{}-{}-{}",
+        name,
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("dict.pdml")
+}
+
+/// Decode one scripted record from a `(roll, pattern, epoch)` tuple.
+fn to_record(roll: u32, pat: &[u32], epoch: u64) -> Record {
+    match roll {
+        0 => Record::Add(pat.to_vec()),
+        1 => Record::Remove(pat.to_vec()),
+        _ => Record::Commit(epoch),
+    }
+}
+
+fn header() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&LOG_MAGIC);
+    bytes.extend_from_slice(&LOG_VERSION.to_le_bytes());
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncation_at_every_byte_of_the_final_record_recovers(
+        prefix in proptest::collection::vec(
+            (0u32..3, proptest::collection::vec(0u32..4, 1..8), 0u64..100), 0..6),
+        last in (0u32..3, proptest::collection::vec(0u32..4, 1..8), 0u64..100),
+    ) {
+        let kept: Vec<Record> = prefix
+            .iter()
+            .map(|(r, p, e)| to_record(*r, p, *e))
+            .collect();
+        let final_rec = to_record(last.0, &last.1, last.2);
+
+        let mut bytes = header();
+        for r in &kept {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        let prefix_len = bytes.len();
+        bytes.extend_from_slice(&encode_record(&final_rec));
+        let full_len = bytes.len();
+
+        for cut in prefix_len..=full_len {
+            let replay = replay_bytes(&bytes[..cut])
+                .unwrap_or_else(|e| panic!("replay failed at cut {cut}: {e}"));
+            if cut == full_len {
+                // Cut on the record boundary: fully clean.
+                prop_assert_eq!(replay.records.len(), kept.len() + 1);
+                prop_assert_eq!(&replay.records[kept.len()], &final_rec);
+                prop_assert_eq!(replay.truncated, 0);
+                prop_assert!(replay.recovery.is_none());
+            } else {
+                // Mid-record: every earlier record survives intact, the
+                // torn bytes are dropped, and the report is typed Torn.
+                prop_assert_eq!(&replay.records, &kept,
+                    "cut {} dropped or invented records", cut);
+                prop_assert_eq!(replay.good_len, prefix_len as u64);
+                prop_assert_eq!(replay.truncated, (cut - prefix_len) as u64);
+                match &replay.recovery {
+                    Some(RecoveredTornTail { fault: TailFault::Torn, dropped_bytes, kept_records })
+                        if cut > prefix_len =>
+                    {
+                        prop_assert_eq!(*dropped_bytes, (cut - prefix_len) as u64);
+                        prop_assert_eq!(*kept_records, kept.len());
+                    }
+                    None if cut == prefix_len => {} // zero-byte tail: clean
+                    other => prop_assert!(false, "cut {} misclassified: {:?}", cut, other),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reopening_a_truncated_file_resumes_appends(
+        prefix in proptest::collection::vec(
+            (0u32..3, proptest::collection::vec(0u32..4, 1..8), 0u64..100), 1..4),
+        last in (0u32..3, proptest::collection::vec(0u32..4, 1..8), 0u64..100),
+        chop in 1usize..8,
+    ) {
+        let kept: Vec<Record> = prefix
+            .iter()
+            .map(|(r, p, e)| to_record(*r, p, *e))
+            .collect();
+        let final_rec = to_record(last.0, &last.1, last.2);
+        let mut bytes = header();
+        for r in &kept {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        let prefix_len = bytes.len();
+        bytes.extend_from_slice(&encode_record(&final_rec));
+        let chop = chop.min(bytes.len() - prefix_len);
+        bytes.truncate(bytes.len() - chop);
+
+        let path = temp_log("resume");
+        std::fs::write(&path, &bytes).unwrap();
+        // Open truncates the torn tail and positions for append…
+        let (mut log, replay) = LogFile::open(&path).unwrap();
+        prop_assert_eq!(&replay.records, &kept);
+        prop_assert!(replay.truncated > 0);
+        log.append(&Record::Commit(999)).unwrap();
+        log.sync().unwrap();
+        drop(log);
+        // …and the resumed log replays to kept + the new record.
+        let (_, resumed) = LogFile::open(&path).unwrap();
+        prop_assert_eq!(resumed.truncated, 0);
+        prop_assert_eq!(resumed.records.len(), kept.len() + 1);
+        prop_assert_eq!(&resumed.records[kept.len()], &Record::Commit(999));
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+}

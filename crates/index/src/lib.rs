@@ -34,7 +34,7 @@ pub use disk::DiskError;
 pub use query::{BatchOptions, PatternHits, QueryMode};
 
 use pdm_pram::Ctx;
-use std::io::{Read, Write};
+use pdm_primitives::vfs;
 use std::path::Path;
 
 /// A corpus with its suffix array and LCP array: everything a batch query
@@ -112,17 +112,16 @@ impl CorpusIndex {
         disk::decode(bytes)
     }
 
-    /// Write the sidecar to `path`.
+    /// Write the sidecar to `path` atomically (temp file → fsync → rename
+    /// → fsync parent dir): a crash mid-write leaves any previous good
+    /// sidecar intact instead of a torn, unloadable one.
     pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
-        let mut f = std::fs::File::create(path)?;
-        f.write_all(&self.to_bytes())?;
-        f.sync_all()
+        vfs::atomic_write(path, &self.to_bytes())
     }
 
     /// Read and verify a sidecar from `path`.
     pub fn read_from(path: &Path) -> std::io::Result<Self> {
-        let mut bytes = Vec::new();
-        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        let bytes = vfs::read(path)?;
         Self::from_bytes(&bytes)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }

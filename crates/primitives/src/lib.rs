@@ -22,7 +22,13 @@
 //!   records, index sidecars);
 //! * [`codec`] — the shared sidecar framing (magic + version headers,
 //!   record framing, section tables, CRC trailers) every on-disk format
-//!   reads and writes through.
+//!   reads and writes through;
+//! * [`vfs`] — the injectable disk I/O plane those formats are written
+//!   through: durable atomic file replacement (temp → fsync → rename →
+//!   fsync dir) and, behind the `fault-injection` feature, deterministic
+//!   counter-scheduled disk faults (crash-stop at the Nth op, torn
+//!   writes, failed fsyncs/renames, short reads) for crash-consistency
+//!   testing.
 
 pub mod codec;
 pub mod compact;
@@ -34,6 +40,7 @@ pub mod nearest;
 pub mod radix;
 pub mod scan;
 pub mod table;
+pub mod vfs;
 
 pub use codec::CodecError;
 pub use conc_table::ConcPairTable;

@@ -1,0 +1,144 @@
+//! Unit coverage for the disk-fault plane's deterministic scheduling.
+//!
+//! Lives in its own test binary because fault plans are process-global:
+//! here every test serializes on one mutex, and nothing else in the
+//! process touches the plane.
+
+#![cfg(feature = "fault-injection")]
+
+use pdm_primitives::vfs::{self, faults};
+use std::io::SeekFrom;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+static PLANE: Mutex<()> = Mutex::new(());
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("pdm-vfsfault-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn crash_stop_fails_the_nth_and_every_later_op() {
+    let _g = PLANE.lock().unwrap();
+    let dir = tmp_dir("crash");
+    let path = dir.join("f.bin");
+    faults::install(faults::DiskFaultPlan {
+        crash_at_op: 3,
+        ..Default::default()
+    });
+    // Op 1: create. Op 2: write. Op 3 (sync) crashes, as does all else.
+    let mut f = vfs::VfsFile::create(&path).unwrap();
+    f.write_all(b"abc").unwrap();
+    let err = f.sync_data().unwrap_err();
+    assert!(err.to_string().contains("injected disk fault"), "{err}");
+    assert!(f.write_all(b"more").is_err(), "crashed plane stays down");
+    assert!(vfs::rename(&path, &dir.join("g.bin")).is_err());
+    let c = faults::counts();
+    assert!(c.crashed);
+    assert!(c.ops >= 3);
+    faults::clear();
+    assert_eq!(faults::counts(), faults::DiskFaultCounts::default());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_write_persists_a_prefix_then_fails() {
+    let _g = PLANE.lock().unwrap();
+    let dir = tmp_dir("torn");
+    let path = dir.join("f.bin");
+    faults::install(faults::DiskFaultPlan {
+        crash_at_op: 2, // create is op 1; the write is op 2
+        crash_torn_bytes: 4,
+        ..Default::default()
+    });
+    let mut f = vfs::VfsFile::create(&path).unwrap();
+    assert!(f.write_all(b"abcdefgh").is_err());
+    faults::clear();
+    drop(f);
+    assert_eq!(vfs::read(&path).unwrap(), b"abcd", "torn prefix landed");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn counter_scheduled_write_failures_respect_budget() {
+    let _g = PLANE.lock().unwrap();
+    let dir = tmp_dir("sched");
+    let path = dir.join("f.bin");
+    faults::install(faults::DiskFaultPlan {
+        fail_write_every: 2,
+        fail_write_max: 1,
+        ..Default::default()
+    });
+    let mut f = vfs::VfsFile::create(&path).unwrap();
+    assert!(f.write_all(b"1").is_ok(), "write 1 passes");
+    assert!(f.write_all(b"2").is_err(), "write 2 fails by schedule");
+    assert!(f.write_all(b"3").is_ok());
+    assert!(f.write_all(b"4").is_ok(), "budget of 1 already spent");
+    assert_eq!(faults::counts().injected, 1);
+    faults::clear();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn short_read_truncates_and_atomic_write_survives_crash() {
+    let _g = PLANE.lock().unwrap();
+    let dir = tmp_dir("short");
+    let path = dir.join("a.bin");
+    vfs::atomic_write(&path, b"full contents here").unwrap();
+
+    faults::install(faults::DiskFaultPlan {
+        short_read_every: 1,
+        short_read_bytes: 4,
+        ..Default::default()
+    });
+    assert_eq!(vfs::read(&path).unwrap(), b"full");
+    faults::clear();
+    assert_eq!(vfs::read(&path).unwrap(), b"full contents here");
+
+    // Crash at every op of an atomic_write: the destination always holds
+    // either the old bytes or (only once all four steps ran) the new.
+    for at in 1..=6 {
+        faults::install(faults::DiskFaultPlan {
+            crash_at_op: at,
+            crash_torn_bytes: 3,
+            ..Default::default()
+        });
+        let r = vfs::atomic_write(&path, b"REPLACED");
+        faults::clear();
+        let now = vfs::read(&path).unwrap();
+        if r.is_ok() {
+            assert_eq!(now, b"REPLACED");
+        } else {
+            assert!(
+                now == b"full contents here" || now == b"REPLACED",
+                "torn destination after crash at op {at}: {now:?}"
+            );
+        }
+        vfs::atomic_write(&path, b"full contents here").unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mutating_ops_are_counted_for_enumeration() {
+    let _g = PLANE.lock().unwrap();
+    let dir = tmp_dir("count");
+    let path = dir.join("c.bin");
+    faults::install(faults::DiskFaultPlan::default());
+    vfs::atomic_write(&path, b"x").unwrap();
+    // create + write + sync + rename + syncdir = 5 mutating ops.
+    assert_eq!(faults::counts().ops, 5);
+    faults::clear();
+
+    // Sanity for the non-mutating path: seek + read count nothing.
+    faults::install(faults::DiskFaultPlan::default());
+    let mut f = vfs::VfsFile::open_rw(&path).unwrap();
+    f.seek(SeekFrom::Start(0)).unwrap();
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf).unwrap();
+    assert_eq!(faults::counts().ops, 0);
+    faults::clear();
+    std::fs::remove_dir_all(&dir).ok();
+}

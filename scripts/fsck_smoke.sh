@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# fsck smoke for CI: corrupt a real store three ways and prove `pdm fsck`
+# detects each one (exit 1) and `--repair` restores a bootable store
+# (exit 0, and `pdm match --dict-log` still answers correctly).
+#
+# The three corruption modes:
+#   1. torn log tail  — half a record appended, as a crash mid-append leaves;
+#   2. corrupt sidecar — a bit flipped inside the PDMS v2 snapshot;
+#   3. stray temp file — a `.tmp` stranded by an interrupted atomic write.
+#
+# Usage: scripts/fsck_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+cargo build --release --bin pdm
+bin=target/release/pdm
+
+log="$tmp/dict.pdml"
+snap="$tmp/dict.pdml.snap"
+printf 'ushers' >"$tmp/text.bin"
+
+for p in he she hers; do
+    "$bin" dict add --pattern "$p" --log "$log" >/dev/null
+done
+"$bin" dict commit --log "$log" >/dev/null
+"$bin" dict compact --log "$log" >/dev/null
+test -f "$snap"
+
+# A healthy store: exit 0, cold-load boot path reported.
+"$bin" fsck --log "$log" | tee "$tmp/healthy.out"
+grep -q "cold-load" "$tmp/healthy.out"
+
+expected_matches() {
+    "$bin" match --dict-log "$log" --text "$tmp/text.bin" | grep -v '^#'
+}
+expected_matches >"$tmp/expected.out"
+
+# --- 1. torn log tail ---------------------------------------------------
+python3 - "$log" <<'EOF'
+import sys
+with open(sys.argv[1], 'ab') as f:
+    f.write(b'\x01\x0c\x00\x00\x00')  # half a record header
+EOF
+if "$bin" fsck --log "$log" >"$tmp/torn.out" 2>&1; then
+    echo "fsck missed the torn tail" >&2
+    exit 1
+fi
+grep -q "torn" "$tmp/torn.out"
+"$bin" fsck --log "$log" --repair | grep -q "repaired"
+"$bin" fsck --log "$log" >/dev/null # exit 0 after repair
+diff "$tmp/expected.out" <(expected_matches)
+
+# --- 2. corrupt sidecar -------------------------------------------------
+python3 - "$snap" <<'EOF'
+import sys
+p = sys.argv[1]
+b = bytearray(open(p, 'rb').read())
+b[len(b) // 2] ^= 0x20
+open(p, 'wb').write(b)
+EOF
+if "$bin" fsck --log "$log" >"$tmp/snapbad.out" 2>&1; then
+    echo "fsck missed the corrupt sidecar" >&2
+    exit 1
+fi
+grep -q "unreadable" "$tmp/snapbad.out"
+"$bin" fsck --log "$log" --repair | grep -q "quarantine"
+test -f "$snap.corrupt"          # quarantined, not deleted
+test ! -f "$snap"
+"$bin" fsck --log "$log" >"$tmp/after2.out"
+grep -q "rebuild (no sidecar)" "$tmp/after2.out"
+diff "$tmp/expected.out" <(expected_matches)
+
+# Re-emit a fresh sidecar for the last scenario.
+"$bin" dict compact --log "$log" >/dev/null
+
+# --- 3. stray temp file -------------------------------------------------
+printf 'half-written snapshot bytes' >"$snap.tmp"
+if "$bin" fsck --log "$log" >"$tmp/stray.out" 2>&1; then
+    echo "fsck missed the stray temp file" >&2
+    exit 1
+fi
+grep -q "stray temp" "$tmp/stray.out"
+"$bin" fsck --log "$log" --repair >/dev/null
+test ! -f "$snap.tmp"
+"$bin" fsck --log "$log" | tee "$tmp/final.out"
+grep -q "bootable" "$tmp/final.out"
+diff "$tmp/expected.out" <(expected_matches)
+
+echo "fsck smoke: OK"

@@ -126,6 +126,14 @@ pub enum Command {
     SnapInspect {
         file: String,
     },
+    /// Deep-validate (and optionally repair) on-disk stores: a dictionary
+    /// log + its `.snap` sidecar (`--log`) and/or a `PDMX` corpus-index
+    /// sidecar (`--index`).
+    Fsck {
+        log: Option<String>,
+        index: Option<String>,
+        repair: bool,
+    },
     /// Answer a pattern batch from a prebuilt sidecar.
     Query {
         index: String,
@@ -173,6 +181,7 @@ USAGE:
   pdm gen    --out <file> --bytes <n> [--seed S] [--markov | --corpus genome|log]
              [--patterns-out <file> [--pattern-count K]]
   pdm snap   inspect --file <sidecar>
+  pdm fsck   (--log <file> | --index <file.pdmx>) [--repair]
   pdm index  --text <corpus> --out <file.pdmx> [--threads N]
   pdm query  --index <file.pdmx> --patterns <file> [--threads N]
              [--locate] [--no-merge] [--verify]
@@ -209,6 +218,13 @@ boot from a fresh snapshot in O(file size) with no rebuild, and fall back
 to rebuilding when it is missing, legacy, corrupt, or stale.
 `snap inspect` prints any sidecar's magic, version, CRC status, and
 sections (`.snap` snapshots, `.pdmx` corpus indexes, `.pdml` dict logs).
+`fsck` deep-validates a store — log header and every record CRC, a replay
+simulation catching CRC-valid-but-inconsistent op streams, sidecar
+freshness against the log, stray temp files — and reports which boot path
+the store would take. `--repair` performs the safe repairs: truncate a
+torn log tail, quarantine a corrupt sidecar to `*.corrupt`, sweep `*.tmp`
+leftovers. Exit 0 = healthy/bootable, 1 = findings (or unbootable), 2 =
+fatal. Stale sidecars are informational: boot falls back to a rebuild.
 ";
 
 /// Parse argv (excluding the program name).
@@ -263,6 +279,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
     let mut no_merge = false;
     let mut verify = false;
     let mut file = None;
+    let mut repair = false;
     while let Some(a) = it.next() {
         let mut need = |name: &str| -> Result<String, UsageError> {
             it.next()
@@ -360,6 +377,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             "--no-merge" => no_merge = true,
             "--verify" => verify = true,
             "--file" => file = Some(need("--file")?),
+            "--repair" => repair = true,
             other => return Err(UsageError(format!("unknown flag: {other}"))),
         }
     }
@@ -506,6 +524,12 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
         "snap" => Ok(Command::SnapInspect {
             file: want(file, "--file")?,
         }),
+        "fsck" => {
+            if log.is_none() && index.is_none() {
+                return Err(UsageError("fsck requires --log and/or --index".into()));
+            }
+            Ok(Command::Fsck { log, index, repair })
+        }
         "query" => Ok(Command::Query {
             index: want(index, "--index")?,
             patterns: want(patterns, "--patterns")?,
@@ -726,7 +750,9 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
                 }
             };
             let bytes = m.to_bytes();
-            match std::fs::write(&out, &bytes) {
+            // Atomic + durable: a crash mid-write must not tear a
+            // previously good index at the same path.
+            match pdm_primitives::vfs::atomic_write(std::path::Path::new(&out), &bytes) {
                 Ok(()) => {
                     writeln!(
                         w,
@@ -941,7 +967,7 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
             let idx = pdm_index::CorpusIndex::build(&ctx, txt);
             let build_ms = t0.elapsed().as_secs_f64() * 1e3;
             let bytes = idx.to_bytes();
-            if let Err(e) = std::fs::write(&out, &bytes) {
+            if let Err(e) = pdm_primitives::vfs::atomic_write(std::path::Path::new(&out), &bytes) {
                 writeln!(w, "error: {out}: {e}")?;
                 return Ok(2);
             }
@@ -1145,7 +1171,114 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
         }
         Command::Dict { op, target } => run_dict(op, target, w),
         Command::SnapInspect { file } => run_snap_inspect(&file, w),
+        Command::Fsck { log, index, repair } => run_fsck(log, index, repair, w),
     }
+}
+
+/// `pdm fsck`: deep validation and repair (see USAGE for semantics).
+fn run_fsck(
+    log: Option<String>,
+    index: Option<String>,
+    repair: bool,
+    w: &mut impl Write,
+) -> std::io::Result<i32> {
+    let mut exit = 0i32;
+    if let Some(path) = log {
+        let report = match pdm_dict::fsck_store(std::path::Path::new(&path), repair) {
+            Ok(r) => r,
+            Err(e) => {
+                writeln!(w, "error: {path}: {e}")?;
+                return Ok(2);
+            }
+        };
+        for f in &report.findings {
+            writeln!(w, "{f}")?;
+        }
+        writeln!(
+            w,
+            "{path}: {}, boot path: {}",
+            if report.bootable {
+                "bootable"
+            } else {
+                "NOT bootable"
+            },
+            report.boot_path
+        )?;
+        if report.unrepaired() > 0 || !report.bootable {
+            exit = 1;
+        }
+    }
+    if let Some(path) = index {
+        match run_fsck_index(&path, repair, w)? {
+            0 => {}
+            code => exit = exit.max(code),
+        }
+    }
+    Ok(exit)
+}
+
+/// The `--index` half of fsck: verify a `PDMX` sidecar end to end (full
+/// decode, whole-file CRC), quarantine it on `--repair` if it fails, and
+/// sweep a stray `.tmp` from an interrupted atomic write.
+fn run_fsck_index(path: &str, repair: bool, w: &mut impl Write) -> std::io::Result<i32> {
+    use pdm_primitives::vfs;
+    let p = std::path::Path::new(path);
+    let mut exit = 0i32;
+    match vfs::read(p) {
+        Err(e) => {
+            writeln!(w, "error: {path}: {e}")?;
+            return Ok(2);
+        }
+        Ok(bytes) => match pdm_index::CorpusIndex::from_bytes(&bytes) {
+            Ok(idx) => {
+                writeln!(
+                    w,
+                    "{path}: ok ({} symbols, {} bytes, crc OK)",
+                    idx.len(),
+                    bytes.len()
+                )?;
+            }
+            Err(e) => {
+                if repair {
+                    let mut os = p.as_os_str().to_owned();
+                    os.push(".corrupt");
+                    let dest = std::path::PathBuf::from(os);
+                    vfs::rename(p, &dest)?;
+                    vfs::sync_parent_dir(p)?;
+                    writeln!(
+                        w,
+                        "error: {path}: sidecar unreadable ({e}) [repaired: quarantined to {}]",
+                        dest.display()
+                    )?;
+                } else {
+                    writeln!(
+                        w,
+                        "error: {path}: sidecar unreadable ({e}) [repairable: quarantine to *.corrupt]"
+                    )?;
+                    exit = 1;
+                }
+            }
+        },
+    }
+    let tmp = vfs::tmp_path(p);
+    if tmp.exists() {
+        if repair {
+            vfs::remove_file(&tmp)?;
+            writeln!(
+                w,
+                "warn: {}: stray temp file [repaired: removed]",
+                tmp.display()
+            )?;
+        } else {
+            writeln!(
+                w,
+                "warn: {}: stray temp file from an interrupted atomic write [repairable: remove]",
+                tmp.display()
+            )?;
+            exit = 1;
+        }
+    }
+    Ok(exit)
 }
 
 /// `pdm match --dict-log`: serve the committed epoch of a versioned log,
@@ -1708,6 +1841,112 @@ mod tests {
         .unwrap();
         assert_eq!(code, 2);
         assert!(String::from_utf8(out).unwrap().contains("checksum"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parses_fsck() {
+        let c = parse(&args(&["fsck", "--log", "d.pdml", "--repair"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Fsck {
+                log: Some("d.pdml".into()),
+                index: None,
+                repair: true,
+            }
+        );
+        let c = parse(&args(&["fsck", "--index", "c.pdmx"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Fsck {
+                log: None,
+                index: Some("c.pdmx".into()),
+                repair: false,
+            }
+        );
+        assert!(parse(&args(&["fsck"])).is_err(), "needs a target");
+    }
+
+    #[test]
+    fn end_to_end_fsck_detects_and_repairs() {
+        let dir = std::env::temp_dir().join(format!("pdm-cli-fsck-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let lpath = dir.join("dict.pdml");
+        let log_s: String = lpath.to_string_lossy().into();
+
+        // Seed a committed, compacted store through the dict subcommands.
+        for op in [
+            DictOp::Add {
+                pattern: "he".into(),
+            },
+            DictOp::Add {
+                pattern: "she".into(),
+            },
+            DictOp::Commit,
+            DictOp::Compact,
+        ] {
+            let mut out = Vec::new();
+            assert_eq!(
+                run_dict(op, DictTarget::Log(log_s.clone()), &mut out).unwrap(),
+                0
+            );
+        }
+
+        // Healthy: exit 0, cold-load boot path reported.
+        let mut out = Vec::new();
+        let code = run_fsck(Some(log_s.clone()), None, false, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert_eq!(code, 0, "{s}");
+        assert!(s.contains("bootable"), "{s}");
+        assert!(s.contains("cold-load"), "{s}");
+
+        // Tear the tail: fsck flags it (exit 1), --repair truncates it.
+        let mut bytes = std::fs::read(&lpath).unwrap();
+        bytes.extend_from_slice(&[0xAB; 5]);
+        std::fs::write(&lpath, &bytes).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(
+            run_fsck(Some(log_s.clone()), None, false, &mut out).unwrap(),
+            1
+        );
+        let mut out = Vec::new();
+        assert_eq!(
+            run_fsck(Some(log_s.clone()), None, true, &mut out).unwrap(),
+            0
+        );
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("repaired"), "{s}");
+        // And the repaired store still serves matches.
+        let mut out = Vec::new();
+        assert_eq!(
+            run_dict(DictOp::Info, DictTarget::Log(log_s.clone()), &mut out).unwrap(),
+            0
+        );
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("2 patterns"), "{s}");
+
+        // PDMX half: a bit-flipped sidecar is exit 1, repair quarantines.
+        let ipath = dir.join("c.pdmx");
+        let idx = pdm_index::CorpusIndex::build_from_bytes(&Ctx::seq(), b"abracadabra");
+        idx.write_to(&ipath).unwrap();
+        let ipath_s: String = ipath.to_string_lossy().into();
+        let mut out = Vec::new();
+        assert_eq!(
+            run_fsck(None, Some(ipath_s.clone()), false, &mut out).unwrap(),
+            0
+        );
+        let mut bytes = std::fs::read(&ipath).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&ipath, &bytes).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(
+            run_fsck(None, Some(ipath_s.clone()), false, &mut out).unwrap(),
+            1
+        );
+        let mut out = Vec::new();
+        assert_eq!(run_fsck(None, Some(ipath_s), true, &mut out).unwrap(), 0);
+        assert!(!ipath.exists(), "quarantined away");
         std::fs::remove_dir_all(&dir).ok();
     }
 
