@@ -26,6 +26,13 @@
 //!   EMFILE shape), exercising the accept loop's capped backoff.
 //! * [`hook_conn_frame`] — before each frame read on a connection: can
 //!   stall the read (slow-read injection) or hard-reset the socket.
+//! * [`hook_reactor_wait`] — before each reactor `poll` wait: can force a
+//!   spurious wakeup (waker fires with nothing to do) or simulate the
+//!   wait returning `EINTR` (signal delivery), exercising the loop's
+//!   zero-event paths.
+//! * [`hook_accept_overflow`] — inside the accept burst: synthesizes the
+//!   `ECONNABORTED` an overflowing accept queue produces (the peer gave
+//!   up while queued); the drain must skip it and keep accepting.
 
 use std::time::Duration;
 
@@ -37,6 +44,17 @@ pub enum ConnFault {
     Stall(Duration),
     /// Hard-close the socket mid-session (reset injection).
     Reset,
+}
+
+/// What to do to a reactor before its next `poll` wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitFault {
+    None,
+    /// Fire the reactor's own waker first: the wait returns immediately
+    /// with a wakeup that carries no work (spurious-wakeup injection).
+    Spurious,
+    /// Skip the wait as if `epoll_wait` returned `EINTR` (zero events).
+    Eintr,
 }
 
 /// Fault plan: `*_every = 0` disables a fault; `*_max = 0` = unlimited.
@@ -68,6 +86,16 @@ pub struct FaultConfig {
     /// (+ jitter) — builds real queue backpressure.
     pub queue_stall_every: u64,
     pub queue_stall_ms: u64,
+    /// Spurious-wake the reactor before every Nth `poll` wait.
+    pub spurious_wake_every: u64,
+    pub spurious_wake_max: u64,
+    /// Make every Nth reactor `poll` wait behave as `EINTR` (zero events).
+    pub wait_eintr_every: u64,
+    pub wait_eintr_max: u64,
+    /// Synthesize an `ECONNABORTED` on every Nth accepted connection
+    /// (accept-queue overflow shape: the queued peer gave up).
+    pub accept_overflow_every: u64,
+    pub accept_overflow_max: u64,
 }
 
 /// How many faults of each kind actually fired since [`install`].
@@ -80,11 +108,14 @@ pub struct FaultCounts {
     pub conn_resets: u64,
     pub read_stalls: u64,
     pub queue_stalls: u64,
+    pub spurious_wakes: u64,
+    pub wait_eintrs: u64,
+    pub accept_overflows: u64,
 }
 
 #[cfg(feature = "fault-injection")]
 mod imp {
-    use super::{ConnFault, FaultConfig, FaultCounts};
+    use super::{ConnFault, FaultConfig, FaultCounts, WaitFault};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -133,6 +164,9 @@ mod imp {
         reset: Counter,
         read_stall: Counter,
         queue_stall: Counter,
+        spurious: Counter,
+        eintr: Counter,
+        overflow: Counter,
     }
 
     static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -157,6 +191,9 @@ mod imp {
             reset: Counter::default(),
             read_stall: Counter::default(),
             queue_stall: Counter::default(),
+            spurious: Counter::default(),
+            eintr: Counter::default(),
+            overflow: Counter::default(),
         };
         *STATE.lock().unwrap() = Some(Arc::new(inner));
         ENABLED.store(true, Ordering::SeqCst);
@@ -178,6 +215,9 @@ mod imp {
             conn_resets: s.reset.fired.load(Ordering::SeqCst),
             read_stalls: s.read_stall.fired.load(Ordering::SeqCst),
             queue_stalls: s.queue_stall.fired.load(Ordering::SeqCst),
+            spurious_wakes: s.spurious.fired.load(Ordering::SeqCst),
+            wait_eintrs: s.eintr.fired.load(Ordering::SeqCst),
+            accept_overflows: s.overflow.fired.load(Ordering::SeqCst),
         })
     }
 
@@ -236,6 +276,32 @@ mod imp {
         ConnFault::None
     }
 
+    pub fn hook_reactor_wait() -> WaitFault {
+        if let Some(s) = state() {
+            if s.eintr.fire(s.cfg.wait_eintr_every, s.cfg.wait_eintr_max) {
+                return WaitFault::Eintr;
+            }
+            if s.spurious
+                .fire(s.cfg.spurious_wake_every, s.cfg.spurious_wake_max)
+            {
+                return WaitFault::Spurious;
+            }
+        }
+        WaitFault::None
+    }
+
+    pub fn hook_accept_overflow() -> Option<std::io::Error> {
+        let s = state()?;
+        s.overflow
+            .fire(s.cfg.accept_overflow_every, s.cfg.accept_overflow_max)
+            .then(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "injected fault: accept-queue overflow (synthetic ECONNABORTED)",
+                )
+            })
+    }
+
     /// Silence the default panic hook for injected panics (the supervisor
     /// catches them; the stderr backtraces are pure noise in chaos runs).
     /// Idempotent; chains to the previous hook for genuine panics.
@@ -265,7 +331,7 @@ mod imp {
 
 #[cfg(not(feature = "fault-injection"))]
 mod imp {
-    use super::{ConnFault, FaultConfig, FaultCounts};
+    use super::{ConnFault, FaultConfig, FaultCounts, WaitFault};
 
     #[inline(always)]
     pub fn install(_cfg: FaultConfig) {}
@@ -295,6 +361,16 @@ mod imp {
     #[inline(always)]
     pub fn hook_conn_frame() -> ConnFault {
         ConnFault::None
+    }
+
+    #[inline(always)]
+    pub fn hook_reactor_wait() -> WaitFault {
+        WaitFault::None
+    }
+
+    #[inline(always)]
+    pub fn hook_accept_overflow() -> Option<std::io::Error> {
+        None
     }
 
     #[inline(always)]

@@ -44,6 +44,7 @@ pub mod client;
 pub mod faults;
 pub mod metrics;
 pub mod proto;
+pub mod reactor;
 pub mod server;
 pub mod service;
 pub mod stream;
@@ -51,9 +52,9 @@ pub mod stream;
 pub use admin::DictAdmin;
 pub use client::{ClientStats, ClientSummary, RetryConfig, RetryingClient};
 pub use metrics::{GlobalMetrics, GlobalSnapshot, SessionCounters, SessionSnapshot};
-pub use server::{Server, ServerConfig};
+pub use server::{ServeMode, Server, ServerConfig};
 pub use service::{
-    Event, PushError, ServiceConfig, Session, SessionOptions, SessionSummary, ShardedService,
-    TryPushError,
+    Event, PushError, ServiceConfig, Session, SessionNotify, SessionOptions, SessionSummary,
+    ShardedService, TryPushError,
 };
 pub use stream::{StreamDict, StreamMatch, StreamMatcher};

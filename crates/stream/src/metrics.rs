@@ -78,6 +78,11 @@ pub struct GlobalMetrics {
     epoch_adoptions: AtomicU64,
     dict_applies_incremental: AtomicU64,
     dict_rebuilds_full: AtomicU64,
+    reactor_wakeups: AtomicU64,
+    reactor_events: AtomicU64,
+    frames_decoded: AtomicU64,
+    partial_writes: AtomicU64,
+    timer_expirations: AtomicU64,
 }
 
 /// A point-in-time copy of [`GlobalMetrics`].
@@ -106,6 +111,91 @@ pub struct GlobalSnapshot {
     pub dict_applies_incremental: u64,
     /// Commits that ran a full parallel rebuild.
     pub dict_rebuilds_full: u64,
+    /// Reactor-loop iterations (returns from `poll`, including timeouts,
+    /// spurious wakeups, and `EINTR`). Serve-mode `reactor` only.
+    pub reactor_wakeups: u64,
+    /// Readiness events delivered across all wakeups;
+    /// `reactor_events / reactor_wakeups` is the ready-events-per-wakeup
+    /// ratio (higher = better syscall amortization).
+    pub reactor_events: u64,
+    /// Complete client frames decoded from per-connection read buffers.
+    pub frames_decoded: u64,
+    /// Socket writes that hit `WouldBlock` mid-frame and parked the rest
+    /// behind an `EPOLLOUT`-style writable subscription.
+    pub partial_writes: u64,
+    /// Timer-wheel entries that fired (idle-timeout checks).
+    pub timer_expirations: u64,
+}
+
+impl GlobalSnapshot {
+    /// Number of counters in [`Self::named_fields`] (the wire-stats field
+    /// count; see [`crate::proto::encode_stats`]).
+    pub const FIELD_COUNT: usize = 24;
+
+    /// Every counter as a `(name, value)` pair, in a fixed order shared by
+    /// the wire encoding and the `pdm stats` output.
+    pub fn named_fields(&self) -> [(&'static str, u64); Self::FIELD_COUNT] {
+        [
+            ("chunks", self.chunks),
+            ("bytes", self.bytes),
+            ("matches", self.matches),
+            ("sessions_opened", self.sessions_opened),
+            ("sessions_closed", self.sessions_closed),
+            ("queue_depth", self.queue_depth),
+            ("queue_depth_max", self.queue_depth_max),
+            ("stalls", self.stalls),
+            ("conns_shed", self.conns_shed),
+            ("read_timeouts", self.read_timeouts),
+            ("truncated_frames", self.truncated_frames),
+            ("accept_retries", self.accept_retries),
+            ("worker_restarts", self.worker_restarts),
+            ("sessions_failed", self.sessions_failed),
+            ("drain_forced", self.drain_forced),
+            ("epoch_swaps", self.epoch_swaps),
+            ("epoch_adoptions", self.epoch_adoptions),
+            ("dict_applies_incremental", self.dict_applies_incremental),
+            ("dict_rebuilds_full", self.dict_rebuilds_full),
+            ("reactor_wakeups", self.reactor_wakeups),
+            ("reactor_events", self.reactor_events),
+            ("frames_decoded", self.frames_decoded),
+            ("partial_writes", self.partial_writes),
+            ("timer_expirations", self.timer_expirations),
+        ]
+    }
+
+    /// Rebuild a snapshot from values in [`Self::named_fields`] order.
+    /// Extra trailing values (a newer peer) are ignored; too few is `None`.
+    pub fn from_values(vals: &[u64]) -> Option<GlobalSnapshot> {
+        if vals.len() < Self::FIELD_COUNT {
+            return None;
+        }
+        Some(GlobalSnapshot {
+            chunks: vals[0],
+            bytes: vals[1],
+            matches: vals[2],
+            sessions_opened: vals[3],
+            sessions_closed: vals[4],
+            queue_depth: vals[5],
+            queue_depth_max: vals[6],
+            stalls: vals[7],
+            conns_shed: vals[8],
+            read_timeouts: vals[9],
+            truncated_frames: vals[10],
+            accept_retries: vals[11],
+            worker_restarts: vals[12],
+            sessions_failed: vals[13],
+            drain_forced: vals[14],
+            epoch_swaps: vals[15],
+            epoch_adoptions: vals[16],
+            dict_applies_incremental: vals[17],
+            dict_rebuilds_full: vals[18],
+            reactor_wakeups: vals[19],
+            reactor_events: vals[20],
+            frames_decoded: vals[21],
+            partial_writes: vals[22],
+            timer_expirations: vals[23],
+        })
+    }
 }
 
 impl GlobalMetrics {
@@ -179,6 +269,29 @@ impl GlobalMetrics {
         self.epoch_adoptions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One reactor-loop iteration finished a wait that delivered `events`
+    /// readiness events (0 for timeouts/spurious wakeups/`EINTR`).
+    pub fn reactor_wakeup(&self, events: u64) {
+        self.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+        self.reactor_events.fetch_add(events, Ordering::Relaxed);
+    }
+
+    /// A complete client frame was decoded from a connection read buffer.
+    pub fn frame_decoded(&self) {
+        self.frames_decoded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A socket write stopped at `WouldBlock` with bytes still pending
+    /// (the connection subscribed to writability for the rest).
+    pub fn partial_write(&self) {
+        self.partial_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A timer-wheel entry fired.
+    pub fn timer_expired(&self) {
+        self.timer_expirations.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A chunk entered a shard queue.
     pub fn enqueued(&self) {
         let d = self.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
@@ -211,6 +324,11 @@ impl GlobalMetrics {
             epoch_adoptions: self.epoch_adoptions.load(Ordering::Relaxed),
             dict_applies_incremental: self.dict_applies_incremental.load(Ordering::Relaxed),
             dict_rebuilds_full: self.dict_rebuilds_full.load(Ordering::Relaxed),
+            reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
+            reactor_events: self.reactor_events.load(Ordering::Relaxed),
+            frames_decoded: self.frames_decoded.load(Ordering::Relaxed),
+            partial_writes: self.partial_writes.load(Ordering::Relaxed),
+            timer_expirations: self.timer_expirations.load(Ordering::Relaxed),
         }
     }
 }

@@ -38,6 +38,7 @@
 
 use std::io::{self, Read, Write};
 
+use crate::metrics::GlobalSnapshot;
 use crate::service::SessionSummary;
 use crate::stream::StreamMatch;
 
@@ -61,6 +62,10 @@ pub const TAG_DICT_REMOVE: u8 = 0x11;
 pub const TAG_DICT_COMMIT: u8 = 0x12;
 /// Request a [`TAG_DICT_INFO_RESP`] (empty payload).
 pub const TAG_DICT_INFO: u8 = 0x13;
+/// Request a [`TAG_STATS_RESP`] with the server's global counters (empty
+/// payload). Valid on any connection at any frame boundary — `pdm stats`
+/// opens a connection, sends this, reads the reply, and closes.
+pub const TAG_STATS: u8 = 0x14;
 
 // Dictionary administration (server → client).
 /// Admin op succeeded: `[epoch: u64 LE]` (the epoch after the op).
@@ -69,6 +74,10 @@ pub const TAG_DICT_OK: u8 = 0x90;
 pub const TAG_DICT_ERR: u8 = 0x91;
 /// Reply to [`TAG_DICT_INFO`]; see [`DictInfo`].
 pub const TAG_DICT_INFO_RESP: u8 = 0x92;
+/// Reply to [`TAG_STATS`]: `[count: u32 LE][count × u64 LE]` in
+/// [`GlobalSnapshot::named_fields`] order. The count prefix lets an old
+/// client read a newer server (extra fields ignored).
+pub const TAG_STATS_RESP: u8 = 0x93;
 
 /// Server → client, streaming sessions only: the session adopted a new
 /// dictionary epoch at a chunk boundary. Payload is
@@ -123,6 +132,100 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
     let mut payload = vec![0u8; len as usize];
     read_exact_in_frame(r, &mut payload, "payload")?;
     Ok(Some((tag[0], payload)))
+}
+
+/// Incremental frame decoder for non-blocking sockets: [`Self::feed`]
+/// whatever bytes a read produced, then pull complete frames with
+/// [`Self::next_frame`]. Byte-split-invariant: any partition of a frame
+/// stream across `feed` calls yields exactly the frames (and errors) that
+/// [`read_frame`] would produce on the whole stream — the reactor's
+/// per-connection read path and the proptests in `tests/frame_decode.rs`
+/// rely on this.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted lazily to amortize the memmove).
+    pos: usize,
+    /// A decode error desynchronizes the stream for good; latch it.
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append bytes read from the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing: keep the buffer bounded by
+        // MAX_FRAME + header, not by history.
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Decode the next complete frame. `Ok(None)` = need more bytes.
+    /// Errors match [`read_frame`]'s classification (an oversized length
+    /// prefix is `InvalidData`) and are sticky: once the stream is
+    /// desynchronized no further frames can be trusted.
+    pub fn next_frame(&mut self) -> io::Result<Option<(u8, Vec<u8>)>> {
+        if self.poisoned {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame stream desynchronized by an earlier decode error",
+            ));
+        }
+        let avail = self.buf.len() - self.pos;
+        if avail < 5 {
+            return Ok(None);
+        }
+        let tag = self.buf[self.pos];
+        let len = u32::from_le_bytes(self.buf[self.pos + 1..self.pos + 5].try_into().unwrap());
+        if len > MAX_FRAME {
+            self.poisoned = true;
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {len} bytes exceeds MAX_FRAME"),
+            ));
+        }
+        let total = 5 + len as usize;
+        if avail < total {
+            return Ok(None);
+        }
+        let payload = self.buf[self.pos + 5..self.pos + total].to_vec();
+        self.pos += total;
+        Ok(Some((tag, payload)))
+    }
+
+    /// Bytes buffered but not yet consumed as frames. Non-zero at EOF
+    /// means the peer died mid-frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True iff EOF *now* would be a truncation, not a clean close.
+    pub fn mid_frame(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    /// The error [`read_frame`] would report for EOF at the current
+    /// position (callers use it when the socket closes mid-frame).
+    pub fn truncation_error(&self) -> io::Error {
+        let what = if self.buffered() < 5 {
+            "length prefix"
+        } else {
+            "payload"
+        };
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!("truncated frame: EOF in {what}"),
+        )
+    }
 }
 
 fn read_exact_in_frame(r: &mut impl Read, buf: &mut [u8], what: &str) -> io::Result<()> {
@@ -240,6 +343,35 @@ pub fn decode_epoch(p: &[u8]) -> Option<EpochChange> {
         epoch: u64::from_le_bytes(p[..8].try_into().ok()?),
         max_pattern_len: u32::from_le_bytes(p[8..].try_into().ok()?),
     })
+}
+
+/// Encode a [`TAG_STATS_RESP`] payload: count-prefixed u64 counters in
+/// [`GlobalSnapshot::named_fields`] order.
+pub fn encode_stats(s: &GlobalSnapshot) -> Vec<u8> {
+    let fields = s.named_fields();
+    let mut b = Vec::with_capacity(4 + fields.len() * 8);
+    b.extend_from_slice(&(fields.len() as u32).to_le_bytes());
+    for (_, v) in fields {
+        b.extend_from_slice(&v.to_le_bytes());
+    }
+    b
+}
+
+/// Decode a [`TAG_STATS_RESP`] payload. Tolerates a newer server sending
+/// extra trailing counters; rejects short or inconsistent payloads.
+pub fn decode_stats(p: &[u8]) -> Option<GlobalSnapshot> {
+    if p.len() < 4 {
+        return None;
+    }
+    let count = u32::from_le_bytes(p[..4].try_into().ok()?) as usize;
+    if p.len() != 4 + count * 8 {
+        return None;
+    }
+    let vals: Vec<u64> = p[4..]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    GlobalSnapshot::from_values(&vals)
 }
 
 /// Decoded [`TAG_DICT_INFO_RESP`] payload: the served dictionary's state.
@@ -362,6 +494,82 @@ mod tests {
         };
         assert_eq!(decode_dict_info(&encode_dict_info(&i)), Some(i));
         assert_eq!(decode_dict_info(&[0u8; 19]), None);
+    }
+
+    #[test]
+    fn stats_roundtrip_and_forward_compat() {
+        let s = GlobalSnapshot {
+            chunks: 7,
+            bytes: 1 << 40,
+            reactor_wakeups: 42,
+            timer_expirations: 3,
+            ..Default::default()
+        };
+        assert_eq!(decode_stats(&encode_stats(&s)), Some(s));
+        // A newer server with one extra counter still decodes.
+        let mut extended = encode_stats(&s);
+        let count = GlobalSnapshot::FIELD_COUNT as u32 + 1;
+        extended[..4].copy_from_slice(&count.to_le_bytes());
+        extended.extend_from_slice(&99u64.to_le_bytes());
+        assert_eq!(decode_stats(&extended), Some(s));
+        // Short or inconsistent payloads are rejected.
+        assert_eq!(decode_stats(&encode_stats(&s)[..20]), None);
+        assert_eq!(decode_stats(b""), None);
+    }
+
+    #[test]
+    fn incremental_decoder_matches_read_frame() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, TAG_HELLO, &encode_hello(&Hello::default())).unwrap();
+        write_frame(&mut wire, TAG_CHUNK, b"ushers").unwrap();
+        write_frame(&mut wire, TAG_CLOSE, b"").unwrap();
+        // Feed one byte at a time: same frames as whole-stream reads.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for &b in &wire {
+            dec.feed(&[b]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert!(!dec.mid_frame());
+        let mut r = &wire[..];
+        let mut want = Vec::new();
+        while let Some(f) = read_frame(&mut r).unwrap() {
+            want.push(f);
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn incremental_decoder_oversized_is_sticky() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&[TAG_CHUNK]);
+        dec.feed(&u32::MAX.to_le_bytes());
+        let err = dec.next_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("MAX_FRAME"), "{err}");
+        // Poisoned: further pulls keep failing (stream is desynced).
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn incremental_decoder_truncation_classification() {
+        // EOF with a partial header → "length prefix".
+        let mut dec = FrameDecoder::new();
+        dec.feed(&[TAG_CHUNK, 1, 0]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert!(dec.mid_frame());
+        let err = dec.truncation_error();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(err.to_string().contains("length prefix"), "{err}");
+        // EOF with a full header mid-payload → "payload".
+        let mut dec = FrameDecoder::new();
+        dec.feed(&[TAG_CHUNK]);
+        dec.feed(&10u32.to_le_bytes());
+        dec.feed(b"abc");
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert!(dec.truncation_error().to_string().contains("payload"));
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Hashed timer wheel for connection idle timeouts.
+//!
+//! One live entry per connection; cancellation is lazy (tokens are never
+//! reused, so an entry whose token no longer resolves to a connection is
+//! simply dropped at expiry). Entries further out than one wheel
+//! revolution wrap: they are re-inserted when their slot comes around
+//! with the deadline still in the future.
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    deadline: Instant,
+    token: usize,
+}
+
+pub(crate) struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    granularity: Duration,
+    cursor: usize,
+    /// Start of the current slot's window; advances by `granularity` per
+    /// tick.
+    cursor_time: Instant,
+    len: usize,
+}
+
+impl TimerWheel {
+    pub fn new(granularity: Duration, slots: usize, now: Instant) -> TimerWheel {
+        TimerWheel {
+            slots: vec![Vec::new(); slots.max(2)],
+            granularity: granularity.max(Duration::from_millis(1)),
+            cursor: 0,
+            cursor_time: now,
+            len: 0,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Arm `token` to fire at `deadline` (rounded up to the wheel's
+    /// granularity).
+    pub fn insert(&mut self, deadline: Instant, token: usize) {
+        let delta = deadline.saturating_duration_since(self.cursor_time);
+        // Slot `cursor + 1` is the next one drained (at `cursor_time +
+        // granularity`), so a delta within one granule goes there — never
+        // into the cursor slot, which was already drained this revolution.
+        let ticks = 1 + (delta.as_nanos() / self.granularity.as_nanos().max(1)) as usize;
+        let slot = (self.cursor + ticks) % self.slots.len();
+        self.slots[slot].push(Entry { deadline, token });
+        self.len += 1;
+    }
+
+    /// How long until the next slot boundary could fire something;
+    /// `None` when the wheel is empty (no need to wake for timers).
+    pub fn next_wait(&self, now: Instant) -> Option<Duration> {
+        if self.len == 0 {
+            return None;
+        }
+        let boundary = self.cursor_time + self.granularity;
+        Some(boundary.saturating_duration_since(now))
+    }
+
+    /// Advance to `now`, appending every due token to `expired`.
+    pub fn tick(&mut self, now: Instant, expired: &mut Vec<usize>) {
+        let mut carried: Vec<Entry> = Vec::new();
+        while self.cursor_time + self.granularity <= now {
+            self.cursor_time += self.granularity;
+            self.cursor = (self.cursor + 1) % self.slots.len();
+            // Drain into a scratch list first: a wrapped (not-yet-due)
+            // entry re-inserts into this same wheel, possibly this slot.
+            carried.append(&mut self.slots[self.cursor]);
+            for e in carried.drain(..) {
+                self.len -= 1;
+                if e.deadline <= now {
+                    expired.push(e.token);
+                } else {
+                    self.insert(e.deadline, e.token);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_once_at_deadline() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(Duration::from_millis(10), 8, t0);
+        w.insert(t0 + Duration::from_millis(25), 7);
+        let mut fired = Vec::new();
+        w.tick(t0 + Duration::from_millis(20), &mut fired);
+        assert!(fired.is_empty(), "fired early: {fired:?}");
+        w.tick(t0 + Duration::from_millis(40), &mut fired);
+        assert_eq!(fired, vec![7]);
+        assert!(w.is_empty());
+        fired.clear();
+        w.tick(t0 + Duration::from_millis(200), &mut fired);
+        assert!(fired.is_empty(), "re-fired: {fired:?}");
+    }
+
+    #[test]
+    fn wrapped_entries_survive_revolutions() {
+        let t0 = Instant::now();
+        // 8 slots × 10ms = one 80ms revolution; arm at 250ms (3 wraps).
+        let mut w = TimerWheel::new(Duration::from_millis(10), 8, t0);
+        w.insert(t0 + Duration::from_millis(250), 1);
+        let mut fired = Vec::new();
+        for ms in (10..=240).step_by(10) {
+            w.tick(t0 + Duration::from_millis(ms), &mut fired);
+            assert!(fired.is_empty(), "early at {ms}ms");
+        }
+        w.tick(t0 + Duration::from_millis(260), &mut fired);
+        assert_eq!(fired, vec![1]);
+    }
+
+    #[test]
+    fn next_wait_tracks_emptiness() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(Duration::from_millis(10), 4, t0);
+        assert_eq!(w.next_wait(t0), None);
+        w.insert(t0 + Duration::from_millis(5), 1);
+        let wait = w.next_wait(t0).unwrap();
+        assert!(wait <= Duration::from_millis(10));
+        let mut fired = Vec::new();
+        w.tick(t0 + Duration::from_millis(50), &mut fired);
+        assert_eq!(fired, vec![1]);
+        assert_eq!(w.next_wait(t0 + Duration::from_millis(50)), None);
+    }
+
+    #[test]
+    fn many_tokens_on_one_slot() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(Duration::from_millis(10), 4, t0);
+        for tok in 0..100 {
+            w.insert(t0 + Duration::from_millis(15), tok);
+        }
+        let mut fired = Vec::new();
+        w.tick(t0 + Duration::from_millis(30), &mut fired);
+        fired.sort_unstable();
+        assert_eq!(fired, (0..100).collect::<Vec<_>>());
+    }
+}

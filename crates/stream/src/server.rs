@@ -38,11 +38,41 @@ use crate::admin::DictAdmin;
 use crate::faults::{self, ConnFault};
 use crate::proto::{
     decode_hello, encode_ack, encode_dict_info, encode_epoch, encode_hello_ack, encode_match,
-    encode_summary, write_frame, EpochChange, TAG_ACK, TAG_CHUNK, TAG_CLOSE, TAG_DICT_ADD,
-    TAG_DICT_COMMIT, TAG_DICT_ERR, TAG_DICT_INFO, TAG_DICT_INFO_RESP, TAG_DICT_OK, TAG_DICT_REMOVE,
-    TAG_EPOCH, TAG_ERROR, TAG_HELLO, TAG_HELLO_ACK, TAG_MATCH, TAG_SUMMARY,
+    encode_stats, encode_summary, write_frame, EpochChange, TAG_ACK, TAG_CHUNK, TAG_CLOSE,
+    TAG_DICT_ADD, TAG_DICT_COMMIT, TAG_DICT_ERR, TAG_DICT_INFO, TAG_DICT_INFO_RESP, TAG_DICT_OK,
+    TAG_DICT_REMOVE, TAG_EPOCH, TAG_ERROR, TAG_HELLO, TAG_HELLO_ACK, TAG_MATCH, TAG_STATS,
+    TAG_STATS_RESP, TAG_SUMMARY,
 };
 use crate::service::{Event, ServiceConfig, SessionOptions, ShardedService};
+
+/// How the server turns sockets into sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Readiness-driven reactor pool ([`crate::reactor`]): a fixed set of
+    /// event-loop threads own all connections. Scales to tens of
+    /// thousands of concurrent sessions. The default.
+    Reactor,
+    /// Two OS threads (reader + writer) per connection. Simple, but
+    /// thread count scales with connections.
+    Threaded,
+}
+
+impl ServeMode {
+    /// Default mode, overridable via `PDM_SERVE_MODE=threaded|reactor`
+    /// (used by CI to run the same suites through both serving tiers).
+    pub fn from_env() -> ServeMode {
+        match std::env::var("PDM_SERVE_MODE").as_deref() {
+            Ok("threaded") => ServeMode::Threaded,
+            _ => ServeMode::Reactor,
+        }
+    }
+}
+
+impl Default for ServeMode {
+    fn default() -> Self {
+        ServeMode::from_env()
+    }
+}
 
 /// Server knobs: service tuning plus socket/lifecycle behaviour.
 #[derive(Clone, Debug)]
@@ -59,6 +89,12 @@ pub struct ServerConfig {
     pub drain_deadline: Duration,
     /// Cap for the accept loop's exponential error backoff.
     pub accept_backoff_max: Duration,
+    /// Serving tier (defaults to [`ServeMode::Reactor`], or the
+    /// `PDM_SERVE_MODE` environment override).
+    pub serve_mode: ServeMode,
+    /// Reactor thread count in [`ServeMode::Reactor`]; 0 = one per
+    /// available core (capped at 8).
+    pub reactors: usize,
 }
 
 impl Default for ServerConfig {
@@ -69,11 +105,20 @@ impl Default for ServerConfig {
             max_conns: 0,
             drain_deadline: Duration::from_secs(5),
             accept_backoff_max: Duration::from_millis(100),
+            serve_mode: ServeMode::default(),
+            reactors: 0,
         }
     }
 }
 
-type ConnRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
+pub(crate) type ConnRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
+
+fn default_reactors() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8)
+}
 
 /// A running `pdm serve` instance. Bind with [`Server::bind`]; stop with
 /// [`Server::shutdown`].
@@ -81,6 +126,7 @@ pub struct Server {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
+    reactors: Option<crate::reactor::ReactorPool>,
     service: Arc<ShardedService>,
     admin: Option<Arc<DictAdmin>>,
     live: Arc<AtomicUsize>,
@@ -131,22 +177,48 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
         let live = Arc::new(AtomicUsize::new(0));
         let conns: ConnRegistry = Arc::new(Mutex::new(HashMap::new()));
-        let accept = {
-            let stop = Arc::clone(&stop);
-            let service = Arc::clone(&service);
-            let admin = admin.clone();
-            let live = Arc::clone(&live);
-            let conns = Arc::clone(&conns);
-            let cfg = cfg.clone();
-            std::thread::Builder::new()
-                .name("pdm-accept".into())
-                .spawn(move || accept_loop(listener, stop, service, admin, cfg, live, conns))
-                .expect("spawn accept thread")
-        };
+        let mut accept = None;
+        let mut reactors = None;
+        match cfg.serve_mode {
+            ServeMode::Threaded => {
+                let stop = Arc::clone(&stop);
+                let service = Arc::clone(&service);
+                let admin = admin.clone();
+                let live = Arc::clone(&live);
+                let conns = Arc::clone(&conns);
+                let cfg = cfg.clone();
+                accept = Some(
+                    std::thread::Builder::new()
+                        .name("pdm-accept".into())
+                        .spawn(move || {
+                            accept_loop(listener, stop, service, admin, cfg, live, conns)
+                        })
+                        .expect("spawn accept thread"),
+                );
+            }
+            ServeMode::Reactor => {
+                let n = if cfg.reactors > 0 {
+                    cfg.reactors
+                } else {
+                    default_reactors()
+                };
+                reactors = Some(crate::reactor::ReactorPool::spawn(
+                    listener,
+                    Arc::clone(&service),
+                    admin.clone(),
+                    cfg.clone(),
+                    Arc::clone(&stop),
+                    Arc::clone(&live),
+                    Arc::clone(&conns),
+                    n,
+                )?);
+            }
+        }
         Ok(Server {
             local_addr,
             stop,
-            accept: Some(accept),
+            accept,
+            reactors,
             service,
             admin,
             live,
@@ -181,6 +253,9 @@ impl Server {
     /// summary), then force-close any stragglers.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        if let Some(p) = self.reactors.as_ref() {
+            p.wake_all();
+        }
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
@@ -189,8 +264,8 @@ impl Server {
             std::thread::sleep(Duration::from_millis(2));
         }
         if self.live.load(Ordering::SeqCst) > 0 {
-            // Deadline expired: force-close what's left. Readers observe
-            // EOF/reset, close their sessions, and exit.
+            // Deadline expired: force-close what's left. Readers (or
+            // reactors) observe EOF/reset, close their sessions, and exit.
             for (_, sock) in self.conns.lock().unwrap().iter() {
                 self.service.global_metrics().drain_force_closed();
                 let _ = sock.shutdown(Shutdown::Both);
@@ -200,13 +275,19 @@ impl Server {
                 std::thread::sleep(Duration::from_millis(2));
             }
         }
+        if let Some(mut p) = self.reactors.take() {
+            p.halt_and_join();
+        }
     }
 
-    /// Block on the accept thread (used by `pdm serve`, which runs until
-    /// killed).
+    /// Block on the serving threads (used by `pdm serve`, which runs
+    /// until killed).
     pub fn join(mut self) {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
+        }
+        if let Some(mut p) = self.reactors.take() {
+            p.join();
         }
     }
 }
@@ -216,6 +297,9 @@ impl Drop for Server {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept.take() {
             let _ = h.join();
+        }
+        if let Some(mut p) = self.reactors.take() {
+            p.halt_and_join();
         }
     }
 }
@@ -287,7 +371,7 @@ fn accept_loop(
 }
 
 /// Load-shed one connection: tell the client why, then close.
-fn shed(sock: TcpStream) {
+pub(crate) fn shed(sock: TcpStream) {
     let mut w = &sock;
     let _ = write_frame(
         &mut w,
@@ -487,6 +571,17 @@ fn handle_conn(
                         ));
                     }
                 }
+                Some((TAG_STATS, _)) => {
+                    // Service-wide metrics snapshot; replies through the
+                    // writer like a dict frame so it never interleaves.
+                    let reply = (TAG_STATS_RESP, encode_stats(&global.snapshot()));
+                    if admin_tx.send(reply).is_err() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::BrokenPipe,
+                            "writer gone before stats reply",
+                        ));
+                    }
+                }
                 Some((TAG_HELLO, _)) => {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
@@ -532,7 +627,7 @@ fn flush_admin_replies(
 }
 
 /// Execute one `DICT_*` admin frame, returning the reply frame.
-fn handle_dict_frame(
+pub(crate) fn handle_dict_frame(
     admin: Option<&DictAdmin>,
     global: &crate::metrics::GlobalMetrics,
     tag: u8,
@@ -562,7 +657,7 @@ fn handle_dict_frame(
 }
 
 /// Count a connection-level failure in the right degradation bucket.
-fn record_conn_error(global: &crate::metrics::GlobalMetrics, e: &io::Error) {
+pub(crate) fn record_conn_error(global: &crate::metrics::GlobalMetrics, e: &io::Error) {
     match e.kind() {
         // set_read_timeout expiry surfaces as WouldBlock (unix) or
         // TimedOut (windows).
@@ -572,7 +667,7 @@ fn record_conn_error(global: &crate::metrics::GlobalMetrics, e: &io::Error) {
     }
 }
 
-fn conn_error_message(e: &io::Error) -> String {
+pub(crate) fn conn_error_message(e: &io::Error) -> String {
     match e.kind() {
         io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
             "read timeout: closing idle connection".to_string()

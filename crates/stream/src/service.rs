@@ -138,12 +138,18 @@ pub enum TryPushError {
     Closed(Vec<Sym>),
 }
 
+/// Callback a shard worker invokes after delivering events for a session
+/// (see [`ShardedService::open_with_notify`]). Reactor threads hang their
+/// poll-loop wakeup here; it must be cheap and non-blocking.
+pub type SessionNotify = Arc<dyn Fn() + Send + Sync>;
+
 enum Job {
     Open {
         id: u64,
         events: Sender<Event>,
         counters: Arc<SessionCounters>,
         opts: SessionOptions,
+        notify: Option<SessionNotify>,
     },
     Chunk {
         id: u64,
@@ -227,13 +233,34 @@ impl Session {
     /// Declare end-of-stream. Idempotent; events may still be pending.
     ///
     /// Blocks while the shard queue is full — only safe when *another*
-    /// thread drains [`Self::events_handle`] (as the TCP server does);
-    /// single-threaded callers should use [`Self::close`], which drains
-    /// while it waits.
+    /// thread drains [`Self::events_handle`] (as the threaded TCP server
+    /// does); single-threaded callers should use [`Self::close`], which
+    /// drains while it waits.
     pub fn finish(&mut self) {
         if !self.finished {
             self.finished = true;
             let _ = self.jobs.send(Job::Close { id: self.id });
+        }
+    }
+
+    /// Non-blocking [`Self::finish`]: `false` means the shard queue is
+    /// full and the close marker was **not** enqueued — retry later (the
+    /// reactor retries each tick while draining events in between, which
+    /// is what unjams the worker). A dead service counts as finished.
+    pub fn try_finish(&mut self) -> bool {
+        if self.finished {
+            return true;
+        }
+        match self.jobs.try_send(Job::Close { id: self.id }) {
+            Ok(()) => {
+                self.finished = true;
+                true
+            }
+            Err(TrySendError::Full(_)) => false,
+            Err(TrySendError::Disconnected(_)) => {
+                self.finished = true;
+                true
+            }
         }
     }
 
@@ -365,6 +392,14 @@ impl ShardedService {
     /// Open a session with explicit [`SessionOptions`] (resume offset,
     /// progress events).
     pub fn open_with(&self, opts: SessionOptions) -> Session {
+        self.open_with_notify(opts, None)
+    }
+
+    /// Open a session whose worker calls `notify` after delivering events
+    /// (match batches, progress, epoch markers, failure, close). Readiness
+    /// -driven callers use this to wake their poll loop instead of
+    /// blocking on the event channel.
+    pub fn open_with_notify(&self, opts: SessionOptions, notify: Option<SessionNotify>) -> Session {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let shard = (id as usize) % self.shards.len();
         let (ev_tx, ev_rx) = bounded::<Event>(self.events_cap);
@@ -374,6 +409,7 @@ impl ShardedService {
             events: ev_tx,
             counters: Arc::clone(&counters),
             opts,
+            notify,
         });
         assert!(opened.is_ok(), "shard worker alive while service alive");
         self.global.session_opened();
@@ -420,6 +456,18 @@ struct WorkerSession {
     events: Sender<Event>,
     counters: Arc<SessionCounters>,
     progress: bool,
+    notify: Option<SessionNotify>,
+}
+
+impl WorkerSession {
+    /// Deliver one event, then ping the session's notify hook (if any) so
+    /// a poll-loop owner wakes up to drain it.
+    fn send(&self, ev: Event) {
+        let _ = self.events.send(ev);
+        if let Some(n) = &self.notify {
+            n();
+        }
+    }
 }
 
 /// Abort a session with a terminal [`Event::Failed`], keeping the
@@ -427,7 +475,7 @@ struct WorkerSession {
 fn fail_session(global: &GlobalMetrics, s: WorkerSession, why: &str) {
     global.session_failed();
     global.session_closed();
-    let _ = s.events.send(Event::Failed(why.to_string()));
+    s.send(Event::Failed(why.to_string()));
 }
 
 /// Supervisor: run the worker; if it panics, fail its in-flight sessions,
@@ -474,6 +522,7 @@ fn run_worker(
                 events,
                 counters,
                 opts,
+                notify,
             } => {
                 let mut m = StreamMatcher::new(handle.load());
                 if opts.start_offset > 0 {
@@ -486,6 +535,7 @@ fn run_worker(
                         events,
                         counters,
                         progress: opts.progress,
+                        notify,
                     },
                 );
             }
@@ -510,7 +560,7 @@ fn run_worker(
                         };
                         s.m.swap_dict(cur);
                         global.epoch_adopted();
-                        let _ = s.events.send(marker);
+                        s.send(marker);
                     }
                     // Per-chunk guard: a panic in the match call costs one
                     // session, not the worker.
@@ -529,10 +579,10 @@ fn run_worker(
                                 if s.events.is_full() {
                                     global.record_stall();
                                 }
-                                let _ = s.events.send(Event::Matches(found));
+                                s.send(Event::Matches(found));
                             }
                             if s.progress {
-                                let _ = s.events.send(Event::Progress(s.m.consumed()));
+                                s.send(Event::Progress(s.m.consumed()));
                             }
                         }
                         Err(_) => {
@@ -552,7 +602,7 @@ fn run_worker(
                     // Count the close *before* emitting the summary event,
                     // so a client that saw the summary also sees the count.
                     global.session_closed();
-                    let _ = s.events.send(Event::Closed(SessionSummary {
+                    s.send(Event::Closed(SessionSummary {
                         consumed: s.m.consumed(),
                         chunks: snap.chunks,
                         matches: snap.matches,

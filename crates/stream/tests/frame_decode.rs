@@ -1,0 +1,194 @@
+//! Property: incremental frame decoding is byte-split-invariant.
+//!
+//! [`FrameDecoder`] (the reactor's per-connection read path) must produce
+//! exactly the frames — and exactly the errors — that the blocking
+//! [`read_frame`] produces over the same byte stream, no matter how the
+//! bytes are partitioned across `feed` calls: whole-buffer, split at
+//! every byte boundary, byte-at-a-time, or random uneven chunks. Error
+//! classification must match too: an oversized length prefix is
+//! `InvalidData`, EOF mid-frame is `UnexpectedEof` naming the part
+//! ("length prefix" vs "payload") the stream died in.
+
+use std::io::{self, Cursor};
+
+use pdm_stream::proto::{read_frame, write_frame, FrameDecoder, MAX_FRAME};
+use proptest::prelude::*;
+
+/// What a decode run ended with, in comparable form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Outcome {
+    CleanEof,
+    Error(io::ErrorKind, String),
+}
+
+fn outcome_of(e: &io::Error) -> Outcome {
+    Outcome::Error(e.kind(), e.to_string())
+}
+
+/// Ground truth: drive the blocking reader over the whole byte stream.
+fn oracle(bytes: &[u8]) -> (Vec<(u8, Vec<u8>)>, Outcome) {
+    let mut r = Cursor::new(bytes);
+    let mut frames = Vec::new();
+    loop {
+        match read_frame(&mut r) {
+            Ok(Some(f)) => frames.push(f),
+            Ok(None) => return (frames, Outcome::CleanEof),
+            Err(e) => return (frames, outcome_of(&e)),
+        }
+    }
+}
+
+/// Feed `bytes` to a fresh [`FrameDecoder`] in chunks whose sizes cycle
+/// over `sizes`, draining complete frames after every feed — exactly the
+/// reactor's read loop. EOF handling mirrors the reactor's `handle_eof`:
+/// leftover buffered bytes are a truncation, not a clean close.
+fn streamed(bytes: &[u8], sizes: &[usize]) -> (Vec<(u8, Vec<u8>)>, Outcome) {
+    let mut dec = FrameDecoder::new();
+    let mut frames = Vec::new();
+    let mut at = 0usize;
+    let mut k = 0usize;
+    while at < bytes.len() {
+        let take = sizes[k % sizes.len()].max(1).min(bytes.len() - at);
+        dec.feed(&bytes[at..at + take]);
+        at += take;
+        k += 1;
+        loop {
+            match dec.next_frame() {
+                Ok(Some(f)) => frames.push(f),
+                Ok(None) => break,
+                Err(e) => return (frames, outcome_of(&e)),
+            }
+        }
+    }
+    let end = if dec.mid_frame() {
+        outcome_of(&dec.truncation_error())
+    } else {
+        Outcome::CleanEof
+    };
+    (frames, end)
+}
+
+/// Serialize frames, then mutilate the tail per `scenario`:
+/// 0 = intact, 1 = truncate (peer died mid-write), 2 = append an
+/// oversized-length header (corrupt prefix; must not allocate 64 MiB).
+fn wire_bytes(frames: &[(u8, Vec<u8>)], scenario: u8, cut: u16, excess: u32) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for (tag, payload) in frames {
+        write_frame(&mut bytes, *tag, payload).unwrap();
+    }
+    match scenario {
+        1 if !bytes.is_empty() => {
+            let keep = cut as usize % bytes.len();
+            bytes.truncate(keep);
+        }
+        2 => {
+            bytes.push(0x01);
+            bytes.extend_from_slice(&(MAX_FRAME + 1 + excess % 1024).to_le_bytes());
+            // Garbage after a poisoned prefix must never be decoded.
+            bytes.extend_from_slice(b"garbage past the corrupt header");
+        }
+        _ => {}
+    }
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every two-part split of the stream — i.e. every byte boundary —
+    /// plus byte-at-a-time and whole-buffer feeds agree with the oracle
+    /// on both the frame sequence and the terminal outcome.
+    #[test]
+    fn any_split_matches_whole_stream_read(
+        frames in proptest::collection::vec(
+            (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..40)), 0..8),
+        scenario in 0u8..3,
+        cut in any::<u16>(),
+        excess in any::<u32>(),
+    ) {
+        let bytes = wire_bytes(&frames, scenario, cut, excess);
+        let expect = oracle(&bytes);
+
+        prop_assert_eq!(&streamed(&bytes, &[bytes.len().max(1)]), &expect,
+            "whole-buffer feed diverged");
+        prop_assert_eq!(&streamed(&bytes, &[1]), &expect,
+            "byte-at-a-time feed diverged");
+        for i in 0..=bytes.len() {
+            let split = [i.max(1), (bytes.len() - i).max(1)];
+            prop_assert_eq!(&streamed(&bytes, &split), &expect,
+                "split at byte {} diverged", i);
+        }
+    }
+
+    /// Random uneven chunkings (the realistic socket-read case) agree
+    /// with the oracle as well.
+    #[test]
+    fn random_chunking_matches_whole_stream_read(
+        frames in proptest::collection::vec(
+            (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..64)), 0..10),
+        scenario in 0u8..3,
+        cut in any::<u16>(),
+        excess in any::<u32>(),
+        sizes in proptest::collection::vec(1usize..13, 1..10),
+    ) {
+        let bytes = wire_bytes(&frames, scenario, cut, excess);
+        prop_assert_eq!(streamed(&bytes, &sizes), oracle(&bytes));
+    }
+}
+
+/// An oversized length prefix poisons the decoder for good: the stream is
+/// desynchronized, so later bytes — even ones that look like valid frames
+/// — must never decode.
+#[test]
+fn oversized_frame_error_is_sticky() {
+    let mut dec = FrameDecoder::new();
+    let mut bytes = vec![0x01];
+    bytes.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+    dec.feed(&bytes);
+    let err = dec.next_frame().unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("MAX_FRAME"), "{err}");
+
+    let mut good = Vec::new();
+    write_frame(&mut good, 0x01, b"after the corruption").unwrap();
+    dec.feed(&good);
+    let err = dec.next_frame().unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("desynchronized"), "{err}");
+}
+
+/// The corrupt header is detected even when its five bytes arrive one at
+/// a time — the decoder must not wait for the (impossible) 64 MiB payload.
+#[test]
+fn oversized_header_detected_across_feeds() {
+    let mut dec = FrameDecoder::new();
+    let mut header = vec![0x02];
+    header.extend_from_slice(&(MAX_FRAME + 7).to_le_bytes());
+    for b in &header[..4] {
+        dec.feed(std::slice::from_ref(b));
+        assert!(dec.next_frame().unwrap().is_none());
+    }
+    dec.feed(&header[4..]);
+    let err = dec.next_frame().unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+}
+
+/// EOF classification matches `read_frame` at the exact byte level: dying
+/// inside the 5-byte header is "length prefix", after it is "payload".
+#[test]
+fn truncation_error_names_the_right_part() {
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, 0x01, b"hello").unwrap();
+    for keep in 1..bytes.len() {
+        let (_, got) = streamed(&bytes[..keep], &[keep]);
+        let (_, want) = oracle(&bytes[..keep]);
+        assert_eq!(got, want, "keep={keep}");
+        let part = if keep < 5 { "length prefix" } else { "payload" };
+        match got {
+            Outcome::Error(io::ErrorKind::UnexpectedEof, msg) => {
+                assert!(msg.contains(part), "keep={keep}: {msg}")
+            }
+            other => panic!("keep={keep}: {other:?}"),
+        }
+    }
+}

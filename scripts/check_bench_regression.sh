@@ -8,7 +8,8 @@
 # baseline's name: BENCH_text.json -> text_throughput (after-leg seq MB/s
 # per workload), BENCH_index.json -> index_throughput (build seq MB/s and
 # merged-query seq kqps), BENCH_snap.json -> snap_coldstart (sidecar
-# decode MB/s).
+# decode MB/s), BENCH_conns.json -> conn_scale (per-leg MB/s across the
+# reactor/threaded connection ladder).
 #
 # Usage: scripts/check_bench_regression.sh [baseline.json]
 set -euo pipefail
@@ -23,6 +24,7 @@ fi
 case "$(basename "$baseline")" in
     BENCH_index*) bench=index_throughput ;;
     BENCH_snap*)  bench=snap_coldstart ;;
+    BENCH_conns*) bench=conn_scale ;;
     *)            bench=text_throughput ;;
 esac
 

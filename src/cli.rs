@@ -85,6 +85,11 @@ pub enum Command {
         max_conns: usize,
         /// How long shutdown waits for in-flight sessions before force-closing.
         drain_deadline_ms: u64,
+        /// `--serve-mode reactor|threaded`; `None` = the library default
+        /// (reactor, overridable via `PDM_SERVE_MODE`).
+        serve_mode: Option<pdm_stream::ServeMode>,
+        /// `--reactors N`: reactor threads; 0 = auto (one per core, ≤ 8).
+        reactors: usize,
     },
     Build {
         dict: String,
@@ -96,8 +101,12 @@ pub enum Command {
         threads: Option<usize>,
     },
     Stats {
-        /// A dictionary file (`--dict`) or a prebuilt index (`--index`).
-        dict: DictSource,
+        /// Local: a dictionary file (`--dict`) or a prebuilt index
+        /// (`--index`) — build/load it and print table statistics.
+        dict: Option<DictSource>,
+        /// Remote: `--addr host:port` — ask a running `pdm serve` for its
+        /// global counters over a `TAG_STATS` frame.
+        addr: Option<String>,
     },
     Dict {
         op: DictOp,
@@ -171,8 +180,9 @@ USAGE:
   pdm prefix --dict <file> --text <file> [--threads N]
   pdm serve  --dict <file> --port <n> [--workers N] [--queue-cap Q]
              [--read-timeout-ms T] [--max-conns C] [--drain-deadline-ms D]
+             [--serve-mode reactor|threaded] [--reactors N]
   pdm serve  --dict-log <file> --port <n> [--dict <seed>] [...]
-  pdm stats  --dict <file> | --index <file>
+  pdm stats  --dict <file> | --index <file> | --addr <host:port>
   pdm dict   add    --pattern <text> (--log <file> | --addr <host:port>)
   pdm dict   remove --pattern <text> (--log <file> | --addr <host:port>)
   pdm dict   commit (--log <file> | --addr <host:port>)
@@ -200,6 +210,15 @@ one connection = one stream session over a shared dictionary.
 `--max-conns` load-sheds arrivals beyond the cap with a busy error frame
 (0 = unlimited); `--drain-deadline-ms` bounds the graceful drain on
 shutdown (default 5000).
+`--serve-mode` picks the serving tier: `reactor` (the default) runs a
+fixed pool of epoll event loops owning all connections — tens of
+thousands of concurrent sessions on a handful of threads — while
+`threaded` spawns two OS threads per connection (the original tier, kept
+for comparison and as a fallback). `--reactors N` sizes the reactor pool
+(0 = one per core, capped at 8). `pdm stats --addr host:port` asks a
+running server for its live global counters (sessions, frames decoded,
+reactor wakeups, partial writes, timer expirations, …) over the same
+frame protocol.
 `index` builds the offline suffix-array sidecar (pdm-index, PDMX format,
 CRC-verified on load); `query` answers a batch of patterns (one per line)
 against it without touching the corpus again — per-pattern counts by
@@ -267,6 +286,8 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
     let mut read_timeout_ms = 0u64;
     let mut max_conns = 0usize;
     let mut drain_deadline_ms = 5000u64;
+    let mut serve_mode = None;
+    let mut reactors = 0usize;
     let mut dict_log = None;
     let mut log = None;
     let mut addr = None;
@@ -358,6 +379,22 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     .parse()
                     .map_err(|_| UsageError("--drain-deadline-ms wants an integer".into()))?
             }
+            "--serve-mode" => {
+                serve_mode = Some(match need("--serve-mode")?.as_str() {
+                    "reactor" => pdm_stream::ServeMode::Reactor,
+                    "threaded" => pdm_stream::ServeMode::Threaded,
+                    other => {
+                        return Err(UsageError(format!(
+                            "--serve-mode must be reactor or threaded, not {other}"
+                        )))
+                    }
+                })
+            }
+            "--reactors" => {
+                reactors = need("--reactors")?
+                    .parse()
+                    .map_err(|_| UsageError("--reactors wants an integer".into()))?
+            }
             "--dict-log" => dict_log = Some(need("--dict-log")?),
             "--log" => log = Some(need("--log")?),
             "--addr" => addr = Some(need("--addr")?),
@@ -441,6 +478,8 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 read_timeout_ms,
                 max_conns,
                 drain_deadline_ms,
+                serve_mode,
+                reactors,
             })
         }
         "build" => Ok(Command::Build {
@@ -452,9 +491,22 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             text: want(text, "--text")?,
             threads,
         }),
-        "stats" => Ok(Command::Stats {
-            dict: source(dict, index)?,
-        }),
+        "stats" => {
+            if let Some(a) = addr {
+                if dict.is_some() || index.is_some() {
+                    return Err(UsageError("--addr is exclusive with --dict/--index".into()));
+                }
+                Ok(Command::Stats {
+                    dict: None,
+                    addr: Some(a),
+                })
+            } else {
+                Ok(Command::Stats {
+                    dict: Some(source(dict, index)?),
+                    addr: None,
+                })
+            }
+        }
         "dict" => {
             let target = match (log, addr) {
                 (Some(l), None) => DictTarget::Log(l),
@@ -689,7 +741,12 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
             write!(w, "{USAGE}")?;
             Ok(0)
         }
-        Command::Stats { dict } => {
+        Command::Stats {
+            dict: None,
+            addr: Some(addr),
+        } => run_stats_addr(&addr, w),
+        Command::Stats { dict, addr: _ } => {
+            let dict = dict.expect("parse guarantees a source without --addr");
             let ctx = Ctx::par();
             let t0 = std::time::Instant::now();
             let (m, _) = match resolve_matcher(&dict, &ctx) {
@@ -1094,6 +1151,8 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
             read_timeout_ms,
             max_conns,
             drain_deadline_ms,
+            serve_mode,
+            reactors,
         } => {
             let ctx = Ctx::par();
             let mut service = pdm_stream::ServiceConfig::default();
@@ -1107,7 +1166,13 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
                     .then(|| std::time::Duration::from_millis(read_timeout_ms)),
                 max_conns,
                 drain_deadline: std::time::Duration::from_millis(drain_deadline_ms),
+                serve_mode: serve_mode.unwrap_or_default(),
+                reactors,
                 ..Default::default()
+            };
+            let mode = match cfg.serve_mode {
+                pdm_stream::ServeMode::Reactor => "reactor",
+                pdm_stream::ServeMode::Threaded => "threaded",
             };
             let (server, banner) = if let Some(log) = dict_log {
                 let store = match open_seeded_store(&log, dict.as_ref(), &ctx, w)? {
@@ -1162,7 +1227,7 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
             };
             writeln!(
                 w,
-                "{banner} {} (protocol: pdm_stream::proto; ^C to stop)",
+                "{banner} {} ({mode} mode; protocol: pdm_stream::proto; ^C to stop)",
                 server.local_addr()
             )?;
             w.flush()?;
@@ -1473,6 +1538,58 @@ fn open_seeded_store(
         }
     }
     Ok(Ok(store))
+}
+
+/// `pdm stats --addr`: fetch a running server's global counters over a
+/// `TAG_STATS` frame and print them, one per line, with the reactor-tier
+/// efficiency ratio (ready events per `epoll_wait` wakeup) derived.
+fn run_stats_addr(addr: &str, w: &mut impl Write) -> std::io::Result<i32> {
+    use pdm_stream::proto::{decode_stats, read_frame, write_frame, TAG_STATS, TAG_STATS_RESP};
+    let attempt = || -> std::io::Result<pdm_stream::GlobalSnapshot> {
+        let mut sock = std::net::TcpStream::connect(addr)?;
+        sock.set_read_timeout(Some(std::time::Duration::from_secs(10)))?;
+        write_frame(&mut sock, TAG_STATS, &[])?;
+        loop {
+            match read_frame(&mut sock)? {
+                Some((TAG_STATS_RESP, p)) => {
+                    return decode_stats(&p).ok_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            "malformed stats reply",
+                        )
+                    })
+                }
+                // Session frames (hello-ack, acks) may interleave.
+                Some(_) => continue,
+                None => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed before replying",
+                    ))
+                }
+            }
+        }
+    };
+    match attempt() {
+        Ok(snap) => {
+            for (name, value) in snap.named_fields() {
+                writeln!(w, "{name:<24} {value}")?;
+            }
+            if snap.reactor_wakeups > 0 {
+                writeln!(
+                    w,
+                    "{:<24} {:.2}",
+                    "ready_events_per_wakeup",
+                    snap.reactor_events as f64 / snap.reactor_wakeups as f64
+                )?;
+            }
+            Ok(0)
+        }
+        Err(e) => {
+            writeln!(w, "error: {addr}: {e}")?;
+            Ok(2)
+        }
+    }
 }
 
 /// Execute a `pdm dict` operation against a local log or a live server.
@@ -2021,7 +2138,8 @@ mod tests {
         let mut out = Vec::new();
         let code = run(
             Command::Stats {
-                dict: DictSource::Patterns(dpath.to_string_lossy().into()),
+                dict: Some(DictSource::Patterns(dpath.to_string_lossy().into())),
+                addr: None,
             },
             &mut out,
         )
@@ -2104,6 +2222,8 @@ mod tests {
                 read_timeout_ms: 250,
                 max_conns: 32,
                 drain_deadline_ms: 1500,
+                serve_mode: None,
+                reactors: 0,
             }
         );
         // Lifecycle flags default off / to 5 s drain.
@@ -2321,10 +2441,108 @@ mod tests {
         assert_eq!(
             c,
             Command::Stats {
-                dict: DictSource::Index("i".into())
+                dict: Some(DictSource::Index("i".into())),
+                addr: None,
             }
         );
         assert!(parse(&args(&["stats"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_mode_reactors_and_stats_addr() {
+        let c = parse(&args(&[
+            "serve",
+            "--dict",
+            "d",
+            "--port",
+            "7700",
+            "--serve-mode",
+            "threaded",
+            "--reactors",
+            "4",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            c,
+            Command::Serve {
+                serve_mode: Some(pdm_stream::ServeMode::Threaded),
+                reactors: 4,
+                ..
+            }
+        ));
+        let c = parse(&args(&[
+            "serve",
+            "--dict",
+            "d",
+            "--port",
+            "1",
+            "--serve-mode",
+            "reactor",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            c,
+            Command::Serve {
+                serve_mode: Some(pdm_stream::ServeMode::Reactor),
+                reactors: 0,
+                ..
+            }
+        ));
+        assert!(parse(&args(&[
+            "serve",
+            "--dict",
+            "d",
+            "--port",
+            "1",
+            "--serve-mode",
+            "green"
+        ]))
+        .is_err());
+
+        let c = parse(&args(&["stats", "--addr", "127.0.0.1:7700"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Stats {
+                dict: None,
+                addr: Some("127.0.0.1:7700".into()),
+            }
+        );
+        assert!(
+            parse(&args(&["stats", "--dict", "d", "--addr", "a"])).is_err(),
+            "--addr and --dict are exclusive"
+        );
+    }
+
+    /// `pdm stats --addr` against a live in-process server: the counters
+    /// come back over the wire and include the reactor-tier efficiency
+    /// ratio.
+    #[test]
+    fn stats_addr_queries_live_server() {
+        use pdm_core::dict::symbolize;
+        let ctx = Ctx::seq();
+        let m = pdm_core::static1d::StaticMatcher::build(&ctx, &symbolize(&["he", "she"])).unwrap();
+        let server = pdm_stream::Server::bind(
+            ("127.0.0.1", 0),
+            std::sync::Arc::new(m),
+            pdm_stream::ServerConfig {
+                serve_mode: pdm_stream::ServeMode::Reactor,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let mut out = Vec::new();
+        assert_eq!(run_stats_addr(&addr, &mut out).unwrap(), 0);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("sessions_opened"), "{text}");
+        assert!(text.contains("reactor_wakeups"), "{text}");
+        assert!(text.contains("frames_decoded"), "{text}");
+        server.shutdown();
+
+        // Dead address: a readable error and exit code 2, not a panic.
+        let mut out = Vec::new();
+        assert_eq!(run_stats_addr(&addr, &mut out).unwrap(), 2);
+        assert!(String::from_utf8(out).unwrap().starts_with("error:"));
     }
 
     #[test]
@@ -2349,7 +2567,8 @@ mod tests {
         let mut out = Vec::new();
         let code = run(
             Command::Stats {
-                dict: DictSource::Index(ipath.to_string_lossy().into()),
+                dict: Some(DictSource::Index(ipath.to_string_lossy().into())),
+                addr: None,
             },
             &mut out,
         )
@@ -2595,7 +2814,8 @@ mod tests {
         let mut out = Vec::new();
         let code = run(
             Command::Stats {
-                dict: DictSource::Patterns("/nonexistent/x".into()),
+                dict: Some(DictSource::Patterns("/nonexistent/x".into())),
+                addr: None,
             },
             &mut out,
         )

@@ -1,0 +1,941 @@
+//! Offline std-only stand-in for the `mio` readiness API surface this
+//! workspace uses (see vendor/README.md).
+//!
+//! Two selector backends behind one [`Poll`] type:
+//!
+//! * **epoll** (Linux): `epoll_create1`/`epoll_ctl`/`epoll_wait` through
+//!   `extern "C"` declarations against the libc that std already links —
+//!   no external crates. Level-triggered (no `EPOLLET`), so a handler
+//!   that stops mid-buffer is re-notified on the next wait.
+//! * **poll(2)** (portable fallback, any unix): the registration table is
+//!   kept in userspace and rebuilt into a `pollfd` array per wait. O(n)
+//!   per wakeup instead of O(ready), but semantically identical — it is
+//!   also selectable on Linux via `PDM_FORCE_POLL=1` for differential
+//!   testing.
+//!
+//! Cross-thread wakeups use a [`Waker`]: a non-blocking self-pipe whose
+//! read end is registered like any other source; [`Poll::poll`] drains it
+//! internally and surfaces the waker's token as a readable [`Event`].
+//!
+//! Like the other shims, this keeps the real crate's names and shapes
+//! (`Poll`, `Events`, `Token`, `Interest`, `Waker`) so a networked build
+//! could swap in real mio with mechanical call-site changes only.
+
+#![cfg(unix)]
+
+use std::collections::HashMap;
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Caller-chosen identifier attached to a registration; returned verbatim
+/// in every [`Event`] for that source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Readiness interest: readable, writable, or both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    pub const READABLE: Interest = Interest(0b01);
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Combine interests (mio spells this `add`; `|` also works).
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    pub fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    pub fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// Anything with a raw fd can be registered. Blanket-implemented so
+/// `TcpListener`, `TcpStream`, `UnixStream`, … all work.
+pub trait Source {
+    fn raw_fd(&self) -> RawFd;
+}
+
+impl<T: AsRawFd> Source for T {
+    fn raw_fd(&self) -> RawFd {
+        self.as_raw_fd()
+    }
+}
+
+/// One readiness notification.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: usize,
+    readable: bool,
+    writable: bool,
+    error: bool,
+    hup: bool,
+}
+
+impl Event {
+    pub fn token(&self) -> Token {
+        Token(self.token)
+    }
+
+    /// Readable, or in an error/hup state a read will surface (level
+    /// semantics: try the read and let the syscall report the cause).
+    pub fn is_readable(&self) -> bool {
+        self.readable || self.error || self.hup
+    }
+
+    /// Writable, or in an error state a write will surface.
+    pub fn is_writable(&self) -> bool {
+        self.writable || self.error
+    }
+
+    pub fn is_error(&self) -> bool {
+        self.error
+    }
+}
+
+/// Reusable batch of events filled by [`Poll::poll`].
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    pub fn with_capacity(capacity: usize) -> Events {
+        let capacity = capacity.max(1);
+        Events {
+            inner: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+/// Which OS selector a [`Poll`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Linux `epoll` (O(ready) wakeups).
+    Epoll,
+    /// Portable `poll(2)` (O(registered) wakeups).
+    Poll,
+}
+
+impl Backend {
+    /// The default for this platform: epoll on Linux (unless
+    /// `PDM_FORCE_POLL=1` selects the fallback), `poll(2)` elsewhere.
+    pub fn detect() -> Backend {
+        #[cfg(target_os = "linux")]
+        {
+            let forced = std::env::var("PDM_FORCE_POLL")
+                .map(|v| !v.is_empty() && v != "0")
+                .unwrap_or(false);
+            if forced {
+                Backend::Poll
+            } else {
+                Backend::Epoll
+            }
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Backend::Poll
+        }
+    }
+}
+
+/// The selector. Register sources, then [`Poll::poll`] for readiness.
+pub struct Poll {
+    sel: Selector,
+}
+
+impl Poll {
+    /// A selector on the platform-default backend (see [`Backend::detect`]).
+    pub fn new() -> io::Result<Poll> {
+        Poll::with_backend(Backend::detect())
+    }
+
+    /// A selector on an explicit backend (differential tests).
+    pub fn with_backend(backend: Backend) -> io::Result<Poll> {
+        let sel = match backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll => Selector::Epoll(epoll::Epoll::new()?),
+            #[cfg(not(target_os = "linux"))]
+            Backend::Epoll => {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "epoll backend is Linux-only",
+                ))
+            }
+            Backend::Poll => Selector::Poll(fallback::PollSel::new()),
+        };
+        Ok(Poll { sel })
+    }
+
+    pub fn backend(&self) -> Backend {
+        match self.sel {
+            #[cfg(target_os = "linux")]
+            Selector::Epoll(_) => Backend::Epoll,
+            Selector::Poll(_) => Backend::Poll,
+        }
+    }
+
+    /// Register a source for level-triggered readiness under `token`.
+    pub fn register<S: Source + ?Sized>(
+        &self,
+        source: &S,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        match &self.sel {
+            #[cfg(target_os = "linux")]
+            Selector::Epoll(e) => e.register(source.raw_fd(), token.0, interest),
+            Selector::Poll(p) => p.register(source.raw_fd(), token.0, interest),
+        }
+    }
+
+    /// Change an existing registration's token/interest.
+    pub fn reregister<S: Source + ?Sized>(
+        &self,
+        source: &S,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        match &self.sel {
+            #[cfg(target_os = "linux")]
+            Selector::Epoll(e) => e.reregister(source.raw_fd(), token.0, interest),
+            Selector::Poll(p) => p.reregister(source.raw_fd(), token.0, interest),
+        }
+    }
+
+    /// Remove a source. Must be called **before** the fd is closed — a
+    /// closed fd is silently auto-removed by epoll but would poison the
+    /// fallback's table with `POLLNVAL`.
+    pub fn deregister<S: Source + ?Sized>(&self, source: &S) -> io::Result<()> {
+        match &self.sel {
+            #[cfg(target_os = "linux")]
+            Selector::Epoll(e) => e.deregister(source.raw_fd()),
+            Selector::Poll(p) => p.deregister(source.raw_fd()),
+        }
+    }
+
+    /// Block until at least one source is ready, the timeout elapses, or a
+    /// [`Waker`] fires. A signal (`EINTR`) returns early with zero events —
+    /// callers treat that like a spurious wakeup.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.inner.clear();
+        let cap = events.capacity;
+        match &mut self.sel {
+            #[cfg(target_os = "linux")]
+            Selector::Epoll(e) => e.wait(&mut events.inner, cap, timeout),
+            Selector::Poll(p) => p.wait(&mut events.inner, cap, timeout),
+        }
+    }
+
+    fn add_waker(&self, read_fd: RawFd, token: Token) -> io::Result<()> {
+        match &self.sel {
+            #[cfg(target_os = "linux")]
+            Selector::Epoll(e) => e.add_waker(read_fd, token.0),
+            Selector::Poll(p) => p.add_waker(read_fd, token.0),
+        }
+    }
+}
+
+enum Selector {
+    #[cfg(target_os = "linux")]
+    Epoll(epoll::Epoll),
+    Poll(fallback::PollSel),
+}
+
+/// Cross-thread wakeup for a [`Poll`] blocked in [`Poll::poll`]: a
+/// non-blocking self-pipe. [`Waker::wake`] is async-signal-cheap (one
+/// `write(2)`), idempotent while unconsumed, and safe from any thread.
+/// The poll side sees a readable [`Event`] carrying the waker's token;
+/// the pipe is drained internally.
+pub struct Waker {
+    write_fd: RawFd,
+}
+
+// A raw fd is just an integer; writes to a pipe are atomic at this size.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+impl Waker {
+    /// Create a waker registered with `poll` under `token`. The read end
+    /// lives inside the selector (closed on its drop); the returned value
+    /// owns the write end.
+    pub fn new(poll: &Poll, token: Token) -> io::Result<Waker> {
+        let (r, w) = sys::pipe_nonblocking()?;
+        if let Err(e) = poll.add_waker(r, token) {
+            unsafe {
+                sys::close(r);
+                sys::close(w);
+            }
+            return Err(e);
+        }
+        Ok(Waker { write_fd: w })
+    }
+
+    /// Wake the associated [`Poll`]. Never blocks: a full pipe means a
+    /// wakeup is already pending, which is all a waker promises.
+    pub fn wake(&self) -> io::Result<()> {
+        let buf = [1u8];
+        let n = unsafe { sys::write(self.write_fd, buf.as_ptr().cast(), 1) };
+        if n >= 0 {
+            return Ok(());
+        }
+        let e = io::Error::last_os_error();
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted => Ok(()),
+            _ => Err(e),
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.write_fd) };
+    }
+}
+
+/// Raw libc surface: `extern "C"` against the C library std already
+/// links, so no external crate is needed (the repo's vendoring rule).
+mod sys {
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::{c_int, c_void};
+
+    extern "C" {
+        pub fn close(fd: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn pipe(fds: *mut c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    }
+
+    const F_GETFD: c_int = 1;
+    const F_SETFD: c_int = 2;
+    const F_GETFL: c_int = 3;
+    const F_SETFL: c_int = 4;
+    const FD_CLOEXEC: c_int = 1;
+    #[cfg(target_os = "linux")]
+    const O_NONBLOCK: c_int = 0o4000;
+    #[cfg(not(target_os = "linux"))]
+    const O_NONBLOCK: c_int = 0x4;
+
+    pub fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// `pipe()` with both ends set non-blocking + close-on-exec (portable
+    /// spelling of `pipe2(O_NONBLOCK | O_CLOEXEC)`).
+    pub fn pipe_nonblocking() -> io::Result<(RawFd, RawFd)> {
+        let mut fds = [0 as c_int; 2];
+        cvt(unsafe { pipe(fds.as_mut_ptr()) })?;
+        for &fd in &fds {
+            let set = (|| -> io::Result<()> {
+                let fl = cvt(unsafe { fcntl(fd, F_GETFL, 0) })?;
+                cvt(unsafe { fcntl(fd, F_SETFL, fl | O_NONBLOCK) })?;
+                let fdfl = cvt(unsafe { fcntl(fd, F_GETFD, 0) })?;
+                cvt(unsafe { fcntl(fd, F_SETFD, fdfl | FD_CLOEXEC) })?;
+                Ok(())
+            })();
+            if let Err(e) = set {
+                unsafe {
+                    close(fds[0]);
+                    close(fds[1]);
+                }
+                return Err(e);
+            }
+        }
+        Ok((fds[0], fds[1]))
+    }
+
+    /// Drain a non-blocking self-pipe (waker read end).
+    pub fn drain_pipe(fd: RawFd) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { read(fd, buf.as_mut_ptr().cast(), buf.len()) };
+            if n <= 0 {
+                break;
+            }
+        }
+    }
+
+    /// `Option<Duration>` → milliseconds for epoll/poll (−1 = forever).
+    /// Sub-millisecond non-zero timeouts round **up** so a 100 µs request
+    /// never busy-spins as 0.
+    pub fn timeout_ms(timeout: Option<std::time::Duration>) -> c_int {
+        match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis();
+                if ms == 0 && !d.is_zero() {
+                    1
+                } else {
+                    ms.min(c_int::MAX as u128) as c_int
+                }
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod epoll {
+    use super::{sys, Event, Interest};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::c_int;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+    }
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    // The kernel ABI packs this struct on x86 so the 64-bit data field
+    // sits at offset 4; other architectures use natural alignment.
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = 0;
+        if interest.is_readable() {
+            bits |= EPOLLIN | EPOLLRDHUP;
+        }
+        if interest.is_writable() {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    pub struct Epoll {
+        epfd: RawFd,
+        buf: Vec<EpollEvent>,
+        /// token → waker read-end fd (drained on readiness; closed on drop).
+        wakers: Mutex<HashMap<usize, RawFd>>,
+    }
+
+    impl Epoll {
+        pub fn new() -> io::Result<Epoll> {
+            let epfd = sys::cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Epoll {
+                epfd,
+                buf: Vec::new(),
+                wakers: Mutex::new(HashMap::new()),
+            })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: interest_bits(interest),
+                data: token as u64,
+            };
+            sys::cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub fn register(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            // A dummy event keeps pre-2.6.9 kernels happy (NULL was EFAULT).
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            sys::cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub fn add_waker(&self, read_fd: RawFd, token: usize) -> io::Result<()> {
+            self.register(read_fd, token, Interest::READABLE)?;
+            self.wakers.lock().unwrap().insert(token, read_fd);
+            Ok(())
+        }
+
+        pub fn wait(
+            &mut self,
+            out: &mut Vec<Event>,
+            cap: usize,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            self.buf.resize(cap, EpollEvent { events: 0, data: 0 });
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    self.buf.as_mut_ptr(),
+                    cap as c_int,
+                    sys::timeout_ms(timeout),
+                )
+            };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                // A signal interrupting the wait is a spurious (0-event)
+                // wakeup, not a failure.
+                return if e.kind() == io::ErrorKind::Interrupted {
+                    Ok(())
+                } else {
+                    Err(e)
+                };
+            }
+            let wakers = self.wakers.lock().unwrap();
+            for i in 0..n as usize {
+                let raw = self.buf[i];
+                let token = raw.data as usize;
+                let bits = raw.events;
+                if let Some(&rfd) = wakers.get(&token) {
+                    sys::drain_pipe(rfd);
+                }
+                out.push(Event {
+                    token,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    error: bits & EPOLLERR != 0,
+                    hup: bits & EPOLLHUP != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            for (_, fd) in self.wakers.lock().unwrap().drain() {
+                unsafe { sys::close(fd) };
+            }
+            unsafe { sys::close(self.epfd) };
+        }
+    }
+}
+
+mod fallback {
+    use super::{sys, Event, Interest};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::{c_int, c_short};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    #[cfg(target_os = "linux")]
+    type NFds = std::os::raw::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    type NFds = std::os::raw::c_uint;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: NFds, timeout: c_int) -> c_int;
+    }
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+    const POLLNVAL: c_short = 0x020;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    fn interest_bits(interest: Interest) -> c_short {
+        let mut bits = 0;
+        if interest.is_readable() {
+            bits |= POLLIN;
+        }
+        if interest.is_writable() {
+            bits |= POLLOUT;
+        }
+        bits
+    }
+
+    /// Userspace registration table + a `pollfd` array rebuilt per wait.
+    pub struct PollSel {
+        fds: Mutex<HashMap<RawFd, (usize, c_short)>>,
+        wakers: Mutex<HashMap<usize, RawFd>>,
+        buf: Vec<PollFd>,
+    }
+
+    impl PollSel {
+        pub fn new() -> PollSel {
+            PollSel {
+                fds: Mutex::new(HashMap::new()),
+                wakers: Mutex::new(HashMap::new()),
+                buf: Vec::new(),
+            }
+        }
+
+        pub fn register(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            let mut fds = self.fds.lock().unwrap();
+            if fds.contains_key(&fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            fds.insert(fd, (token, interest_bits(interest)));
+            Ok(())
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            let mut fds = self.fds.lock().unwrap();
+            match fds.get_mut(&fd) {
+                Some(slot) => {
+                    *slot = (token, interest_bits(interest));
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            match self.fds.lock().unwrap().remove(&fd) {
+                Some(_) => Ok(()),
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub fn add_waker(&self, read_fd: RawFd, token: usize) -> io::Result<()> {
+            self.register(read_fd, token, Interest::READABLE)?;
+            self.wakers.lock().unwrap().insert(token, read_fd);
+            Ok(())
+        }
+
+        pub fn wait(
+            &mut self,
+            out: &mut Vec<Event>,
+            cap: usize,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            self.buf.clear();
+            {
+                let fds = self.fds.lock().unwrap();
+                for (&fd, &(_tok, events)) in fds.iter() {
+                    self.buf.push(PollFd {
+                        fd,
+                        events,
+                        revents: 0,
+                    });
+                }
+            }
+            let n = unsafe {
+                poll(
+                    self.buf.as_mut_ptr(),
+                    self.buf.len() as NFds,
+                    sys::timeout_ms(timeout),
+                )
+            };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                return if e.kind() == io::ErrorKind::Interrupted {
+                    Ok(())
+                } else {
+                    Err(e)
+                };
+            }
+            let fds = self.fds.lock().unwrap();
+            let wakers = self.wakers.lock().unwrap();
+            for pfd in &self.buf {
+                if out.len() >= cap {
+                    break;
+                }
+                let bits = pfd.revents;
+                if bits == 0 {
+                    continue;
+                }
+                let Some(&(token, _)) = fds.get(&pfd.fd) else {
+                    continue; // deregistered between snapshot and here
+                };
+                if let Some(&rfd) = wakers.get(&token) {
+                    sys::drain_pipe(rfd);
+                }
+                out.push(Event {
+                    token,
+                    readable: bits & POLLIN != 0,
+                    writable: bits & POLLOUT != 0,
+                    error: bits & (POLLERR | POLLNVAL) != 0,
+                    hup: bits & POLLHUP != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for PollSel {
+        fn drop(&mut self) {
+            for (_, fd) in self.wakers.lock().unwrap().drain() {
+                unsafe { sys::close(fd) };
+            }
+        }
+    }
+}
+
+// Keep the unused-import lint honest on non-linux builds.
+#[allow(unused)]
+fn _assert_send_sync() {
+    fn ok<T: Send + Sync>() {}
+    ok::<Waker>();
+    ok::<Token>();
+    let _ = HashMap::<usize, Mutex<()>>::new();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    const LISTENER: Token = Token(1);
+    const CLIENT: Token = Token(2);
+    const WAKER: Token = Token(0);
+
+    fn backends() -> Vec<Backend> {
+        #[cfg(target_os = "linux")]
+        {
+            vec![Backend::Epoll, Backend::Poll]
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            vec![Backend::Poll]
+        }
+    }
+
+    fn wait_for(
+        poll: &mut Poll,
+        events: &mut Events,
+        token: Token,
+        want_read: bool,
+        want_write: bool,
+    ) -> bool {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            poll.poll(events, Some(Duration::from_millis(50))).unwrap();
+            for ev in events.iter() {
+                if ev.token() == token
+                    && (!want_read || ev.is_readable())
+                    && (!want_write || ev.is_writable())
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn accept_and_stream_readiness_all_backends() {
+        for backend in backends() {
+            let mut poll = Poll::with_backend(backend).unwrap();
+            assert_eq!(poll.backend(), backend);
+            let mut events = Events::with_capacity(16);
+
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.set_nonblocking(true).unwrap();
+            poll.register(&listener, LISTENER, Interest::READABLE)
+                .unwrap();
+
+            // Nothing pending: a short poll returns without events for it.
+            poll.poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(
+                events.iter().all(|e| e.token() != LISTENER),
+                "{backend:?}: phantom accept readiness"
+            );
+
+            let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            assert!(
+                wait_for(&mut poll, &mut events, LISTENER, true, false),
+                "{backend:?}: no accept readiness"
+            );
+            let (mut sock, _) = listener.accept().unwrap();
+            sock.set_nonblocking(true).unwrap();
+            poll.register(&sock, CLIENT, Interest::READABLE | Interest::WRITABLE)
+                .unwrap();
+
+            // A fresh connection with empty buffers is writable.
+            assert!(
+                wait_for(&mut poll, &mut events, CLIENT, false, true),
+                "{backend:?}: no write readiness"
+            );
+
+            client.write_all(b"ping").unwrap();
+            assert!(
+                wait_for(&mut poll, &mut events, CLIENT, true, false),
+                "{backend:?}: no read readiness"
+            );
+            let mut buf = [0u8; 8];
+            let n = sock.read(&mut buf).unwrap();
+            assert_eq!(&buf[..n], b"ping");
+
+            // Level-triggered: unread bytes keep reporting readable.
+            client.write_all(b"more").unwrap();
+            assert!(wait_for(&mut poll, &mut events, CLIENT, true, false));
+            assert!(
+                wait_for(&mut poll, &mut events, CLIENT, true, false),
+                "{backend:?}: level-triggered readiness did not persist"
+            );
+
+            poll.deregister(&sock).unwrap();
+            poll.poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(
+                events.iter().all(|e| e.token() != CLIENT),
+                "{backend:?}: events after deregister"
+            );
+        }
+    }
+
+    #[test]
+    fn waker_wakes_blocked_poll_all_backends() {
+        for backend in backends() {
+            let mut poll = Poll::with_backend(backend).unwrap();
+            let waker = std::sync::Arc::new(Waker::new(&poll, WAKER).unwrap());
+            let mut events = Events::with_capacity(4);
+
+            let w = std::sync::Arc::clone(&waker);
+            let t = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                w.wake().unwrap();
+            });
+            let start = Instant::now();
+            poll.poll(&mut events, Some(Duration::from_secs(10)))
+                .unwrap();
+            t.join().unwrap();
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "{backend:?}: waker did not interrupt the wait"
+            );
+            assert!(
+                events.iter().any(|e| e.token() == WAKER && e.is_readable()),
+                "{backend:?}: waker event missing"
+            );
+
+            // The pipe was drained: no stale wakeup on the next poll.
+            poll.poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(
+                events.is_empty(),
+                "{backend:?}: waker pipe not drained ({} events)",
+                events.len()
+            );
+
+            // Coalescing: many wakes, one (batch of) wakeup, then quiet.
+            for _ in 0..1000 {
+                waker.wake().unwrap();
+            }
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            assert!(events.iter().any(|e| e.token() == WAKER));
+            poll.poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(events.is_empty(), "{backend:?}: wakes not coalesced");
+        }
+    }
+
+    #[test]
+    fn reregister_moves_interest() {
+        for backend in backends() {
+            let mut poll = Poll::with_backend(backend).unwrap();
+            let mut events = Events::with_capacity(8);
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (sock, _) = listener.accept().unwrap();
+            sock.set_nonblocking(true).unwrap();
+
+            // Write-only interest on an idle writable socket fires...
+            poll.register(&sock, CLIENT, Interest::WRITABLE).unwrap();
+            assert!(wait_for(&mut poll, &mut events, CLIENT, false, true));
+            // ...until reregistered to read-only with nothing to read.
+            poll.reregister(&sock, CLIENT, Interest::READABLE).unwrap();
+            poll.poll(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert!(
+                events
+                    .iter()
+                    .all(|e| e.token() != CLIENT || !e.is_writable()),
+                "{backend:?}: writable after downgrade"
+            );
+            drop(client);
+            // Peer hangup surfaces as readable (read() will return 0).
+            assert!(
+                wait_for(&mut poll, &mut events, CLIENT, true, false),
+                "{backend:?}: hup not readable"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_and_subms_timeouts() {
+        // 0 must not block; sub-millisecond must not spin as 0 forever.
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(4);
+        let start = Instant::now();
+        poll.poll(&mut events, Some(Duration::ZERO)).unwrap();
+        poll.poll(&mut events, Some(Duration::from_micros(100)))
+            .unwrap();
+        assert!(start.elapsed() < Duration::from_secs(1));
+        assert!(events.is_empty());
+    }
+}
