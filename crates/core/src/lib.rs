@@ -34,12 +34,14 @@ pub mod dynamic;
 pub mod equal_len;
 pub mod matcher;
 pub mod multidim;
+pub mod prefilter;
 pub mod scratch;
 pub mod smallalpha;
 pub mod static1d;
 
 pub use dict::{BuildError, PatId, Sym};
 pub use matcher::{Matcher, MatcherBuilder, MatcherKind, MatcherStats};
+pub use prefilter::{Prefilter, PrefilterCounters, PrefilterDecision};
 pub use scratch::TextScratch;
 pub use static1d::{MatchOutput, StaticMatcher};
 

@@ -45,6 +45,7 @@
 use crate::dict::{validate_dictionary, BuildError, Sym};
 use crate::dynamic::DynamicMatcher;
 use crate::equal_len::EqualLenMatcher;
+use crate::prefilter::{PrefilterCounters, PrefilterDecision};
 use crate::smallalpha::{BinaryEncodedMatcher, SmallAlphaMatcher, SmallAlphaOutput};
 use crate::static1d::{MatchOutput, StaticMatcher};
 use pdm_naming::IDENTITY;
@@ -74,6 +75,13 @@ pub struct MatcherStats {
     /// naming round ran for it. Always `false` for matchers without a
     /// snapshot form.
     pub cold_loaded: bool,
+    /// SWAR candidate-prefilter decision for `find_all`-style calls
+    /// (DESIGN.md §16). Only the static matcher carries a prefilter; the
+    /// others report it disabled.
+    pub prefilter: PrefilterDecision,
+    /// Cumulative prefilter scan/candidate/verify counters (all zero for
+    /// matchers without a prefilter, or before any `find_all` call).
+    pub prefilter_counters: PrefilterCounters,
 }
 
 /// Dictionary matching behind one object-safe interface.
@@ -108,6 +116,8 @@ impl Matcher for StaticMatcher {
             alloc_events: d.alloc_events,
             lookup_count: d.table_lookups,
             cold_loaded: self.cold_loaded(),
+            prefilter: d.prefilter,
+            prefilter_counters: d.prefilter_counters,
         }
     }
 
@@ -130,6 +140,8 @@ impl Matcher for DynamicMatcher {
             alloc_events: 0,
             lookup_count: 0,
             cold_loaded: false,
+            prefilter: PrefilterDecision::Disabled("not supported by this matcher"),
+            prefilter_counters: PrefilterCounters::default(),
         }
     }
 
@@ -173,6 +185,8 @@ impl Matcher for EqualLenMatcher {
             alloc_events: 0,
             lookup_count: 0,
             cold_loaded: false,
+            prefilter: PrefilterDecision::Disabled("not supported by this matcher"),
+            prefilter_counters: PrefilterCounters::default(),
         }
     }
 
@@ -209,6 +223,8 @@ impl Matcher for SmallAlphaMatcher {
             alloc_events: 0,
             lookup_count: 0,
             cold_loaded: false,
+            prefilter: PrefilterDecision::Disabled("not supported by this matcher"),
+            prefilter_counters: PrefilterCounters::default(),
         }
     }
 
@@ -231,6 +247,8 @@ impl Matcher for BinaryEncodedMatcher {
             alloc_events: 0,
             lookup_count: 0,
             cold_loaded: false,
+            prefilter: PrefilterDecision::Disabled("not supported by this matcher"),
+            prefilter_counters: PrefilterCounters::default(),
         }
     }
 

@@ -1,0 +1,124 @@
+//! Branch-light `u64`-gulp byte scanning (SWAR: SIMD-within-a-register).
+//!
+//! The kernels work on a packed `u8` shadow of the `u32` symbol text
+//! (`sym as u8`). Truncation is candidate-safe: a pattern occurrence at
+//! position `t` has `text[t + off] == sym` exactly, hence
+//! `shadow[t + off] == sym as u8` — so scanning the shadow for the
+//! truncated byte finds every true occurrence, plus aliases that the exact
+//! two-symbol screen rejects afterwards. False *positives* only, never
+//! false negatives.
+
+/// 0x80 set in every lane of `x` that is zero — the classic SWAR
+/// zero-byte detector. Exact as a *detector*; individual high bits above
+/// the lowest true zero can be borrow artifacts, which is fine here
+/// because every emitted hit is screened exactly downstream.
+#[inline]
+fn zero_lanes(x: u64) -> u64 {
+    x.wrapping_sub(0x0101_0101_0101_0101) & !x & 0x8080_8080_8080_8080
+}
+
+/// Pack the `u32` symbol text into its byte shadow (`sym as u8`).
+pub(crate) fn pack_shadow(text: &[u32], out: &mut Vec<u8>) {
+    out.clear();
+    out.extend(text.iter().map(|&s| s as u8));
+}
+
+/// Call `f(i)` for every position `i` where `hay[i]` *may* equal `b`,
+/// eight bytes per gulp: broadcast `b`, XOR, detect zero lanes. Emits
+/// every true occurrence (completeness); may emit a few extra positions
+/// (borrow artifacts), which downstream screening rejects. `f` returns
+/// `false` to stop the scan early (density bail-out).
+pub(crate) fn for_each_byte_hit(hay: &[u8], b: u8, mut f: impl FnMut(usize) -> bool) {
+    let bc = u64::from(b) * 0x0101_0101_0101_0101;
+    let mut chunks = hay.chunks_exact(8);
+    let mut base = 0usize;
+    for chunk in &mut chunks {
+        let w = u64::from_le_bytes(chunk.try_into().unwrap());
+        let mut z = zero_lanes(w ^ bc);
+        while z != 0 {
+            let lane = (z.trailing_zeros() >> 3) as usize;
+            if !f(base + lane) {
+                return;
+            }
+            z &= z - 1;
+        }
+        base += 8;
+    }
+    for (i, &x) in chunks.remainder().iter().enumerate() {
+        if x == b && !f(base + i) {
+            return;
+        }
+    }
+}
+
+/// 256-bit byte-class membership test.
+#[inline]
+pub(crate) fn in_mask(mask: &[u64; 4], b: u8) -> bool {
+    (mask[(b >> 6) as usize] >> (b & 63)) & 1 != 0
+}
+
+/// Set byte `b` in a 256-bit class mask.
+#[inline]
+pub(crate) fn set_mask(mask: &mut [u64; 4], b: u8) {
+    mask[(b >> 6) as usize] |= 1u64 << (b & 63);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_hits_cover_every_true_occurrence() {
+        // Adversarial: values adjacent to the target (b−1 triggers the
+        // borrow-artifact case), long runs, unaligned tails.
+        for b in [0u8, 1, 0x7f, 0x80, 0xfe, 0xff, b'a'] {
+            let mut hay = vec![b.wrapping_sub(1); 67];
+            for i in [0usize, 7, 8, 9, 31, 32, 63, 64, 66] {
+                hay[i] = b;
+            }
+            let mut got = Vec::new();
+            for_each_byte_hit(&hay, b, |i| {
+                got.push(i);
+                true
+            });
+            let truth: Vec<usize> = (0..hay.len()).filter(|&i| hay[i] == b).collect();
+            for t in &truth {
+                assert!(got.contains(t), "missed true hit {t} for byte {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn byte_hits_exactness_on_distinct_values() {
+        // With no adjacent values in the haystack the detector is exact.
+        let hay: Vec<u8> = (0..200u8)
+            .map(|i| if i % 7 == 0 { 42 } else { 100 })
+            .collect();
+        let mut got = Vec::new();
+        for_each_byte_hit(&hay, 42, |i| {
+            got.push(i);
+            true
+        });
+        let truth: Vec<usize> = (0..hay.len()).filter(|&i| hay[i] == 42).collect();
+        assert_eq!(got, truth);
+    }
+
+    #[test]
+    fn shadow_truncates() {
+        let mut out = Vec::new();
+        pack_shadow(&[0x41, 0x141, 0xffff_ff00, 7], &mut out);
+        assert_eq!(out, vec![0x41, 0x41, 0x00, 7]);
+    }
+
+    #[test]
+    fn mask_set_and_test() {
+        let mut m = [0u64; 4];
+        for b in [0u8, 63, 64, 127, 128, 200, 255] {
+            assert!(!in_mask(&m, b));
+            set_mask(&mut m, b);
+            assert!(in_mask(&m, b));
+        }
+        assert!(!in_mask(&m, 1));
+        assert!(!in_mask(&m, 129));
+    }
+}

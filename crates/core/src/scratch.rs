@@ -48,6 +48,18 @@ pub struct TextScratch {
     pub(crate) match_out: MatchOutput,
     /// Per-position chain expansion buffer for `find_all_into`.
     pub(crate) pats_here: Vec<PatId>,
+    /// Per-chunk child scratches for the chunk-grained parallel driver
+    /// (one per coarse job; their counters are drained into this scratch
+    /// after every parallel call).
+    pub(crate) children: Vec<TextScratch>,
+    /// `u8` shadow of the symbol text for SWAR prefilter scans.
+    pub(crate) pf_shadow: Vec<u8>,
+    /// Screened candidate starts from the prefilter scan.
+    pub(crate) pf_starts: Vec<usize>,
+    /// Merged candidate-start windows `(ws, we)`, starts-space.
+    pub(crate) pf_windows: Vec<(usize, usize)>,
+    /// Per-window `find_all` output before translation to text positions.
+    pub(crate) pf_out: Vec<(usize, PatId)>,
     pub(crate) grows: u64,
     pub(crate) lookups: u64,
 }

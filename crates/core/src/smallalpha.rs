@@ -49,7 +49,8 @@
 //! ```
 
 use crate::dict::{validate_dictionary, BuildError, PatId, Sym};
-use crate::static1d::StaticMatcher;
+use crate::scratch::{ensure, TextScratch};
+use crate::static1d::{PrefixMatch, StaticMatcher};
 use pdm_naming::{FrozenNameTable, NamePool, NameTable, IDENTITY};
 use pdm_pram::{ceil_log2, Ctx};
 use pdm_primitives::table::pack;
@@ -352,31 +353,66 @@ impl SmallAlphaMatcher {
 
     /// Longest pattern per text position.
     pub fn match_text(&self, ctx: &Ctx, text: &[Sym]) -> SmallAlphaOutput {
-        self.match_text_impl(ctx, text, true)
+        let mut scratch = SmallAlphaScratch::new();
+        let mut out = SmallAlphaOutput {
+            longest_pattern: Vec::new(),
+            longest_pattern_len: Vec::new(),
+        };
+        self.match_text_into(ctx, text, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`Self::match_text`] into caller-owned buffers: `out` is overwritten
+    /// and `scratch` is reused across calls, so a session matching chunk
+    /// after chunk allocates nothing once warm (the static1d
+    /// `match_into` contract, extended to §4.4).
+    pub fn match_text_into(
+        &self,
+        ctx: &Ctx,
+        text: &[Sym],
+        scratch: &mut SmallAlphaScratch,
+        out: &mut SmallAlphaOutput,
+    ) {
+        self.match_text_impl(ctx, text, true, scratch, out);
     }
 
     /// Reference leg probing the concurrent `block_tuple` instead of its
-    /// frozen snapshot (equivalence tests, bench before leg).
+    /// frozen snapshot (equivalence tests, bench before leg). Allocates its
+    /// scratch per call — the pre-overhaul behavior.
     pub fn match_text_ref(&self, ctx: &Ctx, text: &[Sym]) -> SmallAlphaOutput {
-        self.match_text_impl(ctx, text, false)
+        let mut scratch = SmallAlphaScratch::new();
+        let mut out = SmallAlphaOutput {
+            longest_pattern: Vec::new(),
+            longest_pattern_len: Vec::new(),
+        };
+        self.match_text_impl(ctx, text, false, &mut scratch, &mut out);
+        out
     }
 
-    fn match_text_impl(&self, ctx: &Ctx, text: &[Sym], use_frozen: bool) -> SmallAlphaOutput {
+    fn match_text_impl(
+        &self,
+        ctx: &Ctx,
+        text: &[Sym],
+        use_frozen: bool,
+        scratch: &mut SmallAlphaScratch,
+        out: &mut SmallAlphaOutput,
+    ) {
         let n = text.len();
         let l = self.l_param;
-        let mut out = SmallAlphaOutput {
-            longest_pattern: vec![None; n],
-            longest_pattern_len: vec![0; n],
-        };
+        let mut grows = 0u64;
+        ensure(&mut out.longest_pattern, n, &mut grows);
+        ensure(&mut out.longest_pattern_len, n, &mut grows);
         if n == 0 {
-            return out;
+            scratch.grows += grows;
+            return;
         }
 
         // Step 1: collapse the text — L-block names at aligned positions.
         let nb = n / l;
-        let t_shrunk: Vec<u32> = ctx.map(nb, |k| {
+        ensure(&mut scratch.t_shrunk, nb, &mut grows);
+        ctx.for_each_mut(&mut scratch.t_shrunk, |k, v| {
             let block = &text[k * l..(k + 1) * l];
-            if use_frozen {
+            *v = if use_frozen {
                 self.frozen_block_tuple.lookup_tuple(block)
             } else {
                 self.block_tuple.lookup_tuple(block)
@@ -385,75 +421,143 @@ impl SmallAlphaMatcher {
         });
 
         // Step 2: §4 prefix matching on the collapsed text.
-        let pm = self
-            .inner
-            .as_ref()
-            .map(|im| im.prefix_match(ctx, &t_shrunk));
+        let pm = match &self.inner {
+            Some(im) => {
+                im.prefix_match_into(ctx, &scratch.t_shrunk, &mut scratch.inner, &mut scratch.pm);
+                Some(&scratch.pm)
+            }
+            None => None,
+        };
 
-        // Steps 3–4 per window: ψ(i) by Extend-Right, then the α-chain
-        // leftward. Window w owns positions [wL−L+1, wL] ∩ [0, n).
+        // Steps 3–4, chunk-grained: window w owns positions
+        // [wL−L+1, wL] ∩ [0, n) — contiguous, disjoint ranges that
+        // partition the text — so coarse jobs over window runs write the
+        // output arrays in place: no per-window buffers, no merge pass
+        // (the per-window `Vec` collection dominated this path's profile),
+        // and one pool dispatch instead of a fine-grained round.
         let n_windows = n.div_ceil(l) + 1;
-        let per_window: Vec<Vec<(usize, u32, u32)>> = ctx.map(n_windows, |w| {
-            let i = w * l;
-            let mut res: Vec<(usize, u32, u32)> = Vec::with_capacity(l);
-            // ψ(i): longest member prefix at i.
-            let mut alpha: (u32, u32) = (IDENTITY, 0);
-            if i < n {
-                let (mut name, mut clen) = match &pm {
-                    Some(pm) if w < pm.len.len() && pm.len[w] > 0 => {
-                        let bc = self.block_to_char[&pm.name[w]];
-                        debug_assert_eq!(bc.1, pm.len[w] * l as u32);
-                        bc
-                    }
-                    _ => (IDENTITY, 0),
-                };
-                // Extend-Right: fewer than L per-symbol extensions.
-                for _ in 0..l {
-                    let pos = i + clen as usize;
-                    if pos >= n || clen as usize >= self.max_len {
-                        break;
-                    }
-                    match self.rightext.get(&pack(name, text[pos])) {
-                        Some(&nx) => {
-                            name = nx;
-                            clen += 1;
-                        }
-                        None => break,
-                    }
-                }
-                alpha = (name, clen);
-                if let Some(&(pid, plen)) =
-                    (clen > 0).then(|| self.longest_pat.get(&name)).flatten()
-                {
-                    res.push((i, pid, plen));
-                }
-            }
-            // Extend-Left: α(ℓ) = g(T(i−ℓ), α(ℓ−1)).
-            for step in 1..l {
-                let Some(j) = i.checked_sub(step) else { break };
-                if j >= n {
-                    continue;
-                }
-                alpha = match self.g.get(&pack(text[j], alpha.0)) {
-                    Some(&v) => v,
-                    None => (IDENTITY, 0),
-                };
-                if alpha.1 > 0 {
-                    if let Some(&(pid, plen)) = self.longest_pat.get(&alpha.0) {
-                        res.push((j, pid, plen));
-                    }
-                }
-            }
-            res
-        });
-        for v in per_window {
-            for (j, pid, plen) in v {
-                out.longest_pattern[j] = Some(pid);
-                out.longest_pattern_len[j] = plen;
+        let jobs_n = if ctx.is_parallel() && n > pdm_pram::par_threshold() {
+            ctx.exec.threads().clamp(1, n_windows)
+        } else {
+            1
+        };
+        // First owned position of window w (clipped; window 0 owns just 0).
+        let start = |w: usize| if w == 0 { 0 } else { ((w - 1) * l + 1).min(n) };
+
+        struct Job<'a> {
+            wa: usize,
+            wb: usize,
+            base: usize,
+            lp: &'a mut [Option<PatId>],
+            ll: &'a mut [u32],
+        }
+        let mut jobs: Vec<Job> = Vec::with_capacity(jobs_n);
+        {
+            let mut lp = &mut out.longest_pattern[..];
+            let mut ll = &mut out.longest_pattern_len[..];
+            let per = n_windows.div_ceil(jobs_n);
+            let mut wa = 0usize;
+            while wa < n_windows {
+                let wb = (wa + per).min(n_windows);
+                let take = start(wb) - start(wa);
+                let (lp0, rest) = lp.split_at_mut(take);
+                lp = rest;
+                let (ll0, rest) = ll.split_at_mut(take);
+                ll = rest;
+                jobs.push(Job {
+                    wa,
+                    wb,
+                    base: start(wa),
+                    lp: lp0,
+                    ll: ll0,
+                });
+                wa = wb;
             }
         }
-        ctx.cost.round(n as u64);
-        out
+
+        ctx.for_each_mut_ops(&mut jobs, n as u64, |_, job| {
+            for w in job.wa..job.wb {
+                let i = w * l;
+                // ψ(i): longest member prefix at i.
+                let mut alpha: (u32, u32) = (IDENTITY, 0);
+                if i < n {
+                    let (mut name, mut clen) = match pm {
+                        Some(pm) if w < pm.len.len() && pm.len[w] > 0 => {
+                            let bc = self.block_to_char[&pm.name[w]];
+                            debug_assert_eq!(bc.1, pm.len[w] * l as u32);
+                            bc
+                        }
+                        _ => (IDENTITY, 0),
+                    };
+                    // Extend-Right: fewer than L per-symbol extensions.
+                    for _ in 0..l {
+                        let pos = i + clen as usize;
+                        if pos >= n || clen as usize >= self.max_len {
+                            break;
+                        }
+                        match self.rightext.get(&pack(name, text[pos])) {
+                            Some(&nx) => {
+                                name = nx;
+                                clen += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                    alpha = (name, clen);
+                    if let Some(&(pid, plen)) =
+                        (clen > 0).then(|| self.longest_pat.get(&name)).flatten()
+                    {
+                        job.lp[i - job.base] = Some(pid);
+                        job.ll[i - job.base] = plen;
+                    }
+                }
+                // Extend-Left: α(ℓ) = g(T(i−ℓ), α(ℓ−1)).
+                for step in 1..l {
+                    let Some(j) = i.checked_sub(step) else { break };
+                    if j >= n {
+                        continue;
+                    }
+                    alpha = match self.g.get(&pack(text[j], alpha.0)) {
+                        Some(&v) => v,
+                        None => (IDENTITY, 0),
+                    };
+                    if alpha.1 > 0 {
+                        if let Some(&(pid, plen)) = self.longest_pat.get(&alpha.0) {
+                            job.lp[j - job.base] = Some(pid);
+                            job.ll[j - job.base] = plen;
+                        }
+                    }
+                }
+            }
+        });
+        drop(jobs);
+        scratch.grows += grows;
+    }
+}
+
+/// Reusable per-session buffers for [`SmallAlphaMatcher::match_text_into`]:
+/// the collapsed text, the inner §4 matcher's [`TextScratch`], and its
+/// prefix-match output. Steady-state calls allocate nothing once warm.
+#[derive(Debug, Default)]
+pub struct SmallAlphaScratch {
+    /// Collapsed text: L-block names at aligned positions.
+    t_shrunk: Vec<u32>,
+    /// Inner §4 matcher scratch.
+    inner: TextScratch,
+    /// Inner prefix-match output (block-level names/lengths).
+    pm: PrefixMatch,
+    grows: u64,
+}
+
+impl SmallAlphaScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cumulative buffer (re)allocation events (this scratch plus the inner
+    /// matcher's).
+    pub fn grow_events(&self) -> u64 {
+        self.grows + self.inner.grow_events()
     }
 }
 

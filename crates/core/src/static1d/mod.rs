@@ -27,6 +27,8 @@ pub use tables::{StaticTables, WriteTables};
 
 use crate::allmatches::PatternChains;
 use crate::dict::{BuildError, PatId, Sym};
+use crate::prefilter::{Prefilter, PrefilterCounters, PrefilterDecision, ScanVerdict};
+use crate::prefilter::{PREFILTER_MIN_TEXT, REASON_NO_PATTERNS};
 use crate::scratch::TextScratch;
 use pdm_pram::Ctx;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -51,6 +53,10 @@ pub struct StaticMatcher {
     /// Pattern suffix-chains for all-matches expansion, built lazily on the
     /// first `find_all_into` call and shared by every session thereafter.
     chains: OnceLock<PatternChains>,
+    /// SWAR candidate prefilter for `find_all_into` (DESIGN.md §16).
+    /// `None` when pattern texts were unavailable (e.g. a bare frozen
+    /// index); snapshot loaders can attach one via [`Self::set_prefilter`].
+    prefilter: Option<Prefilter>,
     metrics: Metrics,
     /// Whether this matcher was cold-loaded from the frozen snapshot form
     /// (no parallel build ran). Surfaced through
@@ -80,6 +86,10 @@ pub struct DictStats {
     pub alloc_events: u64,
     /// Name-table probes issued across those calls.
     pub table_lookups: u64,
+    /// Prefilter strategy in effect (or why it is off).
+    pub prefilter: PrefilterDecision,
+    /// Cumulative prefilter scan/verify counters.
+    pub prefilter_counters: PrefilterCounters,
 }
 
 impl DictStats {
@@ -90,15 +100,21 @@ impl DictStats {
 }
 
 impl StaticMatcher {
-    /// Preprocess a dictionary of distinct, non-empty patterns.
+    /// Preprocess a dictionary of distinct, non-empty patterns. The SWAR
+    /// candidate prefilter is analyzed from the same pattern texts and
+    /// attached automatically (possibly in its disabled state — see
+    /// [`Prefilter::analyze`]).
     pub fn build(ctx: &Ctx, patterns: &[Vec<Sym>]) -> Result<Self, BuildError> {
-        Ok(Self::from_tables(StaticTables::build(ctx, patterns)?))
+        let mut m = Self::from_tables(StaticTables::build(ctx, patterns)?);
+        m.prefilter = Some(Prefilter::analyze(patterns));
+        Ok(m)
     }
 
     fn from_tables(tables: StaticTables) -> Self {
         Self {
             tables,
             chains: OnceLock::new(),
+            prefilter: None,
             metrics: Metrics::default(),
             cold_loaded: false,
         }
@@ -209,11 +225,14 @@ impl StaticMatcher {
         out
     }
 
-    /// [`Self::find_all`] into caller-owned buffers. Uses the lazily-built
-    /// per-pattern prefix chains (`chain[p]` = longest pattern properly
-    /// prefixing `p`): the patterns matching at a position are exactly the
-    /// chain from the longest match downward, so the expansion needs no
-    /// allocation beyond the reused scratch.
+    /// [`Self::find_all`] into caller-owned buffers. When the SWAR
+    /// prefilter is active (DESIGN.md §16) the text is scanned for
+    /// candidate windows first and only those run the KMR pipeline; the
+    /// match set is identical to the unfiltered path either way. Uses the
+    /// lazily-built per-pattern prefix chains (`chain[p]` = longest
+    /// pattern properly prefixing `p`): the patterns matching at a
+    /// position are exactly the chain from the longest match downward, so
+    /// the expansion needs no allocation beyond the reused scratch.
     pub fn find_all_into(
         &self,
         ctx: &Ctx,
@@ -222,8 +241,83 @@ impl StaticMatcher {
         out: &mut Vec<(usize, PatId)>,
     ) {
         out.clear();
+        let (g0, l0) = (scratch.grow_events(), scratch.table_lookups());
+        if !self.find_all_prefiltered(ctx, text, scratch, out) {
+            self.find_all_core(ctx, text, scratch, out);
+        }
+        self.record(scratch, g0, l0);
+    }
+
+    /// Prefiltered path: scan → candidate windows → per-window KMR
+    /// verification. Returns `false` when the prefilter is absent,
+    /// inactive, the text is too short, or the scan bailed out on density
+    /// (the caller then runs the unfiltered path).
+    fn find_all_prefiltered(
+        &self,
+        ctx: &Ctx,
+        text: &[Sym],
+        scratch: &mut TextScratch,
+        out: &mut Vec<(usize, PatId)>,
+    ) -> bool {
+        let Some(pf) = &self.prefilter else {
+            return false;
+        };
+        let n = text.len();
+        if n < PREFILTER_MIN_TEXT {
+            return false;
+        }
+        let mut shadow = std::mem::take(&mut scratch.pf_shadow);
+        let mut starts = std::mem::take(&mut scratch.pf_starts);
+        let mut windows = std::mem::take(&mut scratch.pf_windows);
+        let caps0 = shadow.capacity() + starts.capacity() + windows.capacity();
+        let verdict = pf.scan(text, &mut shadow, &mut starts, &mut windows);
+        if shadow.capacity() + starts.capacity() + windows.capacity() != caps0 {
+            scratch.grows += 1;
+        }
+        scratch.pf_shadow = shadow;
+        scratch.pf_starts = starts;
+        if verdict != ScanVerdict::Windows {
+            scratch.pf_windows = windows;
+            return false;
+        }
+        // Verify each window through the ordinary KMR path. A window
+        // `(ws, we)` owns candidate *starts* in `[ws, we)`; its slice
+        // extends `m − 1` past the last owned start so any pattern
+        // starting inside fits. Matches with a relative start ≥ `we − ws`
+        // belong to (and are re-found by) a later window — windows are
+        // disjoint in start space, so each occurrence is emitted exactly
+        // once, in ascending order.
+        let m = self.tables.max_len.max(1);
+        let mut wout = std::mem::take(&mut scratch.pf_out);
+        let mut verified = 0u64;
+        for &(ws, we) in &windows {
+            let end = (we - 1 + m).min(n);
+            let slice = &text[ws..end];
+            verified += slice.len() as u64;
+            self.find_all_core(ctx, slice, scratch, &mut wout);
+            for &(rel, pid) in wout.iter() {
+                if rel < we - ws {
+                    out.push((ws + rel, pid));
+                }
+            }
+        }
+        pf.note_verified(verified, windows.len() as u64);
+        scratch.pf_out = wout;
+        scratch.pf_windows = windows;
+        true
+    }
+
+    /// The unfiltered all-matches expansion (also the per-window verifier).
+    fn find_all_core(
+        &self,
+        ctx: &Ctx,
+        text: &[Sym],
+        scratch: &mut TextScratch,
+        out: &mut Vec<(usize, PatId)>,
+    ) {
+        out.clear();
         let mut mo = std::mem::take(&mut scratch.match_out);
-        self.match_into(ctx, text, scratch, &mut mo);
+        match_text_into(ctx, &self.tables, text, scratch, &mut mo);
         let chains = self
             .chains
             .get_or_init(|| crate::allmatches::pattern_chains(self));
@@ -243,6 +337,26 @@ impl StaticMatcher {
             self.metrics.alloc_events.fetch_add(1, Ordering::Relaxed);
         }
         scratch.match_out = mo;
+    }
+
+    /// The prefilter attached to this matcher, if any.
+    pub fn prefilter(&self) -> Option<&Prefilter> {
+        self.prefilter.as_ref()
+    }
+
+    /// Attach (or detach) a prefilter: snapshot loaders prime one decoded
+    /// from the sidecar; benchmarks pass `None` to measure the unfiltered
+    /// path. The prefilter must describe exactly this dictionary.
+    pub fn set_prefilter(&mut self, pf: Option<Prefilter>) {
+        self.prefilter = pf;
+    }
+
+    /// Build-time prefilter decision (strategy or disable reason).
+    pub fn prefilter_decision(&self) -> PrefilterDecision {
+        self.prefilter
+            .as_ref()
+            .map(|pf| pf.decision())
+            .unwrap_or(PrefilterDecision::Disabled(REASON_NO_PATTERNS))
     }
 
     /// Access the underlying tables (consumed by §4.4 and the experiments).
@@ -269,6 +383,12 @@ impl StaticMatcher {
             match_calls: self.metrics.match_calls.load(Ordering::Relaxed),
             alloc_events: self.metrics.alloc_events.load(Ordering::Relaxed),
             table_lookups: self.metrics.table_lookups.load(Ordering::Relaxed),
+            prefilter: self.prefilter_decision(),
+            prefilter_counters: self
+                .prefilter
+                .as_ref()
+                .map(|pf| pf.counters())
+                .unwrap_or_default(),
         }
     }
 

@@ -61,6 +61,15 @@ pub trait MatchTables: Sync {
     fn longest_pattern(&self, pref: u32) -> Option<(PatId, u32)>;
     /// Some pattern having the named prefix (retrieve-index, `I_p`).
     fn owner(&self, pref: u32) -> Option<PatId>;
+    /// Overlap (in symbols) a chunked text split must extend each chunk by
+    /// for per-position outputs to be split-invariant — `m − 1` for a
+    /// dictionary whose longest pattern has `m` symbols (every dictionary
+    /// prefix at a position `i` ends within `text[i..i+m]`). `None` opts a
+    /// table out of the chunk-grained parallel driver (growing tables whose
+    /// `m` can move mid-call, and the reference views).
+    fn chunk_overlap(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Per-position output of dictionary matching (the paper's output format:
@@ -244,6 +253,9 @@ pub fn match_text_into<T: MatchTables>(
     if n == 0 {
         return;
     }
+    if let Some(k) = chunk_grain(ctx, tables, n) {
+        return match_text_chunk_grained(ctx, tables, text, scratch, out, k);
+    }
     ascend_descend(ctx, tables, text, scratch);
     let mut grows = 0u64;
     extend_counted(
@@ -293,6 +305,150 @@ pub fn match_text_into<T: MatchTables>(
         scratch.pats.iter().map(|p| p.2),
         &mut grows,
     );
+    scratch.grows += grows;
+}
+
+/// How many coarse chunks a parallel match of `n` symbols should split
+/// into, or `None` to run the per-level fine-grained rounds. The per-level
+/// rounds dispatch the pool `~3·log m` times per call; on short rounds the
+/// wake/park handshake dominates and parallel runs *slower* than
+/// sequential (BENCH_text.json's par-width-2 static1d regression). A
+/// chunk-grained split pays one dispatch for the whole call instead.
+fn chunk_grain<T: MatchTables>(ctx: &Ctx, tables: &T, n: usize) -> Option<usize> {
+    if !ctx.is_parallel() || n <= pdm_pram::par_threshold() {
+        return None;
+    }
+    let overlap = tables.chunk_overlap()?;
+    // A chunk must dwarf both its overlap (redundant boundary work) and
+    // the dispatch threshold for the split to pay.
+    let min_chunk = (4 * overlap).max(pdm_pram::par_threshold()).max(1);
+    let k = ctx.exec.threads().min(n / min_chunk);
+    (k >= 2).then_some(k)
+}
+
+/// Chunk-grained parallel matching: one pool round of `k` coarse jobs,
+/// each running the *sequential* ascent/descent/lookup pipeline over an
+/// overlap-extended slice and writing its proper range of the per-position
+/// outputs. Outputs are identical to the whole-text call: every dictionary
+/// prefix starting in a chunk ends within its `m − 1` overlap (the
+/// [`StaticMatcher::match_text_chunked`](crate::static1d::StaticMatcher)
+/// argument), and chunks partition `[0, n)`. Per-chunk scratch lives in
+/// `scratch.children`, so steady-state calls stay allocation-free.
+fn match_text_chunk_grained<T: MatchTables>(
+    ctx: &Ctx,
+    tables: &T,
+    text: &[Sym],
+    scratch: &mut TextScratch,
+    out: &mut MatchOutput,
+    k: usize,
+) {
+    let n = text.len();
+    let overlap = tables.chunk_overlap().unwrap_or(0);
+    let chunk = n.div_ceil(k);
+    let mut grows = 0u64;
+    ensure(&mut out.prefix_len, n, &mut grows);
+    ensure(&mut out.prefix_name, n, &mut grows);
+    ensure(&mut out.longest_pattern, n, &mut grows);
+    ensure(&mut out.longest_pattern_len, n, &mut grows);
+    ensure(&mut out.prefix_owner, n, &mut grows);
+
+    let mut children = std::mem::take(&mut scratch.children);
+    if children.len() < k {
+        children.resize_with(k, TextScratch::default);
+        grows += 1;
+    }
+
+    struct Job<'a> {
+        text: &'a [Sym],
+        take: usize,
+        scratch: &'a mut TextScratch,
+        pl: &'a mut [u32],
+        pn: &'a mut [u32],
+        lp: &'a mut [Option<PatId>],
+        ll: &'a mut [u32],
+        po: &'a mut [Option<PatId>],
+    }
+
+    let mut jobs: Vec<Job> = Vec::with_capacity(k);
+    {
+        let mut pl = &mut out.prefix_len[..];
+        let mut pn = &mut out.prefix_name[..];
+        let mut lp = &mut out.longest_pattern[..];
+        let mut ll = &mut out.longest_pattern_len[..];
+        let mut po = &mut out.prefix_owner[..];
+        let mut at = 0usize;
+        for child in children.iter_mut().take(k) {
+            let end = (at + chunk).min(n);
+            let ext = (end + overlap).min(n);
+            let take = end - at;
+            let (pl0, rest) = pl.split_at_mut(take);
+            pl = rest;
+            let (pn0, rest) = pn.split_at_mut(take);
+            pn = rest;
+            let (lp0, rest) = lp.split_at_mut(take);
+            lp = rest;
+            let (ll0, rest) = ll.split_at_mut(take);
+            ll = rest;
+            let (po0, rest) = po.split_at_mut(take);
+            po = rest;
+            jobs.push(Job {
+                text: &text[at..ext],
+                take,
+                scratch: child,
+                pl: pl0,
+                pn: pn0,
+                lp: lp0,
+                ll: ll0,
+                po: po0,
+            });
+            at = end;
+            if at >= n {
+                break;
+            }
+        }
+    }
+
+    ctx.for_each_mut_ops(&mut jobs, n as u64, |_, job| {
+        // Each job runs the whole pipeline sequentially (sharing the cost
+        // model, so phases/work still accrue to this call) and writes its
+        // proper output range in place — no intermediate buffer, and the
+        // longest-pattern lookup skips the overlap tail entirely.
+        let seq = Ctx {
+            exec: pdm_pram::ExecPolicy::Seq,
+            cost: ctx.cost.clone(),
+        };
+        ascend_descend(&seq, tables, job.text, job.scratch);
+        let take = job.take;
+        let state = &job.scratch.state[..take];
+        seq.cost.phase("text/longest-lookup", || {
+            for (i, &(blocks, name)) in state.iter().enumerate() {
+                job.pl[i] = blocks;
+                job.pn[i] = name;
+                let (lp, ll, po) = if blocks == 0 {
+                    (None, 0, None)
+                } else {
+                    let owner = tables.owner(name);
+                    match tables.longest_pattern(name) {
+                        Some((pid, plen)) => (Some(pid), plen, owner),
+                        None => (None, 0, owner),
+                    }
+                };
+                job.lp[i] = lp;
+                job.ll[i] = ll;
+                job.po[i] = po;
+            }
+        });
+        job.scratch.lookups += take as u64;
+    });
+    drop(jobs);
+
+    // Fold child counters into the session scratch (drain-to-zero so the
+    // caller's per-call deltas stay meaningful).
+    for child in &mut children {
+        grows += std::mem::take(&mut child.grows);
+        scratch.lookups += std::mem::take(&mut child.lookups);
+    }
+    scratch.children = children;
     scratch.grows += grows;
 }
 
@@ -446,6 +602,10 @@ impl MatchTables for super::tables::StaticTables {
 
     fn owner(&self, pref: u32) -> Option<PatId> {
         self.owner.get(pref).map(|v| unpack2(v).1)
+    }
+
+    fn chunk_overlap(&self) -> Option<usize> {
+        Some(self.max_len.saturating_sub(1))
     }
 }
 

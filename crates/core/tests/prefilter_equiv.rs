@@ -1,0 +1,127 @@
+//! Property: the SWAR prefilter stage is invisible in the match set.
+//!
+//! For random dictionaries — including the adversarial all-same-byte and
+//! dense-alphabet families that push the filter into its bail-out and
+//! disabled paths — and random texts, `find_all` with the build-time
+//! prefilter attached must equal `find_all` after `set_prefilter(None)`,
+//! at execution widths 1, 2 and 4.
+
+use pdm_core::dict::Sym;
+use pdm_core::static1d::StaticMatcher;
+use pdm_core::PrefilterDecision;
+use pdm_pram::Ctx;
+use proptest::prelude::*;
+
+fn dedup(pats: Vec<Vec<Sym>>) -> Vec<Vec<Sym>> {
+    let mut seen = std::collections::HashSet::new();
+    pats.into_iter()
+        .filter(|p| !p.is_empty() && seen.insert(p.clone()))
+        .collect()
+}
+
+/// Match with the auto-selected prefilter, then again with the filter
+/// stripped, at widths 1/2/4; all six runs must agree exactly.
+fn assert_filter_invisible(
+    pats: &[Vec<Sym>],
+    text: &[Sym],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let build_ctx = Ctx::seq();
+    let mut m = StaticMatcher::build(&build_ctx, pats).unwrap();
+    let widths = [Ctx::seq(), Ctx::with_threads(2), Ctx::with_threads(4)];
+
+    let filtered: Vec<Vec<(usize, u32)>> = widths.iter().map(|ctx| m.find_all(ctx, text)).collect();
+    m.set_prefilter(None);
+    let unfiltered: Vec<Vec<(usize, u32)>> =
+        widths.iter().map(|ctx| m.find_all(ctx, text)).collect();
+
+    for (w, (got, want)) in filtered.iter().zip(unfiltered.iter()).enumerate() {
+        prop_assert_eq!(got, want, "width index {}", w);
+    }
+    // All widths of the unfiltered path agree among themselves too.
+    prop_assert_eq!(&unfiltered[0], &unfiltered[1]);
+    prop_assert_eq!(&unfiltered[0], &unfiltered[2]);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mid-size alphabet: the analyzer usually picks a live engine, and
+    /// texts beyond `PREFILTER_MIN_TEXT` genuinely route through it.
+    #[test]
+    fn general_dictionaries(
+        pats in proptest::collection::vec(
+            proptest::collection::vec(0u32..60, 1..10), 1..16),
+        text in proptest::collection::vec(0u32..60, 0..400),
+    ) {
+        let pats = dedup(pats);
+        if pats.is_empty() { return Ok(()); }
+        assert_filter_invisible(&pats, &text)?;
+    }
+
+    /// Adversarial all-same-byte dictionaries over a matching unary text:
+    /// every position is a raw candidate, so the runtime density bail-out
+    /// must hand the whole text back to the unfiltered path unchanged.
+    #[test]
+    fn all_same_byte_dictionaries(
+        byte in 0u32..8,
+        lens in proptest::collection::vec(1usize..9, 1..5),
+        text_len in 0usize..300,
+    ) {
+        let pats = dedup(lens.iter().map(|&l| vec![byte; l]).collect());
+        let text = vec![byte; text_len];
+        assert_filter_invisible(&pats, &text)?;
+    }
+
+    /// Dense small alphabets (DNA-like): the build-time estimator declines
+    /// the filter, which must be equivalent to never having one.
+    #[test]
+    fn dense_alphabet_dictionaries(
+        pats in proptest::collection::vec(
+            proptest::collection::vec(0u32..4, 1..12), 2..10),
+        text in proptest::collection::vec(0u32..4, 0..300),
+    ) {
+        let pats = dedup(pats);
+        if pats.is_empty() { return Ok(()); }
+        assert_filter_invisible(&pats, &text)?;
+    }
+
+    /// Symbols above 255 alias into the u8 shadow buffer; the exact
+    /// two-symbol screen must reject the aliases without losing matches.
+    #[test]
+    fn high_symbol_aliasing(
+        pats in proptest::collection::vec(
+            proptest::collection::vec(0u32..800, 1..8), 1..12),
+        text in proptest::collection::vec(0u32..800, 0..300),
+    ) {
+        let pats = dedup(pats);
+        if pats.is_empty() { return Ok(()); }
+        assert_filter_invisible(&pats, &text)?;
+    }
+}
+
+/// The general-family property above is only meaningful if sparse English
+/// dictionaries actually get a live engine; pin that here.
+#[test]
+fn sparse_dictionary_engages_prefilter() {
+    let ctx = Ctx::seq();
+    let pats = pdm_core::dict::symbolize(&["quiz", "jukebox", "zephyr"]);
+    let m = StaticMatcher::build(&ctx, &pats).unwrap();
+    match m.prefilter_decision() {
+        PrefilterDecision::RareByte | PrefilterDecision::PairMask => {}
+        d => panic!("expected a live engine for a sparse dictionary, got {d:?}"),
+    }
+
+    // And it really runs: a long sparse text must bump the scan counters.
+    let mut text: Vec<Sym> = "the slow brown fox sat. "
+        .repeat(40)
+        .bytes()
+        .map(u32::from)
+        .collect();
+    text.extend("quiz".bytes().map(u32::from));
+    let hits = m.find_all(&ctx, &text);
+    assert_eq!(hits.len(), 1);
+    let c = m.stats().prefilter_counters;
+    assert!(c.scans >= 1, "prefilter never scanned: {c:?}");
+    assert!(c.windows >= 1, "no window verified: {c:?}");
+}

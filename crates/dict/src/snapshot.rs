@@ -30,7 +30,7 @@
 use pdm_core::allmatches::{pattern_chains, PatternChains};
 use pdm_core::dynamic::DynamicMatcher;
 use pdm_core::static1d::serial::LoadError;
-use pdm_core::{BuildError, Matcher, PatId, StaticMatcher, Sym, TextScratch};
+use pdm_core::{BuildError, Matcher, PatId, Prefilter, StaticMatcher, Sym, TextScratch};
 use pdm_pram::Ctx;
 use pdm_primitives::codec::{self, CodecError, SectionReader, SectionWriter};
 use pdm_primitives::FxHashMap;
@@ -48,6 +48,11 @@ pub const SEC_META: u32 = 1;
 pub const SEC_PATTERNS: u32 = 2;
 pub const SEC_TABLES: u32 = 3;
 pub const SEC_CHAINS: u32 = 4;
+/// SWAR prefilter tables (strategy + anchors + exact screen). Optional on
+/// load — sidecars written before this section existed re-analyze from
+/// `SEC_PATTERNS` instead — but always written, so a loaded sidecar
+/// re-serializes byte-identically.
+pub const SEC_PREFILTER: u32 = 5;
 
 /// Everything that can go wrong loading a snapshot.
 #[derive(Debug)]
@@ -319,7 +324,15 @@ impl Snapshot {
         }
         let mut mo = scratch.take_match_out();
         match &self.inner {
-            SnapInner::Static(m) => m.match_into(ctx, text, scratch, &mut mo),
+            SnapInner::Static(m) => {
+                // Canonical ids equal native ids and the canonical chains
+                // equal the matcher's own, so the static path delegates —
+                // which routes serving through the SWAR candidate
+                // prefilter when one is attached (DESIGN.md §16).
+                scratch.put_match_out(mo);
+                m.find_all_into(ctx, text, scratch, out);
+                return;
+            }
             SnapInner::Dynamic { m, .. } => mo = m.match_text(ctx, text),
         }
         for (i, hit) in mo.longest_pattern.iter().enumerate() {
@@ -363,6 +376,11 @@ impl Snapshot {
         w.section(SEC_PATTERNS, encode_patterns(patterns));
         w.section(SEC_TABLES, m.to_frozen_bytes());
         w.section(SEC_CHAINS, encode_chains(&chains));
+        let pf_bytes = match m.prefilter() {
+            Some(pf) => pf.to_bytes(),
+            None => Prefilter::analyze(patterns).to_bytes(),
+        };
+        w.section(SEC_PREFILTER, pf_bytes);
         Some(w.finish(SNAP_MAGIC, SNAP_VERSION))
     }
 
@@ -410,7 +428,7 @@ impl Snapshot {
         let tables = r
             .section(SEC_TABLES)
             .ok_or_else(|| corrupt("missing TABLES"))?;
-        let m = StaticMatcher::from_frozen_bytes(tables).map_err(SnapError::Tables)?;
+        let mut m = StaticMatcher::from_frozen_bytes(tables).map_err(SnapError::Tables)?;
         if m.pattern_count() != patterns.len() {
             return Err(corrupt(format!(
                 "TABLES holds {} patterns, PATTERNS lists {}",
@@ -430,6 +448,15 @@ impl Snapshot {
         )?;
         let chain = chains.chain.clone();
         m.prime_chains(chains);
+        // Attach the stored prefilter tables; sidecars written before the
+        // section existed re-analyze from the pattern texts (same result,
+        // O(M) work — still zero naming rounds).
+        let pf = match r.section(SEC_PREFILTER) {
+            Some(sec) => Prefilter::from_bytes(sec)
+                .map_err(|e| corrupt(format!("PREFILTER section: {e}")))?,
+            None => Prefilter::analyze(&patterns),
+        };
+        m.set_prefilter(Some(pf));
         Ok(Snapshot {
             epoch,
             lens: patterns.iter().map(|p| p.len() as u32).collect(),
@@ -802,6 +829,15 @@ mod tests {
         let v2 = inspect(&snap.to_sidecar_bytes().unwrap()).unwrap();
         assert_eq!((v2.version, v2.epoch, v2.patterns), (2, 5, 4));
         let ids: Vec<u32> = v2.sections.iter().map(|&(id, _)| id).collect();
-        assert_eq!(ids, [SEC_META, SEC_PATTERNS, SEC_TABLES, SEC_CHAINS]);
+        assert_eq!(
+            ids,
+            [
+                SEC_META,
+                SEC_PATTERNS,
+                SEC_TABLES,
+                SEC_CHAINS,
+                SEC_PREFILTER
+            ]
+        );
     }
 }

@@ -168,6 +168,30 @@ impl Ctx {
         }
     }
 
+    /// One PRAM round over a handful of coarse jobs that together perform
+    /// `ops` PRAM operations: `f(i, &mut jobs[i])`. The `&mut` counterpart
+    /// of [`Self::for_each_ops`] — the dispatch decision keys on `ops` (the
+    /// real work), not the host-side job count, so a round of 2–8 chunk
+    /// jobs each covering megabytes still reaches the pool. Charges 1 round
+    /// / `ops` work.
+    pub fn for_each_mut_ops<T, F>(&self, jobs: &mut [T], ops: u64, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync + Send,
+    {
+        self.cost.round(ops);
+        if !self.dispatch(usize::try_from(ops).unwrap_or(usize::MAX)) {
+            for (i, v) in jobs.iter_mut().enumerate() {
+                f(i, v);
+            }
+        } else {
+            self.exec.install(|| {
+                use rayon::prelude::*;
+                jobs.par_iter_mut().enumerate().for_each(|(i, v)| f(i, v));
+            })
+        }
+    }
+
     /// One PRAM round producing a vector: `out[i] = f(i)`.
     /// Charges 1 round / `n` work.
     pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
@@ -336,6 +360,21 @@ mod tests {
             });
             assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
         }
+    }
+
+    #[test]
+    fn for_each_mut_ops_updates_every_job() {
+        for ctx in ctxs() {
+            let mut jobs = vec![0u64; 4];
+            ctx.for_each_mut_ops(&mut jobs, 5000, |i, v| *v = i as u64 + 1);
+            assert_eq!(jobs, vec![1, 2, 3, 4]);
+        }
+        let ctx = Ctx::seq();
+        let before = ctx.cost.snapshot();
+        ctx.for_each_mut_ops(&mut [0u8; 2], 999, |_, _| {});
+        let s = ctx.cost.snapshot().since(before);
+        assert_eq!(s.rounds, 1);
+        assert_eq!(s.work, 999);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod crcw;
 pub mod exec;
 
 pub use cost::{CostModel, CostSnapshot, PhaseStats};
-pub use exec::{Ctx, ExecPolicy};
+pub use exec::{par_threshold, Ctx, ExecPolicy};
 
 /// `⌈log₂ x⌉` for `x ≥ 1`; `0` for `x ≤ 1`.
 ///

@@ -1,0 +1,111 @@
+//! Property: streaming with an *active* prefilter ≡ whole-text matching.
+//!
+//! `chunk_equiv.rs` already proves chunking is invisible, but its tiny
+//! dense alphabets make the build-time analyzer decline the prefilter.
+//! Here the dictionaries are sparse enough that a live engine is chosen,
+//! so candidate windows interact with the streaming carry/boundary logic
+//! — and the reported match set must still equal `find_all` on the
+//! concatenation, at widths 1, 2 and 4.
+
+use std::sync::Arc;
+
+use pdm_core::dict::Sym;
+use pdm_core::static1d::StaticMatcher;
+use pdm_core::PrefilterDecision;
+use pdm_pram::Ctx;
+use pdm_stream::{StreamMatch, StreamMatcher};
+use proptest::prelude::*;
+
+fn dedup(pats: Vec<Vec<Sym>>) -> Vec<Vec<Sym>> {
+    let mut seen = std::collections::HashSet::new();
+    pats.into_iter()
+        .filter(|p| !p.is_empty() && seen.insert(p.clone()))
+        .collect()
+}
+
+fn oracle(d: &Arc<StaticMatcher>, text: &[Sym]) -> Vec<StreamMatch> {
+    let ctx = Ctx::seq();
+    d.find_all(&ctx, text)
+        .into_iter()
+        .map(|(i, p)| StreamMatch {
+            start: i as u64,
+            pat: p,
+            len: d.pattern_len(p),
+        })
+        .collect()
+}
+
+fn streamed(d: &Arc<StaticMatcher>, ctx: &Ctx, text: &[Sym], sizes: &[usize]) -> Vec<StreamMatch> {
+    let mut m = StreamMatcher::new(Arc::clone(d));
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    let mut k = 0usize;
+    while at < text.len() {
+        let take = sizes[k % sizes.len()].min(text.len() - at);
+        m.push_into(ctx, &text[at..at + take], &mut out);
+        at += take;
+        k += 1;
+    }
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stream_with_prefilter_equals_whole_text(
+        pats in proptest::collection::vec(
+            proptest::collection::vec(0u32..60, 2..10), 1..12),
+        text in proptest::collection::vec(0u32..60, 0..500),
+        // Chunk sizes straddle PREFILTER_MIN_TEXT, so some windows the
+        // streaming layer hands down are filtered and some are not.
+        sizes in proptest::collection::vec(1usize..140, 1..8),
+    ) {
+        let pats = dedup(pats);
+        if pats.is_empty() { return Ok(()); }
+        let build_ctx = Ctx::seq();
+        let dict = Arc::new(StaticMatcher::build(&build_ctx, &pats).unwrap());
+        let want = oracle(&dict, &text);
+
+        for threads in [1usize, 2, 4] {
+            let ctx = if threads == 1 { Ctx::seq() } else { Ctx::with_threads(threads) };
+            let got = streamed(&dict, &ctx, &text, &sizes);
+            prop_assert_eq!(&got, &want, "threads {}", threads);
+        }
+    }
+}
+
+/// Guard against the property silently degenerating: a sparse excerpt-style
+/// dictionary must select a live engine, and matches planted far apart must
+/// be found across chunk boundaries with the scan counters moving.
+#[test]
+fn planted_sparse_matches_survive_boundaries() {
+    let ctx = Ctx::seq();
+    let pats = pdm_core::dict::symbolize(&["wizard", "quartz"]);
+    let dict = Arc::new(StaticMatcher::build(&ctx, &pats).unwrap());
+    match dict.prefilter_decision() {
+        PrefilterDecision::RareByte | PrefilterDecision::PairMask => {}
+        d => panic!("expected live engine, got {d:?}"),
+    }
+
+    let mut text: Vec<Sym> = Vec::new();
+    for i in 0..50 {
+        text.extend("the mill turns over and over. ".bytes().map(u32::from));
+        if i % 17 == 3 {
+            text.extend("wizard".bytes().map(u32::from));
+        }
+        if i % 23 == 11 {
+            text.extend("quartz".bytes().map(u32::from));
+        }
+    }
+    let want = oracle(&dict, &text);
+    assert!(!want.is_empty(), "planting failed");
+    // Split right through the planted words: 7 is coprime to the period.
+    for sizes in [&[7usize][..], &[64], &[1], &[311, 5]] {
+        let got = streamed(&dict, &ctx, &text, sizes);
+        assert_eq!(got, want, "sizes {sizes:?}");
+    }
+    let c = dict.stats().prefilter_counters;
+    assert!(c.scans > 0 && c.windows > 0, "prefilter idle: {c:?}");
+}

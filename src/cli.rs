@@ -776,6 +776,13 @@ pub fn run(cmd: Command, w: &mut impl Write) -> std::io::Result<i32> {
                 "match telemetry: {} calls, {} alloc events, {} table lookups",
                 s.match_calls, s.alloc_events, s.table_lookups
             )?;
+            writeln!(w, "prefilter:       {}", s.prefilter.describe())?;
+            let pc = s.prefilter_counters;
+            writeln!(
+                w,
+                "prefilter work:  {} scans, {} candidates, {} windows, {} syms verified, {} dense skips",
+                pc.scans, pc.candidates, pc.windows, pc.verified_syms, pc.bailouts
+            )?;
             let c = ctx.cost.snapshot();
             let verb = match dict {
                 DictSource::Patterns(_) => "build",
